@@ -1,0 +1,111 @@
+//! Error types shared by the algebra substrate.
+
+use std::fmt;
+
+/// Errors arising while building, typing, or evaluating algebra expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A relation symbol was referenced that is not in the signature.
+    UnknownRelation(String),
+    /// A user-defined operator was referenced that is not registered.
+    UnknownOperator(String),
+    /// Two occurrences of a relation disagree on arity.
+    ArityMismatch {
+        /// Relation (or operator) name.
+        relation: String,
+        /// Arity expected from the signature or from the other operand.
+        expected: usize,
+        /// Arity actually found.
+        found: usize,
+    },
+    /// A projection, selection, or Skolem function referenced a column index
+    /// outside the arity of its operand.
+    ColumnOutOfRange {
+        /// Offending column index.
+        column: usize,
+        /// Arity of the operand expression.
+        arity: usize,
+    },
+    /// Binary set operators (∪, ∩, −) require both operands to have the same
+    /// arity.
+    BinaryArityMismatch {
+        /// Operator symbol for the message.
+        op: &'static str,
+        /// Arity of the left operand.
+        left: usize,
+        /// Arity of the right operand.
+        right: usize,
+    },
+    /// A user-defined operator rejected its argument arities.
+    OperatorArity {
+        /// Operator name.
+        op: String,
+        /// Argument arities supplied.
+        args: Vec<usize>,
+    },
+    /// An expression containing a Skolem function was evaluated. Skolem
+    /// functions are a purely syntactic device (paper §2) and have no
+    /// first-order semantics of their own.
+    SkolemNotEvaluable(String),
+    /// A user-defined operator without an evaluator was evaluated.
+    OperatorNotEvaluable(String),
+    /// Parse error in the textual task format.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownRelation(name) => write!(f, "unknown relation symbol `{name}`"),
+            AlgebraError::UnknownOperator(name) => write!(f, "unknown operator `{name}`"),
+            AlgebraError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "arity mismatch for `{relation}`: expected {expected}, found {found}"
+            ),
+            AlgebraError::ColumnOutOfRange { column, arity } => {
+                write!(f, "column index {column} out of range for arity {arity}")
+            }
+            AlgebraError::BinaryArityMismatch { op, left, right } => write!(
+                f,
+                "operands of `{op}` must have equal arity, got {left} and {right}"
+            ),
+            AlgebraError::OperatorArity { op, args } => {
+                write!(f, "operator `{op}` cannot be applied to arities {args:?}")
+            }
+            AlgebraError::SkolemNotEvaluable(name) => {
+                write!(f, "expression contains Skolem function `{name}` and cannot be evaluated")
+            }
+            AlgebraError::OperatorNotEvaluable(name) => {
+                write!(f, "operator `{name}` has no evaluator")
+            }
+            AlgebraError::Parse { line, column, message } => {
+                write!(f, "parse error at {line}:{column}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_payload() {
+        let err = AlgebraError::UnknownRelation("R".into());
+        assert!(err.to_string().contains("`R`"));
+        let err = AlgebraError::BinaryArityMismatch { op: "union", left: 2, right: 3 };
+        assert!(err.to_string().contains("union"));
+        assert!(err.to_string().contains('2'));
+        let err = AlgebraError::Parse { line: 3, column: 7, message: "expected `;`".into() };
+        assert!(err.to_string().contains("3:7"));
+    }
+}

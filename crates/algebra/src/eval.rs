@@ -1,0 +1,262 @@
+//! Set-semantics evaluation of expressions over instances.
+//!
+//! Evaluation implements the "standard set semantics" of paper §2 and is used
+//! by constraint satisfaction, the bounded-model equivalence checker, and the
+//! data-migration examples.
+
+use std::collections::BTreeSet;
+
+use crate::error::AlgebraError;
+use crate::expr::Expr;
+use crate::instance::{Instance, Relation};
+use crate::ops::OperatorSet;
+use crate::signature::Signature;
+use crate::value::{Tuple, Value};
+
+/// Evaluation context: the instance plus the signature and operator set
+/// needed to resolve arities and user-defined operators.
+pub struct Evaluator<'a> {
+    sig: &'a Signature,
+    ops: &'a OperatorSet,
+    instance: &'a Instance,
+    active_domain: Vec<Value>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator for one instance.
+    pub fn new(sig: &'a Signature, ops: &'a OperatorSet, instance: &'a Instance) -> Self {
+        let active_domain = instance.active_domain().into_iter().collect();
+        Evaluator { sig, ops, instance, active_domain }
+    }
+
+    /// The active domain used for `D^r`.
+    pub fn active_domain(&self) -> &[Value] {
+        &self.active_domain
+    }
+
+    /// Evaluate an expression to a relation.
+    pub fn eval(&self, expr: &Expr) -> Result<Relation, AlgebraError> {
+        match expr {
+            Expr::Rel(name) => {
+                // Unknown symbols are an error so that typos surface early.
+                self.sig.arity(name)?;
+                Ok(self.instance.get(name))
+            }
+            Expr::Domain(r) => Ok(self.domain_power(*r)),
+            Expr::Empty(_) => Ok(Relation::new()),
+            Expr::Union(a, b) => {
+                self.check_equal_arity(expr, a, b)?;
+                Ok(self.eval(a)?.union(&self.eval(b)?))
+            }
+            Expr::Intersect(a, b) => {
+                self.check_equal_arity(expr, a, b)?;
+                Ok(self.eval(a)?.intersect(&self.eval(b)?))
+            }
+            Expr::Difference(a, b) => {
+                self.check_equal_arity(expr, a, b)?;
+                Ok(self.eval(a)?.difference(&self.eval(b)?))
+            }
+            Expr::Product(a, b) => {
+                let left = self.eval(a)?;
+                let right = self.eval(b)?;
+                let mut out = Relation::new();
+                for lt in left.iter() {
+                    for rt in right.iter() {
+                        let mut tuple = lt.clone();
+                        tuple.extend(rt.iter().cloned());
+                        out.insert(tuple);
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Project(cols, inner) => {
+                let arity = inner.arity(self.sig, self.ops)?;
+                for &c in cols {
+                    if c >= arity {
+                        return Err(AlgebraError::ColumnOutOfRange { column: c, arity });
+                    }
+                }
+                let rel = self.eval(inner)?;
+                let mut out = Relation::new();
+                for t in rel.iter() {
+                    out.insert(cols.iter().map(|&c| t[c].clone()).collect());
+                }
+                Ok(out)
+            }
+            Expr::Select(pred, inner) => {
+                let rel = self.eval(inner)?;
+                Ok(rel.iter().filter(|t| pred.eval(t)).cloned().collect())
+            }
+            Expr::Skolem(f, _) => Err(AlgebraError::SkolemNotEvaluable(f.name.clone())),
+            Expr::Apply(name, args) => {
+                let def = self
+                    .ops
+                    .get(name)
+                    .ok_or_else(|| AlgebraError::UnknownOperator(name.clone()))?;
+                let eval_fn = def
+                    .eval
+                    .clone()
+                    .ok_or_else(|| AlgebraError::OperatorNotEvaluable(name.clone()))?;
+                let arities = args
+                    .iter()
+                    .map(|arg| arg.arity(self.sig, self.ops))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let rels = args.iter().map(|arg| self.eval(arg)).collect::<Result<Vec<_>, _>>()?;
+                Ok(eval_fn(&rels, &arities))
+            }
+        }
+    }
+
+    fn check_equal_arity(&self, parent: &Expr, a: &Expr, b: &Expr) -> Result<(), AlgebraError> {
+        let left = a.arity(self.sig, self.ops)?;
+        let right = b.arity(self.sig, self.ops)?;
+        if left != right {
+            return Err(AlgebraError::BinaryArityMismatch {
+                op: parent.operator_name(),
+                left,
+                right,
+            });
+        }
+        Ok(())
+    }
+
+    fn domain_power(&self, r: usize) -> Relation {
+        let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
+        tuples.insert(Vec::new());
+        for _ in 0..r {
+            let mut next = BTreeSet::new();
+            for t in &tuples {
+                for v in &self.active_domain {
+                    let mut extended = t.clone();
+                    extended.push(v.clone());
+                    next.insert(extended);
+                }
+            }
+            tuples = next;
+        }
+        if r > 0 && self.active_domain.is_empty() {
+            return Relation::new();
+        }
+        tuples.into_iter().filter(|t| t.len() == r).collect()
+    }
+}
+
+/// Convenience wrapper: evaluate one expression over an instance.
+pub fn eval(
+    expr: &Expr,
+    sig: &Signature,
+    ops: &OperatorSet,
+    instance: &Instance,
+) -> Result<Relation, AlgebraError> {
+    Evaluator::new(sig, ops, instance).eval(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OperatorDef;
+    use crate::pred::Pred;
+    use crate::value::tuple;
+
+    fn setup() -> (Signature, OperatorSet, Instance) {
+        let sig = Signature::from_arities([("R", 2), ("S", 2), ("U", 1)]);
+        let ops = OperatorSet::new();
+        let mut inst = Instance::new();
+        inst.insert("R", tuple([1i64, 10]));
+        inst.insert("R", tuple([2i64, 20]));
+        inst.insert("S", tuple([2i64, 20]));
+        inst.insert("S", tuple([3i64, 30]));
+        inst.insert("U", tuple([1i64]));
+        (sig, ops, inst)
+    }
+
+    #[test]
+    fn basic_set_operators() {
+        let (sig, ops, inst) = setup();
+        let ev = Evaluator::new(&sig, &ops, &inst);
+        assert_eq!(ev.eval(&Expr::rel("R").union(Expr::rel("S"))).unwrap().len(), 3);
+        assert_eq!(ev.eval(&Expr::rel("R").intersect(Expr::rel("S"))).unwrap().len(), 1);
+        assert_eq!(ev.eval(&Expr::rel("R").difference(Expr::rel("S"))).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn product_project_select() {
+        let (sig, ops, inst) = setup();
+        let ev = Evaluator::new(&sig, &ops, &inst);
+        let prod = ev.eval(&Expr::rel("R").product(Expr::rel("U"))).unwrap();
+        assert_eq!(prod.len(), 2);
+        assert!(prod.contains(&tuple([1i64, 10, 1])));
+
+        let proj = ev.eval(&Expr::rel("R").project(vec![1])).unwrap();
+        assert_eq!(proj.len(), 2);
+        assert!(proj.contains(&tuple([10i64])));
+
+        let dup = ev.eval(&Expr::rel("U").project(vec![0, 0])).unwrap();
+        assert!(dup.contains(&tuple([1i64, 1])));
+
+        let sel = ev.eval(&Expr::rel("R").select(Pred::eq_const(0, 2))).unwrap();
+        assert_eq!(sel.len(), 1);
+        assert!(sel.contains(&tuple([2i64, 20])));
+    }
+
+    #[test]
+    fn domain_and_empty() {
+        let (sig, ops, inst) = setup();
+        let ev = Evaluator::new(&sig, &ops, &inst);
+        // Active domain = {1,2,3,10,20,30}.
+        assert_eq!(ev.eval(&Expr::domain(1)).unwrap().len(), 6);
+        assert_eq!(ev.eval(&Expr::domain(2)).unwrap().len(), 36);
+        assert!(ev.eval(&Expr::empty(3)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn domain_of_empty_instance_is_empty() {
+        let sig = Signature::from_arities([("R", 1)]);
+        let ops = OperatorSet::new();
+        let inst = Instance::new();
+        let ev = Evaluator::new(&sig, &ops, &inst);
+        assert!(ev.eval(&Expr::domain(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn skolem_and_unknown_operator_fail() {
+        let (sig, ops, inst) = setup();
+        let ev = Evaluator::new(&sig, &ops, &inst);
+        let sk = Expr::rel("U").skolem(crate::expr::SkolemFn::new("f", vec![0]));
+        assert!(matches!(ev.eval(&sk), Err(AlgebraError::SkolemNotEvaluable(_))));
+        let unknown = Expr::apply("mystery", vec![Expr::rel("U")]);
+        assert!(matches!(ev.eval(&unknown), Err(AlgebraError::UnknownOperator(_))));
+    }
+
+    #[test]
+    fn user_operator_evaluation() {
+        let (sig, mut ops, inst) = setup();
+        // "swap": reverse the two columns of a binary relation.
+        ops.register(OperatorDef::new("swap", 1, |a| (a == [2]).then_some(2)).with_eval(
+            |rels, _| rels[0].iter().map(|t| vec![t[1].clone(), t[0].clone()]).collect(),
+        ));
+        let ev = Evaluator::new(&sig, &ops, &inst);
+        let out = ev.eval(&Expr::apply("swap", vec![Expr::rel("R")])).unwrap();
+        assert!(out.contains(&tuple([10i64, 1])));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn join_on_semantics() {
+        let (sig, ops, inst) = setup();
+        let ev = Evaluator::new(&sig, &ops, &inst);
+        let join = Expr::rel("R").join_on(Expr::rel("S"), &[(0, 0), (1, 1)], 2, 2);
+        let out = ev.eval(&join).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains(&tuple([2i64, 20])));
+    }
+
+    #[test]
+    fn arity_errors_propagate() {
+        let (sig, ops, inst) = setup();
+        let ev = Evaluator::new(&sig, &ops, &inst);
+        assert!(ev.eval(&Expr::rel("R").union(Expr::rel("U"))).is_err());
+        assert!(ev.eval(&Expr::rel("R").project(vec![9])).is_err());
+        assert!(ev.eval(&Expr::rel("Nope")).is_err());
+    }
+}

@@ -1,0 +1,902 @@
+//! Plain-text syntax for composition tasks.
+//!
+//! Paper §4: "We designed a plain-text syntax for specifying mapping
+//! composition tasks. Mapping constraints are encoded according to the
+//! index-based algebraic notation introduced in Section 2. We built a parser
+//! that takes as input a textual specification of a composition problem and
+//! converts it into an internal algebraic representation."
+//!
+//! # Grammar
+//!
+//! ```text
+//! document   := (schema | mapping)*
+//! schema     := "schema" IDENT "{" (IDENT "/" INT [ "key" "(" ints ")" ] ";")* "}"
+//! mapping    := "mapping" IDENT ":" IDENT "->" IDENT "{" (constraint ";")* "}"
+//! constraint := expr ("<=" | "=") expr
+//! expr       := diff  ( "+" diff )*            -- union (lowest precedence)
+//! diff       := inter ( "-" inter )*           -- set difference
+//! inter      := prod  ( "&" prod )*            -- intersection
+//! prod       := primary ( "*" primary )*       -- cross product
+//! primary    := "(" expr ")"
+//!             | "project" "[" ints "]" "(" expr ")"
+//!             | "select" "[" pred "]" "(" expr ")"
+//!             | "skolem" ":" IDENT "[" ints "]" "(" expr ")"
+//!             | "union" | "intersect" | "product" | "diff" -- functional forms
+//!             | "D" [ "^" INT ]  |  "empty" "^" INT
+//!             | IDENT "(" expr { "," expr } ")"            -- user operator
+//!             | IDENT                                      -- base relation
+//! pred       := conj ( "or" conj )*
+//! conj       := atomp ( "and" atomp )*
+//! atomp      := "not" atomp | "(" pred ")" | "true" | "false"
+//!             | operand ("="|"!="|"<"|"<="|">"|">=") operand
+//! operand    := "#" INT | INT | "-" INT | "'" chars "'"
+//! ```
+//!
+//! `//` starts a line comment. The pretty-printer (`Display` on `Expr`,
+//! `Constraint`, `ConstraintSet`) emits the functional forms, which this
+//! parser accepts, so printing and re-parsing round-trips.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::error::AlgebraError;
+use crate::expr::{Expr, SkolemFn};
+use crate::mapping::{CompositionTask, Mapping};
+use crate::pred::{CmpOp, Operand, Pred};
+use crate::signature::{RelInfo, Signature};
+use crate::value::Value;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Slash,
+    Caret,
+    Hash,
+    Plus,
+    Minus,
+    Star,
+    Amp,
+    Arrow,
+    Eq,
+    Ne,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(i) => write!(f, "integer `{i}`"),
+            Tok::Str(s) => write!(f, "string '{s}'"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::Hash => write!(f, "`#`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Amp => write!(f, "`&`"),
+            Tok::Arrow => write!(f, "`->`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Spanned>, AlgebraError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line = 1usize;
+    let mut column = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $line:expr, $col:expr) => {
+            out.push(Spanned { tok: $tok, line: $line, column: $col })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        let start_line = line;
+        let start_col = column;
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '/' => {
+                chars.next();
+                column += 1;
+                if chars.peek() == Some(&'/') {
+                    // Line comment.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            column = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    push!(Tok::Slash, start_line, start_col);
+                }
+            }
+            '\'' => {
+                chars.next();
+                column += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    column += 1;
+                    if c == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    if c == '\n' {
+                        line += 1;
+                        column = 1;
+                    }
+                    s.push(c);
+                }
+                if !closed {
+                    return Err(AlgebraError::Parse {
+                        line: start_line,
+                        column: start_col,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                push!(Tok::Str(s), start_line, start_col);
+            }
+            c if c.is_ascii_digit() => {
+                let mut value = 0i64;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        value = value * 10 + i64::from(digit);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Int(value), start_line, start_col);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(ident), start_line, start_col);
+            }
+            _ => {
+                chars.next();
+                column += 1;
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    ':' => Tok::Colon,
+                    '^' => Tok::Caret,
+                    '#' => Tok::Hash,
+                    '+' => Tok::Plus,
+                    '*' => Tok::Star,
+                    '&' => Tok::Amp,
+                    '=' => Tok::Eq,
+                    '-' => {
+                        if chars.peek() == Some(&'>') {
+                            chars.next();
+                            column += 1;
+                            Tok::Arrow
+                        } else {
+                            Tok::Minus
+                        }
+                    }
+                    '!' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            column += 1;
+                            Tok::Ne
+                        } else {
+                            return Err(AlgebraError::Parse {
+                                line: start_line,
+                                column: start_col,
+                                message: "expected `!=`".into(),
+                            });
+                        }
+                    }
+                    '<' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            column += 1;
+                            Tok::Le
+                        } else {
+                            Tok::Lt
+                        }
+                    }
+                    '>' => {
+                        if chars.peek() == Some(&'=') {
+                            chars.next();
+                            column += 1;
+                            Tok::Ge
+                        } else {
+                            Tok::Gt
+                        }
+                    }
+                    other => {
+                        return Err(AlgebraError::Parse {
+                            line: start_line,
+                            column: start_col,
+                            message: format!("unexpected character `{other}`"),
+                        })
+                    }
+                };
+                push!(tok, start_line, start_col);
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line, column });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// A parsed document: named schemas and named mappings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Document {
+    /// Declared schemas by name.
+    pub schemas: BTreeMap<String, Signature>,
+    /// Declared mappings by name: (input schema name, output schema name, constraints).
+    pub mappings: BTreeMap<String, (String, String, ConstraintSet)>,
+}
+
+impl Document {
+    /// Look up a schema by name.
+    pub fn schema(&self, name: &str) -> Result<&Signature, AlgebraError> {
+        self.schemas.get(name).ok_or_else(|| AlgebraError::UnknownRelation(name.to_string()))
+    }
+
+    /// Materialize a named mapping.
+    pub fn mapping(&self, name: &str) -> Result<Mapping, AlgebraError> {
+        let (input, output, constraints) = self
+            .mappings
+            .get(name)
+            .ok_or_else(|| AlgebraError::UnknownRelation(name.to_string()))?;
+        Ok(Mapping::new(self.schema(input)?.clone(), self.schema(output)?.clone(), constraints.clone()))
+    }
+
+    /// Build a composition task from two named mappings `m12` and `m23`.
+    pub fn task(&self, m12: &str, m23: &str) -> Result<CompositionTask, AlgebraError> {
+        let first = self.mapping(m12)?;
+        let second = self.mapping(m23)?;
+        CompositionTask::from_mappings(&first, &second)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn next(&mut self) -> Spanned {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T, AlgebraError> {
+        let here = self.peek();
+        Err(AlgebraError::Parse { line: here.line, column: here.column, message: message.into() })
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), AlgebraError> {
+        if &self.peek().tok == tok {
+            self.next();
+            Ok(())
+        } else {
+            self.error(format!("expected {tok}, found {}", self.peek().tok))
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, AlgebraError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(name) => {
+                self.next();
+                Ok(name)
+            }
+            other => self.error(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, AlgebraError> {
+        match self.peek().tok.clone() {
+            Tok::Int(value) => {
+                self.next();
+                Ok(value)
+            }
+            other => self.error(format!("expected integer, found {other}")),
+        }
+    }
+
+    fn usize_list(&mut self) -> Result<Vec<usize>, AlgebraError> {
+        let mut out = Vec::new();
+        if matches!(self.peek().tok, Tok::RBracket | Tok::RParen) {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.integer()? as usize);
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // -- documents ---------------------------------------------------------
+
+    fn document(&mut self) -> Result<Document, AlgebraError> {
+        let mut doc = Document::default();
+        loop {
+            match self.peek().tok.clone() {
+                Tok::Eof => break,
+                Tok::Ident(word) if word == "schema" => {
+                    self.next();
+                    let name = self.ident()?;
+                    let sig = self.schema_body()?;
+                    doc.schemas.insert(name, sig);
+                }
+                Tok::Ident(word) if word == "mapping" => {
+                    self.next();
+                    let name = self.ident()?;
+                    self.expect(&Tok::Colon)?;
+                    let input = self.ident()?;
+                    self.expect(&Tok::Arrow)?;
+                    let output = self.ident()?;
+                    let constraints = self.constraint_block()?;
+                    doc.mappings.insert(name, (input, output, constraints));
+                }
+                other => return self.error(format!("expected `schema` or `mapping`, found {other}")),
+            }
+        }
+        Ok(doc)
+    }
+
+    fn schema_body(&mut self) -> Result<Signature, AlgebraError> {
+        self.expect(&Tok::LBrace)?;
+        let mut sig = Signature::new();
+        while !self.eat(&Tok::RBrace) {
+            let name = self.ident()?;
+            self.expect(&Tok::Slash)?;
+            let arity = self.integer()? as usize;
+            let mut info = RelInfo::new(arity);
+            if let Tok::Ident(word) = self.peek().tok.clone() {
+                if word == "key" {
+                    self.next();
+                    self.expect(&Tok::LParen)?;
+                    let key = self.usize_list()?;
+                    self.expect(&Tok::RParen)?;
+                    info = RelInfo::with_key(arity, key);
+                }
+            }
+            self.expect(&Tok::Semi)?;
+            sig.add(name, info);
+        }
+        Ok(sig)
+    }
+
+    fn constraint_block(&mut self) -> Result<ConstraintSet, AlgebraError> {
+        self.expect(&Tok::LBrace)?;
+        let mut constraints = ConstraintSet::new();
+        while !self.eat(&Tok::RBrace) {
+            constraints.push(self.constraint()?);
+            self.expect(&Tok::Semi)?;
+        }
+        Ok(constraints)
+    }
+
+    // -- constraints and expressions ----------------------------------------
+
+    fn constraint(&mut self) -> Result<Constraint, AlgebraError> {
+        let lhs = self.expr()?;
+        match self.peek().tok.clone() {
+            Tok::Le => {
+                self.next();
+                Ok(Constraint::containment(lhs, self.expr()?))
+            }
+            Tok::Eq => {
+                self.next();
+                Ok(Constraint::equality(lhs, self.expr()?))
+            }
+            other => self.error(format!("expected `<=` or `=`, found {other}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, AlgebraError> {
+        let mut left = self.diff_expr()?;
+        while self.eat(&Tok::Plus) {
+            left = left.union(self.diff_expr()?);
+        }
+        Ok(left)
+    }
+
+    fn diff_expr(&mut self) -> Result<Expr, AlgebraError> {
+        let mut left = self.intersect_expr()?;
+        while self.eat(&Tok::Minus) {
+            left = left.difference(self.intersect_expr()?);
+        }
+        Ok(left)
+    }
+
+    fn intersect_expr(&mut self) -> Result<Expr, AlgebraError> {
+        let mut left = self.product_expr()?;
+        while self.eat(&Tok::Amp) {
+            left = left.intersect(self.product_expr()?);
+        }
+        Ok(left)
+    }
+
+    fn product_expr(&mut self) -> Result<Expr, AlgebraError> {
+        let mut left = self.primary()?;
+        while self.eat(&Tok::Star) {
+            left = left.product(self.primary()?);
+        }
+        Ok(left)
+    }
+
+    fn two_args(&mut self) -> Result<(Expr, Expr), AlgebraError> {
+        self.expect(&Tok::LParen)?;
+        let a = self.expr()?;
+        self.expect(&Tok::Comma)?;
+        let b = self.expr()?;
+        self.expect(&Tok::RParen)?;
+        Ok((a, b))
+    }
+
+    fn primary(&mut self) -> Result<Expr, AlgebraError> {
+        match self.peek().tok.clone() {
+            Tok::LParen => {
+                self.next();
+                let inner = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            Tok::Ident(word) => {
+                self.next();
+                match word.as_str() {
+                    "project" => {
+                        self.expect(&Tok::LBracket)?;
+                        let cols = self.usize_list()?;
+                        self.expect(&Tok::RBracket)?;
+                        self.expect(&Tok::LParen)?;
+                        let inner = self.expr()?;
+                        self.expect(&Tok::RParen)?;
+                        Ok(inner.project(cols))
+                    }
+                    "select" => {
+                        self.expect(&Tok::LBracket)?;
+                        let pred = self.pred()?;
+                        self.expect(&Tok::RBracket)?;
+                        self.expect(&Tok::LParen)?;
+                        let inner = self.expr()?;
+                        self.expect(&Tok::RParen)?;
+                        Ok(inner.select(pred))
+                    }
+                    "skolem" => {
+                        self.expect(&Tok::Colon)?;
+                        let name = self.ident()?;
+                        self.expect(&Tok::LBracket)?;
+                        let deps = self.usize_list()?;
+                        self.expect(&Tok::RBracket)?;
+                        self.expect(&Tok::LParen)?;
+                        let inner = self.expr()?;
+                        self.expect(&Tok::RParen)?;
+                        Ok(inner.skolem(SkolemFn::new(name, deps)))
+                    }
+                    "union" if self.peek().tok == Tok::LParen => {
+                        let (a, b) = self.two_args()?;
+                        Ok(a.union(b))
+                    }
+                    "intersect" if self.peek().tok == Tok::LParen => {
+                        let (a, b) = self.two_args()?;
+                        Ok(a.intersect(b))
+                    }
+                    "product" if self.peek().tok == Tok::LParen => {
+                        let (a, b) = self.two_args()?;
+                        Ok(a.product(b))
+                    }
+                    "diff" if self.peek().tok == Tok::LParen => {
+                        let (a, b) = self.two_args()?;
+                        Ok(a.difference(b))
+                    }
+                    "D" => {
+                        if self.eat(&Tok::Caret) {
+                            Ok(Expr::domain(self.integer()? as usize))
+                        } else {
+                            Ok(Expr::domain(1))
+                        }
+                    }
+                    "empty" => {
+                        self.expect(&Tok::Caret)?;
+                        Ok(Expr::empty(self.integer()? as usize))
+                    }
+                    _ => {
+                        if self.peek().tok == Tok::LParen {
+                            // User-defined operator application.
+                            self.next();
+                            let mut args = vec![self.expr()?];
+                            while self.eat(&Tok::Comma) {
+                                args.push(self.expr()?);
+                            }
+                            self.expect(&Tok::RParen)?;
+                            Ok(Expr::apply(word, args))
+                        } else {
+                            Ok(Expr::rel(word))
+                        }
+                    }
+                }
+            }
+            other => self.error(format!("expected expression, found {other}")),
+        }
+    }
+
+    // -- predicates ----------------------------------------------------------
+
+    fn pred(&mut self) -> Result<Pred, AlgebraError> {
+        let mut left = self.conj()?;
+        loop {
+            match self.peek().tok.clone() {
+                Tok::Ident(word) if word == "or" => {
+                    self.next();
+                    left = Pred::Or(Box::new(left), Box::new(self.conj()?));
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn conj(&mut self) -> Result<Pred, AlgebraError> {
+        let mut left = self.atom_pred()?;
+        loop {
+            match self.peek().tok.clone() {
+                Tok::Ident(word) if word == "and" => {
+                    self.next();
+                    left = Pred::And(Box::new(left), Box::new(self.atom_pred()?));
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    fn atom_pred(&mut self) -> Result<Pred, AlgebraError> {
+        match self.peek().tok.clone() {
+            Tok::Ident(word) if word == "not" => {
+                self.next();
+                Ok(Pred::Not(Box::new(self.atom_pred()?)))
+            }
+            Tok::Ident(word) if word == "true" => {
+                self.next();
+                Ok(Pred::True)
+            }
+            Tok::Ident(word) if word == "false" => {
+                self.next();
+                Ok(Pred::False)
+            }
+            Tok::LParen => {
+                self.next();
+                let inner = self.pred()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            _ => {
+                let left = self.operand()?;
+                let op = match self.next().tok {
+                    Tok::Eq => CmpOp::Eq,
+                    Tok::Ne => CmpOp::Ne,
+                    Tok::Lt => CmpOp::Lt,
+                    Tok::Le => CmpOp::Le,
+                    Tok::Gt => CmpOp::Gt,
+                    Tok::Ge => CmpOp::Ge,
+                    other => return self.error(format!("expected comparison operator, found {other}")),
+                };
+                let right = self.operand()?;
+                Ok(Pred::Cmp(left, op, right))
+            }
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand, AlgebraError> {
+        match self.peek().tok.clone() {
+            Tok::Hash => {
+                self.next();
+                Ok(Operand::Col(self.integer()? as usize))
+            }
+            Tok::Int(value) => {
+                self.next();
+                Ok(Operand::Const(Value::Int(value)))
+            }
+            Tok::Minus => {
+                self.next();
+                Ok(Operand::Const(Value::Int(-self.integer()?)))
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(Operand::Const(Value::Str(s)))
+            }
+            Tok::Ident(word) if word == "null" => {
+                self.next();
+                Ok(Operand::Const(Value::Null))
+            }
+            other => self.error(format!("expected operand, found {other}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Parse a full document (schemas and mappings).
+pub fn parse_document(input: &str) -> Result<Document, AlgebraError> {
+    let mut parser = Parser::new(lex(input)?);
+    let doc = parser.document()?;
+    Ok(doc)
+}
+
+/// Parse a single expression.
+pub fn parse_expr(input: &str) -> Result<Expr, AlgebraError> {
+    let mut parser = Parser::new(lex(input)?);
+    let expr = parser.expr()?;
+    if parser.peek().tok != Tok::Eof {
+        return parser.error(format!("unexpected trailing {}", parser.peek().tok));
+    }
+    Ok(expr)
+}
+
+/// Parse a single constraint (`E1 <= E2` or `E1 = E2`).
+pub fn parse_constraint(input: &str) -> Result<Constraint, AlgebraError> {
+    let mut parser = Parser::new(lex(input)?);
+    let constraint = parser.constraint()?;
+    if parser.peek().tok != Tok::Eof {
+        return parser.error(format!("unexpected trailing {}", parser.peek().tok));
+    }
+    Ok(constraint)
+}
+
+/// Parse a semicolon-separated list of constraints.
+pub fn parse_constraints(input: &str) -> Result<ConstraintSet, AlgebraError> {
+    let mut parser = Parser::new(lex(input)?);
+    let mut out = ConstraintSet::new();
+    while parser.peek().tok != Tok::Eof {
+        out.push(parser.constraint()?);
+        if parser.peek().tok == Tok::Eof {
+            break;
+        }
+        parser.expect(&Tok::Semi)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_expressions() {
+        assert_eq!(parse_expr("R").unwrap(), Expr::rel("R"));
+        assert_eq!(parse_expr("R + S").unwrap(), Expr::rel("R").union(Expr::rel("S")));
+        assert_eq!(parse_expr("R - S").unwrap(), Expr::rel("R").difference(Expr::rel("S")));
+        assert_eq!(parse_expr("R & S").unwrap(), Expr::rel("R").intersect(Expr::rel("S")));
+        assert_eq!(parse_expr("R * S").unwrap(), Expr::rel("R").product(Expr::rel("S")));
+        assert_eq!(parse_expr("D^3").unwrap(), Expr::domain(3));
+        assert_eq!(parse_expr("D").unwrap(), Expr::domain(1));
+        assert_eq!(parse_expr("empty^2").unwrap(), Expr::empty(2));
+    }
+
+    #[test]
+    fn precedence_product_binds_tighter_than_union() {
+        let parsed = parse_expr("R + S * T").unwrap();
+        assert_eq!(parsed, Expr::rel("R").union(Expr::rel("S").product(Expr::rel("T"))));
+        let parsed = parse_expr("(R + S) * T").unwrap();
+        assert_eq!(parsed, Expr::rel("R").union(Expr::rel("S")).product(Expr::rel("T")));
+        // difference binds tighter than union, looser than intersection
+        let parsed = parse_expr("R - S & T").unwrap();
+        assert_eq!(parsed, Expr::rel("R").difference(Expr::rel("S").intersect(Expr::rel("T"))));
+    }
+
+    #[test]
+    fn parse_project_select_skolem() {
+        let parsed = parse_expr("project[0,2](select[#1 = 5 and #0 != 'x'](R * S))").unwrap();
+        match &parsed {
+            Expr::Project(cols, inner) => {
+                assert_eq!(cols, &vec![0, 2]);
+                assert!(matches!(**inner, Expr::Select(..)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        let parsed = parse_expr("skolem:f[0,1](R)").unwrap();
+        assert_eq!(parsed, Expr::rel("R").skolem(SkolemFn::new("f", vec![0, 1])));
+    }
+
+    #[test]
+    fn parse_functional_forms_and_user_ops() {
+        assert_eq!(
+            parse_expr("union(R, S)").unwrap(),
+            Expr::rel("R").union(Expr::rel("S"))
+        );
+        assert_eq!(
+            parse_expr("diff(R, intersect(S, T))").unwrap(),
+            Expr::rel("R").difference(Expr::rel("S").intersect(Expr::rel("T")))
+        );
+        assert_eq!(
+            parse_expr("tc(S)").unwrap(),
+            Expr::apply("tc", vec![Expr::rel("S")])
+        );
+        assert_eq!(
+            parse_expr("ljoin(R, S)").unwrap(),
+            Expr::apply("ljoin", vec![Expr::rel("R"), Expr::rel("S")])
+        );
+    }
+
+    #[test]
+    fn parse_constraints_list() {
+        let set = parse_constraints("R <= S; S = T * U").unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.as_slice()[0], Constraint::containment(Expr::rel("R"), Expr::rel("S")));
+        assert!(set.as_slice()[1].is_equality());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let sources = [
+            "project[0,1](select[#3 = 5](Movies))",
+            "union(R, intersect(S, T))",
+            "diff(project[0](R), D^2)",
+            "skolem:f[0](R)",
+            "select[#0 = 'abc' or not (#1 < 3)](R)",
+            "tc(union(R, S))",
+        ];
+        for source in sources {
+            let parsed = parse_expr(source).unwrap();
+            let printed = parsed.to_string();
+            let reparsed = parse_expr(&printed).unwrap();
+            assert_eq!(parsed, reparsed, "round trip failed for {source}: printed {printed}");
+        }
+    }
+
+    #[test]
+    fn parse_document_with_schemas_and_mappings() {
+        let text = r"
+            // Example 1 from the paper.
+            schema sigma1 { Movies/6 key(0); }
+            schema sigma2 { FiveStarMovies/3; }
+            schema sigma3 { Names/2; Years/2; }
+            mapping m12 : sigma1 -> sigma2 {
+                project[0,1,2](select[#3 = 5](Movies)) <= FiveStarMovies;
+            }
+            mapping m23 : sigma2 -> sigma3 {
+                project[0,1](FiveStarMovies) <= Names;
+                project[0,2](FiveStarMovies) <= Years;
+            }
+        ";
+        let doc = parse_document(text).unwrap();
+        assert_eq!(doc.schemas.len(), 3);
+        assert_eq!(doc.mappings.len(), 2);
+        assert_eq!(doc.schema("sigma1").unwrap().arity("Movies").unwrap(), 6);
+        assert_eq!(doc.schema("sigma1").unwrap().key("Movies"), Some(&[0usize][..]));
+
+        let m12 = doc.mapping("m12").unwrap();
+        assert_eq!(m12.constraints.len(), 1);
+        let task = doc.task("m12", "m23").unwrap();
+        assert_eq!(task.elimination_order(), vec!["FiveStarMovies".to_string()]);
+        assert_eq!(task.sigma3.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let err = parse_expr("project[0(R)").unwrap_err();
+        assert!(matches!(err, AlgebraError::Parse { .. }));
+        let err = parse_document("schema s { R/2 }").unwrap_err();
+        match err {
+            AlgebraError::Parse { message, .. } => assert!(message.contains("`;`")),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(parse_expr("R +").is_err());
+        assert!(parse_expr("select[#0 =](R)").is_err());
+        assert!(parse_expr("'unterminated").is_err());
+        assert!(parse_constraint("R ! S").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse_expr("R S").is_err());
+        assert!(parse_constraint("R <= S extra").is_err());
+    }
+
+    #[test]
+    fn negative_and_string_constants() {
+        let parsed = parse_expr("select[#0 = -7 and #1 = 'five stars'](R)").unwrap();
+        match parsed {
+            Expr::Select(pred, _) => {
+                let atoms = pred.conjuncts().len();
+                assert_eq!(atoms, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

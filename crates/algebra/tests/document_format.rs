@@ -1,0 +1,177 @@
+//! Integration tests for the textual task format at the crate boundary:
+//! document-level structure, error reporting, and printer/parser agreement.
+
+use mapcomp_algebra::{
+    parse_constraint, parse_constraints, parse_document, parse_expr, AlgebraError, Constraint,
+    Expr, OperatorSet, Pred, Signature,
+};
+
+#[test]
+fn document_with_multiple_mappings_and_keys() {
+    let text = r"
+        // Three schemas, two mappings, keys on every relation.
+        schema s1 { Orders/4 key(0); Lines/3 key(0,1); }
+        schema s2 { Flat/5 key(0); }
+        schema s3 { Totals/2 key(0); }
+        mapping flatten : s1 -> s2 {
+            project[0,1,2,3](Orders) <= project[0,1,2,3](Flat);
+        }
+        mapping report : s2 -> s3 {
+            project[0,4](Flat) <= Totals;
+        }
+    ";
+    let doc = parse_document(text).unwrap();
+    assert_eq!(doc.schemas.len(), 3);
+    assert_eq!(doc.mappings.len(), 2);
+    assert_eq!(doc.schema("s1").unwrap().key("Lines"), Some(&[0usize, 1][..]));
+    let task = doc.task("flatten", "report").unwrap();
+    task.validate(&OperatorSet::new()).unwrap();
+    assert_eq!(task.sigma2.names(), vec!["Flat".to_string()]);
+}
+
+#[test]
+fn unknown_schema_or_mapping_is_an_error() {
+    let doc = parse_document(
+        "schema a { R/1; } schema b { S/1; } mapping m : a -> b { R <= S; }",
+    )
+    .unwrap();
+    assert!(doc.mapping("m").is_ok());
+    assert!(doc.mapping("nope").is_err());
+    assert!(doc.task("m", "nope").is_err());
+    let bad = parse_document("mapping m : missing -> alsomissing { }").unwrap();
+    assert!(bad.mapping("m").is_err());
+}
+
+#[test]
+fn task_with_mismatched_intermediate_arities_fails() {
+    let doc = parse_document(
+        r"
+        schema a { R/1; }
+        schema b { S/2; }
+        schema b2 { S/3; }
+        schema c { T/1; }
+        mapping m12 : a -> b { R <= project[0](S); }
+        mapping m23 : b2 -> c { project[0](S) <= T; }
+        ",
+    )
+    .unwrap();
+    assert!(matches!(doc.task("m12", "m23"), Err(AlgebraError::ArityMismatch { .. })));
+}
+
+#[test]
+fn operator_precedence_matches_documentation() {
+    // product > intersect > difference > union, all left-associative.
+    assert_eq!(
+        parse_expr("A + B - C & E * F").unwrap(),
+        Expr::rel("A").union(
+            Expr::rel("B").difference(Expr::rel("C").intersect(Expr::rel("E").product(Expr::rel("F"))))
+        )
+    );
+    assert_eq!(
+        parse_expr("A - B - C").unwrap(),
+        Expr::rel("A").difference(Expr::rel("B")).difference(Expr::rel("C"))
+    );
+    assert_eq!(
+        parse_expr("A + B + C").unwrap(),
+        Expr::rel("A").union(Expr::rel("B")).union(Expr::rel("C"))
+    );
+}
+
+#[test]
+fn predicates_support_all_comparison_operators() {
+    for (text, holds) in [
+        ("select[#0 = 3](R)", true),
+        ("select[#0 != 4](R)", true),
+        ("select[#0 < 4](R)", true),
+        ("select[#0 <= 3](R)", true),
+        ("select[#0 > 2](R)", true),
+        ("select[#0 >= 4](R)", false),
+        ("select[#0 = 3 and #0 < 2](R)", false),
+        ("select[#0 = 9 or #0 = 3](R)", true),
+        ("select[not (#0 = 9)](R)", true),
+    ] {
+        let expr = parse_expr(text).unwrap();
+        let sig = Signature::from_arities([("R", 1)]);
+        let mut instance = mapcomp_algebra::Instance::new();
+        instance.insert("R", vec![mapcomp_algebra::Value::Int(3)]);
+        let out = mapcomp_algebra::eval(&expr, &sig, &OperatorSet::new(), &instance).unwrap();
+        assert_eq!(!out.is_empty(), holds, "{text}");
+    }
+}
+
+#[test]
+fn constraint_sets_print_and_reparse() {
+    let set = parse_constraints(
+        "R <= S + T; select[#0 = 'x'](S) = empty^2; project[1,0](T) <= D^2; tc(S) <= T",
+    )
+    .unwrap();
+    let printed = set.to_string();
+    let reparsed = parse_constraints(&printed).unwrap();
+    assert_eq!(set, reparsed);
+}
+
+#[test]
+fn skolem_syntax_round_trips_inside_constraints() {
+    let constraint = parse_constraint("project[0,1](skolem:f_S_1[0](R)) <= S").unwrap();
+    assert!(constraint.lhs.has_skolem());
+    let printed = constraint.to_string();
+    assert_eq!(parse_constraint(&printed).unwrap(), constraint);
+}
+
+#[test]
+fn error_positions_point_at_the_offending_token() {
+    let err = parse_document("schema s {\n  R/;\n}").unwrap_err();
+    match err {
+        AlgebraError::Parse { line, .. } => assert_eq!(line, 2),
+        other => panic!("unexpected error {other:?}"),
+    }
+    let err = parse_expr("select[#0 ~ 1](R)").unwrap_err();
+    assert!(matches!(err, AlgebraError::Parse { .. }));
+}
+
+#[test]
+fn constraints_validate_against_declared_arities() {
+    let sig = Signature::from_arities([("R", 2), ("S", 3)]);
+    let ops = OperatorSet::new();
+    let good: Constraint = parse_constraint("project[0,1](S) <= R").unwrap();
+    assert_eq!(good.validate(&sig, &ops).unwrap(), 2);
+    let bad: Constraint = parse_constraint("S <= R").unwrap();
+    assert!(bad.validate(&sig, &ops).is_err());
+    let bad_pred: Constraint = parse_constraint("select[#5 = 1](R) <= R").unwrap();
+    assert!(bad_pred.validate(&sig, &ops).is_err());
+}
+
+#[test]
+fn expressions_with_user_operators_round_trip_and_type_check() {
+    let expr = parse_expr("ljoin(project[0,1](R), S) - tc(S)").unwrap();
+    let printed = expr.to_string();
+    assert_eq!(parse_expr(&printed).unwrap(), expr);
+    assert_eq!(
+        expr.user_operators().into_iter().collect::<Vec<_>>(),
+        vec!["ljoin".to_string(), "tc".to_string()]
+    );
+    // Typing fails without a registered operator set, succeeds with one.
+    let sig = Signature::from_arities([("R", 3), ("S", 2)]);
+    assert!(expr.arity(&sig, &OperatorSet::new()).is_err());
+    let mut ops = OperatorSet::new();
+    ops.register(mapcomp_algebra::OperatorDef::new("ljoin", 2, |a| match a {
+        [l, r] if *l >= 1 && *r >= 1 => Some(l + r - 1),
+        _ => None,
+    }));
+    ops.register(mapcomp_algebra::OperatorDef::new("tc", 1, |a| (a == [2]).then_some(2)));
+    // ljoin(2-ary, 2-ary) = 3-ary, minus needs equal arities: 3 vs tc->2 mismatch.
+    assert!(expr.arity(&sig, &ops).is_err());
+    let balanced = parse_expr("ljoin(project[0,1](R), S)").unwrap();
+    assert_eq!(balanced.arity(&sig, &ops).unwrap(), 3);
+}
+
+#[test]
+fn pred_display_round_trips_through_select() {
+    let pred = Pred::And(
+        Box::new(Pred::Or(Box::new(Pred::eq_cols(0, 1)), Box::new(Pred::eq_const(1, -3)))),
+        Box::new(Pred::Not(Box::new(Pred::eq_const(0, "five")))),
+    );
+    let expr = Expr::rel("R").select(pred);
+    let reparsed = parse_expr(&expr.to_string()).unwrap();
+    assert_eq!(reparsed, expr);
+}

@@ -1,0 +1,25 @@
+//! Literature-suite micro-benchmark: composition time of each of the 22
+//! corpus problems (paper §4, first data set).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapcomp_compose::{compose, ComposeConfig, Registry};
+use mapcomp_corpus::problems;
+
+fn bench_corpus(c: &mut Criterion) {
+    let registry = Registry::standard();
+    let config = ComposeConfig::default();
+    let mut group = c.benchmark_group("corpus_problem");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for problem in problems() {
+        let task = problem.task().expect("corpus problem parses");
+        group.bench_with_input(BenchmarkId::from_parameter(problem.id), &task, |b, task| {
+            b.iter(|| compose(task, &registry, &config).expect("composes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 2 micro-benchmark: one schema-editing run per configuration
+//! (symbol-elimination workload, paper §4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapcomp_bench::{Configuration, Scale};
+use mapcomp_evolution::run_editing;
+
+fn bench_editing_configurations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_editing_run");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for configuration in Configuration::ALL {
+        let scenario = configuration.scenario(Scale::Quick, 77);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(configuration.label()),
+            &scenario,
+            |b, scenario| b.iter(|| run_editing(scenario)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_editing_configurations);
+criterion_main!(benches);

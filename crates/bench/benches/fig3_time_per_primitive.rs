@@ -1,0 +1,61 @@
+//! Figure 3 micro-benchmark: cost of composing away the mapping produced by a
+//! single schema-evolution primitive (time per edit, paper §4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapcomp_algebra::Signature;
+use mapcomp_compose::{compose_constraints, ComposeConfig, Registry};
+use mapcomp_evolution::{apply_primitive, NameSource, PrimitiveKind, PrimitiveOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_primitive_composition(c: &mut Criterion) {
+    let registry = Registry::standard();
+    let config = ComposeConfig::default();
+    let options = PrimitiveOptions::with_keys();
+    let mut group = c.benchmark_group("fig3_per_primitive");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    for kind in [
+        PrimitiveKind::AddAttribute,
+        PrimitiveKind::DropAttribute,
+        PrimitiveKind::AddDefault,
+        PrimitiveKind::Horizontal,
+        PrimitiveKind::Vertical,
+        PrimitiveKind::Normalize,
+        PrimitiveKind::Subset,
+    ] {
+        // Build a two-step workload: the primitive is applied to an upstream
+        // relation and then its output is consumed by another AddAttribute,
+        // so composing must actually eliminate the intermediate symbol.
+        let mut names = NameSource::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let base_info = mapcomp_algebra::RelInfo::with_key(5, vec![0]);
+        let first = apply_primitive(kind, Some(("Base", &base_info)), &options, &mut names, &mut rng);
+        let mut sig = Signature::new();
+        sig.add("Base", base_info.clone());
+        let mut constraints = first.constraints.clone();
+        let mut symbols = Vec::new();
+        for (name, info) in &first.created {
+            sig.add(name.clone(), info.clone());
+            let follow =
+                apply_primitive(PrimitiveKind::AddAttribute, Some((name, info)), &options, &mut names, &mut rng);
+            for (n2, i2) in &follow.created {
+                sig.add(n2.clone(), i2.clone());
+            }
+            constraints.extend(follow.constraints);
+            symbols.push(name.clone());
+        }
+
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
+            b.iter(|| {
+                compose_constraints(&sig, &symbols, constraints.clone(), &registry, &config)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitive_composition);
+criterion_main!(benches);

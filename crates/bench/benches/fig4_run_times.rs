@@ -1,0 +1,19 @@
+//! Figure 4 micro-benchmark: full-run composition time distribution for the
+//! `no keys` configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapcomp_bench::{Configuration, Scale};
+use mapcomp_evolution::run_editing;
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_full_run_no_keys");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let scenario = Configuration::NoKeys.scenario(Scale::Quick, 2024);
+    group.bench_function("editing_run", |b| b.iter(|| run_editing(&scenario)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_run);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 5 micro-benchmark: editing runs under increasing proportions of
+//! inclusion (Sub/Sup) edits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapcomp_compose::ComposeConfig;
+use mapcomp_evolution::{run_editing, EventVector, PrimitiveOptions, ScenarioConfig};
+
+fn bench_inclusion_proportions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_inclusion_proportion");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for percent in [0usize, 10, 20] {
+        let scenario = ScenarioConfig {
+            schema_size: 20,
+            edits: 30,
+            options: PrimitiveOptions::default(),
+            event_vector: EventVector::default_vector()
+                .with_inclusion_proportion(percent as f64 / 100.0),
+            compose_config: ComposeConfig::default(),
+            seed: 31,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(percent), &scenario, |b, scenario| {
+            b.iter(|| run_editing(scenario))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inclusion_proportions);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 6 micro-benchmark: reconciliation cost as the intermediate schema
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapcomp_evolution::{run_reconciliation, ReconcileConfig, ScenarioConfig};
+
+fn bench_schema_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_reconcile_schema_size");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [10usize, 20, 40] {
+        let config = ReconcileConfig {
+            schema_size: size,
+            edits_per_branch: 15,
+            scenario: ScenarioConfig { schema_size: size, edits: 15, ..ScenarioConfig::default() },
+            max_branch_retries: 2,
+            seed: 61,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(size), &config, |b, config| {
+            b.iter(|| run_reconciliation(config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_sizes);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 7 micro-benchmark: reconciliation cost as the number of edits per
+//! branch grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapcomp_evolution::{run_reconciliation, ReconcileConfig, ScenarioConfig};
+
+fn bench_edit_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_reconcile_edit_count");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for edits in [10usize, 20, 40] {
+        let config = ReconcileConfig {
+            schema_size: 30,
+            edits_per_branch: edits,
+            scenario: ScenarioConfig { schema_size: 30, edits, ..ScenarioConfig::default() },
+            max_branch_retries: 2,
+            seed: 71,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(edits), &config, |b, config| {
+            b.iter(|| run_reconciliation(config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_edit_counts);
+criterion_main!(benches);

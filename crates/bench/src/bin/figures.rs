@@ -1,0 +1,275 @@
+//! Regenerate the figures of the paper's evaluation section as text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--paper] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [corpus] [claims] [all]
+//! ```
+//!
+//! Without arguments every figure is produced at the quick scale; `--paper`
+//! switches to the run counts used in the paper (much slower).
+
+use std::time::Instant;
+
+use mapcomp_bench::{
+    corpus_report, edit_count_sweep, editing_experiment, format_row, inclusion_sweep,
+    schema_size_sweep, Configuration, Scale, FIGURE5_PRIMITIVES,
+};
+use mapcomp_compose::ComposeConfig;
+use mapcomp_evolution::{run_editing, PrimitiveKind, ScenarioConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper") { Scale::Paper } else { Scale::Quick };
+    let requested: Vec<&str> =
+        args.iter().map(String::as_str).filter(|a| *a != "--paper").collect();
+    let want = |name: &str| {
+        requested.is_empty() || requested.contains(&name) || requested.contains(&"all")
+    };
+
+    println!("mapping-composition experiment harness (scale: {scale:?})");
+    println!("=========================================================");
+
+    let started = Instant::now();
+    if want("fig2") || want("fig3") || want("fig4") {
+        figures_2_3_4(scale);
+    }
+    if want("fig5") {
+        figure_5(scale);
+    }
+    if want("fig6") {
+        figure_6(scale);
+    }
+    if want("fig7") {
+        figure_7(scale);
+    }
+    if want("corpus") {
+        corpus_table();
+    }
+    if want("claims") {
+        claims(scale);
+    }
+    println!("\ntotal harness time: {:.1}s", started.elapsed().as_secs_f64());
+}
+
+fn figures_2_3_4(scale: Scale) {
+    println!("\nFigure 2: fraction of symbols eliminated per primitive");
+    println!("Figure 3: composition time per edit (ms) per primitive");
+    let configurations = Configuration::ALL;
+    let aggregates: Vec<_> = configurations
+        .iter()
+        .map(|configuration| (configuration, editing_experiment(*configuration, scale, 1000)))
+        .collect();
+
+    let primitives: Vec<PrimitiveKind> = PrimitiveKind::ALL
+        .iter()
+        .copied()
+        .filter(|kind| kind.consumes_input())
+        .collect();
+
+    // Figure 2 table.
+    let widths = vec![6, 10, 10, 14, 18];
+    let mut header = vec!["prim".to_string()];
+    header.extend(configurations.iter().map(|c| c.label().to_string()));
+    println!("\n[Figure 2] fraction of symbols eliminated");
+    println!("{}", format_row(&header, &widths));
+    for kind in &primitives {
+        let mut row = vec![kind.label().to_string()];
+        for (_, aggregate) in &aggregates {
+            row.push(match aggregate.fraction(*kind) {
+                Some(fraction) => format!("{fraction:.2}"),
+                None => "-".to_string(),
+            });
+        }
+        println!("{}", format_row(&row, &widths));
+    }
+    let mut total_row = vec!["TOTAL".to_string()];
+    for (_, aggregate) in &aggregates {
+        total_row.push(format!("{:.2}", aggregate.overall_fraction));
+    }
+    println!("{}", format_row(&total_row, &widths));
+
+    // Figure 3 table.
+    println!("\n[Figure 3] time per edit (ms)");
+    println!("{}", format_row(&header, &widths));
+    for kind in &primitives {
+        let mut row = vec![kind.label().to_string()];
+        for (_, aggregate) in &aggregates {
+            row.push(match aggregate.mean_millis(*kind) {
+                Some(ms) => format!("{ms:.2}"),
+                None => "-".to_string(),
+            });
+        }
+        println!("{}", format_row(&row, &widths));
+    }
+    let mut median_row = vec!["median/run(s)".to_string()];
+    for (_, aggregate) in &aggregates {
+        median_row.push(format!("{:.3}", aggregate.median_run_seconds()));
+    }
+    println!("{}", format_row(&median_row, &[14, 10, 10, 14, 18]));
+
+    // Figure 4: sorted per-run times for the `no keys` configuration.
+    println!("\n[Figure 4] sorted per-run composition time (s), configuration `no keys`");
+    let mut times: Vec<f64> = aggregates
+        .iter()
+        .find(|(c, _)| **c == Configuration::NoKeys)
+        .map(|(_, a)| a.run_times.iter().map(|d| d.as_secs_f64()).collect())
+        .unwrap_or_default();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    for (index, time) in times.iter().enumerate() {
+        println!("  run {:>3}: {:.4}s", index + 1, time);
+    }
+}
+
+fn figure_5(scale: Scale) {
+    println!("\n[Figure 5] increasing proportion of inclusion (Sub/Sup) edits");
+    let points = inclusion_sweep(scale, 3000);
+    let mut header = vec!["prop".to_string(), "total".to_string()];
+    header.extend(FIGURE5_PRIMITIVES.iter().map(|k| k.label().to_string()));
+    header.push("time(s)".to_string());
+    let widths = vec![6, 7, 7, 7, 7, 7, 9];
+    println!("{}", format_row(&header, &widths));
+    for point in points {
+        let mut row =
+            vec![format!("{:.2}", point.proportion), format!("{:.2}", point.total_fraction)];
+        for kind in FIGURE5_PRIMITIVES {
+            row.push(
+                point
+                    .per_primitive
+                    .get(&kind)
+                    .map(|f| format!("{f:.2}"))
+                    .unwrap_or_else(|| "-".to_string()),
+            );
+        }
+        row.push(format!("{:.3}", point.mean_time_seconds));
+        println!("{}", format_row(&row, &widths));
+    }
+}
+
+fn figure_6(scale: Scale) {
+    println!("\n[Figure 6] reconciliation: fraction eliminated vs. intermediate schema size");
+    let series = schema_size_sweep(scale, 6000);
+    let labels: Vec<&str> = series.keys().copied().collect();
+    let mut header = vec!["size".to_string()];
+    header.extend(labels.iter().map(|l| l.to_string()));
+    let widths = vec![6, 10, 20, 18];
+    println!("{}", format_row(&header, &widths));
+    if let Some(first) = series.values().next() {
+        for (index, point) in first.iter().enumerate() {
+            let mut row = vec![point.x.to_string()];
+            for label in &labels {
+                row.push(format!("{:.2}", series[label][index].fraction));
+            }
+            println!("{}", format_row(&row, &widths));
+        }
+    }
+}
+
+fn figure_7(scale: Scale) {
+    println!("\n[Figure 7] reconciliation: varying the number of edits");
+    let points = edit_count_sweep(scale, 7000);
+    let widths = vec![7, 10, 10];
+    println!(
+        "{}",
+        format_row(&["edits".to_string(), "fraction".to_string(), "time(s)".to_string()], &widths)
+    );
+    for point in points {
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.x.to_string(),
+                    format!("{:.2}", point.fraction),
+                    format!("{:.3}", point.time_seconds)
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn corpus_table() {
+    println!("\n[Literature suite] the 22 composition problems of §4");
+    let widths = vec![32, 12, 8, 10];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "problem".to_string(),
+                "eliminated".to_string(),
+                "ok".to_string(),
+                "time(ms)".to_string()
+            ],
+            &widths
+        )
+    );
+    for outcome in corpus_report() {
+        println!(
+            "{}",
+            format_row(
+                &[
+                    outcome.id.to_string(),
+                    format!("{}/{}", outcome.eliminated, outcome.total),
+                    if outcome.expectation_met { "yes" } else { "NO" }.to_string(),
+                    format!("{:.2}", outcome.time.as_secs_f64() * 1000.0)
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn claims(scale: Scale) {
+    println!("\n[Key claims] blow-up aborts, leftover recovery, order invariance");
+    // Blow-up aborts and leftover recovery over one batch of editing runs.
+    let mut edits_total = 0usize;
+    let mut leftovers_recovered = 0usize;
+    let mut pending_created = 0usize;
+    for seed in 0..scale.editing_runs() as u64 {
+        let run = run_editing(&ScenarioConfig {
+            schema_size: 30,
+            edits: scale.edits_per_run(),
+            seed: 9000 + seed,
+            ..ScenarioConfig::default()
+        });
+        edits_total += run.records.len();
+        leftovers_recovered += run.records.iter().map(|r| r.leftover_eliminated).sum::<usize>();
+        pending_created += run
+            .records
+            .iter()
+            .filter(|r| r.consumed_intermediate && !r.eliminated_now)
+            .count();
+    }
+    println!("  edits simulated: {edits_total}");
+    println!("  symbols left pending at their own edit: {pending_created}");
+    println!("  pending symbols recovered by later compositions: {leftovers_recovered}");
+
+    // Order invariance on the literature suite: eliminate the σ2 symbols in
+    // the default order and in the reversed order and compare how many go
+    // (the paper reports the algorithm appears order-invariant on its data
+    // sets; the corpus contains one deliberate counterexample).
+    let registry = mapcomp_compose::Registry::standard();
+    let mut same = 0usize;
+    let mut different = 0usize;
+    for problem in mapcomp_corpus::problems() {
+        let task = problem.task().expect("parses");
+        let forward =
+            mapcomp_compose::compose(&task, &registry, &ComposeConfig::default()).expect("composes");
+        let mut reversed_order = task.elimination_order();
+        reversed_order.reverse();
+        let reversed = mapcomp_compose::compose(
+            &task,
+            &registry,
+            &ComposeConfig { symbol_order: Some(reversed_order), ..ComposeConfig::default() },
+        )
+        .expect("composes");
+        if forward.eliminated.len() == reversed.eliminated.len() {
+            same += 1;
+        } else {
+            different += 1;
+        }
+    }
+    println!(
+        "  order invariance on the literature suite: {same} problems eliminate the same number of symbols under both orders, {different} differ"
+    );
+}

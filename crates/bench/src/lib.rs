@@ -1,0 +1,430 @@
+//! # mapcomp-bench
+//!
+//! Benchmark harness regenerating every figure of the evaluation section of
+//! *"Implementing Mapping Composition"* (VLDB 2006, §4).
+//!
+//! The `figures` binary prints, for each figure, the same series the paper
+//! plots; the Criterion benches under `benches/` time representative slices
+//! of the same workloads. Scale factors (`Scale::Quick` vs `Scale::Paper`)
+//! control how many runs/edits are simulated: the paper's full scale (100
+//! runs × 100 edits per configuration, 500 reconciliation tasks per point) is
+//! available but the quick scale reproduces the same qualitative shapes in
+//! seconds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use mapcomp_compose::{ComposeConfig, Registry};
+use mapcomp_corpus::problems;
+use mapcomp_evolution::{
+    run_editing, EditingRun, EventVector, PrimitiveKind, PrimitiveOptions, ReconcileConfig,
+    ScenarioConfig,
+};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced run counts for CI and interactive use.
+    Quick,
+    /// The run counts reported in the paper.
+    Paper,
+}
+
+impl Scale {
+    /// Number of editing runs per configuration (paper: 100).
+    pub fn editing_runs(self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Number of edits per run (paper: 100).
+    pub fn edits_per_run(self) -> usize {
+        match self {
+            Scale::Quick => 40,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Reconciliation tasks per data point (paper: 500).
+    pub fn reconcile_samples(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Paper => 500,
+        }
+    }
+
+    /// Edits per reconciliation branch (paper: 100, Figure 7 sweeps it).
+    pub fn reconcile_edits(self) -> usize {
+        match self {
+            Scale::Quick => 25,
+            Scale::Paper => 100,
+        }
+    }
+}
+
+/// The four configurations of Figures 2 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Configuration {
+    /// All features, no keys (`no keys`).
+    NoKeys,
+    /// All features, keyed relations (`keys`).
+    Keys,
+    /// View unfolding disabled (`no unfolding`).
+    NoUnfolding,
+    /// Right compose disabled (`no right compose`).
+    NoRightCompose,
+}
+
+impl Configuration {
+    /// All four configurations in the paper's order.
+    pub const ALL: [Configuration; 4] = [
+        Configuration::NoKeys,
+        Configuration::Keys,
+        Configuration::NoUnfolding,
+        Configuration::NoRightCompose,
+    ];
+
+    /// Label used in the figures' legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Configuration::NoKeys => "no keys",
+            Configuration::Keys => "keys",
+            Configuration::NoUnfolding => "no unfolding",
+            Configuration::NoRightCompose => "no right compose",
+        }
+    }
+
+    /// Scenario configuration for one run of this configuration.
+    pub fn scenario(self, scale: Scale, seed: u64) -> ScenarioConfig {
+        let (options, compose_config) = match self {
+            Configuration::NoKeys => (PrimitiveOptions::default(), ComposeConfig::default()),
+            Configuration::Keys => (PrimitiveOptions::with_keys(), ComposeConfig::default()),
+            Configuration::NoUnfolding => {
+                (PrimitiveOptions::default(), ComposeConfig::without_view_unfolding())
+            }
+            Configuration::NoRightCompose => {
+                (PrimitiveOptions::default(), ComposeConfig::without_right_compose())
+            }
+        };
+        ScenarioConfig {
+            schema_size: 30,
+            edits: scale.edits_per_run(),
+            options,
+            event_vector: EventVector::default_vector(),
+            compose_config,
+            seed,
+        }
+    }
+}
+
+/// Aggregated per-primitive statistics for one configuration (the bars of
+/// Figures 2 and 3).
+#[derive(Debug, Clone, Default)]
+pub struct PrimitiveAggregate {
+    /// Eliminated / attempted counts per primitive.
+    pub success: BTreeMap<PrimitiveKind, (usize, usize)>,
+    /// Total composition time and edit count per primitive.
+    pub time: BTreeMap<PrimitiveKind, (Duration, usize)>,
+    /// Per-run total composition times (Figure 4).
+    pub run_times: Vec<Duration>,
+    /// Overall fraction of intermediate symbols eventually eliminated.
+    pub overall_fraction: f64,
+}
+
+impl PrimitiveAggregate {
+    /// Fraction of symbols eliminated for one primitive.
+    pub fn fraction(&self, kind: PrimitiveKind) -> Option<f64> {
+        self.success.get(&kind).map(|(eliminated, attempted)| {
+            if *attempted == 0 {
+                1.0
+            } else {
+                *eliminated as f64 / *attempted as f64
+            }
+        })
+    }
+
+    /// Mean composition time per edit for one primitive, in milliseconds.
+    pub fn mean_millis(&self, kind: PrimitiveKind) -> Option<f64> {
+        self.time.get(&kind).map(|(total, count)| {
+            if *count == 0 {
+                0.0
+            } else {
+                total.as_secs_f64() * 1000.0 / *count as f64
+            }
+        })
+    }
+
+    /// Median per-run composition time in seconds (the paper reports medians
+    /// because of outliers, Figure 4).
+    pub fn median_run_seconds(&self) -> f64 {
+        if self.run_times.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.run_times.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2].as_secs_f64()
+    }
+}
+
+/// Run the schema-editing experiment for one configuration (Figures 2–4).
+pub fn editing_experiment(configuration: Configuration, scale: Scale, base_seed: u64) -> PrimitiveAggregate {
+    let mut aggregate = PrimitiveAggregate::default();
+    let mut fraction_sum = 0.0;
+    let runs = scale.editing_runs();
+    for run_index in 0..runs {
+        let scenario = configuration.scenario(scale, base_seed + run_index as u64);
+        let run = run_editing(&scenario);
+        accumulate(&mut aggregate, &run);
+        fraction_sum += run.fraction_eliminated();
+    }
+    aggregate.overall_fraction = fraction_sum / runs.max(1) as f64;
+    aggregate
+}
+
+fn accumulate(aggregate: &mut PrimitiveAggregate, run: &EditingRun) {
+    for (kind, (eliminated, attempted)) in run.per_primitive_success() {
+        let entry = aggregate.success.entry(kind).or_insert((0, 0));
+        entry.0 += eliminated;
+        entry.1 += attempted;
+    }
+    for (kind, (total, count)) in run.per_primitive_time() {
+        let entry = aggregate.time.entry(kind).or_insert((Duration::ZERO, 0));
+        entry.0 += total;
+        entry.1 += count;
+    }
+    aggregate.run_times.push(run.compose_time);
+}
+
+/// One point of the Figure 5 sweep (proportion of inclusion edits).
+#[derive(Debug, Clone)]
+pub struct InclusionPoint {
+    /// Proportion of Sub/Sup edits (0.0 – 0.2).
+    pub proportion: f64,
+    /// Overall fraction of symbols eliminated.
+    pub total_fraction: f64,
+    /// Per-primitive fractions for the primitives the paper highlights.
+    pub per_primitive: BTreeMap<PrimitiveKind, f64>,
+    /// Mean per-run composition time in seconds.
+    pub mean_time_seconds: f64,
+}
+
+/// The primitives highlighted in Figure 5.
+pub const FIGURE5_PRIMITIVES: [PrimitiveKind; 4] = [
+    PrimitiveKind::AddDefaultForward,
+    PrimitiveKind::DropAttribute,
+    PrimitiveKind::NormalizeForward,
+    PrimitiveKind::HorizontalForward,
+];
+
+/// Run the inclusion-proportion sweep of Figure 5.
+pub fn inclusion_sweep(scale: Scale, base_seed: u64) -> Vec<InclusionPoint> {
+    let proportions: Vec<f64> = (0..=10).map(|i| i as f64 * 0.02).collect();
+    let runs = scale.editing_runs().max(2) / 2;
+    proportions
+        .into_iter()
+        .map(|proportion| {
+            let mut aggregate = PrimitiveAggregate::default();
+            let mut fraction_sum = 0.0;
+            let mut time_sum = 0.0;
+            for run_index in 0..runs {
+                let scenario = ScenarioConfig {
+                    schema_size: 30,
+                    edits: scale.edits_per_run(),
+                    options: PrimitiveOptions::default(),
+                    event_vector: EventVector::default_vector()
+                        .with_inclusion_proportion(proportion),
+                    compose_config: ComposeConfig::default(),
+                    seed: base_seed + run_index as u64,
+                };
+                let run = run_editing(&scenario);
+                fraction_sum += run.fraction_eliminated();
+                time_sum += run.compose_time.as_secs_f64();
+                accumulate(&mut aggregate, &run);
+            }
+            let per_primitive = FIGURE5_PRIMITIVES
+                .iter()
+                .filter_map(|kind| aggregate.fraction(*kind).map(|f| (*kind, f)))
+                .collect();
+            InclusionPoint {
+                proportion,
+                total_fraction: fraction_sum / runs.max(1) as f64,
+                per_primitive,
+                mean_time_seconds: time_sum / runs.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// One point of the reconciliation sweeps (Figures 6 and 7).
+#[derive(Debug, Clone)]
+pub struct ReconcilePoint {
+    /// The swept parameter (schema size for Figure 6, edit count for
+    /// Figure 7).
+    pub x: usize,
+    /// Fraction of intermediate-schema symbols eliminated.
+    pub fraction: f64,
+    /// Mean composition time in seconds.
+    pub time_seconds: f64,
+}
+
+/// Figure 6: fraction eliminated vs. intermediate schema size, for the
+/// complete algorithm and the two ablations.
+pub fn schema_size_sweep(
+    scale: Scale,
+    base_seed: u64,
+) -> BTreeMap<&'static str, Vec<ReconcilePoint>> {
+    let sizes: Vec<usize> = (1..=10).map(|i| i * 10).collect();
+    let configs: [(&'static str, ComposeConfig); 3] = [
+        ("complete", ComposeConfig::default()),
+        ("no view unfolding", ComposeConfig::without_view_unfolding()),
+        ("no right compose", ComposeConfig::without_right_compose()),
+    ];
+    let mut out = BTreeMap::new();
+    for (label, compose_config) in configs {
+        let points = sizes
+            .iter()
+            .map(|&size| {
+                let config = ReconcileConfig {
+                    schema_size: size,
+                    edits_per_branch: scale.reconcile_edits(),
+                    scenario: ScenarioConfig {
+                        schema_size: size,
+                        edits: scale.reconcile_edits(),
+                        compose_config: compose_config.clone(),
+                        ..ScenarioConfig::default()
+                    },
+                    max_branch_retries: 3,
+                    seed: base_seed + size as u64,
+                };
+                let (fraction, time) = mapcomp_evolution::average_reconciliation(
+                    &config,
+                    scale.reconcile_samples(),
+                );
+                ReconcilePoint { x: size, fraction, time_seconds: time.as_secs_f64() }
+            })
+            .collect();
+        out.insert(label, points);
+    }
+    out
+}
+
+/// Figure 7: fraction eliminated and time vs. number of edits per branch.
+pub fn edit_count_sweep(scale: Scale, base_seed: u64) -> Vec<ReconcilePoint> {
+    let counts: Vec<usize> = match scale {
+        Scale::Quick => vec![10, 30, 50, 70, 90],
+        Scale::Paper => (0..=10).map(|i| 10 + i * 20).collect(),
+    };
+    counts
+        .into_iter()
+        .map(|edits| {
+            let config = ReconcileConfig {
+                schema_size: 30,
+                edits_per_branch: edits,
+                scenario: ScenarioConfig {
+                    schema_size: 30,
+                    edits,
+                    ..ScenarioConfig::default()
+                },
+                max_branch_retries: 3,
+                seed: base_seed + edits as u64,
+            };
+            let (fraction, time) =
+                mapcomp_evolution::average_reconciliation(&config, scale.reconcile_samples());
+            ReconcilePoint { x: edits, fraction, time_seconds: time.as_secs_f64() }
+        })
+        .collect()
+}
+
+/// Outcome of one corpus problem for the literature-suite report.
+#[derive(Debug, Clone)]
+pub struct CorpusOutcome {
+    /// Problem id.
+    pub id: &'static str,
+    /// σ2 symbols eliminated.
+    pub eliminated: usize,
+    /// σ2 symbols in the problem.
+    pub total: usize,
+    /// Did the result meet the recorded expectation?
+    pub expectation_met: bool,
+    /// Composition time.
+    pub time: Duration,
+}
+
+/// Run the 22-problem literature suite.
+pub fn corpus_report() -> Vec<CorpusOutcome> {
+    let registry = Registry::standard();
+    let config = ComposeConfig::default();
+    problems()
+        .iter()
+        .map(|problem| {
+            let started = std::time::Instant::now();
+            let result = problem.compose(&registry, &config).expect("corpus problem composes");
+            CorpusOutcome {
+                id: problem.id,
+                eliminated: result.eliminated.len(),
+                total: result.eliminated.len() + result.remaining.len(),
+                expectation_met: problem.check(&result),
+                time: started.elapsed(),
+            }
+        })
+        .collect()
+}
+
+/// Formatting helper: a fixed-width row of cells.
+pub fn format_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(cell, width)| format!("{cell:>width$}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_editing_experiment_produces_data() {
+        let aggregate = editing_experiment(Configuration::NoKeys, Scale::Quick, 100);
+        assert_eq!(aggregate.run_times.len(), Scale::Quick.editing_runs());
+        assert!(aggregate.overall_fraction > 0.3, "fraction {}", aggregate.overall_fraction);
+        assert!(!aggregate.success.is_empty());
+        // Fractions are well-formed probabilities.
+        for kind in PrimitiveKind::ALL {
+            if let Some(fraction) = aggregate.fraction(kind) {
+                assert!((0.0..=1.0).contains(&fraction), "{kind}: {fraction}");
+            }
+        }
+        assert!(aggregate.median_run_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn configurations_have_distinct_labels_and_scenarios() {
+        let labels: Vec<&str> = Configuration::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 4);
+        let keys = Configuration::Keys.scenario(Scale::Quick, 1);
+        assert!(keys.options.keys_enabled);
+        let ablated = Configuration::NoRightCompose.scenario(Scale::Quick, 1);
+        assert!(!ablated.compose_config.enable_right_compose);
+    }
+
+    #[test]
+    fn corpus_report_covers_all_problems() {
+        let report = corpus_report();
+        assert_eq!(report.len(), 22);
+        assert!(report.iter().all(|o| o.expectation_met));
+        assert!(report.iter().all(|o| o.eliminated <= o.total));
+    }
+
+    #[test]
+    fn format_row_aligns() {
+        let row = format_row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(row, "  a    bb");
+    }
+}

@@ -1,0 +1,633 @@
+//! Conjunctive (tuple-generating-dependency style) intermediate form.
+//!
+//! The deskolemization procedure of paper §3.5.3 reasons about constraints
+//! whose left-hand sides are select-project-join expressions extended with
+//! Skolem functions — the shape `π σ f g … σ (R1 × R2 × … × Rk)` that step 3
+//! of the procedure aims for. This module converts such expressions into an
+//! explicit conjunctive form (body atoms over variables, constant bindings,
+//! head terms that may contain Skolem function applications) and back. The
+//! conversion fails on non-conjunctive operators (∪, −, user-defined), which
+//! makes the enclosing deskolemization fail — the behaviour the paper
+//! prescribes for expressions it cannot handle.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use mapcomp_algebra::{Expr, Pred, Operand, CmpOp, Signature, Value};
+
+/// A term appearing in the head of a conjunctive form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A body variable.
+    Var(usize),
+    /// A constant value.
+    Const(Value),
+    /// A Skolem function applied to terms.
+    Func(String, Vec<Term>),
+}
+
+impl Term {
+    /// Does the term contain any Skolem function application?
+    pub fn has_func(&self) -> bool {
+        match self {
+            Term::Var(_) | Term::Const(_) => false,
+            Term::Func(..) => true,
+        }
+    }
+
+    /// Variables occurring in the term.
+    pub fn vars(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            Term::Var(v) => {
+                out.insert(*v);
+            }
+            Term::Const(_) => {}
+            Term::Func(_, args) => args.iter().for_each(|a| a.collect_vars(out)),
+        }
+    }
+
+    /// Is this a function application whose arguments are themselves function
+    /// applications (nested Skolem functions)?
+    pub fn has_nested_func(&self) -> bool {
+        match self {
+            Term::Func(_, args) => args.iter().any(|a| a.has_func() || a.has_nested_func()),
+            _ => false,
+        }
+    }
+
+    fn rename(&self, map: &BTreeMap<usize, usize>) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(*map.get(v).unwrap_or(v)),
+            Term::Const(c) => Term::Const(c.clone()),
+            Term::Func(name, args) => {
+                Term::Func(name.clone(), args.iter().map(|a| a.rename(map)).collect())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "x{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Func(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A body atom: a base relation applied to variables.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Atom {
+    /// Relation symbol.
+    pub rel: String,
+    /// Argument variables (one per column).
+    pub args: Vec<usize>,
+}
+
+/// A conjunctive form: `head(t̄) :- atoms, constants`, where head terms may
+/// contain Skolem function applications and `func_eqs` records equalities
+/// that involve function terms (the "restricting atoms" of §3.5.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conjunctive {
+    /// Body atoms over base relations.
+    pub atoms: Vec<Atom>,
+    /// Variables bound to constants by selections.
+    pub const_of: BTreeMap<usize, Value>,
+    /// Output terms, one per column of the original expression.
+    pub head: Vec<Term>,
+    /// Equalities involving Skolem function terms.
+    pub func_eqs: Vec<(Term, Term)>,
+    /// Number of variables allocated.
+    pub var_count: usize,
+}
+
+impl Conjunctive {
+    /// Variables appearing in body atoms.
+    pub fn body_vars(&self) -> BTreeSet<usize> {
+        self.atoms.iter().flat_map(|a| a.args.iter().copied()).collect()
+    }
+
+    /// Variables appearing (outside function terms) in the head.
+    pub fn head_universal_vars(&self) -> BTreeSet<usize> {
+        self.head
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Distinct Skolem function applications in the head, in first-appearance
+    /// order.
+    pub fn func_terms(&self) -> Vec<Term> {
+        let mut out = Vec::new();
+        for term in &self.head {
+            if term.has_func() && !out.contains(term) {
+                out.push(term.clone());
+            }
+        }
+        out
+    }
+
+    /// Names of Skolem functions used.
+    pub fn func_names(&self) -> BTreeSet<String> {
+        self.head
+            .iter()
+            .chain(self.func_eqs.iter().flat_map(|(a, b)| [a, b]))
+            .filter_map(|t| match t {
+                Term::Func(name, _) => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Does the head contain any Skolem function application?
+    pub fn has_func(&self) -> bool {
+        self.head.iter().any(Term::has_func) || !self.func_eqs.is_empty()
+    }
+
+    /// The body (atoms, constants, variables *not* in the head included) as a
+    /// pair of (algebra expression, variable → column map). Head variables
+    /// that appear in no atom are given fresh `D` columns.
+    pub fn body_expr(&self) -> Result<(Expr, BTreeMap<usize, usize>), String> {
+        let mut column_of: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut preds: Vec<Pred> = Vec::new();
+        let mut expr: Option<Expr> = None;
+        let mut width = 0usize;
+
+        for atom in &self.atoms {
+            let rel = Expr::rel(atom.rel.clone());
+            expr = Some(match expr {
+                None => rel,
+                Some(prev) => prev.product(rel),
+            });
+            for (offset, var) in atom.args.iter().enumerate() {
+                let column = width + offset;
+                match column_of.get(var) {
+                    None => {
+                        column_of.insert(*var, column);
+                    }
+                    Some(first) => preds.push(Pred::eq_cols(*first, column)),
+                }
+            }
+            width += atom.args.len();
+        }
+
+        // Head variables with no atom occurrence range over the active domain.
+        for term in &self.head {
+            for var in term.vars() {
+                if let std::collections::btree_map::Entry::Vacant(entry) = column_of.entry(var) {
+                    let rel = Expr::domain(1);
+                    expr = Some(match expr {
+                        None => rel,
+                        Some(prev) => prev.product(rel),
+                    });
+                    entry.insert(width);
+                    width += 1;
+                }
+            }
+        }
+
+        for (var, value) in &self.const_of {
+            if let Some(column) = column_of.get(var) {
+                preds.push(Pred::Cmp(
+                    Operand::Col(*column),
+                    CmpOp::Eq,
+                    Operand::Const(value.clone()),
+                ));
+            }
+        }
+
+        let base = expr.ok_or_else(|| "conjunctive form with empty body".to_string())?;
+        let combined = if preds.is_empty() { base } else { base.select(Pred::and_all(preds)) };
+        Ok((combined, column_of))
+    }
+
+    /// The head as an algebra expression: the body expression projected onto
+    /// the head columns. Fails if any head term is a function application.
+    pub fn to_expr(&self) -> Result<Expr, String> {
+        if self.head.iter().any(Term::has_func) {
+            return Err("head contains Skolem function terms".into());
+        }
+        let (body, column_of) = self.body_expr()?;
+        let mut columns = Vec::with_capacity(self.head.len());
+        for term in &self.head {
+            match term {
+                Term::Var(v) => columns.push(
+                    *column_of.get(v).ok_or_else(|| format!("unbound head variable x{v}"))?,
+                ),
+                Term::Const(_) => return Err("constant head term".into()),
+                Term::Func(..) => unreachable!("checked above"),
+            }
+        }
+        Ok(body.project(columns))
+    }
+
+    /// Renumber variables by first appearance (atoms first, head second) so
+    /// that structurally identical bodies compare equal.
+    fn canonicalize(&mut self) {
+        let mut map: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut next = 0usize;
+        let visit = |v: usize, map: &mut BTreeMap<usize, usize>, next: &mut usize| {
+            map.entry(v).or_insert_with(|| {
+                let id = *next;
+                *next += 1;
+                id
+            });
+        };
+        for atom in &self.atoms {
+            for &v in &atom.args {
+                visit(v, &mut map, &mut next);
+            }
+        }
+        for term in &self.head {
+            for v in term.vars() {
+                visit(v, &mut map, &mut next);
+            }
+        }
+        for (a, b) in &self.func_eqs {
+            for v in a.vars().into_iter().chain(b.vars()) {
+                visit(v, &mut map, &mut next);
+            }
+        }
+        for atom in &mut self.atoms {
+            for v in &mut atom.args {
+                *v = map[v];
+            }
+        }
+        self.head = self.head.iter().map(|t| t.rename(&map)).collect();
+        self.func_eqs = self
+            .func_eqs
+            .iter()
+            .map(|(a, b)| (a.rename(&map), b.rename(&map)))
+            .collect();
+        self.const_of = self
+            .const_of
+            .iter()
+            .filter_map(|(v, c)| map.get(v).map(|nv| (*nv, c.clone())))
+            .collect();
+        self.var_count = next;
+    }
+
+    /// Two conjunctive forms have the same body if their atoms and constant
+    /// bindings coincide (after canonicalization).
+    pub fn same_body(&self, other: &Conjunctive) -> bool {
+        self.atoms == other.atoms && self.const_of == other.const_of
+    }
+}
+
+/// Check well-formedness of a signature lookup for a conjunctive form: every
+/// atom's arity must match the signature. Used by tests and debug assertions.
+pub fn check_arities(cq: &Conjunctive, sig: &Signature) -> Result<(), String> {
+    for atom in &cq.atoms {
+        let declared = sig.arity(&atom.rel).map_err(|e| e.to_string())?;
+        if declared != atom.args.len() {
+            return Err(format!(
+                "atom {} has {} arguments but arity {declared}",
+                atom.rel,
+                atom.args.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[derive(Default)]
+struct Builder {
+    atoms: Vec<Atom>,
+    next_var: usize,
+    /// Pending equalities gathered from σ and ∩.
+    equalities: Vec<(Term, Term)>,
+    const_of: BTreeMap<usize, Value>,
+    func_eqs: Vec<(Term, Term)>,
+    /// Union-find parent table for variable merging.
+    parent: Vec<usize>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> usize {
+        let v = self.next_var;
+        self.next_var += 1;
+        self.parent.push(v);
+        v
+    }
+
+    fn find(&mut self, v: usize) -> usize {
+        if self.parent[v] != v {
+            let root = self.find(self.parent[v]);
+            self.parent[v] = root;
+        }
+        self.parent[v]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[rb.max(ra)] = rb.min(ra);
+        }
+    }
+
+    fn resolve(&mut self) -> Result<(), String> {
+        let equalities = std::mem::take(&mut self.equalities);
+        for (a, b) in equalities {
+            let a = self.resolve_term(&a);
+            let b = self.resolve_term(&b);
+            match (a, b) {
+                (Term::Var(x), Term::Var(y)) => self.union(x, y),
+                (Term::Var(x), Term::Const(c)) | (Term::Const(c), Term::Var(x)) => {
+                    let root = self.find(x);
+                    match self.const_of.get(&root) {
+                        Some(existing) if *existing != c => {
+                            return Err("conflicting constant bindings".into())
+                        }
+                        _ => {
+                            self.const_of.insert(root, c);
+                        }
+                    }
+                }
+                (Term::Const(c1), Term::Const(c2)) => {
+                    if c1 != c2 {
+                        return Err("contradictory constant equality".into());
+                    }
+                }
+                (x, y) => self.func_eqs.push((x, y)),
+            }
+        }
+        // Re-point atoms and constants at union-find roots.
+        let atoms = std::mem::take(&mut self.atoms);
+        self.atoms = atoms
+            .into_iter()
+            .map(|atom| Atom {
+                rel: atom.rel,
+                args: atom.args.into_iter().map(|v| self.find(v)).collect(),
+            })
+            .collect();
+        let const_of = std::mem::take(&mut self.const_of);
+        let mut rebuilt = BTreeMap::new();
+        for (v, c) in const_of {
+            let root = self.find(v);
+            if let Some(existing) = rebuilt.get(&root) {
+                if *existing != c {
+                    return Err("conflicting constant bindings".into());
+                }
+            }
+            rebuilt.insert(root, c);
+        }
+        self.const_of = rebuilt;
+        let func_eqs = std::mem::take(&mut self.func_eqs);
+        self.func_eqs = func_eqs
+            .into_iter()
+            .map(|(a, b)| (self.resolve_term(&a), self.resolve_term(&b)))
+            .collect();
+        Ok(())
+    }
+
+    fn resolve_term(&mut self, term: &Term) -> Term {
+        match term {
+            Term::Var(v) => {
+                let root = self.find(*v);
+                Term::Var(root)
+            }
+            Term::Const(c) => Term::Const(c.clone()),
+            Term::Func(name, args) => {
+                Term::Func(name.clone(), args.iter().map(|a| self.resolve_term(a)).collect())
+            }
+        }
+    }
+}
+
+/// Convert an expression to conjunctive form using a signature for base
+/// relation arities.
+pub fn expr_to_conjunctive(expr: &Expr, sig: &Signature) -> Result<Conjunctive, String> {
+    let mut builder = Builder::default();
+    let head = convert_with_sig(&mut builder, expr, sig)?;
+    builder.resolve()?;
+    let head = head.iter().map(|t| builder.resolve_term(t)).collect();
+    let mut cq = Conjunctive {
+        atoms: builder.atoms,
+        const_of: builder.const_of,
+        head,
+        func_eqs: builder.func_eqs,
+        var_count: builder.next_var,
+    };
+    cq.canonicalize();
+    Ok(cq)
+}
+
+fn convert_with_sig(builder: &mut Builder, expr: &Expr, sig: &Signature) -> Result<Vec<Term>, String> {
+    match expr {
+        Expr::Rel(name) => {
+            let arity = sig.arity(name).map_err(|e| e.to_string())?;
+            let vars: Vec<usize> = (0..arity).map(|_| builder.fresh()).collect();
+            builder.atoms.push(Atom { rel: name.clone(), args: vars.clone() });
+            Ok(vars.into_iter().map(Term::Var).collect())
+        }
+        Expr::Domain(r) => Ok((0..*r).map(|_| Term::Var(builder.fresh())).collect()),
+        Expr::Empty(_) => Err("empty relation is not conjunctive".into()),
+        Expr::Product(a, b) => {
+            let mut head = convert_with_sig(builder, a, sig)?;
+            head.extend(convert_with_sig(builder, b, sig)?);
+            Ok(head)
+        }
+        Expr::Intersect(a, b) => {
+            let left = convert_with_sig(builder, a, sig)?;
+            let right = convert_with_sig(builder, b, sig)?;
+            if left.len() != right.len() {
+                return Err("intersection operands of different arity".into());
+            }
+            for (l, r) in left.iter().zip(right.iter()) {
+                builder.equalities.push((l.clone(), r.clone()));
+            }
+            Ok(left)
+        }
+        Expr::Project(cols, inner) => {
+            let head = convert_with_sig(builder, inner, sig)?;
+            cols.iter()
+                .map(|&c| head.get(c).cloned().ok_or_else(|| "projection out of range".to_string()))
+                .collect()
+        }
+        Expr::Select(pred, inner) => {
+            let head = convert_with_sig(builder, inner, sig)?;
+            for conjunct in pred.conjuncts() {
+                match conjunct {
+                    Pred::True => {}
+                    Pred::Cmp(left, CmpOp::Eq, right) => {
+                        let to_term = |operand: &Operand, head: &[Term]| -> Result<Term, String> {
+                            match operand {
+                                Operand::Col(i) => head
+                                    .get(*i)
+                                    .cloned()
+                                    .ok_or_else(|| "selection column out of range".to_string()),
+                                Operand::Const(v) => Ok(Term::Const(v.clone())),
+                            }
+                        };
+                        let l = to_term(left, &head)?;
+                        let r = to_term(right, &head)?;
+                        builder.equalities.push((l, r));
+                    }
+                    other => return Err(format!("non-equality selection `{other}`")),
+                }
+            }
+            Ok(head)
+        }
+        Expr::Skolem(f, inner) => {
+            let head = convert_with_sig(builder, inner, sig)?;
+            let args: Result<Vec<Term>, String> = f
+                .deps
+                .iter()
+                .map(|&d| {
+                    head.get(d).cloned().ok_or_else(|| "Skolem dependency out of range".to_string())
+                })
+                .collect();
+            let mut head = head;
+            head.push(Term::Func(f.name.clone(), args?));
+            Ok(head)
+        }
+        Expr::Union(..) => Err("union is not conjunctive".into()),
+        Expr::Difference(..) => Err("difference is not conjunctive".into()),
+        Expr::Apply(name, _) => Err(format!("user-defined operator `{name}` is not conjunctive")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapcomp_algebra::{parse_expr, Signature};
+
+    fn sig() -> Signature {
+        Signature::from_arities([("R", 1), ("S", 2), ("T", 2), ("E", 2), ("C", 2)])
+    }
+
+    #[test]
+    fn base_relation_and_product() {
+        let cq = expr_to_conjunctive(&parse_expr("S * R").unwrap(), &sig()).unwrap();
+        assert_eq!(cq.atoms.len(), 2);
+        assert_eq!(cq.head.len(), 3);
+        assert_eq!(cq.head, vec![Term::Var(0), Term::Var(1), Term::Var(2)]);
+        assert!(!cq.has_func());
+    }
+
+    #[test]
+    fn selection_merges_variables_and_constants() {
+        let cq =
+            expr_to_conjunctive(&parse_expr("select[#0 = #2 and #1 = 5](S * R)").unwrap(), &sig())
+                .unwrap();
+        // #0 and #2 merge: the S and R atoms share a variable.
+        assert_eq!(cq.atoms[0].args[0], cq.atoms[1].args[0]);
+        // #1 is bound to 5.
+        let bound: Vec<_> = cq.const_of.values().collect();
+        assert_eq!(bound, vec![&Value::Int(5)]);
+    }
+
+    #[test]
+    fn projection_selects_head_terms() {
+        let cq = expr_to_conjunctive(&parse_expr("project[1](S)").unwrap(), &sig()).unwrap();
+        assert_eq!(cq.head.len(), 1);
+        assert_eq!(cq.atoms.len(), 1);
+        // The head variable is the second column of the S atom.
+        assert_eq!(cq.head[0], Term::Var(cq.atoms[0].args[1]));
+    }
+
+    #[test]
+    fn skolem_becomes_function_term() {
+        let cq = expr_to_conjunctive(&parse_expr("skolem:f[0](R)").unwrap(), &sig()).unwrap();
+        assert_eq!(cq.head.len(), 2);
+        assert!(cq.has_func());
+        assert_eq!(cq.func_terms().len(), 1);
+        assert_eq!(cq.func_names().into_iter().collect::<Vec<_>>(), vec!["f".to_string()]);
+        match &cq.head[1] {
+            Term::Func(name, args) => {
+                assert_eq!(name, "f");
+                assert_eq!(args, &vec![cq.head[0].clone()]);
+            }
+            other => panic!("expected function term, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intersection_equates_heads() {
+        let cq = expr_to_conjunctive(&parse_expr("S & T").unwrap(), &sig()).unwrap();
+        assert_eq!(cq.atoms.len(), 2);
+        assert_eq!(cq.atoms[0].args, cq.atoms[1].args);
+    }
+
+    #[test]
+    fn unsupported_operators_fail() {
+        assert!(expr_to_conjunctive(&parse_expr("S + T").unwrap(), &sig()).is_err());
+        assert!(expr_to_conjunctive(&parse_expr("S - T").unwrap(), &sig()).is_err());
+        assert!(expr_to_conjunctive(&parse_expr("tc(S)").unwrap(), &sig()).is_err());
+        assert!(expr_to_conjunctive(&parse_expr("select[#0 < 3](S)").unwrap(), &sig()).is_err());
+        assert!(expr_to_conjunctive(&parse_expr("empty^2").unwrap(), &sig()).is_err());
+    }
+
+    #[test]
+    fn domain_columns_are_unconstrained_variables() {
+        let cq = expr_to_conjunctive(&parse_expr("R * D^2").unwrap(), &sig()).unwrap();
+        assert_eq!(cq.atoms.len(), 1);
+        assert_eq!(cq.head.len(), 3);
+        assert_eq!(cq.body_vars().len(), 1);
+        assert_eq!(cq.head_universal_vars().len(), 3);
+    }
+
+    #[test]
+    fn round_trip_through_body_expr() {
+        let original = parse_expr("project[0,2](select[#1 = 5](S * R))").unwrap();
+        let cq = expr_to_conjunctive(&original, &sig()).unwrap();
+        let rebuilt = cq.to_expr().unwrap();
+        // The rebuilt expression is a project-select-product over the same
+        // relations.
+        assert_eq!(rebuilt.relations(), original.relations());
+        check_arities(&cq, &sig()).unwrap();
+    }
+
+    #[test]
+    fn canonical_bodies_compare_equal() {
+        let a = expr_to_conjunctive(&parse_expr("project[0](S * R)").unwrap(), &sig()).unwrap();
+        let b = expr_to_conjunctive(&parse_expr("project[2](S * R)").unwrap(), &sig()).unwrap();
+        assert!(a.same_body(&b));
+        let c = expr_to_conjunctive(&parse_expr("project[0](T * R)").unwrap(), &sig()).unwrap();
+        assert!(!a.same_body(&c));
+    }
+
+    #[test]
+    fn contradictory_constants_fail() {
+        let expr = parse_expr("select[#0 = 1 and #0 = 2](R)").unwrap();
+        assert!(expr_to_conjunctive(&expr, &sig()).is_err());
+    }
+
+    #[test]
+    fn func_restrictions_are_recorded() {
+        // A selection comparing a Skolem output against a constant becomes a
+        // restricting equality rather than a constant binding.
+        let expr = parse_expr("select[#1 = 7](skolem:f[0](R))").unwrap();
+        let cq = expr_to_conjunctive(&expr, &sig()).unwrap();
+        assert_eq!(cq.func_eqs.len(), 1);
+        assert!(cq.has_func());
+    }
+
+    #[test]
+    fn nested_function_detection() {
+        let expr = parse_expr("skolem:g[1](skolem:f[0](R))").unwrap();
+        let cq = expr_to_conjunctive(&expr, &sig()).unwrap();
+        let nested = cq.head.iter().any(Term::has_nested_func);
+        assert!(nested);
+    }
+}

@@ -1,0 +1,369 @@
+//! Data exchange: materialise a target instance from a source instance and a
+//! mapping.
+//!
+//! The paper motivates composition with data migration ("With this mapping,
+//! the designer can now migrate data from the old schema to the new schema",
+//! Example 1) and cites data exchange as the application of the
+//! second-order-tgd line of work [5]. This module provides that downstream
+//! consumer: a chase-style engine that, given a source instance and a set of
+//! algebraic constraints, computes a canonical target instance satisfying
+//! every supported constraint, inventing labelled nulls for
+//! existentially-required values.
+//!
+//! Supported constraints are containments `E1 ⊆ E2` (equalities contribute
+//! their left-to-right direction) whose right-hand side converts to
+//! conjunctive form over target relations (select–project–join shapes, the
+//! same fragment deskolemization handles). Constraints that do not fit are
+//! reported, not silently dropped.
+
+use std::collections::BTreeSet;
+
+use mapcomp_algebra::{
+    eval, Constraint, Expr, Instance, Signature, Tuple, Value,
+};
+
+use crate::cq::{expr_to_conjunctive, Conjunctive, Term};
+use crate::registry::Registry;
+
+/// Configuration of the chase.
+#[derive(Debug, Clone)]
+pub struct ExchangeConfig {
+    /// Maximum number of chase rounds (a round applies every constraint
+    /// once). Target-to-target constraints may need several rounds; purely
+    /// source-to-target mappings converge in one.
+    pub max_rounds: usize,
+    /// Hard cap on the number of labelled nulls, as a safety valve against
+    /// non-terminating chases.
+    pub max_nulls: usize,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig { max_rounds: 16, max_nulls: 10_000 }
+    }
+}
+
+/// Result of a data-exchange run.
+#[derive(Debug, Clone)]
+pub struct ExchangeResult {
+    /// The computed target instance (a canonical solution).
+    pub target: Instance,
+    /// Number of labelled nulls invented.
+    pub nulls_created: usize,
+    /// Number of chase rounds executed.
+    pub rounds: usize,
+    /// Constraints that could not be used for exchange (with the reason).
+    pub skipped: Vec<(Constraint, String)>,
+    /// Did the chase reach a fixpoint (as opposed to hitting a limit)?
+    pub converged: bool,
+}
+
+/// A constraint prepared for chasing: an evaluable premise and a conjunctive
+/// conclusion over target relations.
+struct ChaseRule {
+    premise: Expr,
+    conclusion: Conjunctive,
+    /// Expression recomputing the currently-derivable conclusion heads, used
+    /// to test whether a premise tuple is already satisfied.
+    conclusion_check: Expr,
+}
+
+/// Compute a canonical target instance for `constraints` from `source`.
+///
+/// `full_sig` must cover every relation mentioned by the constraints;
+/// `target_sig` lists the relations to be populated (anything not in
+/// `target_sig` is treated as source data and read from `source`).
+pub fn exchange(
+    constraints: &[Constraint],
+    full_sig: &Signature,
+    target_sig: &Signature,
+    source: &Instance,
+    registry: &Registry,
+    config: &ExchangeConfig,
+) -> ExchangeResult {
+    let mut skipped = Vec::new();
+    let mut rules = Vec::new();
+
+    for constraint in constraints {
+        for containment in constraint.as_containments() {
+            // Only directions that can populate the target are chase rules:
+            // the conclusion must mention at least one target relation and
+            // convert to conjunctive form.
+            let mentions_target =
+                containment.rhs.relations().iter().any(|name| target_sig.contains(name));
+            if !mentions_target {
+                continue;
+            }
+            match expr_to_conjunctive(&containment.rhs, full_sig) {
+                Ok(conclusion) => {
+                    if conclusion.head.iter().any(Term::has_func) {
+                        skipped.push((
+                            containment.clone(),
+                            "conclusion contains Skolem functions".to_string(),
+                        ));
+                        continue;
+                    }
+                    let conclusion_check = match conclusion.to_expr() {
+                        Ok(expr) => expr,
+                        Err(reason) => {
+                            skipped.push((containment.clone(), reason));
+                            continue;
+                        }
+                    };
+                    rules.push(ChaseRule {
+                        premise: containment.lhs.clone(),
+                        conclusion,
+                        conclusion_check,
+                    });
+                }
+                Err(reason) => skipped.push((containment.clone(), reason)),
+            }
+        }
+    }
+
+    let mut target = Instance::new();
+    let mut nulls_created = 0usize;
+    let mut rounds = 0usize;
+    let mut converged = false;
+
+    while rounds < config.max_rounds {
+        rounds += 1;
+        let mut changed = false;
+        for rule in &rules {
+            let combined = source.merge(&target);
+            let premise_tuples = match eval(&rule.premise, full_sig, registry.operators(), &combined)
+            {
+                Ok(relation) => relation,
+                Err(_) => continue,
+            };
+            if premise_tuples.is_empty() {
+                continue;
+            }
+            let satisfied =
+                eval(&rule.conclusion_check, full_sig, registry.operators(), &combined)
+                    .unwrap_or_default();
+            for tuple in premise_tuples.iter() {
+                if satisfied.contains(tuple) {
+                    continue;
+                }
+                if nulls_created >= config.max_nulls {
+                    return ExchangeResult {
+                        target,
+                        nulls_created,
+                        rounds,
+                        skipped,
+                        converged: false,
+                    };
+                }
+                fire(rule, tuple, target_sig, &mut target, &mut nulls_created);
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    ExchangeResult { target, nulls_created, rounds, skipped, converged }
+}
+
+/// Insert the tuples required by one rule firing: head variables take the
+/// premise tuple's values, other body variables take fresh labelled nulls.
+fn fire(
+    rule: &ChaseRule,
+    premise_tuple: &Tuple,
+    target_sig: &Signature,
+    target: &mut Instance,
+    nulls_created: &mut usize,
+) {
+    use std::collections::BTreeMap;
+    let mut binding: BTreeMap<usize, Value> = BTreeMap::new();
+    for (term, value) in rule.conclusion.head.iter().zip(premise_tuple) {
+        if let Term::Var(var) = term {
+            binding.insert(*var, value.clone());
+        }
+    }
+    for (var, constant) in &rule.conclusion.const_of {
+        binding.entry(*var).or_insert_with(|| constant.clone());
+    }
+    // Fresh labelled nulls for the remaining (existential) variables.
+    let body_vars: BTreeSet<usize> = rule.conclusion.body_vars();
+    for var in body_vars {
+        binding.entry(var).or_insert_with(|| {
+            *nulls_created += 1;
+            Value::Str(format!("_null{}", *nulls_created))
+        });
+    }
+    for atom in &rule.conclusion.atoms {
+        if !target_sig.contains(&atom.rel) {
+            // Atoms over source relations in the conclusion cannot be chased
+            // into; they act as additional conditions and are ignored here
+            // (the premise check keeps the result sound for s-t constraints).
+            continue;
+        }
+        let tuple: Tuple = atom
+            .args
+            .iter()
+            .map(|var| binding.get(var).cloned().unwrap_or(Value::Null))
+            .collect();
+        target.insert(&atom.rel, tuple);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapcomp_algebra::{parse_constraints, tuple, ConstraintSet};
+
+    fn registry() -> Registry {
+        Registry::standard()
+    }
+
+    #[test]
+    fn example_1_migration_populates_names_and_years() {
+        // The composed Example 1 mapping migrates five-star movies into the
+        // evolved schema.
+        let full = Signature::from_arities([("Movies", 4), ("Names", 2), ("Years", 2)]);
+        let target = Signature::from_arities([("Names", 2), ("Years", 2)]);
+        let constraints = parse_constraints(
+            "project[0,1](select[#3 = 5](Movies)) <= Names; \
+             project[0,2](select[#3 = 5](Movies)) <= Years",
+        )
+        .unwrap()
+        .into_vec();
+        let mut source = Instance::new();
+        source.insert("Movies", tuple([1i64, 100, 1999, 5]));
+        source.insert("Movies", tuple([2i64, 200, 2001, 3]));
+        source.insert("Movies", tuple([3i64, 300, 2003, 5]));
+
+        let result =
+            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        assert!(result.converged);
+        assert!(result.skipped.is_empty());
+        assert_eq!(result.nulls_created, 0);
+        assert_eq!(result.target.get("Names").len(), 2);
+        assert!(result.target.get("Names").contains(&tuple([1i64, 100])));
+        assert!(result.target.get("Years").contains(&tuple([3i64, 2003])));
+        assert!(!result.target.get("Names").contains(&tuple([2i64, 200])));
+
+        // The produced instance satisfies the mapping.
+        let merged = source.merge(&result.target);
+        let set = ConstraintSet::from_constraints(constraints);
+        assert!(set.satisfied_by(&full, registry().operators(), &merged).unwrap());
+    }
+
+    #[test]
+    fn existential_columns_get_labelled_nulls() {
+        // R(x) → ∃y S(x, y): the second column of S is invented.
+        let full = Signature::from_arities([("R", 1), ("S", 2)]);
+        let target = Signature::from_arities([("S", 2)]);
+        let constraints = parse_constraints("R <= project[0](S)").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R", tuple([7i64]));
+        source.insert("R", tuple([8i64]));
+
+        let result =
+            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        assert!(result.converged);
+        assert_eq!(result.target.get("S").len(), 2);
+        assert_eq!(result.nulls_created, 2);
+        let merged = source.merge(&result.target);
+        let set = ConstraintSet::from_constraints(constraints);
+        assert!(set.satisfied_by(&full, registry().operators(), &merged).unwrap());
+    }
+
+    #[test]
+    fn join_conclusions_populate_both_relations() {
+        // Movies(m,n,y) → Names(m,n) ⋈ Years(m,y) written as a single
+        // conclusion over a join expression.
+        let full = Signature::from_arities([("Movies", 3), ("Names", 2), ("Years", 2)]);
+        let target = Signature::from_arities([("Names", 2), ("Years", 2)]);
+        let conclusion = Expr::rel("Names").join_on(Expr::rel("Years"), &[(0, 0)], 2, 2);
+        let constraints = vec![Constraint::containment(
+            Expr::rel("Movies").project(vec![0, 1, 2]),
+            conclusion,
+        )];
+        let mut source = Instance::new();
+        source.insert("Movies", tuple([1i64, 10, 1990]));
+
+        let result =
+            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        assert!(result.converged);
+        assert!(result.target.get("Names").contains(&tuple([1i64, 10])));
+        assert!(result.target.get("Years").contains(&tuple([1i64, 1990])));
+    }
+
+    #[test]
+    fn target_to_target_constraints_chase_to_fixpoint() {
+        // Source copies into S, and an inclusion constraint on the target
+        // side requires every S key to appear in T as well.
+        let full = Signature::from_arities([("R", 2), ("S", 2), ("T", 1)]);
+        let target = Signature::from_arities([("S", 2), ("T", 1)]);
+        let constraints =
+            parse_constraints("R <= S; project[0](S) <= T").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R", tuple([4i64, 40]));
+
+        let result =
+            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        assert!(result.converged);
+        assert!(result.rounds >= 2);
+        assert!(result.target.get("S").contains(&tuple([4i64, 40])));
+        assert!(result.target.get("T").contains(&tuple([4i64])));
+    }
+
+    #[test]
+    fn already_satisfied_premises_do_not_fire() {
+        let full = Signature::from_arities([("R", 1), ("S", 1)]);
+        let target = Signature::from_arities([("S", 1)]);
+        let constraints = parse_constraints("R <= S").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R", tuple([1i64]));
+        let first =
+            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        // Chasing again over source ∪ previously-computed target changes
+        // nothing: idempotence.
+        let merged_source = source.merge(&first.target);
+        let second = exchange(
+            &constraints,
+            &full,
+            &target,
+            &merged_source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        assert!(second.target.get("S").is_subset(&first.target.get("S")));
+        assert_eq!(second.nulls_created, 0);
+    }
+
+    #[test]
+    fn unsupported_conclusions_are_reported() {
+        // A union on the right cannot be chased; the constraint is reported
+        // in `skipped` rather than silently ignored.
+        let full = Signature::from_arities([("R", 1), ("S", 1), ("T", 1)]);
+        let target = Signature::from_arities([("S", 1), ("T", 1)]);
+        let constraints = parse_constraints("R <= S + T").unwrap().into_vec();
+        let source = {
+            let mut inst = Instance::new();
+            inst.insert("R", tuple([1i64]));
+            inst
+        };
+        let result =
+            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        assert_eq!(result.skipped.len(), 1);
+        assert!(result.target.get("S").is_empty() && result.target.get("T").is_empty());
+    }
+
+    #[test]
+    fn equalities_contribute_their_forward_direction() {
+        let full = Signature::from_arities([("R", 2), ("S", 2)]);
+        let target = Signature::from_arities([("S", 2)]);
+        let constraints = parse_constraints("S = R").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R", tuple([5i64, 6]));
+        let result =
+            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        assert!(result.target.get("S").contains(&tuple([5i64, 6])));
+    }
+}

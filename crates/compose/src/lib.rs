@@ -1,0 +1,54 @@
+//! # mapcomp-compose
+//!
+//! The mapping-composition algorithm of *"Implementing Mapping Composition"*
+//! (Bernstein, Green, Melnik, Nash; VLDB 2006): a best-effort, algebra-based,
+//! extensible composition component.
+//!
+//! Given constraints Σ12 over σ1 ∪ σ2 and Σ23 over σ2 ∪ σ3, [`compose`]
+//! eliminates as many σ2 symbols as possible from Σ12 ∪ Σ23, producing an
+//! equivalent constraint set over σ1 ∪ σ3 (plus any σ2 symbols that resisted
+//! elimination). Per symbol, [`eliminate`] tries:
+//!
+//! 1. **View unfolding** (§3.2) — substitute a defining equality `S = E`.
+//! 2. **Left compose** (§3.4) — isolate `S ⊆ E1` and substitute into
+//!    monotone right-hand sides; then eliminate the `D` relation.
+//! 3. **Right compose** (§3.5) — isolate `E1 ⊆ S` (Skolemizing projections),
+//!    substitute into monotone left-hand sides, deskolemize, and eliminate
+//!    the `∅` relation.
+//!
+//! The algorithm is extensible: the [`Registry`] carries monotonicity rules,
+//! normalization rules and simplification rules per user-defined operator
+//! ([`builtins`] ships left outer join, semijoin, antijoin and transitive
+//! closure). [`verify`] provides a bounded-model equivalence checker used by
+//! the test suite.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builtins;
+pub mod compose;
+pub mod cq;
+pub mod deskolem;
+pub mod eliminate;
+pub mod exchange;
+pub mod left;
+pub mod minimize;
+pub mod monotone;
+pub mod outcome;
+pub mod registry;
+pub mod right;
+pub mod simplify;
+pub mod verify;
+pub mod view_unfold;
+
+pub use compose::{
+    compose, compose_constraints, ComposeConfig, ComposeResult, ComposeStats, SymbolOutcome,
+    SymbolReport,
+};
+pub use eliminate::eliminate;
+pub use exchange::{exchange, ExchangeConfig, ExchangeResult};
+pub use minimize::{minimize_expr, minimize_mapping, remove_implied};
+pub use monotone::{is_monotone, monotonicity};
+pub use outcome::{EliminateFailure, EliminateStep, EliminateSuccess, FailureReason};
+pub use registry::{Monotonicity, OperatorRules, Registry};
+pub use verify::{check_equivalence, EquivalenceReport, VerifyConfig};

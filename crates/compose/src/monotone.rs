@@ -1,0 +1,146 @@
+//! The MONOTONE procedure (paper §3.3).
+//!
+//! `MONOTONE` takes an expression and a relation symbol and reports whether
+//! the expression is monotone (`m`), anti-monotone (`a`), independent (`i`)
+//! or unknown (`u`) in that symbol. The procedure is *sound but incomplete*:
+//! e.g. `σ_{c1}(S) − σ_{c2}(S)` reports `u` even though specific predicates
+//! could make it monotone.
+
+use mapcomp_algebra::Expr;
+
+use crate::registry::{Monotonicity, Registry};
+
+/// Compute the monotonicity of `expr` in the relation symbol `sym`.
+///
+/// The six basic operators use the table of paper §3.3: σ and π pass the
+/// operand's value through, ∪/∩/× combine operands symmetrically, and −
+/// combines its first operand with the *flipped* second operand. Skolem
+/// pseudo-operators pass their operand through (adding a functionally
+/// determined column preserves monotonicity). User-defined operators consult
+/// the registry and default to `u` whenever any argument depends on `sym`.
+///
+/// The special relations `D^r` and `∅` are treated as independent of every
+/// symbol, matching the paper's use of `D` in normalization rules.
+pub fn monotonicity(expr: &Expr, sym: &str, registry: &Registry) -> Monotonicity {
+    match expr {
+        Expr::Rel(name) => {
+            if name == sym {
+                Monotonicity::Monotone
+            } else {
+                Monotonicity::Independent
+            }
+        }
+        Expr::Domain(_) | Expr::Empty(_) => Monotonicity::Independent,
+        Expr::Union(a, b) | Expr::Intersect(a, b) | Expr::Product(a, b) => {
+            monotonicity(a, sym, registry).combine(monotonicity(b, sym, registry))
+        }
+        Expr::Difference(a, b) => monotonicity(a, sym, registry)
+            .combine(monotonicity(b, sym, registry).flip()),
+        Expr::Project(_, inner) | Expr::Select(_, inner) | Expr::Skolem(_, inner) => {
+            monotonicity(inner, sym, registry)
+        }
+        Expr::Apply(name, args) => {
+            let arg_monotonicity: Vec<Monotonicity> =
+                args.iter().map(|arg| monotonicity(arg, sym, registry)).collect();
+            registry.operator_monotonicity(name, &arg_monotonicity)
+        }
+    }
+}
+
+/// Is `expr` monotone (or independent) in `sym`?
+pub fn is_monotone(expr: &Expr, sym: &str, registry: &Registry) -> bool {
+    monotonicity(expr, sym, registry).is_monotone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapcomp_algebra::{Pred, SkolemFn};
+
+    fn reg() -> Registry {
+        Registry::standard()
+    }
+
+    #[test]
+    fn base_cases() {
+        assert_eq!(monotonicity(&Expr::rel("S"), "S", &reg()), Monotonicity::Monotone);
+        assert_eq!(monotonicity(&Expr::rel("T"), "S", &reg()), Monotonicity::Independent);
+        assert_eq!(monotonicity(&Expr::domain(2), "S", &reg()), Monotonicity::Independent);
+        assert_eq!(monotonicity(&Expr::empty(1), "S", &reg()), Monotonicity::Independent);
+    }
+
+    #[test]
+    fn paper_examples() {
+        // S × T is monotone in S.
+        let e = Expr::rel("S").product(Expr::rel("T"));
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Monotone);
+        // σ_{c1}(S) − σ_{c2}(S) is unknown in S.
+        let e = Expr::rel("S")
+            .select(Pred::eq_const(0, 1))
+            .difference(Expr::rel("S").select(Pred::eq_const(0, 2)));
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Unknown);
+    }
+
+    #[test]
+    fn difference_polarity() {
+        // R − S: monotone in R, anti-monotone in S (paper §1.3).
+        let e = Expr::rel("R").difference(Expr::rel("S"));
+        assert_eq!(monotonicity(&e, "R", &reg()), Monotonicity::Monotone);
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::AntiMonotone);
+        assert_eq!(monotonicity(&e, "T", &reg()), Monotonicity::Independent);
+        // Double negation: R − (T − S) is monotone in S.
+        let e = Expr::rel("R").difference(Expr::rel("T").difference(Expr::rel("S")));
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Monotone);
+    }
+
+    #[test]
+    fn select_project_and_skolem_pass_through() {
+        let e = Expr::rel("S").select(Pred::eq_cols(0, 1)).project(vec![0]);
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Monotone);
+        let e = Expr::rel("T").difference(Expr::rel("S")).project(vec![0]);
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::AntiMonotone);
+        let e = Expr::rel("S").skolem(SkolemFn::new("f", vec![0]));
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Monotone);
+    }
+
+    #[test]
+    fn mixed_polarity_is_unknown() {
+        // S ∪ (T − S): m combined with a → u.
+        let e = Expr::rel("S").union(Expr::rel("T").difference(Expr::rel("S")));
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Unknown);
+    }
+
+    #[test]
+    fn registered_operators_have_rules() {
+        // Left outer join: monotone in its first argument, unknown in its second.
+        let e = Expr::apply("ljoin", vec![Expr::rel("S"), Expr::rel("T")]);
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Monotone);
+        let e = Expr::apply("ljoin", vec![Expr::rel("T"), Expr::rel("S")]);
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Unknown);
+        // Transitive closure is monotone.
+        let e = Expr::apply("tc", vec![Expr::rel("S")]);
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Monotone);
+        // Antijoin is anti-monotone in its second argument.
+        let e = Expr::apply("antijoin", vec![Expr::rel("T"), Expr::rel("S")]);
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::AntiMonotone);
+        // Semijoin is monotone in both arguments.
+        let e = Expr::apply("semijoin", vec![Expr::rel("S"), Expr::rel("S")]);
+        assert_eq!(monotonicity(&e, "S", &reg()), Monotonicity::Monotone);
+    }
+
+    #[test]
+    fn unregistered_operator_is_conservative() {
+        let registry = Registry::new();
+        let e = Expr::apply("mystery", vec![Expr::rel("S")]);
+        assert_eq!(monotonicity(&e, "S", &registry), Monotonicity::Unknown);
+        let e = Expr::apply("mystery", vec![Expr::rel("T")]);
+        assert_eq!(monotonicity(&e, "S", &registry), Monotonicity::Independent);
+    }
+
+    #[test]
+    fn is_monotone_helper() {
+        assert!(is_monotone(&Expr::rel("S"), "S", &reg()));
+        assert!(is_monotone(&Expr::rel("T"), "S", &reg()));
+        assert!(!is_monotone(&Expr::rel("T").difference(Expr::rel("S")), "S", &reg()));
+    }
+}

@@ -1,0 +1,135 @@
+//! Outcome types shared by the elimination steps and the COMPOSE driver.
+
+use std::fmt;
+
+use mapcomp_algebra::Constraint;
+
+/// Which of the three ELIMINATE sub-procedures succeeded (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EliminateStep {
+    /// Step 1: view unfolding (§3.2).
+    ViewUnfolding,
+    /// Step 2: left compose (§3.4).
+    LeftCompose,
+    /// Step 3: right compose (§3.5).
+    RightCompose,
+}
+
+impl fmt::Display for EliminateStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EliminateStep::ViewUnfolding => write!(f, "view unfolding"),
+            EliminateStep::LeftCompose => write!(f, "left compose"),
+            EliminateStep::RightCompose => write!(f, "right compose"),
+        }
+    }
+}
+
+/// Why an elimination sub-procedure failed for a particular symbol. These
+/// reasons drive the statistics reported by the experiment harness.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailureReason {
+    /// The step was disabled by the configuration (ablation experiments).
+    Disabled,
+    /// View unfolding found no constraint of the form `S = E` with `E` free
+    /// of `S`.
+    NoDefiningEquality,
+    /// Some constraint mentions the symbol on both sides of a containment.
+    SymbolOnBothSides,
+    /// An expression containing the symbol on the right of a containment is
+    /// not monotone in the symbol (blocks left compose).
+    NotRightMonotone,
+    /// An expression containing the symbol on the left of a containment is
+    /// not monotone in the symbol (blocks right compose).
+    NotLeftMonotone,
+    /// Left normalization could not isolate the symbol (no rewriting rule for
+    /// some operator, duplicate projection columns, ...).
+    LeftNormalizeFailed(String),
+    /// Right normalization could not isolate the symbol.
+    RightNormalizeFailed(String),
+    /// De-Skolemization failed (paper §3.5.3 lists several failure points).
+    DeskolemizeFailed(String),
+    /// The result exceeded the output/input size budget (paper §4.2 aborts at
+    /// a 100× operator-count blow-up).
+    Blowup {
+        /// Operator count after the step.
+        output_ops: usize,
+        /// Operator-count budget that was exceeded.
+        budget: usize,
+    },
+    /// The constraints still mention the symbol after the step (internal
+    /// guard; should not normally occur).
+    SymbolRemains,
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureReason::Disabled => write!(f, "step disabled by configuration"),
+            FailureReason::NoDefiningEquality => write!(f, "no defining equality"),
+            FailureReason::SymbolOnBothSides => write!(f, "symbol occurs on both sides of a constraint"),
+            FailureReason::NotRightMonotone => write!(f, "a right-hand side is not monotone in the symbol"),
+            FailureReason::NotLeftMonotone => write!(f, "a left-hand side is not monotone in the symbol"),
+            FailureReason::LeftNormalizeFailed(msg) => write!(f, "left normalization failed: {msg}"),
+            FailureReason::RightNormalizeFailed(msg) => write!(f, "right normalization failed: {msg}"),
+            FailureReason::DeskolemizeFailed(msg) => write!(f, "deskolemization failed: {msg}"),
+            FailureReason::Blowup { output_ops, budget } => {
+                write!(f, "size blow-up: {output_ops} operators exceeds budget {budget}")
+            }
+            FailureReason::SymbolRemains => write!(f, "symbol still present after elimination"),
+        }
+    }
+}
+
+/// Successful elimination of one symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminateSuccess {
+    /// The resulting constraints, free of the eliminated symbol.
+    pub constraints: Vec<Constraint>,
+    /// Which sub-procedure succeeded.
+    pub step: EliminateStep,
+}
+
+/// Failed elimination of one symbol: the reasons each sub-procedure gave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EliminateFailure {
+    /// Why view unfolding failed.
+    pub view_unfolding: FailureReason,
+    /// Why left compose failed.
+    pub left_compose: FailureReason,
+    /// Why right compose failed.
+    pub right_compose: FailureReason,
+}
+
+impl fmt::Display for EliminateFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "view unfolding: {}; left compose: {}; right compose: {}",
+            self.view_unfolding, self.left_compose, self.right_compose
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(EliminateStep::ViewUnfolding.to_string(), "view unfolding");
+        assert_eq!(EliminateStep::LeftCompose.to_string(), "left compose");
+        assert_eq!(EliminateStep::RightCompose.to_string(), "right compose");
+        let failure = EliminateFailure {
+            view_unfolding: FailureReason::NoDefiningEquality,
+            left_compose: FailureReason::NotRightMonotone,
+            right_compose: FailureReason::DeskolemizeFailed("cycle".into()),
+        };
+        let text = failure.to_string();
+        assert!(text.contains("no defining equality"));
+        assert!(text.contains("not monotone"));
+        assert!(text.contains("cycle"));
+        let blowup = FailureReason::Blowup { output_ops: 1000, budget: 100 };
+        assert!(blowup.to_string().contains("1000"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Operator registry: extensibility point of the composition algorithm.
+//!
+//! Paper §1.3 ("Extensibility and modularity"): "Our algorithm is extensible
+//! by allowing additional information to be added separately for each
+//! operator in the form of information about monotonicity and rules for
+//! normalization and denormalization. Many of the steps are rule-based and
+//! implemented in such a way that it is easy to add rules or new operators."
+//!
+//! A [`Registry`] wraps the algebra crate's [`OperatorSet`] (typing +
+//! evaluation) and adds, per user-defined operator:
+//!
+//! * a **monotonicity rule** (§3.3) mapping argument monotonicities to the
+//!   operator's monotonicity,
+//! * an optional **right-normalization rule** (§3.5.1) for constraints of the
+//!   form `E1 ⊆ op(...)`,
+//! * an optional **left-normalization rule** (§3.4.1) for constraints of the
+//!   form `op(...) ⊆ E2`,
+//! * an optional **simplification rule** used by the eliminate-domain
+//!   (§3.4.3) and eliminate-empty (§3.5.4) steps.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use mapcomp_algebra::{Constraint, Expr, OperatorDef, OperatorSet};
+
+/// Result of the MONOTONE procedure (paper §3.3): how an expression responds
+/// to adding tuples to one relation symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Monotonicity {
+    /// Adding tuples to the symbol can only add output tuples (`'m'`).
+    Monotone,
+    /// Adding tuples to the symbol can only remove output tuples (`'a'`).
+    AntiMonotone,
+    /// The output does not depend on the symbol (`'i'`).
+    Independent,
+    /// Nothing is known (`'u'`).
+    Unknown,
+}
+
+impl Monotonicity {
+    /// The flipped polarity (used for the second argument of set difference
+    /// and similar operators).
+    pub fn flip(self) -> Monotonicity {
+        match self {
+            Monotonicity::Monotone => Monotonicity::AntiMonotone,
+            Monotonicity::AntiMonotone => Monotonicity::Monotone,
+            other => other,
+        }
+    }
+
+    /// Combination rule shared by ∪, ∩ and × (paper §3.3: they "behave in the
+    /// same way from the point of view of MONOTONE").
+    pub fn combine(self, other: Monotonicity) -> Monotonicity {
+        use Monotonicity::*;
+        match (self, other) {
+            (Independent, x) | (x, Independent) => x,
+            (Monotone, Monotone) => Monotone,
+            (AntiMonotone, AntiMonotone) => AntiMonotone,
+            _ => Unknown,
+        }
+    }
+
+    /// Is the expression usable where a monotone occurrence is required?
+    /// Independent expressions are trivially monotone.
+    pub fn is_monotone(self) -> bool {
+        matches!(self, Monotonicity::Monotone | Monotonicity::Independent)
+    }
+
+    /// Single-letter code used in the paper and in debug output.
+    pub fn code(self) -> char {
+        match self {
+            Monotonicity::Monotone => 'm',
+            Monotonicity::AntiMonotone => 'a',
+            Monotonicity::Independent => 'i',
+            Monotonicity::Unknown => 'u',
+        }
+    }
+}
+
+impl fmt::Display for Monotonicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Monotonicity rule for a user-defined operator: argument monotonicities in,
+/// operator monotonicity out.
+pub type MonotonicityRule = Arc<dyn Fn(&[Monotonicity]) -> Monotonicity + Send + Sync>;
+
+/// Right-normalization rule: rewrite `lhs ⊆ op(args)` into an equivalent
+/// list of constraints, or `None` if the rule does not apply.
+pub type RightNormalizeRule =
+    Arc<dyn Fn(&Expr, &[Expr]) -> Option<Vec<Constraint>> + Send + Sync>;
+
+/// Left-normalization rule: rewrite `op(args) ⊆ rhs` into an equivalent list
+/// of constraints, or `None` if the rule does not apply.
+pub type LeftNormalizeRule =
+    Arc<dyn Fn(&[Expr], &Expr) -> Option<Vec<Constraint>> + Send + Sync>;
+
+/// Simplification rule used by the eliminate-domain and eliminate-empty
+/// steps: given the operator's arguments (some of which are `D^r` or `∅`),
+/// return a simpler equivalent expression, or `None`.
+pub type SimplifyRule = Arc<dyn Fn(&[Expr]) -> Option<Expr> + Send + Sync>;
+
+/// Composition-specific knowledge about one user-defined operator.
+#[derive(Clone, Default)]
+pub struct OperatorRules {
+    /// Monotonicity rule (§3.3). Defaults to "unknown whenever any argument
+    /// depends on the symbol".
+    pub monotonicity: Option<MonotonicityRule>,
+    /// Right-normalization rule (§3.5.1).
+    pub right_normalize: Option<RightNormalizeRule>,
+    /// Left-normalization rule (§3.4.1).
+    pub left_normalize: Option<LeftNormalizeRule>,
+    /// Domain / empty-relation simplification rule (§3.4.3, §3.5.4).
+    pub simplify: Option<SimplifyRule>,
+}
+
+impl fmt::Debug for OperatorRules {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OperatorRules")
+            .field("has_monotonicity", &self.monotonicity.is_some())
+            .field("has_right_normalize", &self.right_normalize.is_some())
+            .field("has_left_normalize", &self.left_normalize.is_some())
+            .field("has_simplify", &self.simplify.is_some())
+            .finish()
+    }
+}
+
+/// The registry: typing/evaluation definitions plus composition rules for
+/// user-defined operators.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    ops: OperatorSet,
+    rules: BTreeMap<String, OperatorRules>,
+}
+
+impl Registry {
+    /// Registry with no user-defined operators (the six basic operators are
+    /// always available).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registry pre-loaded with the extended operators shipped with this
+    /// implementation: left outer join, semijoin, antijoin and transitive
+    /// closure (see [`crate::builtins`]).
+    pub fn standard() -> Self {
+        let mut registry = Registry::new();
+        crate::builtins::register_all(&mut registry);
+        registry
+    }
+
+    /// Register an operator definition (typing + optional evaluation).
+    pub fn register(&mut self, def: OperatorDef) -> &mut Self {
+        self.ops.register(def);
+        self
+    }
+
+    /// Register (or replace) composition rules for an operator.
+    pub fn set_rules(&mut self, name: impl Into<String>, rules: OperatorRules) -> &mut Self {
+        self.rules.insert(name.into(), rules);
+        self
+    }
+
+    /// The underlying operator set (typing + evaluation).
+    pub fn operators(&self) -> &OperatorSet {
+        &self.ops
+    }
+
+    /// Composition rules for an operator, if registered.
+    pub fn rules(&self, name: &str) -> Option<&OperatorRules> {
+        self.rules.get(name)
+    }
+
+    /// Monotonicity of a user-defined operator given its arguments'
+    /// monotonicities. Falls back to the conservative default: independent
+    /// when no argument depends on the symbol, unknown otherwise.
+    pub fn operator_monotonicity(&self, name: &str, args: &[Monotonicity]) -> Monotonicity {
+        if let Some(rule) = self.rules.get(name).and_then(|r| r.monotonicity.as_ref()) {
+            return rule(args);
+        }
+        if args.iter().all(|m| *m == Monotonicity::Independent) {
+            Monotonicity::Independent
+        } else {
+            Monotonicity::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_matches_paper_table() {
+        use Monotonicity::*;
+        assert_eq!(Monotone.combine(Monotone), Monotone);
+        assert_eq!(Monotone.combine(Independent), Monotone);
+        assert_eq!(Independent.combine(AntiMonotone), AntiMonotone);
+        assert_eq!(Monotone.combine(AntiMonotone), Unknown);
+        assert_eq!(Unknown.combine(Independent), Unknown);
+        assert_eq!(AntiMonotone.combine(AntiMonotone), AntiMonotone);
+        assert_eq!(Independent.combine(Independent), Independent);
+    }
+
+    #[test]
+    fn flip_swaps_polarity() {
+        assert_eq!(Monotonicity::Monotone.flip(), Monotonicity::AntiMonotone);
+        assert_eq!(Monotonicity::AntiMonotone.flip(), Monotonicity::Monotone);
+        assert_eq!(Monotonicity::Independent.flip(), Monotonicity::Independent);
+        assert_eq!(Monotonicity::Unknown.flip(), Monotonicity::Unknown);
+    }
+
+    #[test]
+    fn codes_match_paper() {
+        assert_eq!(Monotonicity::Monotone.code(), 'm');
+        assert_eq!(Monotonicity::AntiMonotone.code(), 'a');
+        assert_eq!(Monotonicity::Independent.code(), 'i');
+        assert_eq!(Monotonicity::Unknown.code(), 'u');
+        assert!(Monotonicity::Independent.is_monotone());
+        assert!(!Monotonicity::Unknown.is_monotone());
+    }
+
+    #[test]
+    fn default_operator_monotonicity_is_conservative() {
+        let registry = Registry::new();
+        assert_eq!(
+            registry.operator_monotonicity("mystery", &[Monotonicity::Independent]),
+            Monotonicity::Independent
+        );
+        assert_eq!(
+            registry.operator_monotonicity("mystery", &[Monotonicity::Monotone]),
+            Monotonicity::Unknown
+        );
+    }
+
+    #[test]
+    fn rules_can_be_registered_and_found() {
+        let mut registry = Registry::new();
+        registry.register(OperatorDef::new("widen", 1, |a| a.first().map(|x| x + 1)));
+        registry.set_rules(
+            "widen",
+            OperatorRules {
+                monotonicity: Some(Arc::new(|args: &[Monotonicity]| args[0])),
+                ..OperatorRules::default()
+            },
+        );
+        assert!(registry.rules("widen").is_some());
+        assert!(registry.rules("other").is_none());
+        assert_eq!(
+            registry.operator_monotonicity("widen", &[Monotonicity::Monotone]),
+            Monotonicity::Monotone
+        );
+        assert!(registry.operators().contains("widen"));
+    }
+}

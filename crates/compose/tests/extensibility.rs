@@ -1,0 +1,153 @@
+//! Integration test for the extensibility contract of paper §1.3: "all that
+//! is needed is to add new rules" — a user-defined operator becomes fully
+//! supported by registering its typing, evaluation, monotonicity,
+//! normalization and simplification rules, without touching the algorithm.
+//!
+//! The operator under test is `merge(A, B)`, a user-spelled union.
+
+use std::sync::Arc;
+
+use mapcomp_algebra::{parse_constraints, Constraint, Expr, OperatorDef, Signature};
+use mapcomp_compose::{
+    compose_constraints, eliminate, monotonicity, ComposeConfig, Monotonicity, OperatorRules,
+    Registry,
+};
+
+/// Registry with the custom `merge` operator and all of its rules.
+fn registry_with_merge() -> Registry {
+    let mut registry = Registry::standard();
+    registry.register(
+        OperatorDef::new("merge", 2, |arities| match arities {
+            [a, b] if a == b => Some(*a),
+            _ => None,
+        })
+        .with_eval(|rels, _| rels[0].union(&rels[1])),
+    );
+    registry.set_rules(
+        "merge",
+        OperatorRules {
+            // merge behaves like ∪: monotone in both arguments.
+            monotonicity: Some(Arc::new(|args: &[Monotonicity]| args[0].combine(args[1]))),
+            // Right normalization: E1 ⊆ merge(A, B)  ↔  E1 − B ⊆ A.
+            right_normalize: Some(Arc::new(|lhs: &Expr, args: &[Expr]| {
+                let [a, b] = args else { return None };
+                Some(vec![Constraint::containment(
+                    lhs.clone().difference(b.clone()),
+                    a.clone(),
+                )])
+            })),
+            // Left normalization: merge(A, B) ⊆ E  ↔  A ⊆ E, B ⊆ E.
+            left_normalize: Some(Arc::new(|args: &[Expr], rhs: &Expr| {
+                let [a, b] = args else { return None };
+                Some(vec![
+                    Constraint::containment(a.clone(), rhs.clone()),
+                    Constraint::containment(b.clone(), rhs.clone()),
+                ])
+            })),
+            // merge(E, ∅) = E.
+            simplify: Some(Arc::new(|args: &[Expr]| match args {
+                [other, Expr::Empty(_)] | [Expr::Empty(_), other] => Some(other.clone()),
+                _ => None,
+            })),
+        },
+    );
+    registry
+}
+
+/// Registry that knows how to type `merge` but has no composition rules.
+fn registry_without_rules() -> Registry {
+    let mut registry = Registry::standard();
+    registry.register(OperatorDef::new("merge", 2, |arities| match arities {
+        [a, b] if a == b => Some(*a),
+        _ => None,
+    }));
+    registry
+}
+
+fn sig() -> Signature {
+    Signature::from_arities([("R", 2), ("S", 2), ("T", 2), ("U", 2), ("V", 2), ("W", 2)])
+}
+
+#[test]
+fn monotonicity_rule_is_consulted() {
+    let registry = registry_with_merge();
+    let expr = Expr::apply("merge", vec![Expr::rel("S"), Expr::rel("W")]);
+    assert_eq!(monotonicity(&expr, "S", &registry), Monotonicity::Monotone);
+    // Without the rule the operator is opaque and the verdict conservative.
+    assert_eq!(monotonicity(&expr, "S", &registry_without_rules()), Monotonicity::Unknown);
+}
+
+#[test]
+fn left_normalization_rule_enables_left_compose() {
+    // merge(S, W) ⊆ T with V ⊆ S: isolate left compose by disabling right
+    // compose; elimination must succeed only when the rule is registered.
+    let constraints = parse_constraints("merge(S, W) <= T; V <= S").unwrap().into_vec();
+    let config = ComposeConfig::without_right_compose();
+
+    let with_rules =
+        eliminate(&constraints, "S", &sig(), &registry_with_merge(), &config).expect("eliminates");
+    assert!(with_rules.constraints.iter().all(|c| !c.mentions("S")));
+    assert!(with_rules
+        .constraints
+        .contains(&parse_constraints("V <= T").unwrap().into_vec()[0]));
+    assert!(with_rules
+        .constraints
+        .contains(&parse_constraints("W <= T").unwrap().into_vec()[0]));
+
+    let without_rules = eliminate(&constraints, "S", &sig(), &registry_without_rules(), &config);
+    assert!(without_rules.is_err(), "the operator has no rules, left compose must fail");
+}
+
+#[test]
+fn right_normalization_rule_enables_right_compose() {
+    // R ⊆ merge(S, W) with S ⊆ U: isolate right compose by disabling left
+    // compose.
+    let constraints = parse_constraints("R <= merge(S, W); S <= U").unwrap().into_vec();
+    let config = ComposeConfig::without_left_compose();
+
+    let with_rules =
+        eliminate(&constraints, "S", &sig(), &registry_with_merge(), &config).expect("eliminates");
+    assert!(with_rules.constraints.iter().all(|c| !c.mentions("S")));
+    // R − W ⊆ S composed with S ⊆ U gives R − W ⊆ U.
+    assert!(with_rules
+        .constraints
+        .contains(&parse_constraints("R - W <= U").unwrap().into_vec()[0]));
+
+    let without_rules = eliminate(&constraints, "S", &sig(), &registry_without_rules(), &config);
+    assert!(without_rules.is_err());
+}
+
+#[test]
+fn simplification_rule_is_used_during_empty_elimination() {
+    // S never appears on a right-hand side, so right compose uses the empty
+    // lower bound; the merge simplification rule must then collapse
+    // merge(∅, W) so that the surviving constraint no longer mentions merge's
+    // empty argument.
+    let constraints = parse_constraints("merge(S, W) <= T").unwrap().into_vec();
+    let config = ComposeConfig::without_left_compose();
+    let result =
+        eliminate(&constraints, "S", &sig(), &registry_with_merge(), &config).expect("eliminates");
+    assert_eq!(result.constraints, parse_constraints("W <= T").unwrap().into_vec());
+}
+
+#[test]
+fn full_driver_composes_through_the_custom_operator() {
+    // End-to-end through COMPOSE: a two-step evolution where the intermediate
+    // schema is defined with merge.
+    let registry = registry_with_merge();
+    let constraints =
+        parse_constraints("S = merge(R, V); project[0,1](S) <= T; U <= S - W").unwrap().into_vec();
+    let result = compose_constraints(
+        &sig(),
+        &["S".to_string()],
+        constraints,
+        &registry,
+        &ComposeConfig::default(),
+    );
+    assert!(result.is_complete(), "remaining: {:?}", result.remaining);
+    // View unfolding handles the defining equality even though one downstream
+    // occurrence (S − W) is fine and the operator itself needs no knowledge.
+    let text = result.constraints.to_string();
+    assert!(text.contains("merge(R, V)"));
+    assert!(!text.contains("S -") && !result.constraints.mentions("S"));
+}

@@ -1,0 +1,482 @@
+//! # mapcomp-corpus
+//!
+//! The literature test corpus of *"Implementing Mapping Composition"*
+//! (VLDB 2006), §4: "The first [data set] contains 22 composition problems
+//! drawn from the recent literature [5, 7, 8], which illustrate subtle
+//! composition issues. ... this data set serves as a test suite that can be
+//! used for verifying implementations of composition."
+//!
+//! The authors' original downloadable problem files are no longer available,
+//! so the 22 problems are re-encoded here, in this implementation's plain
+//! text syntax, from the examples printed in the paper itself and in its
+//! references (Fagin–Kolaitis–Popa–Tan [5], Melnik et al. [7], Nash et al.
+//! [8]). Each problem records its provenance, the expected outcome, and a
+//! note explaining what aspect of the algorithm it exercises.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use mapcomp_algebra::{parse_document, AlgebraError, CompositionTask};
+use mapcomp_compose::{compose, ComposeConfig, ComposeResult, Registry};
+
+/// Expected outcome of composing one corpus problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expectation {
+    /// Every intermediate (σ2) symbol should be eliminated.
+    Complete,
+    /// Exactly the listed σ2 symbols should remain.
+    Remaining(&'static [&'static str]),
+    /// At least this many σ2 symbols should be eliminated (used where the
+    /// outcome legitimately depends on heuristics such as deskolemization).
+    AtLeast(usize),
+}
+
+/// One composition problem of the corpus.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// Stable identifier (used by the benchmark harness).
+    pub id: &'static str,
+    /// Where the problem comes from.
+    pub source: &'static str,
+    /// What the problem exercises.
+    pub notes: &'static str,
+    /// The problem in the textual task format (schemas + mappings `m12`,
+    /// `m23`).
+    pub text: &'static str,
+    /// Expected outcome.
+    pub expectation: Expectation,
+}
+
+impl Problem {
+    /// Parse the problem into a composition task.
+    pub fn task(&self) -> Result<CompositionTask, AlgebraError> {
+        parse_document(self.text)?.task("m12", "m23")
+    }
+
+    /// Compose the problem with the given registry and configuration.
+    pub fn compose(
+        &self,
+        registry: &Registry,
+        config: &ComposeConfig,
+    ) -> Result<ComposeResult, AlgebraError> {
+        compose(&self.task()?, registry, config)
+    }
+
+    /// Does a composition result meet the expectation?
+    pub fn check(&self, result: &ComposeResult) -> bool {
+        match &self.expectation {
+            Expectation::Complete => result.is_complete(),
+            Expectation::Remaining(symbols) => {
+                let mut expected: Vec<&str> = symbols.to_vec();
+                expected.sort_unstable();
+                let mut actual: Vec<&str> =
+                    result.remaining.iter().map(String::as_str).collect();
+                actual.sort_unstable();
+                expected == actual
+            }
+            Expectation::AtLeast(count) => result.eliminated.len() >= *count,
+        }
+    }
+}
+
+/// The full corpus, in a stable order.
+pub fn problems() -> Vec<Problem> {
+    vec![
+        Problem {
+            id: "example1_movies",
+            source: "VLDB'06 paper, Example 1",
+            notes: "schema-editing motivation: select-project view split into two relations",
+            text: r"
+                schema sigma1 { Movies/6; }
+                schema sigma2 { FiveStarMovies/3; }
+                schema sigma3 { Names/2; Years/2; }
+                mapping m12 : sigma1 -> sigma2 {
+                    project[0,1,2](select[#3 = 5](Movies)) <= FiveStarMovies;
+                }
+                mapping m23 : sigma2 -> sigma3 {
+                    project[0,1](FiveStarMovies) <= Names;
+                    project[0,2](FiveStarMovies) <= Years;
+                }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "example3_containment_chain",
+            source: "VLDB'06 paper, Example 3",
+            notes: "simplest non-trivial composition: R ⊆ S, S ⊆ T ≡ R ⊆ T",
+            text: r"
+                schema sigma1 { R/1; }
+                schema sigma2 { S/1; }
+                schema sigma3 { T/1; }
+                mapping m12 : sigma1 -> sigma2 { R <= S; }
+                mapping m23 : sigma2 -> sigma3 { S <= T; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "example5_view_unfolding",
+            source: "VLDB'06 paper, Example 5",
+            notes: "defining equality with non-monotone downstream occurrences: only view unfolding applies",
+            text: r"
+                schema sigma1 { R1/1; R2/1; R3/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T1/1; T2/2; T3/2; }
+                mapping m12 : sigma1 -> sigma2 { S = R1 * R2; }
+                mapping m23 : sigma2 -> sigma3 {
+                    project[0](R3 - S) <= T1;
+                    T2 <= T3 - select[#0 = 1](S);
+                }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "example7_left_compose",
+            source: "VLDB'06 paper, Examples 7 and 10",
+            notes: "left compose succeeds where right compose is blocked by an anti-monotone lhs",
+            text: r"
+                schema sigma1 { R/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; U/2; }
+                mapping m12 : sigma1 -> sigma2 { R - S <= T; }
+                mapping m23 : sigma2 -> sigma3 { project[0,1](S) <= U; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "example8_intersection_left",
+            source: "VLDB'06 paper, Example 8",
+            notes: "no left rule for ∩; the symbol is only bounded from above, so the empty lower bound applies",
+            text: r"
+                schema sigma1 { R/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; U/2; }
+                mapping m12 : sigma1 -> sigma2 { R & S <= T; }
+                mapping m23 : sigma2 -> sigma3 { project[0,1](S) <= U; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "example9_trivial_bound",
+            source: "VLDB'06 paper, Examples 9, 11 and 12",
+            notes: "trivial upper bound S ⊆ D^r followed by domain elimination deletes every constraint",
+            text: r"
+                schema sigma1 { R/2; T/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { U/2; }
+                mapping m12 : sigma1 -> sigma2 { R & T <= S; }
+                mapping m23 : sigma2 -> sigma3 { U <= project[0,1](S); }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "example13_right_compose",
+            source: "VLDB'06 paper, Examples 13 and 15",
+            notes: "right normalization splitting σ and ×, no Skolem functions needed",
+            text: r"
+                schema sigma1 { T/2; R/2; }
+                schema sigma2 { S/1; }
+                schema sigma3 { U/3; }
+                mapping m12 : sigma1 -> sigma2 { T <= select[#0 = 5](S) * project[0](R); }
+                mapping m23 : sigma2 -> sigma3 { S * T <= U; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "example14_skolem_projection",
+            source: "VLDB'06 paper, Examples 14 and 16",
+            notes: "right normalization introduces a Skolem function that deskolemization must remove",
+            text: r"
+                schema sigma1 { R/1; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; U/2; }
+                mapping m12 : sigma1 -> sigma2 { R <= project[0](S * (T & U)); }
+                mapping m23 : sigma2 -> sigma3 { S <= select[#0 = #1](T); }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "example17_not_fo_expressible",
+            source: "Fagin, Kolaitis, Popa, Tan (PODS'04), via VLDB'06 Example 17",
+            notes: "F is eliminable but C is provably not eliminable by any means; deskolemization fails on the repeated function symbol",
+            text: r"
+                schema sigma1 { E/2; }
+                schema sigma2 { F/2; C/2; }
+                schema sigma3 { Dout/2; }
+                mapping m12 : sigma1 -> sigma2 {
+                    E <= F;
+                    project[0](E) <= project[0](C);
+                    project[1](E) <= project[0](C);
+                }
+                mapping m23 : sigma2 -> sigma3 {
+                    project[3,5](select[#0 = #2 and #1 = #4](F * C * C)) <= Dout;
+                }
+            ",
+            expectation: Expectation::Remaining(&["C"]),
+        },
+        Problem {
+            id: "transitive_closure",
+            source: "VLDB'06 paper, §1.3 (Theorem 1 of Nash et al. PODS'05)",
+            notes: "recursively constrained symbol: S = tc(S) blocks every elimination step",
+            text: r"
+                schema sigma1 { R/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; }
+                mapping m12 : sigma1 -> sigma2 { R <= S; S = tc(S); }
+                mapping m23 : sigma2 -> sigma3 { S <= T; }
+            ",
+            expectation: Expectation::Remaining(&["S"]),
+        },
+        Problem {
+            id: "order_dependent_pair",
+            source: "VLDB'06 paper, §3.1 footnote",
+            notes: "interdependent intermediate symbols: which ones go depends on the elimination order",
+            text: r"
+                schema sigma1 { R/2; }
+                schema sigma2 { S1/2; S2/2; }
+                schema sigma3 { T/2; }
+                mapping m12 : sigma1 -> sigma2 { R <= S1; S1 <= S2; S2 <= S1; }
+                mapping m23 : sigma2 -> sigma3 { S1 <= T; }
+            ",
+            expectation: Expectation::AtLeast(1),
+        },
+        Problem {
+            id: "fagin_emp_mgr",
+            source: "Fagin, Kolaitis, Popa, Tan (PODS'04), employee/manager example",
+            notes: "composition not expressible by finitely many s-t tgds; the algebraic output uses a conditional upper bound instead",
+            text: r"
+                schema sigma1 { Emp/1; }
+                schema sigma2 { Mgr1/2; }
+                schema sigma3 { Mgr/2; SelfMgr/1; }
+                mapping m12 : sigma1 -> sigma2 { Emp <= project[0](Mgr1); }
+                mapping m23 : sigma2 -> sigma3 {
+                    Mgr1 <= Mgr;
+                    project[0](select[#0 = #1](Mgr1)) <= SelfMgr;
+                }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "nash_key_constraint",
+            source: "Nash, Bernstein, Melnik (PODS'05), key-constraint example",
+            notes: "key constraint written with the active-domain encoding of Example 2",
+            text: r"
+                schema sigma1 { R/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; }
+                mapping m12 : sigma1 -> sigma2 {
+                    R <= S;
+                    project[1,3](select[#0 = #2](S * S)) <= select[#0 = #1](D^2);
+                }
+                mapping m23 : sigma2 -> sigma3 { S <= T; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "copy_chain_equalities",
+            source: "Melnik, Bernstein, Halevy, Rahm (SIGMOD'05), copy mappings",
+            notes: "chain of copy views composes by repeated view unfolding",
+            text: r"
+                schema sigma1 { R/3; }
+                schema sigma2 { S/3; }
+                schema sigma3 { T/3; }
+                mapping m12 : sigma1 -> sigma2 { S = R; }
+                mapping m23 : sigma2 -> sigma3 { T = S; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "glav_projection_chain",
+            source: "Melnik et al. (SIGMOD'05), GLAV assertions",
+            notes: "sound GLAV composition through an intermediate view with projections on both sides",
+            text: r"
+                schema sigma1 { R1/3; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T1/3; }
+                mapping m12 : sigma1 -> sigma2 { project[0,1](R1) <= S; }
+                mapping m23 : sigma2 -> sigma3 { S <= project[0,2](T1); }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "union_of_sources",
+            source: "Nash et al. (PODS'05), union view",
+            notes: "union on the left of the intermediate symbol's defining constraint",
+            text: r"
+                schema sigma1 { R1/2; R2/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; }
+                mapping m12 : sigma1 -> sigma2 { R1 + R2 <= S; }
+                mapping m23 : sigma2 -> sigma3 { S <= T; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "outer_join_view",
+            source: "Melnik et al. (SIGMOD'05), executable mappings with outer joins",
+            notes: "left outer join as a user-defined operator; view unfolding handles it without monotonicity knowledge",
+            text: r"
+                schema sigma1 { R1/2; R2/2; }
+                schema sigma2 { S/3; }
+                schema sigma3 { T/3; }
+                mapping m12 : sigma1 -> sigma2 { S = ljoin(R1, R2); }
+                mapping m23 : sigma2 -> sigma3 { S <= T; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "antijoin_difference_view",
+            source: "VLDB'06 paper, §1.3 (anti-semijoin coverage)",
+            notes: "anti-semijoin and set difference exercising monotonicity in the first argument only",
+            text: r"
+                schema sigma1 { R1/2; R2/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; U/2; }
+                mapping m12 : sigma1 -> sigma2 { S = antijoin(R1, R2); }
+                mapping m23 : sigma2 -> sigma3 { project[0,1](S) <= T; S - U <= T; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "horizontal_merge",
+            source: "VLDB'06 paper, §4.1 (horizontal partitioning primitive)",
+            notes: "backward horizontal partitioning: the intermediate symbol is a union of the sources",
+            text: r"
+                schema sigma1 { R1/2; R2/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; }
+                mapping m12 : sigma1 -> sigma2 { S = R1 + R2; }
+                mapping m23 : sigma2 -> sigma3 { select[#0 = 3](S) <= T; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "vertical_split_join",
+            source: "VLDB'06 paper, §4.1 (vertical partitioning primitive)",
+            notes: "the intermediate symbol is split into two projections downstream",
+            text: r"
+                schema sigma1 { R/3; }
+                schema sigma2 { S/3; }
+                schema sigma3 { P1/2; P2/2; }
+                mapping m12 : sigma1 -> sigma2 { R <= S; }
+                mapping m23 : sigma2 -> sigma3 {
+                    project[0,1](S) <= P1;
+                    project[0,2](S) <= P2;
+                }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "self_product_view",
+            source: "Nash et al. (PODS'05), self-join view",
+            notes: "the intermediate symbol bounds a self cross product; substitution duplicates the bound",
+            text: r"
+                schema sigma1 { R/1; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/2; }
+                mapping m12 : sigma1 -> sigma2 { S <= R * R; }
+                mapping m23 : sigma2 -> sigma3 { T <= S; }
+            ",
+            expectation: Expectation::Complete,
+        },
+        Problem {
+            id: "outer_join_downstream",
+            source: "VLDB'06 paper, §1.3 (monotone operator coverage)",
+            notes: "the intermediate symbol occurs as the monotone first argument of a left outer join downstream",
+            text: r"
+                schema sigma1 { R/2; }
+                schema sigma2 { S/2; }
+                schema sigma3 { T/3; U/2; }
+                mapping m12 : sigma1 -> sigma2 { R <= S; }
+                mapping m23 : sigma2 -> sigma3 { ljoin(S, U) <= T; }
+            ",
+            expectation: Expectation::Complete,
+        },
+    ]
+}
+
+/// Look up one problem by id.
+pub fn problem(id: &str) -> Option<Problem> {
+    problems().into_iter().find(|p| p.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_twenty_two_problems() {
+        assert_eq!(problems().len(), 22);
+    }
+
+    #[test]
+    fn ids_are_unique_and_lookup_works() {
+        let all = problems();
+        let mut ids: Vec<&str> = all.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+        assert!(problem("example1_movies").is_some());
+        assert!(problem("no_such_problem").is_none());
+    }
+
+    #[test]
+    fn every_problem_parses_and_validates() {
+        let registry = Registry::standard();
+        for problem in problems() {
+            let task = problem
+                .task()
+                .unwrap_or_else(|e| panic!("problem {} fails to parse: {e}", problem.id));
+            task.validate(registry.operators())
+                .unwrap_or_else(|e| panic!("problem {} fails to validate: {e}", problem.id));
+            assert!(!task.sigma2.is_empty(), "problem {} has no symbols to eliminate", problem.id);
+        }
+    }
+
+    #[test]
+    fn every_problem_meets_its_expectation() {
+        let registry = Registry::standard();
+        let config = ComposeConfig::default();
+        for problem in problems() {
+            let result = problem.compose(&registry, &config).expect("composes");
+            assert!(
+                problem.check(&result),
+                "problem {} expectation {:?} not met: eliminated {:?}, remaining {:?}\noutput:\n{}",
+                problem.id,
+                problem.expectation,
+                result.eliminated,
+                result.remaining,
+                result.constraints
+            );
+            // The output must never mention an eliminated symbol.
+            for constraint in result.constraints.iter() {
+                for symbol in &result.eliminated {
+                    assert!(!constraint.mentions(symbol));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectations_are_tight_for_complete_problems() {
+        // For problems marked Complete, disabling all steps must make the
+        // composition fail, proving the expectation is not vacuous.
+        let registry = Registry::standard();
+        let disabled = ComposeConfig {
+            enable_view_unfolding: false,
+            enable_left_compose: false,
+            enable_right_compose: false,
+            ..ComposeConfig::default()
+        };
+        for problem in problems() {
+            if problem.expectation != Expectation::Complete {
+                continue;
+            }
+            let result = problem.compose(&registry, &disabled).expect("composes");
+            assert!(
+                !result.is_complete(),
+                "problem {} should need at least one elimination step",
+                problem.id
+            );
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The schema-editing scenario (paper §4, "Schema Editing Scenarios").
+//!
+//! "In the schema editing scenario, we run the simulator to mimic the schema
+//! transformation operations performed by a database designer. The mapping
+//! between the original schema and the current state of the schema is
+//! composed with the mapping produced by each subsequent schema evolution
+//! primitive. We record the success or failure of each composition operation
+//! for the applied primitives."
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use mapcomp_algebra::{Constraint, Signature};
+use mapcomp_compose::{compose_constraints, ComposeConfig, Registry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::EventVector;
+use crate::primitives::{
+    apply_primitive, random_relation, NameSource, PrimitiveKind, PrimitiveOptions,
+};
+
+/// Configuration of one schema-editing run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Number of relations in the randomly generated original schema
+    /// (paper default: 30).
+    pub schema_size: usize,
+    /// Number of edits applied (paper default: 100).
+    pub edits: usize,
+    /// Relation-generation options (arity range, keys, constant pool).
+    pub options: PrimitiveOptions,
+    /// Distribution of primitives.
+    pub event_vector: EventVector,
+    /// Composition configuration (ablations, blow-up factor).
+    pub compose_config: ComposeConfig,
+    /// Random seed; every run is reproducible.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            schema_size: 30,
+            edits: 100,
+            options: PrimitiveOptions::default(),
+            event_vector: EventVector::default_vector(),
+            compose_config: ComposeConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Per-edit record used to build the per-primitive statistics of Figures 2–5.
+#[derive(Debug, Clone)]
+pub struct EditRecord {
+    /// Edit index (0-based).
+    pub index: usize,
+    /// Primitive applied.
+    pub kind: PrimitiveKind,
+    /// Relation consumed by the edit (none for `AR`).
+    pub consumed: Option<String>,
+    /// Was the consumed relation an intermediate symbol (not part of the
+    /// original schema), i.e. did this edit actually create elimination work?
+    pub consumed_intermediate: bool,
+    /// Was the consumed relation eliminated by this composition?
+    pub eliminated_now: bool,
+    /// How many previously pending symbols were eliminated by this
+    /// composition (the paper notes later compositions recover up to a third
+    /// of them).
+    pub leftover_eliminated: usize,
+    /// Pending (non-eliminated intermediate) symbols after this edit.
+    pub pending_after: usize,
+    /// Time spent composing.
+    pub duration: Duration,
+    /// Number of constraints in the running mapping after the edit.
+    pub constraint_count: usize,
+    /// Operator count of the running mapping after the edit.
+    pub op_count: usize,
+}
+
+/// Result of one schema-editing run.
+#[derive(Debug, Clone)]
+pub struct EditingRun {
+    /// The original schema σ_orig.
+    pub original: Signature,
+    /// The evolved schema after all edits.
+    pub current: Signature,
+    /// Every relation symbol ever created (original, current and pending).
+    pub universe: Signature,
+    /// The running mapping constraints between σ_orig and the evolved schema
+    /// (possibly still mentioning pending intermediate symbols).
+    pub constraints: Vec<Constraint>,
+    /// Intermediate symbols that could not be eliminated.
+    pub pending: Vec<String>,
+    /// Per-edit records.
+    pub records: Vec<EditRecord>,
+    /// Total wall-clock time spent composing.
+    pub compose_time: Duration,
+}
+
+impl EditingRun {
+    /// Overall fraction of intermediate symbols that were eventually
+    /// eliminated (symbols consumed from the original schema never need
+    /// eliminating and are not counted).
+    pub fn fraction_eliminated(&self) -> f64 {
+        let attempted = self.records.iter().filter(|r| r.consumed_intermediate).count();
+        if attempted == 0 {
+            return 1.0;
+        }
+        let remaining = self.pending.len();
+        (attempted.saturating_sub(remaining)) as f64 / attempted as f64
+    }
+
+    /// Per-primitive `(eliminated, attempted)` counts of the *immediate*
+    /// elimination success, the quantity plotted in Figure 2.
+    pub fn per_primitive_success(&self) -> BTreeMap<PrimitiveKind, (usize, usize)> {
+        let mut out: BTreeMap<PrimitiveKind, (usize, usize)> = BTreeMap::new();
+        for record in &self.records {
+            if !record.consumed_intermediate {
+                continue;
+            }
+            let entry = out.entry(record.kind).or_insert((0, 0));
+            entry.1 += 1;
+            if record.eliminated_now {
+                entry.0 += 1;
+            }
+        }
+        out
+    }
+
+    /// Per-primitive total and mean composition time (Figure 3 plots the mean
+    /// per edit in milliseconds).
+    pub fn per_primitive_time(&self) -> BTreeMap<PrimitiveKind, (Duration, usize)> {
+        let mut out: BTreeMap<PrimitiveKind, (Duration, usize)> = BTreeMap::new();
+        for record in &self.records {
+            let entry = out.entry(record.kind).or_insert((Duration::ZERO, 0));
+            entry.0 += record.duration;
+            entry.1 += 1;
+        }
+        out
+    }
+
+    /// Did every composition succeed completely (no pending symbols)?
+    pub fn fully_composed(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Generate a random original schema of the given size.
+pub fn random_schema(
+    size: usize,
+    options: &PrimitiveOptions,
+    names: &mut NameSource,
+    rng: &mut StdRng,
+) -> Signature {
+    let mut sig = Signature::new();
+    for _ in 0..size {
+        let (name, info) = random_relation(options, names, rng);
+        sig.add(name, info);
+    }
+    sig
+}
+
+/// Run a schema-editing scenario from a freshly generated schema.
+pub fn run_editing(config: &ScenarioConfig) -> EditingRun {
+    let registry = Registry::standard();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut names = NameSource::new();
+    let original = random_schema(config.schema_size, &config.options, &mut names, &mut rng);
+    run_editing_from(config, &registry, original, names, &mut rng)
+}
+
+/// Run a schema-editing scenario from a given original schema (used by the
+/// reconciliation scenario, which evolves the same schema along two
+/// branches).
+pub fn run_editing_from(
+    config: &ScenarioConfig,
+    registry: &Registry,
+    original: Signature,
+    mut names: NameSource,
+    rng: &mut StdRng,
+) -> EditingRun {
+    let mut current = original.clone();
+    let mut universe = original.clone();
+    let mut constraints: Vec<Constraint> = Vec::new();
+    let mut pending: Vec<String> = Vec::new();
+    let mut records: Vec<EditRecord> = Vec::new();
+    let mut compose_time = Duration::ZERO;
+
+    for index in 0..config.edits {
+        // Pick an applicable primitive and an input relation for it.
+        let has_input_for = |kind: PrimitiveKind| -> bool {
+            if !kind.consumes_input() {
+                return true;
+            }
+            current.iter().any(|(_, info)| {
+                info.arity >= kind.min_input_arity() && (!kind.requires_key() || info.key.is_some())
+            })
+        };
+        let keys_enabled = config.options.keys_enabled;
+        let Some(kind) = config
+            .event_vector
+            .sample(rng, |k| (keys_enabled || !k.requires_key()) && has_input_for(k))
+        else {
+            break;
+        };
+
+        let input_name = if kind.consumes_input() {
+            let eligible: Vec<String> = current
+                .iter()
+                .filter(|(_, info)| {
+                    info.arity >= kind.min_input_arity()
+                        && (!kind.requires_key() || info.key.is_some())
+                })
+                .map(|(name, _)| name.to_string())
+                .collect();
+            Some(eligible[rng.gen_range(0..eligible.len())].clone())
+        } else {
+            None
+        };
+        let input = input_name
+            .as_ref()
+            .map(|name| (name.as_str(), current.get(name).expect("eligible relation").clone()));
+
+        let outcome = apply_primitive(
+            kind,
+            input.as_ref().map(|(name, info)| (*name, info)),
+            &config.options,
+            &mut names,
+            rng,
+        );
+
+        // Update schemas.
+        if let Some(consumed) = &outcome.consumed {
+            current.remove(consumed);
+        }
+        for (name, info) in &outcome.created {
+            current.add(name.clone(), info.clone());
+            universe.add(name.clone(), info.clone());
+        }
+        constraints.extend(outcome.constraints.iter().cloned());
+
+        // Compose: try to eliminate the consumed symbol plus older leftovers,
+        // but only symbols that are no longer part of the original or current
+        // schema.
+        let mut symbols: Vec<String> = pending.clone();
+        if let Some(consumed) = &outcome.consumed {
+            if !original.contains(consumed) && !symbols.contains(consumed) {
+                symbols.push(consumed.clone());
+            }
+        }
+
+        let started = Instant::now();
+        let result = compose_constraints(
+            &universe,
+            &symbols,
+            constraints,
+            registry,
+            &config.compose_config,
+        );
+        let duration = started.elapsed();
+        compose_time += duration;
+
+        constraints = result.constraints.into_vec();
+        let consumed_intermediate = outcome
+            .consumed
+            .as_ref()
+            .map(|consumed| !original.contains(consumed))
+            .unwrap_or(false);
+        let eliminated_now = outcome
+            .consumed
+            .as_ref()
+            .map(|consumed| result.eliminated.contains(consumed) || original.contains(consumed))
+            .unwrap_or(true);
+        let leftover_eliminated = result
+            .eliminated
+            .iter()
+            .filter(|name| pending.contains(name))
+            .count();
+        pending = result.remaining;
+
+        records.push(EditRecord {
+            index,
+            kind,
+            consumed: outcome.consumed.clone(),
+            consumed_intermediate,
+            eliminated_now,
+            leftover_eliminated,
+            pending_after: pending.len(),
+            duration,
+            constraint_count: constraints.len(),
+            op_count: constraints.iter().map(Constraint::op_count).sum(),
+        });
+    }
+
+    EditingRun {
+        original,
+        current,
+        universe,
+        constraints,
+        pending,
+        records,
+        compose_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ScenarioConfig {
+        ScenarioConfig { schema_size: 8, edits: 20, seed: 42, ..ScenarioConfig::default() }
+    }
+
+    #[test]
+    fn editing_run_is_reproducible() {
+        let a = run_editing(&small_config());
+        let b = run_editing(&small_config());
+        assert_eq!(a.constraints, b.constraints);
+        assert_eq!(a.pending, b.pending);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.original, b.original);
+    }
+
+    #[test]
+    fn different_seeds_give_different_runs() {
+        let a = run_editing(&small_config());
+        let b = run_editing(&ScenarioConfig { seed: 43, ..small_config() });
+        assert_ne!(a.constraints, b.constraints);
+    }
+
+    #[test]
+    fn constraints_only_mention_known_symbols() {
+        let run = run_editing(&small_config());
+        for constraint in &run.constraints {
+            for relation in constraint.relations() {
+                assert!(
+                    run.universe.contains(&relation),
+                    "constraint mentions unknown relation {relation}"
+                );
+            }
+        }
+        // Constraints never mention symbols that were reported eliminated:
+        // anything mentioned must be original, current, or pending.
+        for constraint in &run.constraints {
+            for relation in constraint.relations() {
+                let known = run.original.contains(&relation)
+                    || run.current.contains(&relation)
+                    || run.pending.contains(&relation);
+                assert!(known, "constraint mentions eliminated symbol {relation}");
+            }
+        }
+    }
+
+    #[test]
+    fn records_match_edit_count() {
+        let config = small_config();
+        let run = run_editing(&config);
+        assert_eq!(run.records.len(), config.edits);
+        assert!(run.fraction_eliminated() >= 0.0 && run.fraction_eliminated() <= 1.0);
+        let per_primitive = run.per_primitive_success();
+        let attempted: usize = per_primitive.values().map(|(_, a)| a).sum();
+        assert_eq!(attempted, run.records.iter().filter(|r| r.consumed_intermediate).count());
+        let timed: usize = run.per_primitive_time().values().map(|(_, count)| count).sum();
+        assert_eq!(timed, run.records.len());
+    }
+
+    #[test]
+    fn most_symbols_are_eliminated_without_keys() {
+        // The paper reports 50–100 % elimination; on the default (no keys,
+        // equality-heavy) workload the success rate should be high.
+        let config = ScenarioConfig { schema_size: 10, edits: 40, seed: 7, ..ScenarioConfig::default() };
+        let run = run_editing(&config);
+        assert!(
+            run.fraction_eliminated() >= 0.5,
+            "only {:.2} of symbols eliminated",
+            run.fraction_eliminated()
+        );
+    }
+
+    #[test]
+    fn keys_configuration_runs() {
+        let config = ScenarioConfig {
+            schema_size: 8,
+            edits: 15,
+            seed: 11,
+            options: PrimitiveOptions::with_keys(),
+            ..ScenarioConfig::default()
+        };
+        let run = run_editing(&config);
+        assert_eq!(run.records.len(), 15);
+        // With keys enabled the constraints must still only reference known
+        // relations and the run must remain internally consistent.
+        for constraint in &run.constraints {
+            for relation in constraint.relations() {
+                assert!(run.universe.contains(&relation));
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_right_compose_weakens_elimination() {
+        let base = ScenarioConfig { schema_size: 10, edits: 30, seed: 19, ..ScenarioConfig::default() };
+        let full = run_editing(&base);
+        let ablated = run_editing(&ScenarioConfig {
+            compose_config: ComposeConfig::without_right_compose(),
+            ..base
+        });
+        assert!(
+            ablated.fraction_eliminated() <= full.fraction_eliminated() + 1e-9,
+            "ablation should not eliminate more symbols: {} vs {}",
+            ablated.fraction_eliminated(),
+            full.fraction_eliminated()
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Event vectors (paper §4.1).
+//!
+//! "An event vector specifies the proportions of primitives of a certain kind
+//! appearing in an edit sequence. ... we assume that all primitives are
+//! applied with the same frequency, with the exception of adding attributes
+//! (AA is twice as frequent) and dropping relations (DR is five times less
+//! frequent)."
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+
+use crate::primitives::PrimitiveKind;
+
+/// A weighted distribution over schema evolution primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventVector {
+    weights: BTreeMap<PrimitiveKind, f64>,
+}
+
+impl EventVector {
+    /// The Default event vector of the paper: uniform weights, `AA` doubled,
+    /// `DR` divided by five.
+    pub fn default_vector() -> Self {
+        let mut weights = BTreeMap::new();
+        for kind in PrimitiveKind::ALL {
+            weights.insert(kind, 1.0);
+        }
+        weights.insert(PrimitiveKind::AddAttribute, 2.0);
+        weights.insert(PrimitiveKind::DropRelation, 0.2);
+        EventVector { weights }
+    }
+
+    /// An event vector emphasising structural reorganisation (partitioning
+    /// and normalization). One of the additional vectors mentioned in the
+    /// extended technical report; defined here for the same sweep code path.
+    pub fn structure_heavy() -> Self {
+        let mut vector = EventVector::default_vector();
+        for kind in [
+            PrimitiveKind::Horizontal,
+            PrimitiveKind::HorizontalForward,
+            PrimitiveKind::HorizontalBackward,
+            PrimitiveKind::Vertical,
+            PrimitiveKind::VerticalForward,
+            PrimitiveKind::VerticalBackward,
+            PrimitiveKind::Normalize,
+            PrimitiveKind::NormalizeForward,
+            PrimitiveKind::NormalizeBackward,
+        ] {
+            vector.weights.insert(kind, 3.0);
+        }
+        vector
+    }
+
+    /// An event vector emphasising attribute/relation addition and deletion.
+    pub fn add_drop_heavy() -> Self {
+        let mut vector = EventVector::default_vector();
+        for kind in [
+            PrimitiveKind::AddRelation,
+            PrimitiveKind::DropRelation,
+            PrimitiveKind::AddAttribute,
+            PrimitiveKind::DropAttribute,
+        ] {
+            vector.weights.insert(kind, 4.0);
+        }
+        vector
+    }
+
+    /// An event vector emphasising the open-world inclusion primitives.
+    pub fn inclusion_heavy() -> Self {
+        EventVector::default_vector().with_inclusion_proportion(0.3)
+    }
+
+    /// Copy of this vector in which the combined proportion of `Sub` and
+    /// `Sup` edits is set to `proportion` (paper Figure 5 sweeps this from 0
+    /// to 20 %).
+    pub fn with_inclusion_proportion(&self, proportion: f64) -> Self {
+        let mut vector = self.clone();
+        let inclusion = [PrimitiveKind::Subset, PrimitiveKind::Superset];
+        let other_total: f64 = vector
+            .weights
+            .iter()
+            .filter(|(kind, _)| !inclusion.contains(kind))
+            .map(|(_, w)| *w)
+            .sum();
+        let proportion = proportion.clamp(0.0, 0.95);
+        // Solve  inclusion_total / (inclusion_total + other_total) = proportion.
+        let inclusion_total = if proportion <= 0.0 {
+            0.0
+        } else {
+            other_total * proportion / (1.0 - proportion)
+        };
+        for kind in inclusion {
+            vector.weights.insert(kind, inclusion_total / 2.0);
+        }
+        vector
+    }
+
+    /// Weight assigned to one primitive.
+    pub fn weight(&self, kind: PrimitiveKind) -> f64 {
+        self.weights.get(&kind).copied().unwrap_or(0.0)
+    }
+
+    /// Override the weight of one primitive.
+    pub fn set_weight(&mut self, kind: PrimitiveKind, weight: f64) -> &mut Self {
+        self.weights.insert(kind, weight.max(0.0));
+        self
+    }
+
+    /// Proportion of the total weight carried by the inclusion primitives.
+    pub fn inclusion_proportion(&self) -> f64 {
+        let total: f64 = self.weights.values().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.weight(PrimitiveKind::Subset) + self.weight(PrimitiveKind::Superset)) / total
+    }
+
+    /// Sample a primitive among those for which `applicable` returns true.
+    /// Returns `None` if no applicable primitive has positive weight.
+    pub fn sample<R: Rng>(
+        &self,
+        rng: &mut R,
+        applicable: impl Fn(PrimitiveKind) -> bool,
+    ) -> Option<PrimitiveKind> {
+        let candidates: Vec<(PrimitiveKind, f64)> = self
+            .weights
+            .iter()
+            .filter(|(kind, weight)| **weight > 0.0 && applicable(**kind))
+            .map(|(kind, weight)| (*kind, *weight))
+            .collect();
+        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = rng.gen_range(0.0..total);
+        for (kind, weight) in &candidates {
+            if target < *weight {
+                return Some(*kind);
+            }
+            target -= weight;
+        }
+        candidates.last().map(|(kind, _)| *kind)
+    }
+}
+
+impl Default for EventVector {
+    fn default() -> Self {
+        EventVector::default_vector()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_vector_matches_paper() {
+        let vector = EventVector::default_vector();
+        assert_eq!(vector.weight(PrimitiveKind::AddAttribute), 2.0);
+        assert!((vector.weight(PrimitiveKind::DropRelation) - 0.2).abs() < 1e-9);
+        assert_eq!(vector.weight(PrimitiveKind::Horizontal), 1.0);
+    }
+
+    #[test]
+    fn inclusion_proportion_is_respected() {
+        for target in [0.0, 0.05, 0.1, 0.2] {
+            let vector = EventVector::default_vector().with_inclusion_proportion(target);
+            assert!(
+                (vector.inclusion_proportion() - target).abs() < 1e-9,
+                "target {target}, got {}",
+                vector.inclusion_proportion()
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_respects_applicability_and_weights() {
+        let vector = EventVector::default_vector();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts: BTreeMap<PrimitiveKind, usize> = BTreeMap::new();
+        for _ in 0..5000 {
+            let kind = vector
+                .sample(&mut rng, |k| !k.requires_key())
+                .expect("some primitive is applicable");
+            assert!(!kind.requires_key());
+            *counts.entry(kind).or_default() += 1;
+        }
+        // AA should be roughly twice as frequent as H.
+        let aa = counts[&PrimitiveKind::AddAttribute] as f64;
+        let h = counts[&PrimitiveKind::Horizontal] as f64;
+        assert!(aa > 1.4 * h, "AA={aa} H={h}");
+        // DR should be clearly rarer than H.
+        let dr = *counts.get(&PrimitiveKind::DropRelation).unwrap_or(&0) as f64;
+        assert!(dr < 0.6 * h, "DR={dr} H={h}");
+        // Key-requiring primitives never sampled.
+        assert!(!counts.contains_key(&PrimitiveKind::Vertical));
+    }
+
+    #[test]
+    fn sampling_with_nothing_applicable_returns_none() {
+        let vector = EventVector::default_vector();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(vector.sample(&mut rng, |_| false), None);
+    }
+
+    #[test]
+    fn zero_inclusion_proportion_disables_sub_sup() {
+        let vector = EventVector::default_vector().with_inclusion_proportion(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let kind = vector.sample(&mut rng, |_| true).unwrap();
+            assert!(!matches!(kind, PrimitiveKind::Subset | PrimitiveKind::Superset));
+        }
+    }
+
+    #[test]
+    fn named_vectors_differ() {
+        assert_ne!(EventVector::structure_heavy(), EventVector::default_vector());
+        assert_ne!(EventVector::add_drop_heavy(), EventVector::default_vector());
+        assert!(EventVector::inclusion_heavy().inclusion_proportion() > 0.25);
+    }
+}

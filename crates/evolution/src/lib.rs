@@ -1,0 +1,35 @@
+//! # mapcomp-evolution
+//!
+//! The schema-evolution simulator of *"Implementing Mapping Composition"*
+//! (VLDB 2006), §4.1: a workload generator that drives the composition
+//! algorithm with synthetic mappings.
+//!
+//! * [`primitives`] — the schema evolution primitives of Figure 1 (add/drop
+//!   relation and attribute, add default, horizontal/vertical partitioning,
+//!   normalization, subset/superset), each with forward and backward
+//!   variants.
+//! * [`event`] — event vectors: weighted distributions over primitives,
+//!   including the paper's Default vector and the inclusion-proportion sweep
+//!   of Figure 5.
+//! * [`editing`] — the schema-editing scenario: apply a sequence of edits to
+//!   a random schema, composing the running mapping after every edit.
+//! * [`reconcile`] — the schema-reconciliation scenario: evolve one schema
+//!   along two branches and compose the branch mappings to relate the two
+//!   evolved schemas directly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod editing;
+pub mod event;
+pub mod primitives;
+pub mod reconcile;
+
+pub use editing::{run_editing, run_editing_from, EditRecord, EditingRun, ScenarioConfig};
+pub use event::EventVector;
+pub use primitives::{
+    apply_primitive, random_relation, EditOutcome, NameSource, PrimitiveKind, PrimitiveOptions,
+};
+pub use reconcile::{
+    average_reconciliation, run_reconciliation, ReconcileConfig, ReconcileOutcome,
+};

@@ -1,0 +1,106 @@
+//! Data integration: compose a GAV-style view definition with a query-like
+//! mapping (paper §1.1: "In data integration, a query needs to be composed
+//! with a view definition ... view unfolding is simply function composition"),
+//! then use the composed mapping to check and migrate data.
+//!
+//! Run with `cargo run --example data_integration`.
+
+use mapping_composition::prelude::*;
+
+fn main() {
+    // Source schema: customer orders in two base tables. The integration view
+    // combines them; the application query selects the high-value rows of the
+    // view. Composition removes the view layer entirely.
+    let document = parse_document(
+        r"
+        schema source { Customers/2; Orders/3; }       // Customers(cid, name), Orders(oid, cid, amount)
+        schema views  { CustOrders/4; }                // CustOrders(cid, name, oid, amount)
+        schema report { BigSpenders/2; }               // BigSpenders(cid, name)
+
+        mapping view_def : source -> views {
+            // GAV view definition: an equality, so view unfolding applies.
+            CustOrders = project[0,1,2,4](select[#0 = #3](Customers * Orders));
+        }
+        mapping query : views -> report {
+            project[0,1](select[#3 >= 1000](CustOrders)) <= BigSpenders;
+        }
+        ",
+    )
+    .expect("parses");
+
+    let task = document.task("view_def", "query").expect("schemas line up");
+    let registry = Registry::standard();
+    let result = compose(&task, &registry, &ComposeConfig::default()).expect("composes");
+
+    println!("== composed source -> report mapping ==");
+    print!("{}", result.constraints);
+    assert!(result.is_complete(), "the view symbol must be unfolded away");
+
+    // Use the composed mapping as a data validator: does a concrete source
+    // + report instance respect it?
+    let sig = task.full_signature().expect("disjoint schemas");
+    let mut instance = Instance::new();
+    instance.insert("Customers", vec![Value::Int(1), Value::str("ada")]);
+    instance.insert("Customers", vec![Value::Int(2), Value::str("bob")]);
+    instance.insert("Orders", vec![Value::Int(10), Value::Int(1), Value::Int(2500)]);
+    instance.insert("Orders", vec![Value::Int(11), Value::Int(2), Value::Int(80)]);
+    // Ada spent 2500 >= 1000, so she must appear in the report.
+    instance.insert("BigSpenders", vec![Value::Int(1), Value::str("ada")]);
+
+    let ok = result
+        .constraints
+        .satisfied_by(&sig, registry.operators(), &instance)
+        .expect("evaluates");
+    println!("\nconsistent instance accepted: {ok}");
+    assert!(ok);
+
+    // Remove the report row: the composed mapping must now reject the pair.
+    let mut broken = Instance::new();
+    broken.insert("Customers", vec![Value::Int(1), Value::str("ada")]);
+    broken.insert("Orders", vec![Value::Int(10), Value::Int(1), Value::Int(2500)]);
+    let rejected = !result
+        .constraints
+        .satisfied_by(&sig, registry.operators(), &broken)
+        .expect("evaluates");
+    println!("inconsistent instance rejected: {rejected}");
+    assert!(rejected);
+
+    // The composed mapping can also drive data migration: evaluate each
+    // left-hand side over the source to obtain the tuples the target is
+    // required to contain.
+    println!("\nrequired report tuples derived from the source:");
+    for constraint in result.constraints.iter() {
+        let required = mapping_composition::algebra::eval(
+            &constraint.lhs,
+            &sig,
+            registry.operators(),
+            &instance,
+        )
+        .expect("evaluates");
+        println!("  {} -> {}", constraint.rhs, required);
+    }
+
+    // Or, more directly, run the data-exchange engine: it chases the composed
+    // mapping over the source data and materialises a canonical report
+    // instance (inventing labelled nulls where the mapping leaves values
+    // unspecified — none are needed here).
+    use mapping_composition::compose::{exchange, ExchangeConfig};
+    let mut source_only = Instance::new();
+    source_only.insert("Customers", vec![Value::Int(1), Value::str("ada")]);
+    source_only.insert("Customers", vec![Value::Int(2), Value::str("bob")]);
+    source_only.insert("Orders", vec![Value::Int(10), Value::Int(1), Value::Int(2500)]);
+    source_only.insert("Orders", vec![Value::Int(11), Value::Int(2), Value::Int(80)]);
+    let report_sig = Signature::from_arities([("BigSpenders", 2)]);
+    let exchanged = exchange(
+        result.constraints.as_slice(),
+        &sig,
+        &report_sig,
+        &source_only,
+        &registry,
+        &ExchangeConfig::default(),
+    );
+    println!("\nmaterialised report instance (data exchange):");
+    println!("{}", exchanged.target);
+    assert!(exchanged.converged);
+    assert_eq!(exchanged.target.get("BigSpenders").len(), 1);
+}

@@ -1,0 +1,119 @@
+//! `mapcomp` — command-line front end for the composition component.
+//!
+//! Reads a composition task written in the plain-text format (paper §4), runs
+//! the best-effort COMPOSE algorithm, and prints the resulting mapping.
+//!
+//! ```text
+//! mapcomp <task-file> [<first-mapping> <second-mapping>]
+//!         [--no-unfolding] [--no-left-compose] [--no-right-compose]
+//!         [--minimize] [--blowup N] [--stats]
+//! ```
+//!
+//! When the mapping names are omitted, `m12` and `m23` are assumed. Example
+//! task files live under `examples/tasks/`.
+
+use std::process::ExitCode;
+
+use mapping_composition::algebra::parse_document;
+use mapping_composition::compose::{compose, minimize_mapping, ComposeConfig, Registry};
+
+struct Options {
+    file: String,
+    first: String,
+    second: String,
+    config: ComposeConfig,
+    minimize: bool,
+    stats: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut config = ComposeConfig::default();
+    let mut minimize = false;
+    let mut stats = false;
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--no-unfolding" => config.enable_view_unfolding = false,
+            "--no-left-compose" => config.enable_left_compose = false,
+            "--no-right-compose" => config.enable_right_compose = false,
+            "--minimize" => minimize = true,
+            "--stats" => stats = true,
+            "--blowup" => {
+                let value = iter.next().ok_or("--blowup requires a factor")?;
+                let factor: usize =
+                    value.parse().map_err(|_| format!("invalid blow-up factor `{value}`"))?;
+                config.blowup_factor = if factor == 0 { None } else { Some(factor) };
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let file = positional.first().cloned().ok_or("missing task file")?;
+    let first = positional.get(1).cloned().unwrap_or_else(|| "m12".to_string());
+    let second = positional.get(2).cloned().unwrap_or_else(|| "m23".to_string());
+    Ok(Options { file, first, second, config, minimize, stats })
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(&options.file)
+        .map_err(|e| format!("cannot read {}: {e}", options.file))?;
+    let document = parse_document(&text).map_err(|e| format!("parse error: {e}"))?;
+    let task = document
+        .task(&options.first, &options.second)
+        .map_err(|e| format!("cannot build task from `{}` and `{}`: {e}", options.first, options.second))?;
+    let registry = Registry::standard();
+    task.validate(registry.operators()).map_err(|e| format!("task does not type-check: {e}"))?;
+
+    let result = compose(&task, &registry, &options.config).map_err(|e| e.to_string())?;
+    let full_signature = task.full_signature().map_err(|e| e.to_string())?;
+
+    let constraints = if options.minimize {
+        minimize_mapping(result.constraints.clone().into_vec(), &full_signature, &registry)
+    } else {
+        result.constraints.clone().into_vec()
+    };
+
+    println!("// composed mapping over {}", result.signature);
+    for constraint in &constraints {
+        println!("{constraint};");
+    }
+    eprintln!();
+    eprintln!("eliminated : {:?}", result.eliminated);
+    eprintln!("remaining  : {:?}", result.remaining);
+    if options.stats {
+        let (unfold, left, right) = result.stats.eliminations_by_step();
+        eprintln!("steps      : unfolding {unfold}, left compose {left}, right compose {right}");
+        eprintln!(
+            "size       : {} -> {} constraints, {} -> {} operators",
+            result.stats.input_constraints,
+            constraints.len(),
+            result.stats.input_op_count,
+            constraints.iter().map(|c| c.op_count()).sum::<usize>()
+        );
+        eprintln!("time       : {:?}", result.stats.total_time);
+        if result.stats.blowup_aborts > 0 {
+            eprintln!("aborted    : {} eliminations hit the blow-up budget", result.stats.blowup_aborts);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: mapcomp <task-file> [<first-mapping> <second-mapping>] \
+             [--no-unfolding] [--no-left-compose] [--no-right-compose] \
+             [--minimize] [--blowup N] [--stats]"
+        );
+        return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+    match parse_args(&args).and_then(|options| run(&options)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

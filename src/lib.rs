@@ -1,0 +1,69 @@
+//! # mapping-composition
+//!
+//! Umbrella crate for the reproduction of *"Implementing Mapping
+//! Composition"* (Bernstein, Green, Melnik, Nash; VLDB 2006): a best-effort,
+//! algebra-based, extensible component for composing relational schema
+//! mappings.
+//!
+//! The workspace is organised as four library crates, re-exported here:
+//!
+//! * [`algebra`] — the relational-algebra substrate: expressions over the six
+//!   basic operators plus `D^r`, `∅`, Skolem pseudo-operators and
+//!   user-defined operators; schemas, instances, evaluation, constraints,
+//!   mappings, and the plain-text task format.
+//! * [`compose`] — the composition algorithm: view unfolding, left compose,
+//!   right compose (with Skolemization and deskolemization), the best-effort
+//!   COMPOSE driver, the operator registry, and a bounded-model equivalence
+//!   checker.
+//! * [`evolution`] — the schema-evolution simulator used by the paper's
+//!   experiments: Figure 1 primitives, event vectors, the schema-editing and
+//!   schema-reconciliation scenarios.
+//! * [`corpus`] — the 22-problem literature test suite.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mapping_composition::prelude::*;
+//!
+//! // Parse a composition task written in the plain-text format.
+//! let doc = parse_document(r"
+//!     schema sigma1 { R/1; }
+//!     schema sigma2 { S/1; }
+//!     schema sigma3 { T/1; }
+//!     mapping m12 : sigma1 -> sigma2 { R <= S; }
+//!     mapping m23 : sigma2 -> sigma3 { S <= T; }
+//! ").unwrap();
+//! let task = doc.task("m12", "m23").unwrap();
+//!
+//! // Compose: eliminate the intermediate symbol S.
+//! let result = compose(&task, &Registry::standard(), &ComposeConfig::default()).unwrap();
+//! assert!(result.is_complete());
+//! assert_eq!(result.constraints.to_string().trim(), "R <= T;");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use mapcomp_algebra as algebra;
+pub use mapcomp_compose as compose;
+pub use mapcomp_corpus as corpus;
+pub use mapcomp_evolution as evolution;
+
+/// Convenience re-exports covering the common workflow: parse a task,
+/// configure the registry, compose, inspect the result.
+pub mod prelude {
+    pub use mapcomp_algebra::{
+        parse_constraint, parse_constraints, parse_document, parse_expr, Constraint,
+        ConstraintKind, ConstraintSet, Expr, Instance, Mapping, OperatorDef, Pred, Relation,
+        Signature, Value,
+    };
+    pub use mapcomp_compose::{
+        compose, compose_constraints, eliminate, ComposeConfig, ComposeResult, EliminateStep,
+        Monotonicity, Registry,
+    };
+    pub use mapcomp_corpus::{problem, problems};
+    pub use mapcomp_evolution::{
+        run_editing, run_reconciliation, EventVector, PrimitiveKind, PrimitiveOptions,
+        ReconcileConfig, ScenarioConfig,
+    };
+}

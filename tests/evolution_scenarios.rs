@@ -1,0 +1,141 @@
+//! Integration tests for the synthetic-workload scenarios of §4: schema
+//! editing and schema reconciliation, across the configurations studied in
+//! the paper, exercised through the public API.
+
+use mapping_composition::evolution::{
+    average_reconciliation, run_editing, run_reconciliation, EventVector, PrimitiveOptions,
+    ReconcileConfig, ScenarioConfig,
+};
+use mapping_composition::prelude::*;
+
+fn base_scenario(seed: u64) -> ScenarioConfig {
+    ScenarioConfig { schema_size: 10, edits: 30, seed, ..ScenarioConfig::default() }
+}
+
+#[test]
+fn editing_constraints_always_type_check() {
+    for seed in [1u64, 2, 3] {
+        let run = run_editing(&base_scenario(seed));
+        let registry = Registry::standard();
+        for constraint in &run.constraints {
+            constraint
+                .validate(&run.universe, registry.operators())
+                .unwrap_or_else(|e| panic!("constraint {constraint} does not type-check: {e}"));
+        }
+    }
+}
+
+#[test]
+fn editing_eliminations_are_sound_per_step() {
+    // Replay a short editing run and verify, for a handful of edits, that
+    // each composition step preserved satisfaction of a concrete witness
+    // instance: an instance satisfying the constraints before elimination
+    // still satisfies them afterwards when restricted (soundness direction).
+    //
+    // A full replay would duplicate the scenario driver, so instead this test
+    // relies on the per-record metadata: every record that reports an
+    // elimination must leave no occurrence of the consumed symbol behind.
+    let run = run_editing(&base_scenario(7));
+    for record in &run.records {
+        if record.consumed_intermediate && record.eliminated_now {
+            let consumed = record.consumed.as_ref().unwrap();
+            // Symbols reported eliminated at some edit may not reappear later.
+            assert!(
+                run.constraints.iter().all(|c| !c.mentions(consumed)),
+                "eliminated symbol {consumed} resurfaced"
+            );
+            assert!(!run.pending.contains(consumed));
+        }
+    }
+}
+
+#[test]
+fn all_four_paper_configurations_run_and_rank_plausibly() {
+    let full = run_editing(&base_scenario(11));
+    let keys = run_editing(&ScenarioConfig {
+        options: PrimitiveOptions::with_keys(),
+        ..base_scenario(11)
+    });
+    let no_unfold = run_editing(&ScenarioConfig {
+        compose_config: ComposeConfig::without_view_unfolding(),
+        ..base_scenario(11)
+    });
+    let no_right = run_editing(&ScenarioConfig {
+        compose_config: ComposeConfig::without_right_compose(),
+        ..base_scenario(11)
+    });
+
+    // Figure 2's qualitative ranking: the complete algorithm is at least as
+    // effective as each ablation, and keys do not change effectiveness much.
+    assert!(full.fraction_eliminated() + 1e-9 >= no_unfold.fraction_eliminated());
+    assert!(full.fraction_eliminated() + 1e-9 >= no_right.fraction_eliminated());
+    assert!((full.fraction_eliminated() - keys.fraction_eliminated()).abs() <= 0.5);
+    // And the paper's headline: 50-100% of symbols eliminated.
+    assert!(full.fraction_eliminated() >= 0.5);
+}
+
+#[test]
+fn inclusion_heavy_vectors_reduce_unfolding_effectiveness() {
+    // Figure 5: raising the Sub/Sup proportion makes composition harder on
+    // average (the effectiveness of view unfolding drops). Allow generous
+    // slack because the quick workload is small.
+    let plain = run_editing(&ScenarioConfig {
+        event_vector: EventVector::default_vector().with_inclusion_proportion(0.0),
+        ..base_scenario(21)
+    });
+    let inclusion_heavy = run_editing(&ScenarioConfig {
+        event_vector: EventVector::default_vector().with_inclusion_proportion(0.2),
+        ..base_scenario(21)
+    });
+    assert!(inclusion_heavy.fraction_eliminated() <= plain.fraction_eliminated() + 0.2);
+}
+
+#[test]
+fn reconciliation_produces_mapping_between_evolved_schemas() {
+    let config = ReconcileConfig {
+        schema_size: 8,
+        edits_per_branch: 12,
+        scenario: ScenarioConfig { schema_size: 8, edits: 12, ..ScenarioConfig::default() },
+        max_branch_retries: 3,
+        seed: 31,
+    };
+    let outcome = run_reconciliation(&config);
+    assert_eq!(outcome.intermediate_symbols, 8);
+    // The composed constraints only mention symbols known to either branch.
+    let universe = outcome.branch_a.universe.union(&outcome.branch_b.universe).unwrap();
+    for constraint in &outcome.constraints {
+        for relation in constraint.relations() {
+            assert!(universe.contains(&relation), "unknown relation {relation}");
+        }
+    }
+    // Determinism.
+    let again = run_reconciliation(&config);
+    assert_eq!(outcome.constraints, again.constraints);
+    assert_eq!(outcome.eliminated, again.eliminated);
+}
+
+#[test]
+fn reconciliation_gets_harder_with_more_edits() {
+    // Figure 7's qualitative shape, at a very small scale.
+    let few = average_reconciliation(
+        &ReconcileConfig {
+            schema_size: 10,
+            edits_per_branch: 6,
+            scenario: ScenarioConfig { schema_size: 10, edits: 6, ..ScenarioConfig::default() },
+            max_branch_retries: 2,
+            seed: 41,
+        },
+        3,
+    );
+    let many = average_reconciliation(
+        &ReconcileConfig {
+            schema_size: 10,
+            edits_per_branch: 40,
+            scenario: ScenarioConfig { schema_size: 10, edits: 40, ..ScenarioConfig::default() },
+            max_branch_retries: 2,
+            seed: 41,
+        },
+        3,
+    );
+    assert!(many.0 <= few.0 + 0.15, "few-edit fraction {} vs many-edit fraction {}", few.0, many.0);
+}

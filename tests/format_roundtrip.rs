@@ -1,0 +1,79 @@
+//! Integration tests for the textual task format: the pretty-printed form of
+//! every constraint the system produces must re-parse to the same constraint,
+//! and the shipped example task files must parse, validate, and compose.
+
+use mapping_composition::prelude::*;
+
+#[test]
+fn corpus_constraints_round_trip_through_the_printer() {
+    for problem in problems() {
+        let task = problem.task().expect("parses");
+        for constraint in task.combined_constraints().iter() {
+            let printed = format!("{constraint}");
+            let reparsed = parse_constraint(&printed)
+                .unwrap_or_else(|e| panic!("{}: `{printed}` does not re-parse: {e}", problem.id));
+            assert_eq!(&reparsed, constraint, "round trip changed `{printed}`");
+        }
+    }
+}
+
+#[test]
+fn composed_outputs_round_trip_through_the_printer() {
+    let registry = Registry::standard();
+    for problem in problems() {
+        let result = problem.compose(&registry, &ComposeConfig::default()).expect("composes");
+        for constraint in result.constraints.iter() {
+            let printed = format!("{constraint}");
+            let reparsed = parse_constraint(&printed)
+                .unwrap_or_else(|e| panic!("{}: `{printed}` does not re-parse: {e}", problem.id));
+            assert_eq!(&reparsed, constraint);
+        }
+    }
+}
+
+#[test]
+fn shipped_task_files_parse_and_compose() {
+    let registry = Registry::standard();
+    let cases: [(&str, &str, &str, bool); 3] = [
+        ("examples/tasks/movies.mct", "m12", "m23", true),
+        ("examples/tasks/outerjoin_peers.mct", "p12", "p23", false),
+        ("examples/tasks/recursive.mct", "m12", "m23", false),
+    ];
+    for (path, first, second, expect_complete) in cases {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+        let document = parse_document(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+        let task = document.task(first, second).unwrap_or_else(|e| panic!("task {path}: {e}"));
+        task.validate(registry.operators()).unwrap_or_else(|e| panic!("validate {path}: {e}"));
+        let result = compose(&task, &registry, &ComposeConfig::default()).expect("composes");
+        assert_eq!(result.is_complete(), expect_complete, "{path}");
+    }
+}
+
+#[test]
+fn evolution_outputs_round_trip_through_the_printer() {
+    let run = run_editing(&ScenarioConfig { schema_size: 8, edits: 25, seed: 3, ..ScenarioConfig::default() });
+    for constraint in &run.constraints {
+        let printed = format!("{constraint}");
+        let reparsed =
+            parse_constraint(&printed).unwrap_or_else(|e| panic!("`{printed}` does not re-parse: {e}"));
+        assert_eq!(&reparsed, constraint);
+    }
+}
+
+#[test]
+fn minimized_outputs_round_trip_and_stay_checkable() {
+    use mapping_composition::compose::minimize_mapping;
+    let registry = Registry::standard();
+    for problem in problems() {
+        let task = problem.task().expect("parses");
+        let full = task.full_signature().expect("signatures");
+        let result = problem.compose(&registry, &ComposeConfig::default()).expect("composes");
+        let minimized = minimize_mapping(result.constraints.into_vec(), &full, &registry);
+        for constraint in &minimized {
+            let printed = format!("{constraint}");
+            let reparsed = parse_constraint(&printed).expect("re-parses");
+            assert_eq!(&reparsed, constraint);
+            constraint.validate(&full, registry.operators()).expect("type-checks");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! algorithm's key invariants:
+//!
+//! * printer/parser round-trip for randomly generated expressions,
+//! * algebraic laws of the set-semantics evaluator,
+//! * semantic soundness of the MONOTONE procedure,
+//! * soundness of symbol elimination on randomly generated mappings.
+
+use proptest::prelude::*;
+
+use mapping_composition::compose::{eliminate, monotonicity, Monotonicity};
+use mapping_composition::prelude::*;
+
+/// Fixed signature used by the generators: two unary and two binary
+/// relations.
+fn test_signature() -> Signature {
+    Signature::from_arities([("A", 1), ("B", 1), ("P", 2), ("Q", 2)])
+}
+
+/// Strategy producing a relation name of the given arity.
+fn rel_of_arity(arity: usize) -> impl Strategy<Value = Expr> {
+    match arity {
+        1 => prop_oneof![Just(Expr::rel("A")), Just(Expr::rel("B"))].boxed(),
+        _ => prop_oneof![Just(Expr::rel("P")), Just(Expr::rel("Q"))].boxed(),
+    }
+}
+
+/// Strategy producing a simple selection predicate valid for the given arity.
+fn pred_for_arity(arity: usize) -> impl Strategy<Value = Pred> {
+    let max_col = arity.saturating_sub(1);
+    prop_oneof![
+        Just(Pred::True),
+        (0..=max_col, -2i64..6).prop_map(|(col, value)| Pred::eq_const(col, value)),
+        (0..=max_col, 0..=max_col).prop_map(|(left, right)| Pred::eq_cols(left, right)),
+    ]
+}
+
+/// Recursive strategy producing a well-typed expression of the given arity
+/// (1 or 2) over the test signature.
+fn expr_of_arity(arity: usize, depth: u32) -> BoxedStrategy<Expr> {
+    if depth == 0 {
+        return prop_oneof![rel_of_arity(arity), Just(Expr::domain(arity))].boxed();
+    }
+    let leaf = prop_oneof![rel_of_arity(arity), Just(Expr::domain(arity)), Just(Expr::empty(arity))];
+    let same = expr_of_arity(arity, depth - 1);
+    let binary = (expr_of_arity(arity, depth - 1), expr_of_arity(arity, depth - 1), 0..3u8)
+        .prop_map(|(left, right, which)| match which {
+            0 => left.union(right),
+            1 => left.intersect(right),
+            _ => left.difference(right),
+        });
+    let select = (same.clone(), pred_for_arity(arity)).prop_map(|(inner, pred)| inner.select(pred));
+    let project_from_pair = if arity == 1 {
+        (expr_of_arity(2, depth - 1), 0..2usize)
+            .prop_map(|(inner, col)| inner.project(vec![col]))
+            .boxed()
+    } else {
+        // arity 2: project a permutation of a binary expression, or pair a
+        // unary expression with itself via product.
+        prop_oneof![
+            (expr_of_arity(2, depth - 1), any::<bool>()).prop_map(|(inner, swap)| {
+                inner.project(if swap { vec![1, 0] } else { vec![0, 1] })
+            }),
+            (expr_of_arity(1, depth - 1), expr_of_arity(1, depth - 1))
+                .prop_map(|(left, right)| left.product(right)),
+        ]
+        .boxed()
+    };
+    prop_oneof![leaf, binary, select, project_from_pair].boxed()
+}
+
+/// Strategy producing a small instance over the test signature.
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    let unary = proptest::collection::btree_set(1i64..5, 0..3);
+    let binary = proptest::collection::btree_set((1i64..5, 1i64..5), 0..4);
+    (unary.clone(), unary, binary.clone(), binary).prop_map(|(a, b, p, q)| {
+        let mut instance = Instance::new();
+        for v in a {
+            instance.insert("A", vec![Value::Int(v)]);
+        }
+        for v in b {
+            instance.insert("B", vec![Value::Int(v)]);
+        }
+        for (x, y) in p {
+            instance.insert("P", vec![Value::Int(x), Value::Int(y)]);
+        }
+        for (x, y) in q {
+            instance.insert("Q", vec![Value::Int(x), Value::Int(y)]);
+        }
+        instance
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn printed_expressions_reparse_identically(expr in expr_of_arity(2, 3)) {
+        let printed = expr.to_string();
+        let reparsed = parse_expr(&printed).expect("printed expression parses");
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    #[test]
+    fn arity_checking_agrees_with_evaluation(
+        expr in expr_of_arity(2, 3),
+        instance in instance_strategy(),
+    ) {
+        let sig = test_signature();
+        let registry = Registry::standard();
+        let arity = expr.arity(&sig, registry.operators()).expect("well-typed by construction");
+        prop_assert_eq!(arity, 2);
+        let relation = mapping_composition::algebra::eval(
+            &expr, &sig, registry.operators(), &instance,
+        ).expect("evaluates");
+        for tuple in relation.iter() {
+            prop_assert_eq!(tuple.len(), 2);
+        }
+    }
+
+    #[test]
+    fn evaluator_satisfies_set_algebra_laws(
+        left in expr_of_arity(2, 2),
+        right in expr_of_arity(2, 2),
+        instance in instance_strategy(),
+    ) {
+        let sig = test_signature();
+        let registry = Registry::standard();
+        let ops = registry.operators();
+        let eval = |e: &Expr| mapping_composition::algebra::eval(e, &sig, ops, &instance).unwrap();
+
+        // Commutativity of ∪ and ∩.
+        prop_assert_eq!(
+            eval(&left.clone().union(right.clone())),
+            eval(&right.clone().union(left.clone()))
+        );
+        prop_assert_eq!(
+            eval(&left.clone().intersect(right.clone())),
+            eval(&right.clone().intersect(left.clone()))
+        );
+        // A − B ⊆ A and A ∩ B ⊆ A ⊆ A ∪ B.
+        let a = eval(&left);
+        prop_assert!(eval(&left.clone().difference(right.clone())).is_subset(&a));
+        prop_assert!(eval(&left.clone().intersect(right.clone())).is_subset(&a));
+        prop_assert!(a.is_subset(&eval(&left.clone().union(right.clone()))));
+        // Difference and intersection partition A: (A−B) ∪ (A∩B) = A.
+        let partitioned = eval(&left.clone().difference(right.clone()))
+            .union(&eval(&left.clone().intersect(right.clone())));
+        prop_assert_eq!(partitioned, a);
+    }
+
+    #[test]
+    fn monotone_verdicts_are_semantically_sound(
+        expr in expr_of_arity(2, 3),
+        instance in instance_strategy(),
+        extra in (1i64..5, 1i64..5),
+    ) {
+        let sig = test_signature();
+        let registry = Registry::standard();
+        let ops = registry.operators();
+        let symbol = "P";
+        let verdict = monotonicity(&expr, symbol, &registry);
+
+        // Build a larger instance by adding one tuple to P only.
+        let mut larger = instance.clone();
+        larger.insert(symbol, vec![Value::Int(extra.0), Value::Int(extra.1)]);
+
+        let small = mapping_composition::algebra::eval(&expr, &sig, ops, &instance).unwrap();
+        let large = mapping_composition::algebra::eval(&expr, &sig, ops, &larger).unwrap();
+
+        // The active domain also grows when P grows, which can affect D^r; the
+        // MONOTONE procedure treats D as independent, exactly as the paper's
+        // rewrite rules do, so restrict the semantic check to D-free
+        // expressions (the procedure stays sound for them).
+        if !expr.mentions_domain() {
+            match verdict {
+                Monotonicity::Monotone => prop_assert!(small.is_subset(&large)),
+                Monotonicity::AntiMonotone => prop_assert!(large.is_subset(&small)),
+                Monotonicity::Independent => prop_assert_eq!(small, large),
+                Monotonicity::Unknown => {}
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_is_sound_on_random_mappings(
+        upper in expr_of_arity(2, 2),
+        lower in expr_of_arity(2, 2),
+        downstream in expr_of_arity(2, 2),
+        instance in instance_strategy(),
+        s_tuples in proptest::collection::btree_set((1i64..5, 1i64..5), 0..4),
+    ) {
+        // Random mapping through an intermediate binary symbol S:
+        //   lower ⊆ S, S ⊆ upper, S ⊆ downstream.
+        let mut sig = test_signature();
+        sig.add_relation("S", 2);
+        let registry = Registry::standard();
+        let constraints = vec![
+            Constraint::containment(lower, Expr::rel("S")),
+            Constraint::containment(Expr::rel("S"), upper),
+            Constraint::containment(Expr::rel("S"), downstream),
+        ];
+        let Ok(success) = eliminate(&constraints, "S", &sig, &registry, &ComposeConfig::default())
+        else {
+            // Failure to eliminate is always acceptable (best effort).
+            return Ok(());
+        };
+        // Soundness: any instance (with any contents for S) satisfying the
+        // input constraints must satisfy the output constraints, which do not
+        // mention S.
+        let mut with_s = instance.clone();
+        for (x, y) in s_tuples {
+            with_s.insert("S", vec![Value::Int(x), Value::Int(y)]);
+        }
+        let ops = registry.operators();
+        let input_holds = constraints.iter().all(|c| c.satisfied_by(&sig, ops, &with_s).unwrap());
+        if input_holds {
+            for constraint in &success.constraints {
+                prop_assert!(!constraint.mentions("S"));
+                prop_assert!(
+                    constraint.satisfied_by(&sig, ops, &with_s).unwrap(),
+                    "soundness violated by {} on {}",
+                    constraint,
+                    with_s
+                );
+            }
+        }
+    }
+}
