@@ -135,6 +135,15 @@ impl Constraint {
         instance: &Instance,
     ) -> Result<bool, AlgebraError> {
         let ev = Evaluator::new(sig, ops, instance);
+        self.satisfied_with(&ev)
+    }
+
+    /// Like [`Constraint::satisfied_by`], but using a caller-supplied
+    /// evaluator — typically one with a tuple budget
+    /// ([`Evaluator::with_budget`]) so that constraints whose evaluation
+    /// would blow up combinatorially report
+    /// [`AlgebraError::EvalBudgetExceeded`] instead of exhausting memory.
+    pub fn satisfied_with(&self, ev: &Evaluator<'_>) -> Result<bool, AlgebraError> {
         let left = ev.eval(&self.lhs)?;
         let right = ev.eval(&self.rhs)?;
         Ok(match self.kind {
@@ -355,10 +364,8 @@ mod tests {
         // expressed as  π_{1,3}(σ_{0=2}(S×S)) ⊆ σ_{0=1}(D²).
         let sig = Signature::from_arities([("S", 2)]);
         let ops = OperatorSet::new();
-        let lhs = Expr::rel("S")
-            .product(Expr::rel("S"))
-            .select(Pred::eq_cols(0, 2))
-            .project(vec![1, 3]);
+        let lhs =
+            Expr::rel("S").product(Expr::rel("S")).select(Pred::eq_cols(0, 2)).project(vec![1, 3]);
         let rhs = Expr::domain(2).select(Pred::eq_cols(0, 1));
         let key = Constraint::containment(lhs, rhs);
 

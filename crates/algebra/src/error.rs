@@ -49,6 +49,14 @@ pub enum AlgebraError {
     SkolemNotEvaluable(String),
     /// A user-defined operator without an evaluator was evaluated.
     OperatorNotEvaluable(String),
+    /// An evaluation exceeded its tuple budget (see `Evaluator::with_budget`).
+    /// Active-domain powers and products can be combinatorially large; the
+    /// budget lets callers such as the chase engine skip such work instead of
+    /// exhausting memory.
+    EvalBudgetExceeded {
+        /// The budget that was exceeded, in materialised tuples.
+        budget: usize,
+    },
     /// Parse error in the textual task format.
     Parse {
         /// 1-based line of the offending token.
@@ -65,17 +73,15 @@ impl fmt::Display for AlgebraError {
         match self {
             AlgebraError::UnknownRelation(name) => write!(f, "unknown relation symbol `{name}`"),
             AlgebraError::UnknownOperator(name) => write!(f, "unknown operator `{name}`"),
-            AlgebraError::ArityMismatch { relation, expected, found } => write!(
-                f,
-                "arity mismatch for `{relation}`: expected {expected}, found {found}"
-            ),
+            AlgebraError::ArityMismatch { relation, expected, found } => {
+                write!(f, "arity mismatch for `{relation}`: expected {expected}, found {found}")
+            }
             AlgebraError::ColumnOutOfRange { column, arity } => {
                 write!(f, "column index {column} out of range for arity {arity}")
             }
-            AlgebraError::BinaryArityMismatch { op, left, right } => write!(
-                f,
-                "operands of `{op}` must have equal arity, got {left} and {right}"
-            ),
+            AlgebraError::BinaryArityMismatch { op, left, right } => {
+                write!(f, "operands of `{op}` must have equal arity, got {left} and {right}")
+            }
             AlgebraError::OperatorArity { op, args } => {
                 write!(f, "operator `{op}` cannot be applied to arities {args:?}")
             }
@@ -84,6 +90,9 @@ impl fmt::Display for AlgebraError {
             }
             AlgebraError::OperatorNotEvaluable(name) => {
                 write!(f, "operator `{name}` has no evaluator")
+            }
+            AlgebraError::EvalBudgetExceeded { budget } => {
+                write!(f, "evaluation exceeded the budget of {budget} tuples")
             }
             AlgebraError::Parse { line, column, message } => {
                 write!(f, "parse error at {line}:{column}: {message}")

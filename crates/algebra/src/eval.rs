@@ -4,6 +4,7 @@
 //! by constraint satisfaction, the bounded-model equivalence checker, and the
 //! data-migration examples.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 
 use crate::error::AlgebraError;
@@ -20,13 +21,56 @@ pub struct Evaluator<'a> {
     ops: &'a OperatorSet,
     instance: &'a Instance,
     active_domain: Vec<Value>,
+    /// Optional cap on materialised tuples across the whole evaluation.
+    budget: Option<usize>,
+    used: Cell<usize>,
 }
 
 impl<'a> Evaluator<'a> {
     /// Create an evaluator for one instance.
     pub fn new(sig: &'a Signature, ops: &'a OperatorSet, instance: &'a Instance) -> Self {
         let active_domain = instance.active_domain().into_iter().collect();
-        Evaluator { sig, ops, instance, active_domain }
+        Evaluator { sig, ops, instance, active_domain, budget: None, used: Cell::new(0) }
+    }
+
+    /// Create an evaluator that fails with
+    /// [`AlgebraError::EvalBudgetExceeded`] once more than `budget` tuples
+    /// have been materialised. Active-domain powers (`D^r`) and products grow
+    /// combinatorially with the instance, so long-running callers (the chase
+    /// engine, bulk verification) use this to bound work instead of
+    /// exhausting memory.
+    ///
+    /// Caveat: built-in operators are charged *during* materialisation, but
+    /// user-defined operators (`Expr::Apply`) expose only an opaque eval
+    /// function, so their output is charged after it has been built. An
+    /// expansive operator (e.g. transitive closure, up to quadratic in its
+    /// input) can therefore overshoot the budget by its own output size
+    /// before the overshoot is detected.
+    pub fn with_budget(
+        sig: &'a Signature,
+        ops: &'a OperatorSet,
+        instance: &'a Instance,
+        budget: usize,
+    ) -> Self {
+        let mut evaluator = Evaluator::new(sig, ops, instance);
+        evaluator.budget = Some(budget);
+        evaluator
+    }
+
+    /// Tuples materialised so far (only tracked when a budget is set).
+    pub fn tuples_used(&self) -> usize {
+        self.used.get()
+    }
+
+    fn charge(&self, amount: usize) -> Result<(), AlgebraError> {
+        if let Some(budget) = self.budget {
+            let used = self.used.get().saturating_add(amount);
+            self.used.set(used);
+            if used > budget {
+                return Err(AlgebraError::EvalBudgetExceeded { budget });
+            }
+        }
+        Ok(())
     }
 
     /// The active domain used for `D^r`.
@@ -40,9 +84,11 @@ impl<'a> Evaluator<'a> {
             Expr::Rel(name) => {
                 // Unknown symbols are an error so that typos surface early.
                 self.sig.arity(name)?;
-                Ok(self.instance.get(name))
+                let relation = self.instance.get(name);
+                self.charge(relation.len())?;
+                Ok(relation)
             }
-            Expr::Domain(r) => Ok(self.domain_power(*r)),
+            Expr::Domain(r) => self.domain_power(*r),
             Expr::Empty(_) => Ok(Relation::new()),
             Expr::Union(a, b) => {
                 self.check_equal_arity(expr, a, b)?;
@@ -61,6 +107,7 @@ impl<'a> Evaluator<'a> {
                 let right = self.eval(b)?;
                 let mut out = Relation::new();
                 for lt in left.iter() {
+                    self.charge(right.len())?;
                     for rt in right.iter() {
                         let mut tuple = lt.clone();
                         tuple.extend(rt.iter().cloned());
@@ -102,7 +149,9 @@ impl<'a> Evaluator<'a> {
                     .map(|arg| arg.arity(self.sig, self.ops))
                     .collect::<Result<Vec<_>, _>>()?;
                 let rels = args.iter().map(|arg| self.eval(arg)).collect::<Result<Vec<_>, _>>()?;
-                Ok(eval_fn(&rels, &arities))
+                let out = eval_fn(&rels, &arities);
+                self.charge(out.len())?;
+                Ok(out)
             }
         }
     }
@@ -120,11 +169,12 @@ impl<'a> Evaluator<'a> {
         Ok(())
     }
 
-    fn domain_power(&self, r: usize) -> Relation {
+    fn domain_power(&self, r: usize) -> Result<Relation, AlgebraError> {
         let mut tuples: BTreeSet<Tuple> = BTreeSet::new();
         tuples.insert(Vec::new());
         for _ in 0..r {
             let mut next = BTreeSet::new();
+            self.charge(tuples.len().saturating_mul(self.active_domain.len()))?;
             for t in &tuples {
                 for v in &self.active_domain {
                     let mut extended = t.clone();
@@ -135,9 +185,9 @@ impl<'a> Evaluator<'a> {
             tuples = next;
         }
         if r > 0 && self.active_domain.is_empty() {
-            return Relation::new();
+            return Ok(Relation::new());
         }
-        tuples.into_iter().filter(|t| t.len() == r).collect()
+        Ok(tuples.into_iter().filter(|t| t.len() == r).collect())
     }
 }
 
@@ -249,6 +299,22 @@ mod tests {
         let out = ev.eval(&join).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.contains(&tuple([2i64, 20])));
+    }
+
+    #[test]
+    fn budget_stops_combinatorial_blowup() {
+        let (sig, ops, inst) = setup();
+        // D^3 over a 6-value active domain is 216 tuples; a budget of 50
+        // must refuse it without materialising the power set.
+        let ev = Evaluator::with_budget(&sig, &ops, &inst, 50);
+        assert_eq!(ev.eval(&Expr::domain(3)), Err(AlgebraError::EvalBudgetExceeded { budget: 50 }));
+        // Small evaluations under the same budget still succeed.
+        let ev = Evaluator::with_budget(&sig, &ops, &inst, 50);
+        assert_eq!(ev.eval(&Expr::rel("R")).unwrap().len(), 2);
+        assert!(ev.tuples_used() >= 2);
+        // Products are charged per output row.
+        let ev = Evaluator::with_budget(&sig, &ops, &inst, 5);
+        assert!(ev.eval(&Expr::rel("R").product(Expr::rel("S"))).is_err());
     }
 
     #[test]

@@ -140,10 +140,14 @@ impl Expr {
     /// suggests (§2 views ⋈ as a derived operator). `on` pairs `(l, r)` equate
     /// column `l` of `self` with column `r` of `other`; the right-hand join
     /// columns are projected away.
-    pub fn join_on(self, other: Expr, on: &[(usize, usize)], left_arity: usize, right_arity: usize) -> Expr {
-        let pred = Pred::and_all(
-            on.iter().map(|(l, r)| Pred::eq_cols(*l, left_arity + *r)),
-        );
+    pub fn join_on(
+        self,
+        other: Expr,
+        on: &[(usize, usize)],
+        left_arity: usize,
+        right_arity: usize,
+    ) -> Expr {
+        let pred = Pred::and_all(on.iter().map(|(l, r)| Pred::eq_cols(*l, left_arity + *r)));
         let dropped: BTreeSet<usize> = on.iter().map(|(_, r)| left_arity + *r).collect();
         let keep: Vec<usize> =
             (0..left_arity + right_arity).filter(|i| !dropped.contains(i)).collect();
@@ -201,10 +205,8 @@ impl Expr {
                 Ok(arity + 1)
             }
             Expr::Apply(name, args) => {
-                let arities = args
-                    .iter()
-                    .map(|arg| arg.arity(sig, ops))
-                    .collect::<Result<Vec<_>, _>>()?;
+                let arities =
+                    args.iter().map(|arg| arg.arity(sig, ops)).collect::<Result<Vec<_>, _>>()?;
                 ops.arity(name, &arities)
             }
         }
@@ -444,16 +446,10 @@ mod tests {
         assert_eq!(Expr::rel("R").union(Expr::rel("S")).arity(&s, &ops).unwrap(), 2);
         assert_eq!(Expr::rel("R").product(Expr::rel("T")).arity(&s, &ops).unwrap(), 5);
         assert_eq!(Expr::rel("T").project(vec![0, 2]).arity(&s, &ops).unwrap(), 2);
-        assert_eq!(
-            Expr::rel("T").select(Pred::eq_cols(0, 2)).arity(&s, &ops).unwrap(),
-            3
-        );
+        assert_eq!(Expr::rel("T").select(Pred::eq_cols(0, 2)).arity(&s, &ops).unwrap(), 3);
         assert_eq!(Expr::domain(4).arity(&s, &ops).unwrap(), 4);
         assert_eq!(Expr::empty(2).arity(&s, &ops).unwrap(), 2);
-        assert_eq!(
-            Expr::rel("R").skolem(SkolemFn::new("f", vec![0])).arity(&s, &ops).unwrap(),
-            3
-        );
+        assert_eq!(Expr::rel("R").skolem(SkolemFn::new("f", vec![0])).arity(&s, &ops).unwrap(), 3);
     }
 
     #[test]
@@ -480,10 +476,8 @@ mod tests {
 
     #[test]
     fn structural_queries() {
-        let e = Expr::rel("R")
-            .difference(Expr::rel("S"))
-            .select(Pred::eq_const(0, 5))
-            .project(vec![0]);
+        let e =
+            Expr::rel("R").difference(Expr::rel("S")).select(Pred::eq_const(0, 5)).project(vec![0]);
         assert_eq!(e.relations().into_iter().collect::<Vec<_>>(), vec!["R", "S"]);
         assert!(e.mentions("R"));
         assert!(!e.mentions("T"));

@@ -65,17 +65,9 @@ impl Mapping {
     /// Relation symbols mentioned by the constraints but not declared in
     /// either signature (useful diagnostics for hand-written tasks).
     pub fn undeclared_symbols(&self) -> BTreeSet<String> {
-        let declared: BTreeSet<String> = self
-            .input
-            .names()
-            .into_iter()
-            .chain(self.output.names())
-            .collect();
-        self.constraints
-            .relations()
-            .into_iter()
-            .filter(|name| !declared.contains(name))
-            .collect()
+        let declared: BTreeSet<String> =
+            self.input.names().into_iter().chain(self.output.names()).collect();
+        self.constraints.relations().into_iter().filter(|name| !declared.contains(name)).collect()
     }
 
     /// Size measure of the mapping (total operator count).
@@ -187,9 +179,7 @@ mod tests {
         let sigma2 = Signature::from_arities([("FiveStarMovies", 3)]);
         let sigma3 = Signature::from_arities([("Names", 2), ("Years", 2)]);
         let sigma12 = ConstraintSet::from_constraints([Constraint::containment(
-            Expr::rel("Movies")
-                .select(crate::pred::Pred::eq_const(3, 5))
-                .project(vec![0, 1, 2]),
+            Expr::rel("Movies").select(crate::pred::Pred::eq_const(3, 5)).project(vec![0, 1, 2]),
             Expr::rel("FiveStarMovies"),
         )]);
         let sigma23 = ConstraintSet::from_constraints([Constraint::containment(
@@ -214,8 +204,10 @@ mod tests {
         let ops = OperatorSet::new();
         let input = Signature::from_arities([("R", 1)]);
         let output = Signature::from_arities([("V", 1)]);
-        let constraints =
-            ConstraintSet::from_constraints([Constraint::containment(Expr::rel("R"), Expr::rel("V"))]);
+        let constraints = ConstraintSet::from_constraints([Constraint::containment(
+            Expr::rel("R"),
+            Expr::rel("V"),
+        )]);
         let mapping = Mapping::new(input, output, constraints);
         mapping.validate(&ops).unwrap();
 

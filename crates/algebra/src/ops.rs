@@ -57,12 +57,7 @@ impl OperatorDef {
         param_count: usize,
         arity: impl Fn(&[usize]) -> Option<usize> + Send + Sync + 'static,
     ) -> Self {
-        OperatorDef {
-            name: name.into(),
-            param_count,
-            arity: Arc::new(arity),
-            eval: None,
-        }
+        OperatorDef { name: name.into(), param_count, arity: Arc::new(arity), eval: None }
     }
 
     /// Attach an evaluator.
@@ -121,10 +116,8 @@ impl OperatorSet {
 
     /// Output arity of `name` for the given argument arities.
     pub fn arity(&self, name: &str, args: &[usize]) -> Result<usize, AlgebraError> {
-        let def = self
-            .ops
-            .get(name)
-            .ok_or_else(|| AlgebraError::UnknownOperator(name.to_string()))?;
+        let def =
+            self.ops.get(name).ok_or_else(|| AlgebraError::UnknownOperator(name.to_string()))?;
         if def.param_count != args.len() {
             return Err(AlgebraError::OperatorArity { op: name.to_string(), args: args.to_vec() });
         }
@@ -144,9 +137,7 @@ mod tests {
     #[test]
     fn register_and_type_operator() {
         let mut ops = OperatorSet::new();
-        ops.register(OperatorDef::new("tc", 1, |args| {
-            (args == [2]).then_some(2)
-        }));
+        ops.register(OperatorDef::new("tc", 1, |args| (args == [2]).then_some(2)));
         assert!(ops.contains("tc"));
         assert_eq!(ops.arity("tc", &[2]).unwrap(), 2);
         assert!(ops.arity("tc", &[3]).is_err());
@@ -158,9 +149,8 @@ mod tests {
     fn operator_with_eval() {
         let mut ops = OperatorSet::new();
         ops.register(
-            OperatorDef::new("first", 2, |args| args.first().copied()).with_eval(|rels, _| {
-                rels.first().cloned().unwrap_or_default()
-            }),
+            OperatorDef::new("first", 2, |args| args.first().copied())
+                .with_eval(|rels, _| rels.first().cloned().unwrap_or_default()),
         );
         let def = ops.get("first").unwrap();
         let rel: Relation = [tuple([1i64])].into_iter().collect::<BTreeSet<_>>().into();

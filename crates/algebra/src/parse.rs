@@ -316,7 +316,11 @@ impl Document {
             .mappings
             .get(name)
             .ok_or_else(|| AlgebraError::UnknownRelation(name.to_string()))?;
-        Ok(Mapping::new(self.schema(input)?.clone(), self.schema(output)?.clone(), constraints.clone()))
+        Ok(Mapping::new(
+            self.schema(input)?.clone(),
+            self.schema(output)?.clone(),
+            constraints.clone(),
+        ))
     }
 
     /// Build a composition task from two named mappings `m12` and `m23`.
@@ -429,7 +433,9 @@ impl Parser {
                     let constraints = self.constraint_block()?;
                     doc.mappings.insert(name, (input, output, constraints));
                 }
-                other => return self.error(format!("expected `schema` or `mapping`, found {other}")),
+                other => {
+                    return self.error(format!("expected `schema` or `mapping`, found {other}"))
+                }
             }
         }
         Ok(doc)
@@ -672,7 +678,9 @@ impl Parser {
                     Tok::Le => CmpOp::Le,
                     Tok::Gt => CmpOp::Gt,
                     Tok::Ge => CmpOp::Ge,
-                    other => return self.error(format!("expected comparison operator, found {other}")),
+                    other => {
+                        return self.error(format!("expected comparison operator, found {other}"))
+                    }
                 };
                 let right = self.operand()?;
                 Ok(Pred::Cmp(left, op, right))
@@ -795,18 +803,12 @@ mod tests {
 
     #[test]
     fn parse_functional_forms_and_user_ops() {
-        assert_eq!(
-            parse_expr("union(R, S)").unwrap(),
-            Expr::rel("R").union(Expr::rel("S"))
-        );
+        assert_eq!(parse_expr("union(R, S)").unwrap(), Expr::rel("R").union(Expr::rel("S")));
         assert_eq!(
             parse_expr("diff(R, intersect(S, T))").unwrap(),
             Expr::rel("R").difference(Expr::rel("S").intersect(Expr::rel("T")))
         );
-        assert_eq!(
-            parse_expr("tc(S)").unwrap(),
-            Expr::apply("tc", vec![Expr::rel("S")])
-        );
+        assert_eq!(parse_expr("tc(S)").unwrap(), Expr::apply("tc", vec![Expr::rel("S")]));
         assert_eq!(
             parse_expr("ljoin(R, S)").unwrap(),
             Expr::apply("ljoin", vec![Expr::rel("R"), Expr::rel("S")])

@@ -200,9 +200,7 @@ impl Pred {
             Pred::True => Pred::True,
             Pred::False => Pred::False,
             Pred::Cmp(left, op, right) => Pred::Cmp(map_operand(left), *op, map_operand(right)),
-            Pred::And(a, b) => {
-                Pred::And(Box::new(a.map_columns(f)), Box::new(b.map_columns(f)))
-            }
+            Pred::And(a, b) => Pred::And(Box::new(a.map_columns(f)), Box::new(b.map_columns(f))),
             Pred::Or(a, b) => Pred::Or(Box::new(a.map_columns(f)), Box::new(b.map_columns(f))),
             Pred::Not(a) => Pred::Not(Box::new(a.map_columns(f))),
         }

@@ -31,10 +31,8 @@ fn document_with_multiple_mappings_and_keys() {
 
 #[test]
 fn unknown_schema_or_mapping_is_an_error() {
-    let doc = parse_document(
-        "schema a { R/1; } schema b { S/1; } mapping m : a -> b { R <= S; }",
-    )
-    .unwrap();
+    let doc = parse_document("schema a { R/1; } schema b { S/1; } mapping m : a -> b { R <= S; }")
+        .unwrap();
     assert!(doc.mapping("m").is_ok());
     assert!(doc.mapping("nope").is_err());
     assert!(doc.task("m", "nope").is_err());
@@ -64,7 +62,8 @@ fn operator_precedence_matches_documentation() {
     assert_eq!(
         parse_expr("A + B - C & E * F").unwrap(),
         Expr::rel("A").union(
-            Expr::rel("B").difference(Expr::rel("C").intersect(Expr::rel("E").product(Expr::rel("F"))))
+            Expr::rel("B")
+                .difference(Expr::rel("C").intersect(Expr::rel("E").product(Expr::rel("F"))))
         )
     );
     assert_eq!(

@@ -32,15 +32,21 @@ fn bench_primitive_composition(c: &mut Criterion) {
         let mut names = NameSource::new();
         let mut rng = StdRng::seed_from_u64(5);
         let base_info = mapcomp_algebra::RelInfo::with_key(5, vec![0]);
-        let first = apply_primitive(kind, Some(("Base", &base_info)), &options, &mut names, &mut rng);
+        let first =
+            apply_primitive(kind, Some(("Base", &base_info)), &options, &mut names, &mut rng);
         let mut sig = Signature::new();
         sig.add("Base", base_info.clone());
         let mut constraints = first.constraints.clone();
         let mut symbols = Vec::new();
         for (name, info) in &first.created {
             sig.add(name.clone(), info.clone());
-            let follow =
-                apply_primitive(PrimitiveKind::AddAttribute, Some((name, info)), &options, &mut names, &mut rng);
+            let follow = apply_primitive(
+                PrimitiveKind::AddAttribute,
+                Some((name, info)),
+                &options,
+                &mut names,
+                &mut rng,
+            );
             for (n2, i2) in &follow.created {
                 sig.add(n2.clone(), i2.clone());
             }
@@ -49,9 +55,7 @@ fn bench_primitive_composition(c: &mut Criterion) {
         }
 
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
-            b.iter(|| {
-                compose_constraints(&sig, &symbols, constraints.clone(), &registry, &config)
-            })
+            b.iter(|| compose_constraints(&sig, &symbols, constraints.clone(), &registry, &config))
         });
     }
     group.finish();

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--paper] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [corpus] [claims] [all]
+//! figures [--paper] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [corpus] [claims] [all]
 //! ```
 //!
 //! Without arguments every figure is produced at the quick scale; `--paper`
@@ -12,8 +12,8 @@
 use std::time::Instant;
 
 use mapcomp_bench::{
-    corpus_report, edit_count_sweep, editing_experiment, format_row, inclusion_sweep,
-    schema_size_sweep, Configuration, Scale, FIGURE5_PRIMITIVES,
+    chain_cache_experiment, corpus_report, edit_count_sweep, editing_experiment, format_row,
+    inclusion_sweep, schema_size_sweep, Configuration, Scale, FIGURE5_PRIMITIVES,
 };
 use mapcomp_compose::ComposeConfig;
 use mapcomp_evolution::{run_editing, PrimitiveKind, ScenarioConfig};
@@ -43,6 +43,9 @@ fn main() {
     if want("fig7") {
         figure_7(scale);
     }
+    if want("fig8") {
+        figure_8(scale);
+    }
     if want("corpus") {
         corpus_table();
     }
@@ -61,11 +64,8 @@ fn figures_2_3_4(scale: Scale) {
         .map(|configuration| (configuration, editing_experiment(*configuration, scale, 1000)))
         .collect();
 
-    let primitives: Vec<PrimitiveKind> = PrimitiveKind::ALL
-        .iter()
-        .copied()
-        .filter(|kind| kind.consumes_input())
-        .collect();
+    let primitives: Vec<PrimitiveKind> =
+        PrimitiveKind::ALL.iter().copied().filter(|kind| kind.consumes_input()).collect();
 
     // Figure 2 table.
     let widths = vec![6, 10, 10, 14, 18];
@@ -188,6 +188,46 @@ fn figure_7(scale: Scale) {
     }
 }
 
+fn figure_8(scale: Scale) {
+    println!("\n[Figure 8] catalog chains: incremental vs. cold recomposition after one edit");
+    let points = chain_cache_experiment(scale, 8000);
+    let widths = vec![7, 11, 11, 12, 12, 9];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "links".to_string(),
+                "cold calls".to_string(),
+                "incr calls".to_string(),
+                "cold (ms)".to_string(),
+                "incr (ms)".to_string(),
+                "speedup".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in points {
+        let cold_ms = point.cold_time.as_secs_f64() * 1000.0;
+        let incr_ms = point.incremental_time.as_secs_f64() * 1000.0;
+        let speedup =
+            if incr_ms > 0.0 { format!("{:.1}x", cold_ms / incr_ms) } else { "-".to_string() };
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.chain_len.to_string(),
+                    point.cold_calls.to_string(),
+                    point.incremental_calls.to_string(),
+                    format!("{cold_ms:.2}"),
+                    format!("{incr_ms:.2}"),
+                    speedup,
+                ],
+                &widths
+            )
+        );
+    }
+}
+
 fn corpus_table() {
     println!("\n[Literature suite] the 22 composition problems of §4");
     let widths = vec![32, 12, 8, 10];
@@ -234,11 +274,8 @@ fn claims(scale: Scale) {
         });
         edits_total += run.records.len();
         leftovers_recovered += run.records.iter().map(|r| r.leftover_eliminated).sum::<usize>();
-        pending_created += run
-            .records
-            .iter()
-            .filter(|r| r.consumed_intermediate && !r.eliminated_now)
-            .count();
+        pending_created +=
+            run.records.iter().filter(|r| r.consumed_intermediate && !r.eliminated_now).count();
     }
     println!("  edits simulated: {edits_total}");
     println!("  symbols left pending at their own edit: {pending_created}");
@@ -253,8 +290,8 @@ fn claims(scale: Scale) {
     let mut different = 0usize;
     for problem in mapcomp_corpus::problems() {
         let task = problem.task().expect("parses");
-        let forward =
-            mapcomp_compose::compose(&task, &registry, &ComposeConfig::default()).expect("composes");
+        let forward = mapcomp_compose::compose(&task, &registry, &ComposeConfig::default())
+            .expect("composes");
         let mut reversed_order = task.elimination_order();
         reversed_order.reverse();
         let reversed = mapcomp_compose::compose(

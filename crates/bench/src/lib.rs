@@ -172,7 +172,11 @@ impl PrimitiveAggregate {
 }
 
 /// Run the schema-editing experiment for one configuration (Figures 2–4).
-pub fn editing_experiment(configuration: Configuration, scale: Scale, base_seed: u64) -> PrimitiveAggregate {
+pub fn editing_experiment(
+    configuration: Configuration,
+    scale: Scale,
+    base_seed: u64,
+) -> PrimitiveAggregate {
     let mut aggregate = PrimitiveAggregate::default();
     let mut fraction_sum = 0.0;
     let runs = scale.editing_runs();
@@ -301,10 +305,8 @@ pub fn schema_size_sweep(
                     max_branch_retries: 3,
                     seed: base_seed + size as u64,
                 };
-                let (fraction, time) = mapcomp_evolution::average_reconciliation(
-                    &config,
-                    scale.reconcile_samples(),
-                );
+                let (fraction, time) =
+                    mapcomp_evolution::average_reconciliation(&config, scale.reconcile_samples());
                 ReconcilePoint { x: size, fraction, time_seconds: time.as_secs_f64() }
             })
             .collect();
@@ -325,11 +327,7 @@ pub fn edit_count_sweep(scale: Scale, base_seed: u64) -> Vec<ReconcilePoint> {
             let config = ReconcileConfig {
                 schema_size: 30,
                 edits_per_branch: edits,
-                scenario: ScenarioConfig {
-                    schema_size: 30,
-                    edits,
-                    ..ScenarioConfig::default()
-                },
+                scenario: ScenarioConfig { schema_size: 30, edits, ..ScenarioConfig::default() },
                 max_branch_retries: 3,
                 seed: base_seed + edits as u64,
             };
@@ -371,6 +369,115 @@ pub fn corpus_report() -> Vec<CorpusOutcome> {
                 expectation_met: problem.check(&result),
                 time: started.elapsed(),
             }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 (new experiment): incremental vs. cold chain recomposition
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 8 chain-cache experiment: a composition chain of
+/// the given length is built by the evolution simulator and registered in a
+/// catalog; we measure composing it cold, then editing the middle link and
+/// recomposing incrementally with the warm memo cache.
+#[derive(Debug, Clone)]
+pub struct ChainCachePoint {
+    /// Number of links in the chain.
+    pub chain_len: usize,
+    /// Pairwise compositions for a cold full fold.
+    pub cold_calls: usize,
+    /// Wall-clock time of the cold fold.
+    pub cold_time: Duration,
+    /// Pairwise compositions to recompose after editing the middle link.
+    pub incremental_calls: usize,
+    /// Wall-clock time of the incremental recompose.
+    pub incremental_time: Duration,
+    /// Pairwise compositions to recompose with nothing edited (must be 0).
+    pub warm_calls: usize,
+}
+
+/// Chain lengths measured per scale.
+pub fn chain_lengths(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![2, 4, 8, 12],
+        Scale::Paper => vec![2, 4, 8, 16, 32, 64],
+    }
+}
+
+/// Build an evolution-derived catalog chain of (up to) `edits` links and
+/// return the replayed session plus the chain's mapping names. Exposed for
+/// the criterion bench, which needs the same setup.
+pub fn chain_fixture(edits: usize, seed: u64) -> (mapcomp_catalog::Session, Vec<String>) {
+    let scenario = ScenarioConfig {
+        schema_size: 8,
+        edits,
+        options: PrimitiveOptions::default(),
+        event_vector: EventVector::default_vector(),
+        compose_config: ComposeConfig::default(),
+        seed,
+    };
+    let replay = mapcomp_catalog::replay_editing(&scenario).expect("replay succeeds");
+    let path =
+        replay.final_result.as_ref().map(|result| result.chain.path.clone()).unwrap_or_default();
+    (replay.session, path)
+}
+
+/// An edited variant of a mapping's constraints: the original plus one
+/// trivially-true constraint over a relation of its source schema, so the
+/// content hash changes while the mapping stays semantically equivalent.
+pub fn edited_variant(
+    session: &mapcomp_catalog::Session,
+    mapping: &str,
+) -> mapcomp_algebra::ConstraintSet {
+    let entry = session.catalog().mapping(mapping).expect("mapping exists");
+    let source = session.catalog().schema(&entry.source).expect("schema exists");
+    let relation = source.signature.names().into_iter().next().expect("non-empty schema");
+    let mut constraints = entry.constraints.clone();
+    constraints.push(mapcomp_algebra::Constraint::containment(
+        mapcomp_algebra::Expr::rel(relation.clone()),
+        mapcomp_algebra::Expr::rel(relation),
+    ));
+    constraints
+}
+
+/// Run the Figure 8 experiment: for each chain length, compare cold, warm,
+/// and incremental (middle link edited) recomposition.
+pub fn chain_cache_experiment(scale: Scale, base_seed: u64) -> Vec<ChainCachePoint> {
+    chain_lengths(scale)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(index, edits)| {
+            let (mut session, path) = chain_fixture(edits, base_seed + index as u64);
+            if path.len() < 2 {
+                return None;
+            }
+            // Cold: a fresh session over the same catalog.
+            let catalog = session.catalog().clone();
+            let mut cold_session = mapcomp_catalog::Session::new(catalog);
+            let started = std::time::Instant::now();
+            let cold = cold_session.compose_names(&path).expect("cold chain composes");
+            let cold_time = started.elapsed();
+
+            // Warm: the replayed session already composed this chain.
+            let warm = session.compose_names(&path).expect("warm chain composes");
+
+            // Incremental: edit the middle link, recompose.
+            let middle = path[path.len() / 2].clone();
+            let variant = edited_variant(&session, &middle);
+            session.update_mapping(&middle, variant).expect("edit applies");
+            let started = std::time::Instant::now();
+            let incremental = session.compose_names(&path).expect("incremental chain composes");
+            let incremental_time = started.elapsed();
+
+            Some(ChainCachePoint {
+                chain_len: path.len(),
+                cold_calls: cold.compose_calls,
+                cold_time,
+                incremental_calls: incremental.compose_calls,
+                incremental_time,
+                warm_calls: warm.compose_calls,
+            })
         })
         .collect()
 }
@@ -426,5 +533,22 @@ mod tests {
     fn format_row_aligns() {
         let row = format_row(&["a".into(), "bb".into()], &[3, 4]);
         assert_eq!(row, "  a    bb");
+    }
+
+    #[test]
+    fn chain_cache_experiment_shows_incremental_win() {
+        let points = chain_cache_experiment(Scale::Quick, 4242);
+        assert!(!points.is_empty());
+        for point in &points {
+            assert_eq!(point.cold_calls, point.chain_len - 1);
+            assert_eq!(point.warm_calls, 0, "unedited recompose must be free");
+            assert!(
+                point.incremental_calls < point.cold_calls || point.chain_len <= 2,
+                "len {}: incremental {} vs cold {}",
+                point.chain_len,
+                point.incremental_calls,
+                point.cold_calls
+            );
+        }
     }
 }

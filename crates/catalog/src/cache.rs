@@ -1,0 +1,212 @@
+//! The memo cache: content-addressed pairwise compositions with
+//! dependency-tracked invalidation.
+//!
+//! Every pairwise composition performed by the chain driver is stored under
+//! the key `(left-hash, right-hash, config-hash)`. Because hashes are
+//! content hashes, an edited mapping simply never *hits* its old entries —
+//! but stale entries would still accumulate without bound, and a catalog
+//! serving "what depends on m?" queries needs provenance anyway. So every
+//! entry also records the set of catalog mappings it was composed from
+//! (its provenance, in the spirit of Grahne & Thomo's annotated rewritings),
+//! and [`MemoCache::invalidate`] drops exactly the entries whose provenance
+//! mentions an edited mapping, leaving unrelated prefixes warm.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::chain::ComposedChain;
+
+/// Key of one memoised pairwise composition.
+pub type MemoKey = (u64, u64, u64);
+
+/// One cached pairwise composition plus its provenance.
+#[derive(Debug, Clone)]
+pub struct MemoEntry {
+    /// The composed chain segment.
+    pub chain: ComposedChain,
+    /// How many times this entry has been served.
+    pub hits: u64,
+}
+
+/// Cache statistics (cumulative since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Entries inserted.
+    pub insertions: usize,
+    /// Entries dropped by invalidation.
+    pub invalidated: usize,
+}
+
+/// Content-addressed memo cache with dependency-tracked invalidation.
+#[derive(Debug, Clone, Default)]
+pub struct MemoCache {
+    entries: BTreeMap<MemoKey, MemoEntry>,
+    /// Mapping name → keys of entries whose provenance mentions it.
+    by_dependency: BTreeMap<String, BTreeSet<MemoKey>>,
+    stats: CacheStats,
+}
+
+impl MemoCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        MemoCache::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up a pairwise composition; counts a hit or miss.
+    pub fn lookup(&mut self, key: MemoKey) -> Option<ComposedChain> {
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.hits += 1;
+                self.stats.hits += 1;
+                Some(entry.chain.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching statistics (used by the chain driver to measure
+    /// how much of a chain is already warm before choosing a fold order).
+    pub fn contains(&self, key: &MemoKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Insert a composed segment under its key, indexing its provenance.
+    pub fn insert(&mut self, key: MemoKey, chain: ComposedChain) {
+        for dependency in &chain.deps {
+            self.by_dependency.entry(dependency.clone()).or_default().insert(key);
+        }
+        self.entries.insert(key, MemoEntry { chain, hits: 0 });
+        self.stats.insertions += 1;
+    }
+
+    /// Drop every entry whose provenance mentions `mapping`; returns how many
+    /// entries were dropped. Entries not depending on the mapping — e.g. the
+    /// prefix of a chain upstream of an edited link — survive.
+    pub fn invalidate(&mut self, mapping: &str) -> usize {
+        let Some(keys) = self.by_dependency.remove(mapping) else { return 0 };
+        let mut dropped = 0;
+        for key in keys {
+            if let Some(entry) = self.entries.remove(&key) {
+                dropped += 1;
+                // Unindex from the entry's other dependencies.
+                for dependency in &entry.chain.deps {
+                    if let Some(set) = self.by_dependency.get_mut(dependency) {
+                        set.remove(&key);
+                    }
+                }
+            }
+        }
+        self.stats.invalidated += dropped;
+        dropped
+    }
+
+    /// Entries whose provenance mentions `mapping` (the "what depends on m?"
+    /// provenance query).
+    pub fn dependents(&self, mapping: &str) -> Vec<&ComposedChain> {
+        self.by_dependency
+            .get(mapping)
+            .map(|keys| {
+                keys.iter().filter_map(|key| self.entries.get(key)).map(|e| &e.chain).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        let dropped = self.entries.len();
+        self.entries.clear();
+        self.by_dependency.clear();
+        self.stats.invalidated += dropped;
+    }
+
+    /// Iterate over live entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MemoKey, &MemoEntry)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapcomp_algebra::{Mapping, Signature};
+
+    fn segment(name: &str, deps: &[&str], hash: u64) -> ComposedChain {
+        ComposedChain {
+            source: "a".into(),
+            target: "b".into(),
+            path: vec![name.to_string()],
+            mapping: Mapping::default(),
+            residual: Signature::new(),
+            hash,
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn lookup_hits_and_misses_are_counted() {
+        let mut cache = MemoCache::new();
+        assert!(cache.lookup((1, 2, 3)).is_none());
+        cache.insert((1, 2, 3), segment("m1", &["m1"], 9));
+        assert!(cache.lookup((1, 2, 3)).is_some());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, insertions: 1, invalidated: 0 });
+    }
+
+    #[test]
+    fn invalidation_drops_exactly_dependents() {
+        let mut cache = MemoCache::new();
+        cache.insert((1, 2, 0), segment("p1", &["m1", "m2"], 12));
+        cache.insert((12, 3, 0), segment("p2", &["m1", "m2", "m3"], 123));
+        cache.insert((7, 8, 0), segment("q", &["k1"], 78));
+        assert_eq!(cache.len(), 3);
+        // Editing m3 drops only the segment that includes it.
+        assert_eq!(cache.invalidate("m3"), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&(1, 2, 0)));
+        assert!(cache.contains(&(7, 8, 0)));
+        // Editing m1 drops the remaining chain segment but not `q`.
+        assert_eq!(cache.invalidate("m1"), 1);
+        assert_eq!(cache.len(), 1);
+        // Unknown mapping: nothing to drop.
+        assert_eq!(cache.invalidate("zzz"), 0);
+    }
+
+    #[test]
+    fn dependents_reports_provenance() {
+        let mut cache = MemoCache::new();
+        cache.insert((1, 2, 0), segment("p1", &["m1", "m2"], 12));
+        cache.insert((12, 3, 0), segment("p2", &["m1", "m2", "m3"], 123));
+        assert_eq!(cache.dependents("m1").len(), 2);
+        assert_eq!(cache.dependents("m3").len(), 1);
+        assert!(cache.dependents("nope").is_empty());
+    }
+
+    #[test]
+    fn clear_counts_as_invalidation() {
+        let mut cache = MemoCache::new();
+        cache.insert((1, 2, 0), segment("p1", &["m1"], 12));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+}

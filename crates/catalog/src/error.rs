@@ -1,0 +1,106 @@
+//! Error type of the catalog subsystem.
+
+use std::fmt;
+
+use mapcomp_algebra::AlgebraError;
+
+/// Errors arising from catalog operations: registration, path resolution,
+/// and chain composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A schema name was referenced that is not registered.
+    UnknownSchema(String),
+    /// A mapping name was referenced that is not registered.
+    UnknownMapping(String),
+    /// No directed path of mappings connects the two schemas.
+    NoPath {
+        /// Requested source schema.
+        from: String,
+        /// Requested target schema.
+        to: String,
+    },
+    /// A composition path from a schema to itself is empty; there is nothing
+    /// to compose.
+    EmptyPath {
+        /// The schema requested on both ends.
+        schema: String,
+    },
+    /// Two adjacent mappings of an explicit chain do not share a schema.
+    ChainMismatch {
+        /// Mapping whose target disagrees.
+        left: String,
+        /// Mapping whose source disagrees.
+        right: String,
+        /// Target schema of `left`.
+        expected: String,
+        /// Source schema of `right`.
+        found: String,
+    },
+    /// A pairwise composition left intermediate symbols behind while the
+    /// session was configured to require complete elimination.
+    Incomplete {
+        /// The mapping whose composition into the chain was incomplete.
+        mapping: String,
+        /// The σ2 symbols that survived.
+        remaining: Vec<String>,
+    },
+    /// An underlying algebra error (arity conflicts between schemas, invalid
+    /// constraints, …).
+    Algebra(AlgebraError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownSchema(name) => write!(f, "unknown schema `{name}`"),
+            CatalogError::UnknownMapping(name) => write!(f, "unknown mapping `{name}`"),
+            CatalogError::NoPath { from, to } => {
+                write!(f, "no composition path from `{from}` to `{to}`")
+            }
+            CatalogError::EmptyPath { schema } => {
+                write!(f, "path from `{schema}` to itself is empty; nothing to compose")
+            }
+            CatalogError::ChainMismatch { left, right, expected, found } => write!(
+                f,
+                "chain mismatch: `{left}` targets `{expected}` but `{right}` starts at `{found}`"
+            ),
+            CatalogError::Incomplete { mapping, remaining } => write!(
+                f,
+                "composing `{mapping}` left symbols {remaining:?} uneliminated \
+                 (session requires complete elimination)"
+            ),
+            CatalogError::Algebra(inner) => write!(f, "{inner}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Algebra(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for CatalogError {
+    fn from(inner: AlgebraError) -> Self {
+        CatalogError::Algebra(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_payload() {
+        assert!(CatalogError::UnknownSchema("v1".into()).to_string().contains("`v1`"));
+        let err = CatalogError::NoPath { from: "a".into(), to: "b".into() };
+        assert!(err.to_string().contains("`a`") && err.to_string().contains("`b`"));
+        let err = CatalogError::Incomplete { mapping: "m".into(), remaining: vec!["S".into()] };
+        assert!(err.to_string().contains("\"S\""));
+        let err: CatalogError = AlgebraError::UnknownRelation("R".into()).into();
+        assert!(err.to_string().contains("`R`"));
+    }
+}

@@ -1,0 +1,155 @@
+//! The composition graph: schemas are nodes, mappings are directed edges.
+//!
+//! Path resolution answers "compose σ_from → σ_to" by finding a directed
+//! path of mappings between the two schemas. Breadth-first search returns a
+//! fewest-hops path (fewer pairwise compositions is both faster and less
+//! likely to hit a best-effort failure); ties are broken deterministically by
+//! mapping-name order, so the same catalog always resolves the same path.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::error::CatalogError;
+use crate::store::Catalog;
+
+/// Resolve a fewest-hops path of mapping names from `from` to `to`.
+///
+/// Returns [`CatalogError::EmptyPath`] when `from == to` (there is nothing to
+/// compose) and [`CatalogError::NoPath`] when the target is unreachable.
+pub fn resolve_path(catalog: &Catalog, from: &str, to: &str) -> Result<Vec<String>, CatalogError> {
+    catalog.schema(from)?;
+    catalog.schema(to)?;
+    if from == to {
+        return Err(CatalogError::EmptyPath { schema: from.to_string() });
+    }
+
+    // Adjacency: source schema → [(mapping name, target schema)], name-sorted
+    // (BTreeMap iteration) for deterministic tie-breaking.
+    let mut adjacency: BTreeMap<&str, Vec<(&str, &str)>> = BTreeMap::new();
+    for entry in catalog.mappings() {
+        if entry.source == entry.target {
+            continue; // self-loops never shorten a path
+        }
+        adjacency.entry(&entry.source).or_default().push((&entry.name, &entry.target));
+    }
+
+    let mut predecessor: BTreeMap<&str, (&str, &str)> = BTreeMap::new(); // schema → (via mapping, from schema)
+    let mut queue: VecDeque<&str> = VecDeque::new();
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            break;
+        }
+        let Some(edges) = adjacency.get(node) else { continue };
+        for (mapping, next) in edges {
+            if *next == from || predecessor.contains_key(next) {
+                continue;
+            }
+            predecessor.insert(next, (mapping, node));
+            queue.push_back(next);
+        }
+    }
+
+    if !predecessor.contains_key(to) {
+        return Err(CatalogError::NoPath { from: from.to_string(), to: to.to_string() });
+    }
+    let mut path = Vec::new();
+    let mut node = to;
+    while node != from {
+        let (mapping, previous) = predecessor[node];
+        path.push(mapping.to_string());
+        node = previous;
+    }
+    path.reverse();
+    Ok(path)
+}
+
+/// All schemas reachable from `from` (excluding `from` itself), with the
+/// fewest-hops distance — the catalog's "what can I compose to?" query.
+pub fn reachable(catalog: &Catalog, from: &str) -> Result<BTreeMap<String, usize>, CatalogError> {
+    catalog.schema(from)?;
+    let mut adjacency: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for entry in catalog.mappings() {
+        adjacency.entry(&entry.source).or_default().push(&entry.target);
+    }
+    let mut distance: BTreeMap<String, usize> = BTreeMap::new();
+    let mut queue: VecDeque<(&str, usize)> = VecDeque::new();
+    queue.push_back((from, 0));
+    while let Some((node, hops)) = queue.pop_front() {
+        let Some(edges) = adjacency.get(node) else { continue };
+        for next in edges {
+            if *next == from || distance.contains_key(*next) {
+                continue;
+            }
+            distance.insert(next.to_string(), hops + 1);
+            queue.push_back((next, hops + 1));
+        }
+    }
+    Ok(distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapcomp_algebra::ConstraintSet;
+    use mapcomp_algebra::Signature;
+
+    fn chain_catalog(n: usize) -> Catalog {
+        let mut catalog = Catalog::new();
+        for i in 0..n {
+            catalog.add_schema(format!("s{i}"), Signature::from_arities([(format!("R{i}"), 1)]));
+        }
+        for i in 0..n - 1 {
+            catalog
+                .add_mapping(
+                    format!("m{i}"),
+                    &format!("s{i}"),
+                    &format!("s{}", i + 1),
+                    ConstraintSet::new(),
+                )
+                .unwrap();
+        }
+        catalog
+    }
+
+    #[test]
+    fn resolves_multi_hop_paths() {
+        let catalog = chain_catalog(5);
+        let path = resolve_path(&catalog, "s0", "s4").unwrap();
+        assert_eq!(path, vec!["m0", "m1", "m2", "m3"]);
+        let path = resolve_path(&catalog, "s1", "s3").unwrap();
+        assert_eq!(path, vec!["m1", "m2"]);
+    }
+
+    #[test]
+    fn prefers_fewest_hops_and_breaks_ties_by_name() {
+        let mut catalog = chain_catalog(3);
+        // Direct shortcut s0 → s2.
+        catalog.add_mapping("zshort", "s0", "s2", ConstraintSet::new()).unwrap();
+        assert_eq!(resolve_path(&catalog, "s0", "s2").unwrap(), vec!["zshort"]);
+        // A second direct edge with an earlier name wins the tie.
+        catalog.add_mapping("ashort", "s0", "s2", ConstraintSet::new()).unwrap();
+        assert_eq!(resolve_path(&catalog, "s0", "s2").unwrap(), vec!["ashort"]);
+    }
+
+    #[test]
+    fn unreachable_and_trivial_paths_error() {
+        let catalog = chain_catalog(3);
+        // Directed: no backwards path.
+        assert!(matches!(resolve_path(&catalog, "s2", "s0"), Err(CatalogError::NoPath { .. })));
+        assert!(matches!(resolve_path(&catalog, "s1", "s1"), Err(CatalogError::EmptyPath { .. })));
+        assert!(matches!(
+            resolve_path(&catalog, "s0", "nope"),
+            Err(CatalogError::UnknownSchema(_))
+        ));
+    }
+
+    #[test]
+    fn reachability_reports_distances() {
+        let catalog = chain_catalog(4);
+        let reach = reachable(&catalog, "s0").unwrap();
+        assert_eq!(reach.get("s1"), Some(&1));
+        assert_eq!(reach.get("s3"), Some(&3));
+        assert_eq!(reach.get("s0"), None);
+        assert!(reachable(&catalog, "s3").unwrap().is_empty());
+    }
+}

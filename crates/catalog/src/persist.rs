@@ -1,0 +1,214 @@
+//! Plain-text persistence of the memo cache.
+//!
+//! The catalog itself round-trips through the document format
+//! ([`crate::store::Catalog::to_document_string`]); this module does the same
+//! for the memo cache so a command-line session can keep its warm segments
+//! across invocations. Each entry is a small header (the memo key, the
+//! segment hash, endpoints, path, provenance) followed by an embedded
+//! document holding the composed mapping and the residual signature:
+//!
+//! ```text
+//! entry <left> <right> <config> <hash>
+//! endpoints <source> -> <target>
+//! path <m1> <m2> …
+//! deps <m1> <m2> …
+//! begin-document
+//! schema __in { … }
+//! schema __out { … }
+//! schema __residual { … }
+//! mapping __seg : __in -> __out { … }
+//! end-document
+//! ```
+//!
+//! Unknown or corrupted entries are skipped on load (a memo cache is only an
+//! accelerator; losing an entry costs one recomposition, never correctness).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use mapcomp_algebra::{parse_document, Mapping, Signature};
+
+use crate::cache::MemoCache;
+use crate::chain::ComposedChain;
+
+fn write_schema(out: &mut String, name: &str, sig: &Signature) {
+    let _ = write!(out, "schema {name} {{ ");
+    for (rel, info) in sig.iter() {
+        let _ = write!(out, "{rel}/{}", info.arity);
+        if let Some(key) = &info.key {
+            let cols: Vec<String> = key.iter().map(usize::to_string).collect();
+            let _ = write!(out, " key({})", cols.join(","));
+        }
+        let _ = write!(out, "; ");
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Render the cache in the sidecar format.
+pub fn save_cache(cache: &MemoCache) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// mapcomp memo cache: {} entries", cache.len());
+    for ((left, right, config), entry) in cache.iter() {
+        let chain = &entry.chain;
+        let _ = writeln!(out, "entry {left:016x} {right:016x} {config:016x} {:016x}", chain.hash);
+        let _ = writeln!(out, "endpoints {} -> {}", chain.source, chain.target);
+        let _ = writeln!(out, "path {}", chain.path.join(" "));
+        let deps: Vec<&str> = chain.deps.iter().map(String::as_str).collect();
+        let _ = writeln!(out, "deps {}", deps.join(" "));
+        let _ = writeln!(out, "begin-document");
+        write_schema(&mut out, "__in", &chain.mapping.input);
+        write_schema(&mut out, "__out", &chain.mapping.output);
+        write_schema(&mut out, "__residual", &chain.residual);
+        let _ = writeln!(out, "mapping __seg : __in -> __out {{");
+        for constraint in chain.mapping.constraints.iter() {
+            let _ = writeln!(out, "    {constraint};");
+        }
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out, "end-document");
+    }
+    out
+}
+
+/// Parse a sidecar rendering back into a cache. Malformed entries are
+/// silently dropped; the count of restored entries is implicit in the
+/// result's `len()`.
+pub fn load_cache(text: &str) -> MemoCache {
+    let mut cache = MemoCache::new();
+    let mut lines = text.lines().peekable();
+    while let Some(line) = lines.next() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("entry ") else { continue };
+        let mut key_parts = rest.split_whitespace();
+        let (Some(left), Some(right), Some(config), Some(hash)) = (
+            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
+            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
+            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
+            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
+        ) else {
+            continue;
+        };
+
+        let mut source = None;
+        let mut target = None;
+        let mut path: Vec<String> = Vec::new();
+        let mut deps: BTreeSet<String> = BTreeSet::new();
+        let mut document_text = String::new();
+        let mut in_document = false;
+        let mut complete = false;
+        for line in lines.by_ref() {
+            let trimmed = line.trim();
+            if trimmed == "begin-document" {
+                in_document = true;
+            } else if trimmed == "end-document" {
+                complete = true;
+                break;
+            } else if in_document {
+                document_text.push_str(line);
+                document_text.push('\n');
+            } else if let Some(rest) = trimmed.strip_prefix("endpoints ") {
+                let mut ends = rest.split(" -> ");
+                source = ends.next().map(str::to_string);
+                target = ends.next().map(str::to_string);
+            } else if let Some(rest) = trimmed.strip_prefix("path ") {
+                path = rest.split_whitespace().map(str::to_string).collect();
+            } else if let Some(rest) = trimmed.strip_prefix("deps ") {
+                deps = rest.split_whitespace().map(str::to_string).collect();
+            }
+        }
+        let (Some(source), Some(target)) = (source, target) else { continue };
+        if !complete {
+            continue;
+        }
+        let Ok(document) = parse_document(&document_text) else { continue };
+        let (Ok(input), Ok(output), Ok(residual)) =
+            (document.schema("__in"), document.schema("__out"), document.schema("__residual"))
+        else {
+            continue;
+        };
+        let Some((_, _, constraints)) = document.mappings.get("__seg") else { continue };
+        let chain = ComposedChain {
+            source,
+            target,
+            path,
+            mapping: Mapping::new(input.clone(), output.clone(), constraints.clone()),
+            residual: residual.clone(),
+            hash,
+            deps,
+        };
+        cache.insert((left, right, config), chain);
+    }
+    cache
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use crate::store::Catalog;
+    use mapcomp_algebra::parse_constraints;
+
+    fn warm_session() -> Session {
+        let mut catalog = Catalog::new();
+        for i in 0..4 {
+            catalog.add_schema(format!("s{i}"), Signature::from_arities([(format!("R{i}"), 1)]));
+        }
+        for i in 0..3 {
+            catalog
+                .add_mapping(
+                    format!("m{i}"),
+                    &format!("s{i}"),
+                    &format!("s{}", i + 1),
+                    parse_constraints(&format!("R{i} <= R{}", i + 1)).unwrap(),
+                )
+                .unwrap();
+        }
+        let mut session = Session::new(catalog);
+        session.compose_path("s0", "s3").unwrap();
+        session
+    }
+
+    #[test]
+    fn cache_round_trips_through_the_sidecar_format() {
+        let session = warm_session();
+        let rendered = save_cache(session.cache());
+        let restored = load_cache(&rendered);
+        assert_eq!(restored.len(), session.cache().len());
+        for (key, entry) in session.cache().iter() {
+            let loaded = restored
+                .dependents(entry.chain.deps.iter().next().unwrap())
+                .into_iter()
+                .find(|c| c.hash == entry.chain.hash)
+                .expect("entry restored");
+            assert_eq!(loaded.path, entry.chain.path);
+            assert_eq!(loaded.source, entry.chain.source);
+            assert_eq!(
+                loaded.mapping.constraints.to_string(),
+                entry.chain.mapping.constraints.to_string()
+            );
+            assert!(restored.contains(key));
+        }
+    }
+
+    #[test]
+    fn restored_cache_serves_hits() {
+        let session = warm_session();
+        let calls_cold = session.stats().compose_calls;
+        assert!(calls_cold > 0);
+        let rendered = save_cache(session.cache());
+
+        // A brand-new session over the same catalog, warmed from the sidecar.
+        let catalog = session.catalog().clone();
+        let mut fresh = Session::new(catalog);
+        fresh.restore_cache(load_cache(&rendered));
+        let result = fresh.compose_path("s0", "s3").unwrap();
+        assert_eq!(result.compose_calls, 0, "sidecar-restored cache must serve the chain");
+    }
+
+    #[test]
+    fn malformed_entries_are_skipped() {
+        let restored = load_cache("entry zzzz\ngarbage\nentry 1 2 3\n");
+        assert!(restored.is_empty());
+        let restored = load_cache("");
+        assert!(restored.is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! The session API: a catalog bound to a registry, a compose configuration,
+//! and a memo cache, with mutation-triggered invalidation and cumulative
+//! instrumentation.
+//!
+//! All catalog mutation should go through the session: editing a mapping
+//! here drops exactly the cached compositions whose provenance mentions it,
+//! so the next `compose_path` recomputes only the affected part of each
+//! chain. The session also keeps the instrumented pairwise-composition
+//! counter used to assert the incremental-vs-cold claim.
+
+use mapcomp_algebra::{ConstraintSet, Document, Signature};
+use mapcomp_compose::{ComposeConfig, Registry};
+
+use crate::cache::{CacheStats, MemoCache};
+use crate::chain::{compose_chain, ChainOptions, ChainResult};
+use crate::error::CatalogError;
+use crate::graph::resolve_path;
+use crate::store::Catalog;
+
+/// Configuration of a session.
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// The compose configuration used for every pairwise composition (part
+    /// of the memo key: sessions with different configurations never share
+    /// entries).
+    pub compose: ComposeConfig,
+    /// Chain options (strict vs. best-effort elimination).
+    pub chain: ChainOptions,
+}
+
+/// Cumulative session statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Pairwise `compose()` invocations actually performed.
+    pub compose_calls: usize,
+    /// Paths resolved through the composition graph.
+    pub paths_resolved: usize,
+    /// Chain compositions served (cached or not).
+    pub chains_composed: usize,
+    /// Memo-cache statistics.
+    pub cache: CacheStats,
+    /// Live memo-cache entries.
+    pub cache_entries: usize,
+}
+
+/// A catalog session: store + graph + chain driver + memo cache.
+pub struct Session {
+    catalog: Catalog,
+    registry: Registry,
+    config: SessionConfig,
+    cache: MemoCache,
+    compose_calls: usize,
+    paths_resolved: usize,
+    chains_composed: usize,
+}
+
+impl Session {
+    /// Create a session over a catalog with the standard registry and
+    /// default configuration.
+    pub fn new(catalog: Catalog) -> Self {
+        Session::with_config(catalog, Registry::standard(), SessionConfig::default())
+    }
+
+    /// Create a session with an explicit registry and configuration.
+    pub fn with_config(catalog: Catalog, registry: Registry, config: SessionConfig) -> Self {
+        Session {
+            catalog,
+            registry,
+            config,
+            cache: MemoCache::new(),
+            compose_calls: 0,
+            paths_resolved: 0,
+            chains_composed: 0,
+        }
+    }
+
+    /// Read access to the underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The session's registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Register or update a schema; invalidates cached compositions that
+    /// depend on any mapping whose signature changed with it.
+    pub fn add_schema(&mut self, name: impl Into<String>, signature: Signature) -> u64 {
+        let (version, touched) = self.catalog.add_schema(name, signature);
+        for mapping in touched {
+            self.cache.invalidate(&mapping);
+        }
+        version
+    }
+
+    /// Register or update a mapping; an update (changed content) invalidates
+    /// every cached composition depending on it. Returns the new version.
+    pub fn add_mapping(
+        &mut self,
+        name: impl Into<String>,
+        source: &str,
+        target: &str,
+        constraints: ConstraintSet,
+    ) -> Result<u64, CatalogError> {
+        let name = name.into();
+        let before = self.catalog.mapping(&name).ok().map(|entry| entry.hash);
+        let version = self.catalog.add_mapping(name.clone(), source, target, constraints)?;
+        let after = self.catalog.mapping(&name)?.hash;
+        if before.is_some() && before != Some(after) {
+            self.cache.invalidate(&name);
+        }
+        Ok(version)
+    }
+
+    /// Edit an existing mapping's constraints (the incremental-recomposition
+    /// trigger). Returns the new version and how many cached compositions
+    /// were invalidated.
+    pub fn update_mapping(
+        &mut self,
+        name: &str,
+        constraints: ConstraintSet,
+    ) -> Result<(u64, usize), CatalogError> {
+        let before = self.catalog.mapping(name)?.hash;
+        let version = self.catalog.update_mapping(name, constraints)?;
+        let dropped = if self.catalog.mapping(name)?.hash != before {
+            self.cache.invalidate(name)
+        } else {
+            0
+        };
+        Ok((version, dropped))
+    }
+
+    /// Remove a mapping and every cached composition depending on it.
+    pub fn remove_mapping(&mut self, name: &str) -> Result<usize, CatalogError> {
+        self.catalog
+            .remove_mapping(name)
+            .ok_or_else(|| CatalogError::UnknownMapping(name.to_string()))?;
+        Ok(self.cache.invalidate(name))
+    }
+
+    /// Ingest a parsed document (schemas + mappings), invalidating cache
+    /// entries for every mapping that was added or changed. Returns the
+    /// touched mapping names.
+    pub fn ingest_document(&mut self, document: &Document) -> Result<Vec<String>, CatalogError> {
+        let touched = self.catalog.from_document(document)?;
+        for name in &touched {
+            self.cache.invalidate(name);
+        }
+        Ok(touched)
+    }
+
+    /// Explicitly drop cached compositions depending on a mapping; returns
+    /// how many entries were dropped.
+    pub fn invalidate(&mut self, mapping: &str) -> usize {
+        self.cache.invalidate(mapping)
+    }
+
+    /// Resolve a fewest-hops path and compose it ("compose σ_from → σ_to").
+    pub fn compose_path(&mut self, from: &str, to: &str) -> Result<ChainResult, CatalogError> {
+        let path = resolve_path(&self.catalog, from, to)?;
+        self.paths_resolved += 1;
+        self.compose_names(&path)
+    }
+
+    /// Compose an explicit chain of mapping names.
+    pub fn compose_names(&mut self, names: &[String]) -> Result<ChainResult, CatalogError> {
+        let result = compose_chain(
+            &self.catalog,
+            &mut self.cache,
+            names,
+            &self.registry,
+            &self.config.compose,
+            &self.config.chain,
+        )?;
+        self.compose_calls += result.compose_calls;
+        self.chains_composed += 1;
+        Ok(result)
+    }
+
+    /// Batch API: compose several `(from, to)` requests in one call. Requests
+    /// share the memo cache, so overlapping chains pay for their common
+    /// segments once; per-request failures do not abort the batch.
+    pub fn compose_batch(
+        &mut self,
+        requests: &[(String, String)],
+    ) -> Vec<Result<ChainResult, CatalogError>> {
+        requests.iter().map(|(from, to)| self.compose_path(from, to)).collect()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            compose_calls: self.compose_calls,
+            paths_resolved: self.paths_resolved,
+            chains_composed: self.chains_composed,
+            cache: self.cache.stats(),
+            cache_entries: self.cache.len(),
+        }
+    }
+
+    /// Read access to the memo cache (provenance queries, introspection).
+    pub fn cache(&self) -> &MemoCache {
+        &self.cache
+    }
+
+    /// Replace the memo cache, e.g. with one restored from a sidecar file
+    /// (see [`crate::persist`]). Content addressing makes this safe: entries
+    /// that no longer match any current mapping hash are simply never hit.
+    pub fn restore_cache(&mut self, cache: MemoCache) {
+        self.cache = cache;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapcomp_algebra::parse_constraints;
+
+    /// A 5-hop chain of unary copy mappings v0 → … → v5.
+    fn chain_session(hops: usize) -> Session {
+        let mut catalog = Catalog::new();
+        for i in 0..=hops {
+            catalog.add_schema(format!("v{i}"), Signature::from_arities([(format!("R{i}"), 1)]));
+        }
+        for i in 0..hops {
+            catalog
+                .add_mapping(
+                    format!("m{i}"),
+                    &format!("v{i}"),
+                    &format!("v{}", i + 1),
+                    parse_constraints(&format!("R{i} <= R{}", i + 1)).unwrap(),
+                )
+                .unwrap();
+        }
+        Session::new(catalog)
+    }
+
+    #[test]
+    fn editing_a_middle_link_recomposes_only_the_suffix() {
+        // The acceptance-criterion scenario: compose a 5-hop chain, edit one
+        // middle mapping, recompose — strictly fewer pairwise compositions
+        // than from scratch, by the instrumented counter.
+        let mut session = chain_session(5);
+        let cold = session.compose_path("v0", "v5").unwrap();
+        assert_eq!(cold.compose_calls, 4, "cold 5-hop chain = 4 pairwise compositions");
+
+        // Edit the middle link m2 (still a copy, but through a projection).
+        let (version, dropped) = session
+            .update_mapping("m2", parse_constraints("project[0](R2) <= R3").unwrap())
+            .unwrap();
+        assert_eq!(version, 2);
+        assert!(dropped > 0, "cached suffix segments must be invalidated");
+
+        let incremental = session.compose_path("v0", "v5").unwrap();
+        assert!(
+            incremental.compose_calls < cold.compose_calls,
+            "incremental ({}) must be strictly cheaper than cold ({})",
+            incremental.compose_calls,
+            cold.compose_calls
+        );
+        assert!(incremental.cache_hits > 0);
+        assert!(incremental.is_complete());
+    }
+
+    #[test]
+    fn no_edit_means_fully_cached_recompose() {
+        let mut session = chain_session(4);
+        session.compose_path("v0", "v4").unwrap();
+        let warm = session.compose_path("v0", "v4").unwrap();
+        assert_eq!(warm.compose_calls, 0);
+        let stats = session.stats();
+        assert_eq!(stats.compose_calls, 3);
+        assert_eq!(stats.chains_composed, 2);
+        assert_eq!(stats.paths_resolved, 2);
+        assert!(stats.cache.hits > 0);
+    }
+
+    #[test]
+    fn batch_requests_share_segments() {
+        let mut session = chain_session(4);
+        let results = session.compose_batch(&[
+            ("v0".to_string(), "v3".to_string()),
+            ("v0".to_string(), "v4".to_string()),
+            ("v9".to_string(), "v0".to_string()),
+        ]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_ok());
+        assert!(results[2].is_err(), "unknown schema fails without aborting the batch");
+        // Request 2 extends request 1's chain: one extra composition only.
+        assert_eq!(results[1].as_ref().unwrap().compose_calls, 1);
+    }
+
+    #[test]
+    fn identical_reregistration_keeps_the_cache_warm() {
+        let mut session = chain_session(3);
+        session.compose_path("v0", "v3").unwrap();
+        // Re-adding the same mapping content must not invalidate anything.
+        session.add_mapping("m1", "v1", "v2", parse_constraints("R1 <= R2").unwrap()).unwrap();
+        let warm = session.compose_path("v0", "v3").unwrap();
+        assert_eq!(warm.compose_calls, 0);
+    }
+
+    #[test]
+    fn schema_update_invalidates_through_touching_mappings() {
+        let mut session = chain_session(3);
+        session.compose_path("v0", "v3").unwrap();
+        // Growing v2 changes m1 and m2's content hashes.
+        session.add_schema("v2", Signature::from_arities([("R2", 1), ("Extra", 2)]));
+        let after = session.compose_path("v0", "v3").unwrap();
+        assert!(after.compose_calls > 0, "schema edit must force recomposition");
+    }
+
+    #[test]
+    fn remove_mapping_breaks_the_path() {
+        let mut session = chain_session(3);
+        session.compose_path("v0", "v3").unwrap();
+        session.remove_mapping("m1").unwrap();
+        assert!(matches!(session.compose_path("v0", "v3"), Err(CatalogError::NoPath { .. })));
+    }
+}

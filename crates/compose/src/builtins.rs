@@ -267,8 +267,8 @@ mod tests {
         inst.insert("E", tuple([1i64, 2]));
         inst.insert("E", tuple([2i64, 3]));
         inst.insert("E", tuple([3i64, 4]));
-        let out =
-            eval(&Expr::apply("tc", vec![Expr::rel("E")]), &sig, registry.operators(), &inst).unwrap();
+        let out = eval(&Expr::apply("tc", vec![Expr::rel("E")]), &sig, registry.operators(), &inst)
+            .unwrap();
         assert_eq!(out.len(), 6);
         assert!(out.contains(&tuple([1i64, 4])));
     }
@@ -296,10 +296,7 @@ mod tests {
         assert_eq!(simplify(&[Expr::domain(2), Expr::domain(3)]), Some(Expr::domain(2)));
         let anti_rules = registry.rules("antijoin").unwrap();
         let anti_simplify = anti_rules.simplify.as_ref().unwrap();
-        assert_eq!(
-            anti_simplify(&[Expr::domain(2), Expr::empty(2)]),
-            Some(Expr::domain(2))
-        );
+        assert_eq!(anti_simplify(&[Expr::domain(2), Expr::empty(2)]), Some(Expr::domain(2)));
         let tc_rules = registry.rules("tc").unwrap();
         assert_eq!((tc_rules.simplify.as_ref().unwrap())(&[Expr::empty(2)]), Some(Expr::empty(2)));
     }

@@ -9,9 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use mapcomp_algebra::{
-    AlgebraError, CompositionTask, Constraint, ConstraintSet, Signature,
-};
+use mapcomp_algebra::{AlgebraError, CompositionTask, Constraint, ConstraintSet, Signature};
 
 use crate::eliminate::eliminate;
 use crate::outcome::{EliminateFailure, EliminateStep, FailureReason};
@@ -173,10 +171,7 @@ pub fn compose(
 ) -> Result<ComposeResult, AlgebraError> {
     let full_signature = task.full_signature()?;
     let combined = task.combined_constraints();
-    let order = config
-        .symbol_order
-        .clone()
-        .unwrap_or_else(|| task.elimination_order());
+    let order = config.symbol_order.clone().unwrap_or_else(|| task.elimination_order());
     Ok(compose_constraints(&full_signature, &order, combined.into_vec(), registry, config))
 }
 
@@ -197,9 +192,8 @@ pub fn compose_constraints(
         input_op_count: constraints.iter().map(Constraint::op_count).sum(),
         ..ComposeStats::default()
     };
-    let budget = config
-        .blowup_factor
-        .map(|factor| factor.saturating_mul(stats.input_op_count.max(1)));
+    let budget =
+        config.blowup_factor.map(|factor| factor.saturating_mul(stats.input_op_count.max(1)));
 
     let mut current = constraints;
     let mut signature = full_signature.clone();
@@ -334,10 +328,9 @@ mod tests {
         // σ2 = {S1, S2} where S1 is a plain copy (eliminable) and S2 is
         // transitively closed (not eliminable, paper §1.3).
         let sig = Signature::from_arities([("R", 2), ("S1", 2), ("S2", 2), ("T", 2)]);
-        let constraints =
-            parse_constraints("R <= S1; S1 <= T; R <= S2; S2 = tc(S2); S2 <= T")
-                .unwrap()
-                .into_vec();
+        let constraints = parse_constraints("R <= S1; S1 <= T; R <= S2; S2 = tc(S2); S2 <= T")
+            .unwrap()
+            .into_vec();
         let result = compose_constraints(
             &sig,
             &["S1".to_string(), "S2".to_string()],
@@ -413,13 +406,8 @@ mod tests {
         let sig = Signature::from_arities([("R", 1), ("S", 1), ("T", 1)]);
         let constraints = parse_constraints("R <= S; S <= T").unwrap().into_vec();
         let config = ComposeConfig { blowup_factor: Some(0), ..ComposeConfig::default() };
-        let result = compose_constraints(
-            &sig,
-            &["S".to_string()],
-            constraints,
-            &registry(),
-            &config,
-        );
+        let result =
+            compose_constraints(&sig, &["S".to_string()], constraints, &registry(), &config);
         assert_eq!(result.stats.blowup_aborts, 1);
         assert_eq!(result.remaining, vec!["S".to_string()]);
     }
@@ -523,10 +511,7 @@ mod tests {
         // the active-domain encoding of Example 2.
         let sig = Signature::from_arities([("R", 2), ("S", 2), ("T", 2)]);
         let key = Constraint::containment(
-            Expr::rel("S")
-                .product(Expr::rel("S"))
-                .select(Pred::eq_cols(0, 2))
-                .project(vec![1, 3]),
+            Expr::rel("S").product(Expr::rel("S")).select(Pred::eq_cols(0, 2)).project(vec![1, 3]),
             Expr::domain(2).select(Pred::eq_cols(0, 1)),
         );
         let mut constraints = parse_constraints("R <= S; S <= T").unwrap().into_vec();

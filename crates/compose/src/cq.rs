@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use mapcomp_algebra::{Expr, Pred, Operand, CmpOp, Signature, Value};
+use mapcomp_algebra::{CmpOp, Expr, Operand, Pred, Signature, Value};
 
 /// A term appearing in the head of a conjunctive form.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -230,9 +230,8 @@ impl Conjunctive {
         let mut columns = Vec::with_capacity(self.head.len());
         for term in &self.head {
             match term {
-                Term::Var(v) => columns.push(
-                    *column_of.get(v).ok_or_else(|| format!("unbound head variable x{v}"))?,
-                ),
+                Term::Var(v) => columns
+                    .push(*column_of.get(v).ok_or_else(|| format!("unbound head variable x{v}"))?),
                 Term::Const(_) => return Err("constant head term".into()),
                 Term::Func(..) => unreachable!("checked above"),
             }
@@ -273,11 +272,8 @@ impl Conjunctive {
             }
         }
         self.head = self.head.iter().map(|t| t.rename(&map)).collect();
-        self.func_eqs = self
-            .func_eqs
-            .iter()
-            .map(|(a, b)| (a.rename(&map), b.rename(&map)))
-            .collect();
+        self.func_eqs =
+            self.func_eqs.iter().map(|(a, b)| (a.rename(&map), b.rename(&map))).collect();
         self.const_of = self
             .const_of
             .iter()
@@ -432,7 +428,11 @@ pub fn expr_to_conjunctive(expr: &Expr, sig: &Signature) -> Result<Conjunctive, 
     Ok(cq)
 }
 
-fn convert_with_sig(builder: &mut Builder, expr: &Expr, sig: &Signature) -> Result<Vec<Term>, String> {
+fn convert_with_sig(
+    builder: &mut Builder,
+    expr: &Expr,
+    sig: &Signature,
+) -> Result<Vec<Term>, String> {
     match expr {
         Expr::Rel(name) => {
             let arity = sig.arity(name).map_err(|e| e.to_string())?;

@@ -83,10 +83,9 @@ pub fn deskolemize(
         if sc.cq.has_func() {
             remaining.push(sc);
         } else {
-            let lhs = sc
-                .cq
-                .to_expr()
-                .map_err(|msg| FailureReason::DeskolemizeFailed(format!("rebuild failed: {msg}")))?;
+            let lhs = sc.cq.to_expr().map_err(|msg| {
+                FailureReason::DeskolemizeFailed(format!("rebuild failed: {msg}"))
+            })?;
             passthrough.push(Constraint::containment(simplify_identity(lhs), sc.rhs));
         }
     }
@@ -289,14 +288,11 @@ fn combine_component(
     let rhs_columns: Vec<usize> = uvars
         .iter()
         .map(|v| {
-            first_column
-                .get(&Term::Var(*v))
-                .copied()
-                .ok_or_else(|| {
-                    FailureReason::DeskolemizeFailed(
-                        "exported variable missing from every right-hand side".into(),
-                    )
-                })
+            first_column.get(&Term::Var(*v)).copied().ok_or_else(|| {
+                FailureReason::DeskolemizeFailed(
+                    "exported variable missing from every right-hand side".into(),
+                )
+            })
         })
         .collect::<Result<_, _>>()?;
     let rhs = simplify_identity(rhs.project(rhs_columns));
@@ -312,11 +308,7 @@ fn combine_component(
 /// themselves plus any variable co-occurring in an atom whose declared key
 /// columns are all arguments (paper §3.5.1: key knowledge "increases our
 /// chances of success in deskolemize").
-fn determined_vars(
-    atoms: &[Atom],
-    arg_vars: &BTreeSet<usize>,
-    sig: &Signature,
-) -> BTreeSet<usize> {
+fn determined_vars(atoms: &[Atom], arg_vars: &BTreeSet<usize>, sig: &Signature) -> BTreeSet<usize> {
     let mut determined = arg_vars.clone();
     // Iterate to a fixpoint: a key-determined atom determines all of its
     // columns, which may in turn be keys of other atoms.
@@ -324,9 +316,8 @@ fn determined_vars(
         let mut changed = false;
         for atom in atoms {
             let Some(key) = sig.key(&atom.rel) else { continue };
-            let key_known = key
-                .iter()
-                .all(|&k| atom.args.get(k).is_some_and(|v| determined.contains(v)));
+            let key_known =
+                key.iter().all(|&k| atom.args.get(k).is_some_and(|v| determined.contains(v)));
             if key_known {
                 for &v in &atom.args {
                     if determined.insert(v) {
@@ -461,8 +452,7 @@ mod tests {
     fn single_function_single_constraint() {
         // π_{0,1}(f(R)) ⊆ W, i.e. ∀x R(x) → ∃y W(x,y), which in algebra is
         // (up to trivial projections) R ⊆ π_0(W).
-        let constraint =
-            parse_constraint("project[0,1](skolem:f[0](R)) <= W").unwrap();
+        let constraint = parse_constraint("project[0,1](skolem:f[0](R)) <= W").unwrap();
         let out = deskolemize(vec![constraint], &sig(), &reg()).unwrap();
         assert_eq!(out.len(), 1);
         let only = &out[0];
@@ -536,10 +526,9 @@ mod tests {
         // The f function applied to the same argument twice is fine, but the
         // same function applied to *different* arguments in one constraint
         // (the paper's Example 17 failure at step 3) is rejected.
-        let expr = parse_expr(
-            "project[0,2,3](select[#1 = #2](product(skolem:f[0](R), skolem:f[1](S))))",
-        )
-        .unwrap();
+        let expr =
+            parse_expr("project[0,2,3](select[#1 = #2](product(skolem:f[0](R), skolem:f[1](S))))")
+                .unwrap();
         let constraint = Constraint::containment(expr, Expr::rel("D2"));
         let err = deskolemize(vec![constraint], &sig(), &reg()).unwrap_err();
         assert!(matches!(err, FailureReason::DeskolemizeFailed(_)));
@@ -598,8 +587,7 @@ mod tests {
         sig.add_keyed("S", 2, vec![0]);
         sig.add_relation("W", 3);
         sig.add_relation("R", 1);
-        let constraint =
-            parse_constraint("project[0,1,2](skolem:f[0](S)) <= W").unwrap();
+        let constraint = parse_constraint("project[0,1,2](skolem:f[0](S)) <= W").unwrap();
         let out = deskolemize(vec![constraint], &sig, &reg()).unwrap();
         assert_eq!(out.len(), 1);
         assert!(!out[0].has_skolem());

@@ -92,7 +92,8 @@ mod tests {
         // S = R would also be eliminable by left or right compose, but view
         // unfolding (step 1) must win.
         let constraints = parse_constraints("S = R; S <= T").unwrap().into_vec();
-        let result = eliminate(&constraints, "S", &sig(), &Registry::standard(), &config()).unwrap();
+        let result =
+            eliminate(&constraints, "S", &sig(), &Registry::standard(), &config()).unwrap();
         assert_eq!(result.step, EliminateStep::ViewUnfolding);
         assert!(result.constraints.iter().all(|c| !c.mentions("S")));
     }
@@ -102,7 +103,8 @@ mod tests {
         // R ⊆ S, S ⊆ T composes to R ⊆ T (paper Example 3) via left or right
         // compose.
         let constraints = parse_constraints("R <= S; S <= T").unwrap().into_vec();
-        let result = eliminate(&constraints, "S", &sig(), &Registry::standard(), &config()).unwrap();
+        let result =
+            eliminate(&constraints, "S", &sig(), &Registry::standard(), &config()).unwrap();
         assert_eq!(result.constraints, parse_constraints("R <= T").unwrap().into_vec());
     }
 
@@ -127,9 +129,9 @@ mod tests {
         // Example 10: R ⊆ S ∪ T with π(S) ⊆ U — right compose fails because
         // R − ... wait, here the blocking constraint for right compose is the
         // anti-monotone occurrence in R − S below; left compose succeeds.
-        let constraints =
-            parse_constraints("R - S <= T; project[0](S) <= U").unwrap().into_vec();
-        let result = eliminate(&constraints, "S", &sig(), &Registry::standard(), &config()).unwrap();
+        let constraints = parse_constraints("R - S <= T; project[0](S) <= U").unwrap().into_vec();
+        let result =
+            eliminate(&constraints, "S", &sig(), &Registry::standard(), &config()).unwrap();
         assert_eq!(result.step, EliminateStep::LeftCompose);
     }
 

@@ -18,9 +18,7 @@
 
 use std::collections::BTreeSet;
 
-use mapcomp_algebra::{
-    eval, Constraint, Expr, Instance, Signature, Tuple, Value,
-};
+use mapcomp_algebra::{Constraint, Evaluator, Expr, Instance, Signature, Tuple, Value};
 
 use crate::cq::{expr_to_conjunctive, Conjunctive, Term};
 use crate::registry::Registry;
@@ -35,11 +33,16 @@ pub struct ExchangeConfig {
     /// Hard cap on the number of labelled nulls, as a safety valve against
     /// non-terminating chases.
     pub max_nulls: usize,
+    /// Per-evaluation tuple budget for premises and satisfaction checks.
+    /// Active-domain powers and products grow combinatorially as the chase
+    /// invents nulls; rules whose evaluation exceeds this budget are skipped
+    /// (and reported) instead of exhausting memory.
+    pub eval_budget: usize,
 }
 
 impl Default for ExchangeConfig {
     fn default() -> Self {
-        ExchangeConfig { max_rounds: 16, max_nulls: 10_000 }
+        ExchangeConfig { max_rounds: 16, max_nulls: 10_000, eval_budget: 1_000_000 }
     }
 }
 
@@ -61,11 +64,16 @@ pub struct ExchangeResult {
 /// A constraint prepared for chasing: an evaluable premise and a conjunctive
 /// conclusion over target relations.
 struct ChaseRule {
+    /// The containment this rule was built from (for skip reporting).
+    origin: Constraint,
     premise: Expr,
     conclusion: Conjunctive,
     /// Expression recomputing the currently-derivable conclusion heads, used
     /// to test whether a premise tuple is already satisfied.
     conclusion_check: Expr,
+    /// Set once the rule has been dropped (e.g. it exceeded the evaluation
+    /// budget) so it is reported exactly once and not retried.
+    dropped: bool,
 }
 
 /// Compute a canonical target instance for `constraints` from `source`.
@@ -111,9 +119,11 @@ pub fn exchange(
                         }
                     };
                     rules.push(ChaseRule {
+                        origin: containment.clone(),
                         premise: containment.lhs.clone(),
                         conclusion,
                         conclusion_check,
+                        dropped: false,
                     });
                 }
                 Err(reason) => skipped.push((containment.clone(), reason)),
@@ -129,19 +139,39 @@ pub fn exchange(
     while rounds < config.max_rounds {
         rounds += 1;
         let mut changed = false;
-        for rule in &rules {
+        for rule in &mut rules {
+            if rule.dropped {
+                continue;
+            }
             let combined = source.merge(&target);
-            let premise_tuples = match eval(&rule.premise, full_sig, registry.operators(), &combined)
-            {
+            let evaluator = Evaluator::with_budget(
+                full_sig,
+                registry.operators(),
+                &combined,
+                config.eval_budget,
+            );
+            let premise_tuples = match evaluator.eval(&rule.premise) {
                 Ok(relation) => relation,
-                Err(_) => continue,
+                Err(reason) => {
+                    rule.dropped = true;
+                    skipped.push((rule.origin.clone(), format!("premise not evaluable: {reason}")));
+                    continue;
+                }
             };
             if premise_tuples.is_empty() {
                 continue;
             }
-            let satisfied =
-                eval(&rule.conclusion_check, full_sig, registry.operators(), &combined)
-                    .unwrap_or_default();
+            let satisfied = match evaluator.eval(&rule.conclusion_check) {
+                Ok(relation) => relation,
+                Err(reason) => {
+                    rule.dropped = true;
+                    skipped.push((
+                        rule.origin.clone(),
+                        format!("satisfaction check not evaluable: {reason}"),
+                    ));
+                    continue;
+                }
+            };
             for tuple in premise_tuples.iter() {
                 if satisfied.contains(tuple) {
                     continue;
@@ -202,11 +232,8 @@ fn fire(
             // (the premise check keeps the result sound for s-t constraints).
             continue;
         }
-        let tuple: Tuple = atom
-            .args
-            .iter()
-            .map(|var| binding.get(var).cloned().unwrap_or(Value::Null))
-            .collect();
+        let tuple: Tuple =
+            atom.args.iter().map(|var| binding.get(var).cloned().unwrap_or(Value::Null)).collect();
         target.insert(&atom.rel, tuple);
     }
 }
@@ -237,8 +264,14 @@ mod tests {
         source.insert("Movies", tuple([2i64, 200, 2001, 3]));
         source.insert("Movies", tuple([3i64, 300, 2003, 5]));
 
-        let result =
-            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        let result = exchange(
+            &constraints,
+            &full,
+            &target,
+            &source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
         assert!(result.converged);
         assert!(result.skipped.is_empty());
         assert_eq!(result.nulls_created, 0);
@@ -263,8 +296,14 @@ mod tests {
         source.insert("R", tuple([7i64]));
         source.insert("R", tuple([8i64]));
 
-        let result =
-            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        let result = exchange(
+            &constraints,
+            &full,
+            &target,
+            &source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
         assert!(result.converged);
         assert_eq!(result.target.get("S").len(), 2);
         assert_eq!(result.nulls_created, 2);
@@ -280,15 +319,19 @@ mod tests {
         let full = Signature::from_arities([("Movies", 3), ("Names", 2), ("Years", 2)]);
         let target = Signature::from_arities([("Names", 2), ("Years", 2)]);
         let conclusion = Expr::rel("Names").join_on(Expr::rel("Years"), &[(0, 0)], 2, 2);
-        let constraints = vec![Constraint::containment(
-            Expr::rel("Movies").project(vec![0, 1, 2]),
-            conclusion,
-        )];
+        let constraints =
+            vec![Constraint::containment(Expr::rel("Movies").project(vec![0, 1, 2]), conclusion)];
         let mut source = Instance::new();
         source.insert("Movies", tuple([1i64, 10, 1990]));
 
-        let result =
-            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        let result = exchange(
+            &constraints,
+            &full,
+            &target,
+            &source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
         assert!(result.converged);
         assert!(result.target.get("Names").contains(&tuple([1i64, 10])));
         assert!(result.target.get("Years").contains(&tuple([1i64, 1990])));
@@ -300,13 +343,18 @@ mod tests {
         // side requires every S key to appear in T as well.
         let full = Signature::from_arities([("R", 2), ("S", 2), ("T", 1)]);
         let target = Signature::from_arities([("S", 2), ("T", 1)]);
-        let constraints =
-            parse_constraints("R <= S; project[0](S) <= T").unwrap().into_vec();
+        let constraints = parse_constraints("R <= S; project[0](S) <= T").unwrap().into_vec();
         let mut source = Instance::new();
         source.insert("R", tuple([4i64, 40]));
 
-        let result =
-            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        let result = exchange(
+            &constraints,
+            &full,
+            &target,
+            &source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
         assert!(result.converged);
         assert!(result.rounds >= 2);
         assert!(result.target.get("S").contains(&tuple([4i64, 40])));
@@ -320,8 +368,14 @@ mod tests {
         let constraints = parse_constraints("R <= S").unwrap().into_vec();
         let mut source = Instance::new();
         source.insert("R", tuple([1i64]));
-        let first =
-            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        let first = exchange(
+            &constraints,
+            &full,
+            &target,
+            &source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
         // Chasing again over source ∪ previously-computed target changes
         // nothing: idempotence.
         let merged_source = source.merge(&first.target);
@@ -349,8 +403,14 @@ mod tests {
             inst.insert("R", tuple([1i64]));
             inst
         };
-        let result =
-            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        let result = exchange(
+            &constraints,
+            &full,
+            &target,
+            &source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
         assert_eq!(result.skipped.len(), 1);
         assert!(result.target.get("S").is_empty() && result.target.get("T").is_empty());
     }
@@ -362,8 +422,14 @@ mod tests {
         let constraints = parse_constraints("S = R").unwrap().into_vec();
         let mut source = Instance::new();
         source.insert("R", tuple([5i64, 6]));
-        let result =
-            exchange(&constraints, &full, &target, &source, &registry(), &ExchangeConfig::default());
+        let result = exchange(
+            &constraints,
+            &full,
+            &target,
+            &source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
         assert!(result.target.get("S").contains(&tuple([5i64, 6])));
     }
 }

@@ -79,9 +79,7 @@ pub fn left_normalize(
 
     loop {
         // Find a constraint with S on the lhs inside a complex expression.
-        let position = work
-            .iter()
-            .position(|c| c.lhs.mentions(sym) && c.lhs != sym_expr);
+        let position = work.iter().position(|c| c.lhs.mentions(sym) && c.lhs != sym_expr);
         let Some(index) = position else { break };
         let constraint = work.remove(index);
         let rewritten = left_rewrite_step(&constraint, sym, sig, registry)?;
@@ -102,9 +100,9 @@ pub fn left_normalize(
         0 => {
             // "If S does not appear on the lhs of any expression, we add the
             // constraint S ⊆ D^r where r is the arity of S."
-            let arity = sig
-                .arity(sym)
-                .map_err(|_| FailureReason::LeftNormalizeFailed(format!("unknown arity of {sym}")))?;
+            let arity = sig.arity(sym).map_err(|_| {
+                FailureReason::LeftNormalizeFailed(format!("unknown arity of {sym}"))
+            })?;
             Expr::domain(arity)
         }
         _ => {
@@ -140,10 +138,9 @@ fn left_rewrite_step(
             Constraint::containment(a.as_ref().clone(), rhs.clone()),
             Constraint::containment(b.as_ref().clone(), rhs),
         ]),
-        Expr::Difference(a, b) => Ok(vec![Constraint::containment(
-            a.as_ref().clone(),
-            b.as_ref().clone().union(rhs),
-        )]),
+        Expr::Difference(a, b) => {
+            Ok(vec![Constraint::containment(a.as_ref().clone(), b.as_ref().clone().union(rhs))])
+        }
         Expr::Project(cols, inner) => {
             let inner_arity = inner.arity(sig, registry.operators()).map_err(|e| {
                 FailureReason::LeftNormalizeFailed(format!("cannot type projection operand: {e}"))
@@ -169,26 +166,19 @@ fn left_rewrite_step(
                     next_pad += 1;
                 }
             }
-            Ok(vec![Constraint::containment(
-                inner.as_ref().clone(),
-                padded.project(permutation),
-            )])
+            Ok(vec![Constraint::containment(inner.as_ref().clone(), padded.project(permutation))])
         }
         Expr::Select(pred, inner) => {
             let arity = inner.arity(sig, registry.operators()).map_err(|e| {
                 FailureReason::LeftNormalizeFailed(format!("cannot type selection operand: {e}"))
             })?;
-            let complement = Expr::domain(arity).difference(Expr::domain(arity).select(pred.clone()));
-            Ok(vec![Constraint::containment(
-                inner.as_ref().clone(),
-                rhs.union(complement),
-            )])
+            let complement =
+                Expr::domain(arity).difference(Expr::domain(arity).select(pred.clone()));
+            Ok(vec![Constraint::containment(inner.as_ref().clone(), rhs.union(complement))])
         }
         Expr::Apply(name, args) => {
-            let rule = registry
-                .rules(name)
-                .and_then(|r| r.left_normalize.as_ref())
-                .ok_or_else(|| {
+            let rule =
+                registry.rules(name).and_then(|r| r.left_normalize.as_ref()).ok_or_else(|| {
                     FailureReason::LeftNormalizeFailed(format!(
                         "no left-normalization rule for operator `{name}`"
                     ))
@@ -199,15 +189,15 @@ fn left_rewrite_step(
                 ))
             })
         }
-        Expr::Intersect(..) => Err(FailureReason::LeftNormalizeFailed(
-            "no left rule for intersection".into(),
-        )),
-        Expr::Product(..) => Err(FailureReason::LeftNormalizeFailed(
-            "no left rule for cross product".into(),
-        )),
-        Expr::Skolem(..) => Err(FailureReason::LeftNormalizeFailed(
-            "Skolem function on the left".into(),
-        )),
+        Expr::Intersect(..) => {
+            Err(FailureReason::LeftNormalizeFailed("no left rule for intersection".into()))
+        }
+        Expr::Product(..) => {
+            Err(FailureReason::LeftNormalizeFailed("no left rule for cross product".into()))
+        }
+        Expr::Skolem(..) => {
+            Err(FailureReason::LeftNormalizeFailed("Skolem function on the left".into()))
+        }
         Expr::Rel(_) | Expr::Domain(_) | Expr::Empty(_) => Err(FailureReason::LeftNormalizeFailed(
             format!("unexpected simple lhs while normalizing {sym}"),
         )),
@@ -220,13 +210,7 @@ mod tests {
     use mapcomp_algebra::{parse_constraint, parse_constraints};
 
     fn sig() -> Signature {
-        Signature::from_arities([
-            ("R", 2),
-            ("S", 2),
-            ("T", 2),
-            ("U", 2),
-            ("V", 2),
-        ])
+        Signature::from_arities([("R", 2), ("S", 2), ("T", 2), ("U", 2), ("V", 2)])
     }
 
     fn reg() -> Registry {
@@ -237,8 +221,7 @@ mod tests {
     fn example_7_left_normalization() {
         // R − S ⊆ T,  π(S) ⊆ U  with S to eliminate: normalization produces
         // R ⊆ S ∪ T and S ⊆ (U × D^k) permuted.
-        let constraints =
-            parse_constraints("R - S <= T; project[0,1](S) <= U").unwrap().into_vec();
+        let constraints = parse_constraints("R - S <= T; project[0,1](S) <= U").unwrap().into_vec();
         let (definition, others) = left_normalize(constraints, "S", &sig(), &reg()).unwrap();
         // S is binary and fully projected, so no padding is necessary and the
         // upper bound is a permutation of U.
@@ -248,8 +231,7 @@ mod tests {
 
     #[test]
     fn example_7_and_10_left_compose() {
-        let constraints =
-            parse_constraints("R - S <= T; project[0,1](S) <= U").unwrap().into_vec();
+        let constraints = parse_constraints("R - S <= T; project[0,1](S) <= U").unwrap().into_vec();
         let result = left_compose(&constraints, "S", &sig(), &reg()).unwrap();
         // Example 10 (modulo the harmless identity projection):
         // R ⊆ π(U) ∪ T.
@@ -260,8 +242,7 @@ mod tests {
 
     #[test]
     fn example_8_fails_on_intersection() {
-        let constraints =
-            parse_constraints("R & S <= T; project[0,1](S) <= U").unwrap().into_vec();
+        let constraints = parse_constraints("R & S <= T; project[0,1](S) <= U").unwrap().into_vec();
         let err = left_compose(&constraints, "S", &sig(), &reg()).unwrap_err();
         assert!(matches!(err, FailureReason::LeftNormalizeFailed(_)));
     }
@@ -271,8 +252,7 @@ mod tests {
         // R ∩ T ⊆ S,  U ⊆ π(S): S never appears alone on the left, so the
         // trivial bound S ⊆ D^r is used, and afterwards both constraints
         // reduce to D-only right-hand sides and disappear (Example 12).
-        let constraints =
-            parse_constraints("R & T <= S; U <= project[0,1](S)").unwrap().into_vec();
+        let constraints = parse_constraints("R & T <= S; U <= project[0,1](S)").unwrap().into_vec();
         let result = left_compose(&constraints, "S", &sig(), &reg()).unwrap();
         assert!(result.is_empty(), "expected all constraints to be deleted, got {result:?}");
     }
@@ -280,8 +260,7 @@ mod tests {
     #[test]
     fn selection_rule_keeps_equivalence_shape() {
         // σ_c(S) ⊆ T: the rewrite moves S alone to the left.
-        let constraints =
-            parse_constraints("select[#0 = 5](S) <= T; R <= S").unwrap().into_vec();
+        let constraints = parse_constraints("select[#0 = 5](S) <= T; R <= S").unwrap().into_vec();
         let (definition, others) = left_normalize(constraints, "S", &sig(), &reg()).unwrap();
         assert!(definition.mentions("T"));
         assert!(definition.mentions_domain());
@@ -300,8 +279,7 @@ mod tests {
     #[test]
     fn fails_when_rhs_not_monotone() {
         // T2 ⊆ T3 − σc(S): rhs anti-monotone in S.
-        let constraints =
-            parse_constraints("R <= T - S; S <= U").unwrap().into_vec();
+        let constraints = parse_constraints("R <= T - S; S <= U").unwrap().into_vec();
         assert_eq!(
             left_compose(&constraints, "S", &sig(), &reg()),
             Err(FailureReason::NotRightMonotone)
@@ -323,8 +301,7 @@ mod tests {
 
     #[test]
     fn union_on_the_left_splits() {
-        let constraints =
-            parse_constraints("S + R <= T; V <= S").unwrap().into_vec();
+        let constraints = parse_constraints("S + R <= T; V <= S").unwrap().into_vec();
         let result = left_compose(&constraints, "S", &sig(), &reg()).unwrap();
         // S ⊆ T (from the split), R ⊆ T stays, V ⊆ S becomes V ⊆ T.
         assert!(result.contains(&parse_constraint("R <= T").unwrap()));
@@ -334,8 +311,7 @@ mod tests {
 
     #[test]
     fn projection_with_duplicate_columns_fails() {
-        let constraints =
-            parse_constraints("project[0,0](S) <= R; T <= S").unwrap().into_vec();
+        let constraints = parse_constraints("project[0,0](S) <= R; T <= S").unwrap().into_vec();
         let err = left_compose(&constraints, "S", &sig(), &reg()).unwrap_err();
         assert!(matches!(err, FailureReason::LeftNormalizeFailed(_)));
     }
@@ -344,8 +320,7 @@ mod tests {
     fn partial_projection_pads_with_domain() {
         // π_0(S) ⊆ U' where U' is unary: S ⊆ π_ρ(U' × D).
         let sig = Signature::from_arities([("S", 2), ("W", 1), ("R", 2)]);
-        let constraints =
-            parse_constraints("project[0](S) <= W; R <= S").unwrap().into_vec();
+        let constraints = parse_constraints("project[0](S) <= W; R <= S").unwrap().into_vec();
         let (definition, _) = left_normalize(constraints, "S", &sig, &reg()).unwrap();
         assert_eq!(definition, Expr::rel("W").product(Expr::domain(1)).project(vec![0, 1]));
     }

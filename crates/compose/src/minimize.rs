@@ -53,10 +53,9 @@ fn rewrite(expr: &Expr, sig: &Signature, registry: &Registry) -> Expr {
         Expr::Project(cols, inner) => rewrite(inner, sig, registry).project(cols.clone()),
         Expr::Select(pred, inner) => rewrite(inner, sig, registry).select(pred.clone()),
         Expr::Skolem(f, inner) => rewrite(inner, sig, registry).skolem(f.clone()),
-        Expr::Apply(name, args) => Expr::Apply(
-            name.clone(),
-            args.iter().map(|arg| rewrite(arg, sig, registry)).collect(),
-        ),
+        Expr::Apply(name, args) => {
+            Expr::Apply(name.clone(), args.iter().map(|arg| rewrite(arg, sig, registry)).collect())
+        }
     };
     rewrite_node(&rebuilt, sig, registry)
 }
@@ -89,20 +88,15 @@ fn rewrite_node(expr: &Expr, sig: &Signature, registry: &Registry) -> Expr {
             }
             // σ_c1(σ_c2(E)) = σ_{c1 ∧ c2}(E).
             if let Expr::Select(inner_pred, innermost) = inner.as_ref() {
-                return Expr::Select(
-                    inner_pred.clone().and(pred.clone()),
-                    innermost.clone(),
-                );
+                return Expr::Select(inner_pred.clone().and(pred.clone()), innermost.clone());
             }
             expr.clone()
         }
         Expr::Union(a, b) | Expr::Intersect(a, b) if a == b => a.as_ref().clone(),
-        Expr::Difference(a, b) if a == b => {
-            match a.arity(sig, registry.operators()) {
-                Ok(arity) => Expr::empty(arity),
-                Err(_) => expr.clone(),
-            }
-        }
+        Expr::Difference(a, b) if a == b => match a.arity(sig, registry.operators()) {
+            Ok(arity) => Expr::empty(arity),
+            Err(_) => expr.clone(),
+        },
         _ => expr.clone(),
     }
 }
@@ -282,11 +276,10 @@ mod tests {
 
     #[test]
     fn minimize_mapping_combines_both_passes() {
-        let constraints = parse_constraints(
-            "project[0,1](R) <= select[true](S); R = S; project[0](U * U) <= U",
-        )
-        .unwrap()
-        .into_vec();
+        let constraints =
+            parse_constraints("project[0,1](R) <= select[true](S); R = S; project[0](U * U) <= U")
+                .unwrap()
+                .into_vec();
         let out = minimize_mapping(constraints, &sig(), &reg());
         // The first constraint simplifies to R <= S, which the equality
         // implies, so only the equality and the (simplified) third remain.
@@ -327,7 +320,11 @@ mod tests {
             &minimized,
             &reduced_sig,
             &registry,
-            &VerifyConfig { soundness_samples: 40, completeness_samples: 5, ..VerifyConfig::default() },
+            &VerifyConfig {
+                soundness_samples: 40,
+                completeness_samples: 5,
+                ..VerifyConfig::default()
+            },
         );
         report.assert_equivalent();
     }

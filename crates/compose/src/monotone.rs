@@ -34,8 +34,9 @@ pub fn monotonicity(expr: &Expr, sym: &str, registry: &Registry) -> Monotonicity
         Expr::Union(a, b) | Expr::Intersect(a, b) | Expr::Product(a, b) => {
             monotonicity(a, sym, registry).combine(monotonicity(b, sym, registry))
         }
-        Expr::Difference(a, b) => monotonicity(a, sym, registry)
-            .combine(monotonicity(b, sym, registry).flip()),
+        Expr::Difference(a, b) => {
+            monotonicity(a, sym, registry).combine(monotonicity(b, sym, registry).flip())
+        }
         Expr::Project(_, inner) | Expr::Select(_, inner) | Expr::Skolem(_, inner) => {
             monotonicity(inner, sym, registry)
         }

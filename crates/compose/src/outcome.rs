@@ -67,11 +67,21 @@ impl fmt::Display for FailureReason {
         match self {
             FailureReason::Disabled => write!(f, "step disabled by configuration"),
             FailureReason::NoDefiningEquality => write!(f, "no defining equality"),
-            FailureReason::SymbolOnBothSides => write!(f, "symbol occurs on both sides of a constraint"),
-            FailureReason::NotRightMonotone => write!(f, "a right-hand side is not monotone in the symbol"),
-            FailureReason::NotLeftMonotone => write!(f, "a left-hand side is not monotone in the symbol"),
-            FailureReason::LeftNormalizeFailed(msg) => write!(f, "left normalization failed: {msg}"),
-            FailureReason::RightNormalizeFailed(msg) => write!(f, "right normalization failed: {msg}"),
+            FailureReason::SymbolOnBothSides => {
+                write!(f, "symbol occurs on both sides of a constraint")
+            }
+            FailureReason::NotRightMonotone => {
+                write!(f, "a right-hand side is not monotone in the symbol")
+            }
+            FailureReason::NotLeftMonotone => {
+                write!(f, "a left-hand side is not monotone in the symbol")
+            }
+            FailureReason::LeftNormalizeFailed(msg) => {
+                write!(f, "left normalization failed: {msg}")
+            }
+            FailureReason::RightNormalizeFailed(msg) => {
+                write!(f, "right normalization failed: {msg}")
+            }
             FailureReason::DeskolemizeFailed(msg) => write!(f, "deskolemization failed: {msg}"),
             FailureReason::Blowup { output_ops, budget } => {
                 write!(f, "size blow-up: {output_ops} operators exceeds budget {budget}")

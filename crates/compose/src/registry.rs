@@ -90,13 +90,11 @@ pub type MonotonicityRule = Arc<dyn Fn(&[Monotonicity]) -> Monotonicity + Send +
 
 /// Right-normalization rule: rewrite `lhs ⊆ op(args)` into an equivalent
 /// list of constraints, or `None` if the rule does not apply.
-pub type RightNormalizeRule =
-    Arc<dyn Fn(&Expr, &[Expr]) -> Option<Vec<Constraint>> + Send + Sync>;
+pub type RightNormalizeRule = Arc<dyn Fn(&Expr, &[Expr]) -> Option<Vec<Constraint>> + Send + Sync>;
 
 /// Left-normalization rule: rewrite `op(args) ⊆ rhs` into an equivalent list
 /// of constraints, or `None` if the rule does not apply.
-pub type LeftNormalizeRule =
-    Arc<dyn Fn(&[Expr], &Expr) -> Option<Vec<Constraint>> + Send + Sync>;
+pub type LeftNormalizeRule = Arc<dyn Fn(&[Expr], &Expr) -> Option<Vec<Constraint>> + Send + Sync>;
 
 /// Simplification rule used by the eliminate-domain and eliminate-empty
 /// steps: given the operator's arguments (some of which are `D^r` or `∅`),

@@ -104,9 +104,7 @@ pub fn right_normalize(
     let sym_expr = Expr::Rel(sym.to_string());
 
     loop {
-        let position = work
-            .iter()
-            .position(|c| c.rhs.mentions(sym) && c.rhs != sym_expr);
+        let position = work.iter().position(|c| c.rhs.mentions(sym) && c.rhs != sym_expr);
         let Some(index) = position else { break };
         let constraint = work.remove(index);
         let rewritten = right_rewrite_step(&constraint, sym, sig, registry, namer)?;
@@ -215,10 +213,8 @@ fn right_rewrite_step(
             ])
         }
         Expr::Apply(name, args) => {
-            let rule = registry
-                .rules(name)
-                .and_then(|r| r.right_normalize.as_ref())
-                .ok_or_else(|| {
+            let rule =
+                registry.rules(name).and_then(|r| r.right_normalize.as_ref()).ok_or_else(|| {
                     FailureReason::RightNormalizeFailed(format!(
                         "no right-normalization rule for operator `{name}`"
                     ))
@@ -229,12 +225,14 @@ fn right_rewrite_step(
                 ))
             })
         }
-        Expr::Skolem(..) => Err(FailureReason::RightNormalizeFailed(
-            "Skolem function on the right".into(),
-        )),
-        Expr::Rel(_) | Expr::Domain(_) | Expr::Empty(_) => Err(FailureReason::RightNormalizeFailed(
-            format!("unexpected simple rhs while normalizing {sym}"),
-        )),
+        Expr::Skolem(..) => {
+            Err(FailureReason::RightNormalizeFailed("Skolem function on the right".into()))
+        }
+        Expr::Rel(_) | Expr::Domain(_) | Expr::Empty(_) => {
+            Err(FailureReason::RightNormalizeFailed(format!(
+                "unexpected simple rhs while normalizing {sym}"
+            )))
+        }
     }
 }
 
@@ -272,10 +270,8 @@ fn skolemize_projection(
     let mut deps: Vec<usize> = (0..kept).collect();
     if let Expr::Rel(name) = inner {
         if let Some(key) = sig.key(name) {
-            let key_positions: Option<Vec<usize>> = key
-                .iter()
-                .map(|k| cols.iter().position(|c| c == k))
-                .collect();
+            let key_positions: Option<Vec<usize>> =
+                key.iter().map(|k| cols.iter().position(|c| c == k)).collect();
             if let Some(key_deps) = key_positions {
                 if !key_deps.is_empty() {
                     deps = key_deps;
@@ -311,14 +307,7 @@ mod tests {
     use mapcomp_algebra::{parse_constraint, parse_constraints};
 
     fn sig() -> Signature {
-        Signature::from_arities([
-            ("R", 1),
-            ("S", 2),
-            ("T", 2),
-            ("U", 2),
-            ("V", 2),
-            ("W", 4),
-        ])
+        Signature::from_arities([("R", 1), ("S", 2), ("T", 2), ("U", 2), ("V", 2), ("W", 4)])
     }
 
     fn reg() -> Registry {
@@ -330,38 +319,31 @@ mod tests {
         // S × T ⊆ U',  T ⊆ σc(S) × π(R'): normalizing for S leaves the first
         // constraint alone and splits the second into three constraints.
         let sig = Signature::from_arities([("S", 1), ("T", 2), ("U", 3), ("R", 2)]);
-        let constraints = parse_constraints(
-            "S * T <= U; T <= select[#0 = 5](S) * project[0](R)",
-        )
-        .unwrap()
-        .into_vec();
+        let constraints = parse_constraints("S * T <= U; T <= select[#0 = 5](S) * project[0](R)")
+            .unwrap()
+            .into_vec();
         let mut namer = SkolemNamer::new();
-        let (bound, others) =
-            right_normalize(constraints, "S", &sig, &reg(), &mut namer).unwrap();
+        let (bound, others) = right_normalize(constraints, "S", &sig, &reg(), &mut namer).unwrap();
         // π_0(T) ⊆ S is the only constraint with S alone on the right.
         assert_eq!(bound, Expr::rel("T").project(vec![0]));
         // The remaining constraints: the untouched S × T ⊆ U, the selection
         // residue π_0(T) ⊆ σc(D), and π_1(T) ⊆ π_0(R).
         assert_eq!(others.len(), 3);
         assert!(others.contains(&parse_constraint("S * T <= U").unwrap()));
-        assert!(others
-            .contains(&parse_constraint("project[0](T) <= select[#0 = 5](D^1)").unwrap()));
+        assert!(others.contains(&parse_constraint("project[0](T) <= select[#0 = 5](D^1)").unwrap()));
         assert!(others.contains(&parse_constraint("project[1](T) <= project[0](R)").unwrap()));
     }
 
     #[test]
     fn example_15_basic_right_compose() {
         let sig = Signature::from_arities([("S", 1), ("T", 2), ("U", 3), ("R", 2)]);
-        let constraints = parse_constraints(
-            "S * T <= U; T <= select[#0 = 5](S) * project[0](R)",
-        )
-        .unwrap()
-        .into_vec();
+        let constraints = parse_constraints("S * T <= U; T <= select[#0 = 5](S) * project[0](R)")
+            .unwrap()
+            .into_vec();
         let result = right_compose(&constraints, "S", &sig, &reg()).unwrap();
         assert!(result.iter().all(|c| !c.mentions("S")));
         // Example 15: π(T) × T ⊆ U survives (plus the two residues).
-        assert!(result
-            .contains(&parse_constraint("project[0](T) * T <= U").unwrap()));
+        assert!(result.contains(&parse_constraint("project[0](T) * T <= U").unwrap()));
         assert_eq!(result.len(), 3);
     }
 
@@ -404,12 +386,10 @@ mod tests {
     #[test]
     fn difference_and_union_rules() {
         // E1 ⊆ S − T and E2 ⊆ S ∪ T.
-        let constraints =
-            parse_constraints("U <= S - T; V <= S + T; S <= W2").unwrap().into_vec();
+        let constraints = parse_constraints("U <= S - T; V <= S + T; S <= W2").unwrap().into_vec();
         let sig = Signature::from_arities([("S", 2), ("T", 2), ("U", 2), ("V", 2), ("W2", 2)]);
         let mut namer = SkolemNamer::new();
-        let (bound, others) =
-            right_normalize(constraints, "S", &sig, &reg(), &mut namer).unwrap();
+        let (bound, others) = right_normalize(constraints, "S", &sig, &reg(), &mut namer).unwrap();
         // Bound is U ∪ (V − T); residues are U ∩ T ⊆ ∅ and S ⊆ W2 untouched.
         assert_eq!(bound, Expr::rel("U").union(Expr::rel("V").difference(Expr::rel("T"))));
         assert!(others.contains(&parse_constraint("U & T <= empty^2").unwrap()));
@@ -444,8 +424,7 @@ mod tests {
         sig.add_keyed("S", 3, vec![0]);
         sig.add_relation("R", 2);
         sig.add_relation("T", 3);
-        let constraints =
-            parse_constraints("R <= project[0,1](S); S <= T").unwrap().into_vec();
+        let constraints = parse_constraints("R <= project[0,1](S); S <= T").unwrap().into_vec();
         let mut namer = SkolemNamer::new();
         let (bound, _) = right_normalize(constraints, "S", &sig, &reg(), &mut namer).unwrap();
         // Find the Skolem node and inspect its dependencies.

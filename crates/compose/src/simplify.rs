@@ -35,10 +35,9 @@ fn rewrite_once(expr: &Expr, registry: &Registry) -> Expr {
         Expr::Project(cols, inner) => rewrite_once(inner, registry).project(cols.clone()),
         Expr::Select(pred, inner) => rewrite_once(inner, registry).select(pred.clone()),
         Expr::Skolem(f, inner) => rewrite_once(inner, registry).skolem(f.clone()),
-        Expr::Apply(name, args) => Expr::Apply(
-            name.clone(),
-            args.iter().map(|arg| rewrite_once(arg, registry)).collect(),
-        ),
+        Expr::Apply(name, args) => {
+            Expr::Apply(name.clone(), args.iter().map(|arg| rewrite_once(arg, registry)).collect())
+        }
     };
     rewrite_node(&rebuilt, registry)
 }
@@ -89,9 +88,8 @@ fn rewrite_node(expr: &Expr, registry: &Registry) -> Expr {
             _ => expr.clone(),
         },
         Expr::Apply(name, args) => {
-            let touches_special = args.iter().any(|arg| {
-                matches!(arg, Expr::Domain(_) | Expr::Empty(_))
-            });
+            let touches_special =
+                args.iter().any(|arg| matches!(arg, Expr::Domain(_) | Expr::Empty(_)));
             if touches_special {
                 if let Some(rule) = registry.rules(name).and_then(|r| r.simplify.as_ref()) {
                     if let Some(simplified) = rule(args) {
@@ -149,10 +147,7 @@ mod tests {
         assert_eq!(simplify_expr(&Expr::domain(2).union(r.clone()), &reg()), Expr::domain(2));
         assert_eq!(simplify_expr(&r.clone().intersect(Expr::domain(2)), &reg()), r.clone());
         assert_eq!(simplify_expr(&r.clone().difference(Expr::domain(2)), &reg()), Expr::empty(2));
-        assert_eq!(
-            simplify_expr(&Expr::domain(3).project(vec![0, 2]), &reg()),
-            Expr::domain(2)
-        );
+        assert_eq!(simplify_expr(&Expr::domain(3).project(vec![0, 2]), &reg()), Expr::domain(2));
     }
 
     #[test]
@@ -184,7 +179,10 @@ mod tests {
 
     #[test]
     fn products_of_special_relations() {
-        assert_eq!(simplify_expr(&Expr::domain(1).product(Expr::domain(2)), &reg()), Expr::domain(3));
+        assert_eq!(
+            simplify_expr(&Expr::domain(1).product(Expr::domain(2)), &reg()),
+            Expr::domain(3)
+        );
         assert_eq!(simplify_expr(&Expr::empty(1).product(Expr::domain(2)), &reg()), Expr::empty(3));
     }
 

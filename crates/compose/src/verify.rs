@@ -137,37 +137,31 @@ pub fn check_equivalence(
     {
         attempts += 1;
         let instance = random_instance(original_sig, config, &mut rng);
-        let satisfies_original = original_set
-            .satisfied_by(original_sig, ops, &instance)
-            .unwrap_or(false);
+        let satisfies_original =
+            original_set.satisfied_by(original_sig, ops, &instance).unwrap_or(false);
         if !satisfies_original {
             continue;
         }
         report.soundness_checked += 1;
         let restricted = instance.restrict(reduced_sig);
-        let satisfies_reduced = reduced_set
-            .satisfied_by(original_sig, ops, &restricted)
-            .unwrap_or(false);
+        let satisfies_reduced =
+            reduced_set.satisfied_by(original_sig, ops, &restricted).unwrap_or(false);
         if !satisfies_reduced {
             report.soundness_violations.push(instance);
         }
     }
 
     // Completeness direction.
-    let removed: Vec<String> = original_sig
-        .names()
-        .into_iter()
-        .filter(|name| !reduced_sig.contains(name))
-        .collect();
+    let removed: Vec<String> =
+        original_sig.names().into_iter().filter(|name| !reduced_sig.contains(name)).collect();
     let mut attempts = 0usize;
     while report.completeness_checked < config.completeness_samples
         && attempts < config.completeness_samples * 20
     {
         attempts += 1;
         let instance = random_instance(reduced_sig, config, &mut rng);
-        let satisfies_reduced = reduced_set
-            .satisfied_by(original_sig, ops, &instance)
-            .unwrap_or(false);
+        let satisfies_reduced =
+            reduced_set.satisfied_by(original_sig, ops, &instance).unwrap_or(false);
         if !satisfies_reduced {
             continue;
         }

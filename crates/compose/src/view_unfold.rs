@@ -34,7 +34,10 @@ pub fn find_defining_equality(constraints: &[Constraint], sym: &str) -> Option<(
 
 /// Attempt to eliminate `sym` by view unfolding. On success the returned
 /// constraints are equivalent to the input and free of `sym`.
-pub fn view_unfold(constraints: &[Constraint], sym: &str) -> Result<Vec<Constraint>, FailureReason> {
+pub fn view_unfold(
+    constraints: &[Constraint],
+    sym: &str,
+) -> Result<Vec<Constraint>, FailureReason> {
     let (index, definition) =
         find_defining_equality(constraints, sym).ok_or(FailureReason::NoDefiningEquality)?;
     let mut out = Vec::with_capacity(constraints.len().saturating_sub(1));
@@ -62,10 +65,8 @@ mod tests {
         .into_vec();
         let result = view_unfold(&constraints, "S").unwrap();
         assert_eq!(result.len(), 2);
-        let expected_first =
-            parse_constraint("project[0](diff(R3, R1 * R2)) <= T1").unwrap();
-        let expected_second =
-            parse_constraint("T2 <= T3 - select[#0 = 1](R1 * R2)").unwrap();
+        let expected_first = parse_constraint("project[0](diff(R3, R1 * R2)) <= T1").unwrap();
+        let expected_second = parse_constraint("T2 <= T3 - select[#0 = 1](R1 * R2)").unwrap();
         assert_eq!(result[0], expected_first);
         assert_eq!(result[1], expected_second);
         assert!(result.iter().all(|c| !c.mentions("S")));
@@ -73,8 +74,7 @@ mod tests {
 
     #[test]
     fn defining_equality_may_be_on_either_side() {
-        let constraints =
-            parse_constraints("R1 * R2 = S; S <= T").unwrap().into_vec();
+        let constraints = parse_constraints("R1 * R2 = S; S <= T").unwrap().into_vec();
         let result = view_unfold(&constraints, "S").unwrap();
         assert_eq!(result, vec![parse_constraint("R1 * R2 <= T").unwrap()]);
     }

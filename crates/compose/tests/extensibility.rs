@@ -31,10 +31,7 @@ fn registry_with_merge() -> Registry {
             // Right normalization: E1 ⊆ merge(A, B)  ↔  E1 − B ⊆ A.
             right_normalize: Some(Arc::new(|lhs: &Expr, args: &[Expr]| {
                 let [a, b] = args else { return None };
-                Some(vec![Constraint::containment(
-                    lhs.clone().difference(b.clone()),
-                    a.clone(),
-                )])
+                Some(vec![Constraint::containment(lhs.clone().difference(b.clone()), a.clone())])
             })),
             // Left normalization: merge(A, B) ⊆ E  ↔  A ⊆ E, B ⊆ E.
             left_normalize: Some(Arc::new(|args: &[Expr], rhs: &Expr| {
@@ -87,12 +84,8 @@ fn left_normalization_rule_enables_left_compose() {
     let with_rules =
         eliminate(&constraints, "S", &sig(), &registry_with_merge(), &config).expect("eliminates");
     assert!(with_rules.constraints.iter().all(|c| !c.mentions("S")));
-    assert!(with_rules
-        .constraints
-        .contains(&parse_constraints("V <= T").unwrap().into_vec()[0]));
-    assert!(with_rules
-        .constraints
-        .contains(&parse_constraints("W <= T").unwrap().into_vec()[0]));
+    assert!(with_rules.constraints.contains(&parse_constraints("V <= T").unwrap().into_vec()[0]));
+    assert!(with_rules.constraints.contains(&parse_constraints("W <= T").unwrap().into_vec()[0]));
 
     let without_rules = eliminate(&constraints, "S", &sig(), &registry_without_rules(), &config);
     assert!(without_rules.is_err(), "the operator has no rules, left compose must fail");

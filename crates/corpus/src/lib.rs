@@ -69,8 +69,7 @@ impl Problem {
             Expectation::Remaining(symbols) => {
                 let mut expected: Vec<&str> = symbols.to_vec();
                 expected.sort_unstable();
-                let mut actual: Vec<&str> =
-                    result.remaining.iter().map(String::as_str).collect();
+                let mut actual: Vec<&str> = result.remaining.iter().map(String::as_str).collect();
                 actual.sort_unstable();
                 expected == actual
             }

@@ -252,32 +252,21 @@ pub fn run_editing_from(
         }
 
         let started = Instant::now();
-        let result = compose_constraints(
-            &universe,
-            &symbols,
-            constraints,
-            registry,
-            &config.compose_config,
-        );
+        let result =
+            compose_constraints(&universe, &symbols, constraints, registry, &config.compose_config);
         let duration = started.elapsed();
         compose_time += duration;
 
         constraints = result.constraints.into_vec();
-        let consumed_intermediate = outcome
-            .consumed
-            .as_ref()
-            .map(|consumed| !original.contains(consumed))
-            .unwrap_or(false);
+        let consumed_intermediate =
+            outcome.consumed.as_ref().map(|consumed| !original.contains(consumed)).unwrap_or(false);
         let eliminated_now = outcome
             .consumed
             .as_ref()
             .map(|consumed| result.eliminated.contains(consumed) || original.contains(consumed))
             .unwrap_or(true);
-        let leftover_eliminated = result
-            .eliminated
-            .iter()
-            .filter(|name| pending.contains(name))
-            .count();
+        let leftover_eliminated =
+            result.eliminated.iter().filter(|name| pending.contains(name)).count();
         pending = result.remaining;
 
         records.push(EditRecord {
@@ -294,15 +283,7 @@ pub fn run_editing_from(
         });
     }
 
-    EditingRun {
-        original,
-        current,
-        universe,
-        constraints,
-        pending,
-        records,
-        compose_time,
-    }
+    EditingRun { original, current, universe, constraints, pending, records, compose_time }
 }
 
 #[cfg(test)]
@@ -370,7 +351,8 @@ mod tests {
     fn most_symbols_are_eliminated_without_keys() {
         // The paper reports 50–100 % elimination; on the default (no keys,
         // equality-heavy) workload the success rate should be high.
-        let config = ScenarioConfig { schema_size: 10, edits: 40, seed: 7, ..ScenarioConfig::default() };
+        let config =
+            ScenarioConfig { schema_size: 10, edits: 40, seed: 7, ..ScenarioConfig::default() };
         let run = run_editing(&config);
         assert!(
             run.fraction_eliminated() >= 0.5,
@@ -401,7 +383,8 @@ mod tests {
 
     #[test]
     fn disabling_right_compose_weakens_elimination() {
-        let base = ScenarioConfig { schema_size: 10, edits: 30, seed: 19, ..ScenarioConfig::default() };
+        let base =
+            ScenarioConfig { schema_size: 10, edits: 30, seed: 19, ..ScenarioConfig::default() };
         let full = run_editing(&base);
         let ablated = run_editing(&ScenarioConfig {
             compose_config: ComposeConfig::without_right_compose(),

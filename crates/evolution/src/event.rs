@@ -85,11 +85,8 @@ impl EventVector {
             .sum();
         let proportion = proportion.clamp(0.0, 0.95);
         // Solve  inclusion_total / (inclusion_total + other_total) = proportion.
-        let inclusion_total = if proportion <= 0.0 {
-            0.0
-        } else {
-            other_total * proportion / (1.0 - proportion)
-        };
+        let inclusion_total =
+            if proportion <= 0.0 { 0.0 } else { other_total * proportion / (1.0 - proportion) };
         for kind in inclusion {
             vector.weights.insert(kind, inclusion_total / 2.0);
         }

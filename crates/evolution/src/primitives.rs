@@ -309,10 +309,8 @@ pub fn apply_primitive<R: Rng>(
             let new_name = names.fresh();
             let new_info = RelInfo { arity: info.arity - 1, key: new_key };
             // π_{A−{C}}(R) = S.
-            let constraint = Constraint::equality(
-                Expr::rel(name).project(kept),
-                Expr::rel(new_name.clone()),
-            );
+            let constraint =
+                Constraint::equality(Expr::rel(name).project(kept), Expr::rel(new_name.clone()));
             EditOutcome {
                 kind,
                 consumed: Some(name.to_string()),
@@ -329,7 +327,8 @@ pub fn apply_primitive<R: Rng>(
             let new_info = RelInfo { arity: info.arity + 1, key: info.key.clone() };
             // Forward: R × {c} = S, with {c} encoded as σ_{#0=c}(D).
             let forward = Constraint::equality(
-                Expr::rel(name).product(Expr::domain(1).select(Pred::eq_const(0, constant.clone()))),
+                Expr::rel(name)
+                    .product(Expr::domain(1).select(Pred::eq_const(0, constant.clone()))),
                 Expr::rel(new_name.clone()),
             );
             // Backward: R = π_A(σ_{C=c}(S)).
@@ -482,7 +481,9 @@ fn split_relation<R: Rng>(
     };
     if matches!(
         kind,
-        PrimitiveKind::NormalizeForward | PrimitiveKind::NormalizeBackward | PrimitiveKind::Normalize
+        PrimitiveKind::NormalizeForward
+            | PrimitiveKind::NormalizeBackward
+            | PrimitiveKind::Normalize
     ) {
         constraints.push(inclusion);
     }

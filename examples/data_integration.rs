@@ -47,10 +47,8 @@ fn main() {
     // Ada spent 2500 >= 1000, so she must appear in the report.
     instance.insert("BigSpenders", vec![Value::Int(1), Value::str("ada")]);
 
-    let ok = result
-        .constraints
-        .satisfied_by(&sig, registry.operators(), &instance)
-        .expect("evaluates");
+    let ok =
+        result.constraints.satisfied_by(&sig, registry.operators(), &instance).expect("evaluates");
     println!("\nconsistent instance accepted: {ok}");
     assert!(ok);
 
@@ -58,10 +56,8 @@ fn main() {
     let mut broken = Instance::new();
     broken.insert("Customers", vec![Value::Int(1), Value::str("ada")]);
     broken.insert("Orders", vec![Value::Int(10), Value::Int(1), Value::Int(2500)]);
-    let rejected = !result
-        .constraints
-        .satisfied_by(&sig, registry.operators(), &broken)
-        .expect("evaluates");
+    let rejected =
+        !result.constraints.satisfied_by(&sig, registry.operators(), &broken).expect("evaluates");
     println!("inconsistent instance rejected: {rejected}");
     assert!(rejected);
 

@@ -40,10 +40,9 @@ fn main() {
 
     // Now compose the result with peer3 -> peer4 by hand, using the
     // lower-level driver: the constraints of step 1 plus the third mapping.
-    let p34 = parse_constraints(
-        "project[0,1,2](Catalog) <= Library; project[0,3](Catalog) <= Plays",
-    )
-    .expect("parses");
+    let p34 =
+        parse_constraints("project[0,1,2](Catalog) <= Library; project[0,3](Catalog) <= Plays")
+            .expect("parses");
     let mut constraints = step1.constraints.clone().into_vec();
     constraints.extend(p34);
 
@@ -67,9 +66,7 @@ fn main() {
     print!("{}", step2.constraints);
     println!("eliminated: {:?}", step2.eliminated);
     println!("remaining : {:?}", step2.remaining);
-    println!(
-        "\nThe non-eliminated symbols stay in the mapping as auxiliary relations — the"
-    );
+    println!("\nThe non-eliminated symbols stay in the mapping as auxiliary relations — the");
     println!("best-effort contract of the paper: a usable mapping beats no mapping at all.");
 
     // The chain must have removed at least the relations fully determined by

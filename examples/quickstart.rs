@@ -54,7 +54,17 @@ fn main() {
     // The composed mapping can be checked directly against data: build a tiny
     // instance of sigma1 ∪ sigma3 and test whether it satisfies the result.
     let mut instance = Instance::new();
-    instance.insert("Movies", vec![Value::Int(1), Value::str("Heat"), Value::Int(1995), Value::Int(5), Value::Int(0), Value::Int(0)]);
+    instance.insert(
+        "Movies",
+        vec![
+            Value::Int(1),
+            Value::str("Heat"),
+            Value::Int(1995),
+            Value::Int(5),
+            Value::Int(0),
+            Value::Int(0),
+        ],
+    );
     instance.insert("Names", vec![Value::Int(1), Value::str("Heat")]);
     instance.insert("Years", vec![Value::Int(1), Value::Int(1995)]);
     let sig = task.full_signature().expect("signatures are disjoint");

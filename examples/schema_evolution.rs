@@ -23,9 +23,11 @@ fn main() {
 
     println!("original schema : {} relations", run.original.len());
     println!("evolved schema  : {} relations", run.current.len());
-    println!("running mapping : {} constraints, {} operators",
+    println!(
+        "running mapping : {} constraints, {} operators",
         run.constraints.len(),
-        run.constraints.iter().map(Constraint::op_count).sum::<usize>());
+        run.constraints.iter().map(Constraint::op_count).sum::<usize>()
+    );
     println!("pending symbols : {:?}", run.pending);
     println!("fraction of intermediate symbols eliminated: {:.2}", run.fraction_eliminated());
     println!("total composition time: {:?}", run.compose_time);

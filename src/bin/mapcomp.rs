@@ -1,7 +1,10 @@
 //! `mapcomp` — command-line front end for the composition component.
 //!
-//! Reads a composition task written in the plain-text format (paper §4), runs
-//! the best-effort COMPOSE algorithm, and prints the resulting mapping.
+//! Two modes:
+//!
+//! **Task mode** (the original paper workflow): read a composition task
+//! written in the plain-text format (paper §4), run the best-effort COMPOSE
+//! algorithm, and print the resulting mapping.
 //!
 //! ```text
 //! mapcomp <task-file> [<first-mapping> <second-mapping>]
@@ -11,10 +14,34 @@
 //!
 //! When the mapping names are omitted, `m12` and `m23` are assumed. Example
 //! task files live under `examples/tasks/`.
+//!
+//! **Catalog mode**: maintain a persistent catalog of schemas and mappings
+//! (a plain-text document on disk, with a `<file>.memo` sidecar holding the
+//! memo cache) and compose multi-hop chains incrementally:
+//!
+//! ```text
+//! mapcomp catalog add          --catalog <file> <document-file>...
+//! mapcomp catalog compose-path --catalog <file> <from-schema> <to-schema>
+//!                              [--require-complete] [--stats] [compose flags]
+//! mapcomp catalog invalidate   --catalog <file> <mapping-name>
+//! mapcomp catalog stats        --catalog <file>
+//! ```
+//!
+//! `compose-path` prints the composed mapping as a plain-text document
+//! (schemas + mapping), so its output can be fed back to `catalog add` or
+//! any other consumer of the format.
+//!
+//! The document format carries no version counters, so entry versions reset
+//! per invocation; cross-invocation cache invalidation is driven entirely by
+//! content hashes (an edited mapping hashes differently, and `catalog add`
+//! drops stale memo entries explicitly).
 
 use std::process::ExitCode;
 
 use mapping_composition::algebra::parse_document;
+use mapping_composition::catalog::{
+    load_cache, save_cache, Catalog, ChainOptions, Session, SessionConfig,
+};
 use mapping_composition::compose::{compose, minimize_mapping, ComposeConfig, Registry};
 
 struct Options {
@@ -26,6 +53,29 @@ struct Options {
     stats: bool,
 }
 
+/// Handle a compose-configuration flag shared by both CLI modes, consuming
+/// the flag's value from `iter` when it carries one. Returns `Ok(false)`
+/// when the argument is not a compose flag.
+fn parse_compose_flag<'a>(
+    arg: &str,
+    iter: &mut std::iter::Peekable<impl Iterator<Item = &'a String>>,
+    config: &mut ComposeConfig,
+) -> Result<bool, String> {
+    match arg {
+        "--no-unfolding" => config.enable_view_unfolding = false,
+        "--no-left-compose" => config.enable_left_compose = false,
+        "--no-right-compose" => config.enable_right_compose = false,
+        "--blowup" => {
+            let value = iter.next().ok_or("--blowup requires a factor")?;
+            let factor: usize =
+                value.parse().map_err(|_| format!("invalid blow-up factor `{value}`"))?;
+            config.blowup_factor = if factor == 0 { None } else { Some(factor) };
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut positional: Vec<String> = Vec::new();
     let mut config = ComposeConfig::default();
@@ -33,18 +83,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut stats = false;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
+        if parse_compose_flag(arg, &mut iter, &mut config)? {
+            continue;
+        }
         match arg.as_str() {
-            "--no-unfolding" => config.enable_view_unfolding = false,
-            "--no-left-compose" => config.enable_left_compose = false,
-            "--no-right-compose" => config.enable_right_compose = false,
             "--minimize" => minimize = true,
             "--stats" => stats = true,
-            "--blowup" => {
-                let value = iter.next().ok_or("--blowup requires a factor")?;
-                let factor: usize =
-                    value.parse().map_err(|_| format!("invalid blow-up factor `{value}`"))?;
-                config.blowup_factor = if factor == 0 { None } else { Some(factor) };
-            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => positional.push(other.to_string()),
         }
@@ -59,9 +103,9 @@ fn run(options: &Options) -> Result<(), String> {
     let text = std::fs::read_to_string(&options.file)
         .map_err(|e| format!("cannot read {}: {e}", options.file))?;
     let document = parse_document(&text).map_err(|e| format!("parse error: {e}"))?;
-    let task = document
-        .task(&options.first, &options.second)
-        .map_err(|e| format!("cannot build task from `{}` and `{}`: {e}", options.first, options.second))?;
+    let task = document.task(&options.first, &options.second).map_err(|e| {
+        format!("cannot build task from `{}` and `{}`: {e}", options.first, options.second)
+    })?;
     let registry = Registry::standard();
     task.validate(registry.operators()).map_err(|e| format!("task does not type-check: {e}"))?;
 
@@ -93,10 +137,211 @@ fn run(options: &Options) -> Result<(), String> {
         );
         eprintln!("time       : {:?}", result.stats.total_time);
         if result.stats.blowup_aborts > 0 {
-            eprintln!("aborted    : {} eliminations hit the blow-up budget", result.stats.blowup_aborts);
+            eprintln!(
+                "aborted    : {} eliminations hit the blow-up budget",
+                result.stats.blowup_aborts
+            );
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Catalog mode
+// ---------------------------------------------------------------------------
+
+struct CatalogOptions {
+    command: String,
+    catalog_file: String,
+    positional: Vec<String>,
+    config: ComposeConfig,
+    require_complete: bool,
+    stats: bool,
+}
+
+fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
+    let command = args.first().cloned().ok_or(
+        "missing catalog command: expected `add`, `compose-path`, `invalidate`, or `stats`",
+    )?;
+    let mut catalog_file = None;
+    let mut positional = Vec::new();
+    let mut config = ComposeConfig::default();
+    let mut require_complete = false;
+    let mut stats = false;
+    let mut iter = args[1..].iter().peekable();
+    while let Some(arg) = iter.next() {
+        if parse_compose_flag(arg, &mut iter, &mut config)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--catalog" => {
+                let value = iter.next().ok_or("--catalog requires a file path")?;
+                catalog_file = Some(value.clone());
+            }
+            "--require-complete" => require_complete = true,
+            "--stats" => stats = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let catalog_file = catalog_file.ok_or("catalog commands require --catalog <file>")?;
+    Ok(CatalogOptions { command, catalog_file, positional, config, require_complete, stats })
+}
+
+fn memo_path(catalog_file: &str) -> String {
+    format!("{catalog_file}.memo")
+}
+
+/// Load a session from the catalog file (which may not exist yet for `add`)
+/// and its memo sidecar.
+fn load_session(options: &CatalogOptions, allow_missing: bool) -> Result<Session, String> {
+    let mut catalog = Catalog::new();
+    match std::fs::read_to_string(&options.catalog_file) {
+        Ok(text) => {
+            let document = parse_document(&text)
+                .map_err(|e| format!("{}: parse error: {e}", options.catalog_file))?;
+            catalog.from_document(&document).map_err(|e| e.to_string())?;
+        }
+        // Only genuine absence may be ignored: any other read failure
+        // (permissions, I/O) must not make `add` start from an empty catalog
+        // and overwrite the existing file on save.
+        Err(e) if allow_missing && e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(format!("cannot read {}: {e}", options.catalog_file)),
+    }
+    let session_config = SessionConfig {
+        compose: options.config.clone(),
+        chain: ChainOptions { require_complete: options.require_complete },
+    };
+    let mut session = Session::with_config(catalog, Registry::standard(), session_config);
+    if let Ok(text) = std::fs::read_to_string(memo_path(&options.catalog_file)) {
+        session.restore_cache(load_cache(&text));
+    }
+    Ok(session)
+}
+
+fn save_session(options: &CatalogOptions, session: &Session) -> Result<(), String> {
+    std::fs::write(&options.catalog_file, session.catalog().to_document_string())
+        .map_err(|e| format!("cannot write {}: {e}", options.catalog_file))?;
+    std::fs::write(memo_path(&options.catalog_file), save_cache(session.cache()))
+        .map_err(|e| format!("cannot write {}: {e}", memo_path(&options.catalog_file)))?;
+    Ok(())
+}
+
+fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
+    match options.command.as_str() {
+        "add" => {
+            if options.positional.is_empty() {
+                return Err("catalog add requires at least one document file".to_string());
+            }
+            let mut session = load_session(options, true)?;
+            let mut touched = Vec::new();
+            for file in &options.positional {
+                let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+                let document = parse_document(&text).map_err(|e| format!("{file}: parse error: {e}"))?;
+                touched.extend(session.ingest_document(&document).map_err(|e| e.to_string())?);
+            }
+            save_session(options, &session)?;
+            eprintln!(
+                "catalog    : {} schemas, {} mappings",
+                session.catalog().schema_count(),
+                session.catalog().mapping_count()
+            );
+            eprintln!("updated    : {touched:?}");
+            Ok(())
+        }
+        "compose-path" => {
+            let [from, to] = options.positional.as_slice() else {
+                return Err("catalog compose-path requires <from-schema> <to-schema>".to_string());
+            };
+            let mut session = load_session(options, false)?;
+            let result = session.compose_path(from, to).map_err(|e| e.to_string())?;
+            save_session(options, &session)?;
+
+            // Print the composed mapping as a document that re-parses: the
+            // endpoint schemas (target extended by any residual symbols, per
+            // §3.1 the output signature may keep σ2 leftovers) + mapping.
+            let chain = &result.chain;
+            let mut printed = Catalog::new();
+            printed.add_schema(from.clone(), chain.mapping.input.clone());
+            let mut target_sig = chain.mapping.output.clone();
+            for (name, info) in chain.residual.iter() {
+                target_sig.add(name.to_string(), info.clone());
+            }
+            printed.add_schema(to.clone(), target_sig);
+            printed
+                .add_mapping("composed", from, to, chain.mapping.constraints.clone())
+                .map_err(|e| e.to_string())?;
+            println!("// composed {} -> {} via {:?}", from, to, chain.path);
+            if !chain.residual.is_empty() {
+                println!("// residual (uneliminated) symbols: {:?}", chain.residual.names());
+            }
+            print!("{}", printed.to_document_string());
+
+            eprintln!();
+            eprintln!("path        : {:?}", chain.path);
+            eprintln!("residual    : {:?}", chain.residual.names());
+            if options.stats {
+                let stats = session.stats();
+                eprintln!("plan        : {:?} (run lengths; >1 = served from cache)", result.plan);
+                eprintln!("compose     : {} pairwise calls this request", result.compose_calls);
+                eprintln!("cache hits  : {} this request", result.cache_hits);
+                eprintln!(
+                    "cache       : {} entries ({} hits / {} misses lifetime)",
+                    stats.cache_entries, stats.cache.hits, stats.cache.misses
+                );
+            }
+            Ok(())
+        }
+        "invalidate" => {
+            let [mapping] = options.positional.as_slice() else {
+                return Err("catalog invalidate requires <mapping-name>".to_string());
+            };
+            let mut session = load_session(options, false)?;
+            session.catalog().mapping(mapping).map_err(|e| e.to_string())?;
+            let dropped = session.invalidate(mapping);
+            save_session(options, &session)?;
+            eprintln!("invalidated : {dropped} cached compositions depending on `{mapping}`");
+            Ok(())
+        }
+        "stats" => {
+            let session = load_session(options, false)?;
+            let catalog = session.catalog();
+            eprintln!("schemas     : {}", catalog.schema_count());
+            eprintln!("mappings    : {}", catalog.mapping_count());
+            for entry in catalog.mappings() {
+                eprintln!(
+                    "  {} : {} -> {} (v{}, hash {}, {} constraints)",
+                    entry.name,
+                    entry.source,
+                    entry.target,
+                    entry.version,
+                    entry.hash,
+                    entry.constraints.len()
+                );
+            }
+            eprintln!("memo cache  : {} entries", session.cache().len());
+            for (key, entry) in session.cache().iter() {
+                eprintln!(
+                    "  {:016x}/{:016x}/{:016x} : {} -> {} via {:?} ({} hits)",
+                    key.0, key.1, key.2, entry.chain.source, entry.chain.target, entry.chain.path, entry.hits
+                );
+            }
+            // Connectivity summary: for each schema, what it can compose to.
+            for schema in catalog.schemas() {
+                if let Ok(reach) = mapping_composition::catalog::reachable(catalog, &schema.name) {
+                    if !reach.is_empty() {
+                        let targets: Vec<String> =
+                            reach.iter().map(|(name, hops)| format!("{name}({hops})")).collect();
+                        eprintln!("reachable   : {} -> {}", schema.name, targets.join(", "));
+                    }
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown catalog command `{other}`: expected `add`, `compose-path`, `invalidate`, or `stats`"
+        )),
+    }
 }
 
 fn main() -> ExitCode {
@@ -105,11 +350,22 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: mapcomp <task-file> [<first-mapping> <second-mapping>] \
              [--no-unfolding] [--no-left-compose] [--no-right-compose] \
-             [--minimize] [--blowup N] [--stats]"
+             [--minimize] [--blowup N] [--stats]\n\
+             \n\
+             \x20      mapcomp catalog add          --catalog <file> <document-file>...\n\
+             \x20      mapcomp catalog compose-path --catalog <file> <from> <to> \
+             [--require-complete] [--stats]\n\
+             \x20      mapcomp catalog invalidate   --catalog <file> <mapping>\n\
+             \x20      mapcomp catalog stats        --catalog <file>"
         );
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
-    match parse_args(&args).and_then(|options| run(&options)) {
+    let outcome = if args[0] == "catalog" {
+        parse_catalog_args(&args[1..]).and_then(|options| run_catalog(&options))
+    } else {
+        parse_args(&args).and_then(|options| run(&options))
+    };
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");

@@ -19,6 +19,11 @@
 //!   experiments: Figure 1 primitives, event vectors, the schema-editing and
 //!   schema-reconciliation scenarios.
 //! * [`corpus`] — the 22-problem literature test suite.
+//! * [`catalog`] — the persistent service layer: a versioned catalog of
+//!   named schemas and mappings, multi-hop path resolution over the
+//!   composition graph, an n-ary chain driver with a content-addressed memo
+//!   cache, and provenance-tracked invalidation for incremental
+//!   recomposition when one link of a chain is edited.
 //!
 //! ## Quick start
 //!
@@ -40,11 +45,47 @@
 //! assert!(result.is_complete());
 //! assert_eq!(result.constraints.to_string().trim(), "R <= T;");
 //! ```
+//!
+//! ## Catalog: multi-hop chains and incremental recomposition
+//!
+//! The same document can be loaded into a [`catalog`] and composed by schema
+//! name; the session memoises every pairwise composition and invalidates
+//! exactly the affected cache entries when a mapping is edited:
+//!
+//! ```
+//! use mapping_composition::prelude::*;
+//!
+//! let doc = parse_document(r"
+//!     schema sigma1 { R/1; }
+//!     schema sigma2 { S/1; }
+//!     schema sigma3 { T/1; }
+//!     mapping m12 : sigma1 -> sigma2 { R <= S; }
+//!     mapping m23 : sigma2 -> sigma3 { S <= T; }
+//! ").unwrap();
+//!
+//! let mut session = Session::new(Catalog::new());
+//! session.ingest_document(&doc).unwrap();
+//!
+//! // Multi-hop: resolve the path sigma1 → sigma3 and fold it.
+//! let cold = session.compose_path("sigma1", "sigma3").unwrap();
+//! assert!(cold.is_complete());
+//! assert_eq!(cold.compose_calls, 1);
+//!
+//! // Recomposing is free until a link changes.
+//! let warm = session.compose_path("sigma1", "sigma3").unwrap();
+//! assert_eq!(warm.compose_calls, 0);
+//!
+//! // Editing m23 invalidates only compositions that depend on it.
+//! session.update_mapping("m23", parse_constraints("project[0](S) <= T").unwrap()).unwrap();
+//! let after = session.compose_path("sigma1", "sigma3").unwrap();
+//! assert_eq!(after.compose_calls, 1);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub use mapcomp_algebra as algebra;
+pub use mapcomp_catalog as catalog;
 pub use mapcomp_compose as compose;
 pub use mapcomp_corpus as corpus;
 pub use mapcomp_evolution as evolution;
@@ -56,6 +97,10 @@ pub mod prelude {
         parse_constraint, parse_constraints, parse_document, parse_expr, Constraint,
         ConstraintKind, ConstraintSet, Expr, Instance, Mapping, OperatorDef, Pred, Relation,
         Signature, Value,
+    };
+    pub use mapcomp_catalog::{
+        replay_editing, Catalog, CatalogError, ChainOptions, ChainResult, ContentHash, MemoCache,
+        Session, SessionConfig, SessionStats,
     };
     pub use mapcomp_compose::{
         compose, compose_constraints, eliminate, ComposeConfig, ComposeResult, EliminateStep,

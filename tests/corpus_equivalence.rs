@@ -84,11 +84,23 @@ fn minimized_corpus_outputs_remain_equivalent_to_the_raw_outputs() {
         // Raw and minimized outputs are over the same signature, so the
         // bounded-model check degenerates to mutual implication on samples.
         let sig = result.signature.clone();
-        let forward =
-            check_equivalence(&raw, &sig, &minimized, &sig, &registry, &verify_config(2000 + index as u64));
+        let forward = check_equivalence(
+            &raw,
+            &sig,
+            &minimized,
+            &sig,
+            &registry,
+            &verify_config(2000 + index as u64),
+        );
         assert!(forward.soundness_violations.is_empty(), "problem {}", problem.id);
-        let backward =
-            check_equivalence(&minimized, &sig, &raw, &sig, &registry, &verify_config(3000 + index as u64));
+        let backward = check_equivalence(
+            &minimized,
+            &sig,
+            &raw,
+            &sig,
+            &registry,
+            &verify_config(3000 + index as u64),
+        );
         assert!(backward.soundness_violations.is_empty(), "problem {}", problem.id);
     }
 }

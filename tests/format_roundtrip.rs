@@ -51,11 +51,16 @@ fn shipped_task_files_parse_and_compose() {
 
 #[test]
 fn evolution_outputs_round_trip_through_the_printer() {
-    let run = run_editing(&ScenarioConfig { schema_size: 8, edits: 25, seed: 3, ..ScenarioConfig::default() });
+    let run = run_editing(&ScenarioConfig {
+        schema_size: 8,
+        edits: 25,
+        seed: 3,
+        ..ScenarioConfig::default()
+    });
     for constraint in &run.constraints {
         let printed = format!("{constraint}");
-        let reparsed =
-            parse_constraint(&printed).unwrap_or_else(|e| panic!("`{printed}` does not re-parse: {e}"));
+        let reparsed = parse_constraint(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` does not re-parse: {e}"));
         assert_eq!(&reparsed, constraint);
     }
 }

@@ -21,9 +21,7 @@ fn verify_cfg() -> VerifyConfig {
 }
 
 /// Compose a textual task and return (task, result).
-fn compose_text(
-    text: &str,
-) -> (mapping_composition::algebra::CompositionTask, ComposeResult) {
+fn compose_text(text: &str) -> (mapping_composition::algebra::CompositionTask, ComposeResult) {
     let doc = parse_document(text).expect("parses");
     let task = doc.task("m12", "m23").expect("task");
     let result = compose(&task, &registry(), &ComposeConfig::default()).expect("composes");
@@ -73,8 +71,7 @@ fn example_1_composition_matches_expected_semantics() {
     // And the output is equivalent to the input constraint set in the formal
     // sense of paper §2 (eliminating FiveStarMovies).
     let inputs = task.combined_constraints().into_vec();
-    let report =
-        check_equivalence(&inputs, &full, &ours, &reduced_sig, &registry(), &verify_cfg());
+    let report = check_equivalence(&inputs, &full, &ours, &reduced_sig, &registry(), &verify_cfg());
     report.assert_equivalent();
 }
 
@@ -213,10 +210,8 @@ fn transitive_closure_symbol_is_kept_and_usable() {
         instance.insert("S", vec![Value::Int(pair.0), Value::Int(pair.1)]);
         instance.insert("T", vec![Value::Int(pair.0), Value::Int(pair.1)]);
     }
-    let satisfied = result
-        .constraints
-        .satisfied_by(&sig, registry.operators(), &instance)
-        .expect("evaluates");
+    let satisfied =
+        result.constraints.satisfied_by(&sig, registry.operators(), &instance).expect("evaluates");
     assert!(satisfied);
 }
 
@@ -256,11 +251,7 @@ fn ablations_reported_in_the_paper_change_outcomes() {
     let full = compose(&task, &registry(), &ComposeConfig::default()).unwrap();
     assert!(full.is_complete());
     assert_eq!(full.stats.eliminations_by_step(), (0, 0, 1));
-    let without_right = compose(
-        &task,
-        &registry(),
-        &ComposeConfig::without_right_compose(),
-    )
-    .unwrap();
+    let without_right =
+        compose(&task, &registry(), &ComposeConfig::without_right_compose()).unwrap();
     assert!(!without_right.is_complete());
 }
