@@ -143,7 +143,10 @@ impl Constraint {
     /// ([`Evaluator::with_budget`]) so that constraints whose evaluation
     /// would blow up combinatorially report
     /// [`AlgebraError::EvalBudgetExceeded`] instead of exhausting memory.
-    pub fn satisfied_with(&self, ev: &Evaluator<'_>) -> Result<bool, AlgebraError> {
+    pub fn satisfied_with<S: crate::instance::RelationSource>(
+        &self,
+        ev: &Evaluator<'_, S>,
+    ) -> Result<bool, AlgebraError> {
         let left = ev.eval(&self.lhs)?;
         let right = ev.eval(&self.rhs)?;
         Ok(match self.kind {

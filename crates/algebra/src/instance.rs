@@ -193,6 +193,79 @@ impl Instance {
     }
 }
 
+/// A read-only supplier of relation contents, abstracting over a plain
+/// [`Instance`] and layered views such as [`DeltaInstance`].
+///
+/// The [`crate::eval::Evaluator`] is generic over this trait so long-running
+/// callers (the chase engine) can evaluate over a stack of instances — e.g. an
+/// immutable source plus a growing target — without materialising their union
+/// with `Instance::merge` on every evaluation.
+pub trait RelationSource {
+    /// Contents of one relation (empty if unset), as an owned set.
+    fn relation(&self, name: &str) -> Relation;
+
+    /// The set of values appearing anywhere in the source (the active
+    /// domain of paper §2).
+    fn domain_values(&self) -> BTreeSet<Value>;
+}
+
+impl RelationSource for Instance {
+    fn relation(&self, name: &str) -> Relation {
+        self.get(name)
+    }
+
+    fn domain_values(&self) -> BTreeSet<Value> {
+        self.active_domain()
+    }
+}
+
+/// A layered, copy-free view over several instances: each relation is the
+/// union of its contents across all layers.
+///
+/// This is the `(A, B)` database of paper §2 without the merge: the chase
+/// engine keeps the source instance and the materialised target as separate
+/// layers and evaluates premises and satisfaction checks over this view,
+/// instead of cloning `source.merge(&target)` once per rule per round.
+#[derive(Debug, Clone)]
+pub struct DeltaInstance<'a> {
+    layers: Vec<&'a Instance>,
+}
+
+impl<'a> DeltaInstance<'a> {
+    /// View over a base instance and an overlay (base first).
+    pub fn new(base: &'a Instance, overlay: &'a Instance) -> Self {
+        DeltaInstance { layers: vec![base, overlay] }
+    }
+
+    /// View over an arbitrary stack of layers.
+    pub fn from_layers(layers: Vec<&'a Instance>) -> Self {
+        DeltaInstance { layers }
+    }
+
+    /// The layers, base first.
+    pub fn layers(&self) -> &[&'a Instance] {
+        &self.layers
+    }
+}
+
+impl RelationSource for DeltaInstance<'_> {
+    fn relation(&self, name: &str) -> Relation {
+        let mut out = Relation::new();
+        for layer in &self.layers {
+            if let Some(rel) = layer.get_ref(name) {
+                for tuple in rel.iter() {
+                    out.insert(tuple.clone());
+                }
+            }
+        }
+        out
+    }
+
+    fn domain_values(&self) -> BTreeSet<Value> {
+        self.layers.iter().flat_map(|layer| layer.active_domain()).collect()
+    }
+}
+
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, (name, rel)) in self.relations.iter().enumerate() {
@@ -257,6 +330,23 @@ mod tests {
         assert_eq!(merged.get("S").len(), 2);
         assert_eq!(merged.get("T").len(), 1);
         assert_eq!(merged.total_tuples(), 4);
+    }
+
+    #[test]
+    fn delta_instance_unions_layers_without_copying_the_base() {
+        let mut base = Instance::new();
+        base.insert("R", tuple([1i64]));
+        base.insert("R", tuple([2i64]));
+        let mut overlay = Instance::new();
+        overlay.insert("R", tuple([2i64]));
+        overlay.insert("R", tuple([3i64]));
+        overlay.insert("S", tuple(["x"]));
+        let view = DeltaInstance::new(&base, &overlay);
+        assert_eq!(view.relation("R").len(), 3);
+        assert_eq!(view.relation("S").len(), 1);
+        assert!(view.relation("T").is_empty());
+        assert_eq!(view.domain_values(), base.merge(&overlay).active_domain());
+        assert_eq!(view.layers().len(), 2);
     }
 
     #[test]

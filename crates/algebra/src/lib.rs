@@ -43,9 +43,9 @@ pub use constraint::{Constraint, ConstraintKind, ConstraintSet};
 pub use error::AlgebraError;
 pub use eval::{eval, Evaluator};
 pub use expr::{Expr, SkolemFn};
-pub use instance::{Instance, Relation};
+pub use instance::{DeltaInstance, Instance, Relation, RelationSource};
 pub use mapping::{CompositionTask, Mapping};
-pub use ops::{OperatorDef, OperatorSet};
+pub use ops::{OperatorDef, OperatorSet, RowSink};
 pub use parse::{parse_constraint, parse_constraints, parse_document, parse_expr, Document};
 pub use pred::{CmpOp, Operand, Pred};
 pub use signature::{RelInfo, Signature};

@@ -1,0 +1,41 @@
+//! Figure 9 micro-benchmark (new experiment): naive vs. semi-naive chase.
+//!
+//! Each size builds the Figure 9 exchange scenario (a reversed copy chain
+//! plus a join rule, so the naive strategy pays a full re-evaluation of
+//! every rule per round) and times `exchange` under both strategies of
+//! `ExchangeConfig::strategy`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapcomp_bench::{chase_depth, chase_scaling_config, chase_scenario, chase_sizes, Scale};
+use mapcomp_compose::{exchange, ChaseStrategy, Registry};
+
+fn bench_chase_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_chase_scaling");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let registry = Registry::standard();
+    let depth = chase_depth(Scale::Quick);
+    for size in chase_sizes(Scale::Quick) {
+        let (constraints, full, target, source) = chase_scenario(size, depth);
+        let config = chase_scaling_config(depth);
+        for (label, strategy) in
+            [("naive", ChaseStrategy::Naive), ("semi_naive", ChaseStrategy::SemiNaive)]
+        {
+            let config = config.clone().with_strategy(strategy);
+            group.bench_with_input(BenchmarkId::new(label, size), &size, |b, _| {
+                b.iter(|| {
+                    let result =
+                        exchange(&constraints, &full, &target, &source, &registry, &config);
+                    assert!(result.converged && result.skipped.is_empty());
+                    result
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase_scaling);
+criterion_main!(benches);

@@ -3,26 +3,35 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--paper] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [corpus] [claims] [all]
+//! figures [--paper | --smoke] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9]
+//!         [corpus] [claims] [all]
 //! ```
 //!
 //! Without arguments every figure is produced at the quick scale; `--paper`
-//! switches to the run counts used in the paper (much slower).
+//! switches to the run counts used in the paper (much slower), `--smoke` to
+//! tiny sizes (CI uses this to keep every experiment path exercised).
 
 use std::time::Instant;
 
 use mapcomp_bench::{
-    chain_cache_experiment, corpus_report, edit_count_sweep, editing_experiment, format_row,
-    inclusion_sweep, schema_size_sweep, Configuration, Scale, FIGURE5_PRIMITIVES,
+    chain_cache_experiment, chase_scaling_experiment, corpus_report, edit_count_sweep,
+    editing_experiment, format_row, inclusion_sweep, schema_size_sweep, Configuration, Scale,
+    FIGURE5_PRIMITIVES,
 };
 use mapcomp_compose::ComposeConfig;
 use mapcomp_evolution::{run_editing, PrimitiveKind, ScenarioConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--paper") { Scale::Paper } else { Scale::Quick };
+    let scale = if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Quick
+    };
     let requested: Vec<&str> =
-        args.iter().map(String::as_str).filter(|a| *a != "--paper").collect();
+        args.iter().map(String::as_str).filter(|a| *a != "--paper" && *a != "--smoke").collect();
     let want = |name: &str| {
         requested.is_empty() || requested.contains(&name) || requested.contains(&"all")
     };
@@ -45,6 +54,9 @@ fn main() {
     }
     if want("fig8") {
         figure_8(scale);
+    }
+    if want("fig9") {
+        figure_9(scale);
     }
     if want("corpus") {
         corpus_table();
@@ -221,6 +233,44 @@ fn figure_8(scale: Scale) {
                     format!("{cold_ms:.2}"),
                     format!("{incr_ms:.2}"),
                     speedup,
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn figure_9(scale: Scale) {
+    println!("\n[Figure 9] chase scaling: naive vs. semi-naive data exchange");
+    let points = chase_scaling_experiment(scale);
+    let widths = vec![7, 7, 8, 12, 12, 9, 7];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "tuples".to_string(),
+                "depth".to_string(),
+                "rounds".to_string(),
+                "naive (ms)".to_string(),
+                "semi (ms)".to_string(),
+                "speedup".to_string(),
+                "equal".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in points {
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.size.to_string(),
+                    point.depth.to_string(),
+                    point.rounds.to_string(),
+                    format!("{:.2}", point.naive_time.as_secs_f64() * 1000.0),
+                    format!("{:.2}", point.semi_time.as_secs_f64() * 1000.0),
+                    format!("{:.1}x", point.speedup()),
+                    if point.results_agree { "yes" } else { "NO" }.to_string(),
                 ],
                 &widths
             )

@@ -5,11 +5,17 @@
 //!
 //! The `figures` binary prints, for each figure, the same series the paper
 //! plots; the Criterion benches under `benches/` time representative slices
-//! of the same workloads. Scale factors (`Scale::Quick` vs `Scale::Paper`)
-//! control how many runs/edits are simulated: the paper's full scale (100
-//! runs × 100 edits per configuration, 500 reconciliation tasks per point) is
-//! available but the quick scale reproduces the same qualitative shapes in
-//! seconds.
+//! of the same workloads. Two post-paper experiments ride along: Figure 8
+//! (incremental vs. cold catalog-chain recomposition) and Figure 9 (naive
+//! vs. semi-naive chase scaling in the data-exchange engine, the
+//! `ExchangeConfig::strategy` comparison).
+//!
+//! Scale factors control how many runs/edits are simulated: `Scale::Paper`
+//! is the paper's full scale (100 runs × 100 edits per configuration, 500
+//! reconciliation tasks per point), `Scale::Quick` reproduces the same
+//! qualitative shapes in seconds, and `Scale::Smoke` (the CI default,
+//! `figures --smoke all`) runs every experiment end to end at tiny sizes so
+//! the bench binaries cannot silently rot.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -17,7 +23,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use mapcomp_compose::{ComposeConfig, Registry};
+use mapcomp_compose::{ChaseStrategy, ComposeConfig, ExchangeConfig, Registry};
 use mapcomp_corpus::problems;
 use mapcomp_evolution::{
     run_editing, EditingRun, EventVector, PrimitiveKind, PrimitiveOptions, ReconcileConfig,
@@ -27,6 +33,9 @@ use mapcomp_evolution::{
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Tiny sizes for CI smoke runs: every experiment exercises its code
+    /// path end to end in seconds, so bench binaries cannot silently rot.
+    Smoke,
     /// Reduced run counts for CI and interactive use.
     Quick,
     /// The run counts reported in the paper.
@@ -37,6 +46,7 @@ impl Scale {
     /// Number of editing runs per configuration (paper: 100).
     pub fn editing_runs(self) -> usize {
         match self {
+            Scale::Smoke => 2,
             Scale::Quick => 8,
             Scale::Paper => 100,
         }
@@ -45,6 +55,7 @@ impl Scale {
     /// Number of edits per run (paper: 100).
     pub fn edits_per_run(self) -> usize {
         match self {
+            Scale::Smoke => 10,
             Scale::Quick => 40,
             Scale::Paper => 100,
         }
@@ -53,6 +64,7 @@ impl Scale {
     /// Reconciliation tasks per data point (paper: 500).
     pub fn reconcile_samples(self) -> usize {
         match self {
+            Scale::Smoke => 1,
             Scale::Quick => 3,
             Scale::Paper => 500,
         }
@@ -61,6 +73,7 @@ impl Scale {
     /// Edits per reconciliation branch (paper: 100, Figure 7 sweeps it).
     pub fn reconcile_edits(self) -> usize {
         match self {
+            Scale::Smoke => 8,
             Scale::Quick => 25,
             Scale::Paper => 100,
         }
@@ -282,7 +295,10 @@ pub fn schema_size_sweep(
     scale: Scale,
     base_seed: u64,
 ) -> BTreeMap<&'static str, Vec<ReconcilePoint>> {
-    let sizes: Vec<usize> = (1..=10).map(|i| i * 10).collect();
+    let sizes: Vec<usize> = match scale {
+        Scale::Smoke => vec![10, 30],
+        _ => (1..=10).map(|i| i * 10).collect(),
+    };
     let configs: [(&'static str, ComposeConfig); 3] = [
         ("complete", ComposeConfig::default()),
         ("no view unfolding", ComposeConfig::without_view_unfolding()),
@@ -318,6 +334,7 @@ pub fn schema_size_sweep(
 /// Figure 7: fraction eliminated and time vs. number of edits per branch.
 pub fn edit_count_sweep(scale: Scale, base_seed: u64) -> Vec<ReconcilePoint> {
     let counts: Vec<usize> = match scale {
+        Scale::Smoke => vec![10, 20],
         Scale::Quick => vec![10, 30, 50, 70, 90],
         Scale::Paper => (0..=10).map(|i| 10 + i * 20).collect(),
     };
@@ -400,6 +417,7 @@ pub struct ChainCachePoint {
 /// Chain lengths measured per scale.
 pub fn chain_lengths(scale: Scale) -> Vec<usize> {
     match scale {
+        Scale::Smoke => vec![2, 4],
         Scale::Quick => vec![2, 4, 8, 12],
         Scale::Paper => vec![2, 4, 8, 16, 32, 64],
     }
@@ -482,6 +500,167 @@ pub fn chain_cache_experiment(scale: Scale, base_seed: u64) -> Vec<ChainCachePoi
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Figure 9 (new experiment): naive vs. semi-naive chase scaling
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 9 chase-scaling experiment: the same
+/// data-exchange scenario chased under both strategies of
+/// [`mapcomp_compose::ChaseStrategy`].
+#[derive(Debug, Clone)]
+pub struct ChaseScalingPoint {
+    /// Tuples per source relation.
+    pub size: usize,
+    /// Length of the target-to-target copy chain (≈ chase rounds).
+    pub depth: usize,
+    /// Wall-clock time of the naive chase.
+    pub naive_time: Duration,
+    /// Wall-clock time of the semi-naive chase.
+    pub semi_time: Duration,
+    /// Rounds until fixpoint (identical across strategies by construction).
+    pub rounds: usize,
+    /// Did the two strategies produce identical targets, skip sets and
+    /// convergence flags?
+    pub results_agree: bool,
+}
+
+impl ChaseScalingPoint {
+    /// Naive time over semi-naive time.
+    pub fn speedup(&self) -> f64 {
+        let semi = self.semi_time.as_secs_f64();
+        if semi > 0.0 {
+            self.naive_time.as_secs_f64() / semi
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Source-relation sizes per scale.
+pub fn chase_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![20, 40],
+        Scale::Quick => vec![40, 80, 160, 320],
+        Scale::Paper => vec![100, 200, 400, 800],
+    }
+}
+
+/// Copy-chain depth per scale.
+pub fn chase_depth(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 6,
+        Scale::Quick => 10,
+        Scale::Paper => 12,
+    }
+}
+
+/// Build the Figure 9 scenario: a source relation copied into a chain of
+/// `depth` target-to-target inclusions, plus a final join rule matching the
+/// chain's tail against a second source relation. The chain forces one chase
+/// round per link (the worst case for full re-evaluation), and the join rule
+/// exercises the indexed premise plans.
+#[allow(clippy::type_complexity)]
+pub fn chase_scenario(
+    size: usize,
+    depth: usize,
+) -> (
+    Vec<mapcomp_algebra::Constraint>,
+    mapcomp_algebra::Signature,
+    mapcomp_algebra::Signature,
+    mapcomp_algebra::Instance,
+) {
+    use mapcomp_algebra::{parse_constraints, Instance, Signature, Value};
+
+    let mut arities: Vec<(String, usize)> =
+        vec![("R".to_string(), 2), ("S".to_string(), 2), ("J".to_string(), 2)];
+    for link in 0..=depth {
+        arities.push((format!("T{link}"), 2));
+    }
+    let full = Signature::from_arities(arities.clone());
+    let target = Signature::from_arities(
+        arities.iter().filter(|(name, _)| name != "R" && name != "S").cloned(),
+    );
+
+    // Rules are listed against the data-flow direction (join first, chain
+    // reversed, the source rule last), so each round unlocks exactly one
+    // link: the worst case for a strategy that re-evaluates every rule's
+    // full premise every round.
+    let mut text = format!("project[0,3](select[#1 = #2](T{depth} * S)) <= J; ");
+    for link in (0..depth).rev() {
+        text.push_str(&format!("T{link} <= T{}; ", link + 1));
+    }
+    text.push_str("R <= T0");
+    let constraints = parse_constraints(&text).expect("scenario parses").into_vec();
+
+    let mut source = Instance::new();
+    for i in 0..size as i64 {
+        let key = size as i64 + i;
+        source.insert("R", vec![Value::Int(i), Value::Int(key)]);
+        source.insert("S", vec![Value::Int(key), Value::Int(i)]);
+    }
+    (constraints, full, target, source)
+}
+
+/// Exchange configuration sized for the Figure 9 scenario (enough rounds for
+/// the chain plus the join, and a budget admitting the naive strategy's full
+/// `T × S` product at every measured size).
+pub fn chase_scaling_config(depth: usize) -> ExchangeConfig {
+    ExchangeConfig {
+        max_rounds: depth + 5,
+        max_nulls: 10_000,
+        eval_budget: 5_000_000,
+        ..ExchangeConfig::default()
+    }
+}
+
+/// Run the Figure 9 experiment: chase each scenario under both strategies,
+/// timing them and checking the results coincide.
+pub fn chase_scaling_experiment(scale: Scale) -> Vec<ChaseScalingPoint> {
+    let registry = Registry::standard();
+    let depth = chase_depth(scale);
+    chase_sizes(scale)
+        .into_iter()
+        .map(|size| {
+            let (constraints, full, target, source) = chase_scenario(size, depth);
+            let config = chase_scaling_config(depth);
+            let started = std::time::Instant::now();
+            let naive = mapcomp_compose::exchange(
+                &constraints,
+                &full,
+                &target,
+                &source,
+                &registry,
+                &config.clone().with_strategy(ChaseStrategy::Naive),
+            );
+            let naive_time = started.elapsed();
+            let started = std::time::Instant::now();
+            let semi = mapcomp_compose::exchange(
+                &constraints,
+                &full,
+                &target,
+                &source,
+                &registry,
+                &config.with_strategy(ChaseStrategy::SemiNaive),
+            );
+            let semi_time = started.elapsed();
+            let results_agree = naive.target == semi.target
+                && naive.converged
+                && semi.converged
+                && naive.skipped.is_empty()
+                && semi.skipped.is_empty()
+                && naive.rounds == semi.rounds;
+            ChaseScalingPoint {
+                size,
+                depth,
+                naive_time,
+                semi_time,
+                rounds: semi.rounds,
+                results_agree,
+            }
+        })
+        .collect()
+}
+
 /// Formatting helper: a fixed-width row of cells.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -533,6 +712,28 @@ mod tests {
     fn format_row_aligns() {
         let row = format_row(&["a".into(), "bb".into()], &[3, 4]);
         assert_eq!(row, "  a    bb");
+    }
+
+    #[test]
+    fn chase_scaling_semi_naive_beats_naive() {
+        let points = chase_scaling_experiment(Scale::Quick);
+        assert_eq!(points.len(), chase_sizes(Scale::Quick).len());
+        for point in &points {
+            assert!(point.results_agree, "strategies disagree at size {}: {point:?}", point.size);
+            assert_eq!(point.rounds, point.depth + 3, "chain + join + fixpoint rounds");
+        }
+        // The acceptance criterion: ≥ 3x on the largest scenario. The gap is
+        // structural (the naive strategy re-materialises every premise and
+        // the full T × S product every round), so the margin is wide.
+        let largest = points.last().expect("non-empty");
+        assert!(
+            largest.speedup() >= 3.0,
+            "semi-naive speedup at size {} is only {:.2}x (naive {:?}, semi-naive {:?})",
+            largest.size,
+            largest.speedup(),
+            largest.naive_time,
+            largest.semi_time
+        );
     }
 
     #[test]

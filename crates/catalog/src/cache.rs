@@ -1,5 +1,5 @@
 //! The memo cache: content-addressed pairwise compositions with
-//! dependency-tracked invalidation.
+//! dependency-tracked invalidation and bounded capacity.
 //!
 //! Every pairwise composition performed by the chain driver is stored under
 //! the key `(left-hash, right-hash, config-hash)`. Because hashes are
@@ -10,6 +10,12 @@
 //! (its provenance, in the spirit of Grahne & Thomo's annotated rewritings),
 //! and [`MemoCache::invalidate`] drops exactly the entries whose provenance
 //! mentions an edited mapping, leaving unrelated prefixes warm.
+//!
+//! Within a long session the cache can also be given a capacity
+//! ([`MemoCache::with_capacity`]): once the number of live entries would
+//! exceed it, the least-recently-used entry is evicted (and counted in
+//! [`CacheStats::evictions`]). Losing an entry costs one recomposition,
+//! never correctness.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -25,9 +31,11 @@ pub struct MemoEntry {
     pub chain: ComposedChain,
     /// How many times this entry has been served.
     pub hits: u64,
+    /// Recency stamp (monotone per cache); larger = more recently used.
+    last_used: u64,
 }
 
-/// Cache statistics (cumulative since construction).
+/// Cache statistics (cumulative; survive sidecar persistence).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups that found an entry.
@@ -38,21 +46,46 @@ pub struct CacheStats {
     pub insertions: usize,
     /// Entries dropped by invalidation.
     pub invalidated: usize,
+    /// Entries dropped by LRU capacity eviction.
+    pub evictions: usize,
 }
 
-/// Content-addressed memo cache with dependency-tracked invalidation.
+/// Content-addressed memo cache with dependency-tracked invalidation and
+/// optional LRU capacity.
 #[derive(Debug, Clone, Default)]
 pub struct MemoCache {
     entries: BTreeMap<MemoKey, MemoEntry>,
     /// Mapping name → keys of entries whose provenance mentions it.
     by_dependency: BTreeMap<String, BTreeSet<MemoKey>>,
+    /// Recency stamp → key, for O(log n) LRU eviction.
+    recency: BTreeMap<u64, MemoKey>,
+    tick: u64,
+    capacity: Option<usize>,
     stats: CacheStats,
 }
 
 impl MemoCache {
-    /// Create an empty cache.
+    /// Create an empty, unbounded cache.
     pub fn new() -> Self {
         MemoCache::default()
+    }
+
+    /// Create an empty cache holding at most `capacity` entries (`None` for
+    /// unbounded).
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
+        MemoCache { capacity, ..MemoCache::default() }
+    }
+
+    /// The configured capacity, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Change the capacity, evicting least-recently-used entries if the
+    /// cache is over the new bound. Returns how many entries were evicted.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) -> usize {
+        self.capacity = capacity;
+        self.enforce_capacity(0)
     }
 
     /// Number of live entries.
@@ -70,13 +103,54 @@ impl MemoCache {
         self.stats
     }
 
-    /// Look up a pairwise composition; counts a hit or miss.
+    /// Overwrite the cumulative statistics (used when restoring a persisted
+    /// cache, so lifetime counters survive across CLI invocations).
+    pub fn restore_stats(&mut self, stats: CacheStats) {
+        self.stats = stats;
+    }
+
+    fn touch(&mut self, key: MemoKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            self.recency.remove(&entry.last_used);
+            entry.last_used = tick;
+            self.recency.insert(tick, key);
+        }
+    }
+
+    /// Evict least-recently-used entries until at most `capacity - headroom`
+    /// entries remain; returns how many were evicted.
+    fn enforce_capacity(&mut self, headroom: usize) -> usize {
+        let Some(capacity) = self.capacity else { return 0 };
+        let limit = capacity.saturating_sub(headroom);
+        let mut evicted = 0;
+        while self.entries.len() > limit {
+            let Some((&stamp, &key)) = self.recency.iter().next() else { break };
+            self.recency.remove(&stamp);
+            if let Some(entry) = self.entries.remove(&key) {
+                for dependency in &entry.chain.deps {
+                    if let Some(set) = self.by_dependency.get_mut(dependency) {
+                        set.remove(&key);
+                    }
+                }
+                evicted += 1;
+            }
+        }
+        self.stats.evictions += evicted;
+        evicted
+    }
+
+    /// Look up a pairwise composition; counts a hit or miss and refreshes
+    /// the entry's recency.
     pub fn lookup(&mut self, key: MemoKey) -> Option<ComposedChain> {
         match self.entries.get_mut(&key) {
             Some(entry) => {
                 entry.hits += 1;
                 self.stats.hits += 1;
-                Some(entry.chain.clone())
+                let chain = entry.chain.clone();
+                self.touch(key);
+                Some(chain)
             }
             None => {
                 self.stats.misses += 1;
@@ -92,11 +166,27 @@ impl MemoCache {
     }
 
     /// Insert a composed segment under its key, indexing its provenance.
+    /// When the cache is at capacity, the least-recently-used entry is
+    /// evicted first.
     pub fn insert(&mut self, key: MemoKey, chain: ComposedChain) {
+        if self.capacity == Some(0) {
+            return;
+        }
+        if let Some(previous) = self.entries.remove(&key) {
+            self.recency.remove(&previous.last_used);
+            for dependency in &previous.chain.deps {
+                if let Some(set) = self.by_dependency.get_mut(dependency) {
+                    set.remove(&key);
+                }
+            }
+        }
+        self.enforce_capacity(1);
         for dependency in &chain.deps {
             self.by_dependency.entry(dependency.clone()).or_default().insert(key);
         }
-        self.entries.insert(key, MemoEntry { chain, hits: 0 });
+        self.tick += 1;
+        self.recency.insert(self.tick, key);
+        self.entries.insert(key, MemoEntry { chain, hits: 0, last_used: self.tick });
         self.stats.insertions += 1;
     }
 
@@ -109,6 +199,7 @@ impl MemoCache {
         for key in keys {
             if let Some(entry) = self.entries.remove(&key) {
                 dropped += 1;
+                self.recency.remove(&entry.last_used);
                 // Unindex from the entry's other dependencies.
                 for dependency in &entry.chain.deps {
                     if let Some(set) = self.by_dependency.get_mut(dependency) {
@@ -137,12 +228,21 @@ impl MemoCache {
         let dropped = self.entries.len();
         self.entries.clear();
         self.by_dependency.clear();
+        self.recency.clear();
         self.stats.invalidated += dropped;
     }
 
     /// Iterate over live entries in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&MemoKey, &MemoEntry)> {
         self.entries.iter()
+    }
+
+    /// Iterate over live entries from least- to most-recently used. The
+    /// sidecar persists entries in this order so that a restored cache
+    /// re-acquires the same eviction order (re-insertion assigns recency
+    /// stamps in iteration order).
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&MemoKey, &MemoEntry)> {
+        self.recency.values().filter_map(move |key| self.entries.get_key_value(key))
     }
 }
 
@@ -169,7 +269,10 @@ mod tests {
         assert!(cache.lookup((1, 2, 3)).is_none());
         cache.insert((1, 2, 3), segment("m1", &["m1"], 9));
         assert!(cache.lookup((1, 2, 3)).is_some());
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, insertions: 1, invalidated: 0 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 1, misses: 1, insertions: 1, invalidated: 0, evictions: 0 }
+        );
     }
 
     #[test]
@@ -208,5 +311,69 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().invalidated, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut cache = MemoCache::with_capacity(Some(2));
+        cache.insert((1, 0, 0), segment("a", &["a"], 1));
+        cache.insert((2, 0, 0), segment("b", &["b"], 2));
+        // Touch `a` so `b` becomes the LRU entry.
+        assert!(cache.lookup((1, 0, 0)).is_some());
+        cache.insert((3, 0, 0), segment("c", &["c"], 3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&(1, 0, 0)));
+        assert!(!cache.contains(&(2, 0, 0)), "LRU entry must be evicted");
+        assert!(cache.contains(&(3, 0, 0)));
+        assert_eq!(cache.stats().evictions, 1);
+        // Eviction also unindexes provenance.
+        assert!(cache.dependents("b").is_empty());
+        // Re-inserting an existing key does not evict anything.
+        cache.insert((3, 0, 0), segment("c", &["c"], 3));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut cache = MemoCache::with_capacity(Some(0));
+        cache.insert((1, 0, 0), segment("a", &["a"], 1));
+        assert!(cache.is_empty());
+        assert!(cache.lookup((1, 0, 0)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_down() {
+        let mut cache = MemoCache::new();
+        for i in 0..5u64 {
+            cache.insert((i, 0, 0), segment(&format!("m{i}"), &["m"], i));
+        }
+        assert_eq!(cache.set_capacity(Some(2)), 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 3);
+        // The two most recently inserted entries survive.
+        assert!(cache.contains(&(3, 0, 0)));
+        assert!(cache.contains(&(4, 0, 0)));
+    }
+
+    #[test]
+    fn restored_stats_accumulate() {
+        let mut cache = MemoCache::new();
+        cache.restore_stats(CacheStats {
+            hits: 10,
+            misses: 5,
+            insertions: 7,
+            invalidated: 2,
+            evictions: 1,
+        });
+        cache.insert((1, 0, 0), segment("a", &["a"], 1));
+        assert!(cache.lookup((1, 0, 0)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 11);
+        assert_eq!(stats.insertions, 8);
+        assert_eq!(stats.evictions, 1);
     }
 }

@@ -70,7 +70,9 @@ pub use chain::{compose_chain, compose_pair, ChainOptions, ChainResult, Composed
 pub use error::CatalogError;
 pub use graph::{reachable, resolve_path};
 pub use hash::{hash_config, hash_mapping, hash_signature, ContentHash};
-pub use persist::{load_cache, save_cache};
+pub use persist::{
+    load_cache, load_state, load_versions, save_cache, save_state, save_versions, VersionManifest,
+};
 pub use replay::{replay_editing, CatalogReplay, ReplayRecord};
 pub use session::{Session, SessionConfig, SessionStats};
 pub use store::{Catalog, MappingEntry, SchemaEntry};

@@ -1,11 +1,22 @@
-//! Plain-text persistence of the memo cache.
+//! Plain-text persistence of the sidecar session state: the memo cache,
+//! cumulative cache statistics, and catalog version counters.
 //!
 //! The catalog itself round-trips through the document format
-//! ([`crate::store::Catalog::to_document_string`]); this module does the same
-//! for the memo cache so a command-line session can keep its warm segments
-//! across invocations. Each entry is a small header (the memo key, the
-//! segment hash, endpoints, path, provenance) followed by an embedded
-//! document holding the composed mapping and the residual signature:
+//! ([`crate::store::Catalog::to_document_string`]); that format carries
+//! *content* only. Everything else a command-line session wants to keep
+//! across invocations lives in the sidecar rendered here:
+//!
+//! * **Versions** — `version schema <name> <v> <hash>` and
+//!   `version mapping <name> <v> <v:hash> …` lines record each entry's
+//!   version counter and hash history, so versions no longer reset per CLI
+//!   invocation ([`Catalog::restore_versions`] re-applies them, advancing
+//!   the counter when the on-disk content was edited out of session).
+//! * **Statistics** — one `stats …` line with the cumulative
+//!   [`crate::cache::CacheStats`] counters (hits, misses, insertions,
+//!   invalidations, evictions).
+//! * **Memo entries** — a small header (the memo key, the segment hash,
+//!   endpoints, path, provenance) followed by an embedded document holding
+//!   the composed mapping and the residual signature:
 //!
 //! ```text
 //! entry <left> <right> <config> <hash>
@@ -20,16 +31,118 @@
 //! end-document
 //! ```
 //!
-//! Unknown or corrupted entries are skipped on load (a memo cache is only an
-//! accelerator; losing an entry costs one recomposition, never correctness).
+//! Unknown or corrupted lines are skipped on load (the sidecar is only an
+//! accelerator plus bookkeeping; losing an entry costs one recomposition,
+//! never correctness).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use mapcomp_algebra::{parse_document, Mapping, Signature};
 
-use crate::cache::MemoCache;
+use crate::cache::{CacheStats, MemoCache};
 use crate::chain::ComposedChain;
+use crate::store::Catalog;
+
+/// Persisted version counters and hash history for catalog entries,
+/// decoupled from the content-only document format.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionManifest {
+    /// Schema name → (version, content hash at that version).
+    pub schemas: BTreeMap<String, (u64, u64)>,
+    /// Mapping name → (version, hash history oldest-first).
+    pub mappings: BTreeMap<String, (u64, Vec<(u64, u64)>)>,
+}
+
+impl VersionManifest {
+    /// Capture the current versions and history of a catalog.
+    pub fn of(catalog: &Catalog) -> Self {
+        let mut manifest = VersionManifest::default();
+        for entry in catalog.schemas() {
+            manifest.schemas.insert(entry.name.clone(), (entry.version, entry.hash.0));
+        }
+        for entry in catalog.mappings() {
+            let history = entry.history.iter().map(|&(v, h)| (v, h.0)).collect();
+            manifest.mappings.insert(entry.name.clone(), (entry.version, history));
+        }
+        manifest
+    }
+
+    /// True if nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty() && self.mappings.is_empty()
+    }
+}
+
+/// Render the version manifest of a catalog as sidecar lines.
+pub fn save_versions(catalog: &Catalog) -> String {
+    let manifest = VersionManifest::of(catalog);
+    let mut out = String::new();
+    for (name, (version, hash)) in &manifest.schemas {
+        let _ = writeln!(out, "version schema {name} {version} {hash:016x}");
+    }
+    for (name, (version, history)) in &manifest.mappings {
+        let rendered: Vec<String> = history.iter().map(|(v, h)| format!("{v}:{h:016x}")).collect();
+        let _ = writeln!(out, "version mapping {name} {version} {}", rendered.join(" "));
+    }
+    out
+}
+
+/// Parse `version …` lines out of a sidecar rendering; malformed lines are
+/// skipped.
+pub fn load_versions(text: &str) -> VersionManifest {
+    let mut manifest = VersionManifest::default();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("version ") else { continue };
+        let mut parts = rest.split_whitespace();
+        let (Some(kind), Some(name), Some(version)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let Ok(version) = version.parse::<u64>() else { continue };
+        match kind {
+            "schema" => {
+                let Some(hash) = parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()) else {
+                    continue;
+                };
+                manifest.schemas.insert(name.to_string(), (version, hash));
+            }
+            "mapping" => {
+                let mut history = Vec::new();
+                let mut valid = true;
+                for part in parts {
+                    let Some((v, h)) = part.split_once(':') else {
+                        valid = false;
+                        break;
+                    };
+                    let (Ok(v), Ok(h)) = (v.parse::<u64>(), u64::from_str_radix(h, 16)) else {
+                        valid = false;
+                        break;
+                    };
+                    history.push((v, h));
+                }
+                if valid && !history.is_empty() {
+                    manifest.mappings.insert(name.to_string(), (version, history));
+                }
+            }
+            _ => {}
+        }
+    }
+    manifest
+}
+
+/// Render the whole sidecar: versions, statistics, memo entries.
+pub fn save_state(catalog: &Catalog, cache: &MemoCache) -> String {
+    let mut out = save_versions(catalog);
+    out.push_str(&save_cache(cache));
+    out
+}
+
+/// Parse a sidecar into its version manifest and cache (with restored
+/// statistics). Apply the manifest via [`Catalog::restore_versions`].
+pub fn load_state(text: &str) -> (VersionManifest, MemoCache) {
+    (load_versions(text), load_cache(text))
+}
 
 fn write_schema(out: &mut String, name: &str, sig: &Signature) {
     let _ = write!(out, "schema {name} {{ ");
@@ -48,7 +161,15 @@ fn write_schema(out: &mut String, name: &str, sig: &Signature) {
 pub fn save_cache(cache: &MemoCache) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "// mapcomp memo cache: {} entries", cache.len());
-    for ((left, right, config), entry) in cache.iter() {
+    let stats = cache.stats();
+    let _ = writeln!(
+        out,
+        "stats {} {} {} {} {}",
+        stats.hits, stats.misses, stats.insertions, stats.invalidated, stats.evictions
+    );
+    // Least-recently-used first, so a capacity-bounded session restoring
+    // this sidecar evicts in the same order the saving session would have.
+    for ((left, right, config), entry) in cache.iter_lru() {
         let chain = &entry.chain;
         let _ = writeln!(out, "entry {left:016x} {right:016x} {config:016x} {:016x}", chain.hash);
         let _ = writeln!(out, "endpoints {} -> {}", chain.source, chain.target);
@@ -74,9 +195,26 @@ pub fn save_cache(cache: &MemoCache) -> String {
 /// result's `len()`.
 pub fn load_cache(text: &str) -> MemoCache {
     let mut cache = MemoCache::new();
+    let mut persisted_stats: Option<CacheStats> = None;
     let mut lines = text.lines().peekable();
     while let Some(line) = lines.next() {
         let line = line.trim();
+        if let Some(rest) = line.strip_prefix("stats ") {
+            // Strict parse: any malformed token rejects the whole line
+            // (skipping a corrupt token would shift the remaining numbers
+            // into the wrong counters).
+            let numbers: Result<Vec<usize>, _> = rest.split_whitespace().map(str::parse).collect();
+            if let Ok([hits, misses, insertions, invalidated, evictions]) = numbers.as_deref() {
+                persisted_stats = Some(CacheStats {
+                    hits: *hits,
+                    misses: *misses,
+                    insertions: *insertions,
+                    invalidated: *invalidated,
+                    evictions: *evictions,
+                });
+            }
+            continue;
+        }
         let Some(rest) = line.strip_prefix("entry ") else { continue };
         let mut key_parts = rest.split_whitespace();
         let (Some(left), Some(right), Some(config), Some(hash)) = (
@@ -136,6 +274,11 @@ pub fn load_cache(text: &str) -> MemoCache {
             deps,
         };
         cache.insert((left, right, config), chain);
+    }
+    // The persisted counters already include the insertions replayed above;
+    // restoring last keeps them cumulative rather than double-counted.
+    if let Some(stats) = persisted_stats {
+        cache.restore_stats(stats);
     }
     cache
 }
@@ -210,5 +353,86 @@ mod tests {
         assert!(restored.is_empty());
         let restored = load_cache("");
         assert!(restored.is_empty());
+        let manifest = load_versions("version schema\nversion mapping m zz\nversion bogus x 1 2");
+        assert!(manifest.is_empty());
+        // A corrupt token must reject the whole stats line, not shift the
+        // remaining counters into the wrong fields.
+        let restored = load_cache("stats 10 x5 3 2 1 0\n");
+        assert_eq!(restored.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn restored_cache_preserves_eviction_order() {
+        let mut session = warm_session();
+        // Touch the chain's first pairwise segment so it becomes the most
+        // recently used entry despite its key order.
+        let refreshed: Vec<_> = session.cache().iter().map(|(key, _)| *key).collect();
+        let hot = refreshed[0];
+        let mut cache = load_cache(&save_cache(session.cache()));
+        assert!(cache.lookup(hot).is_some());
+        let rendered = save_cache(&cache);
+        let mut restored = load_cache(&rendered);
+        // Shrinking to one entry must keep the most recently used one.
+        restored.set_capacity(Some(1));
+        assert_eq!(restored.len(), 1);
+        assert!(restored.contains(&hot), "restored eviction order must follow recency");
+        session.restore_cache(restored);
+    }
+
+    #[test]
+    fn cache_stats_survive_the_sidecar() {
+        let session = warm_session();
+        let before = session.cache().stats();
+        assert!(before.insertions > 0);
+        let restored = load_cache(&save_cache(session.cache()));
+        assert_eq!(restored.stats(), before, "lifetime counters persist, not double-counted");
+    }
+
+    #[test]
+    fn versions_and_history_round_trip_through_the_sidecar() {
+        let mut session = warm_session();
+        // Edit one mapping twice: version 3, three-entry history.
+        for constraints in ["project[0](R1) <= R2", "R1 <= project[0](R2)"] {
+            session.update_mapping("m1", parse_constraints(constraints).unwrap()).unwrap();
+        }
+        let catalog = session.catalog();
+        assert_eq!(catalog.mapping("m1").unwrap().version, 3);
+        let sidecar = save_state(catalog, session.cache());
+
+        // Simulate a fresh CLI invocation: rebuild the catalog from its
+        // content-only document, then re-apply the persisted versions.
+        let document = mapcomp_algebra::parse_document(&catalog.to_document_string()).unwrap();
+        let mut rebuilt = Catalog::new();
+        rebuilt.from_document(&document).unwrap();
+        assert_eq!(rebuilt.mapping("m1").unwrap().version, 1, "document carries content only");
+        let (manifest, _) = load_state(&sidecar);
+        let adopted = rebuilt.restore_versions(&manifest);
+        assert!(adopted >= 5);
+        assert_eq!(rebuilt.mapping("m1").unwrap().version, 3);
+        assert_eq!(rebuilt.mapping("m1").unwrap().history.len(), 3);
+        assert_eq!(rebuilt.mapping("m0").unwrap().version, 1);
+        assert_eq!(rebuilt.schema("s0").unwrap().version, 1);
+        assert_eq!(rebuilt.mapping("m1").unwrap().hash, catalog.mapping("m1").unwrap().hash);
+    }
+
+    #[test]
+    fn out_of_session_edits_advance_the_restored_version() {
+        let session = warm_session();
+        let sidecar = save_state(session.catalog(), session.cache());
+        // The document is edited by hand between invocations: m1 has new
+        // content, so its recorded hash no longer matches.
+        let mut rebuilt = session.catalog().clone();
+        rebuilt.update_mapping("m1", parse_constraints("project[0](R1) <= R2").unwrap()).unwrap();
+        let document = mapcomp_algebra::parse_document(&rebuilt.to_document_string()).unwrap();
+        let mut fresh = Catalog::new();
+        fresh.from_document(&document).unwrap();
+        let (manifest, _) = load_state(&sidecar);
+        fresh.restore_versions(&manifest);
+        // Recorded version 1 + one out-of-session edit = version 2, with the
+        // new hash appended to the history.
+        let entry = fresh.mapping("m1").unwrap();
+        assert_eq!(entry.version, 2);
+        assert_eq!(entry.history.len(), 2);
+        assert_eq!(entry.history.last().unwrap().1, entry.hash);
     }
 }

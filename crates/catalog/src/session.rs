@@ -26,6 +26,10 @@ pub struct SessionConfig {
     pub compose: ComposeConfig,
     /// Chain options (strict vs. best-effort elimination).
     pub chain: ChainOptions,
+    /// Maximum number of live memo-cache entries (`None` = unbounded).
+    /// When the bound is hit, least-recently-used entries are evicted; see
+    /// [`crate::cache::CacheStats::evictions`].
+    pub cache_capacity: Option<usize>,
 }
 
 /// Cumulative session statistics.
@@ -63,11 +67,12 @@ impl Session {
 
     /// Create a session with an explicit registry and configuration.
     pub fn with_config(catalog: Catalog, registry: Registry, config: SessionConfig) -> Self {
+        let cache = MemoCache::with_capacity(config.cache_capacity);
         Session {
             catalog,
             registry,
             config,
-            cache: MemoCache::new(),
+            cache,
             compose_calls: 0,
             paths_resolved: 0,
             chains_composed: 0,
@@ -207,7 +212,9 @@ impl Session {
     /// Replace the memo cache, e.g. with one restored from a sidecar file
     /// (see [`crate::persist`]). Content addressing makes this safe: entries
     /// that no longer match any current mapping hash are simply never hit.
-    pub fn restore_cache(&mut self, cache: MemoCache) {
+    /// The session's configured capacity is applied to the restored cache.
+    pub fn restore_cache(&mut self, mut cache: MemoCache) {
+        cache.set_capacity(self.config.cache_capacity);
         self.cache = cache;
     }
 }
@@ -309,6 +316,24 @@ mod tests {
         session.add_schema("v2", Signature::from_arities([("R2", 1), ("Extra", 2)]));
         let after = session.compose_path("v0", "v3").unwrap();
         assert!(after.compose_calls > 0, "schema edit must force recomposition");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_but_stays_correct() {
+        let hops = 6;
+        let config = SessionConfig { cache_capacity: Some(2), ..SessionConfig::default() };
+        let mut session = chain_session(hops);
+        let catalog = session.catalog().clone();
+        session = Session::with_config(catalog, mapcomp_compose::Registry::standard(), config);
+        let first = session.compose_path("v0", &format!("v{hops}")).unwrap();
+        assert_eq!(first.compose_calls, hops - 1);
+        let stats = session.stats();
+        assert_eq!(stats.cache_entries, 2, "capacity bounds live entries");
+        assert!(stats.cache.evictions > 0, "composing a long chain must evict");
+        // Recomposition still works (paying for the evicted segments again).
+        let again = session.compose_path("v0", &format!("v{hops}")).unwrap();
+        assert!(again.is_complete());
+        assert!(again.compose_calls > 0);
     }
 
     #[test]

@@ -233,6 +233,37 @@ impl Catalog {
         Ok(touched)
     }
 
+    /// Re-apply persisted version counters and hash history (see
+    /// [`crate::persist::VersionManifest`]). The document format carries
+    /// content only, so a catalog rebuilt from it restarts every entry at
+    /// version 1; this adopts the recorded version when the current content
+    /// hash matches the recorded one, and treats a mismatch as one further
+    /// out-of-session edit (recorded version + 1, history extended). Returns
+    /// the number of entries whose version was restored or advanced.
+    pub fn restore_versions(&mut self, manifest: &crate::persist::VersionManifest) -> usize {
+        let mut adopted = 0;
+        for (name, &(version, hash)) in &manifest.schemas {
+            if let Some(entry) = self.schemas.get_mut(name) {
+                entry.version = if entry.hash.0 == hash { version } else { version + 1 };
+                adopted += 1;
+            }
+        }
+        for (name, (version, history)) in &manifest.mappings {
+            if let Some(entry) = self.mappings.get_mut(name) {
+                let recorded_current = history.last().map(|(_, hash)| *hash);
+                entry.history = history.iter().map(|&(v, h)| (v, ContentHash(h))).collect();
+                if recorded_current == Some(entry.hash.0) {
+                    entry.version = *version;
+                } else {
+                    entry.version = version + 1;
+                    entry.history.push((entry.version, entry.hash));
+                }
+                adopted += 1;
+            }
+        }
+        adopted
+    }
+
     /// Render the whole catalog in the plain-text document format; the output
     /// re-parses with `parse_document` into an equivalent catalog.
     pub fn to_document_string(&self) -> String {

@@ -52,23 +52,22 @@ pub fn register_left_outer_join(registry: &mut Registry) {
             [left, right] if *left >= 1 && *right >= 1 => Some(left + right - 1),
             _ => None,
         })
-        .with_eval(|rels, arities| {
+        .with_eval(|rels, arities, sink| {
             let right_arity = arities[1];
-            let mut out = Relation::new();
             for (lt, matches) in join_on_first(rels) {
                 if matches.is_empty() {
                     let mut padded = lt.clone();
                     padded.extend(std::iter::repeat_n(Value::Null, right_arity.saturating_sub(1)));
-                    out.insert(padded);
+                    sink.push(padded)?;
                 } else {
                     for rt in matches {
                         let mut joined = lt.clone();
                         joined.extend(rt.into_iter().skip(1));
-                        out.insert(joined);
+                        sink.push(joined)?;
                     }
                 }
             }
-            out
+            Ok(())
         }),
     );
     registry.set_rules(
@@ -104,12 +103,13 @@ pub fn register_semijoin(registry: &mut Registry) {
             [left, right] if *left >= 1 && *right >= 1 => Some(*left),
             _ => None,
         })
-        .with_eval(|rels, _| {
-            join_on_first(rels)
-                .into_iter()
-                .filter(|(_, matches)| !matches.is_empty())
-                .map(|(lt, _)| lt)
-                .collect()
+        .with_eval(|rels, _, sink| {
+            for (lt, matches) in join_on_first(rels) {
+                if !matches.is_empty() {
+                    sink.push(lt)?;
+                }
+            }
+            Ok(())
         }),
     );
     registry.set_rules(
@@ -134,12 +134,13 @@ pub fn register_antijoin(registry: &mut Registry) {
             [left, right] if *left >= 1 && *right >= 1 => Some(*left),
             _ => None,
         })
-        .with_eval(|rels, _| {
-            join_on_first(rels)
-                .into_iter()
-                .filter(|(_, matches)| matches.is_empty())
-                .map(|(lt, _)| lt)
-                .collect()
+        .with_eval(|rels, _, sink| {
+            for (lt, matches) in join_on_first(rels) {
+                if matches.is_empty() {
+                    sink.push(lt)?;
+                }
+            }
+            Ok(())
         }),
     );
     registry.set_rules(
@@ -160,23 +161,37 @@ pub fn register_antijoin(registry: &mut Registry) {
 /// Register `tc` (transitive closure of a binary relation).
 pub fn register_transitive_closure(registry: &mut Registry) {
     registry.register(
-        OperatorDef::new("tc", 1, |arities| (arities == [2]).then_some(2)).with_eval(|rels, _| {
-            let mut closure = rels[0].clone();
-            loop {
-                let mut next = closure.clone();
-                for a in closure.iter() {
-                    for b in closure.iter() {
-                        if a.len() == 2 && b.len() == 2 && a[1] == b[0] {
-                            next.insert(vec![a[0].clone(), b[1].clone()]);
+        OperatorDef::new("tc", 1, |arities| (arities == [2]).then_some(2)).with_eval(
+            |rels, _, sink| {
+                // Emit through the sink from the start so the (potentially
+                // quadratic) closure is charged against the tuple budget row
+                // by row rather than after full materialisation.
+                for edge in rels[0].iter() {
+                    sink.push(edge.clone())?;
+                }
+                loop {
+                    let mut additions = Vec::new();
+                    let closure = sink.relation();
+                    for a in closure.iter() {
+                        for b in closure.iter() {
+                            if a.len() == 2 && b.len() == 2 && a[1] == b[0] {
+                                let derived = vec![a[0].clone(), b[1].clone()];
+                                if !closure.contains(&derived) {
+                                    additions.push(derived);
+                                }
+                            }
                         }
                     }
+                    let mut grew = false;
+                    for derived in additions {
+                        grew |= sink.push(derived)?;
+                    }
+                    if !grew {
+                        return Ok(());
+                    }
                 }
-                if next == closure {
-                    return closure;
-                }
-                closure = next;
-            }
-        }),
+            },
+        ),
     );
     registry.set_rules(
         "tc",

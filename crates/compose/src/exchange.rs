@@ -15,13 +15,53 @@
 //! conjunctive form over target relations (select–project–join shapes, the
 //! same fragment deskolemization handles). Constraints that do not fit are
 //! reported, not silently dropped.
+//!
+//! # Chase strategies
+//!
+//! Two fixpoint strategies are provided behind
+//! [`ExchangeConfig::strategy`]:
+//!
+//! * [`ChaseStrategy::Naive`] — the textbook loop: every round re-evaluates
+//!   every rule's full premise and satisfaction check over a fresh
+//!   `source.merge(&target)` clone.
+//! * [`ChaseStrategy::SemiNaive`] (the default) — delta-driven evaluation.
+//!   Each rule's premise is compiled once into an indexed conjunctive plan
+//!   ([`crate::plan::PremisePlan`]); per round the engine snapshots the
+//!   frontier once into hash-indexed form and evaluates each rule only
+//!   against its *delta* — the tuples inserted since the rule last ran, with
+//!   at least one premise atom bound to those new tuples. Rules whose premise
+//!   relations saw no insertions (in particular every source-to-target rule
+//!   after round one) are skipped outright. Premises outside the conjunctive
+//!   fragment fall back to full expression evaluation over a copy-free
+//!   [`DeltaInstance`] layered view, and satisfaction checks run over the
+//!   same view, so the per-rule `merge` clone is gone entirely.
+//!
+//! The two strategies fire the same premise tuples in the same order, so
+//! they produce identical targets (including labelled-null numbering),
+//! identical `skipped` reports and identical convergence behaviour whenever
+//! evaluation stays within the tuple budget; `tests/chase_equivalence.rs`
+//! asserts this across the paper examples, the literature corpus and the
+//! evolution simulator.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use mapcomp_algebra::{Constraint, Evaluator, Expr, Instance, Signature, Tuple, Value};
+use mapcomp_algebra::{
+    Constraint, DeltaInstance, Evaluator, Expr, Instance, Relation, Signature, Tuple, Value,
+};
 
 use crate::cq::{expr_to_conjunctive, Conjunctive, Term};
+use crate::plan::{PremisePlan, TupleIndex, WorkBudget};
 use crate::registry::Registry;
+
+/// Fixpoint evaluation strategy of the chase (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseStrategy {
+    /// Re-evaluate every rule from scratch each round over a merged clone.
+    Naive,
+    /// Delta-driven rule evaluation with per-round hash-indexed frontiers.
+    #[default]
+    SemiNaive,
+}
 
 /// Configuration of the chase.
 #[derive(Debug, Clone)]
@@ -38,11 +78,26 @@ pub struct ExchangeConfig {
     /// invents nulls; rules whose evaluation exceeds this budget are skipped
     /// (and reported) instead of exhausting memory.
     pub eval_budget: usize,
+    /// Fixpoint evaluation strategy (default: semi-naive).
+    pub strategy: ChaseStrategy,
 }
 
 impl Default for ExchangeConfig {
     fn default() -> Self {
-        ExchangeConfig { max_rounds: 16, max_nulls: 10_000, eval_budget: 1_000_000 }
+        ExchangeConfig {
+            max_rounds: 16,
+            max_nulls: 10_000,
+            eval_budget: 1_000_000,
+            strategy: ChaseStrategy::default(),
+        }
+    }
+}
+
+impl ExchangeConfig {
+    /// This configuration with a different chase strategy.
+    pub fn with_strategy(mut self, strategy: ChaseStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 }
 
@@ -74,6 +129,18 @@ struct ChaseRule {
     /// Set once the rule has been dropped (e.g. it exceeded the evaluation
     /// budget) so it is reported exactly once and not retried.
     dropped: bool,
+    /// Indexed conjunctive plan for the premise (semi-naive only; `None`
+    /// when the premise is outside the plannable fragment).
+    plan: Option<PremisePlan>,
+    /// Position in the insertion log up to which this rule has seen the
+    /// target (semi-naive bookkeeping).
+    cursor: usize,
+    /// Premise tuples fired but not yet re-confirmed as satisfied; they are
+    /// rechecked (and, for conclusions over source relations, refired) on
+    /// the next round, exactly as the naive strategy would.
+    pending: BTreeSet<Tuple>,
+    /// Has the premise been evaluated in full at least once?
+    initialized: bool,
 }
 
 /// Compute a canonical target instance for `constraints` from `source`.
@@ -118,12 +185,17 @@ pub fn exchange(
                             continue;
                         }
                     };
+                    let plan = PremisePlan::compile(&containment.lhs, full_sig);
                     rules.push(ChaseRule {
                         origin: containment.clone(),
                         premise: containment.lhs.clone(),
                         conclusion,
                         conclusion_check,
                         dropped: false,
+                        plan,
+                        cursor: 0,
+                        pending: BTreeSet::new(),
+                        initialized: false,
                     });
                 }
                 Err(reason) => skipped.push((containment.clone(), reason)),
@@ -131,6 +203,28 @@ pub fn exchange(
         }
     }
 
+    match config.strategy {
+        ChaseStrategy::Naive => {
+            exchange_naive(rules, full_sig, target_sig, source, registry, config, skipped)
+        }
+        ChaseStrategy::SemiNaive => {
+            exchange_semi_naive(rules, full_sig, target_sig, source, registry, config, skipped)
+        }
+    }
+}
+
+/// The textbook chase loop: full re-evaluation over a merged clone each
+/// round. Kept verbatim as the reference implementation the semi-naive
+/// engine is tested against.
+fn exchange_naive(
+    mut rules: Vec<ChaseRule>,
+    full_sig: &Signature,
+    target_sig: &Signature,
+    source: &Instance,
+    registry: &Registry,
+    config: &ExchangeConfig,
+    mut skipped: Vec<(Constraint, String)>,
+) -> ExchangeResult {
     let mut target = Instance::new();
     let mut nulls_created = 0usize;
     let mut rounds = 0usize;
@@ -185,7 +279,9 @@ pub fn exchange(
                         converged: false,
                     };
                 }
-                fire(rule, tuple, target_sig, &mut target, &mut nulls_created);
+                for (rel, row) in fire(rule, tuple, target_sig, &mut nulls_created) {
+                    target.insert(&rel, row);
+                }
                 changed = true;
             }
         }
@@ -198,16 +294,235 @@ pub fn exchange(
     ExchangeResult { target, nulls_created, rounds, skipped, converged }
 }
 
-/// Insert the tuples required by one rule firing: head variables take the
-/// premise tuple's values, other body variables take fresh labelled nulls.
+/// The semi-naive chase: per-round indexed frontier snapshot, per-rule delta
+/// evaluation, layered-view satisfaction checks. Fires the same tuples in
+/// the same order as [`exchange_naive`].
+fn exchange_semi_naive(
+    mut rules: Vec<ChaseRule>,
+    full_sig: &Signature,
+    target_sig: &Signature,
+    source: &Instance,
+    registry: &Registry,
+    config: &ExchangeConfig,
+    mut skipped: Vec<(Constraint, String)>,
+) -> ExchangeResult {
+    // Relations any indexed plan reads: only these need snapshotting and
+    // insertion logging.
+    let plan_rels: BTreeSet<String> = rules
+        .iter()
+        .filter_map(|rule| rule.plan.as_ref())
+        .flat_map(|plan| plan.relations().iter().cloned())
+        .collect();
+
+    let mut target = Instance::new();
+    // Append-only record of novel target insertions into plan-read
+    // relations; each rule's delta is the suffix after its own cursor.
+    let mut log: Vec<(String, Tuple)> = Vec::new();
+    // Active domain of source ∪ target, maintained incrementally.
+    let mut domain: BTreeSet<Value> = source.active_domain();
+    let mut nulls_created = 0usize;
+    let mut rounds = 0usize;
+    let mut converged = false;
+
+    while rounds < config.max_rounds {
+        rounds += 1;
+        let mut changed = false;
+        let round_start = log.len();
+        // One hash-indexable frontier snapshot per round; intra-round
+        // insertions reach rules through their delta slices instead.
+        let frontier = TupleIndex::from_layers(&[source, &target], plan_rels.iter());
+        // Intra-round top-up (insertions since the snapshot), rebuilt only
+        // when a firing grew the log — not once per rule.
+        let mut topup_cache: Option<(usize, Option<TupleIndex>)> = None;
+        for rule in &mut rules {
+            if rule.dropped {
+                continue;
+            }
+            if topup_cache.as_ref().map(|(len, _)| *len) != Some(log.len()) {
+                topup_cache = Some((log.len(), slice_index(&log, round_start)));
+            }
+            let topup = topup_cache.as_ref().and_then(|(_, index)| index.as_ref());
+            let view = DeltaInstance::new(source, &target);
+            // Cloning the active domain is only needed when an Evaluator is
+            // actually built; most planned-rule visits never do.
+            let domain_vec = || -> Vec<Value> { domain.iter().cloned().collect() };
+            let mut drop_reason: Option<String> = None;
+            let mut candidates: BTreeSet<Tuple> = BTreeSet::new();
+            let mut satisfied: Option<Relation> = None;
+            match &rule.plan {
+                Some(plan) => {
+                    let mut work = WorkBudget::new(config.eval_budget);
+                    if !rule.initialized {
+                        // First evaluation: a full indexed join. Tuples fired
+                        // earlier this round are not yet in the snapshot, so
+                        // they ride along as the top-up layer.
+                        match plan.eval_full(&frontier, topup, &mut work) {
+                            Ok(new) => candidates = new,
+                            Err(reason) => {
+                                drop_reason = Some(format!("premise not evaluable: {reason}"));
+                            }
+                        }
+                    } else {
+                        let delta_live = log[rule.cursor..]
+                            .iter()
+                            .any(|(rel, _)| plan.relations().contains(rel));
+                        if delta_live {
+                            let delta = slice_index(&log, rule.cursor).expect("non-empty slice");
+                            // Non-delta atoms see snapshot ∪ intra-round
+                            // insertions — disjoint sets, so no row is
+                            // enumerated twice even though the delta itself
+                            // overlaps the snapshot.
+                            match plan.eval_delta(&frontier, topup, &delta, &mut work) {
+                                Ok(new) => candidates = new,
+                                Err(reason) => {
+                                    drop_reason = Some(format!("premise not evaluable: {reason}"));
+                                }
+                            }
+                        }
+                        if drop_reason.is_none() {
+                            candidates.extend(rule.pending.iter().cloned());
+                        }
+                    }
+                }
+                None => {
+                    // Unplannable premise: full expression evaluation over
+                    // the layered view, sharing one budget with the
+                    // satisfaction check exactly like the naive strategy.
+                    let evaluator = Evaluator::with_parts(
+                        full_sig,
+                        registry.operators(),
+                        &view,
+                        domain_vec(),
+                        Some(config.eval_budget),
+                    );
+                    match evaluator.eval(&rule.premise) {
+                        Ok(premise_tuples) => {
+                            if !premise_tuples.is_empty() {
+                                match evaluator.eval(&rule.conclusion_check) {
+                                    Ok(check) => {
+                                        candidates = premise_tuples.into_iter().collect();
+                                        satisfied = Some(check);
+                                    }
+                                    Err(reason) => {
+                                        drop_reason = Some(format!(
+                                            "satisfaction check not evaluable: {reason}"
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        Err(reason) => {
+                            drop_reason = Some(format!("premise not evaluable: {reason}"));
+                        }
+                    }
+                }
+            }
+            if let Some(reason) = drop_reason {
+                rule.dropped = true;
+                skipped.push((rule.origin.clone(), reason));
+                continue;
+            }
+            let cursor = log.len();
+            rule.initialized = true;
+            if candidates.is_empty() {
+                rule.cursor = cursor;
+                continue;
+            }
+            let satisfied = match satisfied {
+                Some(relation) => relation,
+                None => {
+                    let evaluator = Evaluator::with_parts(
+                        full_sig,
+                        registry.operators(),
+                        &view,
+                        domain_vec(),
+                        Some(config.eval_budget),
+                    );
+                    match evaluator.eval(&rule.conclusion_check) {
+                        Ok(relation) => relation,
+                        Err(reason) => {
+                            rule.dropped = true;
+                            skipped.push((
+                                rule.origin.clone(),
+                                format!("satisfaction check not evaluable: {reason}"),
+                            ));
+                            continue;
+                        }
+                    }
+                }
+            };
+            // Decide firings against the pre-firing state (like the naive
+            // loop, which computes `satisfied` once per rule per round).
+            let mut to_insert: Vec<(String, Tuple)> = Vec::new();
+            let mut confirmed: Vec<Tuple> = Vec::new();
+            let mut fired: Vec<Tuple> = Vec::new();
+            let mut exhausted = false;
+            for tuple in &candidates {
+                if satisfied.contains(tuple) {
+                    confirmed.push(tuple.clone());
+                    continue;
+                }
+                if nulls_created >= config.max_nulls {
+                    exhausted = true;
+                    break;
+                }
+                to_insert.extend(fire(rule, tuple, target_sig, &mut nulls_created));
+                fired.push(tuple.clone());
+            }
+            rule.cursor = cursor;
+            for tuple in confirmed {
+                rule.pending.remove(&tuple);
+            }
+            if rule.plan.is_some() {
+                rule.pending.extend(fired.iter().cloned());
+            }
+            if !fired.is_empty() {
+                changed = true;
+            }
+            for (rel, row) in to_insert {
+                let novel = !target.get_ref(&rel).is_some_and(|existing| existing.contains(&row));
+                if novel {
+                    domain.extend(row.iter().cloned());
+                    if plan_rels.contains(&rel) {
+                        log.push((rel.clone(), row.clone()));
+                    }
+                    target.insert(&rel, row);
+                }
+            }
+            if exhausted {
+                return ExchangeResult { target, nulls_created, rounds, skipped, converged: false };
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    ExchangeResult { target, nulls_created, rounds, skipped, converged }
+}
+
+/// Index a log suffix by relation, or `None` when the suffix is empty.
+fn slice_index(log: &[(String, Tuple)], from: usize) -> Option<TupleIndex> {
+    if from >= log.len() {
+        return None;
+    }
+    let mut rows: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+    for (rel, tuple) in &log[from..] {
+        rows.entry(rel.clone()).or_default().push(tuple.clone());
+    }
+    Some(TupleIndex::from_rows(rows))
+}
+
+/// The tuples required by one rule firing: head variables take the premise
+/// tuple's values, other body variables take fresh labelled nulls. Only
+/// target relations are populated.
 fn fire(
     rule: &ChaseRule,
     premise_tuple: &Tuple,
     target_sig: &Signature,
-    target: &mut Instance,
     nulls_created: &mut usize,
-) {
-    use std::collections::BTreeMap;
+) -> Vec<(String, Tuple)> {
     let mut binding: BTreeMap<usize, Value> = BTreeMap::new();
     for (term, value) in rule.conclusion.head.iter().zip(premise_tuple) {
         if let Term::Var(var) = term {
@@ -225,6 +540,7 @@ fn fire(
             Value::Str(format!("_null{}", *nulls_created))
         });
     }
+    let mut out = Vec::new();
     for atom in &rule.conclusion.atoms {
         if !target_sig.contains(&atom.rel) {
             // Atoms over source relations in the conclusion cannot be chased
@@ -234,8 +550,9 @@ fn fire(
         }
         let tuple: Tuple =
             atom.args.iter().map(|var| binding.get(var).cloned().unwrap_or(Value::Null)).collect();
-        target.insert(&atom.rel, tuple);
+        out.push((atom.rel.clone(), tuple));
     }
+    out
 }
 
 #[cfg(test)]
@@ -245,6 +562,39 @@ mod tests {
 
     fn registry() -> Registry {
         Registry::standard()
+    }
+
+    /// Run a scenario under both strategies, assert they agree exactly, and
+    /// return the semi-naive result.
+    fn exchange_both(
+        constraints: &[Constraint],
+        full: &Signature,
+        target: &Signature,
+        source: &Instance,
+        config: &ExchangeConfig,
+    ) -> ExchangeResult {
+        let naive = exchange(
+            constraints,
+            full,
+            target,
+            source,
+            &registry(),
+            &config.clone().with_strategy(ChaseStrategy::Naive),
+        );
+        let semi = exchange(
+            constraints,
+            full,
+            target,
+            source,
+            &registry(),
+            &config.clone().with_strategy(ChaseStrategy::SemiNaive),
+        );
+        assert_eq!(naive.target, semi.target, "strategies disagree on the target");
+        assert_eq!(naive.nulls_created, semi.nulls_created);
+        assert_eq!(naive.rounds, semi.rounds);
+        assert_eq!(naive.converged, semi.converged);
+        assert_eq!(naive.skipped.len(), semi.skipped.len());
+        semi
     }
 
     #[test]
@@ -264,14 +614,8 @@ mod tests {
         source.insert("Movies", tuple([2i64, 200, 2001, 3]));
         source.insert("Movies", tuple([3i64, 300, 2003, 5]));
 
-        let result = exchange(
-            &constraints,
-            &full,
-            &target,
-            &source,
-            &registry(),
-            &ExchangeConfig::default(),
-        );
+        let result =
+            exchange_both(&constraints, &full, &target, &source, &ExchangeConfig::default());
         assert!(result.converged);
         assert!(result.skipped.is_empty());
         assert_eq!(result.nulls_created, 0);
@@ -296,14 +640,8 @@ mod tests {
         source.insert("R", tuple([7i64]));
         source.insert("R", tuple([8i64]));
 
-        let result = exchange(
-            &constraints,
-            &full,
-            &target,
-            &source,
-            &registry(),
-            &ExchangeConfig::default(),
-        );
+        let result =
+            exchange_both(&constraints, &full, &target, &source, &ExchangeConfig::default());
         assert!(result.converged);
         assert_eq!(result.target.get("S").len(), 2);
         assert_eq!(result.nulls_created, 2);
@@ -324,14 +662,8 @@ mod tests {
         let mut source = Instance::new();
         source.insert("Movies", tuple([1i64, 10, 1990]));
 
-        let result = exchange(
-            &constraints,
-            &full,
-            &target,
-            &source,
-            &registry(),
-            &ExchangeConfig::default(),
-        );
+        let result =
+            exchange_both(&constraints, &full, &target, &source, &ExchangeConfig::default());
         assert!(result.converged);
         assert!(result.target.get("Names").contains(&tuple([1i64, 10])));
         assert!(result.target.get("Years").contains(&tuple([1i64, 1990])));
@@ -347,14 +679,8 @@ mod tests {
         let mut source = Instance::new();
         source.insert("R", tuple([4i64, 40]));
 
-        let result = exchange(
-            &constraints,
-            &full,
-            &target,
-            &source,
-            &registry(),
-            &ExchangeConfig::default(),
-        );
+        let result =
+            exchange_both(&constraints, &full, &target, &source, &ExchangeConfig::default());
         assert!(result.converged);
         assert!(result.rounds >= 2);
         assert!(result.target.get("S").contains(&tuple([4i64, 40])));
@@ -368,25 +694,13 @@ mod tests {
         let constraints = parse_constraints("R <= S").unwrap().into_vec();
         let mut source = Instance::new();
         source.insert("R", tuple([1i64]));
-        let first = exchange(
-            &constraints,
-            &full,
-            &target,
-            &source,
-            &registry(),
-            &ExchangeConfig::default(),
-        );
+        let first =
+            exchange_both(&constraints, &full, &target, &source, &ExchangeConfig::default());
         // Chasing again over source ∪ previously-computed target changes
         // nothing: idempotence.
         let merged_source = source.merge(&first.target);
-        let second = exchange(
-            &constraints,
-            &full,
-            &target,
-            &merged_source,
-            &registry(),
-            &ExchangeConfig::default(),
-        );
+        let second =
+            exchange_both(&constraints, &full, &target, &merged_source, &ExchangeConfig::default());
         assert!(second.target.get("S").is_subset(&first.target.get("S")));
         assert_eq!(second.nulls_created, 0);
     }
@@ -403,14 +717,8 @@ mod tests {
             inst.insert("R", tuple([1i64]));
             inst
         };
-        let result = exchange(
-            &constraints,
-            &full,
-            &target,
-            &source,
-            &registry(),
-            &ExchangeConfig::default(),
-        );
+        let result =
+            exchange_both(&constraints, &full, &target, &source, &ExchangeConfig::default());
         assert_eq!(result.skipped.len(), 1);
         assert!(result.target.get("S").is_empty() && result.target.get("T").is_empty());
     }
@@ -422,14 +730,59 @@ mod tests {
         let constraints = parse_constraints("S = R").unwrap().into_vec();
         let mut source = Instance::new();
         source.insert("R", tuple([5i64, 6]));
-        let result = exchange(
-            &constraints,
-            &full,
-            &target,
-            &source,
-            &registry(),
-            &ExchangeConfig::default(),
-        );
+        let result =
+            exchange_both(&constraints, &full, &target, &source, &ExchangeConfig::default());
         assert!(result.target.get("S").contains(&tuple([5i64, 6])));
+    }
+
+    #[test]
+    fn non_conjunctive_premises_fall_back_and_still_agree() {
+        // A difference premise is outside the plannable fragment (and
+        // non-monotone); the semi-naive engine must fall back to full
+        // evaluation and still match the naive result.
+        let full = Signature::from_arities([("A", 1), ("B", 1), ("S", 1)]);
+        let target = Signature::from_arities([("S", 1)]);
+        let constraints = parse_constraints("A - B <= S").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("A", tuple([1i64]));
+        source.insert("A", tuple([2i64]));
+        source.insert("B", tuple([2i64]));
+        let result =
+            exchange_both(&constraints, &full, &target, &source, &ExchangeConfig::default());
+        assert!(result.converged);
+        assert_eq!(result.target.get("S"), Relation::from_tuples([tuple([1i64])]));
+    }
+
+    #[test]
+    fn source_atom_conclusions_refire_identically() {
+        // Conclusion joins a target atom with a source atom the chase cannot
+        // populate: the premise tuple stays unsatisfied forever and both
+        // strategies must refire it every round until max_rounds.
+        let full = Signature::from_arities([("R", 1), ("S", 1), ("Aux", 1)]);
+        let target = Signature::from_arities([("S", 1)]);
+        let conclusion = Expr::rel("S").intersect(Expr::rel("Aux"));
+        let constraints = vec![Constraint::containment(Expr::rel("R"), conclusion)];
+        let mut source = Instance::new();
+        source.insert("R", tuple([1i64]));
+        let config = ExchangeConfig { max_rounds: 5, ..ExchangeConfig::default() };
+        let result = exchange_both(&constraints, &full, &target, &source, &config);
+        assert!(!result.converged);
+        assert_eq!(result.rounds, 5);
+        assert!(result.target.get("S").contains(&tuple([1i64])));
+    }
+
+    #[test]
+    fn max_nulls_truncates_both_strategies_alike() {
+        let full = Signature::from_arities([("R", 1), ("S", 2)]);
+        let target = Signature::from_arities([("S", 2)]);
+        let constraints = parse_constraints("R <= project[0](S)").unwrap().into_vec();
+        let mut source = Instance::new();
+        for i in 0..10i64 {
+            source.insert("R", tuple([i]));
+        }
+        let config = ExchangeConfig { max_nulls: 4, ..ExchangeConfig::default() };
+        let result = exchange_both(&constraints, &full, &target, &source, &config);
+        assert!(!result.converged);
+        assert_eq!(result.nulls_created, 4);
     }
 }

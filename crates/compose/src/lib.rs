@@ -21,6 +21,12 @@
 //! ([`builtins`] ships left outer join, semijoin, antijoin and transitive
 //! closure). [`verify`] provides a bounded-model equivalence checker used by
 //! the test suite.
+//!
+//! Downstream of composition, [`exchange`] materialises target instances
+//! (data migration, paper Example 1) with a chase engine that defaults to
+//! semi-naive, delta-driven evaluation over indexed conjunctive premise
+//! plans ([`plan`]); the textbook naive loop is kept behind
+//! [`ExchangeConfig::strategy`] as the equivalence reference.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,6 +41,7 @@ pub mod left;
 pub mod minimize;
 pub mod monotone;
 pub mod outcome;
+pub mod plan;
 pub mod registry;
 pub mod right;
 pub mod simplify;
@@ -46,7 +53,7 @@ pub use compose::{
     SymbolReport,
 };
 pub use eliminate::eliminate;
-pub use exchange::{exchange, ExchangeConfig, ExchangeResult};
+pub use exchange::{exchange, ChaseStrategy, ExchangeConfig, ExchangeResult};
 pub use minimize::{minimize_expr, minimize_mapping, remove_implied};
 pub use monotone::{is_monotone, monotonicity};
 pub use outcome::{EliminateFailure, EliminateStep, EliminateSuccess, FailureReason};

@@ -1,0 +1,446 @@
+//! Indexed conjunctive plans for the semi-naive chase engine.
+//!
+//! A chase rule's premise that converts to conjunctive form (a
+//! select–project–join over base relations, the monotone fragment) is
+//! compiled once into a [`PremisePlan`]: body atoms over variables, constant
+//! bindings, and a head projection. The plan is then evaluated by joining
+//! the atoms left to right with hash indexes on the already-bound columns
+//! ([`TupleIndex`]), instead of materialising the premise expression's
+//! product.
+//!
+//! Two evaluation modes support the semi-naive discipline of
+//! [`crate::exchange`]:
+//!
+//! * [`PremisePlan::eval_full`] — the classic join over the full frontier
+//!   (used once, when a rule first evaluates);
+//! * [`PremisePlan::eval_delta`] — the delta-restricted join: one atom at a
+//!   time is bound to the rule's *delta* (tuples inserted since the rule last
+//!   evaluated) while the remaining atoms range over the full frontier, so
+//!   only premise tuples that are genuinely new can be produced.
+//!
+//! Work is bounded by a [`WorkBudget`] counting produced binding rows, the
+//! same safety valve as the evaluator's tuple budget.
+
+use std::cell::{Ref, RefCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use mapcomp_algebra::{AlgebraError, Instance, Signature, Tuple, Value};
+
+use crate::cq::{expr_to_conjunctive, Atom, Conjunctive, Term};
+
+/// A per-round store of tuples with lazily built hash indexes on requested
+/// column sets.
+///
+/// One `TupleIndex` holds the chase frontier snapshot (source ∪ target at
+/// the start of a round); small secondary ones hold per-rule deltas. Indexes
+/// are keyed by `(relation, columns)` and built on first use, so a round that
+/// touches only a few rules indexes only what those rules join on.
+pub struct TupleIndex {
+    rows: BTreeMap<String, Vec<Tuple>>,
+    indexes: RefCell<HashMap<(String, Vec<usize>), ColumnIndex>>,
+}
+
+/// Join-key values → positions of the rows carrying them.
+type ColumnIndex = HashMap<Vec<Value>, Vec<usize>>;
+
+impl TupleIndex {
+    /// Snapshot the given relations from a stack of instances (later layers
+    /// may duplicate earlier ones; duplicates are dropped).
+    pub fn from_layers<'a>(
+        layers: &[&Instance],
+        relations: impl IntoIterator<Item = &'a String>,
+    ) -> Self {
+        let mut rows = BTreeMap::new();
+        for name in relations {
+            let mut seen: BTreeSet<&Tuple> = BTreeSet::new();
+            let mut out: Vec<Tuple> = Vec::new();
+            for layer in layers {
+                if let Some(rel) = layer.get_ref(name) {
+                    for tuple in rel.iter() {
+                        if seen.insert(tuple) {
+                            out.push(tuple.clone());
+                        }
+                    }
+                }
+            }
+            rows.insert(name.clone(), out);
+        }
+        TupleIndex { rows, indexes: RefCell::new(HashMap::new()) }
+    }
+
+    /// Build from explicit per-relation rows (used for delta slices).
+    pub fn from_rows(rows: BTreeMap<String, Vec<Tuple>>) -> Self {
+        TupleIndex { rows, indexes: RefCell::new(HashMap::new()) }
+    }
+
+    /// Is there any row for `rel`?
+    pub fn has_rows(&self, rel: &str) -> bool {
+        self.rows.get(rel).is_some_and(|rows| !rows.is_empty())
+    }
+
+    /// All rows of one relation.
+    fn scan(&self, rel: &str) -> &[Tuple] {
+        self.rows.get(rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Borrow the hash index of `rel` keyed on `cols`, building it on first
+    /// use. Resolved once per join stage (the probe columns are static per
+    /// stage), then probed per binding row without further allocation.
+    fn index(&self, rel: &str, cols: &[usize]) -> Ref<'_, ColumnIndex> {
+        let index_key = (rel.to_string(), cols.to_vec());
+        if !self.indexes.borrow().contains_key(&index_key) {
+            let mut built: ColumnIndex = HashMap::new();
+            for (position, tuple) in self.scan(rel).iter().enumerate() {
+                // Rows shorter than the probed columns (ragged, out of
+                // contract) can never match an atom of the declared arity;
+                // leaving them unindexed mirrors the join loop's length
+                // check.
+                if cols.iter().any(|&c| c >= tuple.len()) {
+                    continue;
+                }
+                let key: Vec<Value> = cols.iter().map(|&c| tuple[c].clone()).collect();
+                built.entry(key).or_default().push(position);
+            }
+            self.indexes.borrow_mut().insert(index_key.clone(), built);
+        }
+        Ref::map(self.indexes.borrow(), |indexes| {
+            indexes.get(&index_key).expect("index built above")
+        })
+    }
+
+    fn row(&self, rel: &str, position: usize) -> &Tuple {
+        &self.rows[rel][position]
+    }
+}
+
+/// A budget on binding rows produced while evaluating plans.
+pub struct WorkBudget {
+    used: usize,
+    budget: usize,
+}
+
+impl WorkBudget {
+    /// A budget of `budget` rows.
+    pub fn new(budget: usize) -> Self {
+        WorkBudget { used: 0, budget }
+    }
+
+    fn charge(&mut self, amount: usize) -> Result<(), AlgebraError> {
+        self.used = self.used.saturating_add(amount);
+        if self.used > self.budget {
+            return Err(AlgebraError::EvalBudgetExceeded { budget: self.budget });
+        }
+        Ok(())
+    }
+}
+
+/// One atom's tuple supply during a join: the full frontier, optionally
+/// extended by a delta slice (full ∪ delta covers the live instance).
+#[derive(Clone, Copy)]
+enum AtomSource<'a> {
+    Full { full: &'a TupleIndex, topup: Option<&'a TupleIndex> },
+    Delta(&'a TupleIndex),
+}
+
+impl AtomSource<'_> {
+    fn parts(&self) -> Vec<&TupleIndex> {
+        match self {
+            AtomSource::Full { full, topup } => {
+                let mut parts = vec![*full];
+                parts.extend(*topup);
+                parts
+            }
+            AtomSource::Delta(delta) => vec![*delta],
+        }
+    }
+}
+
+/// A compiled conjunctive premise: body atoms, constant bindings, and the
+/// head projection (all head terms are atom-bound or constant-bound
+/// variables).
+pub struct PremisePlan {
+    atoms: Vec<Atom>,
+    const_of: BTreeMap<usize, Value>,
+    head: Vec<usize>,
+    var_count: usize,
+    relations: BTreeSet<String>,
+}
+
+impl PremisePlan {
+    /// Compile a premise expression. Returns `None` when the expression is
+    /// outside the plannable fragment (non-conjunctive operators, Skolem
+    /// terms, head variables unconstrained by any atom — i.e. active-domain
+    /// columns — or function-term restrictions); the chase falls back to full
+    /// expression evaluation for those rules.
+    pub fn compile(premise: &mapcomp_algebra::Expr, sig: &Signature) -> Option<PremisePlan> {
+        let cq: Conjunctive = expr_to_conjunctive(premise, sig).ok()?;
+        if cq.atoms.is_empty() || !cq.func_eqs.is_empty() {
+            return None;
+        }
+        let body_vars = cq.body_vars();
+        let mut head = Vec::with_capacity(cq.head.len());
+        for term in &cq.head {
+            match term {
+                Term::Var(v) if body_vars.contains(v) || cq.const_of.contains_key(v) => {
+                    head.push(*v);
+                }
+                _ => return None,
+            }
+        }
+        let relations = cq.atoms.iter().map(|atom| atom.rel.clone()).collect();
+        Some(PremisePlan {
+            atoms: cq.atoms,
+            const_of: cq.const_of,
+            head,
+            var_count: cq.var_count,
+            relations,
+        })
+    }
+
+    /// Relations the premise reads.
+    pub fn relations(&self) -> &BTreeSet<String> {
+        &self.relations
+    }
+
+    /// Evaluate the premise over the full frontier.
+    pub fn eval_full(
+        &self,
+        full: &TupleIndex,
+        topup: Option<&TupleIndex>,
+        work: &mut WorkBudget,
+    ) -> Result<BTreeSet<Tuple>, AlgebraError> {
+        let order: Vec<usize> = (0..self.atoms.len()).collect();
+        let sources: Vec<AtomSource<'_>> =
+            order.iter().map(|_| AtomSource::Full { full, topup }).collect();
+        self.join(&order, &sources, work)
+    }
+
+    /// Evaluate the delta-restricted premise: the union, over every atom
+    /// position `d` whose relation has delta rows, of the join with atom `d`
+    /// bound to the delta and every other atom over the full live state.
+    ///
+    /// `delta` is the caller's change set (everything since it last
+    /// evaluated) and drives the join; `topup` must hold exactly the rows
+    /// missing from the `full` snapshot (insertions after it was taken), so
+    /// non-delta atoms see the complete state without enumerating any row
+    /// twice — an overlap would multiply duplicate binding rows (and budget
+    /// charges) through every later stage.
+    pub fn eval_delta(
+        &self,
+        full: &TupleIndex,
+        topup: Option<&TupleIndex>,
+        delta: &TupleIndex,
+        work: &mut WorkBudget,
+    ) -> Result<BTreeSet<Tuple>, AlgebraError> {
+        let mut out = BTreeSet::new();
+        for d in 0..self.atoms.len() {
+            if !delta.has_rows(&self.atoms[d].rel) {
+                continue;
+            }
+            // The delta atom is joined first so every binding is anchored in
+            // a new tuple.
+            let mut order = vec![d];
+            order.extend((0..self.atoms.len()).filter(|&i| i != d));
+            let sources: Vec<AtomSource<'_>> = order
+                .iter()
+                .map(|&i| {
+                    if i == d {
+                        AtomSource::Delta(delta)
+                    } else {
+                        AtomSource::Full { full, topup }
+                    }
+                })
+                .collect();
+            out.extend(self.join(&order, &sources, work)?);
+        }
+        Ok(out)
+    }
+
+    /// Join the atoms in `order`, each over its source, producing head
+    /// tuples.
+    fn join(
+        &self,
+        order: &[usize],
+        sources: &[AtomSource<'_>],
+        work: &mut WorkBudget,
+    ) -> Result<BTreeSet<Tuple>, AlgebraError> {
+        // Initial binding: constant-bound variables.
+        let mut initial: Vec<Option<Value>> = vec![None; self.var_count];
+        for (&var, value) in &self.const_of {
+            initial[var] = Some(value.clone());
+        }
+        let mut bindings: Vec<Vec<Option<Value>>> = vec![initial];
+        // Which variables are bound is static per stage, so the probe columns
+        // (and therefore the index) are shared by all rows of a stage.
+        let mut bound: BTreeSet<usize> = self.const_of.keys().copied().collect();
+        for (&atom_index, source) in order.iter().zip(sources) {
+            let atom = &self.atoms[atom_index];
+            let probe_cols: Vec<usize> = atom
+                .args
+                .iter()
+                .enumerate()
+                .filter(|(_, var)| bound.contains(var))
+                .map(|(col, _)| col)
+                .collect();
+            // Resolve each part's access path once for the whole stage: a
+            // slice scan when no columns are bound, a borrowed hash index
+            // otherwise (probed per row without allocating).
+            let parts = source.parts();
+            let indexes: Vec<Option<Ref<'_, ColumnIndex>>> = parts
+                .iter()
+                .map(|part| (!probe_cols.is_empty()).then(|| part.index(&atom.rel, &probe_cols)))
+                .collect();
+            let mut next: Vec<Vec<Option<Value>>> = Vec::new();
+            for binding in &bindings {
+                let key: Vec<Value> = probe_cols
+                    .iter()
+                    .map(|&col| binding[atom.args[col]].clone().expect("bound variable"))
+                    .collect();
+                for (part, index) in parts.iter().zip(&indexes) {
+                    let candidates: Vec<&Tuple> = match index {
+                        None => part.scan(&atom.rel).iter().collect(),
+                        Some(index) => index
+                            .get(&key)
+                            .into_iter()
+                            .flatten()
+                            .map(|&position| part.row(&atom.rel, position))
+                            .collect(),
+                    };
+                    'tuples: for tuple in candidates {
+                        if tuple.len() != atom.args.len() {
+                            continue;
+                        }
+                        let mut extended = binding.clone();
+                        for (col, &var) in atom.args.iter().enumerate() {
+                            match &extended[var] {
+                                // Re-bound variables stand for `=` selections,
+                                // whose null semantics reject `Null = Null`.
+                                Some(existing)
+                                    if existing.is_null()
+                                        || tuple[col].is_null()
+                                        || *existing != tuple[col] =>
+                                {
+                                    continue 'tuples
+                                }
+                                Some(_) => {}
+                                None => extended[var] = Some(tuple[col].clone()),
+                            }
+                        }
+                        work.charge(1)?;
+                        next.push(extended);
+                    }
+                }
+            }
+            bound.extend(atom.args.iter().copied());
+            bindings = next;
+            if bindings.is_empty() {
+                break;
+            }
+        }
+        let mut out = BTreeSet::new();
+        for binding in &bindings {
+            let tuple: Tuple = self
+                .head
+                .iter()
+                .map(|&var| binding[var].clone().expect("head variables are bound"))
+                .collect();
+            out.insert(tuple);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapcomp_algebra::{parse_expr, tuple, Expr, Pred};
+
+    fn sig() -> Signature {
+        Signature::from_arities([("R", 2), ("S", 2), ("T", 1)])
+    }
+
+    fn index_of(inst: &Instance, rels: &[&str]) -> TupleIndex {
+        let names: Vec<String> = rels.iter().map(|r| r.to_string()).collect();
+        TupleIndex::from_layers(&[inst], names.iter())
+    }
+
+    #[test]
+    fn compile_rejects_unplannable_shapes() {
+        let sig = sig();
+        assert!(PremisePlan::compile(&parse_expr("R + S").unwrap(), &sig).is_none());
+        assert!(PremisePlan::compile(&parse_expr("skolem:f[0](T)").unwrap(), &sig).is_none());
+        // Head variable ranging over the active domain (no atom binds it).
+        assert!(PremisePlan::compile(&parse_expr("T * D^1").unwrap(), &sig).is_none());
+        assert!(PremisePlan::compile(&parse_expr("project[0](R)").unwrap(), &sig).is_some());
+    }
+
+    #[test]
+    fn full_evaluation_matches_expression_semantics() {
+        let sig = sig();
+        let mut inst = Instance::new();
+        inst.insert("R", tuple([1i64, 10]));
+        inst.insert("R", tuple([2i64, 20]));
+        inst.insert("S", tuple([10i64, 100]));
+        let expr = parse_expr("project[0,3](select[#1 = #2](R * S))").unwrap();
+        let plan = PremisePlan::compile(&expr, &sig).unwrap();
+        assert_eq!(plan.relations(), &BTreeSet::from(["R".to_string(), "S".to_string()]));
+        let full = index_of(&inst, &["R", "S"]);
+        let out = plan.eval_full(&full, None, &mut WorkBudget::new(1000)).unwrap();
+        assert_eq!(out, [tuple([1i64, 100])].into());
+    }
+
+    #[test]
+    fn constants_and_repeated_variables_filter() {
+        let sig = sig();
+        let mut inst = Instance::new();
+        inst.insert("R", tuple([5i64, 5]));
+        inst.insert("R", tuple([5i64, 6]));
+        inst.insert("R", tuple([7i64, 7]));
+        let expr = parse_expr("project[0](select[#0 = #1 and #0 = 5](R))").unwrap();
+        let plan = PremisePlan::compile(&expr, &sig).unwrap();
+        let full = index_of(&inst, &["R"]);
+        let out = plan.eval_full(&full, None, &mut WorkBudget::new(1000)).unwrap();
+        assert_eq!(out, [tuple([5i64])].into());
+    }
+
+    #[test]
+    fn delta_evaluation_finds_exactly_the_new_join_results() {
+        let sig = sig();
+        let mut old = Instance::new();
+        old.insert("R", tuple([1i64, 10]));
+        old.insert("S", tuple([10i64, 100]));
+        let expr = parse_expr("project[0,3](select[#1 = #2](R * S))").unwrap();
+        let plan = PremisePlan::compile(&expr, &sig).unwrap();
+        let full = index_of(&old, &["R", "S"]);
+
+        // New tuples: one R row joining the old S row, and one S row joining
+        // the new R row (a two-new-tuples join must also be found).
+        let mut fresh = Instance::new();
+        fresh.insert("R", tuple([2i64, 20]));
+        fresh.insert("S", tuple([20i64, 200]));
+        let delta = index_of(&fresh, &["R", "S"]);
+        let out = plan.eval_delta(&full, Some(&delta), &delta, &mut WorkBudget::new(1000)).unwrap();
+        assert_eq!(out, [tuple([2i64, 200])].into());
+
+        // No delta rows on premise relations: nothing new.
+        let empty = TupleIndex::from_rows(BTreeMap::new());
+        let out = plan.eval_delta(&full, None, &empty, &mut WorkBudget::new(1000)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn work_budget_bounds_join_rows() {
+        let sig = sig();
+        let mut inst = Instance::new();
+        for i in 0..20i64 {
+            inst.insert("R", tuple([i, i]));
+            inst.insert("S", tuple([i, i]));
+        }
+        // Unconstrained product: 400 binding rows.
+        let expr = Expr::rel("R").product(Expr::rel("S")).select(Pred::True);
+        let plan = PremisePlan::compile(&expr, &sig).unwrap();
+        let full = index_of(&inst, &["R", "S"]);
+        let result = plan.eval_full(&full, None, &mut WorkBudget::new(100));
+        assert!(matches!(result, Err(AlgebraError::EvalBudgetExceeded { budget: 100 })));
+    }
+}

@@ -21,7 +21,7 @@ fn registry_with_merge() -> Registry {
             [a, b] if a == b => Some(*a),
             _ => None,
         })
-        .with_eval(|rels, _| rels[0].union(&rels[1])),
+        .with_simple_eval(|rels, _| rels[0].union(&rels[1])),
     );
     registry.set_rules(
         "merge",

@@ -27,20 +27,25 @@
 //! mapcomp catalog stats        --catalog <file>
 //! ```
 //!
+//! Every catalog command also accepts `--cache-capacity N` to bound the memo
+//! cache (least-recently-used entries are evicted past the bound; 0 means
+//! unbounded).
+//!
 //! `compose-path` prints the composed mapping as a plain-text document
 //! (schemas + mapping), so its output can be fed back to `catalog add` or
 //! any other consumer of the format.
 //!
-//! The document format carries no version counters, so entry versions reset
-//! per invocation; cross-invocation cache invalidation is driven entirely by
-//! content hashes (an edited mapping hashes differently, and `catalog add`
-//! drops stale memo entries explicitly).
+//! The document format carries content only; entry version counters, hash
+//! history and cumulative cache statistics are persisted in the `<file>.memo`
+//! sidecar and re-applied on load, so versions survive across invocations
+//! (an out-of-session edit to the document is detected by content hash and
+//! advances the recorded version by one).
 
 use std::process::ExitCode;
 
 use mapping_composition::algebra::parse_document;
 use mapping_composition::catalog::{
-    load_cache, save_cache, Catalog, ChainOptions, Session, SessionConfig,
+    load_state, save_state, Catalog, ChainOptions, Session, SessionConfig,
 };
 use mapping_composition::compose::{compose, minimize_mapping, ComposeConfig, Registry};
 
@@ -157,6 +162,7 @@ struct CatalogOptions {
     config: ComposeConfig,
     require_complete: bool,
     stats: bool,
+    cache_capacity: Option<usize>,
 }
 
 fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
@@ -168,6 +174,7 @@ fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
     let mut config = ComposeConfig::default();
     let mut require_complete = false;
     let mut stats = false;
+    let mut cache_capacity = None;
     let mut iter = args[1..].iter().peekable();
     while let Some(arg) = iter.next() {
         if parse_compose_flag(arg, &mut iter, &mut config)? {
@@ -180,12 +187,26 @@ fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
             }
             "--require-complete" => require_complete = true,
             "--stats" => stats = true,
+            "--cache-capacity" => {
+                let value = iter.next().ok_or("--cache-capacity requires a count")?;
+                let entries: usize =
+                    value.parse().map_err(|_| format!("invalid cache capacity `{value}`"))?;
+                cache_capacity = if entries == 0 { None } else { Some(entries) };
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => positional.push(other.to_string()),
         }
     }
     let catalog_file = catalog_file.ok_or("catalog commands require --catalog <file>")?;
-    Ok(CatalogOptions { command, catalog_file, positional, config, require_complete, stats })
+    Ok(CatalogOptions {
+        command,
+        catalog_file,
+        positional,
+        config,
+        require_complete,
+        stats,
+        cache_capacity,
+    })
 }
 
 fn memo_path(catalog_file: &str) -> String {
@@ -211,19 +232,28 @@ fn load_session(options: &CatalogOptions, allow_missing: bool) -> Result<Session
     let session_config = SessionConfig {
         compose: options.config.clone(),
         chain: ChainOptions { require_complete: options.require_complete },
+        cache_capacity: options.cache_capacity,
     };
-    let mut session = Session::with_config(catalog, Registry::standard(), session_config);
+    // The sidecar carries version counters, hash history and the memo cache;
+    // versions are re-applied before the session takes over the catalog.
     if let Ok(text) = std::fs::read_to_string(memo_path(&options.catalog_file)) {
-        session.restore_cache(load_cache(&text));
+        let (manifest, cache) = load_state(&text);
+        catalog.restore_versions(&manifest);
+        let mut session = Session::with_config(catalog, Registry::standard(), session_config);
+        session.restore_cache(cache);
+        return Ok(session);
     }
-    Ok(session)
+    Ok(Session::with_config(catalog, Registry::standard(), session_config))
 }
 
 fn save_session(options: &CatalogOptions, session: &Session) -> Result<(), String> {
     std::fs::write(&options.catalog_file, session.catalog().to_document_string())
         .map_err(|e| format!("cannot write {}: {e}", options.catalog_file))?;
-    std::fs::write(memo_path(&options.catalog_file), save_cache(session.cache()))
-        .map_err(|e| format!("cannot write {}: {e}", memo_path(&options.catalog_file)))?;
+    std::fs::write(
+        memo_path(&options.catalog_file),
+        save_state(session.catalog(), session.cache()),
+    )
+    .map_err(|e| format!("cannot write {}: {e}", memo_path(&options.catalog_file)))?;
     Ok(())
 }
 
@@ -318,8 +348,30 @@ fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
                     entry.hash,
                     entry.constraints.len()
                 );
+                if entry.history.len() > 1 {
+                    let history: Vec<String> =
+                        entry.history.iter().map(|(v, h)| format!("v{v}={h}")).collect();
+                    eprintln!("      history: {}", history.join(", "));
+                }
             }
-            eprintln!("memo cache  : {} entries", session.cache().len());
+            let cache_stats = session.cache().stats();
+            eprintln!(
+                "memo cache  : {} entries (capacity {})",
+                session.cache().len(),
+                session
+                    .cache()
+                    .capacity()
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "unbounded".to_string())
+            );
+            eprintln!(
+                "  lifetime  : {} hits, {} misses, {} insertions, {} invalidated, {} evicted",
+                cache_stats.hits,
+                cache_stats.misses,
+                cache_stats.insertions,
+                cache_stats.invalidated,
+                cache_stats.evictions
+            );
             for (key, entry) in session.cache().iter() {
                 eprintln!(
                     "  {:016x}/{:016x}/{:016x} : {} -> {} via {:?} ({} hits)",
@@ -356,7 +408,8 @@ fn main() -> ExitCode {
              \x20      mapcomp catalog compose-path --catalog <file> <from> <to> \
              [--require-complete] [--stats]\n\
              \x20      mapcomp catalog invalidate   --catalog <file> <mapping>\n\
-             \x20      mapcomp catalog stats        --catalog <file>"
+             \x20      mapcomp catalog stats        --catalog <file>\n\
+             \x20      (catalog commands also accept --cache-capacity N; 0 = unbounded)"
         );
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
