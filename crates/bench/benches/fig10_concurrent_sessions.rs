@@ -1,0 +1,40 @@
+//! Figure 10 micro-benchmark (new experiment): concurrent shared-catalog
+//! sessions.
+//!
+//! The same all-pairs batch of chain-composition requests is fanned over a
+//! shared catalog with increasing worker counts; every iteration starts
+//! from a cold sharded memo cache, so the measured work is the real
+//! composition traffic of many sessions sharing one catalog, not cache
+//! replay. Throughput should rise with worker count up to the machine's
+//! core count and must never change the composed results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mapcomp_bench::{concurrent_corpus, concurrent_workers, Scale};
+use mapcomp_catalog::SharedSession;
+
+fn bench_concurrent_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_concurrent_sessions");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let (catalog, requests) = concurrent_corpus(Scale::Quick);
+    for workers in concurrent_workers(Scale::Quick) {
+        group.bench_with_input(
+            BenchmarkId::new("batch", workers),
+            &requests,
+            |bencher, requests| {
+                bencher.iter(|| {
+                    let session = SharedSession::new(catalog.clone(), workers);
+                    let results = session.compose_batch_parallel(requests);
+                    assert!(results.iter().all(Result::is_ok), "batch request failed");
+                    results.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_sessions);
+criterion_main!(benches);

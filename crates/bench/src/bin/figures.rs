@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--paper | --smoke] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9]
-//!         [corpus] [claims] [all]
+//!         [fig10] [corpus] [claims] [all]
 //! ```
 //!
 //! Without arguments every figure is produced at the quick scale; `--paper`
@@ -14,9 +14,9 @@
 use std::time::Instant;
 
 use mapcomp_bench::{
-    chain_cache_experiment, chase_scaling_experiment, corpus_report, edit_count_sweep,
-    editing_experiment, format_row, inclusion_sweep, schema_size_sweep, Configuration, Scale,
-    FIGURE5_PRIMITIVES,
+    chain_cache_experiment, chase_scaling_experiment, concurrent_sessions_experiment,
+    corpus_report, edit_count_sweep, editing_experiment, format_row, inclusion_sweep,
+    schema_size_sweep, Configuration, Scale, FIGURE5_PRIMITIVES,
 };
 use mapcomp_compose::ComposeConfig;
 use mapcomp_evolution::{run_editing, PrimitiveKind, ScenarioConfig};
@@ -57,6 +57,9 @@ fn main() {
     }
     if want("fig9") {
         figure_9(scale);
+    }
+    if want("fig10") {
+        figure_10(scale);
     }
     if want("corpus") {
         corpus_table();
@@ -271,6 +274,47 @@ fn figure_9(scale: Scale) {
                     format!("{:.2}", point.semi_time.as_secs_f64() * 1000.0),
                     format!("{:.1}x", point.speedup()),
                     if point.results_agree { "yes" } else { "NO" }.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn figure_10(scale: Scale) {
+    println!("\n[Figure 10] concurrent sessions: batch-composition throughput vs. worker count");
+    let points = concurrent_sessions_experiment(scale);
+    let baseline = points.first().map(|point| point.throughput());
+    let widths = vec![8, 9, 10, 11, 9, 7];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "workers".to_string(),
+                "requests".to_string(),
+                "time (ms)".to_string(),
+                "req/s".to_string(),
+                "speedup".to_string(),
+                "equal".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in points {
+        assert_eq!(point.failures, 0, "fig10 batch requests must all succeed");
+        let speedup = baseline
+            .map(|base| format!("{:.1}x", point.throughput() / base))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.workers.to_string(),
+                    point.requests.to_string(),
+                    format!("{:.2}", point.elapsed.as_secs_f64() * 1000.0),
+                    format!("{:.0}", point.throughput()),
+                    speedup,
+                    if point.results_consistent { "yes" } else { "NO" }.to_string(),
                 ],
                 &widths
             )

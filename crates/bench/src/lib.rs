@@ -661,6 +661,148 @@ pub fn chase_scaling_experiment(scale: Scale) -> Vec<ChaseScalingPoint> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Figure 10 (new experiment): concurrent shared-catalog sessions
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 10 concurrent-sessions experiment: the same batch
+/// of chain-composition requests fanned over a shared catalog with a given
+/// worker count, cold cache each time.
+#[derive(Debug, Clone)]
+pub struct ConcurrentSessionsPoint {
+    /// Worker threads used for the batch.
+    pub workers: usize,
+    /// Requests in the batch.
+    pub requests: usize,
+    /// Wall-clock time of the whole batch.
+    pub elapsed: Duration,
+    /// Requests that failed (must be 0).
+    pub failures: usize,
+    /// Did every request produce the same composed constraints as the
+    /// single-worker run?
+    pub results_consistent: bool,
+}
+
+impl ConcurrentSessionsPoint {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        let seconds = self.elapsed.as_secs_f64();
+        if seconds > 0.0 {
+            self.requests as f64 / seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Worker counts measured per scale. The smoke tier deliberately includes a
+/// worker count above any CI machine's core count, so oversubscription bugs
+/// (deadlocks, lost wakeups) cannot hide behind low parallelism.
+pub fn concurrent_workers(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![1, 4, 8],
+        Scale::Quick => vec![1, 2, 4],
+        Scale::Paper => vec![1, 2, 4, 8],
+    }
+}
+
+/// Build the Figure 10 corpus: `chains` independent evolution-style chains
+/// of `hops` links each (two relations carried per schema, so every pairwise
+/// composition eliminates two symbols), plus the all-pairs request list —
+/// every sub-span of every chain, the traffic shape of many sessions
+/// consulting one catalog.
+pub fn concurrent_corpus(scale: Scale) -> (mapcomp_catalog::Catalog, Vec<(String, String)>) {
+    use mapcomp_algebra::{parse_constraints, Signature};
+
+    let (chains, hops) = match scale {
+        Scale::Smoke => (3, 4),
+        Scale::Quick => (6, 8),
+        Scale::Paper => (12, 10),
+    };
+    let mut catalog = mapcomp_catalog::Catalog::new();
+    let mut requests = Vec::new();
+    for chain in 0..chains {
+        for i in 0..=hops {
+            catalog.add_schema(
+                format!("c{chain}v{i}"),
+                Signature::from_arities([
+                    (format!("A{chain}_{i}"), 2),
+                    (format!("B{chain}_{i}"), 1),
+                ]),
+            );
+        }
+        for i in 0..hops {
+            let constraints = parse_constraints(&format!(
+                "A{chain}_{i} <= A{chain}_{next}; project[0](B{chain}_{i}) <= B{chain}_{next}",
+                next = i + 1
+            ))
+            .expect("corpus constraints parse");
+            catalog
+                .add_mapping(
+                    format!("c{chain}m{i}"),
+                    &format!("c{chain}v{i}"),
+                    &format!("c{chain}v{}", i + 1),
+                    constraints,
+                )
+                .expect("corpus mapping registers");
+        }
+    }
+    // Requests are interleaved chain-first (all chains' 1-hop spans, then
+    // all 2-hop spans, …): neighbouring requests belong to *different*
+    // chains, so strided batch workers spread across the catalog instead of
+    // racing to compose the same segments, and short spans warm the cache
+    // before the longer spans that reuse them.
+    for len in 1..=hops {
+        for i in 0..=(hops - len) {
+            let j = i + len;
+            for chain in 0..chains {
+                requests.push((format!("c{chain}v{i}"), format!("c{chain}v{j}")));
+            }
+        }
+    }
+    (catalog, requests)
+}
+
+/// Run the Figure 10 experiment: for each worker count, share a cold-cache
+/// catalog session and time the whole batch. Results are checked against
+/// the single-worker run's composed constraints, so a concurrency bug that
+/// corrupts content (rather than just timing) fails the experiment visibly.
+pub fn concurrent_sessions_experiment(scale: Scale) -> Vec<ConcurrentSessionsPoint> {
+    let (catalog, requests) = concurrent_corpus(scale);
+    let mut reference: Option<Vec<String>> = None;
+    concurrent_workers(scale)
+        .into_iter()
+        .map(|workers| {
+            let session = mapcomp_catalog::SharedSession::new(catalog.clone(), workers);
+            let started = std::time::Instant::now();
+            let results = session.compose_batch_parallel(&requests);
+            let elapsed = started.elapsed();
+            let failures = results.iter().filter(|result| result.is_err()).count();
+            let rendered: Vec<String> = results
+                .iter()
+                .map(|result| match result {
+                    Ok(result) => result.chain.mapping.constraints.to_string(),
+                    Err(error) => format!("error: {error}"),
+                })
+                .collect();
+            let results_consistent = match &reference {
+                Some(reference) => *reference == rendered,
+                None => {
+                    reference = Some(rendered);
+                    true
+                }
+            };
+            ConcurrentSessionsPoint {
+                workers,
+                requests: requests.len(),
+                elapsed,
+                failures,
+                results_consistent,
+            }
+        })
+        .collect()
+}
+
 /// Formatting helper: a fixed-width row of cells.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -733,6 +875,50 @@ mod tests {
             largest.speedup(),
             largest.naive_time,
             largest.semi_time
+        );
+    }
+
+    #[test]
+    fn concurrent_sessions_are_correct_and_scale_with_cores() {
+        let points = concurrent_sessions_experiment(Scale::Quick);
+        assert_eq!(points.len(), concurrent_workers(Scale::Quick).len());
+        for point in &points {
+            assert_eq!(point.failures, 0, "workers {}: requests failed", point.workers);
+            assert!(
+                point.results_consistent,
+                "workers {}: composed content diverged from the single-worker run",
+                point.workers
+            );
+            assert!(point.requests > 100, "the corpus must be big enough to measure");
+        }
+    }
+
+    /// The acceptance criterion — throughput scaling > 2x from 1 to 4
+    /// workers — is a wall-clock statement about *idle* parallel hardware:
+    /// inside a loaded `cargo test` run the sibling test threads contend
+    /// with the workers and the ratio flakes, so this is `#[ignore]`d from
+    /// the default suite. Run it alone on an idle ≥ 4-core machine
+    /// (`cargo test -p mapcomp-bench --release -- --ignored`), or read the
+    /// same numbers off `figures fig10`, which CI smokes in release mode.
+    #[test]
+    #[ignore = "wall-clock scaling assertion; run alone on an idle >=4-core machine"]
+    fn concurrent_sessions_scale_beyond_2x_on_4_workers() {
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        if cores < 4 {
+            eprintln!("skipping: only {cores} core(s) available");
+            return;
+        }
+        let points = concurrent_sessions_experiment(Scale::Quick);
+        let t1 = points.iter().find(|p| p.workers == 1).expect("1-worker point");
+        let t4 = points.iter().find(|p| p.workers == 4).expect("4-worker point");
+        let scaling = t4.throughput() / t1.throughput();
+        assert!(
+            scaling > 2.0,
+            "throughput must scale > 2x from 1 to 4 workers on {cores} cores, got {scaling:.2}x \
+             ({:.1} vs {:.1} req/s)",
+            t1.throughput(),
+            t4.throughput()
         );
     }
 

@@ -16,10 +16,29 @@
 //! exceed it, the least-recently-used entry is evicted (and counted in
 //! [`CacheStats::evictions`]). Losing an entry costs one recomposition,
 //! never correctness.
+//!
+//! Statistics are cumulative across sidecar persistence and are kept in two
+//! parts: a *restored baseline* (the counters carried over from a persisted
+//! sidecar) and the *live* counters of this process. [`MemoCache::stats`]
+//! reports their sum; [`MemoCache::restore_stats`] replaces the baseline and
+//! zeroes the live part, so replaying persisted entries — and trimming them
+//! to a smaller capacity — can never double-count events the baseline
+//! already includes, no matter how many restore/flush cycles one process
+//! performs.
+//!
+//! For concurrent sessions, [`ShardedMemoCache`] stripes the same structure
+//! across per-segment mutexes (segment = hash of the memo key), so parallel
+//! workers composing disjoint chains rarely contend; [`ShardedMemoCache::stats`]
+//! merges the per-segment counters while holding every segment lock, so the
+//! merged snapshot is atomic. The chain driver reaches either shape through
+//! the [`ChainCache`] shared-reference trait.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::chain::ComposedChain;
+use crate::hash::combine;
 
 /// Key of one memoised pairwise composition.
 pub type MemoKey = (u64, u64, u64);
@@ -50,6 +69,49 @@ pub struct CacheStats {
     pub evictions: usize,
 }
 
+impl CacheStats {
+    /// The element-wise (saturating) sum of two counter sets — the merge
+    /// applied across sharded segments and between a restored baseline and
+    /// the live counters of this process.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_add(other.hits),
+            misses: self.misses.saturating_add(other.misses),
+            insertions: self.insertions.saturating_add(other.insertions),
+            invalidated: self.invalidated.saturating_add(other.invalidated),
+            evictions: self.evictions.saturating_add(other.evictions),
+        }
+    }
+}
+
+/// The cache interface of the chain driver, through a shared reference so a
+/// cache can be consulted concurrently (or through a [`RefCell`] when single
+/// threaded). Implementations may decline to retain an insertion and may
+/// drop entries at any time — the driver treats every lookup miss as "pay
+/// one pairwise composition", never as an error.
+pub trait ChainCache {
+    /// Look up a pairwise composition, counting a hit or miss.
+    fn cache_lookup(&self, key: MemoKey) -> Option<ComposedChain>;
+    /// Probe without touching statistics or recency.
+    fn cache_contains(&self, key: &MemoKey) -> bool;
+    /// Insert a composed segment under its key.
+    fn cache_insert(&self, key: MemoKey, chain: ComposedChain);
+}
+
+impl ChainCache for RefCell<MemoCache> {
+    fn cache_lookup(&self, key: MemoKey) -> Option<ComposedChain> {
+        self.borrow_mut().lookup(key)
+    }
+
+    fn cache_contains(&self, key: &MemoKey) -> bool {
+        self.borrow().contains(key)
+    }
+
+    fn cache_insert(&self, key: MemoKey, chain: ComposedChain) {
+        self.borrow_mut().insert(key, chain);
+    }
+}
+
 /// Content-addressed memo cache with dependency-tracked invalidation and
 /// optional LRU capacity.
 #[derive(Debug, Clone, Default)]
@@ -61,7 +123,12 @@ pub struct MemoCache {
     recency: BTreeMap<u64, MemoKey>,
     tick: u64,
     capacity: Option<usize>,
+    /// Counters of events observed by this cache instance.
     stats: CacheStats,
+    /// Baseline carried over from a persisted sidecar (see
+    /// [`MemoCache::restore_stats`]); already includes every event the
+    /// persisting process observed.
+    restored: CacheStats,
 }
 
 impl MemoCache {
@@ -98,15 +165,22 @@ impl MemoCache {
         self.entries.is_empty()
     }
 
-    /// Cumulative statistics.
+    /// Cumulative statistics: the restored baseline plus everything observed
+    /// by this instance.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.restored.merged(self.stats)
     }
 
-    /// Overwrite the cumulative statistics (used when restoring a persisted
-    /// cache, so lifetime counters survive across CLI invocations).
+    /// Adopt persisted cumulative counters as the new baseline, zeroing the
+    /// live counters. The baseline is *replaced*, not added: the persisted
+    /// counters already include every event up to the flush that wrote them
+    /// — in particular the insertions counted while replaying the sidecar's
+    /// entries into this cache, and any evictions from trimming the replay
+    /// to a smaller capacity — so a restore followed by a re-flush in the
+    /// same process cannot double-count.
     pub fn restore_stats(&mut self, stats: CacheStats) {
-        self.stats = stats;
+        self.restored = stats;
+        self.stats = CacheStats::default();
     }
 
     fn touch(&mut self, key: MemoKey) {
@@ -246,6 +320,149 @@ impl MemoCache {
     }
 }
 
+/// A memo cache striped across independently locked LRU segments, safe to
+/// share by reference between concurrent sessions or batch workers.
+///
+/// Each memo key maps to one segment (by key hash), so two workers touching
+/// different chain segments take different locks; a capacity bound is split
+/// evenly across segments (each segment evicts its own LRU tail). All
+/// methods take `&self`; a poisoned segment (a worker panicked while holding
+/// the lock) is recovered rather than propagated — per-entry state is always
+/// internally consistent, and losing cache entries only ever costs
+/// recomposition.
+#[derive(Debug)]
+pub struct ShardedMemoCache {
+    segments: Vec<Mutex<MemoCache>>,
+    /// Baseline adopted at construction (e.g. the stats of the single-thread
+    /// cache this was sharded from); segment live counters add onto it.
+    baseline: CacheStats,
+}
+
+fn lock_segment(segment: &Mutex<MemoCache>) -> MutexGuard<'_, MemoCache> {
+    segment.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ShardedMemoCache {
+    /// An empty sharded cache with `segments` stripes and an optional total
+    /// capacity, split evenly across segments.
+    pub fn new(segments: usize, capacity: Option<usize>) -> Self {
+        let segments = segments.max(1);
+        let per_segment = capacity.map(|total| total.div_ceil(segments));
+        ShardedMemoCache {
+            segments: (0..segments)
+                .map(|_| Mutex::new(MemoCache::with_capacity(per_segment)))
+                .collect(),
+            baseline: CacheStats::default(),
+        }
+    }
+
+    /// Shard an existing cache: its entries are distributed across segments
+    /// in least-recently-used-first order (so every segment's eviction order
+    /// follows the original recency) and its cumulative statistics become
+    /// the baseline. The replay insertions are *not* counted on top — the
+    /// baseline already includes them.
+    pub fn from_cache(cache: MemoCache, segments: usize, capacity: Option<usize>) -> Self {
+        let mut sharded = ShardedMemoCache::new(segments, capacity);
+        sharded.baseline = cache.stats();
+        for (key, entry) in cache.iter_lru() {
+            let segment = sharded.segment_of(key);
+            let mut guard = lock_segment(&sharded.segments[segment]);
+            guard.insert(*key, entry.chain.clone());
+        }
+        for segment in &sharded.segments {
+            lock_segment(segment).restore_stats(CacheStats::default());
+        }
+        sharded
+    }
+
+    fn segment_of(&self, key: &MemoKey) -> usize {
+        (combine(&[key.0, key.1, key.2]) % self.segments.len() as u64) as usize
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total number of live entries across segments.
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(|segment| lock_segment(segment).len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative statistics: the baseline plus every segment's counters,
+    /// summed while *all* segment locks are held so the merge is atomic with
+    /// respect to concurrent workers.
+    pub fn stats(&self) -> CacheStats {
+        let guards: Vec<MutexGuard<'_, MemoCache>> =
+            self.segments.iter().map(lock_segment).collect();
+        guards.iter().fold(self.baseline, |acc, guard| acc.merged(guard.stats()))
+    }
+
+    /// Drop every entry (in any segment) whose provenance mentions
+    /// `mapping`; returns how many entries were dropped. Each segment is
+    /// invalidated atomically; a concurrent worker may insert a new
+    /// dependent entry *after* its segment was swept, which is
+    /// indistinguishable from that worker running after the invalidation.
+    pub fn invalidate(&self, mapping: &str) -> usize {
+        self.segments.iter().map(|segment| lock_segment(segment).invalidate(mapping)).sum()
+    }
+
+    /// Clone-merge every segment into a single-threaded cache (used to
+    /// persist a snapshot while workers may still be running). Entries are
+    /// merged segment by segment in LRU order; cumulative statistics carry
+    /// over exactly.
+    pub fn collect(&self) -> MemoCache {
+        let mut merged = MemoCache::new();
+        let guards: Vec<MutexGuard<'_, MemoCache>> =
+            self.segments.iter().map(lock_segment).collect();
+        let mut stats = self.baseline;
+        for guard in &guards {
+            stats = stats.merged(guard.stats());
+            for (key, entry) in guard.iter_lru() {
+                merged.insert(*key, entry.chain.clone());
+            }
+        }
+        merged.restore_stats(stats);
+        merged
+    }
+
+    /// Merge the segments back into a single-threaded cache with the given
+    /// capacity, consuming the sharded cache. Per-segment recency orders are
+    /// preserved within each segment; cumulative statistics carry over
+    /// exactly (the merge replays are not re-counted).
+    pub fn into_cache(self, capacity: Option<usize>) -> MemoCache {
+        let stats = self.stats();
+        let mut merged = MemoCache::with_capacity(capacity);
+        for segment in &self.segments {
+            let guard = lock_segment(segment);
+            for (key, entry) in guard.iter_lru() {
+                merged.insert(*key, entry.chain.clone());
+            }
+        }
+        merged.restore_stats(stats);
+        merged
+    }
+}
+
+impl ChainCache for ShardedMemoCache {
+    fn cache_lookup(&self, key: MemoKey) -> Option<ComposedChain> {
+        lock_segment(&self.segments[self.segment_of(&key)]).lookup(key)
+    }
+
+    fn cache_contains(&self, key: &MemoKey) -> bool {
+        lock_segment(&self.segments[self.segment_of(key)]).contains(key)
+    }
+
+    fn cache_insert(&self, key: MemoKey, chain: ComposedChain) {
+        lock_segment(&self.segments[self.segment_of(&key)]).insert(key, chain);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,5 +592,89 @@ mod tests {
         assert_eq!(stats.hits, 11);
         assert_eq!(stats.insertions, 8);
         assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn restore_replaces_the_baseline_instead_of_compounding() {
+        // Replaying persisted entries and re-adopting the persisted counters
+        // must leave the stats exactly at the persisted values, however many
+        // restore cycles happen in one process.
+        let persisted =
+            CacheStats { hits: 3, misses: 4, insertions: 6, invalidated: 1, evictions: 2 };
+        let mut cache = MemoCache::new();
+        for round in 0..3 {
+            for i in 0..4u64 {
+                cache.insert((i, 0, 0), segment(&format!("m{i}"), &["m"], i));
+            }
+            cache.restore_stats(persisted);
+            assert_eq!(cache.stats(), persisted, "round {round}: baseline must not compound");
+        }
+    }
+
+    #[test]
+    fn sharded_cache_round_trips_entries_and_stats() {
+        let mut cache = MemoCache::new();
+        for i in 0..6u64 {
+            cache.insert((i, 0, 0), segment(&format!("m{i}"), &[&format!("m{i}")], i));
+        }
+        assert!(cache.lookup((0, 0, 0)).is_some());
+        let before = cache.stats();
+        let sharded = ShardedMemoCache::from_cache(cache, 4, None);
+        assert_eq!(sharded.segment_count(), 4);
+        assert_eq!(sharded.len(), 6);
+        assert_eq!(sharded.stats(), before, "sharding must not re-count replayed insertions");
+        // Traffic through the trait surface is counted on top of the baseline.
+        assert!(sharded.cache_lookup((0, 0, 0)).is_some());
+        assert!(sharded.cache_lookup((99, 0, 0)).is_none());
+        assert_eq!(sharded.stats().hits, before.hits + 1);
+        assert_eq!(sharded.stats().misses, before.misses + 1);
+        let merged = sharded.into_cache(None);
+        assert_eq!(merged.len(), 6);
+        assert_eq!(merged.stats().hits, before.hits + 1);
+        assert!(merged.contains(&(5, 0, 0)));
+    }
+
+    #[test]
+    fn sharded_invalidation_spans_segments() {
+        let sharded = ShardedMemoCache::new(3, None);
+        for i in 0..9u64 {
+            sharded.cache_insert((i, 0, 0), segment(&format!("p{i}"), &["shared", "other"], i));
+        }
+        sharded.cache_insert((100, 0, 0), segment("q", &["solo"], 100));
+        assert_eq!(sharded.invalidate("shared"), 9, "dependents dropped from every segment");
+        assert_eq!(sharded.len(), 1);
+        assert_eq!(sharded.stats().invalidated, 9);
+        assert!(sharded.cache_contains(&(100, 0, 0)));
+    }
+
+    #[test]
+    fn sharded_capacity_is_split_across_segments() {
+        let sharded = ShardedMemoCache::new(2, Some(4));
+        for i in 0..40u64 {
+            sharded.cache_insert((i, 0, 0), segment(&format!("m{i}"), &["m"], i));
+        }
+        assert!(sharded.len() <= 4, "total live entries bounded by the split capacity");
+        assert!(sharded.stats().evictions >= 36);
+    }
+
+    #[test]
+    fn concurrent_segment_traffic_keeps_counters_consistent() {
+        let sharded = ShardedMemoCache::new(4, None);
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let key = (worker * 1000 + i, 0, 0);
+                        sharded.cache_insert(key, segment(&format!("w{worker}"), &["m"], i));
+                        assert!(sharded.cache_lookup(key).is_some());
+                    }
+                });
+            }
+        });
+        let stats = sharded.stats();
+        assert_eq!(stats.insertions, 200);
+        assert_eq!(stats.hits, 200);
+        assert_eq!(sharded.len(), 200);
     }
 }

@@ -18,15 +18,31 @@
 //! step, mirroring how the paper's editing scenario recovers leftover
 //! symbols in later compositions.
 
+use std::cell::RefCell;
 use std::collections::BTreeSet;
 
 use mapcomp_algebra::{ConstraintSet, Mapping, Signature};
 use mapcomp_compose::{compose_constraints, ComposeConfig, Registry};
 
-use crate::cache::MemoCache;
+use crate::cache::{ChainCache, MemoCache};
 use crate::error::CatalogError;
 use crate::hash::{combine, hash_config};
 use crate::store::Catalog;
+
+/// A source of single-link chain segments by mapping name. Implemented by
+/// the single-threaded [`Catalog`] and by the lock-striped
+/// [`crate::shared::SharedCatalog`], so the chain driver composes over
+/// either without caring which store backs it.
+pub trait LinkSource {
+    /// Materialise the named mapping as a one-link chain.
+    fn link(&self, name: &str) -> Result<ComposedChain, CatalogError>;
+}
+
+impl LinkSource for Catalog {
+    fn link(&self, name: &str) -> Result<ComposedChain, CatalogError> {
+        ComposedChain::from_entry(self, name)
+    }
+}
 
 /// A (partially) composed chain segment: a mapping from the path's source
 /// schema to its target schema, plus any intermediate symbols that survived
@@ -187,6 +203,9 @@ pub fn compose_pair(
 
 /// Compose a chain of catalog mappings (given by name, adjacent pairs must
 /// share a schema), reusing and populating the memo cache.
+///
+/// Convenience wrapper over [`compose_chain_with`] for the single-threaded
+/// catalog + exclusive cache pairing.
 pub fn compose_chain(
     catalog: &Catalog,
     cache: &mut MemoCache,
@@ -195,11 +214,36 @@ pub fn compose_chain(
     config: &ComposeConfig,
     options: &ChainOptions,
 ) -> Result<ChainResult, CatalogError> {
+    // Validate before borrowing the cache: an unwind between the take and
+    // the put-back would silently replace the caller's warm cache with an
+    // empty default.
     assert!(!names.is_empty(), "compose_chain requires at least one mapping");
-    let segments: Vec<ComposedChain> = names
-        .iter()
-        .map(|name| ComposedChain::from_entry(catalog, name))
-        .collect::<Result<_, _>>()?;
+    let cell = RefCell::new(std::mem::take(cache));
+    let result = compose_chain_with(catalog, &cell, names, registry, config, options);
+    *cache = cell.into_inner();
+    result
+}
+
+/// Compose a chain through any [`LinkSource`] and shared [`ChainCache`] —
+/// the form concurrent sessions use, where several workers fold chains over
+/// one lock-striped store and one sharded cache at the same time. Cache
+/// entries may be evicted or invalidated by other workers between the probe
+/// and the fetch; the driver degrades to recomposing the affected run.
+pub fn compose_chain_with<S, C>(
+    store: &S,
+    cache: &C,
+    names: &[String],
+    registry: &Registry,
+    config: &ComposeConfig,
+    options: &ChainOptions,
+) -> Result<ChainResult, CatalogError>
+where
+    S: LinkSource + ?Sized,
+    C: ChainCache + ?Sized,
+{
+    assert!(!names.is_empty(), "compose_chain requires at least one mapping");
+    let segments: Vec<ComposedChain> =
+        names.iter().map(|name| store.link(name)).collect::<Result<_, _>>()?;
     for pair in segments.windows(2) {
         if pair[0].target != pair[1].source {
             return Err(CatalogError::ChainMismatch {
@@ -230,12 +274,16 @@ pub fn compose_chain(
     let mut acc: Option<ComposedChain> = None;
     while position < segments.len() {
         let (run_len, run_key) = longest_cached_run(&segments, position, cache, config_hash);
-        let run = match run_key {
-            Some(key) => {
+        // Between `cache_contains` and `cache_lookup` a concurrent worker may
+        // evict or invalidate the run; fall back to the single link — the
+        // fold then pays pairwise compositions it hoped to skip, nothing
+        // more.
+        let (run_len, run) = match run_key.and_then(|key| cache.cache_lookup(key)) {
+            Some(chain) => {
                 cache_hits += 1;
-                cache.lookup(key).expect("contains() implies lookup succeeds")
+                (run_len, chain)
             }
-            None => segments[position].clone(),
+            None => (1, segments[position].clone()),
         };
         plan.push(run_len);
         position += run_len;
@@ -272,17 +320,17 @@ pub fn compose_chain(
 /// Longest contiguous run of links starting at `start` that is memoised as a
 /// single left-associated segment. Returns the run length (≥ 1) and, for
 /// runs longer than one link, the memo key the whole run is stored under.
-fn longest_cached_run(
+fn longest_cached_run<C: ChainCache + ?Sized>(
     segments: &[ComposedChain],
     start: usize,
-    cache: &MemoCache,
+    cache: &C,
     config_hash: u64,
 ) -> (usize, Option<crate::cache::MemoKey>) {
     let mut hash = segments[start].hash;
     let mut best = (1, None);
     for (offset, segment) in segments[start + 1..].iter().enumerate() {
         let key = (hash, segment.hash, config_hash);
-        if !cache.contains(&key) {
+        if !cache.cache_contains(&key) {
             break;
         }
         hash = combine(&[hash, segment.hash, config_hash]);
@@ -295,10 +343,10 @@ fn longest_cached_run(
 /// result is cached even when incomplete — completeness policy is applied
 /// by the caller, uniformly for cached and fresh segments.
 #[allow(clippy::too_many_arguments)]
-fn fold_step(
+fn fold_step<C: ChainCache + ?Sized>(
     left: &ComposedChain,
     right: &ComposedChain,
-    cache: &mut MemoCache,
+    cache: &C,
     registry: &Registry,
     config: &ComposeConfig,
     config_hash: u64,
@@ -306,12 +354,12 @@ fn fold_step(
     cache_hits: &mut usize,
 ) -> Result<ComposedChain, CatalogError> {
     let key = (left.hash, right.hash, config_hash);
-    if let Some(cached) = cache.lookup(key) {
+    if let Some(cached) = cache.cache_lookup(key) {
         *cache_hits += 1;
         return Ok(cached);
     }
     let composed = compose_pair(left, right, registry, config, compose_calls)?;
-    cache.insert(key, composed.clone());
+    cache.cache_insert(key, composed.clone());
     Ok(composed)
 }
 

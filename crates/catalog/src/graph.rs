@@ -6,7 +6,7 @@
 //! likely to hit a best-effort failure); ties are broken deterministically by
 //! mapping-name order, so the same catalog always resolves the same path.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::error::CatalogError;
 use crate::store::Catalog;
@@ -15,15 +15,13 @@ use crate::store::Catalog;
 ///
 /// Returns [`CatalogError::EmptyPath`] when `from == to` (there is nothing to
 /// compose) and [`CatalogError::NoPath`] when the target is unreachable.
+/// Borrows straight out of the catalog — no per-call snapshot allocation on
+/// this hot path.
 pub fn resolve_path(catalog: &Catalog, from: &str, to: &str) -> Result<Vec<String>, CatalogError> {
     catalog.schema(from)?;
     catalog.schema(to)?;
-    if from == to {
-        return Err(CatalogError::EmptyPath { schema: from.to_string() });
-    }
-
     // Adjacency: source schema → [(mapping name, target schema)], name-sorted
-    // (BTreeMap iteration) for deterministic tie-breaking.
+    // (BTreeMap iteration order) for deterministic tie-breaking.
     let mut adjacency: BTreeMap<&str, Vec<(&str, &str)>> = BTreeMap::new();
     for entry in catalog.mappings() {
         if entry.source == entry.target {
@@ -31,7 +29,50 @@ pub fn resolve_path(catalog: &Catalog, from: &str, to: &str) -> Result<Vec<Strin
         }
         adjacency.entry(&entry.source).or_default().push((&entry.name, &entry.target));
     }
+    bfs(&adjacency, from, to)
+}
 
+/// Resolve a fewest-hops path over an explicit edge snapshot — the form the
+/// concurrent shared catalog uses, where the graph is captured once under
+/// the shard read locks and then searched without holding any lock.
+///
+/// `schemas` must list every registered schema name (for existence checks);
+/// `edges` holds `(mapping, source schema, target schema)` triples in any
+/// order (ties are broken by mapping name, as in [`resolve_path`]).
+pub fn resolve_path_in(
+    schemas: &BTreeSet<String>,
+    edges: &[(String, String, String)],
+    from: &str,
+    to: &str,
+) -> Result<Vec<String>, CatalogError> {
+    for name in [from, to] {
+        if !schemas.contains(name) {
+            return Err(CatalogError::UnknownSchema(name.to_string()));
+        }
+    }
+    let mut adjacency: BTreeMap<&str, Vec<(&str, &str)>> = BTreeMap::new();
+    for (name, source, target) in edges {
+        if source == target {
+            continue; // self-loops never shorten a path
+        }
+        adjacency.entry(source.as_str()).or_default().push((name.as_str(), target.as_str()));
+    }
+    for targets in adjacency.values_mut() {
+        targets.sort();
+    }
+    bfs(&adjacency, from, to)
+}
+
+/// Breadth-first fewest-hops search over a prebuilt adjacency map whose edge
+/// lists are sorted by mapping name (deterministic tie-breaking).
+fn bfs(
+    adjacency: &BTreeMap<&str, Vec<(&str, &str)>>,
+    from: &str,
+    to: &str,
+) -> Result<Vec<String>, CatalogError> {
+    if from == to {
+        return Err(CatalogError::EmptyPath { schema: from.to_string() });
+    }
     let mut predecessor: BTreeMap<&str, (&str, &str)> = BTreeMap::new(); // schema → (via mapping, from schema)
     let mut queue: VecDeque<&str> = VecDeque::new();
     queue.push_back(from);

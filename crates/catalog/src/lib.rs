@@ -27,6 +27,26 @@
 //! * [`replay`] — the schema-evolution simulator hooked into the catalog:
 //!   the Figure-2-style editing scenario re-expressed as incremental
 //!   recomposition (one pairwise composition per edit, not a full re-fold).
+//! * [`shared`] — concurrent sessions over one catalog: the lock-striped
+//!   [`SharedCatalog`] and the [`SharedSession`] parallel batch API.
+//!
+//! ## Concurrency model
+//!
+//! Concurrent sessions share three structures, each with its own locking
+//! discipline (details in the [`shared`] module docs):
+//!
+//! * the **store** is striped into `RwLock` shards keyed by the content hash
+//!   of the entry name — the compose read path (path resolution, chain
+//!   materialisation) takes only read locks and never serialises readers;
+//!   multi-shard writers acquire locks in ascending shard order, so
+//!   deadlock is impossible;
+//! * the **memo cache** is striped into per-segment mutex-guarded LRU
+//!   segments keyed by memo-key hash ([`cache::ShardedMemoCache`]), with
+//!   cumulative statistics merged atomically across segments;
+//! * the **sidecar** is written by a single-writer append protocol with a
+//!   mutex-guarded flush ([`persist::SidecarWriter`]); readers never block,
+//!   and the last-wins line grammar makes appended updates supersede older
+//!   ones without rewriting the file.
 //!
 //! ## Quick start
 //!
@@ -63,16 +83,22 @@ pub mod hash;
 pub mod persist;
 pub mod replay;
 pub mod session;
+pub mod shared;
 pub mod store;
 
-pub use cache::{CacheStats, MemoCache, MemoEntry, MemoKey};
-pub use chain::{compose_chain, compose_pair, ChainOptions, ChainResult, ComposedChain};
+pub use cache::{CacheStats, ChainCache, MemoCache, MemoEntry, MemoKey, ShardedMemoCache};
+pub use chain::{
+    compose_chain, compose_chain_with, compose_pair, ChainOptions, ChainResult, ComposedChain,
+    LinkSource,
+};
 pub use error::CatalogError;
-pub use graph::{reachable, resolve_path};
+pub use graph::{reachable, resolve_path, resolve_path_in};
 pub use hash::{hash_config, hash_mapping, hash_signature, ContentHash};
 pub use persist::{
-    load_cache, load_state, load_versions, save_cache, save_state, save_versions, VersionManifest,
+    load_cache, load_state, load_versions, save_cache, save_state, save_versions, SidecarWriter,
+    VersionManifest,
 };
 pub use replay::{replay_editing, CatalogReplay, ReplayRecord};
 pub use session::{Session, SessionConfig, SessionStats};
+pub use shared::{SharedCatalog, SharedSession};
 pub use store::{Catalog, MappingEntry, SchemaEntry};

@@ -37,6 +37,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
 
 use mapcomp_algebra::{parse_document, Mapping, Signature};
 
@@ -72,20 +75,36 @@ impl VersionManifest {
     pub fn is_empty(&self) -> bool {
         self.schemas.is_empty() && self.mappings.is_empty()
     }
+
+    /// Capture a single mapping entry (e.g. for appending one writer's
+    /// update to a shared sidecar without rendering the whole catalog).
+    pub fn of_mapping(entry: &crate::store::MappingEntry) -> Self {
+        let mut manifest = VersionManifest::default();
+        let history = entry.history.iter().map(|&(v, h)| (v, h.0)).collect();
+        manifest.mappings.insert(entry.name.clone(), (entry.version, history));
+        manifest
+    }
+
+    /// Render the manifest as sidecar `version …` lines. Loading keeps the
+    /// *last* line per entry, so appending a newer rendering supersedes
+    /// older ones without rewriting the file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, (version, hash)) in &self.schemas {
+            let _ = writeln!(out, "version schema {name} {version} {hash:016x}");
+        }
+        for (name, (version, history)) in &self.mappings {
+            let rendered: Vec<String> =
+                history.iter().map(|(v, h)| format!("{v}:{h:016x}")).collect();
+            let _ = writeln!(out, "version mapping {name} {version} {}", rendered.join(" "));
+        }
+        out
+    }
 }
 
 /// Render the version manifest of a catalog as sidecar lines.
 pub fn save_versions(catalog: &Catalog) -> String {
-    let manifest = VersionManifest::of(catalog);
-    let mut out = String::new();
-    for (name, (version, hash)) in &manifest.schemas {
-        let _ = writeln!(out, "version schema {name} {version} {hash:016x}");
-    }
-    for (name, (version, history)) in &manifest.mappings {
-        let rendered: Vec<String> = history.iter().map(|(v, h)| format!("{v}:{h:016x}")).collect();
-        let _ = writeln!(out, "version mapping {name} {version} {}", rendered.join(" "));
-    }
-    out
+    VersionManifest::of(catalog).render()
 }
 
 /// Parse `version …` lines out of a sidecar rendering; malformed lines are
@@ -283,6 +302,71 @@ pub fn load_cache(text: &str) -> MemoCache {
     cache
 }
 
+/// Single-writer sidecar file shared by concurrent sessions in one process.
+///
+/// All writes are serialised by an internal mutex; readers never take it —
+/// they read the file directly, which is safe because the file only ever
+/// changes by appending whole writes ([`SidecarWriter::append`]) or by an
+/// atomic rename ([`SidecarWriter::rewrite`]). The sidecar grammar is
+/// last-wins per entry (later `version`/`stats`/`entry` lines supersede
+/// earlier ones on load) and loaders skip malformed lines, so even a reader
+/// racing an in-flight append sees a consistent prefix.
+///
+/// Appends accumulate; call [`SidecarWriter::rewrite`] with a full
+/// [`save_state`] rendering to compact the file (typically once, at session
+/// end).
+#[derive(Debug)]
+pub struct SidecarWriter {
+    path: PathBuf,
+    guard: Mutex<()>,
+}
+
+impl SidecarWriter {
+    /// A writer for the sidecar at `path` (the file need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        SidecarWriter { path: path.into(), guard: Mutex::new(()) }
+    }
+
+    /// The sidecar path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a chunk of sidecar lines and flush, under the writer mutex.
+    /// Concurrent appenders are serialised, so no writer's lines can be torn
+    /// or lost; within one append the chunk lands contiguously.
+    pub fn append(&self, lines: &str) -> std::io::Result<()> {
+        let _guard = self.guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        let mut chunk = lines.to_string();
+        if !chunk.ends_with('\n') {
+            chunk.push('\n');
+        }
+        file.write_all(chunk.as_bytes())?;
+        file.flush()
+    }
+
+    /// Replace the whole sidecar with `content` atomically: the new content
+    /// is written to a temporary sibling and renamed over the file, so a
+    /// concurrent reader sees either the old or the new sidecar, never a
+    /// mixture.
+    pub fn rewrite(&self, content: &str) -> std::io::Result<()> {
+        let _guard = self.guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let tmp = self.path.with_extension("memo.tmp");
+        std::fs::write(&tmp, content)?;
+        std::fs::rename(&tmp, &self.path)
+    }
+
+    /// Read the sidecar into a version manifest and cache (the counterpart
+    /// of [`load_state`]); a missing file is an empty sidecar.
+    pub fn load(&self) -> (VersionManifest, MemoCache) {
+        match std::fs::read_to_string(&self.path) {
+            Ok(text) => load_state(&text),
+            Err(_) => (VersionManifest::default(), MemoCache::new()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +497,71 @@ mod tests {
         assert_eq!(rebuilt.mapping("m0").unwrap().version, 1);
         assert_eq!(rebuilt.schema("s0").unwrap().version, 1);
         assert_eq!(rebuilt.mapping("m1").unwrap().hash, catalog.mapping("m1").unwrap().hash);
+    }
+
+    fn temp_sidecar(tag: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("mapcomp_persist_{}_{tag}.memo", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn appended_version_lines_supersede_earlier_ones() {
+        let mut session = warm_session();
+        let writer = SidecarWriter::new(temp_sidecar("append"));
+        writer.append(&save_versions(session.catalog())).unwrap();
+        session.update_mapping("m1", parse_constraints("project[0](R1) <= R2").unwrap()).unwrap();
+        let entry = session.catalog().mapping("m1").unwrap().clone();
+        writer.append(&VersionManifest::of_mapping(&entry).render()).unwrap();
+        let (manifest, _) = writer.load();
+        assert_eq!(manifest.mappings["m1"].0, 2, "last appended line wins");
+        assert_eq!(manifest.mappings["m0"].0, 1, "earlier entries survive the append");
+        let _ = std::fs::remove_file(writer.path());
+    }
+
+    #[test]
+    fn concurrent_appends_lose_no_updates() {
+        let writer = SidecarWriter::new(temp_sidecar("race"));
+        let session = warm_session();
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let writer = &writer;
+                let catalog = session.catalog();
+                scope.spawn(move || {
+                    for round in 1..=5u64 {
+                        let mut entry = catalog.mapping("m1").unwrap().clone();
+                        entry.name = format!("w{worker}");
+                        entry.version = round;
+                        writer.append(&VersionManifest::of_mapping(&entry).render()).unwrap();
+                    }
+                });
+            }
+        });
+        let (manifest, _) = writer.load();
+        for worker in 0..4u64 {
+            let (version, _) = &manifest.mappings[&format!("w{worker}")];
+            assert_eq!(*version, 5, "worker {worker}'s final append must not be lost");
+        }
+        let _ = std::fs::remove_file(writer.path());
+    }
+
+    #[test]
+    fn rewrite_compacts_appended_state() {
+        let session = warm_session();
+        let writer = SidecarWriter::new(temp_sidecar("compact"));
+        for _ in 0..3 {
+            writer.append(&save_state(session.catalog(), session.cache())).unwrap();
+        }
+        let appended_len = std::fs::read_to_string(writer.path()).unwrap().len();
+        writer.rewrite(&save_state(session.catalog(), session.cache())).unwrap();
+        let compacted = std::fs::read_to_string(writer.path()).unwrap();
+        assert!(compacted.len() < appended_len, "rewrite must compact the sidecar");
+        let (manifest, cache) = writer.load();
+        assert!(!manifest.is_empty());
+        assert_eq!(cache.len(), session.cache().len());
+        assert_eq!(cache.stats(), session.cache().stats());
+        let _ = std::fs::remove_file(writer.path());
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use mapcomp_algebra::{ConstraintSet, Document, Signature};
 use mapcomp_compose::{ComposeConfig, Registry};
 
-use crate::cache::{CacheStats, MemoCache};
-use crate::chain::{compose_chain, ChainOptions, ChainResult};
+use crate::cache::{CacheStats, MemoCache, ShardedMemoCache};
+use crate::chain::{compose_chain, compose_chain_with, ChainOptions, ChainResult};
 use crate::error::CatalogError;
 use crate::graph::resolve_path;
 use crate::store::Catalog;
@@ -193,6 +193,93 @@ impl Session {
         requests.iter().map(|(from, to)| self.compose_path(from, to)).collect()
     }
 
+    /// Parallel batch API: fan the requests across `workers` scoped threads
+    /// sharing this session's catalog (read-only) and its memo cache,
+    /// temporarily striped into per-worker locked segments (see
+    /// [`ShardedMemoCache`]). The cache — entries and cumulative statistics —
+    /// is merged back into the session afterwards, so a parallel batch is
+    /// observationally a faster [`Session::compose_batch`]. Results come
+    /// back in request order; per-request failures do not abort the batch.
+    ///
+    /// For fully concurrent sessions (mutations racing compositions), see
+    /// [`crate::shared::SharedSession`].
+    pub fn compose_batch_parallel(
+        &mut self,
+        requests: &[(String, String)],
+        workers: usize,
+    ) -> Vec<Result<ChainResult, CatalogError>> {
+        let workers = workers.max(1).min(requests.len().max(1));
+        let sharded = ShardedMemoCache::from_cache(
+            std::mem::take(&mut self.cache),
+            workers.saturating_mul(4).clamp(4, 64),
+            self.config.cache_capacity,
+        );
+        // Each slot records (path resolved?, outcome) so the counter updates
+        // below match `compose_batch` exactly: `paths_resolved` counts
+        // successful resolutions even when the composition then fails
+        // (e.g. under `require_complete`).
+        type Outcome = (bool, Result<ChainResult, CatalogError>);
+        let mut slots: Vec<Option<Outcome>> = (0..requests.len()).map(|_| None).collect();
+        let (catalog, registry, config) = (&self.catalog, &self.registry, &self.config);
+        let compose_one = |from: &str, to: &str| -> Outcome {
+            let path = match resolve_path(catalog, from, to) {
+                Ok(path) => path,
+                Err(error) => return (false, Err(error)),
+            };
+            let result = compose_chain_with(
+                catalog,
+                &sharded,
+                &path,
+                registry,
+                &config.compose,
+                &config.chain,
+            );
+            (true, result)
+        };
+        if workers <= 1 {
+            for (slot, (from, to)) in slots.iter_mut().zip(requests) {
+                *slot = Some(compose_one(from, to));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        let compose_one = &compose_one;
+                        scope.spawn(move || {
+                            let mut done = Vec::new();
+                            let mut index = worker;
+                            while index < requests.len() {
+                                let (from, to) = &requests[index];
+                                done.push((index, compose_one(from, to)));
+                                index += workers;
+                            }
+                            done
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (index, outcome) in handle.join().expect("batch worker panicked") {
+                        slots[index] = Some(outcome);
+                    }
+                }
+            });
+        }
+        self.cache = sharded.into_cache(self.config.cache_capacity);
+        let mut results = Vec::with_capacity(requests.len());
+        for slot in slots {
+            let (resolved, result) = slot.expect("every request assigned");
+            if resolved {
+                self.paths_resolved += 1;
+            }
+            if let Ok(result) = &result {
+                self.compose_calls += result.compose_calls;
+                self.chains_composed += 1;
+            }
+            results.push(result);
+        }
+        results
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
@@ -212,9 +299,15 @@ impl Session {
     /// Replace the memo cache, e.g. with one restored from a sidecar file
     /// (see [`crate::persist`]). Content addressing makes this safe: entries
     /// that no longer match any current mapping hash are simply never hit.
-    /// The session's configured capacity is applied to the restored cache.
+    /// The session's configured capacity is applied to the restored cache;
+    /// entries trimmed by that are replay artifacts, not workload events, so
+    /// the cumulative counters are pinned back to their pre-trim values —
+    /// otherwise every restore/flush cycle of a capacity-bounded session
+    /// would count the same evictions again.
     pub fn restore_cache(&mut self, mut cache: MemoCache) {
+        let persisted = cache.stats();
         cache.set_capacity(self.config.cache_capacity);
+        cache.restore_stats(persisted);
         self.cache = cache;
     }
 }
@@ -334,6 +427,70 @@ mod tests {
         let again = session.compose_path("v0", &format!("v{hops}")).unwrap();
         assert!(again.is_complete());
         assert!(again.compose_calls > 0);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_batch() {
+        let requests: Vec<(String, String)> = (0..5)
+            .flat_map(|i| ((i + 1)..=5).map(move |j| (format!("v{i}"), format!("v{j}"))))
+            .chain([("v9".to_string(), "v0".to_string())])
+            .collect();
+        let mut parallel = chain_session(5);
+        let parallel_results = parallel.compose_batch_parallel(&requests, 4);
+        let mut sequential = chain_session(5);
+        let sequential_results = sequential.compose_batch(&requests);
+        assert_eq!(parallel_results.len(), sequential_results.len());
+        for (index, (p, s)) in parallel_results.iter().zip(&sequential_results).enumerate() {
+            match (p, s) {
+                (Ok(p), Ok(s)) => {
+                    assert_eq!(
+                        p.chain.mapping.constraints.to_string(),
+                        s.chain.mapping.constraints.to_string(),
+                        "request {index} diverged"
+                    );
+                    assert_eq!(p.chain.path, s.chain.path);
+                    // Not compared: `chain.hash`, which encodes the fold
+                    // association actually used and so legitimately varies
+                    // with cache warmth (scheduling) even for equal content.
+                }
+                (Err(_), Err(_)) => {}
+                other => panic!("request {index}: outcome mismatch {other:?}"),
+            }
+        }
+        // The sharded cache was merged back: a warm recompose is free.
+        let warm = parallel.compose_path("v0", "v5").unwrap();
+        assert_eq!(warm.compose_calls, 0);
+        assert_eq!(parallel.stats().chains_composed, requests.len() - 1 + 1);
+    }
+
+    #[test]
+    fn restore_then_reflush_cycles_do_not_inflate_stats() {
+        // A capacity-bounded session restoring a larger persisted cache must
+        // not count the replay trim as workload evictions — however many
+        // restore/flush cycles happen in one process.
+        let mut donor = chain_session(6);
+        donor.compose_path("v0", "v6").unwrap();
+        let persisted = donor.cache().stats();
+        assert!(persisted.insertions >= 5);
+
+        let config = SessionConfig { cache_capacity: Some(2), ..SessionConfig::default() };
+        let catalog = donor.catalog().clone();
+        let mut bounded =
+            Session::with_config(catalog, mapcomp_compose::Registry::standard(), config);
+        for cycle in 0..3 {
+            let mut replayed = MemoCache::new();
+            for (key, entry) in donor.cache().iter() {
+                replayed.insert(*key, entry.chain.clone());
+            }
+            replayed.restore_stats(persisted);
+            bounded.restore_cache(replayed);
+            assert_eq!(
+                bounded.cache().stats(),
+                persisted,
+                "cycle {cycle}: replay trim must not count as evictions"
+            );
+            assert!(bounded.cache().len() <= 2);
+        }
     }
 
     #[test]

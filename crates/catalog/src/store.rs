@@ -113,6 +113,19 @@ impl Catalog {
         Ok(entry.to_mapping(&source.signature, &target.signature))
     }
 
+    /// Adopt a fully-formed schema entry, preserving its version and hash
+    /// (used when assembling a catalog snapshot from shared-catalog shards).
+    pub(crate) fn insert_schema_entry(&mut self, entry: SchemaEntry) {
+        self.schemas.insert(entry.name.clone(), entry);
+    }
+
+    /// Adopt a fully-formed mapping entry, preserving version, hash and
+    /// history (used when assembling a catalog snapshot from shared-catalog
+    /// shards).
+    pub(crate) fn insert_mapping_entry(&mut self, entry: MappingEntry) {
+        self.mappings.insert(entry.name.clone(), entry);
+    }
+
     /// Register or update a schema; returns the new version. Updating an
     /// existing schema bumps its version and rehashes every mapping that
     /// touches it (their content includes the schema's signature). The names

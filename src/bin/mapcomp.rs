@@ -20,12 +20,19 @@
 //! memo cache) and compose multi-hop chains incrementally:
 //!
 //! ```text
-//! mapcomp catalog add          --catalog <file> <document-file>...
-//! mapcomp catalog compose-path --catalog <file> <from-schema> <to-schema>
-//!                              [--require-complete] [--stats] [compose flags]
-//! mapcomp catalog invalidate   --catalog <file> <mapping-name>
-//! mapcomp catalog stats        --catalog <file>
+//! mapcomp catalog add           --catalog <file> <document-file>...
+//! mapcomp catalog compose-path  --catalog <file> <from-schema> <to-schema>
+//!                               [--require-complete] [--stats] [compose flags]
+//! mapcomp catalog compose-batch --catalog <file> [--workers N]
+//!                               <from> <to> [<from> <to> ...]
+//! mapcomp catalog invalidate    --catalog <file> <mapping-name>
+//! mapcomp catalog stats         --catalog <file>
 //! ```
+//!
+//! `compose-batch` fans its requests across `--workers` scoped threads
+//! sharing one catalog and one (segment-striped) memo cache, so overlapping
+//! chains pay for their common segments once — the multi-session traffic
+//! shape, served from a single invocation.
 //!
 //! Every catalog command also accepts `--cache-capacity N` to bound the memo
 //! cache (least-recently-used entries are evicted past the bound; 0 means
@@ -163,11 +170,13 @@ struct CatalogOptions {
     require_complete: bool,
     stats: bool,
     cache_capacity: Option<usize>,
+    workers: usize,
 }
 
 fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
     let command = args.first().cloned().ok_or(
-        "missing catalog command: expected `add`, `compose-path`, `invalidate`, or `stats`",
+        "missing catalog command: expected `add`, `compose-path`, `compose-batch`, \
+         `invalidate`, or `stats`",
     )?;
     let mut catalog_file = None;
     let mut positional = Vec::new();
@@ -175,6 +184,7 @@ fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
     let mut require_complete = false;
     let mut stats = false;
     let mut cache_capacity = None;
+    let mut workers = 1usize;
     let mut iter = args[1..].iter().peekable();
     while let Some(arg) = iter.next() {
         if parse_compose_flag(arg, &mut iter, &mut config)? {
@@ -193,6 +203,14 @@ fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
                     value.parse().map_err(|_| format!("invalid cache capacity `{value}`"))?;
                 cache_capacity = if entries == 0 { None } else { Some(entries) };
             }
+            "--workers" => {
+                let value = iter.next().ok_or("--workers requires a count")?;
+                workers = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid worker count `{value}`"))?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => positional.push(other.to_string()),
         }
@@ -206,6 +224,7 @@ fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
         require_complete,
         stats,
         cache_capacity,
+        workers,
     })
 }
 
@@ -266,8 +285,10 @@ fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
             let mut session = load_session(options, true)?;
             let mut touched = Vec::new();
             for file in &options.positional {
-                let text = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-                let document = parse_document(&text).map_err(|e| format!("{file}: parse error: {e}"))?;
+                let text = std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read {file}: {e}"))?;
+                let document =
+                    parse_document(&text).map_err(|e| format!("{file}: parse error: {e}"))?;
                 touched.extend(session.ingest_document(&document).map_err(|e| e.to_string())?);
             }
             save_session(options, &session)?;
@@ -319,6 +340,62 @@ fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
                     "cache       : {} entries ({} hits / {} misses lifetime)",
                     stats.cache_entries, stats.cache.hits, stats.cache.misses
                 );
+            }
+            Ok(())
+        }
+        "compose-batch" => {
+            if options.positional.is_empty() || !options.positional.len().is_multiple_of(2) {
+                return Err(
+                    "catalog compose-batch requires <from> <to> pairs (an even number of schema names)"
+                        .to_string(),
+                );
+            }
+            let requests: Vec<(String, String)> = options
+                .positional
+                .chunks(2)
+                .map(|pair| (pair[0].clone(), pair[1].clone()))
+                .collect();
+            let mut session = load_session(options, false)?;
+            let started = std::time::Instant::now();
+            let results = session.compose_batch_parallel(&requests, options.workers);
+            let elapsed = started.elapsed();
+            save_session(options, &session)?;
+            let mut failures = 0usize;
+            for ((from, to), result) in requests.iter().zip(&results) {
+                match result {
+                    Ok(result) => {
+                        let residual = if result.is_complete() {
+                            String::new()
+                        } else {
+                            format!(" residual {:?}", result.chain.residual.names())
+                        };
+                        eprintln!(
+                            "ok   : {from} -> {to} via {:?} ({} compose calls, {} cache hits{residual})",
+                            result.chain.path, result.compose_calls, result.cache_hits
+                        );
+                    }
+                    Err(error) => {
+                        failures += 1;
+                        eprintln!("fail : {from} -> {to} : {error}");
+                    }
+                }
+            }
+            eprintln!(
+                "batch       : {} requests, {} failed, {} workers, {:.1} ms",
+                requests.len(),
+                failures,
+                options.workers,
+                elapsed.as_secs_f64() * 1000.0
+            );
+            if options.stats {
+                let stats = session.stats();
+                eprintln!(
+                    "compose     : {} pairwise calls lifetime; cache {} entries ({} hits / {} misses)",
+                    stats.compose_calls, stats.cache_entries, stats.cache.hits, stats.cache.misses
+                );
+            }
+            if failures > 0 {
+                return Err(format!("{failures} of {} batch requests failed", requests.len()));
             }
             Ok(())
         }
@@ -375,7 +452,13 @@ fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
             for (key, entry) in session.cache().iter() {
                 eprintln!(
                     "  {:016x}/{:016x}/{:016x} : {} -> {} via {:?} ({} hits)",
-                    key.0, key.1, key.2, entry.chain.source, entry.chain.target, entry.chain.path, entry.hits
+                    key.0,
+                    key.1,
+                    key.2,
+                    entry.chain.source,
+                    entry.chain.target,
+                    entry.chain.path,
+                    entry.hits
                 );
             }
             // Connectivity summary: for each schema, what it can compose to.
@@ -391,7 +474,8 @@ fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown catalog command `{other}`: expected `add`, `compose-path`, `invalidate`, or `stats`"
+            "unknown catalog command `{other}`: expected `add`, `compose-path`, \
+             `compose-batch`, `invalidate`, or `stats`"
         )),
     }
 }
@@ -404,11 +488,13 @@ fn main() -> ExitCode {
              [--no-unfolding] [--no-left-compose] [--no-right-compose] \
              [--minimize] [--blowup N] [--stats]\n\
              \n\
-             \x20      mapcomp catalog add          --catalog <file> <document-file>...\n\
-             \x20      mapcomp catalog compose-path --catalog <file> <from> <to> \
+             \x20      mapcomp catalog add           --catalog <file> <document-file>...\n\
+             \x20      mapcomp catalog compose-path  --catalog <file> <from> <to> \
              [--require-complete] [--stats]\n\
-             \x20      mapcomp catalog invalidate   --catalog <file> <mapping>\n\
-             \x20      mapcomp catalog stats        --catalog <file>\n\
+             \x20      mapcomp catalog compose-batch --catalog <file> [--workers N] \
+             <from> <to> [<from> <to> ...]\n\
+             \x20      mapcomp catalog invalidate    --catalog <file> <mapping>\n\
+             \x20      mapcomp catalog stats         --catalog <file>\n\
              \x20      (catalog commands also accept --cache-capacity N; 0 = unbounded)"
         );
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };

@@ -100,11 +100,11 @@ pub mod prelude {
     };
     pub use mapcomp_catalog::{
         replay_editing, Catalog, CatalogError, ChainOptions, ChainResult, ContentHash, MemoCache,
-        Session, SessionConfig, SessionStats,
+        Session, SessionConfig, SessionStats, SharedCatalog, SharedSession, SidecarWriter,
     };
     pub use mapcomp_compose::{
         compose, compose_constraints, eliminate, ComposeConfig, ComposeResult, EliminateStep,
-        Monotonicity, Registry,
+        JoinOrder, Monotonicity, Registry,
     };
     pub use mapcomp_corpus::{problem, problems};
     pub use mapcomp_evolution::{
