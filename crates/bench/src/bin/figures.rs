@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--paper | --smoke] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9]
-//!         [fig10] [corpus] [claims] [all]
+//!         [fig10] [fig11] [corpus] [claims] [all]
 //! ```
 //!
 //! Without arguments every figure is produced at the quick scale; `--paper`
@@ -16,7 +16,7 @@ use std::time::Instant;
 use mapcomp_bench::{
     chain_cache_experiment, chase_scaling_experiment, concurrent_sessions_experiment,
     corpus_report, edit_count_sweep, editing_experiment, format_row, inclusion_sweep,
-    schema_size_sweep, Configuration, Scale, FIGURE5_PRIMITIVES,
+    schema_size_sweep, service_throughput_experiment, Configuration, Scale, FIGURE5_PRIMITIVES,
 };
 use mapcomp_compose::ComposeConfig;
 use mapcomp_evolution::{run_editing, PrimitiveKind, ScenarioConfig};
@@ -60,6 +60,9 @@ fn main() {
     }
     if want("fig10") {
         figure_10(scale);
+    }
+    if want("fig11") {
+        figure_11(scale);
     }
     if want("corpus") {
         corpus_table();
@@ -302,6 +305,49 @@ fn figure_10(scale: Scale) {
     );
     for point in points {
         assert_eq!(point.failures, 0, "fig10 batch requests must all succeed");
+        let speedup = baseline
+            .map(|base| format!("{:.1}x", point.throughput() / base))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.workers.to_string(),
+                    point.requests.to_string(),
+                    format!("{:.2}", point.elapsed.as_secs_f64() * 1000.0),
+                    format!("{:.0}", point.throughput()),
+                    speedup,
+                    if point.results_consistent { "yes" } else { "NO" }.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn figure_11(scale: Scale) {
+    println!(
+        "\n[Figure 11] service layer: request throughput over loopback TCP vs. server workers"
+    );
+    let points = service_throughput_experiment(scale);
+    let baseline = points.first().map(|point| point.throughput());
+    let widths = vec![8, 9, 10, 11, 9, 7];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "workers".to_string(),
+                "requests".to_string(),
+                "time (ms)".to_string(),
+                "req/s".to_string(),
+                "speedup".to_string(),
+                "equal".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in points {
+        assert_eq!(point.failures, 0, "fig11 service requests must all succeed");
         let speedup = baseline
             .map(|base| format!("{:.1}x", point.throughput() / base))
             .unwrap_or_else(|| "-".to_string());

@@ -803,6 +803,136 @@ pub fn concurrent_sessions_experiment(scale: Scale) -> Vec<ConcurrentSessionsPoi
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Figure 11 (new experiment): service throughput over loopback TCP
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 11 service-throughput experiment: the Figure 10
+/// request corpus driven through a loopback TCP server with a given worker
+/// count, one client connection per worker, cold cache each time.
+#[derive(Debug, Clone)]
+pub struct ServiceThroughputPoint {
+    /// Server connection-worker threads (and concurrent client connections).
+    pub workers: usize,
+    /// Requests issued across all clients.
+    pub requests: usize,
+    /// Wall-clock time from the first request to the last reply.
+    pub elapsed: Duration,
+    /// Requests that failed (must be 0).
+    pub failures: usize,
+    /// Did every request produce the same composed chain document as the
+    /// single-worker run?
+    pub results_consistent: bool,
+}
+
+impl ServiceThroughputPoint {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        let seconds = self.elapsed.as_secs_f64();
+        if seconds > 0.0 {
+            self.requests as f64 / seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Server worker counts measured per scale (one client connection per
+/// worker). Mirrors [`concurrent_workers`], including the smoke tier's
+/// deliberate oversubscription.
+pub fn service_workers(scale: Scale) -> Vec<usize> {
+    concurrent_workers(scale)
+}
+
+/// Serve `catalog` on an ephemeral loopback port with `workers` connection
+/// workers, fan `requests` across `workers` concurrent client connections
+/// (strided, one `compose-path` call per request), shut the server down, and
+/// return the per-request chain documents in request order plus the
+/// wall-clock time of the client phase. Failed requests render as an
+/// `error: …` line so the caller can both count and compare them.
+pub fn service_batch_over_loopback(
+    catalog: &mapcomp_catalog::Catalog,
+    requests: &[(String, String)],
+    workers: usize,
+) -> (Vec<(String, bool)>, Duration) {
+    use mapcomp_service::{Client, LocalService, Request, Response, Server};
+
+    let service = LocalService::new(catalog.clone(), workers);
+    let server = Server::bind("127.0.0.1:0").expect("bind a loopback port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let clients = workers.max(1);
+    let mut outcomes: Vec<(usize, String, bool)> = Vec::with_capacity(requests.len());
+    let mut elapsed = Duration::default();
+    std::thread::scope(|scope| {
+        let (server, service, addr) = (&server, &service, addr.as_str());
+        scope.spawn(move || {
+            server.run(service, workers).expect("server run");
+        });
+        let started = std::time::Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                scope.spawn(move || {
+                    let client = Client::connect(addr).expect("connect to loopback server");
+                    let mut done = Vec::new();
+                    let mut index = client_index;
+                    while index < requests.len() {
+                        let (from, to) = &requests[index];
+                        let request = Request::ComposePath { from: from.clone(), to: to.clone() };
+                        done.push(match client.call(request) {
+                            Ok(Response::Composed(payload)) => (index, payload.document, true),
+                            Ok(other) => (index, format!("error: {}", other.kind()), false),
+                            Err(error) => (index, format!("error: {error}"), false),
+                        });
+                        index += clients;
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            outcomes.extend(handle.join().expect("client thread panicked"));
+        }
+        elapsed = started.elapsed();
+        // All clients are done; stop the server so the scope can close.
+        let closer = Client::connect(addr).expect("connect for shutdown");
+        closer.call(Request::Shutdown).expect("shutdown accepted");
+    });
+    outcomes.sort_by_key(|(index, _, _)| *index);
+    (outcomes.into_iter().map(|(_, text, ok)| (text, ok)).collect(), elapsed)
+}
+
+/// Run the Figure 11 experiment: for each worker count, serve a cold-cache
+/// catalog over loopback TCP and time the full request corpus issued by
+/// `workers` concurrent client connections. Results are checked against the
+/// single-worker run's chain documents, so a concurrency or codec bug that
+/// corrupts content fails the experiment visibly.
+pub fn service_throughput_experiment(scale: Scale) -> Vec<ServiceThroughputPoint> {
+    let (catalog, requests) = concurrent_corpus(scale);
+    let mut reference: Option<Vec<String>> = None;
+    service_workers(scale)
+        .into_iter()
+        .map(|workers| {
+            let (outcomes, elapsed) = service_batch_over_loopback(&catalog, &requests, workers);
+            let failures = outcomes.iter().filter(|(_, ok)| !ok).count();
+            let rendered: Vec<String> = outcomes.into_iter().map(|(text, _)| text).collect();
+            let results_consistent = match &reference {
+                Some(reference) => *reference == rendered,
+                None => {
+                    reference = Some(rendered);
+                    true
+                }
+            };
+            ServiceThroughputPoint {
+                workers,
+                requests: requests.len(),
+                elapsed,
+                failures,
+                results_consistent,
+            }
+        })
+        .collect()
+}
+
 /// Formatting helper: a fixed-width row of cells.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -920,6 +1050,21 @@ mod tests {
             t1.throughput(),
             t4.throughput()
         );
+    }
+
+    #[test]
+    fn service_throughput_matches_in_process_results() {
+        let points = service_throughput_experiment(Scale::Smoke);
+        assert_eq!(points.len(), service_workers(Scale::Smoke).len());
+        for point in &points {
+            assert_eq!(point.failures, 0, "workers {}: requests failed", point.workers);
+            assert!(
+                point.results_consistent,
+                "workers {}: composed content diverged from the single-worker run",
+                point.workers
+            );
+            assert!(point.requests > 0);
+        }
     }
 
     #[test]

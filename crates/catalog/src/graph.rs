@@ -1,15 +1,46 @@
 //! The composition graph: schemas are nodes, mappings are directed edges.
 //!
 //! Path resolution answers "compose σ_from → σ_to" by finding a directed
-//! path of mappings between the two schemas. Breadth-first search returns a
-//! fewest-hops path (fewer pairwise compositions is both faster and less
-//! likely to hit a best-effort failure); ties are broken deterministically by
-//! mapping-name order, so the same catalog always resolves the same path.
+//! path of mappings between the two schemas. Under the default
+//! [`PathCost::Hops`] a breadth-first search returns a fewest-hops path
+//! (fewer pairwise compositions is both faster and less likely to hit a
+//! best-effort failure). Under [`PathCost::OpCount`] a Dijkstra search
+//! instead minimises the estimated operator-count growth of the fold — the
+//! sum of each traversed mapping's constraint operator count — so a longer
+//! path of cheap copy mappings beats a short path through operator-heavy
+//! mappings. Ties are broken deterministically (fewest hops, then
+//! mapping-name order), so the same catalog always resolves the same path.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use mapcomp_algebra::ConstraintSet;
+
 use crate::error::CatalogError;
 use crate::store::Catalog;
+
+/// How path resolution scores candidate paths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PathCost {
+    /// Fewest hops: every mapping costs 1 (breadth-first search).
+    #[default]
+    Hops,
+    /// Cheapest estimated operator-count growth: every mapping costs
+    /// `1 + op_count(constraints)`, so composing through an operator-heavy
+    /// mapping is penalised even when it shortens the path.
+    OpCount,
+}
+
+/// The edge weight of a mapping under [`PathCost::OpCount`]: one (the hop
+/// itself) plus the operator count of its constraints, a proxy for how much
+/// the pairwise composition through it grows the chain.
+pub fn edge_cost(constraints: &ConstraintSet) -> u64 {
+    1 + constraints.op_count() as u64
+}
+
+/// A weighted composition-graph edge: `(mapping, source schema, target
+/// schema, weight)` — the snapshot form consumed by
+/// [`resolve_path_costed_in`].
+pub type WeightedEdge = (String, String, String, u64);
 
 /// Resolve a fewest-hops path of mapping names from `from` to `to`.
 ///
@@ -61,6 +92,127 @@ pub fn resolve_path_in(
         targets.sort();
     }
     bfs(&adjacency, from, to)
+}
+
+/// Resolve a path under an explicit cost model: [`PathCost::Hops`] delegates
+/// to [`resolve_path`]; [`PathCost::OpCount`] runs a deterministic Dijkstra
+/// search weighted by [`edge_cost`].
+pub fn resolve_path_with(
+    catalog: &Catalog,
+    from: &str,
+    to: &str,
+    cost: PathCost,
+) -> Result<Vec<String>, CatalogError> {
+    match cost {
+        PathCost::Hops => resolve_path(catalog, from, to),
+        PathCost::OpCount => {
+            catalog.schema(from)?;
+            catalog.schema(to)?;
+            let mut adjacency: BTreeMap<&str, Vec<(&str, &str, u64)>> = BTreeMap::new();
+            for entry in catalog.mappings() {
+                if entry.source == entry.target {
+                    continue; // self-loops never cheapen a path
+                }
+                adjacency.entry(&entry.source).or_default().push((
+                    &entry.name,
+                    &entry.target,
+                    edge_cost(&entry.constraints),
+                ));
+            }
+            dijkstra(&adjacency, from, to)
+        }
+    }
+}
+
+/// Resolve a cheapest path over an explicit weighted edge snapshot — the
+/// form the concurrent shared catalog uses for [`PathCost::OpCount`].
+/// `edges` holds `(mapping, source schema, target schema, weight)` tuples in
+/// any order; ties are broken by fewest hops, then mapping name.
+pub fn resolve_path_costed_in(
+    schemas: &BTreeSet<String>,
+    edges: &[WeightedEdge],
+    from: &str,
+    to: &str,
+) -> Result<Vec<String>, CatalogError> {
+    for name in [from, to] {
+        if !schemas.contains(name) {
+            return Err(CatalogError::UnknownSchema(name.to_string()));
+        }
+    }
+    let mut adjacency: BTreeMap<&str, Vec<(&str, &str, u64)>> = BTreeMap::new();
+    for (name, source, target, weight) in edges {
+        if source == target {
+            continue; // self-loops never cheapen a path
+        }
+        adjacency.entry(source.as_str()).or_default().push((
+            name.as_str(),
+            target.as_str(),
+            *weight,
+        ));
+    }
+    for targets in adjacency.values_mut() {
+        targets.sort();
+    }
+    dijkstra(&adjacency, from, to)
+}
+
+/// Deterministic Dijkstra over a weighted adjacency map: the frontier is a
+/// `BTreeSet` keyed `(cost, hops, node)`, and an equal-cost relaxation only
+/// replaces a recorded predecessor when its `(hops, mapping, previous)`
+/// tuple is lexicographically smaller, so resolution never depends on edge
+/// insertion order.
+fn dijkstra(
+    adjacency: &BTreeMap<&str, Vec<(&str, &str, u64)>>,
+    from: &str,
+    to: &str,
+) -> Result<Vec<String>, CatalogError> {
+    if from == to {
+        return Err(CatalogError::EmptyPath { schema: from.to_string() });
+    }
+    // node → (cost, hops, via mapping, previous node)
+    let mut best: BTreeMap<&str, (u64, usize, &str, &str)> = BTreeMap::new();
+    let mut frontier: BTreeSet<(u64, usize, &str)> = BTreeSet::new();
+    let mut settled: BTreeSet<&str> = BTreeSet::new();
+    frontier.insert((0, 0, from));
+    while let Some(&(cost, hops, node)) = frontier.iter().next() {
+        frontier.remove(&(cost, hops, node));
+        if !settled.insert(node) {
+            continue;
+        }
+        if node == to {
+            break;
+        }
+        let Some(edges) = adjacency.get(node) else { continue };
+        for &(mapping, next, weight) in edges {
+            if next == from || settled.contains(next) {
+                continue;
+            }
+            let candidate = (cost + weight, hops + 1, mapping, node);
+            let improves = match best.get(next) {
+                None => true,
+                Some(recorded) => candidate < *recorded,
+            };
+            if improves {
+                if let Some(&(old_cost, old_hops, _, _)) = best.get(next) {
+                    frontier.remove(&(old_cost, old_hops, next));
+                }
+                best.insert(next, candidate);
+                frontier.insert((candidate.0, candidate.1, next));
+            }
+        }
+    }
+    if !settled.contains(to) {
+        return Err(CatalogError::NoPath { from: from.to_string(), to: to.to_string() });
+    }
+    let mut path = Vec::new();
+    let mut node = to;
+    while node != from {
+        let (_, _, mapping, previous) = best[node];
+        path.push(mapping.to_string());
+        node = previous;
+    }
+    path.reverse();
+    Ok(path)
 }
 
 /// Breadth-first fewest-hops search over a prebuilt adjacency map whose edge
@@ -182,6 +334,111 @@ mod tests {
             resolve_path(&catalog, "s0", "nope"),
             Err(CatalogError::UnknownSchema(_))
         ));
+    }
+
+    /// Two routes s0 → s3: a 2-hop path through an operator-heavy mapping
+    /// and a 3-hop path of plain copies.
+    fn costed_catalog() -> Catalog {
+        use mapcomp_algebra::parse_constraints;
+        let mut catalog = Catalog::new();
+        for i in 0..4 {
+            catalog.add_schema(format!("s{i}"), Signature::from_arities([(format!("R{i}"), 1)]));
+        }
+        // Cheap 3-hop chain: plain copies, edge cost 1 + 0 each.
+        for i in 0..3 {
+            catalog
+                .add_mapping(
+                    format!("copy{i}"),
+                    &format!("s{i}"),
+                    &format!("s{}", i + 1),
+                    parse_constraints(&format!("R{i} <= R{}", i + 1)).unwrap(),
+                )
+                .unwrap();
+        }
+        // Expensive 2-hop shortcut through s9: heavy operator trees.
+        catalog.add_schema("s9", Signature::from_arities([("R9", 1)]));
+        catalog
+            .add_mapping(
+                "heavy1",
+                "s0",
+                "s9",
+                parse_constraints("project[0](select[#0 = #1](R0 * R0)) <= R9").unwrap(),
+            )
+            .unwrap();
+        catalog
+            .add_mapping(
+                "heavy2",
+                "s9",
+                "s3",
+                parse_constraints("project[0](select[#0 = #1](R9 * R9)) <= R3").unwrap(),
+            )
+            .unwrap();
+        catalog
+    }
+
+    #[test]
+    fn op_count_cost_prefers_cheap_three_hops_over_expensive_two() {
+        let catalog = costed_catalog();
+        // Hop count alone picks the 2-hop shortcut.
+        assert_eq!(
+            resolve_path_with(&catalog, "s0", "s3", PathCost::Hops).unwrap(),
+            vec!["heavy1", "heavy2"]
+        );
+        // Operator-count cost picks the cheaper 3-hop copy chain: the copies
+        // cost 1 each (no operators) while each heavy edge carries a
+        // product + selection + projection tree.
+        assert_eq!(
+            resolve_path_with(&catalog, "s0", "s3", PathCost::OpCount).unwrap(),
+            vec!["copy0", "copy1", "copy2"]
+        );
+    }
+
+    #[test]
+    fn costed_resolution_matches_bfs_on_uniform_weights() {
+        let catalog = chain_catalog(5);
+        let schemas: BTreeSet<String> = catalog.schemas().map(|entry| entry.name.clone()).collect();
+        let edges: Vec<(String, String, String, u64)> = catalog
+            .mappings()
+            .map(|entry| (entry.name.clone(), entry.source.clone(), entry.target.clone(), 1))
+            .collect();
+        assert_eq!(
+            resolve_path_costed_in(&schemas, &edges, "s0", "s4").unwrap(),
+            resolve_path(&catalog, "s0", "s4").unwrap()
+        );
+        assert!(matches!(
+            resolve_path_costed_in(&schemas, &edges, "s4", "s0"),
+            Err(CatalogError::NoPath { .. })
+        ));
+        assert!(matches!(
+            resolve_path_costed_in(&schemas, &edges, "s1", "s1"),
+            Err(CatalogError::EmptyPath { .. })
+        ));
+        assert!(matches!(
+            resolve_path_costed_in(&schemas, &edges, "s0", "nope"),
+            Err(CatalogError::UnknownSchema(_))
+        ));
+    }
+
+    #[test]
+    fn costed_ties_break_by_hops_then_name() {
+        let mut catalog = chain_catalog(3);
+        // A direct edge whose weight equals the 2-hop chain's total: fewer
+        // hops wins the tie.
+        catalog.add_mapping("direct", "s0", "s2", ConstraintSet::new()).unwrap();
+        let schemas: BTreeSet<String> = catalog.schemas().map(|entry| entry.name.clone()).collect();
+        let mut edges: Vec<(String, String, String, u64)> = catalog
+            .mappings()
+            .map(|entry| (entry.name.clone(), entry.source.clone(), entry.target.clone(), 1))
+            .collect();
+        for edge in &mut edges {
+            if edge.0 == "direct" {
+                edge.3 = 2;
+            }
+        }
+        assert_eq!(resolve_path_costed_in(&schemas, &edges, "s0", "s2").unwrap(), vec!["direct"]);
+        // An equal-cost, equal-hops alternative with an earlier name wins.
+        edges.push(("adirect".to_string(), "s0".to_string(), "s2".to_string(), 2));
+        assert_eq!(resolve_path_costed_in(&schemas, &edges, "s0", "s2").unwrap(), vec!["adirect"]);
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub mod chain;
 pub mod error;
 pub mod graph;
 pub mod hash;
+pub mod lock;
 pub mod persist;
 pub mod replay;
 pub mod session;
@@ -92,11 +93,15 @@ pub use chain::{
     LinkSource,
 };
 pub use error::CatalogError;
-pub use graph::{reachable, resolve_path, resolve_path_in};
+pub use graph::{
+    edge_cost, reachable, resolve_path, resolve_path_costed_in, resolve_path_in, resolve_path_with,
+    PathCost,
+};
 pub use hash::{hash_config, hash_mapping, hash_signature, ContentHash};
+pub use lock::{pid_alive, FileLock, FileLockGuard};
 pub use persist::{
-    load_cache, load_state, load_versions, save_cache, save_state, save_versions, SidecarWriter,
-    VersionManifest,
+    load_cache, load_state, load_versions, parse_chain_document, render_chain_document, save_cache,
+    save_state, save_versions, SidecarWriter, VersionManifest,
 };
 pub use replay::{replay_editing, CatalogReplay, ReplayRecord};
 pub use session::{Session, SessionConfig, SessionStats};

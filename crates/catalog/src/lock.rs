@@ -1,0 +1,262 @@
+//! Cross-process sidecar locking: an advisory `.lock` file with
+//! create-exclusive semantics and PID-liveness stale-lock detection.
+//!
+//! [`crate::persist::SidecarWriter`]'s internal mutex serialises writers
+//! *within one process*; two CLI invocations (or a server and a CLI) racing
+//! on the same sidecar would still interleave their rewrites. The
+//! [`FileLock`] here closes that gap: every append/rewrite first creates the
+//! sibling `<sidecar>.lock` file with `O_CREAT|O_EXCL` semantics
+//! (`create_new`), writes `pid <id>` into it, and removes it when done.
+//!
+//! A process that dies while holding the lock would otherwise block every
+//! later writer forever, so contenders probe the recorded PID for liveness
+//! (`/proc/<pid>` on Linux; elsewhere the probe conservatively reports
+//! "alive") and break the lock when the holder is gone. Breaking is
+//! serialised by an atomic *rename* to a per-process sibling — exactly one
+//! contender wins the steal, the stolen file's PID is re-checked, and a
+//! lock that turns out to be freshly re-acquired is handed back via
+//! `hard_link` (which refuses to clobber a newer lock) — so two breakers
+//! cannot both unlink and then race each other's rewrites. If the hand-back
+//! loses a further race (a third contender grabbed the empty slot first),
+//! exclusivity is briefly shared; guards bound the damage by removing the
+//! lock file at drop time only when it still records *their own* PID, so a
+//! stolen holder never deletes a successor's lock. The remaining
+//! known window is PID recycling: a crashed holder's PID handed to an
+//! unrelated live process (e.g. after a reboot) makes the probe report
+//! "alive" and the lock unbreakable until the operator deletes the `.lock`
+//! file by hand — writers fail fast with `TimedOut` after a bounded wait
+//! rather than hanging, and recording the holder's start time next to the
+//! PID would close the window if it ever bites in practice.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// An advisory cross-process lock backed by a create-exclusive `.lock` file.
+#[derive(Debug)]
+pub struct FileLock {
+    path: PathBuf,
+}
+
+/// Holding proof for a [`FileLock`]; removes the lock file on drop.
+#[derive(Debug)]
+pub struct FileLockGuard {
+    path: PathBuf,
+}
+
+impl Drop for FileLockGuard {
+    fn drop(&mut self) {
+        // Remove only a lock file this process still owns: if a breaker
+        // mistakenly stole and recycled the slot while we held it, the file
+        // on disk now records another holder's PID — deleting it would
+        // admit yet another writer behind that holder's back.
+        let ours = match std::fs::read_to_string(&self.path) {
+            Ok(text) => parse_pid(&text) == Some(std::process::id()),
+            Err(_) => false,
+        };
+        if ours {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+impl FileLock {
+    /// The lock guarding `file`: its sibling `<file>.lock`.
+    pub fn for_file(file: &Path) -> Self {
+        let mut name = file.file_name().unwrap_or_default().to_os_string();
+        name.push(".lock");
+        FileLock { path: file.with_file_name(name) }
+    }
+
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Try to take the lock once: create the lock file exclusively and
+    /// record this process's PID. Returns `None` when another holder exists
+    /// (after breaking it if its recorded PID is no longer alive — the next
+    /// attempt can then succeed).
+    pub fn try_acquire(&self) -> io::Result<Option<FileLockGuard>> {
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(&self.path) {
+            Ok(mut file) => {
+                writeln!(file, "pid {}", std::process::id())?;
+                file.flush()?;
+                Ok(Some(FileLockGuard { path: self.path.clone() }))
+            }
+            Err(error) if error.kind() == io::ErrorKind::AlreadyExists => {
+                if self.holder_is_stale() {
+                    self.break_stale();
+                }
+                Ok(None)
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    /// Break a (probed-stale) lock atomically: *rename* it to a per-process
+    /// sibling first — exactly one contender's rename succeeds, so two
+    /// breakers can never both unlink and then race each other's fresh
+    /// locks. The stolen file's PID is re-checked after the rename; a lock
+    /// that turns out to belong to a holder who acquired between the probe
+    /// and the rename is handed back via `hard_link`, which (unlike rename)
+    /// refuses to clobber a newer lock.
+    fn break_stale(&self) {
+        // Re-probe immediately before the steal: another contender may have
+        // broken the stale lock and acquired a fresh one since our caller's
+        // probe, and stealing a live holder's lock — even with the hand-back
+        // below — briefly weakens exclusivity.
+        if !self.holder_is_stale() {
+            return;
+        }
+        let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".break{}", std::process::id()));
+        let hijack = self.path.with_file_name(name);
+        if std::fs::rename(&self.path, &hijack).is_err() {
+            return; // released, or another contender won the break
+        }
+        let still_stale = match std::fs::read_to_string(&hijack) {
+            Ok(text) => match parse_pid(&text) {
+                Some(pid) => !pid_alive(pid),
+                None => true,
+            },
+            Err(_) => true,
+        };
+        if !still_stale {
+            let _ = std::fs::hard_link(&hijack, &self.path);
+        }
+        let _ = std::fs::remove_file(&hijack);
+    }
+
+    /// Acquire the lock, retrying (and breaking stale holders) until
+    /// `timeout` elapses. Fails with [`io::ErrorKind::TimedOut`] when a live
+    /// holder keeps the lock the whole time.
+    pub fn acquire(&self, timeout: Duration) -> io::Result<FileLockGuard> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(guard) = self.try_acquire()? {
+                return Ok(guard);
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("lock file {} is held by a live process", self.path.display()),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Is the current holder provably dead? Unreadable-but-present lock
+    /// files report *not* stale (the holder may be mid-write); a readable
+    /// file whose `pid` line is missing or malformed is treated as stale
+    /// (a torn write from a crashed holder).
+    fn holder_is_stale(&self) -> bool {
+        match std::fs::read_to_string(&self.path) {
+            Ok(text) => match parse_pid(&text) {
+                Some(pid) => !pid_alive(pid),
+                None => true,
+            },
+            Err(_) => false,
+        }
+    }
+}
+
+/// Parse the `pid <id>` line of a lock file.
+fn parse_pid(text: &str) -> Option<u32> {
+    let rest = text.lines().next()?.trim().strip_prefix("pid ")?;
+    rest.trim().parse().ok()
+}
+
+/// Liveness probe for a recorded lock-holder PID. On platforms with a
+/// `/proc` filesystem this checks `/proc/<pid>`; elsewhere it conservatively
+/// reports alive (a lock is then only released by its holder, never broken).
+pub fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if proc_root.is_dir() {
+        proc_root.join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_target(tag: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("mapcomp_lock_{}_{tag}.memo", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(FileLock::for_file(&path).path());
+        path
+    }
+
+    #[test]
+    fn lock_is_exclusive_and_released_on_drop() {
+        let target = temp_target("exclusive");
+        let lock = FileLock::for_file(&target);
+        let guard = lock.try_acquire().unwrap().expect("first acquire succeeds");
+        assert!(lock.path().exists());
+        assert!(lock.try_acquire().unwrap().is_none(), "held lock must not be re-acquired");
+        drop(guard);
+        assert!(!lock.path().exists(), "guard drop removes the lock file");
+        let again = lock.try_acquire().unwrap();
+        assert!(again.is_some(), "released lock can be taken again");
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_pid_is_broken() {
+        let target = temp_target("stale");
+        let lock = FileLock::for_file(&target);
+        // PIDs above the kernel's default pid_max (4194304) never exist.
+        std::fs::write(lock.path(), "pid 999999999\n").unwrap();
+        let guard = lock.acquire(Duration::from_secs(2)).expect("stale lock must be broken");
+        drop(guard);
+    }
+
+    #[test]
+    fn malformed_lock_files_are_treated_as_stale() {
+        let target = temp_target("garbage");
+        let lock = FileLock::for_file(&target);
+        std::fs::write(lock.path(), "not a pid line").unwrap();
+        let guard = lock.acquire(Duration::from_secs(2)).expect("torn lock must be broken");
+        drop(guard);
+    }
+
+    #[test]
+    fn live_holder_times_out_other_acquirers() {
+        let target = temp_target("timeout");
+        let lock = FileLock::for_file(&target);
+        let _guard = lock.try_acquire().unwrap().expect("acquire");
+        // This process is alive, so the second acquire must wait and fail.
+        let error = lock.acquire(Duration::from_millis(60)).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn contended_acquires_serialise_across_threads() {
+        let target = temp_target("contended");
+        let lock = FileLock::for_file(&target);
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (lock, counter) = (&lock, &counter);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let _guard = lock.acquire(Duration::from_secs(10)).unwrap();
+                        let seen = counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        // Mutual exclusion: nobody else increments while the
+                        // lock is held.
+                        std::thread::sleep(Duration::from_millis(1));
+                        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), seen + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 20);
+    }
+}

@@ -40,12 +40,20 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
 
 use mapcomp_algebra::{parse_document, Mapping, Signature};
 
 use crate::cache::{CacheStats, MemoCache};
 use crate::chain::ComposedChain;
+use crate::lock::FileLock;
 use crate::store::Catalog;
+
+/// How long a sidecar write waits for the cross-process `.lock` file before
+/// giving up. Writers hold the lock for one append or rewrite only, so a
+/// live contender releases it in milliseconds; a dead one is broken by the
+/// PID-liveness probe on the first retry.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Persisted version counters and hash history for catalog entries,
 /// decoupled from the content-only document format.
@@ -163,6 +171,35 @@ pub fn load_state(text: &str) -> (VersionManifest, MemoCache) {
     (load_versions(text), load_cache(text))
 }
 
+/// Render a composed chain's *content* as a self-contained embeddable
+/// document: the `__in`/`__out`/`__residual` schemas plus the `__seg`
+/// mapping. This is the exact byte format the sidecar embeds per memo entry,
+/// reused by the service layer's wire payloads so a chain composed remotely
+/// renders identically to one composed in process.
+pub fn render_chain_document(chain: &ComposedChain) -> String {
+    let mut out = String::new();
+    write_schema(&mut out, "__in", &chain.mapping.input);
+    write_schema(&mut out, "__out", &chain.mapping.output);
+    write_schema(&mut out, "__residual", &chain.residual);
+    let _ = writeln!(out, "mapping __seg : __in -> __out {{");
+    for constraint in chain.mapping.constraints.iter() {
+        let _ = writeln!(out, "    {constraint};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Parse a [`render_chain_document`] rendering back into the composed
+/// mapping and the residual signature. Returns `None` for malformed text.
+pub fn parse_chain_document(text: &str) -> Option<(Mapping, Signature)> {
+    let document = parse_document(text).ok()?;
+    let input = document.schema("__in").ok()?;
+    let output = document.schema("__out").ok()?;
+    let residual = document.schema("__residual").ok()?;
+    let (_, _, constraints) = document.mappings.get("__seg")?;
+    Some((Mapping::new(input.clone(), output.clone(), constraints.clone()), residual.clone()))
+}
+
 fn write_schema(out: &mut String, name: &str, sig: &Signature) {
     let _ = write!(out, "schema {name} {{ ");
     for (rel, info) in sig.iter() {
@@ -196,14 +233,7 @@ pub fn save_cache(cache: &MemoCache) -> String {
         let deps: Vec<&str> = chain.deps.iter().map(String::as_str).collect();
         let _ = writeln!(out, "deps {}", deps.join(" "));
         let _ = writeln!(out, "begin-document");
-        write_schema(&mut out, "__in", &chain.mapping.input);
-        write_schema(&mut out, "__out", &chain.mapping.output);
-        write_schema(&mut out, "__residual", &chain.residual);
-        let _ = writeln!(out, "mapping __seg : __in -> __out {{");
-        for constraint in chain.mapping.constraints.iter() {
-            let _ = writeln!(out, "    {constraint};");
-        }
-        let _ = writeln!(out, "}}");
+        out.push_str(&render_chain_document(chain));
         let _ = writeln!(out, "end-document");
     }
     out
@@ -276,22 +306,8 @@ pub fn load_cache(text: &str) -> MemoCache {
         if !complete {
             continue;
         }
-        let Ok(document) = parse_document(&document_text) else { continue };
-        let (Ok(input), Ok(output), Ok(residual)) =
-            (document.schema("__in"), document.schema("__out"), document.schema("__residual"))
-        else {
-            continue;
-        };
-        let Some((_, _, constraints)) = document.mappings.get("__seg") else { continue };
-        let chain = ComposedChain {
-            source,
-            target,
-            path,
-            mapping: Mapping::new(input.clone(), output.clone(), constraints.clone()),
-            residual: residual.clone(),
-            hash,
-            deps,
-        };
+        let Some((mapping, residual)) = parse_chain_document(&document_text) else { continue };
+        let chain = ComposedChain { source, target, path, mapping, residual, hash, deps };
         cache.insert((left, right, config), chain);
     }
     // The persisted counters already include the insertions replayed above;
@@ -302,15 +318,20 @@ pub fn load_cache(text: &str) -> MemoCache {
     cache
 }
 
-/// Single-writer sidecar file shared by concurrent sessions in one process.
+/// Single-writer sidecar file shared by concurrent sessions — in one
+/// process and across processes.
 ///
-/// All writes are serialised by an internal mutex; readers never take it —
-/// they read the file directly, which is safe because the file only ever
-/// changes by appending whole writes ([`SidecarWriter::append`]) or by an
-/// atomic rename ([`SidecarWriter::rewrite`]). The sidecar grammar is
-/// last-wins per entry (later `version`/`stats`/`entry` lines supersede
-/// earlier ones on load) and loaders skip malformed lines, so even a reader
-/// racing an in-flight append sees a consistent prefix.
+/// All writes are serialised twice over: by an internal mutex (threads of
+/// this process) and by an advisory cross-process [`FileLock`] on the
+/// sibling `<sidecar>.lock` file (other CLI invocations or servers; stale
+/// locks from dead holders are broken by a PID-liveness probe). Readers
+/// never take either — they read the file directly, which is safe because
+/// the file only ever changes by appending whole writes
+/// ([`SidecarWriter::append`]) or by an atomic rename
+/// ([`SidecarWriter::rewrite`]). The sidecar grammar is last-wins per entry
+/// (later `version`/`stats`/`entry` lines supersede earlier ones on load)
+/// and loaders skip malformed lines, so even a reader racing an in-flight
+/// append sees a consistent prefix.
 ///
 /// Appends accumulate; call [`SidecarWriter::rewrite`] with a full
 /// [`save_state`] rendering to compact the file (typically once, at session
@@ -319,12 +340,15 @@ pub fn load_cache(text: &str) -> MemoCache {
 pub struct SidecarWriter {
     path: PathBuf,
     guard: Mutex<()>,
+    lock: FileLock,
 }
 
 impl SidecarWriter {
     /// A writer for the sidecar at `path` (the file need not exist yet).
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        SidecarWriter { path: path.into(), guard: Mutex::new(()) }
+        let path: PathBuf = path.into();
+        let lock = FileLock::for_file(&path);
+        SidecarWriter { path, guard: Mutex::new(()), lock }
     }
 
     /// The sidecar path.
@@ -332,11 +356,13 @@ impl SidecarWriter {
         &self.path
     }
 
-    /// Append a chunk of sidecar lines and flush, under the writer mutex.
-    /// Concurrent appenders are serialised, so no writer's lines can be torn
-    /// or lost; within one append the chunk lands contiguously.
+    /// Append a chunk of sidecar lines and flush, under the writer mutex and
+    /// the cross-process lock file. Concurrent appenders are serialised, so
+    /// no writer's lines can be torn or lost; within one append the chunk
+    /// lands contiguously.
     pub fn append(&self, lines: &str) -> std::io::Result<()> {
         let _guard = self.guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let _file_lock = self.lock.acquire(LOCK_TIMEOUT)?;
         let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
         let mut chunk = lines.to_string();
         if !chunk.ends_with('\n') {
@@ -347,14 +373,45 @@ impl SidecarWriter {
     }
 
     /// Replace the whole sidecar with `content` atomically: the new content
-    /// is written to a temporary sibling and renamed over the file, so a
-    /// concurrent reader sees either the old or the new sidecar, never a
-    /// mixture.
+    /// is written to a temporary sibling and renamed over the file (under
+    /// the writer mutex and the cross-process lock file), so a concurrent
+    /// reader sees either the old or the new sidecar, never a mixture.
     pub fn rewrite(&self, content: &str) -> std::io::Result<()> {
         let _guard = self.guard.lock().unwrap_or_else(PoisonError::into_inner);
-        let tmp = self.path.with_extension("memo.tmp");
+        let _file_lock = self.lock.acquire(LOCK_TIMEOUT)?;
+        self.rename_over(&self.path, content)
+    }
+
+    /// Atomically replace both the catalog document at `document_path` and
+    /// the sidecar in one critical section: the writer mutex and the
+    /// cross-process lock are held across `render` *and* both tmp-write +
+    /// rename pairs. Taking the state snapshot inside the critical section
+    /// (the `render` closure) is what makes snapshot order equal write
+    /// order — without it, a writer holding an older snapshot could clobber
+    /// a newer, already-acknowledged state — and holding the lock across
+    /// both renames means a concurrent writer cannot interleave (one
+    /// writer's document paired with another's sidecar) and a lock-free
+    /// reader never sees a truncated file.
+    pub fn rewrite_with_document(
+        &self,
+        document_path: &Path,
+        render: impl FnOnce() -> (String, String),
+    ) -> std::io::Result<()> {
+        let _guard = self.guard.lock().unwrap_or_else(PoisonError::into_inner);
+        let _file_lock = self.lock.acquire(LOCK_TIMEOUT)?;
+        let (document, sidecar) = render();
+        self.rename_over(document_path, &document)?;
+        self.rename_over(&self.path, &sidecar)
+    }
+
+    /// Write `content` to a `.tmp` sibling of `target` and rename it over
+    /// `target`. Callers hold the writer mutex and the file lock.
+    fn rename_over(&self, target: &Path, content: &str) -> std::io::Result<()> {
+        let mut name = target.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        let tmp = target.with_file_name(name);
         std::fs::write(&tmp, content)?;
-        std::fs::rename(&tmp, &self.path)
+        std::fs::rename(&tmp, target)
     }
 
     /// Read the sidecar into a version manifest and cache (the counterpart
@@ -543,6 +600,19 @@ mod tests {
             let (version, _) = &manifest.mappings[&format!("w{worker}")];
             assert_eq!(*version, 5, "worker {worker}'s final append must not be lost");
         }
+        let _ = std::fs::remove_file(writer.path());
+    }
+
+    #[test]
+    fn sidecar_writes_break_stale_cross_process_locks() {
+        let writer = SidecarWriter::new(temp_sidecar("lockbreak"));
+        let lock_path = FileLock::for_file(writer.path()).path().to_path_buf();
+        // A crashed process left its lock behind; the PID can never be live.
+        std::fs::write(&lock_path, "pid 999999999\n").unwrap();
+        writer.append("version mapping m 1 1:00000000000000aa\n").unwrap();
+        assert!(!lock_path.exists(), "append must break the stale lock and release its own");
+        let (manifest, _) = writer.load();
+        assert_eq!(manifest.mappings["m"].0, 1);
         let _ = std::fs::remove_file(writer.path());
     }
 

@@ -14,7 +14,7 @@ use mapcomp_compose::{ComposeConfig, Registry};
 use crate::cache::{CacheStats, MemoCache, ShardedMemoCache};
 use crate::chain::{compose_chain, compose_chain_with, ChainOptions, ChainResult};
 use crate::error::CatalogError;
-use crate::graph::resolve_path;
+use crate::graph::{resolve_path_with, PathCost};
 use crate::store::Catalog;
 
 /// Configuration of a session.
@@ -30,6 +30,9 @@ pub struct SessionConfig {
     /// When the bound is hit, least-recently-used entries are evicted; see
     /// [`crate::cache::CacheStats::evictions`].
     pub cache_capacity: Option<usize>,
+    /// How `compose_path` scores candidate paths: fewest hops (default) or
+    /// cheapest estimated operator-count growth (see [`PathCost`]).
+    pub path_cost: PathCost,
 }
 
 /// Cumulative session statistics.
@@ -161,9 +164,10 @@ impl Session {
         self.cache.invalidate(mapping)
     }
 
-    /// Resolve a fewest-hops path and compose it ("compose σ_from → σ_to").
+    /// Resolve a path under the configured [`PathCost`] and compose it
+    /// ("compose σ_from → σ_to").
     pub fn compose_path(&mut self, from: &str, to: &str) -> Result<ChainResult, CatalogError> {
-        let path = resolve_path(&self.catalog, from, to)?;
+        let path = resolve_path_with(&self.catalog, from, to, self.config.path_cost)?;
         self.paths_resolved += 1;
         self.compose_names(&path)
     }
@@ -222,7 +226,7 @@ impl Session {
         let mut slots: Vec<Option<Outcome>> = (0..requests.len()).map(|_| None).collect();
         let (catalog, registry, config) = (&self.catalog, &self.registry, &self.config);
         let compose_one = |from: &str, to: &str| -> Outcome {
-            let path = match resolve_path(catalog, from, to) {
+            let path = match resolve_path_with(catalog, from, to, config.path_cost) {
                 Ok(path) => path,
                 Err(error) => return (false, Err(error)),
             };
@@ -491,6 +495,46 @@ mod tests {
             );
             assert!(bounded.cache().len() <= 2);
         }
+    }
+
+    #[test]
+    fn op_count_path_cost_picks_the_cheaper_longer_route() {
+        // A 2-hop shortcut through operator-heavy mappings vs. the 3-hop
+        // copy chain: hop-based resolution takes the shortcut, op-count-based
+        // resolution the cheap chain — and both compose successfully.
+        let mut build = chain_session(3);
+        build.add_schema("shortcut", Signature::from_arities([("S", 1)]));
+        build
+            .add_mapping(
+                "heavy1",
+                "v0",
+                "shortcut",
+                parse_constraints("project[0](select[#0 = #1](R0 * R0)) <= S").unwrap(),
+            )
+            .unwrap();
+        build
+            .add_mapping(
+                "heavy2",
+                "shortcut",
+                "v3",
+                parse_constraints("project[0](select[#0 = #1](S * S)) <= R3").unwrap(),
+            )
+            .unwrap();
+        let catalog = build.catalog().clone();
+
+        let mut by_hops = Session::new(catalog.clone());
+        let short = by_hops.compose_path("v0", "v3").unwrap();
+        assert_eq!(short.chain.path, vec!["heavy1", "heavy2"]);
+
+        let config = SessionConfig {
+            path_cost: crate::graph::PathCost::OpCount,
+            ..SessionConfig::default()
+        };
+        let mut by_cost =
+            Session::with_config(catalog, mapcomp_compose::Registry::standard(), config);
+        let cheap = by_cost.compose_path("v0", "v3").unwrap();
+        assert_eq!(cheap.chain.path, vec!["m0", "m1", "m2"]);
+        assert!(cheap.is_complete());
     }
 
     #[test]

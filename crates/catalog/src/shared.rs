@@ -37,13 +37,13 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use mapcomp_algebra::{ConstraintSet, Mapping, Signature};
+use mapcomp_algebra::{ConstraintSet, Document, Mapping, Signature};
 use mapcomp_compose::Registry;
 
 use crate::cache::ShardedMemoCache;
 use crate::chain::{compose_chain_with, ChainResult, ComposedChain, LinkSource};
 use crate::error::CatalogError;
-use crate::graph::resolve_path_in;
+use crate::graph::{edge_cost, resolve_path_costed_in, resolve_path_in, PathCost};
 use crate::hash::{hash_mapping, hash_signature, hash_str};
 use crate::session::{SessionConfig, SessionStats};
 use crate::store::{Catalog, MappingEntry, SchemaEntry};
@@ -266,6 +266,44 @@ impl SharedCatalog {
         resolve_path_in(&schemas, &edges, from, to)
     }
 
+    /// Capture the composition graph with per-edge operator-count weights
+    /// (see [`edge_cost`]), under all shard read locks at once.
+    pub fn graph_snapshot_costed(&self) -> (BTreeSet<String>, Vec<crate::graph::WeightedEdge>) {
+        let guards: Vec<RwLockReadGuard<'_, Shard>> = self.shards.iter().map(read).collect();
+        let mut schemas = BTreeSet::new();
+        let mut edges = Vec::new();
+        for guard in &guards {
+            schemas.extend(guard.schemas.keys().cloned());
+            for entry in guard.mappings.values() {
+                edges.push((
+                    entry.name.clone(),
+                    entry.source.clone(),
+                    entry.target.clone(),
+                    edge_cost(&entry.constraints),
+                ));
+            }
+        }
+        edges.sort();
+        (schemas, edges)
+    }
+
+    /// Resolve a path under an explicit [`PathCost`] over a consistent graph
+    /// snapshot.
+    pub fn resolve_path_with(
+        &self,
+        from: &str,
+        to: &str,
+        cost: PathCost,
+    ) -> Result<Vec<String>, CatalogError> {
+        match cost {
+            PathCost::Hops => self.resolve_path(from, to),
+            PathCost::OpCount => {
+                let (schemas, edges) = self.graph_snapshot_costed();
+                resolve_path_costed_in(&schemas, &edges, from, to)
+            }
+        }
+    }
+
     /// Clone the whole store back into a single-threaded [`Catalog`]
     /// (versions and history preserved), taken under all shard read locks.
     pub fn snapshot(&self) -> Catalog {
@@ -372,6 +410,11 @@ impl SharedSession {
         self.workers
     }
 
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
     /// The sharded memo cache (provenance queries, instrumentation).
     pub fn cache(&self) -> &ShardedMemoCache {
         &self.cache
@@ -439,15 +482,48 @@ impl SharedSession {
         Ok(self.cache.invalidate(name))
     }
 
+    /// Ingest a parsed document (schemas + mappings), invalidating cache
+    /// entries for every mapping that was added or changed. Returns the
+    /// touched mapping names — the same contract as
+    /// [`crate::session::Session::ingest_document`]. Entries are applied
+    /// and invalidated one at a time, so even if a later entry fails (and
+    /// the error propagates with the earlier ones already applied — callers
+    /// wanting all-or-nothing should validate against a snapshot first, as
+    /// the service layer does), no applied change ever escapes cache
+    /// invalidation.
+    pub fn ingest_document(&self, document: &Document) -> Result<Vec<String>, CatalogError> {
+        let mut touched = Vec::new();
+        for (name, signature) in &document.schemas {
+            let (_, rehashed) = self.catalog.add_schema(name.clone(), signature.clone());
+            for name in rehashed {
+                self.cache.invalidate(&name);
+                touched.push(name);
+            }
+        }
+        for (name, (source, target, constraints)) in &document.mappings {
+            let before = self.catalog.mapping(name).ok().map(|entry| entry.hash);
+            let version =
+                self.catalog.add_mapping(name.clone(), source, target, constraints.clone())?;
+            let after = self.catalog.mapping(name)?.hash;
+            if before != Some(after) || version == 1 {
+                self.cache.invalidate(name);
+                touched.push(name.clone());
+            }
+        }
+        touched.sort();
+        touched.dedup();
+        Ok(touched)
+    }
+
     /// Explicitly drop cached compositions depending on a mapping; returns
     /// how many entries were dropped.
     pub fn invalidate(&self, mapping: &str) -> usize {
         self.cache.invalidate(mapping)
     }
 
-    /// Resolve a fewest-hops path and compose it.
+    /// Resolve a path under the configured [`PathCost`] and compose it.
     pub fn compose_path(&self, from: &str, to: &str) -> Result<ChainResult, CatalogError> {
-        let path = self.catalog.resolve_path(from, to)?;
+        let path = self.catalog.resolve_path_with(from, to, self.config.path_cost)?;
         self.paths_resolved.fetch_add(1, Ordering::Relaxed);
         self.compose_names(&path)
     }
@@ -476,7 +552,18 @@ impl SharedSession {
         &self,
         requests: &[(String, String)],
     ) -> Vec<Result<ChainResult, CatalogError>> {
-        let workers = self.workers.min(requests.len()).max(1);
+        self.compose_batch_parallel_with(requests, self.workers)
+    }
+
+    /// [`SharedSession::compose_batch_parallel`] with an explicit worker
+    /// count for this batch (the service layer's `ComposeBatch { workers }`
+    /// request), still sharing the session's store and cache.
+    pub fn compose_batch_parallel_with(
+        &self,
+        requests: &[(String, String)],
+        workers: usize,
+    ) -> Vec<Result<ChainResult, CatalogError>> {
+        let workers = workers.min(requests.len()).max(1);
         let mut slots: Vec<Option<Result<ChainResult, CatalogError>>> =
             (0..requests.len()).map(|_| None).collect();
         if workers <= 1 {

@@ -1,0 +1,358 @@
+//! The typed request/response surface of the catalog service.
+//!
+//! [`Request`] and [`Response`] are the *whole* public API: every front end
+//! (the CLI's local catalog mode, the TCP client, tests) speaks these types,
+//! and every backend implements [`crate::MapcompService`] over them. All
+//! failures funnel into one [`ServiceError`] carrying a stable
+//! machine-readable [`ErrorCode`] next to the human-readable message, so
+//! remote callers can branch on the code without parsing prose.
+//!
+//! Payload structs ([`ChainPayload`], [`StatsPayload`]) are plain data with
+//! structural equality: a chain composed remotely compares byte-identical to
+//! one composed in process, which is what the transport-equivalence suite
+//! asserts.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mapcomp_catalog::{
+    parse_chain_document, render_chain_document, CatalogError, ChainResult, ComposedChain,
+    SessionStats,
+};
+
+/// A request to the catalog service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Ingest a plain-text document (schemas + mappings).
+    AddDocument {
+        /// The document text, in the repo's task format.
+        text: String,
+    },
+    /// Resolve a path between two schemas and compose it.
+    ComposePath {
+        /// Source schema name.
+        from: String,
+        /// Target schema name.
+        to: String,
+    },
+    /// Compose an explicit chain of mapping names.
+    ComposeNames {
+        /// Mapping names, adjacent pairs sharing a schema.
+        names: Vec<String>,
+    },
+    /// Compose a batch of `(from, to)` requests, fanned across worker
+    /// threads on the serving side.
+    ComposeBatch {
+        /// The `(from, to)` schema pairs.
+        requests: Vec<(String, String)>,
+        /// Worker threads to fan the batch across; `0` means "the server's
+        /// configured default".
+        workers: usize,
+    },
+    /// Drop cached compositions depending on a mapping.
+    Invalidate {
+        /// The mapping name.
+        mapping: String,
+    },
+    /// Catalog and session statistics.
+    Stats,
+    /// Ask the serving process to persist and stop accepting connections.
+    Shutdown,
+}
+
+impl Request {
+    /// The stable wire keyword of this request kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::AddDocument { .. } => "add-document",
+            Request::ComposePath { .. } => "compose-path",
+            Request::ComposeNames { .. } => "compose-names",
+            Request::ComposeBatch { .. } => "compose-batch",
+            Request::Invalidate { .. } => "invalidate",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A composed chain as carried on the wire: content (rendered through the
+/// sidecar's embeddable document format) plus the per-request counters of
+/// the [`ChainResult`] it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainPayload {
+    /// Source schema name.
+    pub source: String,
+    /// Target schema name.
+    pub target: String,
+    /// Mapping names along the path, in composition order.
+    pub path: Vec<String>,
+    /// Names of the catalog mappings the chain depends on.
+    pub deps: Vec<String>,
+    /// Content hash of the composed segment.
+    pub hash: u64,
+    /// The chain's content: `__in`/`__out`/`__residual` schemas and the
+    /// `__seg` mapping, rendered by
+    /// [`mapcomp_catalog::render_chain_document`].
+    pub document: String,
+    /// Pairwise `compose()` invocations performed for this request.
+    pub compose_calls: usize,
+    /// Memo-cache hits while folding.
+    pub cache_hits: usize,
+    /// Lengths of the contiguous runs the driver absorbed.
+    pub plan: Vec<usize>,
+}
+
+impl ChainPayload {
+    /// Capture a [`ChainResult`] for the wire.
+    pub fn from_result(result: &ChainResult) -> Self {
+        ChainPayload {
+            source: result.chain.source.clone(),
+            target: result.chain.target.clone(),
+            path: result.chain.path.clone(),
+            deps: result.chain.deps.iter().cloned().collect(),
+            hash: result.chain.hash,
+            document: render_chain_document(&result.chain),
+            compose_calls: result.compose_calls,
+            cache_hits: result.cache_hits,
+            plan: result.plan.clone(),
+        }
+    }
+
+    /// Reconstruct the composed chain (mapping, residual signature,
+    /// provenance) from the payload.
+    pub fn to_chain(&self) -> Result<ComposedChain, ServiceError> {
+        let (mapping, residual) = parse_chain_document(&self.document)
+            .ok_or_else(|| ServiceError::protocol("chain payload carries a malformed document"))?;
+        Ok(ComposedChain {
+            source: self.source.clone(),
+            target: self.target.clone(),
+            path: self.path.clone(),
+            mapping,
+            residual,
+            hash: self.hash,
+            deps: self.deps.iter().cloned().collect::<BTreeSet<String>>(),
+        })
+    }
+
+    /// Did every intermediate symbol get eliminated?
+    pub fn is_complete(&self) -> Result<bool, ServiceError> {
+        Ok(self.to_chain()?.residual.is_empty())
+    }
+}
+
+/// One mapping's registration info, as reported by [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingInfo {
+    /// Mapping name.
+    pub name: String,
+    /// Source schema.
+    pub source: String,
+    /// Target schema.
+    pub target: String,
+    /// Version counter.
+    pub version: u64,
+    /// Content hash.
+    pub hash: u64,
+    /// Number of constraints.
+    pub constraints: usize,
+    /// Version/hash history, oldest first (ends at the current version).
+    pub history: Vec<(u64, u64)>,
+}
+
+/// Catalog and session statistics, as reported by [`Response::Stats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsPayload {
+    /// Registered schema count.
+    pub schemas: usize,
+    /// Registered mapping count.
+    pub mappings: usize,
+    /// Per-mapping registration info, name-sorted.
+    pub entries: Vec<MappingInfo>,
+    /// Cumulative session statistics (compose calls, cache counters, …).
+    pub session: SessionStats,
+    /// The serving side's configured memo-cache bound (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+/// A response from the catalog service, one variant per [`Request`] kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::AddDocument`].
+    Added {
+        /// Mapping names added or changed by the ingest.
+        touched: Vec<String>,
+        /// Schema count after the ingest.
+        schemas: usize,
+        /// Mapping count after the ingest.
+        mappings: usize,
+    },
+    /// Reply to [`Request::ComposePath`] and [`Request::ComposeNames`].
+    Composed(ChainPayload),
+    /// Reply to [`Request::ComposeBatch`]: per-request outcomes in request
+    /// order (a failed request does not fail the batch).
+    Batch(Vec<Result<ChainPayload, ServiceError>>),
+    /// Reply to [`Request::Invalidate`].
+    Invalidated {
+        /// Cached compositions dropped.
+        dropped: usize,
+    },
+    /// Reply to [`Request::Stats`].
+    Stats(StatsPayload),
+    /// Reply to [`Request::Shutdown`].
+    ShuttingDown,
+}
+
+impl Response {
+    /// The stable wire keyword of this response kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Response::Pong => "pong",
+            Response::Added { .. } => "added",
+            Response::Composed(_) => "composed",
+            Response::Batch(_) => "batch",
+            Response::Invalidated { .. } => "invalidated",
+            Response::Stats(_) => "stats",
+            Response::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+/// Stable machine-readable error codes. The string form
+/// ([`ErrorCode::as_str`]) is part of the wire protocol: codes may be added
+/// but never renamed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// A referenced schema is not registered.
+    UnknownSchema,
+    /// A referenced mapping is not registered.
+    UnknownMapping,
+    /// No directed path connects the two schemas.
+    NoPath,
+    /// A path from a schema to itself is empty.
+    EmptyPath,
+    /// Adjacent mappings of an explicit chain do not share a schema.
+    ChainMismatch,
+    /// Composition left symbols behind under `require_complete`.
+    Incomplete,
+    /// An underlying algebra error (arity conflicts, invalid constraints).
+    Algebra,
+    /// A document or request argument failed to parse.
+    Parse,
+    /// A malformed wire frame.
+    Protocol,
+    /// A transport failure (connection refused, reset, I/O error).
+    Transport,
+    /// The server is shutting down and no longer serves requests.
+    Unavailable,
+}
+
+impl ErrorCode {
+    /// Every code, for exhaustive codec tests.
+    pub const ALL: [ErrorCode; 11] = [
+        ErrorCode::UnknownSchema,
+        ErrorCode::UnknownMapping,
+        ErrorCode::NoPath,
+        ErrorCode::EmptyPath,
+        ErrorCode::ChainMismatch,
+        ErrorCode::Incomplete,
+        ErrorCode::Algebra,
+        ErrorCode::Parse,
+        ErrorCode::Protocol,
+        ErrorCode::Transport,
+        ErrorCode::Unavailable,
+    ];
+
+    /// The stable wire string of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::UnknownSchema => "unknown-schema",
+            ErrorCode::UnknownMapping => "unknown-mapping",
+            ErrorCode::NoPath => "no-path",
+            ErrorCode::EmptyPath => "empty-path",
+            ErrorCode::ChainMismatch => "chain-mismatch",
+            ErrorCode::Incomplete => "incomplete",
+            ErrorCode::Algebra => "algebra",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Transport => "transport",
+            ErrorCode::Unavailable => "unavailable",
+        }
+    }
+
+    /// Parse a wire string back into a code.
+    pub fn parse(text: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|code| code.as_str() == text)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The one error type of the service API: a stable code plus a
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Stable machine-readable code.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// An error with an explicit code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServiceError { code, message: message.into() }
+    }
+
+    /// A [`ErrorCode::Parse`] error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        ServiceError::new(ErrorCode::Parse, message)
+    }
+
+    /// A [`ErrorCode::Protocol`] error.
+    pub fn protocol(message: impl Into<String>) -> Self {
+        ServiceError::new(ErrorCode::Protocol, message)
+    }
+
+    /// A [`ErrorCode::Transport`] error.
+    pub fn transport(message: impl Into<String>) -> Self {
+        ServiceError::new(ErrorCode::Transport, message)
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CatalogError> for ServiceError {
+    fn from(error: CatalogError) -> Self {
+        let code = match &error {
+            CatalogError::UnknownSchema(_) => ErrorCode::UnknownSchema,
+            CatalogError::UnknownMapping(_) => ErrorCode::UnknownMapping,
+            CatalogError::NoPath { .. } => ErrorCode::NoPath,
+            CatalogError::EmptyPath { .. } => ErrorCode::EmptyPath,
+            CatalogError::ChainMismatch { .. } => ErrorCode::ChainMismatch,
+            CatalogError::Incomplete { .. } => ErrorCode::Incomplete,
+            CatalogError::Algebra(_) => ErrorCode::Algebra,
+        };
+        ServiceError::new(code, error.to_string())
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(error: std::io::Error) -> Self {
+        ServiceError::transport(error.to_string())
+    }
+}

@@ -1,0 +1,60 @@
+//! The blocking TCP client: a [`MapcompService`] whose backend lives on the
+//! other side of a socket.
+//!
+//! One [`Client`] owns one connection and serialises its calls through an
+//! internal mutex, so a client can be shared by reference across threads
+//! (each call is one request frame followed by one reply frame — the
+//! protocol has no pipelining). For *parallel* traffic, open one client per
+//! thread; the server's worker pool serves each connection independently.
+
+use std::io::{BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::{Mutex, PoisonError};
+
+use crate::api::{Request, Response, ServiceError};
+use crate::service::MapcompService;
+use crate::wire::{decode_reply, encode_request, read_frame};
+
+/// A blocking client over one TCP connection.
+pub struct Client {
+    connection: Mutex<Connection>,
+}
+
+struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server at `addr` (e.g. `127.0.0.1:7171`).
+    pub fn connect(addr: &str) -> Result<Client, ServiceError> {
+        let stream = TcpStream::connect(addr).map_err(|error| {
+            ServiceError::transport(format!("cannot connect to {addr}: {error}"))
+        })?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream
+            .try_clone()
+            .map_err(|error| ServiceError::transport(format!("cannot clone stream: {error}")))?;
+        Ok(Client { connection: Mutex::new(Connection { reader: BufReader::new(stream), writer }) })
+    }
+
+    /// Send one request and read its reply.
+    pub fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        let mut connection = self.connection.lock().unwrap_or_else(PoisonError::into_inner);
+        connection
+            .writer
+            .write_all(encode_request(&request).as_bytes())
+            .and_then(|()| connection.writer.flush())
+            .map_err(|error| ServiceError::transport(format!("cannot send request: {error}")))?;
+        let frame = read_frame(&mut connection.reader)
+            .map_err(|error| ServiceError::transport(format!("cannot read reply: {error}")))?
+            .ok_or_else(|| ServiceError::transport("server closed the connection"))?;
+        decode_reply(&frame)?
+    }
+}
+
+impl MapcompService for Client {
+    fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        Client::call(self, request)
+    }
+}

@@ -1,0 +1,256 @@
+//! The threaded TCP front end: a bounded pool of scoped connection workers
+//! over one shared backend.
+//!
+//! Connections are accepted on the caller's thread and handed to a fixed
+//! number of worker threads through a condvar-guarded queue — the bound *is*
+//! the worker count, so a flood of connections queues instead of spawning
+//! unboundedly. Each worker owns one connection at a time and serves frames
+//! off it until the peer disconnects, so a client can issue many requests
+//! over one connection without re-handshaking.
+//!
+//! Shutdown is graceful and in-band: a [`Request::Shutdown`] frame makes
+//! the backend persist, the reply reaches the requesting client, the accept
+//! loop stops taking new connections (a self-connection unblocks it), and
+//! the workers drain every connection already accepted before
+//! [`Server::run`] returns.
+
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use crate::api::{Request, Response, ServiceError};
+use crate::service::MapcompService;
+use crate::wire::{decode_request, encode_reply, read_frame};
+
+/// A TCP server for a [`MapcompService`] backend.
+pub struct Server {
+    listener: TcpListener,
+    shutdown: AtomicBool,
+}
+
+/// The worker pool's shared state: the pending-connection queue and the
+/// signal that wakes idle workers.
+struct Pool {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `127.0.0.1:7171`, or port `0` for an ephemeral
+    /// port — read the result off [`Server::local_addr`]).
+    pub fn bind(addr: &str) -> std::io::Result<Server> {
+        Ok(Server { listener: TcpListener::bind(addr)?, shutdown: AtomicBool::new(false) })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Has a shutdown been requested?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown from outside a connection (tests, signal handlers):
+    /// stops the accept loop via a self-connection.
+    pub fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Unblock the accept loop; the dummy connection is dropped by
+            // whoever receives it.
+            if let Ok(addr) = self.listener.local_addr() {
+                let _ = TcpStream::connect_timeout(&addr, std::time::Duration::from_secs(1));
+            }
+        }
+    }
+
+    /// Serve until a [`Request::Shutdown`] arrives (or
+    /// [`Server::begin_shutdown`] is called), with `workers` scoped
+    /// connection-handler threads. Blocks the calling thread; connections
+    /// already accepted when shutdown starts are served to completion.
+    pub fn run<S: MapcompService + Sync>(
+        &self,
+        service: &S,
+        workers: usize,
+    ) -> std::io::Result<()> {
+        let workers = workers.max(1);
+        let pool = Pool { queue: Mutex::new(VecDeque::new()), available: Condvar::new() };
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.worker_loop(&pool, service));
+            }
+            for stream in self.listener.incoming() {
+                if self.is_shutting_down() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let mut queue = pool.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                queue.push_back(stream);
+                drop(queue);
+                pool.available.notify_one();
+            }
+            // Accepting is over; wake every idle worker so it can observe
+            // the flag (workers drain the queue before exiting).
+            pool.available.notify_all();
+        });
+        Ok(())
+    }
+
+    /// One worker: pop connections until shutdown *and* an empty queue.
+    fn worker_loop<S: MapcompService>(&self, pool: &Pool, service: &S) {
+        loop {
+            let stream = {
+                let mut queue = pool.queue.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if let Some(stream) = queue.pop_front() {
+                        break Some(stream);
+                    }
+                    if self.is_shutting_down() {
+                        break None;
+                    }
+                    queue = pool.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let Some(stream) = stream else { return };
+            // A connection-level I/O failure abandons that connection only.
+            let _ = self.handle_connection(stream, pool, service);
+        }
+    }
+
+    /// Serve frames off one connection until the peer disconnects.
+    fn handle_connection<S: MapcompService>(
+        &self,
+        stream: TcpStream,
+        pool: &Pool,
+        service: &S,
+    ) -> std::io::Result<()> {
+        let _ = stream.set_nodelay(true);
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        while let Some(frame) = read_frame(&mut reader)? {
+            let reply = match decode_request(&frame) {
+                Ok(request) => {
+                    if self.is_shutting_down() && !matches!(request, Request::Shutdown) {
+                        Err(ServiceError::new(
+                            crate::api::ErrorCode::Unavailable,
+                            "server is shutting down",
+                        ))
+                    } else {
+                        service.call(request)
+                    }
+                }
+                // A malformed frame is reported to the peer; the connection
+                // survives (frames are line-delimited, so the stream is
+                // already re-synchronised at the next frame boundary).
+                Err(error) => Err(error),
+            };
+            writer.write_all(encode_reply(&reply).as_bytes())?;
+            writer.flush()?;
+            if matches!(reply, Ok(Response::ShuttingDown)) {
+                self.begin_shutdown();
+                pool.available.notify_all();
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ErrorCode;
+    use crate::client::Client;
+    use crate::service::LocalService;
+    use mapcomp_catalog::Catalog;
+
+    fn chain_catalog(hops: usize) -> Catalog {
+        use mapcomp_algebra::{parse_constraints, Signature};
+        let mut catalog = Catalog::new();
+        for i in 0..=hops {
+            catalog.add_schema(format!("v{i}"), Signature::from_arities([(format!("R{i}"), 1)]));
+        }
+        for i in 0..hops {
+            catalog
+                .add_mapping(
+                    format!("m{i}"),
+                    &format!("v{i}"),
+                    &format!("v{}", i + 1),
+                    parse_constraints(&format!("R{i} <= R{}", i + 1)).unwrap(),
+                )
+                .unwrap();
+        }
+        catalog
+    }
+
+    #[test]
+    fn server_round_trips_requests_and_shuts_down_cleanly() {
+        let service = LocalService::new(chain_catalog(4), 2);
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        std::thread::scope(|scope| {
+            let server = &server;
+            let service = &service;
+            scope.spawn(move || server.run(service, 2).unwrap());
+
+            let client = Client::connect(&addr).unwrap();
+            assert_eq!(client.call(Request::Ping).unwrap(), Response::Pong);
+
+            // The remote composition matches the in-process one byte for
+            // byte (fresh local backend, same catalog, same request).
+            let remote =
+                client.call(Request::ComposePath { from: "v0".into(), to: "v4".into() }).unwrap();
+            let local = LocalService::new(chain_catalog(4), 2)
+                .call(Request::ComposePath { from: "v0".into(), to: "v4".into() })
+                .unwrap();
+            assert_eq!(remote, local);
+
+            // Errors travel with their codes.
+            let error = client
+                .call(Request::ComposePath { from: "v4".into(), to: "v0".into() })
+                .unwrap_err();
+            assert_eq!(error.code, ErrorCode::NoPath);
+
+            // A second concurrent connection works while the first is open.
+            let second = Client::connect(&addr).unwrap();
+            assert_eq!(second.call(Request::Ping).unwrap(), Response::Pong);
+
+            assert_eq!(client.call(Request::Shutdown).unwrap(), Response::ShuttingDown);
+        });
+        assert!(server.is_shutting_down());
+    }
+
+    #[test]
+    fn malformed_frames_get_protocol_errors_without_killing_the_connection() {
+        let service = LocalService::new(Catalog::new(), 1);
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let server = &server;
+            let service = &service;
+            scope.spawn(move || server.run(service, 1).unwrap());
+
+            let raw = TcpStream::connect(addr).unwrap();
+            let mut writer = raw.try_clone().unwrap();
+            let mut reader = BufReader::new(raw);
+            writer.write_all(b"garbage frame\nend\n").unwrap();
+            writer.flush().unwrap();
+            let frame = read_frame(&mut reader).unwrap().unwrap();
+            let reply = crate::wire::decode_reply(&frame).unwrap();
+            assert_eq!(reply.unwrap_err().code, ErrorCode::Protocol);
+
+            // The same connection still serves well-formed frames.
+            writer.write_all(crate::wire::encode_request(&Request::Ping).as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let frame = read_frame(&mut reader).unwrap().unwrap();
+            assert_eq!(crate::wire::decode_reply(&frame).unwrap().unwrap(), Response::Pong);
+
+            writer.write_all(crate::wire::encode_request(&Request::Shutdown).as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let frame = read_frame(&mut reader).unwrap().unwrap();
+            assert_eq!(crate::wire::decode_reply(&frame).unwrap().unwrap(), Response::ShuttingDown);
+        });
+    }
+}

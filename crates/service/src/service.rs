@@ -1,0 +1,420 @@
+//! The service trait and its in-process backend.
+//!
+//! [`MapcompService`] is the one seam every front end programs against: the
+//! CLI's catalog mode calls a [`LocalService`] directly, `mapcomp client`
+//! calls a [`crate::Client`] over TCP, and both go through the same
+//! `fn call(&self, Request) -> Result<Response, ServiceError>` — which is
+//! what makes the transports interchangeable and testable against each
+//! other.
+//!
+//! [`LocalService`] wraps a [`SharedSession`] (so one instance serves
+//! concurrent callers — the TCP server hands it to every connection worker)
+//! and optionally binds to an on-disk catalog document + `.memo` sidecar,
+//! persisting after every state-changing request the way one CLI invocation
+//! always did. Sidecar rewrites go through [`SidecarWriter`], which takes
+//! the cross-process `.lock` file, so a server and stray CLI invocations on
+//! the same catalog cannot tear each other's sidecars.
+
+use std::path::PathBuf;
+
+use mapcomp_algebra::parse_document;
+use mapcomp_catalog::{save_state, Catalog, SessionConfig, SharedSession, SidecarWriter};
+use mapcomp_compose::Registry;
+
+use crate::api::{ChainPayload, MappingInfo, Request, Response, ServiceError, StatsPayload};
+
+/// The most worker threads a single `ComposeBatch` request may fan across,
+/// regardless of what the peer asked for (a backend configured with more at
+/// construction time keeps its own, higher bound).
+pub const MAX_REQUEST_WORKERS: usize = 64;
+
+/// The transport-agnostic service interface: one call, one typed reply.
+///
+/// Implementations must be callable through a shared reference — the TCP
+/// server shares one backend across its connection workers, and clients are
+/// shared across threads in the equivalence tests.
+pub trait MapcompService {
+    /// Execute one request.
+    fn call(&self, request: Request) -> Result<Response, ServiceError>;
+}
+
+/// On-disk binding of a [`LocalService`]: the catalog document plus its
+/// version/cache sidecar.
+struct Persistence {
+    catalog_file: PathBuf,
+    sidecar: SidecarWriter,
+}
+
+/// The in-process backend: a [`SharedSession`] behind the service API,
+/// optionally persisted to a catalog file + sidecar.
+pub struct LocalService {
+    session: SharedSession,
+    batch_workers: usize,
+    persistence: Option<Persistence>,
+    /// Serialises `AddDocument` handling: the dry-run validation against a
+    /// snapshot and the subsequent ingest must be one atomic step, or a
+    /// concurrent ingest could invalidate the validation (e.g. redefine a
+    /// schema arity between the check and the apply) and leave the shared
+    /// catalog half-applied after an error. Compose and invalidate traffic
+    /// is unaffected — it never takes this lock.
+    ingest: std::sync::Mutex<()>,
+}
+
+impl LocalService {
+    /// An in-memory service over `catalog` with the standard registry and
+    /// default configuration; `workers` bounds parallel batch fan-out.
+    pub fn new(catalog: Catalog, workers: usize) -> Self {
+        LocalService::with_config(catalog, Registry::standard(), SessionConfig::default(), workers)
+    }
+
+    /// An in-memory service with an explicit registry and configuration.
+    pub fn with_config(
+        catalog: Catalog,
+        registry: Registry,
+        config: SessionConfig,
+        workers: usize,
+    ) -> Self {
+        let workers = workers.max(1);
+        LocalService {
+            session: SharedSession::with_config(catalog, registry, config, workers),
+            batch_workers: workers,
+            persistence: None,
+            ingest: std::sync::Mutex::new(()),
+        }
+    }
+
+    /// Open a service bound to an on-disk catalog: parse the document (a
+    /// missing file is an empty catalog when `allow_missing`), re-apply the
+    /// sidecar's version manifest, and warm the memo cache from it. Every
+    /// state-changing request then persists back through the sidecar's
+    /// cross-process lock.
+    pub fn open(
+        catalog_file: impl Into<PathBuf>,
+        registry: Registry,
+        config: SessionConfig,
+        workers: usize,
+        allow_missing: bool,
+    ) -> Result<Self, ServiceError> {
+        let catalog_file: PathBuf = catalog_file.into();
+        let mut catalog = Catalog::new();
+        match std::fs::read_to_string(&catalog_file) {
+            Ok(text) => {
+                let document = parse_document(&text).map_err(|error| {
+                    ServiceError::parse(format!("{}: parse error: {error}", catalog_file.display()))
+                })?;
+                catalog.from_document(&document)?;
+            }
+            // Only genuine absence may be ignored: any other read failure
+            // must not silently start from an empty catalog and overwrite
+            // the existing file on save.
+            Err(error) if allow_missing && error.kind() == std::io::ErrorKind::NotFound => {}
+            Err(error) => {
+                return Err(ServiceError::transport(format!(
+                    "cannot read {}: {error}",
+                    catalog_file.display()
+                )))
+            }
+        }
+        let sidecar = SidecarWriter::new(sidecar_path(&catalog_file));
+        let (manifest, cache) = sidecar.load();
+        catalog.restore_versions(&manifest);
+        let workers = workers.max(1);
+        let mut session = SharedSession::with_config(catalog, registry, config, workers);
+        session.restore_cache(cache);
+        Ok(LocalService {
+            session,
+            batch_workers: workers,
+            persistence: Some(Persistence { catalog_file, sidecar }),
+            ingest: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// The underlying shared session.
+    pub fn session(&self) -> &SharedSession {
+        &self.session
+    }
+
+    /// Write the catalog document and the sidecar (versions, statistics,
+    /// memo cache) back to disk; a no-op for in-memory services. Both files
+    /// are replaced by atomic renames inside one critical section of the
+    /// sidecar's cross-process lock, so a concurrent reader never sees a
+    /// truncated file or one writer's document paired with another's
+    /// sidecar.
+    pub fn persist(&self) -> Result<(), ServiceError> {
+        let Some(persistence) = &self.persistence else { return Ok(()) };
+        // The snapshot is taken by the closure *inside* the sidecar's write
+        // critical section, so concurrent persists write in snapshot order
+        // — a request holding an older snapshot can never clobber a newer,
+        // already-acknowledged state on disk.
+        persistence
+            .sidecar
+            .rewrite_with_document(&persistence.catalog_file, || {
+                let catalog = self.session.catalog().snapshot();
+                let cache = self.session.cache().collect();
+                (catalog.to_document_string(), save_state(&catalog, &cache))
+            })
+            .map_err(|error| {
+                ServiceError::transport(format!(
+                    "cannot write {} / {}: {error}",
+                    persistence.catalog_file.display(),
+                    persistence.sidecar.path().display()
+                ))
+            })
+    }
+
+    /// Persist after a compose request that touched durable state: new
+    /// memoised compositions (`compose_calls`) or served cache hits
+    /// (`cache_hits` — the cumulative hit counters and LRU recency are part
+    /// of the sidecar since PR 2, so warm runs must keep accumulating them
+    /// across processes). Only requests that neither composed nor hit the
+    /// cache — failed resolutions, empty batches — skip the disk round
+    /// trip.
+    fn persist_if_used(&self, compose_calls: usize, cache_hits: usize) -> Result<(), ServiceError> {
+        if compose_calls > 0 || cache_hits > 0 {
+            self.persist()?;
+        }
+        Ok(())
+    }
+
+    /// Capture the stats payload: catalog counts, per-mapping registration
+    /// info, cumulative session statistics.
+    pub fn stats_payload(&self) -> StatsPayload {
+        let catalog = self.session.catalog().snapshot();
+        let entries = catalog
+            .mappings()
+            .map(|entry| MappingInfo {
+                name: entry.name.clone(),
+                source: entry.source.clone(),
+                target: entry.target.clone(),
+                version: entry.version,
+                hash: entry.hash.0,
+                constraints: entry.constraints.len(),
+                history: entry.history.iter().map(|&(v, h)| (v, h.0)).collect(),
+            })
+            .collect();
+        StatsPayload {
+            schemas: catalog.schema_count(),
+            mappings: catalog.mapping_count(),
+            entries,
+            session: self.session.stats(),
+            cache_capacity: self.session.config().cache_capacity,
+        }
+    }
+}
+
+/// The sidecar path of a catalog file: `<file>.memo`, matching the CLI's
+/// historical convention.
+pub fn sidecar_path(catalog_file: &std::path::Path) -> PathBuf {
+    let mut name = catalog_file.file_name().unwrap_or_default().to_os_string();
+    name.push(".memo");
+    catalog_file.with_file_name(name)
+}
+
+impl MapcompService for LocalService {
+    fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        match request {
+            Request::Ping => Ok(Response::Pong),
+            Request::AddDocument { text } => {
+                let document = parse_document(&text)
+                    .map_err(|error| ServiceError::parse(format!("parse error: {error}")))?;
+                // Dry-run against a snapshot first, under the ingest lock
+                // so no concurrent ingest can invalidate the validation: a
+                // rejected document (unknown schema, arity conflict) leaves
+                // the shared catalog untouched instead of half-applied.
+                let _ingest = self.ingest.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                self.session.catalog().snapshot().from_document(&document)?;
+                let touched = self.session.ingest_document(&document)?;
+                self.persist()?;
+                let catalog = self.session.catalog();
+                Ok(Response::Added {
+                    touched,
+                    schemas: catalog.schema_count(),
+                    mappings: catalog.mapping_count(),
+                })
+            }
+            Request::ComposePath { from, to } => {
+                let result = self.session.compose_path(&from, &to)?;
+                self.persist_if_used(result.compose_calls, result.cache_hits)?;
+                Ok(Response::Composed(ChainPayload::from_result(&result)))
+            }
+            Request::ComposeNames { names } => {
+                if names.is_empty() {
+                    return Err(ServiceError::protocol(
+                        "compose-names requires at least one mapping name",
+                    ));
+                }
+                let result = self.session.compose_names(&names)?;
+                self.persist_if_used(result.compose_calls, result.cache_hits)?;
+                Ok(Response::Composed(ChainPayload::from_result(&result)))
+            }
+            Request::ComposeBatch { requests, workers } => {
+                // `0` means "the backend's configured default"; anything a
+                // peer supplies is clamped so a hostile request cannot make
+                // the server attempt an absurd number of scoped threads.
+                let workers = if workers == 0 {
+                    self.batch_workers
+                } else {
+                    workers.min(self.batch_workers.max(MAX_REQUEST_WORKERS))
+                };
+                let results = self.session.compose_batch_parallel_with(&requests, workers);
+                let (composed, hits) = results
+                    .iter()
+                    .filter_map(|result| result.as_ref().ok())
+                    .fold((0usize, 0usize), |(calls, hits), result| {
+                        (calls + result.compose_calls, hits + result.cache_hits)
+                    });
+                self.persist_if_used(composed, hits)?;
+                Ok(Response::Batch(
+                    results
+                        .into_iter()
+                        .map(|result| {
+                            result
+                                .map(|result| ChainPayload::from_result(&result))
+                                .map_err(ServiceError::from)
+                        })
+                        .collect(),
+                ))
+            }
+            Request::Invalidate { mapping } => {
+                self.session.catalog().mapping(&mapping)?;
+                let dropped = self.session.invalidate(&mapping);
+                self.persist()?;
+                Ok(Response::Invalidated { dropped })
+            }
+            Request::Stats => Ok(Response::Stats(self.stats_payload())),
+            Request::Shutdown => {
+                // The backend's part of a shutdown is durability; stopping
+                // the accept loop is the transport's job (see
+                // [`crate::server::Server`]).
+                self.persist()?;
+                Ok(Response::ShuttingDown)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_document(hops: usize) -> String {
+        let mut text = String::new();
+        for i in 0..=hops {
+            text.push_str(&format!("schema v{i} {{ R{i}/1; }}\n"));
+        }
+        for i in 0..hops {
+            text.push_str(&format!(
+                "mapping m{i} : v{i} -> v{} {{ R{i} <= R{}; }}\n",
+                i + 1,
+                i + 1
+            ));
+        }
+        text
+    }
+
+    #[test]
+    fn local_service_serves_the_full_request_surface() {
+        let service = LocalService::new(Catalog::new(), 2);
+        assert_eq!(service.call(Request::Ping).unwrap(), Response::Pong);
+
+        let added = service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+        assert_eq!(
+            added,
+            Response::Added {
+                touched: vec!["m0".into(), "m1".into(), "m2".into()],
+                schemas: 4,
+                mappings: 3
+            }
+        );
+
+        let Response::Composed(payload) =
+            service.call(Request::ComposePath { from: "v0".into(), to: "v3".into() }).unwrap()
+        else {
+            panic!("expected a composed reply");
+        };
+        assert_eq!(payload.path, vec!["m0", "m1", "m2"]);
+        assert_eq!(payload.compose_calls, 2);
+        let chain = payload.to_chain().unwrap();
+        assert!(chain.residual.is_empty());
+
+        let Response::Batch(items) = service
+            .call(Request::ComposeBatch {
+                requests: vec![
+                    ("v0".into(), "v2".into()),
+                    ("v3".into(), "v0".into()), // unreachable
+                ],
+                workers: 2,
+            })
+            .unwrap()
+        else {
+            panic!("expected a batch reply");
+        };
+        assert!(items[0].is_ok());
+        assert_eq!(items[1].as_ref().unwrap_err().code, crate::api::ErrorCode::NoPath);
+
+        let Response::Invalidated { dropped } =
+            service.call(Request::Invalidate { mapping: "m1".into() }).unwrap()
+        else {
+            panic!("expected an invalidated reply");
+        };
+        assert!(dropped > 0);
+
+        let Response::Stats(stats) = service.call(Request::Stats).unwrap() else {
+            panic!("expected a stats reply");
+        };
+        assert_eq!((stats.schemas, stats.mappings), (4, 3));
+        assert_eq!(stats.entries.len(), 3);
+        // compose-path plus the successful batch item (the unreachable one
+        // fails before counting as a composed chain).
+        assert_eq!(stats.session.chains_composed, 2);
+
+        assert_eq!(service.call(Request::Shutdown).unwrap(), Response::ShuttingDown);
+    }
+
+    #[test]
+    fn errors_carry_stable_codes() {
+        let service = LocalService::new(Catalog::new(), 1);
+        let error =
+            service.call(Request::ComposePath { from: "a".into(), to: "b".into() }).unwrap_err();
+        assert_eq!(error.code, crate::api::ErrorCode::UnknownSchema);
+        let error = service.call(Request::AddDocument { text: "schema {".into() }).unwrap_err();
+        assert_eq!(error.code, crate::api::ErrorCode::Parse);
+        let error = service.call(Request::ComposeNames { names: vec![] }).unwrap_err();
+        assert_eq!(error.code, crate::api::ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn opened_service_persists_across_reopen() {
+        let dir = std::env::temp_dir();
+        let file = dir.join(format!("mapcomp_service_persist_{}.doc", std::process::id()));
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_file(sidecar_path(&file));
+
+        let service =
+            LocalService::open(&file, Registry::standard(), SessionConfig::default(), 2, true)
+                .unwrap();
+        service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+        let Response::Composed(first) =
+            service.call(Request::ComposePath { from: "v0".into(), to: "v3".into() }).unwrap()
+        else {
+            panic!("expected a composed reply");
+        };
+        assert_eq!(first.compose_calls, 2);
+        drop(service);
+
+        // A fresh service over the same files: warm cache, composing is free.
+        let reopened =
+            LocalService::open(&file, Registry::standard(), SessionConfig::default(), 2, false)
+                .unwrap();
+        let Response::Composed(second) =
+            reopened.call(Request::ComposePath { from: "v0".into(), to: "v3".into() }).unwrap()
+        else {
+            panic!("expected a composed reply");
+        };
+        assert_eq!(second.compose_calls, 0, "sidecar-restored cache must serve the chain");
+        assert_eq!(second.document, first.document, "content is byte-identical across restarts");
+
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_file(sidecar_path(&file));
+    }
+}

@@ -1,0 +1,775 @@
+//! The hand-rolled, line-oriented wire codec.
+//!
+//! A frame is a block of text lines in the spirit of the repo's plain-text
+//! task format:
+//!
+//! ```text
+//! mapcomp-service 1 request compose-path
+//! from %73%310          (escaped tokens)
+//! to sigma3
+//! end
+//! ```
+//!
+//! The first line names the protocol, its version, the direction
+//! (`request`/`response`) and the kind keyword; field lines follow, one
+//! `key value…` pair per line; a literal `end` line terminates the frame.
+//! Every value token is percent-escaped ([`escape`]) so arbitrary strings —
+//! embedded spaces, newlines, `%`, the empty string — survive the
+//! whitespace-separated grammar, and multi-valued fields simply repeat the
+//! line or the token. Batch items nest recursively: each item is a complete
+//! reply frame escaped into a single token.
+//!
+//! Decoding is strict where structure is concerned (unknown kinds, missing
+//! or duplicated fields, bad numbers and truncated frames all fail with
+//! [`ErrorCode::Protocol`]) because a service boundary that silently guesses
+//! is worse than one that rejects; round-trip coverage lives in the crate's
+//! property suite.
+
+use std::io::BufRead;
+
+use crate::api::{
+    ChainPayload, ErrorCode, MappingInfo, Request, Response, ServiceError, StatsPayload,
+};
+use mapcomp_catalog::{CacheStats, SessionStats};
+
+/// Protocol name and version, the first two tokens of every frame.
+pub const PROTOCOL: &str = "mapcomp-service 1";
+
+/// The frame terminator line.
+pub const FRAME_END: &str = "end";
+
+// ---------------------------------------------------------------------------
+// Token escaping
+// ---------------------------------------------------------------------------
+
+/// Escape an arbitrary string into a single whitespace-free token: `%` and
+/// every whitespace or control character (Unicode included — the grammar
+/// tokenises with `split_whitespace`) become `%XX` byte escapes of their
+/// UTF-8 encoding, and the empty string becomes the marker `%e` (which no
+/// non-empty escape ever produces, since a literal `%` escapes to `%25`).
+pub fn escape(text: &str) -> String {
+    if text.is_empty() {
+        return "%e".to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut buf = [0u8; 4];
+    for ch in text.chars() {
+        if ch == '%' || ch.is_whitespace() || ch.is_control() {
+            for byte in ch.encode_utf8(&mut buf).bytes() {
+                out.push('%');
+                out.push_str(&format!("{byte:02X}"));
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Undo [`escape`]. Fails with [`ErrorCode::Protocol`] on truncated or
+/// non-hex escapes and on invalid UTF-8.
+pub fn unescape(token: &str) -> Result<String, ServiceError> {
+    if token == "%e" {
+        return Ok(String::new());
+    }
+    let bytes = token.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut index = 0;
+    while index < bytes.len() {
+        if bytes[index] == b'%' {
+            let hex = bytes
+                .get(index + 1..index + 3)
+                .and_then(|pair| std::str::from_utf8(pair).ok())
+                .and_then(|pair| u8::from_str_radix(pair, 16).ok())
+                .ok_or_else(|| {
+                    ServiceError::protocol(format!("truncated escape in token `{token}`"))
+                })?;
+            out.push(hex);
+            index += 3;
+        } else {
+            out.push(bytes[index]);
+            index += 1;
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| ServiceError::protocol(format!("token `{token}` is not valid UTF-8")))
+}
+
+// ---------------------------------------------------------------------------
+// Frame reading
+// ---------------------------------------------------------------------------
+
+/// The largest frame [`read_frame`] will buffer (64 MiB) — far above any
+/// legitimate catalog payload, low enough that one connection cannot grow
+/// the peer's memory without bound.
+pub const MAX_FRAME_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Read one frame (everything up to and including the `end` line) from a
+/// buffered reader. Returns `Ok(None)` on a clean end-of-stream before any
+/// frame content, `Err(UnexpectedEof)` when the stream ends mid-frame, and
+/// `Err(InvalidData)` when a frame exceeds [`MAX_FRAME_BYTES`] (the
+/// connection is no longer in sync and should be dropped).
+pub fn read_frame(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut limited = std::io::Read::take(&mut *reader, MAX_FRAME_BYTES);
+    let mut frame = String::new();
+    loop {
+        let mut line = String::new();
+        let read = limited.read_line(&mut line)?;
+        if read == 0 {
+            return if frame.is_empty() && line.is_empty() && limited.limit() > 0 {
+                Ok(None)
+            } else if limited.limit() == 0 {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("frame exceeds the {MAX_FRAME_BYTES}-byte bound"),
+                ))
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            };
+        }
+        let terminal = line.trim_end_matches(['\n', '\r']) == FRAME_END;
+        frame.push_str(&line);
+        if terminal {
+            return Ok(Some(frame));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field-line helpers
+// ---------------------------------------------------------------------------
+
+/// Split a frame into its header tokens and field lines, verifying the
+/// protocol header, the direction and the trailing `end`.
+fn frame_lines<'a>(
+    text: &'a str,
+    direction: &str,
+) -> Result<(&'a str, Vec<&'a str>), ServiceError> {
+    let mut lines: Vec<&str> =
+        text.lines().map(str::trim).filter(|line| !line.is_empty()).collect();
+    match lines.pop() {
+        Some(FRAME_END) => {}
+        _ => return Err(ServiceError::protocol("frame does not terminate with `end`")),
+    }
+    if lines.is_empty() {
+        return Err(ServiceError::protocol("frame is missing its header line"));
+    }
+    let header = lines.remove(0);
+    let rest =
+        header.strip_prefix(PROTOCOL).and_then(|rest| rest.strip_prefix(' ')).ok_or_else(|| {
+            ServiceError::protocol(format!("unrecognised protocol header `{header}`"))
+        })?;
+    let kind =
+        rest.strip_prefix(direction).and_then(|rest| rest.strip_prefix(' ')).ok_or_else(|| {
+            ServiceError::protocol(format!("expected a {direction} frame, got `{rest}`"))
+        })?;
+    if kind.is_empty() || kind.contains(' ') {
+        return Err(ServiceError::protocol(format!("malformed frame kind `{kind}`")));
+    }
+    Ok((kind, lines))
+}
+
+fn parse_usize(value: &str, field: &str) -> Result<usize, ServiceError> {
+    value
+        .parse()
+        .map_err(|_| ServiceError::protocol(format!("field `{field}` has a bad count `{value}`")))
+}
+
+fn parse_u64_hex(value: &str, field: &str) -> Result<u64, ServiceError> {
+    u64::from_str_radix(value, 16)
+        .map_err(|_| ServiceError::protocol(format!("field `{field}` has a bad hash `{value}`")))
+}
+
+/// One `key value…` field line, split on the first space.
+fn split_field(line: &str) -> (&str, &str) {
+    match line.split_once(' ') {
+        Some((key, value)) => (key, value),
+        None => (line, ""),
+    }
+}
+
+fn missing(field: &str) -> ServiceError {
+    ServiceError::protocol(format!("frame is missing the `{field}` field"))
+}
+
+fn unknown_field(kind: &str, line: &str) -> ServiceError {
+    ServiceError::protocol(format!("unknown field line `{line}` in a `{kind}` frame"))
+}
+
+/// Unescape every whitespace-separated token of a multi-token field value.
+fn unescape_tokens(value: &str) -> Result<Vec<String>, ServiceError> {
+    value.split_whitespace().map(unescape).collect()
+}
+
+fn escape_tokens(values: &[String]) -> String {
+    values.iter().map(|value| escape(value)).collect::<Vec<_>>().join(" ")
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Encode a request as a complete frame (terminated by `end`).
+pub fn encode_request(request: &Request) -> String {
+    let mut out = format!("{PROTOCOL} request {}\n", request.kind());
+    match request {
+        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::AddDocument { text } => {
+            out.push_str(&format!("text {}\n", escape(text)));
+        }
+        Request::ComposePath { from, to } => {
+            out.push_str(&format!("from {}\n", escape(from)));
+            out.push_str(&format!("to {}\n", escape(to)));
+        }
+        Request::ComposeNames { names } => {
+            for name in names {
+                out.push_str(&format!("name {}\n", escape(name)));
+            }
+        }
+        Request::ComposeBatch { requests, workers } => {
+            out.push_str(&format!("workers {workers}\n"));
+            for (from, to) in requests {
+                out.push_str(&format!("pair {} {}\n", escape(from), escape(to)));
+            }
+        }
+        Request::Invalidate { mapping } => {
+            out.push_str(&format!("mapping {}\n", escape(mapping)));
+        }
+    }
+    out.push_str(FRAME_END);
+    out.push('\n');
+    out
+}
+
+/// Decode a request frame.
+pub fn decode_request(text: &str) -> Result<Request, ServiceError> {
+    let (kind, lines) = frame_lines(text, "request")?;
+    match kind {
+        "ping" | "stats" | "shutdown" => {
+            if let Some(line) = lines.first() {
+                return Err(unknown_field(kind, line));
+            }
+            Ok(match kind {
+                "ping" => Request::Ping,
+                "stats" => Request::Stats,
+                _ => Request::Shutdown,
+            })
+        }
+        "add-document" => {
+            let mut text = None;
+            for line in lines {
+                match split_field(line) {
+                    ("text", value) if text.is_none() => text = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Request::AddDocument { text: text.ok_or_else(|| missing("text"))? })
+        }
+        "compose-path" => {
+            let (mut from, mut to) = (None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("from", value) if from.is_none() => from = Some(unescape(value)?),
+                    ("to", value) if to.is_none() => to = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Request::ComposePath {
+                from: from.ok_or_else(|| missing("from"))?,
+                to: to.ok_or_else(|| missing("to"))?,
+            })
+        }
+        "compose-names" => {
+            let mut names = Vec::new();
+            for line in lines {
+                match split_field(line) {
+                    ("name", value) => names.push(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Request::ComposeNames { names })
+        }
+        "compose-batch" => {
+            let mut workers = None;
+            let mut requests = Vec::new();
+            for line in lines {
+                match split_field(line) {
+                    ("workers", value) if workers.is_none() => {
+                        workers = Some(parse_usize(value, "workers")?)
+                    }
+                    ("pair", value) => {
+                        let tokens = unescape_tokens(value)?;
+                        let [from, to] = tokens.as_slice() else {
+                            return Err(ServiceError::protocol(format!(
+                                "batch pair line `{line}` does not hold two tokens"
+                            )));
+                        };
+                        requests.push((from.clone(), to.clone()));
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Request::ComposeBatch {
+                requests,
+                workers: workers.ok_or_else(|| missing("workers"))?,
+            })
+        }
+        "invalidate" => {
+            let mut mapping = None;
+            for line in lines {
+                match split_field(line) {
+                    ("mapping", value) if mapping.is_none() => mapping = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Request::Invalidate { mapping: mapping.ok_or_else(|| missing("mapping"))? })
+        }
+        other => Err(ServiceError::protocol(format!("unknown request kind `{other}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------------
+
+fn write_chain(out: &mut String, payload: &ChainPayload) {
+    out.push_str(&format!("source {}\n", escape(&payload.source)));
+    out.push_str(&format!("target {}\n", escape(&payload.target)));
+    out.push_str(&format!("path {}\n", escape_tokens(&payload.path)));
+    out.push_str(&format!("deps {}\n", escape_tokens(&payload.deps)));
+    out.push_str(&format!("hash {:016x}\n", payload.hash));
+    out.push_str(&format!("calls {}\n", payload.compose_calls));
+    out.push_str(&format!("hits {}\n", payload.cache_hits));
+    let plan: Vec<String> = payload.plan.iter().map(usize::to_string).collect();
+    out.push_str(&format!("plan {}\n", plan.join(" ")));
+    out.push_str(&format!("document {}\n", escape(&payload.document)));
+}
+
+struct ChainFields {
+    source: Option<String>,
+    target: Option<String>,
+    path: Option<Vec<String>>,
+    deps: Option<Vec<String>>,
+    hash: Option<u64>,
+    calls: Option<usize>,
+    hits: Option<usize>,
+    plan: Option<Vec<usize>>,
+    document: Option<String>,
+}
+
+impl ChainFields {
+    fn new() -> Self {
+        ChainFields {
+            source: None,
+            target: None,
+            path: None,
+            deps: None,
+            hash: None,
+            calls: None,
+            hits: None,
+            plan: None,
+            document: None,
+        }
+    }
+
+    /// Absorb one field line; `Ok(false)` when the key is not a chain field.
+    fn absorb(&mut self, line: &str) -> Result<bool, ServiceError> {
+        let (key, value) = split_field(line);
+        match key {
+            "source" if self.source.is_none() => self.source = Some(unescape(value)?),
+            "target" if self.target.is_none() => self.target = Some(unescape(value)?),
+            "path" if self.path.is_none() => self.path = Some(unescape_tokens(value)?),
+            "deps" if self.deps.is_none() => self.deps = Some(unescape_tokens(value)?),
+            "hash" if self.hash.is_none() => self.hash = Some(parse_u64_hex(value, "hash")?),
+            "calls" if self.calls.is_none() => self.calls = Some(parse_usize(value, "calls")?),
+            "hits" if self.hits.is_none() => self.hits = Some(parse_usize(value, "hits")?),
+            "plan" if self.plan.is_none() => {
+                self.plan = Some(
+                    value
+                        .split_whitespace()
+                        .map(|token| parse_usize(token, "plan"))
+                        .collect::<Result<_, _>>()?,
+                )
+            }
+            "document" if self.document.is_none() => self.document = Some(unescape(value)?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn finish(self) -> Result<ChainPayload, ServiceError> {
+        Ok(ChainPayload {
+            source: self.source.ok_or_else(|| missing("source"))?,
+            target: self.target.ok_or_else(|| missing("target"))?,
+            path: self.path.ok_or_else(|| missing("path"))?,
+            deps: self.deps.ok_or_else(|| missing("deps"))?,
+            hash: self.hash.ok_or_else(|| missing("hash"))?,
+            compose_calls: self.calls.ok_or_else(|| missing("calls"))?,
+            cache_hits: self.hits.ok_or_else(|| missing("hits"))?,
+            plan: self.plan.ok_or_else(|| missing("plan"))?,
+            document: self.document.ok_or_else(|| missing("document"))?,
+        })
+    }
+}
+
+/// Render a `response error` frame.
+fn encode_error_frame(error: &ServiceError) -> String {
+    let mut out = format!("{PROTOCOL} response error\n");
+    out.push_str(&format!("code {}\n", error.code.as_str()));
+    out.push_str(&format!("message {}\n", escape(&error.message)));
+    out.push_str(FRAME_END);
+    out.push('\n');
+    out
+}
+
+/// Encode a reply — a successful [`Response`] or a [`ServiceError`] — as a
+/// complete frame.
+pub fn encode_reply(reply: &Result<Response, ServiceError>) -> String {
+    match reply {
+        Err(error) => encode_error_frame(error),
+        Ok(response) => {
+            let mut out = format!("{PROTOCOL} response {}\n", response.kind());
+            match response {
+                Response::Pong | Response::ShuttingDown => {}
+                Response::Added { touched, schemas, mappings } => {
+                    for name in touched {
+                        out.push_str(&format!("touched {}\n", escape(name)));
+                    }
+                    out.push_str(&format!("schemas {schemas}\n"));
+                    out.push_str(&format!("mappings {mappings}\n"));
+                }
+                Response::Composed(payload) => write_chain(&mut out, payload),
+                Response::Batch(items) => {
+                    out.push_str(&format!("count {}\n", items.len()));
+                    for item in items {
+                        // Encode the nested frame straight from the borrowed
+                        // payload — the chain document is the dominant share
+                        // of a batch reply, so cloning it per item just to
+                        // re-enter `encode_reply` would double the peak
+                        // allocation.
+                        let nested = match item {
+                            Ok(payload) => {
+                                let mut inner = format!("{PROTOCOL} response composed\n");
+                                write_chain(&mut inner, payload);
+                                inner.push_str(FRAME_END);
+                                inner.push('\n');
+                                inner
+                            }
+                            Err(error) => encode_error_frame(error),
+                        };
+                        out.push_str(&format!("item {}\n", escape(&nested)));
+                    }
+                }
+                Response::Invalidated { dropped } => {
+                    out.push_str(&format!("dropped {dropped}\n"));
+                }
+                Response::Stats(stats) => {
+                    out.push_str(&format!("schemas {}\n", stats.schemas));
+                    out.push_str(&format!("mappings {}\n", stats.mappings));
+                    match stats.cache_capacity {
+                        Some(capacity) => out.push_str(&format!("capacity {capacity}\n")),
+                        None => out.push_str("capacity unbounded\n"),
+                    }
+                    for entry in &stats.entries {
+                        let history: String =
+                            entry.history.iter().map(|(v, h)| format!(" {v}:{h:016x}")).collect();
+                        out.push_str(&format!(
+                            "entry {} {} {} {} {:016x} {}{history}\n",
+                            escape(&entry.name),
+                            escape(&entry.source),
+                            escape(&entry.target),
+                            entry.version,
+                            entry.hash,
+                            entry.constraints
+                        ));
+                    }
+                    let session = &stats.session;
+                    out.push_str(&format!(
+                        "session {} {} {} {} {} {} {} {} {}\n",
+                        session.compose_calls,
+                        session.paths_resolved,
+                        session.chains_composed,
+                        session.cache_entries,
+                        session.cache.hits,
+                        session.cache.misses,
+                        session.cache.insertions,
+                        session.cache.invalidated,
+                        session.cache.evictions
+                    ));
+                }
+            }
+            out.push_str(FRAME_END);
+            out.push('\n');
+            out
+        }
+    }
+}
+
+/// Decode a reply frame into a successful [`Response`] or the
+/// [`ServiceError`] the serving side reported. The outer `Result` is the
+/// *decoder's* verdict: `Err` means the frame itself was malformed.
+pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, ServiceError> {
+    let (kind, lines) = frame_lines(text, "response")?;
+    match kind {
+        "error" => {
+            let (mut code, mut message) = (None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("code", value) if code.is_none() => {
+                        code = Some(ErrorCode::parse(value).ok_or_else(|| {
+                            ServiceError::protocol(format!("unknown error code `{value}`"))
+                        })?)
+                    }
+                    ("message", value) if message.is_none() => message = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Err(ServiceError {
+                code: code.ok_or_else(|| missing("code"))?,
+                message: message.ok_or_else(|| missing("message"))?,
+            }))
+        }
+        "pong" | "shutting-down" => {
+            if let Some(line) = lines.first() {
+                return Err(unknown_field(kind, line));
+            }
+            Ok(Ok(if kind == "pong" { Response::Pong } else { Response::ShuttingDown }))
+        }
+        "added" => {
+            let mut touched = Vec::new();
+            let (mut schemas, mut mappings) = (None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("touched", value) => touched.push(unescape(value)?),
+                    ("schemas", value) if schemas.is_none() => {
+                        schemas = Some(parse_usize(value, "schemas")?)
+                    }
+                    ("mappings", value) if mappings.is_none() => {
+                        mappings = Some(parse_usize(value, "mappings")?)
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Added {
+                touched,
+                schemas: schemas.ok_or_else(|| missing("schemas"))?,
+                mappings: mappings.ok_or_else(|| missing("mappings"))?,
+            }))
+        }
+        "composed" => {
+            let mut fields = ChainFields::new();
+            for line in lines {
+                if !fields.absorb(line)? {
+                    return Err(unknown_field(kind, line));
+                }
+            }
+            Ok(Ok(Response::Composed(fields.finish()?)))
+        }
+        "batch" => {
+            let mut count = None;
+            let mut items = Vec::new();
+            for line in lines {
+                match split_field(line) {
+                    ("count", value) if count.is_none() => {
+                        count = Some(parse_usize(value, "count")?)
+                    }
+                    ("item", value) => {
+                        let nested = unescape(value)?;
+                        match decode_reply(&nested)? {
+                            Ok(Response::Composed(payload)) => items.push(Ok(payload)),
+                            Ok(other) => {
+                                return Err(ServiceError::protocol(format!(
+                                    "batch item holds a `{}` frame",
+                                    other.kind()
+                                )))
+                            }
+                            Err(error) => items.push(Err(error)),
+                        }
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            let count = count.ok_or_else(|| missing("count"))?;
+            if count != items.len() {
+                return Err(ServiceError::protocol(format!(
+                    "batch frame declares {count} items but carries {}",
+                    items.len()
+                )));
+            }
+            Ok(Ok(Response::Batch(items)))
+        }
+        "invalidated" => {
+            let mut dropped = None;
+            for line in lines {
+                match split_field(line) {
+                    ("dropped", value) if dropped.is_none() => {
+                        dropped = Some(parse_usize(value, "dropped")?)
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Invalidated { dropped: dropped.ok_or_else(|| missing("dropped"))? }))
+        }
+        "stats" => {
+            let (mut schemas, mut mappings, mut session) = (None, None, None);
+            let mut capacity = None;
+            let mut entries = Vec::new();
+            for line in lines {
+                match split_field(line) {
+                    ("schemas", value) if schemas.is_none() => {
+                        schemas = Some(parse_usize(value, "schemas")?)
+                    }
+                    ("mappings", value) if mappings.is_none() => {
+                        mappings = Some(parse_usize(value, "mappings")?)
+                    }
+                    ("capacity", value) if capacity.is_none() => {
+                        capacity = Some(if value == "unbounded" {
+                            None
+                        } else {
+                            Some(parse_usize(value, "capacity")?)
+                        })
+                    }
+                    ("entry", value) => {
+                        let tokens: Vec<&str> = value.split_whitespace().collect();
+                        let [name, source, target, version, hash, constraints, history @ ..] =
+                            tokens.as_slice()
+                        else {
+                            return Err(ServiceError::protocol(format!(
+                                "stats entry line `{line}` holds fewer than six tokens"
+                            )));
+                        };
+                        let history = history
+                            .iter()
+                            .map(|token| {
+                                let (v, h) = token.split_once(':').ok_or_else(|| {
+                                    ServiceError::protocol(format!("bad history token `{token}`"))
+                                })?;
+                                Ok((
+                                    v.parse().map_err(|_| {
+                                        ServiceError::protocol(format!("bad history version `{v}`"))
+                                    })?,
+                                    parse_u64_hex(h, "history hash")?,
+                                ))
+                            })
+                            .collect::<Result<Vec<(u64, u64)>, ServiceError>>()?;
+                        entries.push(MappingInfo {
+                            name: unescape(name)?,
+                            source: unescape(source)?,
+                            target: unescape(target)?,
+                            version: version.parse().map_err(|_| {
+                                ServiceError::protocol(format!("bad version `{version}`"))
+                            })?,
+                            hash: parse_u64_hex(hash, "entry hash")?,
+                            constraints: parse_usize(constraints, "entry constraints")?,
+                            history,
+                        });
+                    }
+                    ("session", value) if session.is_none() => {
+                        let numbers: Vec<usize> = value
+                            .split_whitespace()
+                            .map(|token| parse_usize(token, "session"))
+                            .collect::<Result<_, _>>()?;
+                        let &[calls, paths, chains, entries, hits, misses, ins, inv, evict] =
+                            numbers.as_slice()
+                        else {
+                            return Err(ServiceError::protocol(
+                                "session line does not hold nine counters",
+                            ));
+                        };
+                        session = Some(SessionStats {
+                            compose_calls: calls,
+                            paths_resolved: paths,
+                            chains_composed: chains,
+                            cache_entries: entries,
+                            cache: CacheStats {
+                                hits,
+                                misses,
+                                insertions: ins,
+                                invalidated: inv,
+                                evictions: evict,
+                            },
+                        });
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Stats(StatsPayload {
+                schemas: schemas.ok_or_else(|| missing("schemas"))?,
+                mappings: mappings.ok_or_else(|| missing("mappings"))?,
+                entries,
+                session: session.ok_or_else(|| missing("session"))?,
+                cache_capacity: capacity.ok_or_else(|| missing("capacity"))?,
+            })))
+        }
+        other => Err(ServiceError::protocol(format!("unknown response kind `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_awkward_strings() {
+        for text in ["", " ", "a b", "%", "%e", "line\nbreak", "tab\there", "plain", "σ→τ"] {
+            let token = escape(text);
+            assert!(!token.contains(' ') && !token.contains('\n'), "token `{token}`");
+            assert_eq!(unescape(&token).unwrap(), text, "via `{token}`");
+        }
+    }
+
+    #[test]
+    fn unescape_rejects_truncated_escapes() {
+        assert!(unescape("%2").is_err());
+        assert!(unescape("abc%").is_err());
+        assert!(unescape("%GG").is_err());
+    }
+
+    #[test]
+    fn simple_request_round_trip() {
+        let request = Request::ComposePath { from: "a schema".into(), to: "σ2".into() };
+        let frame = encode_request(&request);
+        assert!(frame.ends_with("end\n"));
+        assert_eq!(decode_request(&frame).unwrap(), request);
+    }
+
+    #[test]
+    fn frames_read_off_a_stream_one_at_a_time() {
+        let mut wire = String::new();
+        wire.push_str(&encode_request(&Request::Ping));
+        wire.push_str(&encode_request(&Request::Stats));
+        let mut reader = std::io::BufReader::new(wire.as_bytes());
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(decode_request(&first).unwrap(), Request::Ping);
+        let second = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(decode_request(&second).unwrap(), Request::Stats);
+        assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut reader = std::io::BufReader::new("mapcomp-service 1 request ping\n".as_bytes());
+        let error = read_frame(&mut reader).unwrap_err();
+        assert_eq!(error.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_with_protocol_errors() {
+        for bad in [
+            "",
+            "end\n",
+            "mapcomp-service 9 request ping\nend\n",
+            "mapcomp-service 1 response ping\nend\n",
+            "mapcomp-service 1 request warble\nend\n",
+            "mapcomp-service 1 request ping\nstray field\nend\n",
+            "mapcomp-service 1 request compose-path\nfrom a\nend\n",
+            "mapcomp-service 1 request compose-batch\nworkers x\nend\n",
+        ] {
+            let error = decode_request(bad).unwrap_err();
+            assert_eq!(error.code, ErrorCode::Protocol, "input {bad:?} gave {error}");
+        }
+    }
+}

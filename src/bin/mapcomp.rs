@@ -1,6 +1,6 @@
 //! `mapcomp` — command-line front end for the composition component.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! **Task mode** (the original paper workflow): read a composition task
 //! written in the plain-text format (paper §4), run the best-effort COMPOSE
@@ -17,26 +17,48 @@
 //!
 //! **Catalog mode**: maintain a persistent catalog of schemas and mappings
 //! (a plain-text document on disk, with a `<file>.memo` sidecar holding the
-//! memo cache) and compose multi-hop chains incrementally:
+//! memo cache) and compose multi-hop chains incrementally. Every catalog
+//! subcommand is a typed service request executed against an in-process
+//! backend — the *same* requests `mapcomp client` sends over TCP, so local
+//! and remote traffic share one code path:
 //!
 //! ```text
 //! mapcomp catalog add           --catalog <file> <document-file>...
 //! mapcomp catalog compose-path  --catalog <file> <from-schema> <to-schema>
 //!                               [--require-complete] [--stats] [compose flags]
+//! mapcomp catalog compose-names --catalog <file> <mapping>...
 //! mapcomp catalog compose-batch --catalog <file> [--workers N]
 //!                               <from> <to> [<from> <to> ...]
 //! mapcomp catalog invalidate    --catalog <file> <mapping-name>
 //! mapcomp catalog stats         --catalog <file>
 //! ```
 //!
-//! `compose-batch` fans its requests across `--workers` scoped threads
-//! sharing one catalog and one (segment-striped) memo cache, so overlapping
-//! chains pay for their common segments once — the multi-session traffic
-//! shape, served from a single invocation.
+//! Catalog commands also accept `--cache-capacity N` (bound the memo cache;
+//! 0 = unbounded) and `--path-cost hops|op-count` (fewest-hops vs.
+//! cheapest-estimated-growth path resolution).
 //!
-//! Every catalog command also accepts `--cache-capacity N` to bound the memo
-//! cache (least-recently-used entries are evicted past the bound; 0 means
-//! unbounded).
+//! **Service mode**: serve the same catalog over TCP, and drive a server
+//! from the command line:
+//!
+//! ```text
+//! mapcomp serve  --catalog <file> [--addr 127.0.0.1:0] [--workers N]
+//!                [--cache-capacity N] [--path-cost hops|op-count]
+//!                [--require-complete] [compose flags]
+//! mapcomp client --addr <host:port> ping
+//! mapcomp client --addr <host:port> add <document-file>...
+//! mapcomp client --addr <host:port> compose-path <from> <to> [--stats]
+//! mapcomp client --addr <host:port> compose-names <mapping>...
+//! mapcomp client --addr <host:port> compose-batch [--workers N] <from> <to> ...
+//! mapcomp client --addr <host:port> invalidate <mapping>
+//! mapcomp client --addr <host:port> stats
+//! mapcomp client --addr <host:port> shutdown
+//! ```
+//!
+//! `serve` prints `listening on <addr>` once the socket is bound (bind port
+//! 0 for an ephemeral port and read it off that line), then blocks until a
+//! client sends `shutdown`. Composition policy (compose flags, path cost,
+//! strictness) is fixed server-side at `serve` time; clients only name
+//! schemas and mappings.
 //!
 //! `compose-path` prints the composed mapping as a plain-text document
 //! (schemas + mapping), so its output can be fed back to `catalog add` or
@@ -46,15 +68,18 @@
 //! history and cumulative cache statistics are persisted in the `<file>.memo`
 //! sidecar and re-applied on load, so versions survive across invocations
 //! (an out-of-session edit to the document is detected by content hash and
-//! advances the recorded version by one).
+//! advances the recorded version by one). Sidecar writes take a sibling
+//! `.lock` file, so concurrent invocations — or a server and a stray CLI —
+//! never tear each other's state.
 
 use std::process::ExitCode;
 
 use mapping_composition::algebra::parse_document;
-use mapping_composition::catalog::{
-    load_state, save_state, Catalog, ChainOptions, Session, SessionConfig,
-};
+use mapping_composition::catalog::{Catalog, ChainOptions, PathCost, SessionConfig};
 use mapping_composition::compose::{compose, minimize_mapping, ComposeConfig, Registry};
+use mapping_composition::service::{
+    Client, LocalService, MapcompService, Request, Response, Server,
+};
 
 struct Options {
     file: String,
@@ -65,7 +90,7 @@ struct Options {
     stats: bool,
 }
 
-/// Handle a compose-configuration flag shared by both CLI modes, consuming
+/// Handle a compose-configuration flag shared by all CLI modes, consuming
 /// the flag's value from `iter` when it carries one. Returns `Ok(false)`
 /// when the argument is not a compose flag.
 fn parse_compose_flag<'a>(
@@ -159,170 +184,205 @@ fn run(options: &Options) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------------
-// Catalog mode
+// Service-mode argument parsing (catalog / serve / client)
 // ---------------------------------------------------------------------------
 
-struct CatalogOptions {
+/// Arguments shared by the three service-mode entry points: the subcommand
+/// keyword, its positional arguments, and the session policy flags (which
+/// only the *serving* side applies — locally for `catalog`, at bind time for
+/// `serve`, and not at all for `client`).
+struct ServiceArgs {
     command: String,
-    catalog_file: String,
     positional: Vec<String>,
+    catalog_file: Option<String>,
+    addr: Option<String>,
     config: ComposeConfig,
     require_complete: bool,
     stats: bool,
     cache_capacity: Option<usize>,
-    workers: usize,
+    path_cost: PathCost,
+    /// `--workers N`; `None` when the flag was not given — the serving side
+    /// then uses its own default (1 locally, the `serve`-time count
+    /// remotely).
+    workers: Option<usize>,
+    /// Session-policy flags seen while parsing (compose flags,
+    /// `--require-complete`, `--cache-capacity`, `--path-cost`). They only
+    /// take effect on the serving side, so client mode rejects them instead
+    /// of silently ignoring them.
+    policy_flags: Vec<String>,
 }
 
-fn parse_catalog_args(args: &[String]) -> Result<CatalogOptions, String> {
-    let command = args.first().cloned().ok_or(
-        "missing catalog command: expected `add`, `compose-path`, `compose-batch`, \
-         `invalidate`, or `stats`",
-    )?;
-    let mut catalog_file = None;
-    let mut positional = Vec::new();
-    let mut config = ComposeConfig::default();
-    let mut require_complete = false;
-    let mut stats = false;
-    let mut cache_capacity = None;
-    let mut workers = 1usize;
-    let mut iter = args[1..].iter().peekable();
+impl ServiceArgs {
+    fn session_config(&self) -> SessionConfig {
+        SessionConfig {
+            compose: self.config.clone(),
+            chain: ChainOptions { require_complete: self.require_complete },
+            cache_capacity: self.cache_capacity,
+            path_cost: self.path_cost,
+        }
+    }
+}
+
+fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<ServiceArgs, String> {
+    let command = command.cloned().unwrap_or_default();
+    let mut parsed = ServiceArgs {
+        command,
+        positional: Vec::new(),
+        catalog_file: None,
+        addr: None,
+        config: ComposeConfig::default(),
+        require_complete: false,
+        stats: false,
+        cache_capacity: None,
+        path_cost: PathCost::Hops,
+        workers: None,
+        policy_flags: Vec::new(),
+    };
+    let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
-        if parse_compose_flag(arg, &mut iter, &mut config)? {
+        if parse_compose_flag(arg, &mut iter, &mut parsed.config)? {
+            parsed.policy_flags.push(arg.clone());
             continue;
         }
         match arg.as_str() {
             "--catalog" => {
                 let value = iter.next().ok_or("--catalog requires a file path")?;
-                catalog_file = Some(value.clone());
+                parsed.catalog_file = Some(value.clone());
             }
-            "--require-complete" => require_complete = true,
-            "--stats" => stats = true,
+            "--addr" => {
+                let value = iter.next().ok_or("--addr requires a host:port address")?;
+                parsed.addr = Some(value.clone());
+            }
+            "--require-complete" => {
+                parsed.require_complete = true;
+                parsed.policy_flags.push(arg.clone());
+            }
+            "--stats" => parsed.stats = true,
             "--cache-capacity" => {
                 let value = iter.next().ok_or("--cache-capacity requires a count")?;
                 let entries: usize =
                     value.parse().map_err(|_| format!("invalid cache capacity `{value}`"))?;
-                cache_capacity = if entries == 0 { None } else { Some(entries) };
+                parsed.cache_capacity = if entries == 0 { None } else { Some(entries) };
+                parsed.policy_flags.push(arg.clone());
+            }
+            "--path-cost" => {
+                let value = iter.next().ok_or("--path-cost requires `hops` or `op-count`")?;
+                parsed.path_cost = match value.as_str() {
+                    "hops" => PathCost::Hops,
+                    "op-count" => PathCost::OpCount,
+                    other => return Err(format!("invalid path cost `{other}`")),
+                };
+                parsed.policy_flags.push(arg.clone());
             }
             "--workers" => {
                 let value = iter.next().ok_or("--workers requires a count")?;
-                workers = value
-                    .parse()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| format!("invalid worker count `{value}`"))?;
+                parsed.workers = Some(
+                    value
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid worker count `{value}`"))?,
+                );
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
-            other => positional.push(other.to_string()),
+            other => parsed.positional.push(other.to_string()),
         }
     }
-    let catalog_file = catalog_file.ok_or("catalog commands require --catalog <file>")?;
-    Ok(CatalogOptions {
-        command,
-        catalog_file,
-        positional,
-        config,
-        require_complete,
-        stats,
-        cache_capacity,
-        workers,
-    })
+    Ok(parsed)
 }
 
-fn memo_path(catalog_file: &str) -> String {
-    format!("{catalog_file}.memo")
-}
+// ---------------------------------------------------------------------------
+// One command path for local and remote service backends
+// ---------------------------------------------------------------------------
 
-/// Load a session from the catalog file (which may not exist yet for `add`)
-/// and its memo sidecar.
-fn load_session(options: &CatalogOptions, allow_missing: bool) -> Result<Session, String> {
-    let mut catalog = Catalog::new();
-    match std::fs::read_to_string(&options.catalog_file) {
-        Ok(text) => {
-            let document = parse_document(&text)
-                .map_err(|e| format!("{}: parse error: {e}", options.catalog_file))?;
-            catalog.from_document(&document).map_err(|e| e.to_string())?;
-        }
-        // Only genuine absence may be ignored: any other read failure
-        // (permissions, I/O) must not make `add` start from an empty catalog
-        // and overwrite the existing file on save.
-        Err(e) if allow_missing && e.kind() == std::io::ErrorKind::NotFound => {}
-        Err(e) => return Err(format!("cannot read {}: {e}", options.catalog_file)),
-    }
-    let session_config = SessionConfig {
-        compose: options.config.clone(),
-        chain: ChainOptions { require_complete: options.require_complete },
-        cache_capacity: options.cache_capacity,
-    };
-    // The sidecar carries version counters, hash history and the memo cache;
-    // versions are re-applied before the session takes over the catalog.
-    if let Ok(text) = std::fs::read_to_string(memo_path(&options.catalog_file)) {
-        let (manifest, cache) = load_state(&text);
-        catalog.restore_versions(&manifest);
-        let mut session = Session::with_config(catalog, Registry::standard(), session_config);
-        session.restore_cache(cache);
-        return Ok(session);
-    }
-    Ok(Session::with_config(catalog, Registry::standard(), session_config))
-}
+const COMMANDS: &str =
+    "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `stats`, `ping`, \
+     or `shutdown`";
 
-fn save_session(options: &CatalogOptions, session: &Session) -> Result<(), String> {
-    std::fs::write(&options.catalog_file, session.catalog().to_document_string())
-        .map_err(|e| format!("cannot write {}: {e}", options.catalog_file))?;
-    std::fs::write(
-        memo_path(&options.catalog_file),
-        save_state(session.catalog(), session.cache()),
-    )
-    .map_err(|e| format!("cannot write {}: {e}", memo_path(&options.catalog_file)))?;
-    Ok(())
-}
-
-fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
-    match options.command.as_str() {
-        "add" => {
-            if options.positional.is_empty() {
-                return Err("catalog add requires at least one document file".to_string());
+/// Execute one service-mode subcommand against any backend and print the
+/// reply. This is the single dispatch path: `mapcomp catalog` hands in a
+/// [`LocalService`], `mapcomp client` a TCP [`Client`].
+fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), String> {
+    match args.command.as_str() {
+        "ping" => {
+            match service.call(Request::Ping).map_err(|e| e.to_string())? {
+                Response::Pong => eprintln!("pong"),
+                other => return Err(format!("unexpected reply `{}`", other.kind())),
             }
-            let mut session = load_session(options, true)?;
-            let mut touched = Vec::new();
-            for file in &options.positional {
+            Ok(())
+        }
+        "add" => {
+            if args.positional.is_empty() {
+                return Err("add requires at least one document file".to_string());
+            }
+            // Read and pre-parse every file before sending anything, so the
+            // common failure (a malformed file anywhere in the list) commits
+            // nothing and names the offending file. The files are then
+            // ingested in order as separate requests — a later file
+            // redefining an earlier file's mapping is an *edit* (version
+            // bump + history), exactly as if the files were added in
+            // separate invocations.
+            let mut texts = Vec::new();
+            for file in &args.positional {
                 let text = std::fs::read_to_string(file)
                     .map_err(|e| format!("cannot read {file}: {e}"))?;
-                let document =
-                    parse_document(&text).map_err(|e| format!("{file}: parse error: {e}"))?;
-                touched.extend(session.ingest_document(&document).map_err(|e| e.to_string())?);
+                parse_document(&text).map_err(|e| format!("{file}: parse error: {e}"))?;
+                texts.push(text);
             }
-            save_session(options, &session)?;
-            eprintln!(
-                "catalog    : {} schemas, {} mappings",
-                session.catalog().schema_count(),
-                session.catalog().mapping_count()
-            );
+            let mut touched = Vec::new();
+            let mut counts = (0, 0);
+            for text in texts {
+                match service.call(Request::AddDocument { text }).map_err(|e| e.to_string())? {
+                    Response::Added { touched: t, schemas, mappings } => {
+                        touched.extend(t);
+                        counts = (schemas, mappings);
+                    }
+                    other => return Err(format!("unexpected reply `{}`", other.kind())),
+                }
+            }
+            touched.sort();
+            touched.dedup();
+            eprintln!("catalog    : {} schemas, {} mappings", counts.0, counts.1);
             eprintln!("updated    : {touched:?}");
             Ok(())
         }
-        "compose-path" => {
-            let [from, to] = options.positional.as_slice() else {
-                return Err("catalog compose-path requires <from-schema> <to-schema>".to_string());
+        "compose-path" | "compose-names" => {
+            let request = if args.command == "compose-path" {
+                let [from, to] = args.positional.as_slice() else {
+                    return Err("compose-path requires <from-schema> <to-schema>".to_string());
+                };
+                Request::ComposePath { from: from.clone(), to: to.clone() }
+            } else {
+                if args.positional.is_empty() {
+                    return Err("compose-names requires at least one mapping name".to_string());
+                }
+                Request::ComposeNames { names: args.positional.clone() }
             };
-            let mut session = load_session(options, false)?;
-            let result = session.compose_path(from, to).map_err(|e| e.to_string())?;
-            save_session(options, &session)?;
+            let payload = match service.call(request).map_err(|e| e.to_string())? {
+                Response::Composed(payload) => payload,
+                other => return Err(format!("unexpected reply `{}`", other.kind())),
+            };
+            let chain = payload.to_chain().map_err(|e| e.to_string())?;
 
             // Print the composed mapping as a document that re-parses: the
             // endpoint schemas (target extended by any residual symbols, per
             // §3.1 the output signature may keep σ2 leftovers) + mapping.
-            let chain = &result.chain;
             let mut printed = Catalog::new();
-            printed.add_schema(from.clone(), chain.mapping.input.clone());
+            printed.add_schema(chain.source.clone(), chain.mapping.input.clone());
             let mut target_sig = chain.mapping.output.clone();
             for (name, info) in chain.residual.iter() {
                 target_sig.add(name.to_string(), info.clone());
             }
-            printed.add_schema(to.clone(), target_sig);
+            printed.add_schema(chain.target.clone(), target_sig);
             printed
-                .add_mapping("composed", from, to, chain.mapping.constraints.clone())
+                .add_mapping(
+                    "composed",
+                    &chain.source,
+                    &chain.target,
+                    chain.mapping.constraints.clone(),
+                )
                 .map_err(|e| e.to_string())?;
-            println!("// composed {} -> {} via {:?}", from, to, chain.path);
+            println!("// composed {} -> {} via {:?}", chain.source, chain.target, chain.path);
             if !chain.residual.is_empty() {
                 println!("// residual (uneliminated) symbols: {:?}", chain.residual.names());
             }
@@ -331,47 +391,55 @@ fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
             eprintln!();
             eprintln!("path        : {:?}", chain.path);
             eprintln!("residual    : {:?}", chain.residual.names());
-            if options.stats {
-                let stats = session.stats();
-                eprintln!("plan        : {:?} (run lengths; >1 = served from cache)", result.plan);
-                eprintln!("compose     : {} pairwise calls this request", result.compose_calls);
-                eprintln!("cache hits  : {} this request", result.cache_hits);
+            if args.stats {
+                eprintln!("plan        : {:?} (run lengths; >1 = served from cache)", payload.plan);
+                eprintln!("compose     : {} pairwise calls this request", payload.compose_calls);
+                eprintln!("cache hits  : {} this request", payload.cache_hits);
+                let stats = fetch_stats(service)?;
                 eprintln!(
                     "cache       : {} entries ({} hits / {} misses lifetime)",
-                    stats.cache_entries, stats.cache.hits, stats.cache.misses
+                    stats.session.cache_entries,
+                    stats.session.cache.hits,
+                    stats.session.cache.misses
                 );
             }
             Ok(())
         }
         "compose-batch" => {
-            if options.positional.is_empty() || !options.positional.len().is_multiple_of(2) {
+            if args.positional.is_empty() || !args.positional.len().is_multiple_of(2) {
                 return Err(
-                    "catalog compose-batch requires <from> <to> pairs (an even number of schema names)"
+                    "compose-batch requires <from> <to> pairs (an even number of schema names)"
                         .to_string(),
                 );
             }
-            let requests: Vec<(String, String)> = options
-                .positional
-                .chunks(2)
-                .map(|pair| (pair[0].clone(), pair[1].clone()))
-                .collect();
-            let mut session = load_session(options, false)?;
+            let requests: Vec<(String, String)> =
+                args.positional.chunks(2).map(|pair| (pair[0].clone(), pair[1].clone())).collect();
             let started = std::time::Instant::now();
-            let results = session.compose_batch_parallel(&requests, options.workers);
+            // `workers: 0` on the wire means "the serving side's configured
+            // default" — locally that is 1, remotely the `serve`-time count.
+            let reply = service
+                .call(Request::ComposeBatch {
+                    requests: requests.clone(),
+                    workers: args.workers.unwrap_or(0),
+                })
+                .map_err(|e| e.to_string())?;
             let elapsed = started.elapsed();
-            save_session(options, &session)?;
+            let Response::Batch(results) = reply else {
+                return Err(format!("unexpected reply `{}`", reply.kind()));
+            };
             let mut failures = 0usize;
             for ((from, to), result) in requests.iter().zip(&results) {
                 match result {
-                    Ok(result) => {
-                        let residual = if result.is_complete() {
+                    Ok(payload) => {
+                        let chain = payload.to_chain().map_err(|e| e.to_string())?;
+                        let residual = if chain.residual.is_empty() {
                             String::new()
                         } else {
-                            format!(" residual {:?}", result.chain.residual.names())
+                            format!(" residual {:?}", chain.residual.names())
                         };
                         eprintln!(
                             "ok   : {from} -> {to} via {:?} ({} compose calls, {} cache hits{residual})",
-                            result.chain.path, result.compose_calls, result.cache_hits
+                            payload.path, payload.compose_calls, payload.cache_hits
                         );
                     }
                     Err(error) => {
@@ -384,14 +452,17 @@ fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
                 "batch       : {} requests, {} failed, {} workers, {:.1} ms",
                 requests.len(),
                 failures,
-                options.workers,
+                args.workers.map(|w| w.to_string()).unwrap_or_else(|| "default".to_string()),
                 elapsed.as_secs_f64() * 1000.0
             );
-            if options.stats {
-                let stats = session.stats();
+            if args.stats {
+                let stats = fetch_stats(service)?;
                 eprintln!(
                     "compose     : {} pairwise calls lifetime; cache {} entries ({} hits / {} misses)",
-                    stats.compose_calls, stats.cache_entries, stats.cache.hits, stats.cache.misses
+                    stats.session.compose_calls,
+                    stats.session.cache_entries,
+                    stats.session.cache.hits,
+                    stats.session.cache.misses
                 );
             }
             if failures > 0 {
@@ -400,84 +471,174 @@ fn run_catalog(options: &CatalogOptions) -> Result<(), String> {
             Ok(())
         }
         "invalidate" => {
-            let [mapping] = options.positional.as_slice() else {
-                return Err("catalog invalidate requires <mapping-name>".to_string());
+            let [mapping] = args.positional.as_slice() else {
+                return Err("invalidate requires <mapping-name>".to_string());
             };
-            let mut session = load_session(options, false)?;
-            session.catalog().mapping(mapping).map_err(|e| e.to_string())?;
-            let dropped = session.invalidate(mapping);
-            save_session(options, &session)?;
-            eprintln!("invalidated : {dropped} cached compositions depending on `{mapping}`");
-            Ok(())
+            match service
+                .call(Request::Invalidate { mapping: mapping.clone() })
+                .map_err(|e| e.to_string())?
+            {
+                Response::Invalidated { dropped } => {
+                    eprintln!(
+                        "invalidated : {dropped} cached compositions depending on `{mapping}`"
+                    );
+                    Ok(())
+                }
+                other => Err(format!("unexpected reply `{}`", other.kind())),
+            }
         }
         "stats" => {
-            let session = load_session(options, false)?;
-            let catalog = session.catalog();
-            eprintln!("schemas     : {}", catalog.schema_count());
-            eprintln!("mappings    : {}", catalog.mapping_count());
-            for entry in catalog.mappings() {
+            let stats = fetch_stats(service)?;
+            eprintln!("schemas     : {}", stats.schemas);
+            eprintln!("mappings    : {}", stats.mappings);
+            for entry in &stats.entries {
                 eprintln!(
-                    "  {} : {} -> {} (v{}, hash {}, {} constraints)",
+                    "  {} : {} -> {} (v{}, hash {:016x}, {} constraints)",
                     entry.name,
                     entry.source,
                     entry.target,
                     entry.version,
                     entry.hash,
-                    entry.constraints.len()
+                    entry.constraints
                 );
                 if entry.history.len() > 1 {
                     let history: Vec<String> =
-                        entry.history.iter().map(|(v, h)| format!("v{v}={h}")).collect();
+                        entry.history.iter().map(|(v, h)| format!("v{v}={h:016x}")).collect();
                     eprintln!("      history: {}", history.join(", "));
                 }
             }
-            let cache_stats = session.cache().stats();
+            let session = &stats.session;
+            eprintln!(
+                "session     : {} compose calls, {} paths resolved, {} chains composed",
+                session.compose_calls, session.paths_resolved, session.chains_composed
+            );
             eprintln!(
                 "memo cache  : {} entries (capacity {})",
-                session.cache().len(),
-                session
-                    .cache()
-                    .capacity()
+                session.cache_entries,
+                stats
+                    .cache_capacity
                     .map(|c| c.to_string())
                     .unwrap_or_else(|| "unbounded".to_string())
             );
             eprintln!(
                 "  lifetime  : {} hits, {} misses, {} insertions, {} invalidated, {} evicted",
-                cache_stats.hits,
-                cache_stats.misses,
-                cache_stats.insertions,
-                cache_stats.invalidated,
-                cache_stats.evictions
+                session.cache.hits,
+                session.cache.misses,
+                session.cache.insertions,
+                session.cache.invalidated,
+                session.cache.evictions
             );
-            for (key, entry) in session.cache().iter() {
-                eprintln!(
-                    "  {:016x}/{:016x}/{:016x} : {} -> {} via {:?} ({} hits)",
-                    key.0,
-                    key.1,
-                    key.2,
-                    entry.chain.source,
-                    entry.chain.target,
-                    entry.chain.path,
-                    entry.hits
-                );
+            // Connectivity summary, computed client-side from the entry
+            // edges: for each schema with outgoing mappings, what it can
+            // compose to (fewest hops).
+            let mut adjacency: std::collections::BTreeMap<&str, Vec<&str>> = Default::default();
+            for entry in &stats.entries {
+                adjacency.entry(&entry.source).or_default().push(&entry.target);
             }
-            // Connectivity summary: for each schema, what it can compose to.
-            for schema in catalog.schemas() {
-                if let Ok(reach) = mapping_composition::catalog::reachable(catalog, &schema.name) {
-                    if !reach.is_empty() {
-                        let targets: Vec<String> =
-                            reach.iter().map(|(name, hops)| format!("{name}({hops})")).collect();
-                        eprintln!("reachable   : {} -> {}", schema.name, targets.join(", "));
+            for from in adjacency.keys().copied().collect::<Vec<_>>() {
+                let mut distance: std::collections::BTreeMap<&str, usize> = Default::default();
+                let mut queue = std::collections::VecDeque::from([(from, 0usize)]);
+                while let Some((node, hops)) = queue.pop_front() {
+                    for next in adjacency.get(node).into_iter().flatten() {
+                        if *next != from && !distance.contains_key(*next) {
+                            distance.insert(next, hops + 1);
+                            queue.push_back((next, hops + 1));
+                        }
                     }
+                }
+                if !distance.is_empty() {
+                    let targets: Vec<String> =
+                        distance.iter().map(|(name, hops)| format!("{name}({hops})")).collect();
+                    eprintln!("reachable   : {} -> {}", from, targets.join(", "));
                 }
             }
             Ok(())
         }
-        other => Err(format!(
-            "unknown catalog command `{other}`: expected `add`, `compose-path`, \
-             `compose-batch`, `invalidate`, or `stats`"
-        )),
+        "shutdown" => {
+            match service.call(Request::Shutdown).map_err(|e| e.to_string())? {
+                Response::ShuttingDown => eprintln!("server shutting down"),
+                other => return Err(format!("unexpected reply `{}`", other.kind())),
+            }
+            Ok(())
+        }
+        "" => Err(format!("missing command: expected {COMMANDS}")),
+        other => Err(format!("unknown command `{other}`: expected {COMMANDS}")),
     }
+}
+
+fn fetch_stats(
+    service: &dyn MapcompService,
+) -> Result<mapping_composition::service::StatsPayload, String> {
+    match service.call(Request::Stats).map_err(|e| e.to_string())? {
+        Response::Stats(stats) => Ok(stats),
+        other => Err(format!("unexpected reply `{}`", other.kind())),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mode entry points
+// ---------------------------------------------------------------------------
+
+fn run_catalog(args: &ServiceArgs) -> Result<(), String> {
+    let catalog_file =
+        args.catalog_file.as_ref().ok_or("catalog commands require --catalog <file>")?;
+    // Only `add` may start from a missing catalog file.
+    let allow_missing = args.command == "add";
+    let service = LocalService::open(
+        catalog_file,
+        Registry::standard(),
+        args.session_config(),
+        args.workers.unwrap_or(1),
+        allow_missing,
+    )
+    .map_err(|e| e.to_string())?;
+    run_command(&service, args)
+}
+
+fn run_serve(args: &ServiceArgs) -> Result<(), String> {
+    let catalog_file = args.catalog_file.as_ref().ok_or("serve requires --catalog <file>")?;
+    let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let workers = args.workers.unwrap_or(1);
+    let service = LocalService::open(
+        catalog_file,
+        Registry::standard(),
+        args.session_config(),
+        workers,
+        true,
+    )
+    .map_err(|e| e.to_string())?;
+    let server = Server::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    // The one stdout line automation depends on: parse the ephemeral port
+    // off it before connecting.
+    println!("listening on {bound}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "serving     : catalog {catalog_file} with {workers} workers (send `shutdown` to stop)"
+    );
+    server.run(&service, workers).map_err(|e| e.to_string())?;
+    eprintln!("stopped     : catalog persisted to {catalog_file}");
+    Ok(())
+}
+
+fn run_client(args: &ServiceArgs) -> Result<(), String> {
+    let addr = args.addr.as_ref().ok_or("client requires --addr <host:port>")?;
+    // Composition policy is fixed server-side at `serve` time; silently
+    // dropping these flags would let a user believe e.g. --require-complete
+    // was enforced when it was not.
+    if !args.policy_flags.is_empty() {
+        return Err(format!(
+            "{flags:?} configure the serving side: set them on `mapcomp serve` (or `mapcomp \
+             catalog`); client requests carry only schema and mapping names",
+            flags = args.policy_flags
+        ));
+    }
+    if args.catalog_file.is_some() {
+        return Err("client mode talks to a server: use --addr, not --catalog".to_string());
+    }
+    let client = Client::connect(addr).map_err(|e| e.to_string())?;
+    run_command(&client, args)
 }
 
 fn main() -> ExitCode {
@@ -491,18 +652,46 @@ fn main() -> ExitCode {
              \x20      mapcomp catalog add           --catalog <file> <document-file>...\n\
              \x20      mapcomp catalog compose-path  --catalog <file> <from> <to> \
              [--require-complete] [--stats]\n\
+             \x20      mapcomp catalog compose-names --catalog <file> <mapping>...\n\
              \x20      mapcomp catalog compose-batch --catalog <file> [--workers N] \
              <from> <to> [<from> <to> ...]\n\
              \x20      mapcomp catalog invalidate    --catalog <file> <mapping>\n\
              \x20      mapcomp catalog stats         --catalog <file>\n\
-             \x20      (catalog commands also accept --cache-capacity N; 0 = unbounded)"
+             \n\
+             \x20      mapcomp serve  --catalog <file> [--addr HOST:PORT] [--workers N]\n\
+             \x20      mapcomp client --addr HOST:PORT \
+             <ping|add|compose-path|compose-names|compose-batch|invalidate|stats|shutdown> \
+             [args...]\n\
+             \n\
+             \x20      catalog/serve also accept --cache-capacity N (0 = unbounded) and\n\
+             \x20      --path-cost hops|op-count plus the compose flags; `serve` prints\n\
+             \x20      `listening on <addr>` (use port 0 for an ephemeral port) and\n\
+             \x20      stops when a client sends `shutdown`."
         );
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
-    let outcome = if args[0] == "catalog" {
-        parse_catalog_args(&args[1..]).and_then(|options| run_catalog(&options))
-    } else {
-        parse_args(&args).and_then(|options| run(&options))
+    let outcome = match args[0].as_str() {
+        "catalog" => parse_service_args(args.get(1), args.get(2..).unwrap_or_default())
+            .and_then(|args| run_catalog(&args)),
+        "serve" => {
+            // `serve` has no subcommand keyword: everything after it is flags.
+            parse_service_args(None, &args[1..]).and_then(|mut args| {
+                args.command = "serve".to_string();
+                run_serve(&args)
+            })
+        }
+        "client" => {
+            // The subcommand may appear before or after --addr; take the
+            // first positional as the command.
+            parse_service_args(None, &args[1..]).and_then(|mut args| {
+                if args.positional.is_empty() {
+                    return Err(format!("client requires a command: expected {COMMANDS}"));
+                }
+                args.command = args.positional.remove(0);
+                run_client(&args)
+            })
+        }
+        _ => parse_args(&args).and_then(|options| run(&options)),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -19,11 +19,18 @@
 //!   experiments: Figure 1 primitives, event vectors, the schema-editing and
 //!   schema-reconciliation scenarios.
 //! * [`corpus`] — the 22-problem literature test suite.
-//! * [`catalog`] — the persistent service layer: a versioned catalog of
+//! * [`catalog`] — the persistent catalog layer: a versioned catalog of
 //!   named schemas and mappings, multi-hop path resolution over the
-//!   composition graph, an n-ary chain driver with a content-addressed memo
-//!   cache, and provenance-tracked invalidation for incremental
-//!   recomposition when one link of a chain is edited.
+//!   composition graph (fewest-hops or cheapest operator-count growth), an
+//!   n-ary chain driver with a content-addressed memo cache, and
+//!   provenance-tracked invalidation for incremental recomposition when one
+//!   link of a chain is edited.
+//! * [`service`] — the transport-agnostic service API over the catalog:
+//!   typed [`service::Request`]/[`service::Response`] enums with one unified
+//!   [`service::ServiceError`] (stable error codes), a hand-rolled
+//!   line-oriented wire codec, an in-process backend over the concurrent
+//!   shared session, and a threaded TCP server + blocking client — the
+//!   `mapcomp serve` / `mapcomp client` front ends.
 //!
 //! ## Quick start
 //!
@@ -80,6 +87,37 @@
 //! let after = session.compose_path("sigma1", "sigma3").unwrap();
 //! assert_eq!(after.compose_calls, 1);
 //! ```
+//!
+//! ## Service: the same catalog, local or over TCP
+//!
+//! The [`service`] layer wraps the catalog in a typed request/response API
+//! served identically by an in-process backend and a TCP server — callers
+//! hold a [`service::MapcompService`] and cannot tell which:
+//!
+//! ```
+//! use mapping_composition::prelude::*;
+//!
+//! let backend = LocalService::new(Catalog::new(), 2);
+//! let server = Server::bind("127.0.0.1:0").unwrap();
+//! let addr = server.local_addr().unwrap().to_string();
+//! std::thread::scope(|scope| {
+//!     scope.spawn(|| server.run(&backend, 2).unwrap());
+//!     let client = Client::connect(&addr).unwrap();
+//!     client
+//!         .call(Request::AddDocument {
+//!             text: "schema s1 { R/1; } schema s2 { S/1; }\n\
+//!                    mapping m : s1 -> s2 { R <= S; }"
+//!                 .into(),
+//!         })
+//!         .unwrap();
+//!     let reply = client
+//!         .call(Request::ComposePath { from: "s1".into(), to: "s2".into() })
+//!         .unwrap();
+//!     let Response::Composed(payload) = reply else { panic!("unexpected reply") };
+//!     assert_eq!(payload.path, vec!["m"]);
+//!     client.call(Request::Shutdown).unwrap();
+//! });
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -89,6 +127,7 @@ pub use mapcomp_catalog as catalog;
 pub use mapcomp_compose as compose;
 pub use mapcomp_corpus as corpus;
 pub use mapcomp_evolution as evolution;
+pub use mapcomp_service as service;
 
 /// Convenience re-exports covering the common workflow: parse a task,
 /// configure the registry, compose, inspect the result.
@@ -100,7 +139,8 @@ pub mod prelude {
     };
     pub use mapcomp_catalog::{
         replay_editing, Catalog, CatalogError, ChainOptions, ChainResult, ContentHash, MemoCache,
-        Session, SessionConfig, SessionStats, SharedCatalog, SharedSession, SidecarWriter,
+        PathCost, Session, SessionConfig, SessionStats, SharedCatalog, SharedSession,
+        SidecarWriter,
     };
     pub use mapcomp_compose::{
         compose, compose_constraints, eliminate, ComposeConfig, ComposeResult, EliminateStep,
@@ -110,5 +150,8 @@ pub mod prelude {
     pub use mapcomp_evolution::{
         run_editing, run_reconciliation, EventVector, PrimitiveKind, PrimitiveOptions,
         ReconcileConfig, ScenarioConfig,
+    };
+    pub use mapcomp_service::{
+        Client, ErrorCode, LocalService, MapcompService, Request, Response, Server, ServiceError,
     };
 }

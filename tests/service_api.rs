@@ -1,0 +1,284 @@
+//! Transport-equivalence suite for the service layer (the PR's acceptance
+//! criterion): a seeded mixed workload — document adds, mapping edits,
+//! invalidations, and batch composes — produces byte-identical composed
+//! chains and consistent session statistics whether it is driven through
+//! the in-process [`LocalService`] backend or over a loopback TCP server
+//! with four concurrent client connections.
+//!
+//! Determinism boundary: mutations are applied by one client between
+//! compose phases (a barrier separates phases), so both runs compose over
+//! identical catalog states. Within a phase the remote run is genuinely
+//! concurrent, which may change *scheduling-dependent counters* (per-request
+//! compose calls, cache hits, fold plans, invalidation drop counts) but must
+//! never change *content* — source, target, resolved path, the rendered
+//! chain document, residuals, or which requests fail with which errors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mapping_composition::prelude::*;
+use mapping_composition::service::StatsPayload;
+
+const CHAINS: usize = 3;
+const HOPS: usize = 6;
+const THREADS: usize = 4;
+const PHASES: usize = 4;
+
+fn schema_name(chain: usize, i: usize) -> String {
+    format!("c{chain}v{i}")
+}
+
+fn mapping_name(chain: usize, i: usize) -> String {
+    format!("c{chain}m{i}")
+}
+
+/// The base catalog: `CHAINS` independent evolution-style chains of `HOPS`
+/// copy mappings, two relations per schema.
+fn base_document() -> String {
+    let mut text = String::new();
+    for chain in 0..CHAINS {
+        for i in 0..=HOPS {
+            text.push_str(&format!(
+                "schema {} {{ A{chain}_{i}/2; B{chain}_{i}/1; }}\n",
+                schema_name(chain, i)
+            ));
+        }
+        for i in 0..HOPS {
+            text.push_str(&format!(
+                "mapping {} : {} -> {} {{ A{chain}_{i} <= A{chain}_{j}; B{chain}_{i} <= B{chain}_{j}; }}\n",
+                mapping_name(chain, i),
+                schema_name(chain, i),
+                schema_name(chain, i + 1),
+                j = i + 1
+            ));
+        }
+    }
+    text
+}
+
+/// An edit of one link: new constraints (the `variant` keeps successive
+/// edits of the same link distinct, so content hashes really change),
+/// shipped as a self-contained document.
+fn edit_document(chain: usize, i: usize, variant: usize) -> String {
+    let j = i + 1;
+    let constraints = match variant % 3 {
+        0 => format!("project[0,1](A{chain}_{i}) <= A{chain}_{j}; B{chain}_{i} <= B{chain}_{j};"),
+        1 => format!(
+            "A{chain}_{i} <= A{chain}_{j}; project[0](B{chain}_{i} * B{chain}_{i}) <= B{chain}_{j};"
+        ),
+        _ => format!("A{chain}_{i} <= project[0,1](A{chain}_{j}); B{chain}_{i} <= B{chain}_{j};"),
+    };
+    format!(
+        "schema {from} {{ A{chain}_{i}/2; B{chain}_{i}/1; }}\n\
+         schema {to} {{ A{chain}_{j}/2; B{chain}_{j}/1; }}\n\
+         mapping {name} : {from} -> {to} {{ {constraints} }}\n",
+        from = schema_name(chain, i),
+        to = schema_name(chain, j),
+        name = mapping_name(chain, i),
+    )
+}
+
+/// One phase: mutations applied serially by one client, then per-thread
+/// request lists executed concurrently (remote) or in thread order (local).
+struct Phase {
+    mutations: Vec<Request>,
+    per_thread: Vec<Vec<Request>>,
+}
+
+/// Build the whole seeded workload once; both runs execute the same value.
+fn build_workload(seed: u64) -> Vec<Phase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..PHASES)
+        .map(|phase| {
+            let mut mutations = Vec::new();
+            if phase == 0 {
+                mutations.push(Request::AddDocument { text: base_document() });
+            } else {
+                for edit in 0..2 {
+                    let chain = rng.gen_range(0..CHAINS);
+                    let i = rng.gen_range(0..HOPS);
+                    match rng.gen_range(0..3u32) {
+                        0 => {
+                            mutations.push(Request::Invalidate { mapping: mapping_name(chain, i) })
+                        }
+                        _ => mutations.push(Request::AddDocument {
+                            text: edit_document(chain, i, phase * 2 + edit),
+                        }),
+                    }
+                }
+            }
+            let per_thread = (0..THREADS)
+                .map(|_| {
+                    let mut requests = Vec::new();
+                    // One parallel batch per thread (batches within batches:
+                    // the server fans these across its own workers)…
+                    let pairs: Vec<(String, String)> = (0..6)
+                        .map(|_| {
+                            let chain = rng.gen_range(0..CHAINS);
+                            let i = rng.gen_range(0..HOPS);
+                            let j = rng.gen_range(i + 1..=HOPS);
+                            (schema_name(chain, i), schema_name(chain, j))
+                        })
+                        .collect();
+                    requests.push(Request::ComposeBatch { requests: pairs, workers: 2 });
+                    // …plus individual composes, including deliberate
+                    // failures (same-schema and backwards requests).
+                    for _ in 0..4 {
+                        let chain = rng.gen_range(0..CHAINS);
+                        let i = rng.gen_range(0..=HOPS);
+                        let j = rng.gen_range(0..=HOPS);
+                        requests.push(Request::ComposePath {
+                            from: schema_name(chain, i),
+                            to: schema_name(chain, j),
+                        });
+                    }
+                    requests
+                })
+                .collect();
+            Phase { mutations, per_thread }
+        })
+        .collect()
+}
+
+/// The scheduling-independent fingerprint of a reply: chain *content* and
+/// error identity, never counters.
+fn fingerprint(reply: &Result<Response, ServiceError>) -> String {
+    fn chain(payload: &mapping_composition::service::ChainPayload) -> String {
+        format!(
+            "composed {} -> {} via {:?}\n{}",
+            payload.source, payload.target, payload.path, payload.document
+        )
+    }
+    match reply {
+        Ok(Response::Composed(payload)) => chain(payload),
+        Ok(Response::Batch(items)) => items
+            .iter()
+            .map(|item| match item {
+                Ok(payload) => chain(payload),
+                Err(error) => format!("err {error}"),
+            })
+            .collect::<Vec<_>>()
+            .join("\n--\n"),
+        Ok(Response::Added { touched, schemas, mappings }) => {
+            format!("added {touched:?} {schemas} {mappings}")
+        }
+        // Invalidation drop counts depend on which fold segments happen to
+        // be cached, which is scheduling-dependent — compare the kind only.
+        Ok(other) => other.kind().to_string(),
+        Err(error) => format!("err {error}"),
+    }
+}
+
+/// Execute the workload sequentially against an in-process backend.
+fn run_local(workload: &[Phase]) -> (Vec<String>, StatsPayload) {
+    let service = LocalService::new(Catalog::new(), THREADS);
+    let mut outcomes = Vec::new();
+    for phase in workload {
+        for mutation in &phase.mutations {
+            outcomes.push(fingerprint(&service.call(mutation.clone())));
+        }
+        for requests in &phase.per_thread {
+            for request in requests {
+                outcomes.push(fingerprint(&service.call(request.clone())));
+            }
+        }
+    }
+    let Ok(Response::Stats(stats)) = service.call(Request::Stats) else {
+        panic!("stats request failed");
+    };
+    (outcomes, stats)
+}
+
+/// Execute the workload against a loopback TCP server with `THREADS`
+/// concurrent client connections (mutations through one client, compose
+/// phases genuinely parallel).
+fn run_remote(workload: &[Phase]) -> (Vec<String>, StatsPayload) {
+    let backend = LocalService::new(Catalog::new(), THREADS);
+    let server = Server::bind("127.0.0.1:0").expect("bind a loopback port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let mut outcomes = Vec::new();
+    let mut stats = None;
+    std::thread::scope(|scope| {
+        let (server_ref, backend_ref) = (&server, &backend);
+        scope.spawn(move || {
+            server_ref.run(backend_ref, THREADS).expect("server run");
+        });
+        let clients: Vec<Client> =
+            (0..THREADS).map(|_| Client::connect(&addr).expect("connect")).collect();
+        for phase in workload {
+            for mutation in &phase.mutations {
+                outcomes.push(fingerprint(&clients[0].call(mutation.clone())));
+            }
+            // The compose phase: all four connections in flight at once; the
+            // scope end is the inter-phase barrier.
+            let mut per_thread: Vec<Vec<String>> = Vec::new();
+            std::thread::scope(|compose_scope| {
+                let handles: Vec<_> = clients
+                    .iter()
+                    .zip(&phase.per_thread)
+                    .map(|(client, requests)| {
+                        compose_scope.spawn(move || {
+                            requests
+                                .iter()
+                                .map(|request| fingerprint(&client.call(request.clone())))
+                                .collect::<Vec<String>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    per_thread.push(handle.join().expect("client thread panicked"));
+                }
+            });
+            outcomes.extend(per_thread.into_iter().flatten());
+        }
+        match clients[0].call(Request::Stats) {
+            Ok(Response::Stats(payload)) => stats = Some(payload),
+            other => panic!("stats request failed: {other:?}"),
+        }
+        clients[0].call(Request::Shutdown).expect("shutdown accepted");
+    });
+    (outcomes, stats.expect("stats recorded"))
+}
+
+#[test]
+fn mixed_workload_is_transport_equivalent() {
+    let workload = build_workload(0x5EEDA21);
+    let (local_outcomes, local_stats) = run_local(&workload);
+    let (remote_outcomes, remote_stats) = run_remote(&workload);
+
+    assert_eq!(local_outcomes.len(), remote_outcomes.len());
+    for (index, (local, remote)) in local_outcomes.iter().zip(&remote_outcomes).enumerate() {
+        assert_eq!(local, remote, "outcome {index} diverged between in-process and TCP transports");
+    }
+
+    // Catalog state is identical: counts, names, versions, content hashes.
+    assert_eq!(local_stats.schemas, remote_stats.schemas);
+    assert_eq!(local_stats.mappings, remote_stats.mappings);
+    assert_eq!(local_stats.entries, remote_stats.entries);
+
+    // Deterministic session counters agree; scheduling-dependent cache
+    // counters must still be coherent.
+    assert_eq!(local_stats.session.chains_composed, remote_stats.session.chains_composed);
+    assert_eq!(local_stats.session.paths_resolved, remote_stats.session.paths_resolved);
+    for stats in [&local_stats, &remote_stats] {
+        assert!(stats.session.compose_calls > 0);
+        assert!(stats.session.cache.insertions > 0);
+        assert!(stats.session.cache.hits + stats.session.cache.misses > 0);
+        assert!(stats.session.cache_entries <= stats.session.cache.insertions);
+    }
+}
+
+#[test]
+fn workload_construction_is_deterministic() {
+    // The equivalence above is only meaningful if both runs really executed
+    // the same requests.
+    let first = build_workload(7);
+    let second = build_workload(7);
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.mutations, b.mutations);
+        assert_eq!(a.per_thread, b.per_thread);
+    }
+    assert_eq!(first.len(), PHASES);
+    assert!(first.iter().all(|phase| phase.per_thread.len() == THREADS));
+}
