@@ -13,7 +13,7 @@
 //!   active-domain relation `D^r`, the empty relation `∅`, Skolem
 //!   pseudo-operators, user-defined operators);
 //! * [`ops`] — registration of user-defined operators (typing + evaluation);
-//! * [`instance`] / [`eval`] — database instances and set-semantics
+//! * [`instance`] / [`mod@eval`] — database instances and set-semantics
 //!   evaluation;
 //! * [`constraint`] — containment / equality constraints and constraint sets;
 //! * [`mapping`] — mappings `(σ_in, σ_out, Σ)` and composition tasks;

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--paper | --smoke] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9]
-//!         [fig10] [fig11] [corpus] [claims] [all]
+//!         [fig10] [fig11] [fig12] [corpus] [claims] [all]
 //! ```
 //!
 //! Without arguments every figure is produced at the quick scale; `--paper`
@@ -16,7 +16,8 @@ use std::time::Instant;
 use mapcomp_bench::{
     chain_cache_experiment, chase_scaling_experiment, concurrent_sessions_experiment,
     corpus_report, edit_count_sweep, editing_experiment, format_row, inclusion_sweep,
-    schema_size_sweep, service_throughput_experiment, Configuration, Scale, FIGURE5_PRIMITIVES,
+    persistence_experiment, schema_size_sweep, service_throughput_experiment, Configuration, Scale,
+    FIGURE5_PRIMITIVES,
 };
 use mapcomp_compose::ComposeConfig;
 use mapcomp_evolution::{run_editing, PrimitiveKind, ScenarioConfig};
@@ -63,6 +64,9 @@ fn main() {
     }
     if want("fig11") {
         figure_11(scale);
+    }
+    if want("fig12") {
+        figure_12(scale);
     }
     if want("corpus") {
         corpus_table();
@@ -361,6 +365,45 @@ fn figure_11(scale: Scale) {
                     format!("{:.0}", point.throughput()),
                     speedup,
                     if point.results_consistent { "yes" } else { "NO" }.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}
+
+fn figure_12(scale: Scale) {
+    println!(
+        "\n[Figure 12] persistence: bytes written per state-changing request vs. catalog size"
+    );
+    let points = persistence_experiment(scale);
+    let widths = vec![9, 12, 14, 11, 13, 10];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "mappings".to_string(),
+                "incr B/req".to_string(),
+                "rewrite B/req".to_string(),
+                "incr (ms)".to_string(),
+                "rewrite (ms)".to_string(),
+                "recovered".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in points {
+        assert!(point.recovered_identical, "fig12 kill-and-restart recovery must round-trip");
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.mappings.to_string(),
+                    point.incremental_bytes.to_string(),
+                    point.rewrite_bytes.to_string(),
+                    format!("{:.3}", point.incremental_time.as_secs_f64() * 1000.0),
+                    format!("{:.3}", point.rewrite_time.as_secs_f64() * 1000.0),
+                    "yes".to_string(),
                 ],
                 &widths
             )

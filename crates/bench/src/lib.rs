@@ -933,6 +933,162 @@ pub fn service_throughput_experiment(scale: Scale) -> Vec<ServiceThroughputPoint
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Figure 12 (new experiment): incremental vs. full-rewrite persistence
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 12 persistence experiment: the durability cost
+/// of a state-changing service request at a given catalog size, under the
+/// incremental append-only path and under the legacy full-rewrite path
+/// (`PersistMode::FullRewrite`). Bytes written per request are
+/// deterministic, so the flat-vs-linear claim is assertable exactly; wall
+/// times ride along for the report.
+#[derive(Debug, Clone)]
+pub struct PersistencePoint {
+    /// Mappings in the catalog.
+    pub mappings: usize,
+    /// Mean bytes written to disk per state-changing request, incremental
+    /// mode (sidecar append only).
+    pub incremental_bytes: u64,
+    /// Mean bytes written per state-changing request, full-rewrite mode
+    /// (whole document + sidecar).
+    pub rewrite_bytes: u64,
+    /// Mean wall-clock time per request, incremental mode.
+    pub incremental_time: Duration,
+    /// Mean wall-clock time per request, full-rewrite mode.
+    pub rewrite_time: Duration,
+    /// Did a kill (drop without shutdown) and restart replay both modes to
+    /// the same catalog document and cumulative cache statistics as before
+    /// the kill?
+    pub recovered_identical: bool,
+}
+
+/// Catalog sizes (mapping counts) per scale. Every scale spans at least a
+/// 16x growth so the flat-vs-linear comparison has room to separate.
+pub fn persistence_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![12, 192],
+        Scale::Quick => vec![12, 48, 192],
+        Scale::Paper => vec![16, 64, 256, 512],
+    }
+}
+
+/// Render the Figure 12 catalog document: a single composition chain of
+/// `mappings` one-relation hops, so the document (and therefore the
+/// full-rewrite cost) grows linearly in the mapping count while every
+/// measured request touches a constant-size two-hop span.
+pub fn persistence_document(mappings: usize) -> String {
+    let mut text = String::new();
+    for i in 0..=mappings {
+        text.push_str(&format!("schema pv{i} {{ P{i}/1; }}\n"));
+    }
+    for i in 0..mappings {
+        text.push_str(&format!("mapping pm{i} : pv{i} -> pv{} {{ P{i} <= P{}; }}\n", i + 1, i + 1));
+    }
+    text
+}
+
+/// State-changing requests per measured point.
+const PERSISTENCE_REQUESTS: usize = 4;
+
+fn persistence_mode_run(
+    mappings: usize,
+    mode: mapcomp_service::PersistMode,
+    tag: &str,
+) -> (u64, Duration, bool) {
+    use mapcomp_service::{
+        sidecar_path, LocalService, MapcompService as _, PersistPolicy, Request, Response,
+    };
+
+    let file = std::env::temp_dir()
+        .join(format!("mapcomp_fig12_{}_{tag}_{mappings}.doc", std::process::id()));
+    let sidecar = sidecar_path(&file);
+    for stale in [&file, &sidecar] {
+        let _ = std::fs::remove_file(stale);
+    }
+    // Thresholds are disabled so the measurement sees the raw per-request
+    // cost of each mode, never a mid-run compaction.
+    let policy = PersistPolicy { mode, compact_appends: None, compact_bytes: None };
+    let open = || {
+        LocalService::open_with_policy(
+            &file,
+            Registry::standard(),
+            mapcomp_catalog::SessionConfig::default(),
+            1,
+            true,
+            policy,
+        )
+        .expect("open persistent service")
+    };
+    let service = open();
+    match service.call(Request::AddDocument { text: persistence_document(mappings) }) {
+        Ok(Response::Added { .. }) => {}
+        other => panic!("seeding the fig12 catalog failed: {other:?}"),
+    }
+    let file_bytes =
+        |path: &std::path::Path| std::fs::metadata(path).map(|meta| meta.len()).unwrap_or(0);
+    let mut bytes_written = 0u64;
+    let started = std::time::Instant::now();
+    for request in 0..PERSISTENCE_REQUESTS {
+        let from = 2 * request;
+        let before_sidecar = file_bytes(&sidecar);
+        let reply = service.call(Request::ComposePath {
+            from: format!("pv{from}"),
+            to: format!("pv{}", from + 2),
+        });
+        assert!(reply.is_ok(), "fig12 compose failed: {reply:?}");
+        bytes_written += match mode {
+            // Appends only: the document snapshot is untouched.
+            mapcomp_service::PersistMode::Incremental => {
+                file_bytes(&sidecar).saturating_sub(before_sidecar)
+            }
+            // Both files are rewritten whole.
+            mapcomp_service::PersistMode::FullRewrite => file_bytes(&file) + file_bytes(&sidecar),
+        };
+    }
+    let elapsed = started.elapsed() / PERSISTENCE_REQUESTS as u32;
+
+    // Kill (no shutdown, no compaction) and restart: recovery must replay
+    // the delta tail to the same catalog document and cumulative cache
+    // statistics.
+    let pre_document = service.session().catalog().snapshot().to_document_string();
+    let pre_stats = service.session().cache().stats();
+    drop(service);
+    let reopened = open();
+    let recovered = reopened.session().catalog().snapshot().to_document_string() == pre_document
+        && reopened.session().cache().stats() == pre_stats;
+    drop(reopened);
+    for stale in [&file, &sidecar] {
+        let _ = std::fs::remove_file(stale);
+    }
+    (bytes_written / PERSISTENCE_REQUESTS as u64, elapsed, recovered)
+}
+
+/// Run the Figure 12 experiment: at each catalog size, drive the same
+/// state-changing request sequence through an incremental-persistence
+/// service and a full-rewrite one, recording mean bytes written and wall
+/// time per request plus a kill-and-restart recovery check.
+pub fn persistence_experiment(scale: Scale) -> Vec<PersistencePoint> {
+    use mapcomp_service::PersistMode;
+    persistence_sizes(scale)
+        .into_iter()
+        .map(|mappings| {
+            let (incremental_bytes, incremental_time, incremental_ok) =
+                persistence_mode_run(mappings, PersistMode::Incremental, "incr");
+            let (rewrite_bytes, rewrite_time, rewrite_ok) =
+                persistence_mode_run(mappings, PersistMode::FullRewrite, "full");
+            PersistencePoint {
+                mappings,
+                incremental_bytes,
+                rewrite_bytes,
+                incremental_time,
+                rewrite_time,
+                recovered_identical: incremental_ok && rewrite_ok,
+            }
+        })
+        .collect()
+}
+
 /// Formatting helper: a fixed-width row of cells.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -1065,6 +1221,44 @@ mod tests {
             );
             assert!(point.requests > 0);
         }
+    }
+
+    #[test]
+    fn persistence_cost_is_flat_incremental_and_linear_on_rewrite() {
+        let points = persistence_experiment(Scale::Smoke);
+        assert_eq!(points.len(), persistence_sizes(Scale::Smoke).len());
+        for point in &points {
+            assert!(
+                point.recovered_identical,
+                "size {}: kill-and-restart recovery diverged",
+                point.mappings
+            );
+            assert!(point.incremental_bytes > 0, "incremental requests must append something");
+        }
+        let (first, last) = (points.first().unwrap(), points.last().unwrap());
+        let growth = last.mappings as f64 / first.mappings as f64;
+        assert!(growth >= 16.0, "the sweep must span >= 16x catalog growth, got {growth}x");
+        // Incremental: per-request bytes flat in catalog size (the only
+        // drift is schema-name digit width inside the appended entry).
+        let incremental_ratio = last.incremental_bytes as f64 / first.incremental_bytes as f64;
+        assert!(
+            incremental_ratio < 2.0,
+            "incremental per-request bytes must stay flat over {growth}x growth, got \
+             {incremental_ratio:.2}x ({} -> {} bytes)",
+            first.incremental_bytes,
+            last.incremental_bytes
+        );
+        // Full rewrite: per-request bytes grow with the catalog.
+        let rewrite_ratio = last.rewrite_bytes as f64 / first.rewrite_bytes as f64;
+        assert!(
+            rewrite_ratio > 4.0,
+            "full-rewrite per-request bytes must grow with the catalog over {growth}x growth, \
+             got {rewrite_ratio:.2}x ({} -> {} bytes)",
+            first.rewrite_bytes,
+            last.rewrite_bytes
+        );
+        // And at scale the incremental path writes far less per request.
+        assert!(last.incremental_bytes * 4 < last.rewrite_bytes);
     }
 
     #[test]

@@ -82,6 +82,40 @@ impl CacheStats {
             evictions: self.evictions.saturating_add(other.evictions),
         }
     }
+
+    /// The element-wise (saturating) difference `self - earlier`: the
+    /// increments observed since an earlier snapshot of the same counters.
+    /// This is what the incremental persistence layer appends as a
+    /// `delta stats` record instead of rewriting the absolute totals.
+    pub fn delta_since(self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            invalidated: self.invalidated.saturating_sub(earlier.invalidated),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+
+    /// Are all counters zero?
+    pub fn is_zero(&self) -> bool {
+        *self == CacheStats::default()
+    }
+}
+
+/// One cache mutation observed since the last [`MemoCache::take_events`]
+/// drain. The incremental persistence layer replays these as appended
+/// sidecar records (`entry` blocks for insertions, `delta evict` lines for
+/// removals) so durability stays proportional to the change. Only the *last*
+/// event per key matters to a consumer — the key is either live (persist its
+/// current entry) or gone (persist an eviction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// An entry was inserted (or replaced) under this key.
+    Inserted(MemoKey),
+    /// The entry under this key was dropped (eviction, invalidation, or an
+    /// explicit removal).
+    Removed(MemoKey),
 }
 
 /// The cache interface of the chain driver, through a shared reference so a
@@ -129,6 +163,9 @@ pub struct MemoCache {
     /// [`MemoCache::restore_stats`]); already includes every event the
     /// persisting process observed.
     restored: CacheStats,
+    /// Mutation journal for incremental persistence (`None` = disabled, the
+    /// default — a cache that is never drained must not grow a log).
+    journal: Option<Vec<CacheEvent>>,
 }
 
 impl MemoCache {
@@ -183,6 +220,41 @@ impl MemoCache {
         self.stats = CacheStats::default();
     }
 
+    /// Start journaling mutations for incremental persistence. Until the
+    /// first [`MemoCache::take_events`] drain, events accumulate; a cache
+    /// whose owner never drains should leave the journal disabled.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Drain the mutation journal (empty when journaling is disabled).
+    /// Events are in mutation order, so the last event per key reflects the
+    /// key's current liveness.
+    pub fn take_events(&mut self) -> Vec<CacheEvent> {
+        match &mut self.journal {
+            Some(journal) => std::mem::take(journal),
+            None => Vec::new(),
+        }
+    }
+
+    /// Put drained events back at the *front* of the journal (they are
+    /// older than anything recorded since the drain), so a persister whose
+    /// write failed can hand its batch back instead of losing it. No-op
+    /// when journaling is disabled.
+    pub fn requeue_events(&mut self, events: Vec<CacheEvent>) {
+        if let Some(journal) = &mut self.journal {
+            journal.splice(0..0, events);
+        }
+    }
+
+    fn record(&mut self, event: CacheEvent) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(event);
+        }
+    }
+
     fn touch(&mut self, key: MemoKey) {
         self.tick += 1;
         let tick = self.tick;
@@ -208,6 +280,7 @@ impl MemoCache {
                         set.remove(&key);
                     }
                 }
+                self.record(CacheEvent::Removed(key));
                 evicted += 1;
             }
         }
@@ -239,6 +312,28 @@ impl MemoCache {
         self.entries.contains_key(key)
     }
 
+    /// Peek at an entry's chain without touching statistics or recency (used
+    /// by the incremental persister to render a freshly inserted entry).
+    pub fn peek(&self, key: &MemoKey) -> Option<&ComposedChain> {
+        self.entries.get(key).map(|entry| &entry.chain)
+    }
+
+    /// Drop one entry by key, unindexing its provenance; returns whether it
+    /// existed. Used when replaying a persisted `delta evict` record — the
+    /// removal is mechanical and counts toward no statistic (the replayed
+    /// `stats` records already carry the original eviction counts).
+    pub fn remove(&mut self, key: &MemoKey) -> bool {
+        let Some(entry) = self.entries.remove(key) else { return false };
+        self.recency.remove(&entry.last_used);
+        for dependency in &entry.chain.deps {
+            if let Some(set) = self.by_dependency.get_mut(dependency) {
+                set.remove(key);
+            }
+        }
+        self.record(CacheEvent::Removed(*key));
+        true
+    }
+
     /// Insert a composed segment under its key, indexing its provenance.
     /// When the cache is at capacity, the least-recently-used entry is
     /// evicted first.
@@ -262,6 +357,7 @@ impl MemoCache {
         self.recency.insert(self.tick, key);
         self.entries.insert(key, MemoEntry { chain, hits: 0, last_used: self.tick });
         self.stats.insertions += 1;
+        self.record(CacheEvent::Inserted(key));
     }
 
     /// Drop every entry whose provenance mentions `mapping`; returns how many
@@ -280,6 +376,7 @@ impl MemoCache {
                         set.remove(&key);
                     }
                 }
+                self.record(CacheEvent::Removed(key));
             }
         }
         self.stats.invalidated += dropped;
@@ -300,6 +397,12 @@ impl MemoCache {
     /// Drop everything.
     pub fn clear(&mut self) {
         let dropped = self.entries.len();
+        if self.journal.is_some() {
+            let keys: Vec<MemoKey> = self.entries.keys().copied().collect();
+            for key in keys {
+                self.record(CacheEvent::Removed(key));
+            }
+        }
         self.entries.clear();
         self.by_dependency.clear();
         self.recency.clear();
@@ -401,6 +504,50 @@ impl ShardedMemoCache {
         let guards: Vec<MutexGuard<'_, MemoCache>> =
             self.segments.iter().map(lock_segment).collect();
         guards.iter().fold(self.baseline, |acc, guard| acc.merged(guard.stats()))
+    }
+
+    /// Start journaling mutations on every segment (see
+    /// [`MemoCache::enable_journal`]). Call this only when some owner drains
+    /// the journal regularly via [`ShardedMemoCache::take_events`].
+    pub fn enable_journal(&self) {
+        for segment in &self.segments {
+            lock_segment(segment).enable_journal();
+        }
+    }
+
+    /// Drain every segment's mutation journal. A key always maps to the same
+    /// segment, so per-key event order is preserved even though events from
+    /// different segments interleave arbitrarily — consumers should keep the
+    /// *last* event per key.
+    pub fn take_events(&self) -> Vec<CacheEvent> {
+        let mut events = Vec::new();
+        for segment in &self.segments {
+            events.append(&mut lock_segment(segment).take_events());
+        }
+        events
+    }
+
+    /// Peek at an entry's chain without touching statistics or recency.
+    pub fn peek(&self, key: &MemoKey) -> Option<ComposedChain> {
+        lock_segment(&self.segments[self.segment_of(key)]).peek(key).cloned()
+    }
+
+    /// Put drained events back (see [`MemoCache::requeue_events`]): each
+    /// event returns to the front of its key's segment journal, preserving
+    /// per-key order relative to events recorded since the drain.
+    pub fn requeue_events(&self, events: Vec<CacheEvent>) {
+        let mut by_segment: Vec<Vec<CacheEvent>> = vec![Vec::new(); self.segments.len()];
+        for event in events {
+            let key = match event {
+                CacheEvent::Inserted(key) | CacheEvent::Removed(key) => key,
+            };
+            by_segment[self.segment_of(&key)].push(event);
+        }
+        for (segment, batch) in self.segments.iter().zip(by_segment) {
+            if !batch.is_empty() {
+                lock_segment(segment).requeue_events(batch);
+            }
+        }
     }
 
     /// Drop every entry (in any segment) whose provenance mentions
@@ -609,6 +756,46 @@ mod tests {
             cache.restore_stats(persisted);
             assert_eq!(cache.stats(), persisted, "round {round}: baseline must not compound");
         }
+    }
+
+    #[test]
+    fn journal_records_mutations_and_requeue_restores_order() {
+        let mut cache = MemoCache::with_capacity(Some(1));
+        cache.enable_journal();
+        cache.insert((1, 0, 0), segment("a", &["a"], 1));
+        cache.insert((2, 0, 0), segment("b", &["b"], 2)); // evicts (1,0,0)
+        cache.invalidate("b");
+        let drained = cache.take_events();
+        assert_eq!(
+            drained,
+            vec![
+                CacheEvent::Inserted((1, 0, 0)),
+                CacheEvent::Removed((1, 0, 0)),
+                CacheEvent::Inserted((2, 0, 0)),
+                CacheEvent::Removed((2, 0, 0)),
+            ]
+        );
+        assert!(cache.take_events().is_empty(), "drain is destructive");
+        // A failed persist hands its batch back; newer events stay behind.
+        cache.insert((3, 0, 0), segment("c", &["c"], 3));
+        cache.requeue_events(drained.clone());
+        let mut expected = drained;
+        expected.push(CacheEvent::Inserted((3, 0, 0)));
+        assert_eq!(cache.take_events(), expected, "requeued events come back first");
+    }
+
+    #[test]
+    fn sharded_requeue_round_trips_through_segments() {
+        let sharded = ShardedMemoCache::new(4, None);
+        sharded.enable_journal();
+        for i in 0..8u64 {
+            sharded.cache_insert((i, 0, 0), segment(&format!("m{i}"), &["m"], i));
+        }
+        let drained = sharded.take_events();
+        assert_eq!(drained.len(), 8);
+        sharded.requeue_events(drained);
+        assert_eq!(sharded.take_events().len(), 8, "requeued events drain again");
+        assert!(sharded.take_events().is_empty());
     }
 
     #[test]

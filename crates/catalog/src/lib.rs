@@ -30,6 +30,13 @@
 //! * [`shared`] — concurrent sessions over one catalog: the lock-striped
 //!   [`SharedCatalog`] and the [`SharedSession`] parallel batch API.
 //!
+//! An architecture overview of the whole workspace (crate map, data flow,
+//! diagrams) lives in `docs/ARCHITECTURE.md`; the complete on-disk grammar
+//! of the document + sidecar formats — including the incremental
+//! `delta …` records appended by the service layer — is specified in
+//! `docs/PERSISTENCE.md` and kept in lockstep with [`persist`] by
+//! `tests/docs_examples.rs`.
+//!
 //! ## Concurrency model
 //!
 //! Concurrent sessions share three structures, each with its own locking
@@ -45,8 +52,9 @@
 //!   cumulative statistics merged atomically across segments;
 //! * the **sidecar** is written by a single-writer append protocol with a
 //!   mutex-guarded flush ([`persist::SidecarWriter`]); readers never block,
-//!   and the last-wins line grammar makes appended updates supersede older
-//!   ones without rewriting the file.
+//!   and the last-wins line grammar — snapshot lines plus incremental
+//!   [`persist::DeltaRecord`] lines replayed in file order — makes appended
+//!   updates supersede older ones without rewriting the file.
 //!
 //! ## Quick start
 //!
@@ -87,7 +95,9 @@ pub mod session;
 pub mod shared;
 pub mod store;
 
-pub use cache::{CacheStats, ChainCache, MemoCache, MemoEntry, MemoKey, ShardedMemoCache};
+pub use cache::{
+    CacheEvent, CacheStats, ChainCache, MemoCache, MemoEntry, MemoKey, ShardedMemoCache,
+};
 pub use chain::{
     compose_chain, compose_chain_with, compose_pair, ChainOptions, ChainResult, ComposedChain,
     LinkSource,
@@ -100,8 +110,10 @@ pub use graph::{
 pub use hash::{hash_config, hash_mapping, hash_signature, ContentHash};
 pub use lock::{pid_alive, FileLock, FileLockGuard};
 pub use persist::{
-    load_cache, load_state, load_versions, parse_chain_document, render_chain_document, save_cache,
-    save_state, save_versions, SidecarWriter, VersionManifest,
+    escape_field, load_cache, load_sidecar, load_state, load_versions, parse_chain_document,
+    parse_delta, render_cache_entry, render_chain_document, render_delta, render_mapping_decl,
+    render_schema_decl, save_cache, save_state, save_versions, strip_torn_tail, unescape_field,
+    DeltaRecord, SidecarState, SidecarWriter, VersionManifest,
 };
 pub use replay::{replay_editing, CatalogReplay, ReplayRecord};
 pub use session::{Session, SessionConfig, SessionStats};

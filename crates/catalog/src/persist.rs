@@ -31,9 +31,24 @@
 //! end-document
 //! ```
 //!
+//! * **Delta records** — single `delta …` lines appended by the incremental
+//!   persistence path, so a long-running server's durability cost is
+//!   proportional to the change rather than to the catalog
+//!   ([`DeltaRecord`]): `delta schema`/`delta mapping` carry one escaped
+//!   document declaration (catalog content added or edited out of the
+//!   snapshot), `delta invalidate` drops cached compositions depending on a
+//!   mapping, `delta evict` drops one memo entry by key, and `delta stats`
+//!   adds increments onto the last absolute `stats` line. Replay applies
+//!   them in file order over the snapshot ([`load_sidecar`]); compaction
+//!   ([`SidecarWriter::rewrite`] with a fresh [`save_state`] rendering)
+//!   folds the log back into snapshot form.
+//!
 //! Unknown or corrupted lines are skipped on load (the sidecar is only an
 //! accelerator plus bookkeeping; losing an entry costs one recomposition,
-//! never correctness).
+//! never correctness), and a torn final line — a crash mid-append — is
+//! dropped before parsing ([`strip_torn_tail`]). The complete on-disk
+//! grammar, with examples that are round-tripped by
+//! `tests/docs_examples.rs`, is specified in `docs/PERSISTENCE.md`.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -42,9 +57,9 @@ use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
-use mapcomp_algebra::{parse_document, Mapping, Signature};
+use mapcomp_algebra::{parse_document, ConstraintSet, Document, Mapping, Signature};
 
-use crate::cache::{CacheStats, MemoCache};
+use crate::cache::{CacheStats, MemoCache, MemoKey};
 use crate::chain::ComposedChain;
 use crate::lock::FileLock;
 use crate::store::Catalog;
@@ -93,6 +108,22 @@ impl VersionManifest {
         manifest
     }
 
+    /// Capture a single schema entry (the schema-side counterpart of
+    /// [`VersionManifest::of_mapping`]).
+    pub fn of_schema(entry: &crate::store::SchemaEntry) -> Self {
+        let mut manifest = VersionManifest::default();
+        manifest.schemas.insert(entry.name.clone(), (entry.version, entry.hash.0));
+        manifest
+    }
+
+    /// Absorb every entry of `other`, superseding entries with the same
+    /// names (the in-memory analogue of appending `other.render()` after
+    /// this manifest's lines).
+    pub fn absorb(&mut self, other: VersionManifest) {
+        self.schemas.extend(other.schemas);
+        self.mappings.extend(other.mappings);
+    }
+
     /// Render the manifest as sidecar `version …` lines. Loading keeps the
     /// *last* line per entry, so appending a newer rendering supersedes
     /// older ones without rewriting the file.
@@ -121,41 +152,41 @@ pub fn load_versions(text: &str) -> VersionManifest {
     let mut manifest = VersionManifest::default();
     for line in text.lines() {
         let Some(rest) = line.trim().strip_prefix("version ") else { continue };
-        let mut parts = rest.split_whitespace();
-        let (Some(kind), Some(name), Some(version)) = (parts.next(), parts.next(), parts.next())
-        else {
-            continue;
-        };
-        let Ok(version) = version.parse::<u64>() else { continue };
-        match kind {
-            "schema" => {
-                let Some(hash) = parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()) else {
-                    continue;
-                };
-                manifest.schemas.insert(name.to_string(), (version, hash));
-            }
-            "mapping" => {
-                let mut history = Vec::new();
-                let mut valid = true;
-                for part in parts {
-                    let Some((v, h)) = part.split_once(':') else {
-                        valid = false;
-                        break;
-                    };
-                    let (Ok(v), Ok(h)) = (v.parse::<u64>(), u64::from_str_radix(h, 16)) else {
-                        valid = false;
-                        break;
-                    };
-                    history.push((v, h));
-                }
-                if valid && !history.is_empty() {
-                    manifest.mappings.insert(name.to_string(), (version, history));
-                }
-            }
-            _ => {}
-        }
+        absorb_version_line(&mut manifest, rest);
     }
     manifest
+}
+
+/// Absorb the remainder of one `version …` line (everything after the
+/// keyword) into a manifest; malformed lines are ignored.
+fn absorb_version_line(manifest: &mut VersionManifest, rest: &str) {
+    let mut parts = rest.split_whitespace();
+    let (Some(kind), Some(name), Some(version)) = (parts.next(), parts.next(), parts.next()) else {
+        return;
+    };
+    let Ok(version) = version.parse::<u64>() else { return };
+    match kind {
+        "schema" => {
+            let Some(hash) = parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()) else {
+                return;
+            };
+            manifest.schemas.insert(name.to_string(), (version, hash));
+        }
+        "mapping" => {
+            let mut history = Vec::new();
+            for part in parts {
+                let Some((v, h)) = part.split_once(':') else { return };
+                let (Ok(v), Ok(h)) = (v.parse::<u64>(), u64::from_str_radix(h, 16)) else {
+                    return;
+                };
+                history.push((v, h));
+            }
+            if !history.is_empty() {
+                manifest.mappings.insert(name.to_string(), (version, history));
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Render the whole sidecar: versions, statistics, memo entries.
@@ -168,7 +199,366 @@ pub fn save_state(catalog: &Catalog, cache: &MemoCache) -> String {
 /// Parse a sidecar into its version manifest and cache (with restored
 /// statistics). Apply the manifest via [`Catalog::restore_versions`].
 pub fn load_state(text: &str) -> (VersionManifest, MemoCache) {
-    (load_versions(text), load_cache(text))
+    let state = load_sidecar(text);
+    (state.manifest, state.cache)
+}
+
+// ---------------------------------------------------------------------------
+// Field escaping
+// ---------------------------------------------------------------------------
+
+/// Escape an arbitrary string into a single whitespace-free token for a
+/// sidecar delta line: `%` and every whitespace or control character become
+/// `%XX` byte escapes of their UTF-8 encoding; the empty string becomes the
+/// marker `%e` (which no non-empty escape ever produces, since a literal `%`
+/// escapes to `%25`).
+pub fn escape_field(text: &str) -> String {
+    if text.is_empty() {
+        return "%e".to_string();
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut buf = [0u8; 4];
+    for ch in text.chars() {
+        if ch == '%' || ch.is_whitespace() || ch.is_control() {
+            for byte in ch.encode_utf8(&mut buf).bytes() {
+                let _ = write!(out, "%{byte:02X}");
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Undo [`escape_field`]. Returns `None` on truncated or non-hex escapes
+/// and on invalid UTF-8 (the caller skips the malformed line).
+pub fn unescape_field(token: &str) -> Option<String> {
+    if token == "%e" {
+        return Some(String::new());
+    }
+    let bytes = token.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut index = 0;
+    while index < bytes.len() {
+        if bytes[index] == b'%' {
+            let hex = bytes
+                .get(index + 1..index + 3)
+                .and_then(|pair| std::str::from_utf8(pair).ok())
+                .and_then(|pair| u8::from_str_radix(pair, 16).ok())?;
+            out.push(hex);
+            index += 3;
+        } else {
+            out.push(bytes[index]);
+            index += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Delta records
+// ---------------------------------------------------------------------------
+
+/// One incremental sidecar record: a single appended line describing one
+/// catalog or cache mutation, so durability for a state-changing request
+/// costs I/O proportional to the change instead of a full
+/// snapshot-and-rewrite. Replay ([`load_sidecar`]) applies deltas in file
+/// order over the snapshot lines that precede them; compaction folds the
+/// accumulated log back into snapshot form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaRecord {
+    /// `delta schema <escaped-decl>` — register or update one schema. The
+    /// payload is a complete `schema <name> { … }` declaration in the
+    /// document grammar, escaped into one token.
+    Schema {
+        /// The schema declaration text.
+        decl: String,
+    },
+    /// `delta mapping <escaped-decl>` — register or update one mapping. The
+    /// payload is a complete `mapping <name> : <src> -> <tgt> { … }`
+    /// declaration in the document grammar, escaped into one token.
+    Mapping {
+        /// The mapping declaration text.
+        decl: String,
+    },
+    /// `delta invalidate <name>` — drop every cached composition whose
+    /// provenance mentions the mapping (the persisted form of
+    /// [`MemoCache::invalidate`]).
+    Invalidate {
+        /// The mapping name (escaped on disk).
+        mapping: String,
+    },
+    /// `delta evict <left> <right> <config>` — drop one memo entry by its
+    /// key (three 16-digit hex hashes), the persisted form of an LRU
+    /// eviction.
+    Evict {
+        /// The memo key of the dropped entry.
+        key: MemoKey,
+    },
+    /// `delta stats <hits> <misses> <insertions> <invalidated> <evictions>`
+    /// — *increments* added onto the running totals established by the last
+    /// absolute `stats` line (and any `delta stats` lines since).
+    Stats(CacheStats),
+}
+
+/// Render a delta record as its single sidecar line (no trailing newline).
+pub fn render_delta(delta: &DeltaRecord) -> String {
+    match delta {
+        DeltaRecord::Schema { decl } => format!("delta schema {}", escape_field(decl)),
+        DeltaRecord::Mapping { decl } => format!("delta mapping {}", escape_field(decl)),
+        DeltaRecord::Invalidate { mapping } => {
+            format!("delta invalidate {}", escape_field(mapping))
+        }
+        DeltaRecord::Evict { key: (left, right, config) } => {
+            format!("delta evict {left:016x} {right:016x} {config:016x}")
+        }
+        DeltaRecord::Stats(stats) => format!(
+            "delta stats {} {} {} {} {}",
+            stats.hits, stats.misses, stats.insertions, stats.invalidated, stats.evictions
+        ),
+    }
+}
+
+/// Parse one `delta …` line; `None` for malformed lines (the loader skips
+/// them).
+pub fn parse_delta(line: &str) -> Option<DeltaRecord> {
+    let rest = line.trim().strip_prefix("delta ")?;
+    let (kind, rest) = rest.split_once(' ')?;
+    let rest = rest.trim();
+    match kind {
+        "schema" if !rest.contains(' ') => {
+            Some(DeltaRecord::Schema { decl: unescape_field(rest)? })
+        }
+        "mapping" if !rest.contains(' ') => {
+            Some(DeltaRecord::Mapping { decl: unescape_field(rest)? })
+        }
+        "invalidate" if !rest.contains(' ') => {
+            Some(DeltaRecord::Invalidate { mapping: unescape_field(rest)? })
+        }
+        "evict" => {
+            let hashes: Option<Vec<u64>> =
+                rest.split_whitespace().map(|token| u64::from_str_radix(token, 16).ok()).collect();
+            match hashes?.as_slice() {
+                &[left, right, config] => Some(DeltaRecord::Evict { key: (left, right, config) }),
+                _ => None,
+            }
+        }
+        "stats" => {
+            let numbers: Option<Vec<usize>> =
+                rest.split_whitespace().map(|token| token.parse().ok()).collect();
+            match numbers?.as_slice() {
+                &[hits, misses, insertions, invalidated, evictions] => {
+                    Some(DeltaRecord::Stats(CacheStats {
+                        hits,
+                        misses,
+                        insertions,
+                        invalidated,
+                        evictions,
+                    }))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Render a single schema declaration in the document grammar (the payload
+/// of [`DeltaRecord::Schema`]).
+pub fn render_schema_decl(name: &str, signature: &Signature) -> String {
+    let mut out = String::new();
+    write_schema(&mut out, name, signature);
+    out
+}
+
+/// Render a single mapping declaration in the document grammar (the payload
+/// of [`DeltaRecord::Mapping`]).
+pub fn render_mapping_decl(
+    name: &str,
+    source: &str,
+    target: &str,
+    constraints: &ConstraintSet,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "mapping {name} : {source} -> {target} {{");
+    for constraint in constraints.iter() {
+        let _ = writeln!(out, "    {constraint};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Everything a sidecar carries: the last-wins version manifest, the memo
+/// cache with delta records replayed in file order, and the parsed
+/// catalog-content deltas (to be applied over the document snapshot via
+/// [`Catalog::from_document`], in order).
+#[derive(Debug, Default)]
+pub struct SidecarState {
+    /// Persisted version counters and hash history (last line per entry
+    /// wins).
+    pub manifest: VersionManifest,
+    /// The memo cache: `entry` blocks inserted, `delta evict` /
+    /// `delta invalidate` removals applied, statistics restored from the
+    /// last absolute `stats` line plus subsequent `delta stats` increments.
+    pub cache: MemoCache,
+    /// Parsed `delta schema` / `delta mapping` payloads, in file order.
+    pub doc_deltas: Vec<Document>,
+}
+
+/// Does the file end without a newline (a crash-torn final line)? A missing
+/// or empty file is not torn.
+fn tail_is_torn(path: &Path) -> std::io::Result<bool> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    let mut file = match std::fs::File::open(path) {
+        Ok(file) => file,
+        Err(error) if error.kind() == std::io::ErrorKind::NotFound => return Ok(false),
+        Err(error) => return Err(error),
+    };
+    if file.metadata()?.len() == 0 {
+        return Ok(false);
+    }
+    file.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    file.read_exact(&mut last)?;
+    Ok(last[0] != b'\n')
+}
+
+/// Drop a torn final line: everything after the last `\n`. Appends always
+/// end with a newline, so a file whose tail lacks one was cut by a crash
+/// mid-append; the torn fragment could otherwise parse as a *valid but
+/// wrong* shorter line (e.g. a truncated version history).
+pub fn strip_torn_tail(text: &str) -> &str {
+    match text.rfind('\n') {
+        Some(index) => &text[..=index],
+        None => "",
+    }
+}
+
+/// Parse a complete sidecar rendering — snapshot lines *and* appended delta
+/// records — in one sequential pass. Malformed lines are skipped; deltas
+/// whose payloads fail to parse are skipped; everything else applies in
+/// file order, so later records supersede earlier ones exactly as the
+/// append order on disk implies.
+pub fn load_sidecar(text: &str) -> SidecarState {
+    let mut state = SidecarState::default();
+    let mut stats_acc: Option<CacheStats> = None;
+    let mut lines = text.lines();
+    // A line handed back by an abandoned entry block (see below), to be
+    // re-dispatched as a top-level record before pulling the next one.
+    let mut pending: Option<&str> = None;
+    while let Some(line) = pending.take().or_else(|| lines.next()) {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("version ") {
+            absorb_version_line(&mut state.manifest, rest);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("stats ") {
+            // Strict parse: any malformed token rejects the whole line
+            // (skipping a corrupt token would shift the remaining numbers
+            // into the wrong counters).
+            let numbers: Result<Vec<usize>, _> = rest.split_whitespace().map(str::parse).collect();
+            if let Ok([hits, misses, insertions, invalidated, evictions]) = numbers.as_deref() {
+                stats_acc = Some(CacheStats {
+                    hits: *hits,
+                    misses: *misses,
+                    insertions: *insertions,
+                    invalidated: *invalidated,
+                    evictions: *evictions,
+                });
+            }
+            continue;
+        }
+        if line.starts_with("delta ") {
+            match parse_delta(line) {
+                Some(DeltaRecord::Schema { decl }) | Some(DeltaRecord::Mapping { decl }) => {
+                    if let Ok(document) = parse_document(&decl) {
+                        state.doc_deltas.push(document);
+                    }
+                }
+                Some(DeltaRecord::Invalidate { mapping }) => {
+                    state.cache.invalidate(&mapping);
+                }
+                Some(DeltaRecord::Evict { key }) => {
+                    state.cache.remove(&key);
+                }
+                Some(DeltaRecord::Stats(delta)) => {
+                    stats_acc = Some(stats_acc.unwrap_or_default().merged(delta));
+                }
+                None => {}
+            }
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("entry ") else { continue };
+        let mut key_parts = rest.split_whitespace();
+        let (Some(left), Some(right), Some(config), Some(hash)) = (
+            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
+            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
+            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
+            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
+        ) else {
+            continue;
+        };
+
+        let mut source = None;
+        let mut target = None;
+        let mut path: Vec<String> = Vec::new();
+        let mut deps: BTreeSet<String> = BTreeSet::new();
+        let mut document_text = String::new();
+        let mut in_document = false;
+        let mut complete = false;
+        for line in lines.by_ref() {
+            let trimmed = line.trim();
+            // A top-level record starting mid-block means this block was
+            // torn by a crash (its `end-document` never made it to disk)
+            // and later sessions appended after it: abandon the block and
+            // re-dispatch the record, or every acknowledged delta that
+            // follows would be swallowed as block content. The bias is
+            // deliberate — a legitimate embedded constraint over a
+            // relation named `delta`/`version`/`stats`/`entry` can trip
+            // this and drop the one cache entry (one recomposition, never
+            // a correctness loss), whereas the converse mistake loses
+            // catalog edits.
+            if trimmed.starts_with("entry ")
+                || trimmed.starts_with("delta ")
+                || trimmed.starts_with("version ")
+                || trimmed.starts_with("stats ")
+            {
+                pending = Some(line);
+                break;
+            }
+            if trimmed == "begin-document" {
+                in_document = true;
+            } else if trimmed == "end-document" {
+                complete = true;
+                break;
+            } else if in_document {
+                document_text.push_str(line);
+                document_text.push('\n');
+            } else if let Some(rest) = trimmed.strip_prefix("endpoints ") {
+                let mut ends = rest.split(" -> ");
+                source = ends.next().map(str::to_string);
+                target = ends.next().map(str::to_string);
+            } else if let Some(rest) = trimmed.strip_prefix("path ") {
+                path = rest.split_whitespace().map(str::to_string).collect();
+            } else if let Some(rest) = trimmed.strip_prefix("deps ") {
+                deps = rest.split_whitespace().map(str::to_string).collect();
+            }
+        }
+        let (Some(source), Some(target)) = (source, target) else { continue };
+        if !complete {
+            continue;
+        }
+        let Some((mapping, residual)) = parse_chain_document(&document_text) else { continue };
+        let chain = ComposedChain { source, target, path, mapping, residual, hash, deps };
+        state.cache.insert((left, right, config), chain);
+    }
+    // The accumulated counters already include the insertions replayed
+    // above; restoring last keeps them cumulative rather than
+    // double-counted.
+    if let Some(stats) = stats_acc {
+        state.cache.restore_stats(stats);
+    }
+    state
 }
 
 /// Render a composed chain's *content* as a self-contained embeddable
@@ -213,6 +603,23 @@ fn write_schema(out: &mut String, name: &str, sig: &Signature) {
     let _ = writeln!(out, "}}");
 }
 
+/// Render one memo entry as its sidecar `entry` block (header, endpoints,
+/// path, provenance, embedded document). Appending this block inserts —
+/// or, last-wins, refreshes — the entry on replay.
+pub fn render_cache_entry(key: &MemoKey, chain: &ComposedChain) -> String {
+    let (left, right, config) = key;
+    let mut out = String::new();
+    let _ = writeln!(out, "entry {left:016x} {right:016x} {config:016x} {:016x}", chain.hash);
+    let _ = writeln!(out, "endpoints {} -> {}", chain.source, chain.target);
+    let _ = writeln!(out, "path {}", chain.path.join(" "));
+    let deps: Vec<&str> = chain.deps.iter().map(String::as_str).collect();
+    let _ = writeln!(out, "deps {}", deps.join(" "));
+    let _ = writeln!(out, "begin-document");
+    out.push_str(&render_chain_document(chain));
+    let _ = writeln!(out, "end-document");
+    out
+}
+
 /// Render the cache in the sidecar format.
 pub fn save_cache(cache: &MemoCache) -> String {
     let mut out = String::new();
@@ -225,97 +632,17 @@ pub fn save_cache(cache: &MemoCache) -> String {
     );
     // Least-recently-used first, so a capacity-bounded session restoring
     // this sidecar evicts in the same order the saving session would have.
-    for ((left, right, config), entry) in cache.iter_lru() {
-        let chain = &entry.chain;
-        let _ = writeln!(out, "entry {left:016x} {right:016x} {config:016x} {:016x}", chain.hash);
-        let _ = writeln!(out, "endpoints {} -> {}", chain.source, chain.target);
-        let _ = writeln!(out, "path {}", chain.path.join(" "));
-        let deps: Vec<&str> = chain.deps.iter().map(String::as_str).collect();
-        let _ = writeln!(out, "deps {}", deps.join(" "));
-        let _ = writeln!(out, "begin-document");
-        out.push_str(&render_chain_document(chain));
-        let _ = writeln!(out, "end-document");
+    for (key, entry) in cache.iter_lru() {
+        out.push_str(&render_cache_entry(key, &entry.chain));
     }
     out
 }
 
 /// Parse a sidecar rendering back into a cache. Malformed entries are
-/// silently dropped; the count of restored entries is implicit in the
-/// result's `len()`.
+/// silently dropped; delta records (evictions, invalidations, statistics
+/// increments) are replayed in file order.
 pub fn load_cache(text: &str) -> MemoCache {
-    let mut cache = MemoCache::new();
-    let mut persisted_stats: Option<CacheStats> = None;
-    let mut lines = text.lines().peekable();
-    while let Some(line) = lines.next() {
-        let line = line.trim();
-        if let Some(rest) = line.strip_prefix("stats ") {
-            // Strict parse: any malformed token rejects the whole line
-            // (skipping a corrupt token would shift the remaining numbers
-            // into the wrong counters).
-            let numbers: Result<Vec<usize>, _> = rest.split_whitespace().map(str::parse).collect();
-            if let Ok([hits, misses, insertions, invalidated, evictions]) = numbers.as_deref() {
-                persisted_stats = Some(CacheStats {
-                    hits: *hits,
-                    misses: *misses,
-                    insertions: *insertions,
-                    invalidated: *invalidated,
-                    evictions: *evictions,
-                });
-            }
-            continue;
-        }
-        let Some(rest) = line.strip_prefix("entry ") else { continue };
-        let mut key_parts = rest.split_whitespace();
-        let (Some(left), Some(right), Some(config), Some(hash)) = (
-            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
-            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
-            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
-            key_parts.next().and_then(|p| u64::from_str_radix(p, 16).ok()),
-        ) else {
-            continue;
-        };
-
-        let mut source = None;
-        let mut target = None;
-        let mut path: Vec<String> = Vec::new();
-        let mut deps: BTreeSet<String> = BTreeSet::new();
-        let mut document_text = String::new();
-        let mut in_document = false;
-        let mut complete = false;
-        for line in lines.by_ref() {
-            let trimmed = line.trim();
-            if trimmed == "begin-document" {
-                in_document = true;
-            } else if trimmed == "end-document" {
-                complete = true;
-                break;
-            } else if in_document {
-                document_text.push_str(line);
-                document_text.push('\n');
-            } else if let Some(rest) = trimmed.strip_prefix("endpoints ") {
-                let mut ends = rest.split(" -> ");
-                source = ends.next().map(str::to_string);
-                target = ends.next().map(str::to_string);
-            } else if let Some(rest) = trimmed.strip_prefix("path ") {
-                path = rest.split_whitespace().map(str::to_string).collect();
-            } else if let Some(rest) = trimmed.strip_prefix("deps ") {
-                deps = rest.split_whitespace().map(str::to_string).collect();
-            }
-        }
-        let (Some(source), Some(target)) = (source, target) else { continue };
-        if !complete {
-            continue;
-        }
-        let Some((mapping, residual)) = parse_chain_document(&document_text) else { continue };
-        let chain = ComposedChain { source, target, path, mapping, residual, hash, deps };
-        cache.insert((left, right, config), chain);
-    }
-    // The persisted counters already include the insertions replayed above;
-    // restoring last keeps them cumulative rather than double-counted.
-    if let Some(stats) = persisted_stats {
-        cache.restore_stats(stats);
-    }
-    cache
+    load_sidecar(text).cache
 }
 
 /// Single-writer sidecar file shared by concurrent sessions — in one
@@ -359,7 +686,12 @@ impl SidecarWriter {
     /// Append a chunk of sidecar lines and flush, under the writer mutex and
     /// the cross-process lock file. Concurrent appenders are serialised, so
     /// no writer's lines can be torn or lost; within one append the chunk
-    /// lands contiguously.
+    /// lands contiguously. A crash-torn tail left by a previous process (a
+    /// final line with no terminating newline) is *healed first* by writing
+    /// the missing newline, so the fragment stays an isolated malformed
+    /// line the loader skips — without this, the new chunk's first line
+    /// would glue onto the fragment and be silently lost on every later
+    /// load.
     pub fn append(&self, lines: &str) -> std::io::Result<()> {
         let _guard = self.guard.lock().unwrap_or_else(PoisonError::into_inner);
         let _file_lock = self.lock.acquire(LOCK_TIMEOUT)?;
@@ -367,6 +699,9 @@ impl SidecarWriter {
         let mut chunk = lines.to_string();
         if !chunk.ends_with('\n') {
             chunk.push('\n');
+        }
+        if tail_is_torn(&self.path)? {
+            chunk.insert(0, '\n');
         }
         file.write_all(chunk.as_bytes())?;
         file.flush()
@@ -376,6 +711,9 @@ impl SidecarWriter {
     /// is written to a temporary sibling and renamed over the file (under
     /// the writer mutex and the cross-process lock file), so a concurrent
     /// reader sees either the old or the new sidecar, never a mixture.
+    ///
+    /// (The torn-tail healing in [`SidecarWriter::append`] is unnecessary
+    /// here — a rewrite replaces the file wholesale.)
     pub fn rewrite(&self, content: &str) -> std::io::Result<()> {
         let _guard = self.guard.lock().unwrap_or_else(PoisonError::into_inner);
         let _file_lock = self.lock.acquire(LOCK_TIMEOUT)?;
@@ -417,10 +755,25 @@ impl SidecarWriter {
     /// Read the sidecar into a version manifest and cache (the counterpart
     /// of [`load_state`]); a missing file is an empty sidecar.
     pub fn load(&self) -> (VersionManifest, MemoCache) {
+        let state = self.load_full();
+        (state.manifest, state.cache)
+    }
+
+    /// Read the complete sidecar state — manifest, cache, and the parsed
+    /// catalog-content deltas awaiting application over the document
+    /// snapshot. A missing file is an empty sidecar; a torn final line (a
+    /// crash mid-append) is dropped before parsing.
+    pub fn load_full(&self) -> SidecarState {
         match std::fs::read_to_string(&self.path) {
-            Ok(text) => load_state(&text),
-            Err(_) => (VersionManifest::default(), MemoCache::new()),
+            Ok(text) => load_sidecar(strip_torn_tail(&text)),
+            Err(_) => SidecarState::default(),
         }
+    }
+
+    /// Current size of the sidecar file in bytes (0 when missing) — the
+    /// input to byte-threshold compaction decisions.
+    pub fn file_len(&self) -> u64 {
+        std::fs::metadata(&self.path).map(|meta| meta.len()).unwrap_or(0)
     }
 }
 

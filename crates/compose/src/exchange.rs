@@ -4,7 +4,7 @@
 //! The paper motivates composition with data migration ("With this mapping,
 //! the designer can now migrate data from the old schema to the new schema",
 //! Example 1) and cites data exchange as the application of the
-//! second-order-tgd line of work [5]. This module provides that downstream
+//! second-order-tgd line of work \[5\]. This module provides that downstream
 //! consumer: a chase-style engine that, given a source instance and a set of
 //! algebraic constraints, computes a canonical target instance satisfying
 //! every supported constraint, inventing labelled nulls for

@@ -4,10 +4,10 @@
 //! (Bernstein, Green, Melnik, Nash; VLDB 2006): a best-effort, algebra-based,
 //! extensible composition component.
 //!
-//! Given constraints Σ12 over σ1 ∪ σ2 and Σ23 over σ2 ∪ σ3, [`compose`]
+//! Given constraints Σ12 over σ1 ∪ σ2 and Σ23 over σ2 ∪ σ3, [`compose()`]
 //! eliminates as many σ2 symbols as possible from Σ12 ∪ Σ23, producing an
 //! equivalent constraint set over σ1 ∪ σ3 (plus any σ2 symbols that resisted
-//! elimination). Per symbol, [`eliminate`] tries:
+//! elimination). Per symbol, [`eliminate()`] tries:
 //!
 //! 1. **View unfolding** (§3.2) — substitute a defining equality `S = E`.
 //! 2. **Left compose** (§3.4) — isolate `S ⊆ E1` and substitute into
@@ -22,7 +22,7 @@
 //! closure). [`verify`] provides a bounded-model equivalence checker used by
 //! the test suite.
 //!
-//! Downstream of composition, [`exchange`] materialises target instances
+//! Downstream of composition, [`exchange()`] materialises target instances
 //! (data migration, paper Example 1) with a chase engine that defaults to
 //! semi-naive, delta-driven evaluation over indexed conjunctive premise
 //! plans ([`plan`]); the textbook naive loop is kept behind

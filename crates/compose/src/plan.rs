@@ -9,7 +9,7 @@
 //! product.
 //!
 //! Two evaluation modes support the semi-naive discipline of
-//! [`crate::exchange`]:
+//! [`crate::exchange()`]:
 //!
 //! * [`PremisePlan::eval_full`] — the classic join over the full frontier
 //!   (used once, when a rule first evaluates);

@@ -9,8 +9,8 @@
 //! The authors' original downloadable problem files are no longer available,
 //! so the 22 problems are re-encoded here, in this implementation's plain
 //! text syntax, from the examples printed in the paper itself and in its
-//! references (Fagin–Kolaitis–Popa–Tan [5], Melnik et al. [7], Nash et al.
-//! [8]). Each problem records its provenance, the expected outcome, and a
+//! references (Fagin–Kolaitis–Popa–Tan \[5\], Melnik et al. \[7\], Nash et
+//! al. \[8\]). Each problem records its provenance, the expected outcome, and a
 //! note explaining what aspect of the algorithm it exercises.
 
 #![warn(missing_docs)]

@@ -58,6 +58,10 @@ pub enum Request {
     },
     /// Catalog and session statistics.
     Stats,
+    /// Fold the serving side's append-only sidecar log back into snapshot
+    /// form (document + sidecar rewritten atomically). A no-op for
+    /// in-memory backends.
+    Compact,
     /// Ask the serving process to persist and stop accepting connections.
     Shutdown,
 }
@@ -73,6 +77,7 @@ impl Request {
             Request::ComposeBatch { .. } => "compose-batch",
             Request::Invalidate { .. } => "invalidate",
             Request::Stats => "stats",
+            Request::Compact => "compact",
             Request::Shutdown => "shutdown",
         }
     }
@@ -203,6 +208,14 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`].
     Stats(StatsPayload),
+    /// Reply to [`Request::Compact`].
+    Compacted {
+        /// Sidecar size before compaction, in bytes (0 for an in-memory
+        /// backend).
+        bytes_before: u64,
+        /// Sidecar size after compaction, in bytes.
+        bytes_after: u64,
+    },
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
 }
@@ -217,6 +230,7 @@ impl Response {
             Response::Batch(_) => "batch",
             Response::Invalidated { .. } => "invalidated",
             Response::Stats(_) => "stats",
+            Response::Compacted { .. } => "compacted",
             Response::ShuttingDown => "shutting-down",
         }
     }

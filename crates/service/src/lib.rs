@@ -23,6 +23,13 @@
 //!   callers cannot tell (and must not care) whether the catalog is local
 //!   or remote.
 //!
+//! The wire format is fully specified in `docs/WIRE_PROTOCOL.md` (frame
+//! grammar, escaping, every request/response kind, the stable error-code
+//! table) and the durability story — incremental delta appends on the
+//! serve hot path, compaction, crash recovery — in `docs/PERSISTENCE.md`;
+//! both specs are executed by `tests/docs_examples.rs`, and
+//! `docs/ARCHITECTURE.md` maps the whole workspace.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -61,7 +68,7 @@ pub use api::{
 };
 pub use client::Client;
 pub use server::Server;
-pub use service::{sidecar_path, LocalService, MapcompService};
+pub use service::{sidecar_path, LocalService, MapcompService, PersistMode, PersistPolicy};
 pub use wire::{
     decode_reply, decode_request, encode_reply, encode_request, escape, read_frame, unescape,
 };

@@ -19,6 +19,7 @@ use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 use crate::api::{Request, Response, ServiceError};
 use crate::service::MapcompService;
@@ -28,6 +29,9 @@ use crate::wire::{decode_request, encode_reply, read_frame};
 pub struct Server {
     listener: TcpListener,
     shutdown: AtomicBool,
+    /// Drop a connection whose peer stays silent this long between frames
+    /// (`None` = keep idle connections forever, the default).
+    idle_timeout: Option<Duration>,
 }
 
 /// The worker pool's shared state: the pending-connection queue and the
@@ -41,7 +45,27 @@ impl Server {
     /// Bind to `addr` (e.g. `127.0.0.1:7171`, or port `0` for an ephemeral
     /// port — read the result off [`Server::local_addr`]).
     pub fn bind(addr: &str) -> std::io::Result<Server> {
-        Ok(Server { listener: TcpListener::bind(addr)?, shutdown: AtomicBool::new(false) })
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            shutdown: AtomicBool::new(false),
+            idle_timeout: None,
+        })
+    }
+
+    /// Reap connections whose peer sends nothing for `timeout` between
+    /// frames, freeing their pool worker for queued connections — without
+    /// this, a pool of N workers is pinned solid by N abandoned clients.
+    /// The timeout bounds the *gap* between bytes: a frame that starts
+    /// arriving resets it, but a peer that stalls mid-frame is dropped too
+    /// (its connection is torn mid-stream either way). `None` disables
+    /// reaping (the default).
+    pub fn set_idle_timeout(&mut self, timeout: Option<Duration>) {
+        self.idle_timeout = timeout;
+    }
+
+    /// The configured idle timeout.
+    pub fn idle_timeout(&self) -> Option<Duration> {
+        self.idle_timeout
     }
 
     /// The bound address.
@@ -127,9 +151,27 @@ impl Server {
         service: &S,
     ) -> std::io::Result<()> {
         let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.idle_timeout);
         let mut writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream);
-        while let Some(frame) = read_frame(&mut reader)? {
+        loop {
+            let frame = match read_frame(&mut reader) {
+                Ok(Some(frame)) => frame,
+                // Clean disconnect.
+                Ok(None) => break,
+                // Idle timeout fired (reported as WouldBlock or TimedOut
+                // depending on the platform): reap the connection so the
+                // worker can serve someone else.
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break
+                }
+                Err(error) => return Err(error),
+            };
             let reply = match decode_request(&frame) {
                 Ok(request) => {
                     if self.is_shutting_down() && !matches!(request, Request::Shutdown) {
@@ -155,6 +197,15 @@ impl Server {
             }
         }
         Ok(())
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("idle_timeout", &self.idle_timeout)
+            .finish()
     }
 }
 
@@ -220,6 +271,36 @@ mod tests {
             assert_eq!(client.call(Request::Shutdown).unwrap(), Response::ShuttingDown);
         });
         assert!(server.is_shutting_down());
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_to_free_pool_workers() {
+        let service = LocalService::new(chain_catalog(2), 1);
+        let mut server = Server::bind("127.0.0.1:0").unwrap();
+        server.set_idle_timeout(Some(std::time::Duration::from_millis(80)));
+        let addr = server.local_addr().unwrap().to_string();
+        std::thread::scope(|scope| {
+            let server = &server;
+            let service = &service;
+            // One worker: without idle reaping, an abandoned first
+            // connection would pin it and starve every later client.
+            scope.spawn(move || server.run(service, 1).unwrap());
+
+            let abandoned = Client::connect(&addr).unwrap();
+            assert_eq!(abandoned.call(Request::Ping).unwrap(), Response::Pong);
+            // Let the first connection idle past the timeout; the lone
+            // worker is only free to serve a second client if it was
+            // reaped.
+            std::thread::sleep(std::time::Duration::from_millis(250));
+            let second = Client::connect(&addr).unwrap();
+            assert_eq!(second.call(Request::Ping).unwrap(), Response::Pong);
+
+            // The reaped connection is gone: its next call fails.
+            let error = abandoned.call(Request::Ping).unwrap_err();
+            assert_eq!(error.code, ErrorCode::Transport);
+
+            assert_eq!(second.call(Request::Shutdown).unwrap(), Response::ShuttingDown);
+        });
     }
 
     #[test]

@@ -9,16 +9,41 @@
 //!
 //! [`LocalService`] wraps a [`SharedSession`] (so one instance serves
 //! concurrent callers — the TCP server hands it to every connection worker)
-//! and optionally binds to an on-disk catalog document + `.memo` sidecar,
-//! persisting after every state-changing request the way one CLI invocation
-//! always did. Sidecar rewrites go through [`SidecarWriter`], which takes
-//! the cross-process `.lock` file, so a server and stray CLI invocations on
-//! the same catalog cannot tear each other's sidecars.
+//! and optionally binds to an on-disk catalog document + `.memo` sidecar.
+//! Durability after a state-changing request comes in two flavours
+//! ([`PersistMode`]):
+//!
+//! * **Incremental** (the default): the request appends delta records —
+//!   changed catalog declarations, new memo entries, evictions,
+//!   statistics increments — through the sidecar's single-writer append
+//!   protocol, so the I/O cost is proportional to the change, not to the
+//!   catalog. The log is folded back into snapshot form by *compaction*:
+//!   at shutdown, when a configurable append-count or byte threshold is
+//!   crossed ([`PersistPolicy`]), or on an explicit [`Request::Compact`].
+//!   Recovery replays the delta tail over the last snapshot and tolerates
+//!   a torn final line from a crash mid-append. Cache hits are not
+//!   journaled, so restored LRU recency is exact from a compacted
+//!   snapshot but approximate (insertion-ordered) across the delta tail —
+//!   a performance nuance, never a correctness one.
+//! * **FullRewrite** (the legacy behaviour, kept for comparison — see the
+//!   `fig12_persistence` bench): every state-changing request rewrites the
+//!   whole document + sidecar atomically, which is O(catalog + cache) I/O
+//!   per request.
+//!
+//! Either way, writes go through [`SidecarWriter`], which takes the
+//! cross-process `.lock` file, so a server and stray CLI invocations on the
+//! same catalog cannot tear each other's state. The on-disk grammar is
+//! specified in `docs/PERSISTENCE.md`.
 
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use mapcomp_algebra::parse_document;
-use mapcomp_catalog::{save_state, Catalog, SessionConfig, SharedSession, SidecarWriter};
+use mapcomp_catalog::{
+    render_cache_entry, render_delta, render_mapping_decl, render_schema_decl, save_state,
+    CacheEvent, CacheStats, Catalog, DeltaRecord, MemoKey, SessionConfig, SharedSession,
+    SidecarWriter, VersionManifest,
+};
 use mapcomp_compose::Registry;
 
 use crate::api::{ChainPayload, MappingInfo, Request, Response, ServiceError, StatsPayload};
@@ -38,11 +63,76 @@ pub trait MapcompService {
     fn call(&self, request: Request) -> Result<Response, ServiceError>;
 }
 
+/// How a persistent [`LocalService`] makes a state-changing request
+/// durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PersistMode {
+    /// Append delta records to the sidecar; compact on thresholds, at
+    /// shutdown, and on request. Durability cost is proportional to the
+    /// change.
+    #[default]
+    Incremental,
+    /// Rewrite the whole document + sidecar per state-changing request (the
+    /// pre-incremental behaviour, O(catalog + cache) I/O per request). Kept
+    /// behind this flag for the `fig12_persistence` comparison and for
+    /// operators who want every request to leave a fresh snapshot.
+    FullRewrite,
+}
+
+/// Durability policy of a persistent [`LocalService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistPolicy {
+    /// Incremental append vs. legacy full rewrite.
+    pub mode: PersistMode,
+    /// Compact once this many delta appends have accumulated since the last
+    /// compaction (`None` = no append-count trigger).
+    pub compact_appends: Option<usize>,
+    /// Compact once the sidecar file exceeds this many bytes (`None` = no
+    /// byte trigger).
+    pub compact_bytes: Option<u64>,
+}
+
+impl Default for PersistPolicy {
+    fn default() -> Self {
+        PersistPolicy {
+            mode: PersistMode::Incremental,
+            compact_appends: Some(4096),
+            compact_bytes: Some(16 * 1024 * 1024),
+        }
+    }
+}
+
+impl PersistPolicy {
+    /// The legacy rewrite-everything policy (thresholds are irrelevant:
+    /// every request is already a full snapshot).
+    pub fn full_rewrite() -> Self {
+        PersistPolicy { mode: PersistMode::FullRewrite, compact_appends: None, compact_bytes: None }
+    }
+}
+
+/// Mutable persistence bookkeeping, under one mutex so concurrent
+/// state-changing requests serialise their append/compact decisions.
+struct PersistState {
+    /// Cache statistics as of the last persisted record, the baseline the
+    /// next `delta stats` increment is computed against.
+    last_stats: CacheStats,
+    /// Delta appends since the last compaction.
+    appends: usize,
+}
+
 /// On-disk binding of a [`LocalService`]: the catalog document plus its
-/// version/cache sidecar.
+/// version/cache sidecar, and the durability policy.
 struct Persistence {
     catalog_file: PathBuf,
     sidecar: SidecarWriter,
+    policy: PersistPolicy,
+    state: Mutex<PersistState>,
+}
+
+impl Persistence {
+    fn state(&self) -> MutexGuard<'_, PersistState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// The in-process backend: a [`SharedSession`] behind the service API,
@@ -83,11 +173,9 @@ impl LocalService {
         }
     }
 
-    /// Open a service bound to an on-disk catalog: parse the document (a
-    /// missing file is an empty catalog when `allow_missing`), re-apply the
-    /// sidecar's version manifest, and warm the memo cache from it. Every
-    /// state-changing request then persists back through the sidecar's
-    /// cross-process lock.
+    /// Open a service bound to an on-disk catalog with the default
+    /// (incremental) [`PersistPolicy`]. See
+    /// [`LocalService::open_with_policy`].
     pub fn open(
         catalog_file: impl Into<PathBuf>,
         registry: Registry,
@@ -95,7 +183,37 @@ impl LocalService {
         workers: usize,
         allow_missing: bool,
     ) -> Result<Self, ServiceError> {
+        LocalService::open_with_policy(
+            catalog_file,
+            registry,
+            config,
+            workers,
+            allow_missing,
+            PersistPolicy::default(),
+        )
+    }
+
+    /// Open a service bound to an on-disk catalog: parse the document
+    /// snapshot, replay the sidecar's delta tail over it (catalog-content
+    /// deltas in file order, then the last-wins version manifest), and warm
+    /// the memo cache — a torn final sidecar line from a crash mid-append
+    /// is dropped, and a leftover `.tmp` from a crash mid-compaction is
+    /// simply never read (the rename that would have installed it never
+    /// happened). A missing document file is an empty catalog when
+    /// `allow_missing` *or* when a sidecar exists (an incremental session
+    /// may not have compacted its first snapshot yet). Every state-changing
+    /// request then persists according to `policy`.
+    pub fn open_with_policy(
+        catalog_file: impl Into<PathBuf>,
+        registry: Registry,
+        config: SessionConfig,
+        workers: usize,
+        allow_missing: bool,
+        policy: PersistPolicy,
+    ) -> Result<Self, ServiceError> {
         let catalog_file: PathBuf = catalog_file.into();
+        let sidecar = SidecarWriter::new(sidecar_path(&catalog_file));
+        let sidecar_exists = sidecar.path().exists();
         let mut catalog = Catalog::new();
         match std::fs::read_to_string(&catalog_file) {
             Ok(text) => {
@@ -104,10 +222,13 @@ impl LocalService {
                 })?;
                 catalog.from_document(&document)?;
             }
-            // Only genuine absence may be ignored: any other read failure
-            // must not silently start from an empty catalog and overwrite
-            // the existing file on save.
-            Err(error) if allow_missing && error.kind() == std::io::ErrorKind::NotFound => {}
+            // Only genuine absence may be ignored — and only when the caller
+            // allows a fresh catalog or the sidecar proves this catalog
+            // exists in log form. Any other read failure must not silently
+            // start from an empty catalog and overwrite the file on save.
+            Err(error)
+                if (allow_missing || sidecar_exists)
+                    && error.kind() == std::io::ErrorKind::NotFound => {}
             Err(error) => {
                 return Err(ServiceError::transport(format!(
                     "cannot read {}: {error}",
@@ -115,16 +236,34 @@ impl LocalService {
                 )))
             }
         }
-        let sidecar = SidecarWriter::new(sidecar_path(&catalog_file));
-        let (manifest, cache) = sidecar.load();
-        catalog.restore_versions(&manifest);
+        let state = sidecar.load_full();
+        // Replay the delta tail: catalog content first (in append order —
+        // later declarations supersede earlier ones), then the recorded
+        // versions. A delta that no longer applies is skipped; content
+        // hashing makes any cache entries it would have invalidated
+        // unreachable anyway.
+        for document in &state.doc_deltas {
+            let _ = catalog.from_document(document);
+        }
+        catalog.restore_versions(&state.manifest);
         let workers = workers.max(1);
         let mut session = SharedSession::with_config(catalog, registry, config, workers);
-        session.restore_cache(cache);
+        session.restore_cache(state.cache);
+        if policy.mode == PersistMode::Incremental {
+            // The journal feeds the append path; it stays disabled in
+            // FullRewrite mode (nothing would drain it).
+            session.cache().enable_journal();
+        }
+        let last_stats = session.cache().stats();
         Ok(LocalService {
             session,
             batch_workers: workers,
-            persistence: Some(Persistence { catalog_file, sidecar }),
+            persistence: Some(Persistence {
+                catalog_file,
+                sidecar,
+                policy,
+                state: Mutex::new(PersistState { last_stats, appends: 0 }),
+            }),
             ingest: std::sync::Mutex::new(()),
         })
     }
@@ -134,44 +273,159 @@ impl LocalService {
         &self.session
     }
 
-    /// Write the catalog document and the sidecar (versions, statistics,
-    /// memo cache) back to disk; a no-op for in-memory services. Both files
-    /// are replaced by atomic renames inside one critical section of the
-    /// sidecar's cross-process lock, so a concurrent reader never sees a
-    /// truncated file or one writer's document paired with another's
-    /// sidecar.
-    pub fn persist(&self) -> Result<(), ServiceError> {
-        let Some(persistence) = &self.persistence else { return Ok(()) };
+    /// Fold the sidecar log back into snapshot form: rewrite the catalog
+    /// document and the sidecar (versions, statistics, memo cache) from a
+    /// fresh snapshot. Returns the sidecar's size before and after; a no-op
+    /// `(0, 0)` for in-memory services. Both files are replaced by atomic
+    /// renames inside one critical section of the sidecar's cross-process
+    /// lock, so a concurrent reader never sees a truncated file or one
+    /// writer's document paired with another's sidecar — and a crash
+    /// mid-compaction leaves at worst a stray `.tmp` sibling, never a
+    /// damaged snapshot.
+    pub fn compact(&self) -> Result<(u64, u64), ServiceError> {
+        let Some(persistence) = &self.persistence else { return Ok((0, 0)) };
+        let mut state = persistence.state();
+        let bytes_before = persistence.sidecar.file_len();
         // The snapshot is taken by the closure *inside* the sidecar's write
         // critical section, so concurrent persists write in snapshot order
         // — a request holding an older snapshot can never clobber a newer,
         // already-acknowledged state on disk.
-        persistence
-            .sidecar
-            .rewrite_with_document(&persistence.catalog_file, || {
-                let catalog = self.session.catalog().snapshot();
-                let cache = self.session.cache().collect();
-                (catalog.to_document_string(), save_state(&catalog, &cache))
-            })
-            .map_err(|error| {
-                ServiceError::transport(format!(
-                    "cannot write {} / {}: {error}",
-                    persistence.catalog_file.display(),
+        let mut drained = Vec::new();
+        let mut snapshot_stats = None;
+        let outcome = persistence.sidecar.rewrite_with_document(&persistence.catalog_file, || {
+            // Journal events observed so far describe mutations the
+            // snapshot below already contains; drain them *before* taking
+            // the snapshot, so anything arriving in between is re-appended
+            // later (a harmless duplicate) rather than lost.
+            drained = self.session.cache().take_events();
+            let catalog = self.session.catalog().snapshot();
+            let cache = self.session.cache().collect();
+            snapshot_stats = Some(cache.stats());
+            (catalog.to_document_string(), save_state(&catalog, &cache))
+        });
+        if let Err(error) = outcome {
+            // Nothing was committed (or at worst only the document rename
+            // landed; the delta log still supersedes it on replay): hand
+            // the drained events back and keep the old stats baseline, so
+            // the acknowledged-but-unwritten state is retried by the next
+            // persist instead of silently dropped.
+            self.session.cache().requeue_events(drained);
+            return Err(ServiceError::transport(format!(
+                "cannot write {} / {}: {error}",
+                persistence.catalog_file.display(),
+                persistence.sidecar.path().display()
+            )));
+        }
+        if let Some(stats) = snapshot_stats {
+            state.last_stats = stats;
+        }
+        state.appends = 0;
+        Ok((bytes_before, persistence.sidecar.file_len()))
+    }
+
+    /// Write the full catalog document and sidecar snapshot back to disk; a
+    /// no-op for in-memory services. (Compaction and the legacy
+    /// [`PersistMode::FullRewrite`] per-request persistence are the same
+    /// operation.)
+    pub fn persist(&self) -> Result<(), ServiceError> {
+        self.compact().map(|_| ())
+    }
+
+    /// Make one state-changing request durable according to the configured
+    /// [`PersistPolicy`]: in incremental mode, append `extra` (the request's
+    /// catalog-content and invalidation deltas) plus everything the cache
+    /// journal accumulated — new memo entries, evictions, a statistics
+    /// increment — as one contiguous chunk; in full-rewrite mode, snapshot
+    /// everything. An append that pushes the log over a compaction
+    /// threshold triggers compaction; a missing document file makes the
+    /// first persist a compaction too, so the snapshot the deltas replay
+    /// over always exists.
+    fn persist_change(&self, extra: &str) -> Result<(), ServiceError> {
+        let Some(persistence) = &self.persistence else { return Ok(()) };
+        if persistence.policy.mode == PersistMode::FullRewrite || !persistence.catalog_file.exists()
+        {
+            return self.persist();
+        }
+        let mut chunk = String::from(extra);
+        {
+            let mut state = persistence.state();
+            // Only the last event per key matters: the key is either live
+            // (persist its current entry) or gone (persist the eviction).
+            // Per-key order is preserved across the drain because a key
+            // always lands in the same cache segment. Removals are always
+            // rendered, even when `extra` carries a `delta invalidate` line
+            // that subsumes most of them: the drain is destructive, and a
+            // concurrent request's LRU eviction drained here would
+            // otherwise be lost for good, resurrecting the entry on
+            // replay. The overlap is benign — replaying an eviction for an
+            // already-dropped entry is a no-op.
+            let drained = self.session.cache().take_events();
+            let mut last: std::collections::BTreeMap<MemoKey, bool> = Default::default();
+            for event in &drained {
+                match *event {
+                    CacheEvent::Inserted(key) => last.insert(key, true),
+                    CacheEvent::Removed(key) => last.insert(key, false),
+                };
+            }
+            for (key, live) in last {
+                if live {
+                    // A concurrently removed entry simply isn't rendered;
+                    // its removal event is drained by a later persist.
+                    if let Some(chain) = self.session.cache().peek(&key) {
+                        chunk.push_str(&render_cache_entry(&key, &chain));
+                    }
+                } else {
+                    chunk.push_str(&render_delta(&DeltaRecord::Evict { key }));
+                    chunk.push('\n');
+                }
+            }
+            let now = self.session.cache().stats();
+            let delta = now.delta_since(state.last_stats);
+            if !delta.is_zero() {
+                chunk.push_str(&render_delta(&DeltaRecord::Stats(delta)));
+                chunk.push('\n');
+            }
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            if let Err(error) = persistence.sidecar.append(&chunk) {
+                // The chunk never reached disk: hand the drained events
+                // back and keep the old stats baseline, so the next
+                // persist retries this state instead of silently dropping
+                // durability that the requests were already acknowledged
+                // for. (No other drain can interleave — the state mutex is
+                // held.)
+                self.session.cache().requeue_events(drained);
+                return Err(ServiceError::transport(format!(
+                    "cannot append to {}: {error}",
                     persistence.sidecar.path().display()
-                ))
-            })
+                )));
+            }
+            state.last_stats = now;
+            state.appends += 1;
+            let over_appends =
+                persistence.policy.compact_appends.is_some_and(|limit| state.appends >= limit);
+            let over_bytes = persistence
+                .policy
+                .compact_bytes
+                .is_some_and(|limit| persistence.sidecar.file_len() >= limit);
+            if !(over_appends || over_bytes) {
+                return Ok(());
+            }
+        }
+        // Threshold crossed: fold the log (compact re-takes the state lock).
+        self.persist()
     }
 
     /// Persist after a compose request that touched durable state: new
     /// memoised compositions (`compose_calls`) or served cache hits
-    /// (`cache_hits` — the cumulative hit counters and LRU recency are part
-    /// of the sidecar since PR 2, so warm runs must keep accumulating them
-    /// across processes). Only requests that neither composed nor hit the
-    /// cache — failed resolutions, empty batches — skip the disk round
-    /// trip.
+    /// (`cache_hits` — the cumulative hit counters are part of the sidecar
+    /// since PR 2, so warm runs must keep accumulating them across
+    /// processes). Only requests that neither composed nor hit the cache —
+    /// failed resolutions, empty batches — skip the disk round trip.
     fn persist_if_used(&self, compose_calls: usize, cache_hits: usize) -> Result<(), ServiceError> {
         if compose_calls > 0 || cache_hits > 0 {
-            self.persist()?;
+            self.persist_change("")?;
         }
         Ok(())
     }
@@ -223,9 +477,64 @@ impl MapcompService for LocalService {
                 // the shared catalog untouched instead of half-applied.
                 let _ingest = self.ingest.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                 self.session.catalog().snapshot().from_document(&document)?;
-                let touched = self.session.ingest_document(&document)?;
-                self.persist()?;
                 let catalog = self.session.catalog();
+                // Pre-ingest hashes of the declared schemas (under the
+                // ingest lock, so nothing else can move them): an idempotent
+                // re-add must not grow the delta log.
+                let schema_hash_before: std::collections::BTreeMap<&String, Option<u64>> = document
+                    .schemas
+                    .keys()
+                    .map(|name| (name, catalog.schema(name).ok().map(|entry| entry.hash.0)))
+                    .collect();
+                let mapping_hash_before: std::collections::BTreeMap<&String, Option<u64>> =
+                    document
+                        .mappings
+                        .keys()
+                        .map(|name| (name, catalog.mapping(name).ok().map(|entry| entry.hash.0)))
+                        .collect();
+                let touched = self.session.ingest_document(&document)?;
+                // Delta rendering covers exactly what the request actually
+                // changed: every schema whose content hash moved (or is
+                // new), every mapping it added or edited (with an
+                // invalidation for each edit's stale cached compositions),
+                // and their version lines — cost proportional to the
+                // change, never to the catalog.
+                let mut extra = String::new();
+                let mut manifest = VersionManifest::default();
+                for name in document.schemas.keys() {
+                    let Ok(entry) = catalog.schema(name) else { continue };
+                    if schema_hash_before[name] == Some(entry.hash.0) {
+                        continue;
+                    }
+                    let decl = render_schema_decl(&entry.name, &entry.signature);
+                    extra.push_str(&render_delta(&DeltaRecord::Schema { decl }));
+                    extra.push('\n');
+                    manifest.absorb(VersionManifest::of_schema(&entry));
+                }
+                for name in &touched {
+                    let Ok(entry) = catalog.mapping(name) else { continue };
+                    // `touched` reports unchanged version-1 mappings on an
+                    // idempotent re-add (the pre-existing contract); only a
+                    // provably unchanged hash skips the delta.
+                    if mapping_hash_before.get(name) == Some(&Some(entry.hash.0)) {
+                        continue;
+                    }
+                    let decl = render_mapping_decl(
+                        &entry.name,
+                        &entry.source,
+                        &entry.target,
+                        &entry.constraints,
+                    );
+                    extra.push_str(&render_delta(&DeltaRecord::Mapping { decl }));
+                    extra.push('\n');
+                    extra.push_str(&render_delta(&DeltaRecord::Invalidate {
+                        mapping: name.clone(),
+                    }));
+                    extra.push('\n');
+                    manifest.absorb(VersionManifest::of_mapping(&entry));
+                }
+                extra.push_str(&manifest.render());
+                self.persist_change(&extra)?;
                 Ok(Response::Added {
                     touched,
                     schemas: catalog.schema_count(),
@@ -278,13 +587,26 @@ impl MapcompService for LocalService {
             Request::Invalidate { mapping } => {
                 self.session.catalog().mapping(&mapping)?;
                 let dropped = self.session.invalidate(&mapping);
-                self.persist()?;
+                // One `delta invalidate` line replays the whole drop. The
+                // per-entry removal events it generated are still rendered
+                // as `delta evict` lines by `persist_change` (suppressing
+                // them would also discard unrelated concurrent evictions
+                // drained in the same pass); the overlap is an idempotent
+                // no-op on replay.
+                let mut extra = render_delta(&DeltaRecord::Invalidate { mapping });
+                extra.push('\n');
+                self.persist_change(&extra)?;
                 Ok(Response::Invalidated { dropped })
             }
             Request::Stats => Ok(Response::Stats(self.stats_payload())),
+            Request::Compact => {
+                let (bytes_before, bytes_after) = self.compact()?;
+                Ok(Response::Compacted { bytes_before, bytes_after })
+            }
             Request::Shutdown => {
-                // The backend's part of a shutdown is durability; stopping
-                // the accept loop is the transport's job (see
+                // The backend's part of a shutdown is durability — a final
+                // compaction folding the delta log into snapshot form;
+                // stopping the accept loop is the transport's job (see
                 // [`crate::server::Server`]).
                 self.persist()?;
                 Ok(Response::ShuttingDown)
@@ -368,6 +690,12 @@ mod tests {
         // fails before counting as a composed chain).
         assert_eq!(stats.session.chains_composed, 2);
 
+        // Compact on an in-memory backend is a no-op with a zero report.
+        assert_eq!(
+            service.call(Request::Compact).unwrap(),
+            Response::Compacted { bytes_before: 0, bytes_after: 0 }
+        );
+
         assert_eq!(service.call(Request::Shutdown).unwrap(), Response::ShuttingDown);
     }
 
@@ -381,6 +709,163 @@ mod tests {
         assert_eq!(error.code, crate::api::ErrorCode::Parse);
         let error = service.call(Request::ComposeNames { names: vec![] }).unwrap_err();
         assert_eq!(error.code, crate::api::ErrorCode::Protocol);
+    }
+
+    fn temp_catalog(tag: &str) -> std::path::PathBuf {
+        let file =
+            std::env::temp_dir().join(format!("mapcomp_service_{tag}_{}.doc", std::process::id()));
+        let _ = std::fs::remove_file(&file);
+        let _ = std::fs::remove_file(sidecar_path(&file));
+        file
+    }
+
+    fn cleanup(file: &std::path::Path) {
+        let _ = std::fs::remove_file(file);
+        let _ = std::fs::remove_file(sidecar_path(file));
+    }
+
+    fn open_with(file: &std::path::Path, policy: PersistPolicy) -> LocalService {
+        LocalService::open_with_policy(
+            file,
+            Registry::standard(),
+            SessionConfig::default(),
+            2,
+            true,
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn incremental_requests_append_deltas_without_touching_the_snapshot() {
+        let file = temp_catalog("incr");
+        let policy = PersistPolicy {
+            mode: PersistMode::Incremental,
+            compact_appends: None,
+            compact_bytes: None,
+        };
+        let service = open_with(&file, policy);
+        // The first persist (no snapshot on disk yet) compacts, creating it.
+        service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+        let snapshot = std::fs::read_to_string(&file).unwrap();
+        let sidecar_after_add = std::fs::read_to_string(sidecar_path(&file)).unwrap();
+
+        // A compose appends an entry block + stats delta; the document
+        // snapshot is byte-identical and the sidecar only grew.
+        service.call(Request::ComposePath { from: "v0".into(), to: "v3".into() }).unwrap();
+        assert_eq!(std::fs::read_to_string(&file).unwrap(), snapshot);
+        let sidecar_after_compose = std::fs::read_to_string(sidecar_path(&file)).unwrap();
+        assert!(sidecar_after_compose.starts_with(&sidecar_after_add), "append-only");
+        let tail = &sidecar_after_compose[sidecar_after_add.len()..];
+        assert!(tail.contains("entry "), "the new memo entries are appended:\n{tail}");
+        assert!(tail.contains("delta stats "), "the statistics increment is appended:\n{tail}");
+
+        // An edit via add-document appends content + invalidation deltas.
+        let edited = chain_document(3).replace(
+            "mapping m1 : v1 -> v2 { R1 <= R2; }",
+            "mapping m1 : v1 -> v2 { project[0](R1) <= R2; }",
+        );
+        service.call(Request::AddDocument { text: edited }).unwrap();
+        let sidecar_after_edit = std::fs::read_to_string(sidecar_path(&file)).unwrap();
+        let tail = &sidecar_after_edit[sidecar_after_compose.len()..];
+        assert!(tail.contains("delta mapping "), "edited declaration appended:\n{tail}");
+        assert!(tail.contains("delta invalidate m1"), "invalidation appended:\n{tail}");
+        assert!(tail.contains("version mapping m1 2 "), "version bump appended:\n{tail}");
+        assert_eq!(std::fs::read_to_string(&file).unwrap(), snapshot, "snapshot still untouched");
+
+        // Recovery replays the tail: the reopened catalog has the edit.
+        drop(service);
+        let reopened = open_with(&file, policy);
+        let entry = reopened.session().catalog().mapping("m1").unwrap();
+        assert_eq!(entry.version, 2);
+        assert!(entry.constraints.to_string().contains("project[0](R1)"));
+        cleanup(&file);
+    }
+
+    #[test]
+    fn idempotent_re_add_appends_nothing() {
+        let file = temp_catalog("noop_add");
+        let policy = PersistPolicy {
+            mode: PersistMode::Incremental,
+            compact_appends: None,
+            compact_bytes: None,
+        };
+        let service = open_with(&file, policy);
+        service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+        let sidecar_len = std::fs::metadata(sidecar_path(&file)).unwrap().len();
+        // Re-submitting the identical document changes nothing and must not
+        // grow the delta log.
+        service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+        assert_eq!(
+            std::fs::metadata(sidecar_path(&file)).unwrap().len(),
+            sidecar_len,
+            "an unchanged re-add must append no deltas"
+        );
+        cleanup(&file);
+    }
+
+    #[test]
+    fn compact_folds_the_delta_log_into_the_snapshot() {
+        let file = temp_catalog("compactreq");
+        let policy = PersistPolicy {
+            mode: PersistMode::Incremental,
+            compact_appends: None,
+            compact_bytes: None,
+        };
+        let service = open_with(&file, policy);
+        service.call(Request::AddDocument { text: chain_document(4) }).unwrap();
+        service.call(Request::ComposePath { from: "v0".into(), to: "v4".into() }).unwrap();
+        service.call(Request::Invalidate { mapping: "m2".into() }).unwrap();
+        let stats_before = service.session().cache().stats();
+        let Response::Compacted { bytes_before, bytes_after } =
+            service.call(Request::Compact).unwrap()
+        else {
+            panic!("expected a compacted reply");
+        };
+        assert!(bytes_before > 0 && bytes_after > 0);
+        let compacted = std::fs::read_to_string(sidecar_path(&file)).unwrap();
+        assert!(!compacted.contains("delta "), "compaction folds every delta:\n{compacted}");
+        // The snapshot now carries the post-invalidate catalog + stats.
+        drop(service);
+        let reopened = open_with(&file, policy);
+        assert_eq!(reopened.session().cache().stats(), stats_before);
+        assert_eq!(reopened.session().catalog().mapping_count(), 4);
+        cleanup(&file);
+    }
+
+    #[test]
+    fn append_threshold_triggers_compaction() {
+        let file = temp_catalog("threshold");
+        let policy = PersistPolicy {
+            mode: PersistMode::Incremental,
+            compact_appends: Some(2),
+            compact_bytes: None,
+        };
+        let service = open_with(&file, policy);
+        service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+        // First append.
+        service.call(Request::ComposePath { from: "v0".into(), to: "v2".into() }).unwrap();
+        assert!(std::fs::read_to_string(sidecar_path(&file)).unwrap().contains("delta "));
+        // Second append crosses the threshold and compacts.
+        service.call(Request::ComposePath { from: "v1".into(), to: "v3".into() }).unwrap();
+        let compacted = std::fs::read_to_string(sidecar_path(&file)).unwrap();
+        assert!(
+            !compacted.contains("delta "),
+            "the threshold append must fold the log:\n{compacted}"
+        );
+        cleanup(&file);
+    }
+
+    #[test]
+    fn full_rewrite_mode_keeps_the_legacy_per_request_snapshot() {
+        let file = temp_catalog("legacy");
+        let service = open_with(&file, PersistPolicy::full_rewrite());
+        service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+        service.call(Request::ComposePath { from: "v0".into(), to: "v3".into() }).unwrap();
+        let sidecar = std::fs::read_to_string(sidecar_path(&file)).unwrap();
+        assert!(!sidecar.contains("delta "), "full rewrite never appends deltas:\n{sidecar}");
+        assert!(sidecar.contains("entry "), "the snapshot carries the memo entries");
+        cleanup(&file);
     }
 
     #[test]

@@ -47,52 +47,19 @@ pub const FRAME_END: &str = "end";
 /// tokenises with `split_whitespace`) become `%XX` byte escapes of their
 /// UTF-8 encoding, and the empty string becomes the marker `%e` (which no
 /// non-empty escape ever produces, since a literal `%` escapes to `%25`).
+///
+/// This is the same escaping the sidecar's delta records use
+/// ([`mapcomp_catalog::escape_field`] — one implementation, so the two
+/// grammars cannot silently diverge).
 pub fn escape(text: &str) -> String {
-    if text.is_empty() {
-        return "%e".to_string();
-    }
-    let mut out = String::with_capacity(text.len());
-    let mut buf = [0u8; 4];
-    for ch in text.chars() {
-        if ch == '%' || ch.is_whitespace() || ch.is_control() {
-            for byte in ch.encode_utf8(&mut buf).bytes() {
-                out.push('%');
-                out.push_str(&format!("{byte:02X}"));
-            }
-        } else {
-            out.push(ch);
-        }
-    }
-    out
+    mapcomp_catalog::escape_field(text)
 }
 
 /// Undo [`escape`]. Fails with [`ErrorCode::Protocol`] on truncated or
 /// non-hex escapes and on invalid UTF-8.
 pub fn unescape(token: &str) -> Result<String, ServiceError> {
-    if token == "%e" {
-        return Ok(String::new());
-    }
-    let bytes = token.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
-    let mut index = 0;
-    while index < bytes.len() {
-        if bytes[index] == b'%' {
-            let hex = bytes
-                .get(index + 1..index + 3)
-                .and_then(|pair| std::str::from_utf8(pair).ok())
-                .and_then(|pair| u8::from_str_radix(pair, 16).ok())
-                .ok_or_else(|| {
-                    ServiceError::protocol(format!("truncated escape in token `{token}`"))
-                })?;
-            out.push(hex);
-            index += 3;
-        } else {
-            out.push(bytes[index]);
-            index += 1;
-        }
-    }
-    String::from_utf8(out)
-        .map_err(|_| ServiceError::protocol(format!("token `{token}` is not valid UTF-8")))
+    mapcomp_catalog::unescape_field(token)
+        .ok_or_else(|| ServiceError::protocol(format!("malformed escape in token `{token}`")))
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +150,12 @@ fn parse_u64_hex(value: &str, field: &str) -> Result<u64, ServiceError> {
         .map_err(|_| ServiceError::protocol(format!("field `{field}` has a bad hash `{value}`")))
 }
 
+fn parse_u64_dec(value: &str, field: &str) -> Result<u64, ServiceError> {
+    value
+        .parse()
+        .map_err(|_| ServiceError::protocol(format!("field `{field}` has a bad count `{value}`")))
+}
+
 /// One `key value…` field line, split on the first space.
 fn split_field(line: &str) -> (&str, &str) {
     match line.split_once(' ') {
@@ -216,7 +189,7 @@ fn escape_tokens(values: &[String]) -> String {
 pub fn encode_request(request: &Request) -> String {
     let mut out = format!("{PROTOCOL} request {}\n", request.kind());
     match request {
-        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Ping | Request::Stats | Request::Compact | Request::Shutdown => {}
         Request::AddDocument { text } => {
             out.push_str(&format!("text {}\n", escape(text)));
         }
@@ -248,13 +221,14 @@ pub fn encode_request(request: &Request) -> String {
 pub fn decode_request(text: &str) -> Result<Request, ServiceError> {
     let (kind, lines) = frame_lines(text, "request")?;
     match kind {
-        "ping" | "stats" | "shutdown" => {
+        "ping" | "stats" | "compact" | "shutdown" => {
             if let Some(line) = lines.first() {
                 return Err(unknown_field(kind, line));
             }
             Ok(match kind {
                 "ping" => Request::Ping,
                 "stats" => Request::Stats,
+                "compact" => Request::Compact,
                 _ => Request::Shutdown,
             })
         }
@@ -466,6 +440,10 @@ pub fn encode_reply(reply: &Result<Response, ServiceError>) -> String {
                 Response::Invalidated { dropped } => {
                     out.push_str(&format!("dropped {dropped}\n"));
                 }
+                Response::Compacted { bytes_before, bytes_after } => {
+                    out.push_str(&format!("before {bytes_before}\n"));
+                    out.push_str(&format!("after {bytes_after}\n"));
+                }
                 Response::Stats(stats) => {
                     out.push_str(&format!("schemas {}\n", stats.schemas));
                     out.push_str(&format!("mappings {}\n", stats.mappings));
@@ -612,6 +590,24 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
                 }
             }
             Ok(Ok(Response::Invalidated { dropped: dropped.ok_or_else(|| missing("dropped"))? }))
+        }
+        "compacted" => {
+            let (mut before, mut after) = (None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("before", value) if before.is_none() => {
+                        before = Some(parse_u64_dec(value, "before")?)
+                    }
+                    ("after", value) if after.is_none() => {
+                        after = Some(parse_u64_dec(value, "after")?)
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Compacted {
+                bytes_before: before.ok_or_else(|| missing("before"))?,
+                bytes_after: after.ok_or_else(|| missing("after"))?,
+            }))
         }
         "stats" => {
             let (mut schemas, mut mappings, mut session) = (None, None, None);

@@ -31,11 +31,19 @@
 //!                               <from> <to> [<from> <to> ...]
 //! mapcomp catalog invalidate    --catalog <file> <mapping-name>
 //! mapcomp catalog stats         --catalog <file>
+//! mapcomp catalog compact       --catalog <file>
 //! ```
 //!
 //! Catalog commands also accept `--cache-capacity N` (bound the memo cache;
-//! 0 = unbounded) and `--path-cost hops|op-count` (fewest-hops vs.
-//! cheapest-estimated-growth path resolution).
+//! 0 = unbounded), `--path-cost hops|op-count` (fewest-hops vs.
+//! cheapest-estimated-growth path resolution), and the durability policy:
+//! `--persist incremental|full` (incremental, the default, appends delta
+//! records so each state-changing command costs I/O proportional to the
+//! change; full rewrites document + sidecar every time), with
+//! `--compact-appends N` / `--compact-bytes N` bounding how much delta log
+//! accumulates before it is folded back into snapshot form (0 = never; an
+//! explicit `compact` always folds). The on-disk grammar is specified in
+//! `docs/PERSISTENCE.md`.
 //!
 //! **Service mode**: serve the same catalog over TCP, and drive a server
 //! from the command line:
@@ -43,7 +51,8 @@
 //! ```text
 //! mapcomp serve  --catalog <file> [--addr 127.0.0.1:0] [--workers N]
 //!                [--cache-capacity N] [--path-cost hops|op-count]
-//!                [--require-complete] [compose flags]
+//!                [--require-complete] [--idle-timeout SECONDS]
+//!                [--persist incremental|full] [compose flags]
 //! mapcomp client --addr <host:port> ping
 //! mapcomp client --addr <host:port> add <document-file>...
 //! mapcomp client --addr <host:port> compose-path <from> <to> [--stats]
@@ -51,6 +60,7 @@
 //! mapcomp client --addr <host:port> compose-batch [--workers N] <from> <to> ...
 //! mapcomp client --addr <host:port> invalidate <mapping>
 //! mapcomp client --addr <host:port> stats
+//! mapcomp client --addr <host:port> compact
 //! mapcomp client --addr <host:port> shutdown
 //! ```
 //!
@@ -78,7 +88,7 @@ use mapping_composition::algebra::parse_document;
 use mapping_composition::catalog::{Catalog, ChainOptions, PathCost, SessionConfig};
 use mapping_composition::compose::{compose, minimize_mapping, ComposeConfig, Registry};
 use mapping_composition::service::{
-    Client, LocalService, MapcompService, Request, Response, Server,
+    Client, LocalService, MapcompService, PersistMode, PersistPolicy, Request, Response, Server,
 };
 
 struct Options {
@@ -205,6 +215,15 @@ struct ServiceArgs {
     /// then uses its own default (1 locally, the `serve`-time count
     /// remotely).
     workers: Option<usize>,
+    /// `--persist incremental|full`; `None` = the default (incremental).
+    persist_mode: Option<PersistMode>,
+    /// `--compact-appends N` (0 = never compact on append count).
+    compact_appends: Option<usize>,
+    /// `--compact-bytes N` (0 = never compact on sidecar size).
+    compact_bytes: Option<u64>,
+    /// `--idle-timeout SECONDS` (0 = keep idle connections forever, the
+    /// default).
+    idle_timeout: Option<f64>,
     /// Session-policy flags seen while parsing (compose flags,
     /// `--require-complete`, `--cache-capacity`, `--path-cost`). They only
     /// take effect on the serving side, so client mode rejects them instead
@@ -221,6 +240,20 @@ impl ServiceArgs {
             path_cost: self.path_cost,
         }
     }
+
+    fn persist_policy(&self) -> PersistPolicy {
+        let mut policy = match self.persist_mode {
+            Some(PersistMode::FullRewrite) => PersistPolicy::full_rewrite(),
+            _ => PersistPolicy::default(),
+        };
+        if let Some(appends) = self.compact_appends {
+            policy.compact_appends = if appends == 0 { None } else { Some(appends) };
+        }
+        if let Some(bytes) = self.compact_bytes {
+            policy.compact_bytes = if bytes == 0 { None } else { Some(bytes) };
+        }
+        policy
+    }
 }
 
 fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<ServiceArgs, String> {
@@ -236,6 +269,10 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
         cache_capacity: None,
         path_cost: PathCost::Hops,
         workers: None,
+        persist_mode: None,
+        compact_appends: None,
+        compact_bytes: None,
+        idle_timeout: None,
         policy_flags: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -284,6 +321,41 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
                         .ok_or_else(|| format!("invalid worker count `{value}`"))?,
                 );
             }
+            "--persist" => {
+                let value = iter.next().ok_or("--persist requires `incremental` or `full`")?;
+                parsed.persist_mode = Some(match value.as_str() {
+                    "incremental" => PersistMode::Incremental,
+                    "full" => PersistMode::FullRewrite,
+                    other => return Err(format!("invalid persist mode `{other}`")),
+                });
+                parsed.policy_flags.push(arg.clone());
+            }
+            "--compact-appends" => {
+                let value = iter.next().ok_or("--compact-appends requires a count")?;
+                parsed.compact_appends =
+                    Some(value.parse().map_err(|_| format!("invalid append threshold `{value}`"))?);
+                parsed.policy_flags.push(arg.clone());
+            }
+            "--compact-bytes" => {
+                let value = iter.next().ok_or("--compact-bytes requires a byte count")?;
+                parsed.compact_bytes =
+                    Some(value.parse().map_err(|_| format!("invalid byte threshold `{value}`"))?);
+                parsed.policy_flags.push(arg.clone());
+            }
+            "--idle-timeout" => {
+                let value = iter.next().ok_or("--idle-timeout requires seconds")?;
+                // Bounded so `Duration::from_secs_f64` can never panic
+                // (anything past a year is "never reap" in practice).
+                const MAX_IDLE_SECONDS: f64 = 366.0 * 24.0 * 3600.0;
+                parsed.idle_timeout = Some(
+                    value
+                        .parse()
+                        .ok()
+                        .filter(|&s: &f64| s.is_finite() && (0.0..=MAX_IDLE_SECONDS).contains(&s))
+                        .ok_or_else(|| format!("invalid idle timeout `{value}`"))?,
+                );
+                parsed.policy_flags.push(arg.clone());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => parsed.positional.push(other.to_string()),
         }
@@ -296,8 +368,8 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
 // ---------------------------------------------------------------------------
 
 const COMMANDS: &str =
-    "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `stats`, `ping`, \
-     or `shutdown`";
+    "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `stats`, `compact`, \
+     `ping`, or `shutdown`";
 
 /// Execute one service-mode subcommand against any backend and print the
 /// reply. This is the single dispatch path: `mapcomp catalog` hands in a
@@ -554,6 +626,13 @@ fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), S
             }
             Ok(())
         }
+        "compact" => match service.call(Request::Compact).map_err(|e| e.to_string())? {
+            Response::Compacted { bytes_before, bytes_after } => {
+                eprintln!("compacted   : sidecar {bytes_before} -> {bytes_after} bytes");
+                Ok(())
+            }
+            other => Err(format!("unexpected reply `{}`", other.kind())),
+        },
         "shutdown" => {
             match service.call(Request::Shutdown).map_err(|e| e.to_string())? {
                 Response::ShuttingDown => eprintln!("server shutting down"),
@@ -582,14 +661,20 @@ fn fetch_stats(
 fn run_catalog(args: &ServiceArgs) -> Result<(), String> {
     let catalog_file =
         args.catalog_file.as_ref().ok_or("catalog commands require --catalog <file>")?;
+    // Connection policy has no meaning without a server; silently accepting
+    // it would let a user believe a timeout took effect.
+    if args.idle_timeout.is_some() {
+        return Err("--idle-timeout applies to `mapcomp serve`, not catalog mode".to_string());
+    }
     // Only `add` may start from a missing catalog file.
     let allow_missing = args.command == "add";
-    let service = LocalService::open(
+    let service = LocalService::open_with_policy(
         catalog_file,
         Registry::standard(),
         args.session_config(),
         args.workers.unwrap_or(1),
         allow_missing,
+        args.persist_policy(),
     )
     .map_err(|e| e.to_string())?;
     run_command(&service, args)
@@ -599,15 +684,19 @@ fn run_serve(args: &ServiceArgs) -> Result<(), String> {
     let catalog_file = args.catalog_file.as_ref().ok_or("serve requires --catalog <file>")?;
     let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
     let workers = args.workers.unwrap_or(1);
-    let service = LocalService::open(
+    let service = LocalService::open_with_policy(
         catalog_file,
         Registry::standard(),
         args.session_config(),
         workers,
         true,
+        args.persist_policy(),
     )
     .map_err(|e| e.to_string())?;
-    let server = Server::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let mut server = Server::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    if let Some(seconds) = args.idle_timeout.filter(|&s| s > 0.0) {
+        server.set_idle_timeout(Some(std::time::Duration::from_secs_f64(seconds)));
+    }
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     // The one stdout line automation depends on: parse the ephemeral port
     // off it before connecting.
@@ -657,16 +746,22 @@ fn main() -> ExitCode {
              <from> <to> [<from> <to> ...]\n\
              \x20      mapcomp catalog invalidate    --catalog <file> <mapping>\n\
              \x20      mapcomp catalog stats         --catalog <file>\n\
+             \x20      mapcomp catalog compact       --catalog <file>\n\
              \n\
              \x20      mapcomp serve  --catalog <file> [--addr HOST:PORT] [--workers N]\n\
+             \x20                     [--idle-timeout SECONDS]\n\
              \x20      mapcomp client --addr HOST:PORT \
-             <ping|add|compose-path|compose-names|compose-batch|invalidate|stats|shutdown> \
-             [args...]\n\
+             <ping|add|compose-path|compose-names|compose-batch|invalidate|stats|compact|\
+             shutdown> [args...]\n\
              \n\
-             \x20      catalog/serve also accept --cache-capacity N (0 = unbounded) and\n\
-             \x20      --path-cost hops|op-count plus the compose flags; `serve` prints\n\
-             \x20      `listening on <addr>` (use port 0 for an ephemeral port) and\n\
-             \x20      stops when a client sends `shutdown`."
+             \x20      catalog/serve also accept --cache-capacity N (0 = unbounded),\n\
+             \x20      --path-cost hops|op-count, the compose flags, and the durability\n\
+             \x20      policy: --persist incremental|full (default incremental: append\n\
+             \x20      delta records, compact on thresholds/shutdown/`compact`),\n\
+             \x20      --compact-appends N and --compact-bytes N (0 = never). `serve`\n\
+             \x20      prints `listening on <addr>` (use port 0 for an ephemeral port),\n\
+             \x20      reaps connections idle past --idle-timeout (0/off = keep forever),\n\
+             \x20      and stops when a client sends `shutdown`."
         );
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }

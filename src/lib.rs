@@ -29,8 +29,17 @@
 //!   typed [`service::Request`]/[`service::Response`] enums with one unified
 //!   [`service::ServiceError`] (stable error codes), a hand-rolled
 //!   line-oriented wire codec, an in-process backend over the concurrent
-//!   shared session, and a threaded TCP server + blocking client — the
-//!   `mapcomp serve` / `mapcomp client` front ends.
+//!   shared session with incremental append-only persistence, and a
+//!   threaded TCP server + blocking client — the `mapcomp serve` /
+//!   `mapcomp client` front ends.
+//!
+//! The architecture documentation lives under `docs/`:
+//! `docs/ARCHITECTURE.md` (crate map, data flow, concurrency model),
+//! `docs/PERSISTENCE.md` (the document + sidecar on-disk grammars,
+//! delta log, compaction, crash recovery) and `docs/WIRE_PROTOCOL.md`
+//! (the `mapcomp-service 1` frame grammar). The two format specs are
+//! executed by `tests/docs_examples.rs`, so they cannot drift from the
+//! code.
 //!
 //! ## Quick start
 //!

@@ -1,0 +1,208 @@
+//! Executable documentation: the on-disk and wire-format specs under
+//! `docs/` are kept in lockstep with the code by round-tripping every
+//! marked example through the real parsers and renderers.
+//!
+//! * `docs/PERSISTENCE.md` — every fenced block preceded by
+//!   `<!-- roundtrip:sidecar -->` is parsed line-by-line with the sidecar
+//!   grammar; each record must be *recognised* and must re-render
+//!   byte-identically (so a stale example, or a grammar change without a
+//!   doc update, fails here).
+//! * `docs/WIRE_PROTOCOL.md` — every block preceded by
+//!   `<!-- roundtrip:request -->` / `<!-- roundtrip:reply -->` must decode
+//!   with the real codec and re-encode byte-identically, and the stable
+//!   error-code table must list exactly `ErrorCode::ALL`.
+
+use mapping_composition::algebra::parse_document;
+use mapping_composition::catalog::{
+    load_cache, load_versions, parse_delta, render_delta, render_mapping_decl, render_schema_decl,
+    save_cache, DeltaRecord,
+};
+use mapping_composition::service::{
+    decode_reply, decode_request, encode_reply, encode_request, ErrorCode,
+};
+
+fn read_doc(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("docs").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|error| panic!("cannot read {}: {error}", path.display()))
+}
+
+/// Extract every fenced code block immediately preceded by the given
+/// `<!-- marker -->` comment line (blank lines between marker and fence are
+/// allowed).
+fn marked_blocks(doc: &str, marker: &str) -> Vec<String> {
+    let marker_line = format!("<!-- {marker} -->");
+    let mut blocks = Vec::new();
+    let mut lines = doc.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line.trim() != marker_line {
+            continue;
+        }
+        while lines.peek().is_some_and(|next| next.trim().is_empty()) {
+            lines.next();
+        }
+        let fence = lines.next().unwrap_or_default();
+        assert!(
+            fence.trim_start().starts_with("```"),
+            "marker `{marker_line}` must be followed by a fenced block, found `{fence}`"
+        );
+        let mut block = String::new();
+        for line in lines.by_ref() {
+            if line.trim_start().starts_with("```") {
+                break;
+            }
+            block.push_str(line);
+            block.push('\n');
+        }
+        blocks.push(block);
+    }
+    blocks
+}
+
+#[test]
+fn persistence_doc_sidecar_examples_round_trip() {
+    let doc = read_doc("PERSISTENCE.md");
+    let blocks = marked_blocks(&doc, "roundtrip:sidecar");
+    assert!(blocks.len() >= 4, "PERSISTENCE.md must keep its marked sidecar examples");
+    let mut records = 0usize;
+    for block in &blocks {
+        let mut lines = block.lines().peekable();
+        while let Some(line) = lines.next() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            records += 1;
+            if line.starts_with("version ") {
+                let manifest = load_versions(line);
+                assert!(!manifest.is_empty(), "documented version line must parse: `{line}`");
+                assert_eq!(
+                    manifest.render().trim_end(),
+                    line,
+                    "documented version line must re-render identically"
+                );
+            } else if let Some(rest) = line.strip_prefix("stats ") {
+                let numbers: Vec<usize> =
+                    rest.split_whitespace().map(|token| token.parse().unwrap()).collect();
+                assert_eq!(numbers.len(), 5, "stats line carries five counters: `{line}`");
+                let restored = load_cache(&format!("{line}\n")).stats();
+                assert_eq!(
+                    (restored.hits, restored.misses, restored.insertions),
+                    (numbers[0], numbers[1], numbers[2]),
+                    "documented stats line must restore: `{line}`"
+                );
+            } else if line.starts_with("delta ") {
+                let delta = parse_delta(line)
+                    .unwrap_or_else(|| panic!("documented delta line must parse: `{line}`"));
+                assert_eq!(
+                    render_delta(&delta),
+                    line,
+                    "documented delta line must re-render identically"
+                );
+                // Content payloads must be canonical declarations.
+                match &delta {
+                    DeltaRecord::Schema { decl } => {
+                        let document = parse_document(decl).expect("schema payload parses");
+                        assert_eq!(document.schemas.len(), 1);
+                        let (name, signature) = document.schemas.iter().next().unwrap();
+                        assert_eq!(&render_schema_decl(name, signature), decl);
+                    }
+                    DeltaRecord::Mapping { decl } => {
+                        let document = parse_document(decl).expect("mapping payload parses");
+                        assert_eq!(document.mappings.len(), 1);
+                        let (name, (source, target, constraints)) =
+                            document.mappings.iter().next().unwrap();
+                        assert_eq!(&render_mapping_decl(name, source, target, constraints), decl);
+                    }
+                    _ => {}
+                }
+            } else if line.starts_with("entry ") {
+                // Re-assemble the whole block through `end-document`.
+                let mut entry_block = format!("{line}\n");
+                for body in lines.by_ref() {
+                    entry_block.push_str(body);
+                    entry_block.push('\n');
+                    if body.trim() == "end-document" {
+                        break;
+                    }
+                }
+                let cache = load_cache(&entry_block);
+                assert_eq!(cache.len(), 1, "documented entry block must load:\n{entry_block}");
+                // save_cache = comment + stats + the canonical block.
+                let rendered = save_cache(&cache);
+                let tail: String = rendered
+                    .lines()
+                    .skip(2)
+                    .flat_map(|rendered_line| [rendered_line, "\n"])
+                    .collect();
+                assert_eq!(tail, entry_block, "documented entry block must re-render identically");
+            } else {
+                panic!("PERSISTENCE.md documents an unrecognised line kind: `{line}`");
+            }
+        }
+    }
+    assert!(records >= 12, "the sidecar examples must cover the grammar, found {records} records");
+}
+
+#[test]
+fn wire_doc_request_frames_decode_and_reencode() {
+    let doc = read_doc("WIRE_PROTOCOL.md");
+    let frames = marked_blocks(&doc, "roundtrip:request");
+    assert!(frames.len() >= 9, "WIRE_PROTOCOL.md must document every request kind");
+    let mut kinds = std::collections::BTreeSet::new();
+    for frame in &frames {
+        let request = decode_request(frame)
+            .unwrap_or_else(|error| panic!("documented request must decode: {error}\n{frame}"));
+        kinds.insert(request.kind());
+        assert_eq!(&encode_request(&request), frame, "documented frame must be canonical");
+    }
+    for kind in [
+        "ping",
+        "add-document",
+        "compose-path",
+        "compose-names",
+        "compose-batch",
+        "invalidate",
+        "stats",
+        "compact",
+        "shutdown",
+    ] {
+        assert!(kinds.contains(kind), "request kind `{kind}` has no documented example");
+    }
+}
+
+#[test]
+fn wire_doc_reply_frames_decode_and_reencode() {
+    let doc = read_doc("WIRE_PROTOCOL.md");
+    let frames = marked_blocks(&doc, "roundtrip:reply");
+    assert!(frames.len() >= 6, "WIRE_PROTOCOL.md must document the reply kinds");
+    for frame in &frames {
+        let reply = decode_reply(frame)
+            .unwrap_or_else(|error| panic!("documented reply must decode: {error}\n{frame}"));
+        assert_eq!(&encode_reply(&reply), frame, "documented frame must be canonical");
+    }
+}
+
+#[test]
+fn wire_doc_error_code_table_matches_the_api() {
+    let doc = read_doc("WIRE_PROTOCOL.md");
+    let start = doc.find("<!-- error-code-table -->").expect("error-code table marker");
+    let mut documented = std::collections::BTreeSet::new();
+    for line in doc[start..].lines().skip(1) {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            if !documented.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let Some(cell) = line.trim_start_matches('|').split('|').next() else { continue };
+        let cell = cell.trim();
+        if let Some(code) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            documented.insert(code.to_string());
+        }
+    }
+    let actual: std::collections::BTreeSet<String> =
+        ErrorCode::ALL.iter().map(|code| code.as_str().to_string()).collect();
+    assert_eq!(documented, actual, "the documented error-code table must match ErrorCode::ALL");
+}

@@ -1,0 +1,261 @@
+//! Crash-recovery coverage for the incremental persistence path: a sidecar
+//! truncated mid-delta-line or mid-entry-block (a crash during an append)
+//! and stray `.tmp` siblings (a crash during compaction) must never be
+//! fatal — recovery replays the surviving committed prefix to exactly the
+//! state acknowledged before the crash, byte-identically for the catalog
+//! document and exactly for the cumulative cache statistics, and the torn
+//! tail is dropped.
+
+use mapping_composition::catalog::{CacheStats, SessionConfig};
+use mapping_composition::compose::Registry;
+use mapping_composition::service::{
+    sidecar_path, LocalService, MapcompService as _, PersistMode, PersistPolicy, Request, Response,
+};
+
+/// Incremental persistence with threshold compaction disabled, so every
+/// state-changing request appends exactly one chunk and the tests control
+/// compaction explicitly.
+fn policy() -> PersistPolicy {
+    PersistPolicy { mode: PersistMode::Incremental, compact_appends: None, compact_bytes: None }
+}
+
+fn temp_catalog(tag: &str) -> std::path::PathBuf {
+    let file =
+        std::env::temp_dir().join(format!("mapcomp_recovery_{tag}_{}.doc", std::process::id()));
+    cleanup(&file);
+    file
+}
+
+fn cleanup(file: &std::path::Path) {
+    for path in [file.to_path_buf(), sidecar_path(file)] {
+        let _ = std::fs::remove_file(&path);
+        let mut tmp = path.file_name().unwrap().to_os_string();
+        tmp.push(".tmp");
+        let _ = std::fs::remove_file(path.with_file_name(tmp));
+    }
+}
+
+fn open(file: &std::path::Path) -> LocalService {
+    LocalService::open_with_policy(
+        file,
+        Registry::standard(),
+        SessionConfig::default(),
+        1,
+        true,
+        policy(),
+    )
+    .expect("open persistent service")
+}
+
+fn chain_document(hops: usize) -> String {
+    let mut text = String::new();
+    for i in 0..=hops {
+        text.push_str(&format!("schema v{i} {{ R{i}/1; }}\n"));
+    }
+    for i in 0..hops {
+        text.push_str(&format!("mapping m{i} : v{i} -> v{} {{ R{i} <= R{}; }}\n", i + 1, i + 1));
+    }
+    text
+}
+
+/// Everything recovery must reproduce: the catalog content (byte-identical
+/// document rendering), the cumulative cache statistics, and the recorded
+/// mapping versions.
+fn committed_state(service: &LocalService) -> (String, CacheStats, Vec<(String, u64)>) {
+    let catalog = service.session().catalog().snapshot();
+    let versions = catalog.mappings().map(|entry| (entry.name.clone(), entry.version)).collect();
+    (catalog.to_document_string(), service.session().cache().stats(), versions)
+}
+
+fn compose(service: &LocalService, from: &str, to: &str) -> usize {
+    match service.call(Request::ComposePath { from: from.into(), to: to.into() }) {
+        Ok(Response::Composed(payload)) => payload.compose_calls,
+        other => panic!("compose {from} -> {to} failed: {other:?}"),
+    }
+}
+
+#[test]
+fn torn_final_delta_line_is_dropped_not_fatal() {
+    let file = temp_catalog("torn_line");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(4) }).unwrap();
+    assert!(compose(&service, "v0", "v2") > 0);
+    // Commit point: everything up to here is acknowledged and on disk.
+    let committed_bytes = std::fs::read(&sidecar).unwrap();
+    let committed = committed_state(&service);
+
+    // One more request appends a chunk; the "crash" truncates the file a
+    // few bytes into that chunk's first line — a torn line that must be
+    // dropped, not parsed as a shorter valid record.
+    assert!(compose(&service, "v1", "v3") > 0);
+    drop(service);
+    let full = std::fs::read(&sidecar).unwrap();
+    assert!(full.len() > committed_bytes.len() + 8, "the second request must have appended");
+    std::fs::write(&sidecar, &full[..committed_bytes.len() + 7]).unwrap();
+
+    let reopened = open(&file);
+    assert_eq!(committed_state(&reopened), committed, "recovery = the pre-crash committed state");
+    // The committed entry still serves; the torn-away one recomputes.
+    assert_eq!(compose(&reopened, "v0", "v2"), 0, "committed memo entry survives");
+    assert!(compose(&reopened, "v1", "v3") > 0, "torn-away memo entry is recomposed");
+    cleanup(&file);
+}
+
+#[test]
+fn appends_after_a_torn_tail_survive_the_next_recovery() {
+    let file = temp_catalog("torn_then_append");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+    assert!(compose(&service, "v0", "v2") > 0);
+    drop(service);
+    // Crash mid-append: the file ends inside a line, no trailing newline.
+    let full = std::fs::read(&sidecar).unwrap();
+    std::fs::write(&sidecar, &full[..full.len() - 9]).unwrap();
+
+    // The next session appends an acknowledged edit. The writer must heal
+    // the torn tail first — otherwise the chunk's first line glues onto
+    // the fragment and the edit silently vanishes from every later load.
+    let survivor = open(&file);
+    let edited = chain_document(3).replace("{ R1 <= R2; }", "{ project[0](R1) <= R2; }");
+    survivor.call(Request::AddDocument { text: edited }).unwrap();
+    let committed = committed_state(&survivor);
+    drop(survivor); // second crash: no shutdown, no compaction
+
+    let reopened = open(&file);
+    assert_eq!(committed_state(&reopened), committed, "acknowledged edit must survive");
+    let entry = reopened.session().catalog().mapping("m1").unwrap();
+    assert_eq!(entry.version, 2);
+    assert!(entry.constraints.to_string().contains("project[0](R1)"));
+    cleanup(&file);
+}
+
+#[test]
+fn torn_entry_block_is_dropped_not_fatal() {
+    let file = temp_catalog("torn_block");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(4) }).unwrap();
+    let committed_bytes = std::fs::read(&sidecar).unwrap();
+    let committed = committed_state(&service);
+
+    assert!(compose(&service, "v0", "v2") > 0);
+    drop(service);
+    let full = std::fs::read_to_string(&sidecar).unwrap();
+    // Cut inside the appended entry block: mid-way through its embedded
+    // document, after a complete line (so only block-level recovery, not
+    // line-level, can drop it).
+    let block_start = full[committed_bytes.len()..]
+        .find("begin-document")
+        .expect("appended chunk carries an entry block")
+        + committed_bytes.len();
+    let cut = full[block_start..].find('\n').unwrap() + block_start + 1;
+    std::fs::write(&sidecar, &full.as_bytes()[..cut]).unwrap();
+
+    let reopened = open(&file);
+    assert_eq!(committed_state(&reopened), committed, "incomplete entry block is dropped");
+    assert!(compose(&reopened, "v0", "v2") > 0, "the torn entry is recomposed, not resurrected");
+    cleanup(&file);
+}
+
+#[test]
+fn records_after_a_mid_file_unterminated_entry_block_are_not_swallowed() {
+    let file = temp_catalog("torn_block_mid_file");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(4) }).unwrap();
+    assert!(compose(&service, "v0", "v2") > 0);
+    drop(service);
+    // Crash tears the appended entry block at a *line boundary* inside its
+    // embedded document: every surviving line is complete (no torn tail to
+    // heal), but `end-document` is gone.
+    let full = std::fs::read_to_string(&sidecar).unwrap();
+    let block_start = full.find("begin-document").expect("entry block present");
+    let cut = full[block_start..].find('\n').unwrap() + block_start + 1;
+    assert!(full.as_bytes()[cut - 1] == b'\n');
+    std::fs::write(&sidecar, &full.as_bytes()[..cut]).unwrap();
+
+    // The next session appends acknowledged records AFTER the unterminated
+    // block: an edit (delta mapping + invalidate + version) and a fresh
+    // memo entry.
+    let survivor = open(&file);
+    let edited = chain_document(4).replace("{ R1 <= R2; }", "{ project[0](R1) <= R2; }");
+    survivor.call(Request::AddDocument { text: edited }).unwrap();
+    assert!(compose(&survivor, "v2", "v4") > 0);
+    let committed = committed_state(&survivor);
+    drop(survivor); // second crash
+
+    // Recovery must abandon the torn block instead of consuming the later
+    // records while hunting for its `end-document`.
+    let reopened = open(&file);
+    assert_eq!(committed_state(&reopened), committed, "records after the torn block survive");
+    let entry = reopened.session().catalog().mapping("m1").unwrap();
+    assert_eq!(entry.version, 2, "the acknowledged edit must not be swallowed");
+    assert!(entry.constraints.to_string().contains("project[0](R1)"));
+    assert_eq!(compose(&reopened, "v2", "v4"), 0, "the later memo entry survives");
+    cleanup(&file);
+}
+
+#[test]
+fn stray_tmp_files_from_a_crashed_compaction_are_ignored() {
+    let file = temp_catalog("tmp_crash");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+    assert!(compose(&service, "v0", "v3") > 0);
+    let committed = committed_state(&service);
+    drop(service);
+
+    // A compaction that crashed after writing its temporaries but before
+    // either rename: both `.tmp` siblings exist and hold garbage. Recovery
+    // reads only the real files.
+    for target in [&file, &sidecar] {
+        let mut name = target.file_name().unwrap().to_os_string();
+        name.push(".tmp");
+        std::fs::write(target.with_file_name(name), "schema half { gar/").unwrap();
+    }
+
+    let reopened = open(&file);
+    assert_eq!(committed_state(&reopened), committed, "tmp siblings must not affect recovery");
+    assert_eq!(compose(&reopened, "v0", "v3"), 0, "memo cache fully recovered");
+
+    // The recovered service is fully live: compaction folds the replayed
+    // log and the snapshot round-trips once more.
+    let Ok(Response::Compacted { bytes_after, .. }) = reopened.call(Request::Compact) else {
+        panic!("compact failed after recovery");
+    };
+    assert!(bytes_after > 0);
+    let compacted = std::fs::read_to_string(&sidecar).unwrap();
+    assert!(!compacted.contains("delta "), "compaction folded the delta log");
+    // The warm compose above accumulated one more cache hit; the compacted
+    // snapshot must round-trip exactly that state.
+    let committed_after_compact = committed_state(&reopened);
+    assert_eq!(committed_after_compact.0, committed.0, "catalog content unchanged");
+    drop(reopened);
+    let again = open(&file);
+    assert_eq!(committed_state(&again), committed_after_compact);
+    cleanup(&file);
+}
+
+#[test]
+fn kill_and_restart_replays_to_byte_identical_state() {
+    let file = temp_catalog("kill_restart");
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(5) }).unwrap();
+    compose(&service, "v0", "v5");
+    service.call(Request::Invalidate { mapping: "m2".into() }).unwrap();
+    // An out-of-band edit through the service: version bump + invalidation
+    // deltas land in the log.
+    let edited = chain_document(5).replace("{ R1 <= R2; }", "{ project[0](R1) <= R2; }");
+    service.call(Request::AddDocument { text: edited }).unwrap();
+    compose(&service, "v0", "v5");
+    let committed = committed_state(&service);
+    drop(service); // kill: no shutdown, no compaction
+
+    let reopened = open(&file);
+    assert_eq!(committed_state(&reopened), committed);
+    assert_eq!(reopened.session().catalog().mapping("m1").unwrap().version, 2);
+    assert_eq!(compose(&reopened, "v0", "v5"), 0, "warm chain survives the restart");
+    cleanup(&file);
+}

@@ -31,7 +31,7 @@ fn gen_strings(rng: &mut StdRng, max: usize) -> Vec<String> {
 }
 
 fn gen_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..9u32) {
         0 => Request::Ping,
         1 => Request::AddDocument { text: gen_string(rng) },
         2 => Request::ComposePath { from: gen_string(rng), to: gen_string(rng) },
@@ -44,6 +44,7 @@ fn gen_request(rng: &mut StdRng) -> Request {
         },
         5 => Request::Invalidate { mapping: gen_string(rng) },
         6 => Request::Stats,
+        7 => Request::Compact,
         _ => Request::Shutdown,
     }
 }
@@ -104,7 +105,7 @@ fn gen_stats(rng: &mut StdRng) -> StatsPayload {
 }
 
 fn gen_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..7u32) {
+    match rng.gen_range(0..8u32) {
         0 => Response::Pong,
         1 => Response::Added {
             touched: gen_strings(rng, 4),
@@ -119,6 +120,7 @@ fn gen_response(rng: &mut StdRng) -> Response {
         ),
         4 => Response::Invalidated { dropped: rng.gen_range(0..99usize) },
         5 => Response::Stats(gen_stats(rng)),
+        6 => Response::Compacted { bytes_before: gen_hash(rng), bytes_after: gen_hash(rng) },
         _ => Response::ShuttingDown,
     }
 }
@@ -166,6 +168,7 @@ fn every_request_kind_is_exercised_and_round_trips() {
         },
         Request::Invalidate { mapping: "m\t2".into() },
         Request::Stats,
+        Request::Compact,
         Request::Shutdown,
     ];
     for request in cases {
