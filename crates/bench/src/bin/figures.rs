@@ -5,25 +5,111 @@
 //! ```text
 //! figures [--paper | --smoke] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9]
 //!         [fig10] [fig11] [fig12] [corpus] [claims] [all]
+//! figures --check BENCH_<fig>.json [BENCH_<fig>.json ...]
 //! ```
 //!
 //! Without arguments every figure is produced at the quick scale; `--paper`
 //! switches to the run counts used in the paper (much slower), `--smoke` to
 //! tiny sizes (CI uses this to keep every experiment path exercised).
+//!
+//! Every figure run also writes its points as `BENCH_<figure>.json` at the
+//! repository root — the committed perf trajectory. `--check` re-runs each
+//! named file's figure at the file's *recorded* scale and diffs the fresh
+//! points against it (seeded counts/fractions/bytes exactly, timing fields
+//! presence-only; see `mapcomp_bench::trajectory`), exiting non-zero on any
+//! drift. It never overwrites the files it checks.
 
+use std::path::Path;
 use std::time::Instant;
 
 use mapcomp_bench::{
     chain_cache_experiment, chase_scaling_experiment, concurrent_sessions_experiment,
     corpus_report, edit_count_sweep, editing_experiment, format_row, inclusion_sweep,
-    persistence_experiment, schema_size_sweep, service_throughput_experiment, Configuration, Scale,
-    FIGURE5_PRIMITIVES,
+    persistence_experiment, schema_size_sweep, service_throughput_experiment,
+    trajectory::{parse_scale, BenchDoc, BenchValue},
+    Configuration, Scale, FIGURE5_PRIMITIVES,
 };
 use mapcomp_compose::ComposeConfig;
 use mapcomp_evolution::{run_editing, PrimitiveKind, ScenarioConfig};
 
+/// Run one figure's experiment, printing its table and returning its
+/// trajectory document (`None` for `claims`, which asserts instead of
+/// measuring).
+fn run_figure(name: &str, scale: Scale) -> Option<BenchDoc> {
+    match name {
+        "fig2" | "fig3" | "fig4" => Some(figures_2_3_4(scale)),
+        "fig5" => Some(figure_5(scale)),
+        "fig6" => Some(figure_6(scale)),
+        "fig7" => Some(figure_7(scale)),
+        "fig8" => Some(figure_8(scale)),
+        "fig9" => Some(figure_9(scale)),
+        "fig10" => Some(figure_10(scale)),
+        "fig11" => Some(figure_11(scale)),
+        "fig12" => Some(figure_12(scale)),
+        "corpus" => Some(corpus_table(scale)),
+        _ => None,
+    }
+}
+
+/// `--check` mode: re-run each file's figure at its recorded scale and
+/// diff. Returns process-exit success.
+fn check_trajectories(files: &[&str]) -> bool {
+    let mut ok = true;
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("check {file}: cannot read: {error}");
+                ok = false;
+                continue;
+            }
+        };
+        let baseline = match BenchDoc::parse(&text) {
+            Ok(doc) => doc,
+            Err(error) => {
+                eprintln!("check {file}: cannot parse: {error}");
+                ok = false;
+                continue;
+            }
+        };
+        let Some(scale) = parse_scale(&baseline.scale) else {
+            eprintln!("check {file}: unknown scale `{}`", baseline.scale);
+            ok = false;
+            continue;
+        };
+        println!("\n--- checking {file} ({} at {} scale) ---", baseline.figure, baseline.scale);
+        let Some(fresh) = run_figure(&baseline.figure, scale) else {
+            eprintln!("check {file}: unknown figure `{}`", baseline.figure);
+            ok = false;
+            continue;
+        };
+        let problems = baseline.diff(&fresh);
+        if problems.is_empty() {
+            println!("check {file}: OK ({} points)", baseline.points.len());
+        } else {
+            ok = false;
+            eprintln!("check {file}: {} mismatches", problems.len());
+            for problem in problems {
+                eprintln!("  {problem}");
+            }
+        }
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--check") {
+        let files: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+        if files.is_empty() {
+            eprintln!("usage: figures --check BENCH_<fig>.json [...]");
+            std::process::exit(2);
+        }
+        if !check_trajectories(&files) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let scale = if args.iter().any(|a| a == "--paper") {
         Scale::Paper
     } else if args.iter().any(|a| a == "--smoke") {
@@ -40,44 +126,56 @@ fn main() {
     println!("mapping-composition experiment harness (scale: {scale:?})");
     println!("=========================================================");
 
+    // The committed trajectory lives at the repository root, two levels up
+    // from this crate.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut written = Vec::new();
+    let mut emit = |doc: BenchDoc| match doc.write_to(&repo_root) {
+        Ok(path) => written.push(path),
+        Err(error) => eprintln!("warning: cannot write BENCH_{}.json: {error}", doc.figure),
+    };
+
     let started = Instant::now();
     if want("fig2") || want("fig3") || want("fig4") {
-        figures_2_3_4(scale);
+        emit(figures_2_3_4(scale));
     }
     if want("fig5") {
-        figure_5(scale);
+        emit(figure_5(scale));
     }
     if want("fig6") {
-        figure_6(scale);
+        emit(figure_6(scale));
     }
     if want("fig7") {
-        figure_7(scale);
+        emit(figure_7(scale));
     }
     if want("fig8") {
-        figure_8(scale);
+        emit(figure_8(scale));
     }
     if want("fig9") {
-        figure_9(scale);
+        emit(figure_9(scale));
     }
     if want("fig10") {
-        figure_10(scale);
+        emit(figure_10(scale));
     }
     if want("fig11") {
-        figure_11(scale);
+        emit(figure_11(scale));
     }
     if want("fig12") {
-        figure_12(scale);
+        emit(figure_12(scale));
     }
     if want("corpus") {
-        corpus_table();
+        emit(corpus_table(scale));
     }
     if want("claims") {
         claims(scale);
     }
+    for path in &written {
+        println!("trajectory  : wrote {}", path.display());
+    }
     println!("\ntotal harness time: {:.1}s", started.elapsed().as_secs_f64());
 }
 
-fn figures_2_3_4(scale: Scale) {
+fn figures_2_3_4(scale: Scale) -> BenchDoc {
     println!("\nFigure 2: fraction of symbols eliminated per primitive");
     println!("Figure 3: composition time per edit (ms) per primitive");
     let configurations = Configuration::ALL;
@@ -111,6 +209,25 @@ fn figures_2_3_4(scale: Scale) {
     }
     println!("{}", format_row(&total_row, &widths));
 
+    // The trajectory records the seeded elimination fractions (Figure 2);
+    // the per-edit times of Figures 3/4 are machine noise, not trajectory.
+    let mut doc = BenchDoc::new("fig2", scale);
+    for (configuration, aggregate) in &aggregates {
+        for kind in &primitives {
+            let Some(fraction) = aggregate.fraction(*kind) else { continue };
+            doc.push_point(vec![
+                ("configuration", BenchValue::Str(configuration.label().to_string())),
+                ("primitive", BenchValue::Str(kind.label().to_string())),
+                ("fraction", BenchValue::F64(fraction)),
+            ]);
+        }
+        doc.push_point(vec![
+            ("configuration", BenchValue::Str(configuration.label().to_string())),
+            ("primitive", BenchValue::Str("TOTAL".to_string())),
+            ("fraction", BenchValue::F64(aggregate.overall_fraction)),
+        ]);
+    }
+
     // Figure 3 table.
     println!("\n[Figure 3] time per edit (ms)");
     println!("{}", format_row(&header, &widths));
@@ -141,10 +258,12 @@ fn figures_2_3_4(scale: Scale) {
     for (index, time) in times.iter().enumerate() {
         println!("  run {:>3}: {:.4}s", index + 1, time);
     }
+    doc
 }
 
-fn figure_5(scale: Scale) {
+fn figure_5(scale: Scale) -> BenchDoc {
     println!("\n[Figure 5] increasing proportion of inclusion (Sub/Sup) edits");
+    let mut doc = BenchDoc::new("fig5", scale);
     let points = inclusion_sweep(scale, 3000);
     let mut header = vec!["prop".to_string(), "total".to_string()];
     header.extend(FIGURE5_PRIMITIVES.iter().map(|k| k.label().to_string()));
@@ -165,11 +284,24 @@ fn figure_5(scale: Scale) {
         }
         row.push(format!("{:.3}", point.mean_time_seconds));
         println!("{}", format_row(&row, &widths));
+        let mut fields = vec![
+            ("proportion", BenchValue::F64(point.proportion)),
+            ("total_fraction", BenchValue::F64(point.total_fraction)),
+        ];
+        for kind in FIGURE5_PRIMITIVES {
+            if let Some(&fraction) = point.per_primitive.get(&kind) {
+                fields.push((kind.label(), BenchValue::F64(fraction)));
+            }
+        }
+        fields.push(("mean_time_seconds", BenchValue::F64(point.mean_time_seconds)));
+        doc.push_point(fields);
     }
+    doc
 }
 
-fn figure_6(scale: Scale) {
+fn figure_6(scale: Scale) -> BenchDoc {
     println!("\n[Figure 6] reconciliation: fraction eliminated vs. intermediate schema size");
+    let mut doc = BenchDoc::new("fig6", scale);
     let series = schema_size_sweep(scale, 6000);
     let labels: Vec<&str> = series.keys().copied().collect();
     let mut header = vec!["size".to_string()];
@@ -183,12 +315,19 @@ fn figure_6(scale: Scale) {
                 row.push(format!("{:.2}", series[label][index].fraction));
             }
             println!("{}", format_row(&row, &widths));
+            let mut fields = vec![("size", BenchValue::U64(point.x as u64))];
+            for label in &labels {
+                fields.push((*label, BenchValue::F64(series[label][index].fraction)));
+            }
+            doc.push_point(fields);
         }
     }
+    doc
 }
 
-fn figure_7(scale: Scale) {
+fn figure_7(scale: Scale) -> BenchDoc {
     println!("\n[Figure 7] reconciliation: varying the number of edits");
+    let mut doc = BenchDoc::new("fig7", scale);
     let points = edit_count_sweep(scale, 7000);
     let widths = vec![7, 10, 10];
     println!(
@@ -207,11 +346,18 @@ fn figure_7(scale: Scale) {
                 &widths
             )
         );
+        doc.push_point(vec![
+            ("edits", BenchValue::U64(point.x as u64)),
+            ("fraction", BenchValue::F64(point.fraction)),
+            ("time_seconds", BenchValue::F64(point.time_seconds)),
+        ]);
     }
+    doc
 }
 
-fn figure_8(scale: Scale) {
+fn figure_8(scale: Scale) -> BenchDoc {
     println!("\n[Figure 8] catalog chains: incremental vs. cold recomposition after one edit");
+    let mut doc = BenchDoc::new("fig8", scale);
     let points = chain_cache_experiment(scale, 8000);
     let widths = vec![7, 11, 11, 12, 12, 9];
     println!(
@@ -247,11 +393,20 @@ fn figure_8(scale: Scale) {
                 &widths
             )
         );
+        doc.push_point(vec![
+            ("links", BenchValue::U64(point.chain_len as u64)),
+            ("cold_calls", BenchValue::U64(point.cold_calls as u64)),
+            ("incremental_calls", BenchValue::U64(point.incremental_calls as u64)),
+            ("cold_ms", BenchValue::F64(cold_ms)),
+            ("incremental_ms", BenchValue::F64(incr_ms)),
+        ]);
     }
+    doc
 }
 
-fn figure_9(scale: Scale) {
+fn figure_9(scale: Scale) -> BenchDoc {
     println!("\n[Figure 9] chase scaling: naive vs. semi-naive data exchange");
+    let mut doc = BenchDoc::new("fig9", scale);
     let points = chase_scaling_experiment(scale);
     let widths = vec![7, 7, 8, 12, 12, 9, 7];
     println!(
@@ -285,11 +440,21 @@ fn figure_9(scale: Scale) {
                 &widths
             )
         );
+        doc.push_point(vec![
+            ("tuples", BenchValue::U64(point.size as u64)),
+            ("depth", BenchValue::U64(point.depth as u64)),
+            ("rounds", BenchValue::U64(point.rounds as u64)),
+            ("naive_ms", BenchValue::F64(point.naive_time.as_secs_f64() * 1000.0)),
+            ("semi_ms", BenchValue::F64(point.semi_time.as_secs_f64() * 1000.0)),
+            ("results_agree", BenchValue::Bool(point.results_agree)),
+        ]);
     }
+    doc
 }
 
-fn figure_10(scale: Scale) {
+fn figure_10(scale: Scale) -> BenchDoc {
     println!("\n[Figure 10] concurrent sessions: batch-composition throughput vs. worker count");
+    let mut doc = BenchDoc::new("fig10", scale);
     let points = concurrent_sessions_experiment(scale);
     let baseline = points.first().map(|point| point.throughput());
     let widths = vec![8, 9, 10, 11, 9, 7];
@@ -326,13 +491,23 @@ fn figure_10(scale: Scale) {
                 &widths
             )
         );
+        doc.push_point(vec![
+            ("workers", BenchValue::U64(point.workers as u64)),
+            ("requests", BenchValue::U64(point.requests as u64)),
+            ("failures", BenchValue::U64(point.failures as u64)),
+            ("elapsed_ms", BenchValue::F64(point.elapsed.as_secs_f64() * 1000.0)),
+            ("req_per_s", BenchValue::F64(point.throughput())),
+            ("results_consistent", BenchValue::Bool(point.results_consistent)),
+        ]);
     }
+    doc
 }
 
-fn figure_11(scale: Scale) {
+fn figure_11(scale: Scale) -> BenchDoc {
     println!(
         "\n[Figure 11] service layer: request throughput over loopback TCP vs. server workers"
     );
+    let mut doc = BenchDoc::new("fig11", scale);
     let points = service_throughput_experiment(scale);
     let baseline = points.first().map(|point| point.throughput());
     let widths = vec![8, 9, 10, 11, 9, 7];
@@ -350,7 +525,7 @@ fn figure_11(scale: Scale) {
             &widths
         )
     );
-    for point in points {
+    for point in &points {
         assert_eq!(point.failures, 0, "fig11 service requests must all succeed");
         let speedup = baseline
             .map(|base| format!("{:.1}x", point.throughput() / base))
@@ -369,13 +544,52 @@ fn figure_11(scale: Scale) {
                 &widths
             )
         );
+        doc.push_point(vec![
+            ("workers", BenchValue::U64(point.workers as u64)),
+            ("requests", BenchValue::U64(point.requests as u64)),
+            ("failures", BenchValue::U64(point.failures as u64)),
+            ("elapsed_ms", BenchValue::F64(point.elapsed.as_secs_f64() * 1000.0)),
+            ("req_per_s", BenchValue::F64(point.throughput())),
+            ("results_consistent", BenchValue::Bool(point.results_consistent)),
+        ]);
     }
+
+    // Telemetry overhead: the same experiment with every metric and span
+    // update short-circuited by the kill switch. This is the PR's
+    // acceptance gauge — instrumentation on the request hot path must stay
+    // within noise (~5%) of the uninstrumented baseline. Run in this
+    // binary, not the bench lib, so lib tests never race on the global
+    // switch.
+    let enabled_total: f64 = points.iter().map(|p| p.throughput()).sum();
+    mapcomp_telemetry::metrics::set_enabled(false);
+    let disabled_points = service_throughput_experiment(scale);
+    mapcomp_telemetry::metrics::set_enabled(true);
+    let disabled_total: f64 = disabled_points.iter().map(|p| p.throughput()).sum();
+    let overhead_pct = if disabled_total > 0.0 {
+        (disabled_total - enabled_total) / disabled_total * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "telemetry overhead: {:.0} req/s instrumented vs {:.0} req/s with the kill switch \
+         ({overhead_pct:+.1}% overhead; acceptance bound 5%)",
+        enabled_total / points.len().max(1) as f64,
+        disabled_total / disabled_points.len().max(1) as f64,
+    );
+    doc.push_point(vec![
+        ("comparison", BenchValue::Str("telemetry-overhead".to_string())),
+        ("enabled_req_per_s", BenchValue::F64(enabled_total)),
+        ("disabled_req_per_s", BenchValue::F64(disabled_total)),
+        ("overhead_pct", BenchValue::F64(overhead_pct)),
+    ]);
+    doc
 }
 
-fn figure_12(scale: Scale) {
+fn figure_12(scale: Scale) -> BenchDoc {
     println!(
         "\n[Figure 12] persistence: bytes written per state-changing request vs. catalog size"
     );
+    let mut doc = BenchDoc::new("fig12", scale);
     let points = persistence_experiment(scale);
     let widths = vec![9, 12, 14, 11, 13, 10];
     println!(
@@ -408,11 +622,21 @@ fn figure_12(scale: Scale) {
                 &widths
             )
         );
+        doc.push_point(vec![
+            ("mappings", BenchValue::U64(point.mappings as u64)),
+            ("incremental_bytes", BenchValue::U64(point.incremental_bytes)),
+            ("rewrite_bytes", BenchValue::U64(point.rewrite_bytes)),
+            ("incremental_ms", BenchValue::F64(point.incremental_time.as_secs_f64() * 1000.0)),
+            ("rewrite_ms", BenchValue::F64(point.rewrite_time.as_secs_f64() * 1000.0)),
+            ("recovered", BenchValue::Bool(point.recovered_identical)),
+        ]);
     }
+    doc
 }
 
-fn corpus_table() {
+fn corpus_table(scale: Scale) -> BenchDoc {
     println!("\n[Literature suite] the 22 composition problems of §4");
+    let mut doc = BenchDoc::new("corpus", scale);
     let widths = vec![32, 12, 8, 10];
     println!(
         "{}",
@@ -439,7 +663,15 @@ fn corpus_table() {
                 &widths
             )
         );
+        doc.push_point(vec![
+            ("problem", BenchValue::Str(outcome.id.to_string())),
+            ("eliminated", BenchValue::U64(outcome.eliminated as u64)),
+            ("total", BenchValue::U64(outcome.total as u64)),
+            ("expectation_met", BenchValue::Bool(outcome.expectation_met)),
+            ("time_ms", BenchValue::F64(outcome.time.as_secs_f64() * 1000.0)),
+        ]);
     }
+    doc
 }
 
 fn claims(scale: Scale) {

@@ -16,9 +16,18 @@
 //! qualitative shapes in seconds, and `Scale::Smoke` (the CI default,
 //! `figures --smoke all`) runs every experiment end to end at tiny sizes so
 //! the bench binaries cannot silently rot.
+//!
+//! Each `figures` run also persists its points as `BENCH_<figure>.json`
+//! documents at the repository root (see [`trajectory`]), and `figures
+//! --check BENCH_<fig>.json` re-runs a figure at the file's recorded scale
+//! and diffs the fresh points against the committed baseline.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod trajectory;
+
+pub use trajectory::{BenchDoc, BenchValue};
 
 use std::collections::BTreeMap;
 use std::time::Duration;

@@ -37,6 +37,8 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use mapcomp_telemetry::metrics::{global, Counter};
+
 use crate::chain::ComposedChain;
 use crate::hash::combine;
 
@@ -439,6 +441,50 @@ pub struct ShardedMemoCache {
     /// Baseline adopted at construction (e.g. the stats of the single-thread
     /// cache this was sharded from); segment live counters add onto it.
     baseline: CacheStats,
+    /// Per-segment counters on the global metrics registry
+    /// (`catalog_cache_*_total{segment="i"}`). Handles are shared across
+    /// every sharded cache in the process, so they tally process-wide
+    /// traffic per segment index.
+    telemetry: Vec<SegmentTelemetry>,
+}
+
+/// The hot-path counter handles for one cache segment.
+#[derive(Debug)]
+struct SegmentTelemetry {
+    hits: &'static Counter,
+    misses: &'static Counter,
+    evictions: &'static Counter,
+    invalidated: &'static Counter,
+}
+
+impl SegmentTelemetry {
+    fn for_segment(index: usize) -> SegmentTelemetry {
+        let segment = index.to_string();
+        let labels = [("segment", segment.as_str())];
+        let registry = global();
+        SegmentTelemetry {
+            hits: registry.counter(
+                "catalog_cache_hits_total",
+                "Memo-cache lookups served from cache, per segment.",
+                &labels,
+            ),
+            misses: registry.counter(
+                "catalog_cache_misses_total",
+                "Memo-cache lookups that found nothing, per segment.",
+                &labels,
+            ),
+            evictions: registry.counter(
+                "catalog_cache_evictions_total",
+                "Memo-cache entries evicted by the capacity bound, per segment.",
+                &labels,
+            ),
+            invalidated: registry.counter(
+                "catalog_cache_invalidated_total",
+                "Memo-cache entries dropped by dependency invalidation, per segment.",
+                &labels,
+            ),
+        }
+    }
 }
 
 fn lock_segment(segment: &Mutex<MemoCache>) -> MutexGuard<'_, MemoCache> {
@@ -456,6 +502,7 @@ impl ShardedMemoCache {
                 .map(|_| Mutex::new(MemoCache::with_capacity(per_segment)))
                 .collect(),
             baseline: CacheStats::default(),
+            telemetry: (0..segments).map(SegmentTelemetry::for_segment).collect(),
         }
     }
 
@@ -556,7 +603,15 @@ impl ShardedMemoCache {
     /// dependent entry *after* its segment was swept, which is
     /// indistinguishable from that worker running after the invalidation.
     pub fn invalidate(&self, mapping: &str) -> usize {
-        self.segments.iter().map(|segment| lock_segment(segment).invalidate(mapping)).sum()
+        self.segments
+            .iter()
+            .zip(&self.telemetry)
+            .map(|(segment, telemetry)| {
+                let dropped = lock_segment(segment).invalidate(mapping);
+                telemetry.invalidated.add(dropped as u64);
+                dropped
+            })
+            .sum()
     }
 
     /// Clone-merge every segment into a single-threaded cache (used to
@@ -598,7 +653,14 @@ impl ShardedMemoCache {
 
 impl ChainCache for ShardedMemoCache {
     fn cache_lookup(&self, key: MemoKey) -> Option<ComposedChain> {
-        lock_segment(&self.segments[self.segment_of(&key)]).lookup(key)
+        let segment = self.segment_of(&key);
+        let found = lock_segment(&self.segments[segment]).lookup(key);
+        let telemetry = &self.telemetry[segment];
+        match found {
+            Some(_) => telemetry.hits.incr(),
+            None => telemetry.misses.incr(),
+        }
+        found
     }
 
     fn cache_contains(&self, key: &MemoKey) -> bool {
@@ -606,7 +668,13 @@ impl ChainCache for ShardedMemoCache {
     }
 
     fn cache_insert(&self, key: MemoKey, chain: ComposedChain) {
-        lock_segment(&self.segments[self.segment_of(&key)]).insert(key, chain);
+        let segment = self.segment_of(&key);
+        let mut guard = lock_segment(&self.segments[segment]);
+        let evictions_before = guard.stats().evictions;
+        guard.insert(key, chain);
+        let evicted = guard.stats().evictions - evictions_before;
+        drop(guard);
+        self.telemetry[segment].evictions.add(evicted as u64);
     }
 }
 

@@ -4,9 +4,10 @@
 //! [`crate::persist::SidecarWriter`]'s internal mutex serialises writers
 //! *within one process*; two CLI invocations (or a server and a CLI) racing
 //! on the same sidecar would still interleave their rewrites. The
-//! [`FileLock`] here closes that gap: every append/rewrite first creates the
-//! sibling `<sidecar>.lock` file with `O_CREAT|O_EXCL` semantics
-//! (`create_new`), writes `pid <id>` into it, and removes it when done.
+//! [`FileLock`] here closes that gap: every append/rewrite first stages a
+//! `pid <id>` holder line in a per-acquirer sibling and `hard_link`s it to
+//! the sibling `<sidecar>.lock` path — an atomic create-exclusive that
+//! never exposes a partially-written lock file — and removes it when done.
 //!
 //! A process that dies while holding the lock would otherwise block every
 //! later writer forever, so contenders probe the recorded PID for liveness
@@ -20,13 +21,15 @@
 //! loses a further race (a third contender grabbed the empty slot first),
 //! exclusivity is briefly shared; guards bound the damage by removing the
 //! lock file at drop time only when it still records *their own* PID, so a
-//! stolen holder never deletes a successor's lock. The remaining
-//! known window is PID recycling: a crashed holder's PID handed to an
-//! unrelated live process (e.g. after a reboot) makes the probe report
-//! "alive" and the lock unbreakable until the operator deletes the `.lock`
-//! file by hand — writers fail fast with `TimedOut` after a bounded wait
-//! rather than hanging, and recording the holder's start time next to the
-//! PID would close the window if it ever bites in practice.
+//! stolen holder never deletes a successor's lock.
+//!
+//! PID recycling — a crashed holder's PID handed to an unrelated live
+//! process — is closed by recording the holder's *start time* next to the
+//! PID (`pid <id> start <ticks>`, the kernel's clock-tick stamp from
+//! `/proc/<pid>/stat`): a contender breaks the lock unless a live process
+//! with the *same* PID **and** the *same* start time exists, and two
+//! processes can never share both. Lock files written by older builds
+//! (bare `pid <id>` lines) fall back to the PID-liveness probe alone.
 
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
@@ -73,17 +76,34 @@ impl FileLock {
         &self.path
     }
 
-    /// Try to take the lock once: create the lock file exclusively and
-    /// record this process's PID. Returns `None` when another holder exists
+    /// Try to take the lock once: stage a file holding this process's
+    /// holder line and `hard_link` it into place — an atomic
+    /// create-exclusive *with content*. (Creating the lock file directly
+    /// and writing the line afterwards leaves a window where contenders
+    /// read an *empty* lock file, parse it as a torn write, and break a
+    /// live holder's lock.) Returns `None` when another holder exists
     /// (after breaking it if its recorded PID is no longer alive — the next
     /// attempt can then succeed).
     pub fn try_acquire(&self) -> io::Result<Option<FileLockGuard>> {
-        match std::fs::OpenOptions::new().write(true).create_new(true).open(&self.path) {
-            Ok(mut file) => {
-                writeln!(file, "pid {}", std::process::id())?;
-                file.flush()?;
-                Ok(Some(FileLockGuard { path: self.path.clone() }))
-            }
+        static STAGE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let pid = std::process::id();
+        let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(
+            ".stage{pid}.{}",
+            STAGE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let stage = self.path.with_file_name(name);
+        let mut file = std::fs::OpenOptions::new().write(true).create_new(true).open(&stage)?;
+        let write_result = match process_start_time(pid) {
+            Some(start) => writeln!(file, "pid {pid} start {start}"),
+            None => writeln!(file, "pid {pid}"),
+        }
+        .and_then(|()| file.flush());
+        drop(file);
+        let linked = write_result.map(|()| std::fs::hard_link(&stage, &self.path));
+        let _ = std::fs::remove_file(&stage);
+        match linked? {
+            Ok(()) => Ok(Some(FileLockGuard { path: self.path.clone() })),
             Err(error) if error.kind() == io::ErrorKind::AlreadyExists => {
                 if self.holder_is_stale() {
                     self.break_stale();
@@ -116,8 +136,8 @@ impl FileLock {
             return; // released, or another contender won the break
         }
         let still_stale = match std::fs::read_to_string(&hijack) {
-            Ok(text) => match parse_pid(&text) {
-                Some(pid) => !pid_alive(pid),
+            Ok(text) => match parse_holder(&text) {
+                Some((pid, start)) => !holder_alive(pid, start),
                 None => true,
             },
             Err(_) => true,
@@ -147,14 +167,15 @@ impl FileLock {
         }
     }
 
-    /// Is the current holder provably dead? Unreadable-but-present lock
-    /// files report *not* stale (the holder may be mid-write); a readable
-    /// file whose `pid` line is missing or malformed is treated as stale
-    /// (a torn write from a crashed holder).
+    /// Is the current holder provably dead (or provably a PID-recycled
+    /// impostor)? Unreadable-but-present lock files report *not* stale (the
+    /// holder may be mid-write); a readable file whose `pid` line is missing
+    /// or malformed is treated as stale (a torn write from a crashed
+    /// holder).
     fn holder_is_stale(&self) -> bool {
         match std::fs::read_to_string(&self.path) {
-            Ok(text) => match parse_pid(&text) {
-                Some(pid) => !pid_alive(pid),
+            Ok(text) => match parse_holder(&text) {
+                Some((pid, start)) => !holder_alive(pid, start),
                 None => true,
             },
             Err(_) => false,
@@ -162,10 +183,51 @@ impl FileLock {
     }
 }
 
-/// Parse the `pid <id>` line of a lock file.
-fn parse_pid(text: &str) -> Option<u32> {
+/// Parse the holder line of a lock file: `pid <id>` (older builds) or
+/// `pid <id> start <ticks>`. Returns the PID and the recorded start time,
+/// if any.
+fn parse_holder(text: &str) -> Option<(u32, Option<u64>)> {
     let rest = text.lines().next()?.trim().strip_prefix("pid ")?;
-    rest.trim().parse().ok()
+    let mut tokens = rest.split_whitespace();
+    let pid: u32 = tokens.next()?.parse().ok()?;
+    let start = match tokens.next() {
+        Some("start") => tokens.next().and_then(|ticks| ticks.parse().ok()),
+        _ => None,
+    };
+    Some((pid, start))
+}
+
+/// Parse the PID off a lock file's holder line (either format).
+fn parse_pid(text: &str) -> Option<u32> {
+    parse_holder(text).map(|(pid, _)| pid)
+}
+
+/// Is the recorded holder still the *same process*? Liveness of the PID is
+/// necessary; when both the lock file and `/proc` provide a start time they
+/// must also match — a live process reusing a dead holder's PID has a
+/// different start stamp and must not keep the lock alive. Old-format lock
+/// files (no recorded start) and platforms without `/proc` fall back to the
+/// PID probe alone.
+fn holder_alive(pid: u32, recorded_start: Option<u64>) -> bool {
+    if !pid_alive(pid) {
+        return false;
+    }
+    match (recorded_start, process_start_time(pid)) {
+        (Some(recorded), Some(current)) => recorded == current,
+        _ => true,
+    }
+}
+
+/// The kernel's start-time stamp for `pid` (field 22 of `/proc/<pid>/stat`,
+/// in clock ticks since boot), or `None` where unavailable (non-Linux
+/// platforms, dead or unreadable process). The process name field can
+/// contain spaces and parentheses, so fields are counted from after the
+/// *last* `)`.
+pub fn process_start_time(pid: u32) -> Option<u64> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    let rest = &stat[stat.rfind(')')? + 1..];
+    // `rest` begins at field 3 (process state); starttime is field 22.
+    rest.split_whitespace().nth(19)?.parse().ok()
 }
 
 /// Liveness probe for a recorded lock-holder PID. On platforms with a
@@ -225,6 +287,48 @@ mod tests {
         std::fs::write(lock.path(), "not a pid line").unwrap();
         let guard = lock.acquire(Duration::from_secs(2)).expect("torn lock must be broken");
         drop(guard);
+    }
+
+    #[test]
+    fn lock_file_records_pid_and_start_time() {
+        let target = temp_target("starttime");
+        let lock = FileLock::for_file(&target);
+        let guard = lock.try_acquire().unwrap().expect("acquire");
+        let text = std::fs::read_to_string(lock.path()).unwrap();
+        let (pid, start) = parse_holder(&text).expect("holder line parses");
+        assert_eq!(pid, std::process::id());
+        if let Some(own_start) = process_start_time(std::process::id()) {
+            assert_eq!(start, Some(own_start), "recorded start must match /proc");
+        }
+        drop(guard);
+        assert!(!lock.path().exists(), "guard drop must recognise the two-field line as its own");
+    }
+
+    #[test]
+    fn live_pid_with_wrong_start_time_is_broken_as_recycled() {
+        if process_start_time(std::process::id()).is_none() {
+            return; // no /proc: the start-time probe cannot run here
+        }
+        let target = temp_target("recycled");
+        let lock = FileLock::for_file(&target);
+        // A "holder" whose PID is alive (ours) but whose recorded start time
+        // belongs to a long-gone process: exactly what PID reuse looks like.
+        std::fs::write(lock.path(), format!("pid {} start 1\n", std::process::id())).unwrap();
+        let guard =
+            lock.acquire(Duration::from_secs(2)).expect("a recycled-PID lock must be breakable");
+        drop(guard);
+    }
+
+    #[test]
+    fn old_format_lock_with_live_pid_still_blocks() {
+        let target = temp_target("oldformat");
+        let lock = FileLock::for_file(&target);
+        // An old-build holder line (no start time) for a live PID: without a
+        // recorded start the probe must fall back to liveness and wait.
+        std::fs::write(lock.path(), format!("pid {}\n", std::process::id())).unwrap();
+        let error = lock.acquire(Duration::from_millis(60)).unwrap_err();
+        assert_eq!(error.kind(), io::ErrorKind::TimedOut);
+        let _ = std::fs::remove_file(lock.path());
     }
 
     #[test]

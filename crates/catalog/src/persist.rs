@@ -668,6 +668,51 @@ pub struct SidecarWriter {
     path: PathBuf,
     guard: Mutex<()>,
     lock: FileLock,
+    telemetry: PersistTelemetry,
+}
+
+/// Global-registry counters for sidecar durability traffic
+/// (`persist_*` in `docs/OBSERVABILITY.md`).
+#[derive(Debug)]
+struct PersistTelemetry {
+    appends: &'static mapcomp_telemetry::metrics::Counter,
+    append_bytes: &'static mapcomp_telemetry::metrics::Counter,
+    compactions: &'static mapcomp_telemetry::metrics::Counter,
+    compaction_bytes: &'static mapcomp_telemetry::metrics::Counter,
+    fsyncs: &'static mapcomp_telemetry::metrics::Counter,
+}
+
+impl PersistTelemetry {
+    fn new() -> PersistTelemetry {
+        let registry = mapcomp_telemetry::metrics::global();
+        PersistTelemetry {
+            appends: registry.counter(
+                "persist_appends_total",
+                "Delta chunks appended to sidecar files.",
+                &[],
+            ),
+            append_bytes: registry.counter(
+                "persist_append_bytes_total",
+                "Bytes appended to sidecar files (including torn-tail healing).",
+                &[],
+            ),
+            compactions: registry.counter(
+                "persist_compactions_total",
+                "Atomic snapshot rewrites of sidecar/document files.",
+                &[],
+            ),
+            compaction_bytes: registry.counter(
+                "persist_compaction_bytes_total",
+                "Bytes written by snapshot rewrites (documents and sidecars).",
+                &[],
+            ),
+            fsyncs: registry.counter(
+                "persist_fsyncs_total",
+                "File syncs issued before atomic renames.",
+                &[],
+            ),
+        }
+    }
 }
 
 impl SidecarWriter {
@@ -675,7 +720,7 @@ impl SidecarWriter {
     pub fn new(path: impl Into<PathBuf>) -> Self {
         let path: PathBuf = path.into();
         let lock = FileLock::for_file(&path);
-        SidecarWriter { path, guard: Mutex::new(()), lock }
+        SidecarWriter { path, guard: Mutex::new(()), lock, telemetry: PersistTelemetry::new() }
     }
 
     /// The sidecar path.
@@ -704,7 +749,10 @@ impl SidecarWriter {
             chunk.insert(0, '\n');
         }
         file.write_all(chunk.as_bytes())?;
-        file.flush()
+        file.flush()?;
+        self.telemetry.appends.incr();
+        self.telemetry.append_bytes.add(chunk.len() as u64);
+        Ok(())
     }
 
     /// Replace the whole sidecar with `content` atomically: the new content
@@ -717,7 +765,10 @@ impl SidecarWriter {
     pub fn rewrite(&self, content: &str) -> std::io::Result<()> {
         let _guard = self.guard.lock().unwrap_or_else(PoisonError::into_inner);
         let _file_lock = self.lock.acquire(LOCK_TIMEOUT)?;
-        self.rename_over(&self.path, content)
+        self.rename_over(&self.path, content)?;
+        self.telemetry.compactions.incr();
+        self.telemetry.compaction_bytes.add(content.len() as u64);
+        Ok(())
     }
 
     /// Atomically replace both the catalog document at `document_path` and
@@ -739,16 +790,29 @@ impl SidecarWriter {
         let _file_lock = self.lock.acquire(LOCK_TIMEOUT)?;
         let (document, sidecar) = render();
         self.rename_over(document_path, &document)?;
-        self.rename_over(&self.path, &sidecar)
+        self.rename_over(&self.path, &sidecar)?;
+        self.telemetry.compactions.incr();
+        self.telemetry.compaction_bytes.add((document.len() + sidecar.len()) as u64);
+        Ok(())
     }
 
-    /// Write `content` to a `.tmp` sibling of `target` and rename it over
-    /// `target`. Callers hold the writer mutex and the file lock.
+    /// Write `content` to a `.tmp` sibling of `target`, sync it to stable
+    /// storage, and rename it over `target`. The sync before the rename is
+    /// what makes the replacement crash-safe: without it the filesystem may
+    /// persist the rename before the data, leaving an empty or truncated
+    /// file after a power loss. Callers hold the writer mutex and the file
+    /// lock. (Appends deliberately do *not* sync — the delta log's torn-tail
+    /// handling already tolerates a lost tail, and an fsync per append would
+    /// dominate the serve hot path; see fig12.)
     fn rename_over(&self, target: &Path, content: &str) -> std::io::Result<()> {
         let mut name = target.file_name().unwrap_or_default().to_os_string();
         name.push(".tmp");
         let tmp = target.with_file_name(name);
-        std::fs::write(&tmp, content)?;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(content.as_bytes())?;
+        file.sync_data()?;
+        self.telemetry.fsyncs.incr();
+        drop(file);
         std::fs::rename(&tmp, target)
     }
 

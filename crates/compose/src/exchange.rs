@@ -242,9 +242,12 @@ fn exchange_naive(
     let mut nulls_created = 0usize;
     let mut rounds = 0usize;
     let mut converged = false;
+    let (rounds_metric, frontier_metric) = chase_telemetry("naive");
 
     while rounds < config.max_rounds {
         rounds += 1;
+        rounds_metric.incr();
+        let mut fired_this_round = 0u64;
         let mut changed = false;
         for rule in &mut rules {
             if rule.dropped {
@@ -295,9 +298,11 @@ fn exchange_naive(
                 for (rel, row) in fire(rule, tuple, target_sig, &mut nulls_created) {
                     target.insert(&rel, row);
                 }
+                fired_this_round += 1;
                 changed = true;
             }
         }
+        frontier_metric.observe(fired_this_round);
         if !changed {
             converged = true;
             break;
@@ -336,9 +341,11 @@ fn exchange_semi_naive(
     let mut nulls_created = 0usize;
     let mut rounds = 0usize;
     let mut converged = false;
+    let (rounds_metric, frontier_metric) = chase_telemetry("semi-naive");
 
     while rounds < config.max_rounds {
         rounds += 1;
+        rounds_metric.incr();
         let mut changed = false;
         let round_start = log.len();
         // One hash-indexable frontier snapshot per round; intra-round
@@ -506,6 +513,7 @@ fn exchange_semi_naive(
                 return ExchangeResult { target, nulls_created, rounds, skipped, converged: false };
             }
         }
+        frontier_metric.observe((log.len() - round_start) as u64);
         if !changed {
             converged = true;
             break;
@@ -513,6 +521,25 @@ fn exchange_semi_naive(
     }
 
     ExchangeResult { target, nulls_created, rounds, skipped, converged }
+}
+
+/// The chase-progress metrics for one strategy: rounds executed and the
+/// per-round frontier size (novel tuples a round hands to the next one).
+fn chase_telemetry(
+    strategy: &'static str,
+) -> (&'static mapcomp_telemetry::metrics::Counter, &'static mapcomp_telemetry::metrics::Histogram)
+{
+    let registry = mapcomp_telemetry::metrics::global();
+    let labels = [("strategy", strategy)];
+    (
+        registry.counter("chase_rounds_total", "Chase rounds executed, per strategy.", &labels),
+        registry.histogram(
+            "chase_frontier_size",
+            "Novel tuples produced per chase round, per strategy.",
+            &labels,
+            mapcomp_telemetry::metrics::SIZE_BOUNDS,
+        ),
+    )
 }
 
 /// Index a log suffix by relation, or `None` when the suffix is empty.

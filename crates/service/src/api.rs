@@ -58,6 +58,9 @@ pub enum Request {
     },
     /// Catalog and session statistics.
     Stats,
+    /// The serving side's metrics registry, rendered as Prometheus-style
+    /// text exposition (see `docs/OBSERVABILITY.md`).
+    Metrics,
     /// Fold the serving side's append-only sidecar log back into snapshot
     /// form (document + sidecar rewritten atomically). A no-op for
     /// in-memory backends.
@@ -67,6 +70,21 @@ pub enum Request {
 }
 
 impl Request {
+    /// Every request kind keyword, in the order they appear on the wire
+    /// grammar — the label universe for the per-kind service metrics.
+    pub const KINDS: &'static [&'static str] = &[
+        "ping",
+        "add-document",
+        "compose-path",
+        "compose-names",
+        "compose-batch",
+        "invalidate",
+        "stats",
+        "metrics",
+        "compact",
+        "shutdown",
+    ];
+
     /// The stable wire keyword of this request kind.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -77,6 +95,7 @@ impl Request {
             Request::ComposeBatch { .. } => "compose-batch",
             Request::Invalidate { .. } => "invalidate",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::Compact => "compact",
             Request::Shutdown => "shutdown",
         }
@@ -208,6 +227,12 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`].
     Stats(StatsPayload),
+    /// Reply to [`Request::Metrics`].
+    Metrics {
+        /// The registry in Prometheus text exposition (one sample per line,
+        /// `# HELP`/`# TYPE` headers; grammar in `docs/OBSERVABILITY.md`).
+        text: String,
+    },
     /// Reply to [`Request::Compact`].
     Compacted {
         /// Sidecar size before compaction, in bytes (0 for an in-memory
@@ -230,6 +255,7 @@ impl Response {
             Response::Batch(_) => "batch",
             Response::Invalidated { .. } => "invalidated",
             Response::Stats(_) => "stats",
+            Response::Metrics { .. } => "metrics",
             Response::Compacted { .. } => "compacted",
             Response::ShuttingDown => "shutting-down",
         }

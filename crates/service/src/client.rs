@@ -13,7 +13,7 @@ use std::sync::{Mutex, PoisonError};
 
 use crate::api::{Request, Response, ServiceError};
 use crate::service::MapcompService;
-use crate::wire::{decode_reply, encode_request, read_frame};
+use crate::wire::{decode_reply, encode_request_traced, read_frame};
 
 /// A blocking client over one TCP connection.
 pub struct Client {
@@ -40,10 +40,20 @@ impl Client {
 
     /// Send one request and read its reply.
     pub fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        self.call_with_trace(request, None)
+    }
+
+    /// Send one request carrying `trace` as the optional `trace` frame
+    /// field, so the serving side's spans adopt the caller's trace ID.
+    pub fn call_with_trace(
+        &self,
+        request: Request,
+        trace: Option<u64>,
+    ) -> Result<Response, ServiceError> {
         let mut connection = self.connection.lock().unwrap_or_else(PoisonError::into_inner);
         connection
             .writer
-            .write_all(encode_request(&request).as_bytes())
+            .write_all(encode_request_traced(&request, trace).as_bytes())
             .and_then(|()| connection.writer.flush())
             .map_err(|error| ServiceError::transport(format!("cannot send request: {error}")))?;
         let frame = read_frame(&mut connection.reader)
@@ -56,5 +66,9 @@ impl Client {
 impl MapcompService for Client {
     fn call(&self, request: Request) -> Result<Response, ServiceError> {
         Client::call(self, request)
+    }
+
+    fn call_traced(&self, request: Request, trace: Option<u64>) -> Result<Response, ServiceError> {
+        self.call_with_trace(request, trace)
     }
 }

@@ -70,5 +70,6 @@ pub use client::Client;
 pub use server::Server;
 pub use service::{sidecar_path, LocalService, MapcompService, PersistMode, PersistPolicy};
 pub use wire::{
-    decode_reply, decode_request, encode_reply, encode_request, escape, read_frame, unescape,
+    decode_reply, decode_request, decode_request_traced, encode_reply, encode_request,
+    encode_request_traced, escape, read_frame, unescape,
 };

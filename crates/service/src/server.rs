@@ -19,11 +19,14 @@ use std::io::{BufReader, BufWriter, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use mapcomp_telemetry::log::{json_line, LogFormat, LogValue};
+use mapcomp_telemetry::metrics::{global, Counter, Gauge};
 
 use crate::api::{Request, Response, ServiceError};
 use crate::service::MapcompService;
-use crate::wire::{decode_request, encode_reply, read_frame};
+use crate::wire::{decode_request_traced, encode_reply, read_frame};
 
 /// A TCP server for a [`MapcompService`] backend.
 pub struct Server {
@@ -32,6 +35,62 @@ pub struct Server {
     /// Drop a connection whose peer stays silent this long between frames
     /// (`None` = keep idle connections forever, the default).
     idle_timeout: Option<Duration>,
+    /// Emit structured connection/request log lines on stderr in this
+    /// format (`None` = silent, the default and the historical behaviour).
+    log_format: Option<LogFormat>,
+    /// Log any request slower than this even when `log_format` is off
+    /// (`None` = no slow-request logging, the default).
+    slow_threshold: Option<Duration>,
+    telemetry: ServerTelemetry,
+}
+
+/// Transport-level metric handles, registered once per server against the
+/// process-global registry.
+struct ServerTelemetry {
+    connections_accepted: &'static Counter,
+    connections_closed: &'static Counter,
+    connections_active: &'static Gauge,
+    queue_depth: &'static Gauge,
+    frame_bytes_read: &'static Counter,
+    frame_bytes_written: &'static Counter,
+}
+
+impl ServerTelemetry {
+    fn new() -> Self {
+        let registry = global();
+        ServerTelemetry {
+            connections_accepted: registry.counter(
+                "server_connections_accepted_total",
+                "TCP connections accepted by the serve loop.",
+                &[],
+            ),
+            connections_closed: registry.counter(
+                "server_connections_closed_total",
+                "TCP connections that finished (disconnect, idle reap, or error).",
+                &[],
+            ),
+            connections_active: registry.gauge(
+                "server_connections_active",
+                "TCP connections currently being served by a pool worker.",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "server_queue_depth",
+                "Accepted connections waiting for a free pool worker.",
+                &[],
+            ),
+            frame_bytes_read: registry.counter(
+                "server_frame_bytes_read_total",
+                "Request frame bytes read off client connections.",
+                &[],
+            ),
+            frame_bytes_written: registry.counter(
+                "server_frame_bytes_written_total",
+                "Reply frame bytes written to client connections.",
+                &[],
+            ),
+        }
+    }
 }
 
 /// The worker pool's shared state: the pending-connection queue and the
@@ -49,7 +108,45 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             shutdown: AtomicBool::new(false),
             idle_timeout: None,
+            log_format: None,
+            slow_threshold: None,
+            telemetry: ServerTelemetry::new(),
         })
+    }
+
+    /// Emit one structured log line per connection event and per request on
+    /// stderr, in `format`. `None` (the default) keeps the serve loop
+    /// silent, matching the pre-observability behaviour.
+    pub fn set_log_format(&mut self, format: Option<LogFormat>) {
+        self.log_format = format;
+    }
+
+    /// The configured log format.
+    pub fn log_format(&self) -> Option<LogFormat> {
+        self.log_format
+    }
+
+    /// Log any request whose handling exceeds `threshold`, even when
+    /// [`Server::set_log_format`] is off (slow lines then use the text
+    /// format). `None` (the default) disables slow-request logging.
+    pub fn set_slow_threshold(&mut self, threshold: Option<Duration>) {
+        self.slow_threshold = threshold;
+    }
+
+    /// The configured slow-request threshold.
+    pub fn slow_threshold(&self) -> Option<Duration> {
+        self.slow_threshold
+    }
+
+    /// Render one log line if logging is on (`force_slow` bypasses the
+    /// format gate for slow-request lines).
+    fn log(&self, force_slow: bool, event: &str, fields: &[(&str, LogValue<'_>)]) {
+        let format = match self.log_format {
+            Some(format) => format,
+            None if force_slow => LogFormat::Text,
+            None => return,
+        };
+        eprintln!("{}", json_line(format, event, fields));
     }
 
     /// Reap connections whose peer sends nothing for `timeout` between
@@ -110,8 +207,10 @@ impl Server {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                self.telemetry.connections_accepted.incr();
                 let mut queue = pool.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 queue.push_back(stream);
+                self.telemetry.queue_depth.set(queue.len() as i64);
                 drop(queue);
                 pool.available.notify_one();
             }
@@ -129,6 +228,7 @@ impl Server {
                 let mut queue = pool.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 loop {
                     if let Some(stream) = queue.pop_front() {
+                        self.telemetry.queue_depth.set(queue.len() as i64);
                         break Some(stream);
                     }
                     if self.is_shutting_down() {
@@ -152,6 +252,29 @@ impl Server {
     ) -> std::io::Result<()> {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(self.idle_timeout);
+        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        self.telemetry.connections_active.add(1);
+        self.log(false, "connection-open", &[("peer", LogValue::Str(&peer))]);
+        let outcome = self.serve_frames(stream, pool, service, &peer);
+        self.telemetry.connections_active.add(-1);
+        self.telemetry.connections_closed.incr();
+        self.log(
+            false,
+            "connection-close",
+            &[("peer", LogValue::Str(&peer)), ("ok", LogValue::Bool(outcome.is_ok()))],
+        );
+        outcome
+    }
+
+    /// The frame loop of [`Server::handle_connection`], split out so the
+    /// lifecycle bookkeeping above runs on every exit path.
+    fn serve_frames<S: MapcompService>(
+        &self,
+        stream: TcpStream,
+        pool: &Pool,
+        service: &S,
+        peer: &str,
+    ) -> std::io::Result<()> {
         let mut writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream);
         loop {
@@ -172,15 +295,21 @@ impl Server {
                 }
                 Err(error) => return Err(error),
             };
-            let reply = match decode_request(&frame) {
-                Ok(request) => {
+            self.telemetry.frame_bytes_read.add(frame.len() as u64);
+            let started = Instant::now();
+            let mut kind = "?";
+            let mut trace_id = None;
+            let reply = match decode_request_traced(&frame) {
+                Ok((request, trace)) => {
+                    kind = request.kind();
+                    trace_id = trace;
                     if self.is_shutting_down() && !matches!(request, Request::Shutdown) {
                         Err(ServiceError::new(
                             crate::api::ErrorCode::Unavailable,
                             "server is shutting down",
                         ))
                     } else {
-                        service.call(request)
+                        service.call_traced(request, trace)
                     }
                 }
                 // A malformed frame is reported to the peer; the connection
@@ -188,8 +317,28 @@ impl Server {
                 // already re-synchronised at the next frame boundary).
                 Err(error) => Err(error),
             };
-            writer.write_all(encode_reply(&reply).as_bytes())?;
+            let encoded = encode_reply(&reply);
+            writer.write_all(encoded.as_bytes())?;
             writer.flush()?;
+            self.telemetry.frame_bytes_written.add(encoded.len() as u64);
+            let elapsed = started.elapsed();
+            let slow = self.slow_threshold.is_some_and(|threshold| elapsed >= threshold);
+            if self.log_format.is_some() || slow {
+                let trace = trace_id.map(|id| format!("{id:016x}"));
+                let mut fields = vec![
+                    ("peer", LogValue::Str(peer)),
+                    ("kind", LogValue::Str(kind)),
+                    ("ms", LogValue::F64(elapsed.as_secs_f64() * 1e3)),
+                    ("ok", LogValue::Bool(reply.is_ok())),
+                ];
+                if let Some(trace) = &trace {
+                    fields.push(("trace", LogValue::Str(trace)));
+                }
+                if slow {
+                    fields.push(("slow", LogValue::Bool(true)));
+                }
+                self.log(slow, if slow { "slow-request" } else { "request" }, &fields);
+            }
             if matches!(reply, Ok(Response::ShuttingDown)) {
                 self.begin_shutdown();
                 pool.available.notify_all();

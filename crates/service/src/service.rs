@@ -45,6 +45,7 @@ use mapcomp_catalog::{
     SidecarWriter, VersionManifest,
 };
 use mapcomp_compose::Registry;
+use mapcomp_telemetry::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BOUNDS_US};
 
 use crate::api::{ChainPayload, MappingInfo, Request, Response, ServiceError, StatsPayload};
 
@@ -61,6 +62,20 @@ pub const MAX_REQUEST_WORKERS: usize = 64;
 pub trait MapcompService {
     /// Execute one request.
     fn call(&self, request: Request) -> Result<Response, ServiceError>;
+
+    /// Execute one request under a trace context. `trace` is a trace ID the
+    /// caller wants propagated (over the wire for remote transports, into
+    /// the span ring for local ones); `None` means "no explicit trace".
+    ///
+    /// The default implementation ignores the trace and delegates to
+    /// [`MapcompService::call`], so third-party backends stay source
+    /// compatible; [`LocalService`] roots a span per request and
+    /// [`crate::Client`] forwards the ID as the optional `trace` frame
+    /// field.
+    fn call_traced(&self, request: Request, trace: Option<u64>) -> Result<Response, ServiceError> {
+        let _ = trace;
+        self.call(request)
+    }
 }
 
 /// How a persistent [`LocalService`] makes a state-changing request
@@ -135,12 +150,66 @@ impl Persistence {
     }
 }
 
+/// Pre-registered metric handles for one request kind, so the per-request
+/// hot path is three atomic bumps — no registry lock, no label rendering.
+struct KindTelemetry {
+    kind: &'static str,
+    requests: &'static Counter,
+    errors: &'static Counter,
+    duration_us: &'static Histogram,
+}
+
+/// Per-kind service metrics over one registry, registered eagerly at
+/// construction for every keyword in [`Request::KINDS`].
+struct ServiceTelemetry {
+    registry: &'static MetricsRegistry,
+    kinds: Vec<KindTelemetry>,
+}
+
+impl ServiceTelemetry {
+    fn new(registry: &'static MetricsRegistry) -> Self {
+        let kinds = Request::KINDS
+            .iter()
+            .map(|&kind| {
+                let labels = [("kind", kind)];
+                KindTelemetry {
+                    kind,
+                    requests: registry.counter(
+                        "service_requests_total",
+                        "Requests handled, per request kind.",
+                        &labels,
+                    ),
+                    errors: registry.counter(
+                        "service_errors_total",
+                        "Requests that returned a service error, per request kind.",
+                        &labels,
+                    ),
+                    duration_us: registry.histogram(
+                        "service_request_duration_us",
+                        "Request handling latency in microseconds, per request kind.",
+                        &labels,
+                        LATENCY_BOUNDS_US,
+                    ),
+                }
+            })
+            .collect();
+        ServiceTelemetry { registry, kinds }
+    }
+
+    fn for_kind(&self, kind: &str) -> &KindTelemetry {
+        // `Request::kind` and `Request::KINDS` are the same keyword list by
+        // construction; a miss here is a bug in that pairing.
+        self.kinds.iter().find(|entry| entry.kind == kind).expect("unregistered request kind")
+    }
+}
+
 /// The in-process backend: a [`SharedSession`] behind the service API,
 /// optionally persisted to a catalog file + sidecar.
 pub struct LocalService {
     session: SharedSession,
     batch_workers: usize,
     persistence: Option<Persistence>,
+    telemetry: ServiceTelemetry,
     /// Serialises `AddDocument` handling: the dry-run validation against a
     /// snapshot and the subsequent ingest must be one atomic step, or a
     /// concurrent ingest could invalidate the validation (e.g. redefine a
@@ -169,8 +238,19 @@ impl LocalService {
             session: SharedSession::with_config(catalog, registry, config, workers),
             batch_workers: workers,
             persistence: None,
+            telemetry: ServiceTelemetry::new(mapcomp_telemetry::metrics::global()),
             ingest: std::sync::Mutex::new(()),
         }
+    }
+
+    /// Rebind this service's metrics to `registry` instead of the process
+    /// global — the seam the equivalence tests use to give each backend its
+    /// own isolated counter space within one test process. A
+    /// [`Request::Metrics`] call renders whichever registry the service is
+    /// bound to.
+    pub fn with_metrics_registry(mut self, registry: &'static MetricsRegistry) -> Self {
+        self.telemetry = ServiceTelemetry::new(registry);
+        self
     }
 
     /// Open a service bound to an on-disk catalog with the default
@@ -264,6 +344,7 @@ impl LocalService {
                 policy,
                 state: Mutex::new(PersistState { last_stats, appends: 0 }),
             }),
+            telemetry: ServiceTelemetry::new(mapcomp_telemetry::metrics::global()),
             ingest: std::sync::Mutex::new(()),
         })
     }
@@ -284,6 +365,7 @@ impl LocalService {
     /// damaged snapshot.
     pub fn compact(&self) -> Result<(u64, u64), ServiceError> {
         let Some(persistence) = &self.persistence else { return Ok((0, 0)) };
+        let _span = mapcomp_telemetry::trace::start_span("persist/compact");
         let mut state = persistence.state();
         let bytes_before = persistence.sidecar.file_len();
         // The snapshot is taken by the closure *inside* the sidecar's write
@@ -346,6 +428,7 @@ impl LocalService {
         {
             return self.persist();
         }
+        let _span = mapcomp_telemetry::trace::start_span("persist/append");
         let mut chunk = String::from(extra);
         {
             let mut state = persistence.state();
@@ -466,6 +549,31 @@ pub fn sidecar_path(catalog_file: &std::path::Path) -> PathBuf {
 
 impl MapcompService for LocalService {
     fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        self.call_traced(request, None)
+    }
+
+    /// Every request roots a span named after its wire keyword (adopting
+    /// the peer's trace ID when one arrived on the wire) and bumps the
+    /// per-kind request/error/latency metrics on the way out.
+    fn call_traced(&self, request: Request, trace: Option<u64>) -> Result<Response, ServiceError> {
+        let kind = request.kind();
+        let _span = mapcomp_telemetry::trace::start_trace(kind, trace);
+        let started = std::time::Instant::now();
+        let result = self.dispatch(request);
+        let telemetry = self.telemetry.for_kind(kind);
+        telemetry.requests.incr();
+        if result.is_err() {
+            telemetry.errors.incr();
+        }
+        telemetry.duration_us.observe(started.elapsed().as_micros() as u64);
+        result
+    }
+}
+
+impl LocalService {
+    /// The untimed request dispatch: the match [`MapcompService::call`]
+    /// wraps with telemetry.
+    fn dispatch(&self, request: Request) -> Result<Response, ServiceError> {
         match request {
             Request::Ping => Ok(Response::Pong),
             Request::AddDocument { text } => {
@@ -599,6 +707,7 @@ impl MapcompService for LocalService {
                 Ok(Response::Invalidated { dropped })
             }
             Request::Stats => Ok(Response::Stats(self.stats_payload())),
+            Request::Metrics => Ok(Response::Metrics { text: self.telemetry.registry.render() }),
             Request::Compact => {
                 let (bytes_before, bytes_after) = self.compact()?;
                 Ok(Response::Compacted { bytes_before, bytes_after })

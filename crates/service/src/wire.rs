@@ -13,6 +13,11 @@
 //! The first line names the protocol, its version, the direction
 //! (`request`/`response`) and the kind keyword; field lines follow, one
 //! `key value…` pair per line; a literal `end` line terminates the frame.
+//! Request frames may carry one optional `trace <16-hex>` field (recognised
+//! for *every* request kind, before kind-specific parsing): the caller's
+//! trace ID, so server-side spans correlate with the client that caused
+//! them. Encoders emit the field only when a trace ID is set, so a new
+//! client talking to an old server sends exactly the old frames.
 //! Every value token is percent-escaped ([`escape`]) so arbitrary strings —
 //! embedded spaces, newlines, `%`, the empty string — survive the
 //! whitespace-separated grammar, and multi-valued fields simply repeat the
@@ -185,11 +190,25 @@ fn escape_tokens(values: &[String]) -> String {
 // Requests
 // ---------------------------------------------------------------------------
 
-/// Encode a request as a complete frame (terminated by `end`).
+/// Encode a request as a complete frame (terminated by `end`), with no
+/// trace field — byte-identical to what older builds emit.
 pub fn encode_request(request: &Request) -> String {
+    encode_request_traced(request, None)
+}
+
+/// Encode a request as a complete frame, carrying `trace` as the optional
+/// `trace <16-hex>` field (always the first field line) when set.
+pub fn encode_request_traced(request: &Request, trace: Option<u64>) -> String {
     let mut out = format!("{PROTOCOL} request {}\n", request.kind());
+    if let Some(trace_id) = trace {
+        out.push_str(&format!("trace {trace_id:016x}\n"));
+    }
     match request {
-        Request::Ping | Request::Stats | Request::Compact | Request::Shutdown => {}
+        Request::Ping
+        | Request::Stats
+        | Request::Metrics
+        | Request::Compact
+        | Request::Shutdown => {}
         Request::AddDocument { text } => {
             out.push_str(&format!("text {}\n", escape(text)));
         }
@@ -217,17 +236,46 @@ pub fn encode_request(request: &Request) -> String {
     out
 }
 
-/// Decode a request frame.
+/// Decode a request frame, discarding any trace field (see
+/// [`decode_request_traced`] to keep it).
 pub fn decode_request(text: &str) -> Result<Request, ServiceError> {
+    decode_request_traced(text).map(|(request, _)| request)
+}
+
+/// Decode a request frame along with its optional `trace` field. The trace
+/// line is recognised for every request kind and stripped before
+/// kind-specific parsing, so kinds with no fields of their own still accept
+/// it; at most one trace line may appear.
+pub fn decode_request_traced(text: &str) -> Result<(Request, Option<u64>), ServiceError> {
     let (kind, lines) = frame_lines(text, "request")?;
+    let mut trace = None;
+    let mut fields = Vec::with_capacity(lines.len());
+    for line in lines {
+        match split_field(line) {
+            ("trace", value) if trace.is_none() => {
+                trace = Some(parse_u64_hex(value, "trace")?);
+            }
+            ("trace", _) => {
+                return Err(ServiceError::protocol("frame carries more than one `trace` field"))
+            }
+            _ => fields.push(line),
+        }
+    }
+    Ok((decode_request_fields(kind, fields)?, trace))
+}
+
+/// Decode the kind-specific field lines of a request frame (trace already
+/// stripped). Strict: unknown or duplicated fields are protocol errors.
+fn decode_request_fields(kind: &str, lines: Vec<&str>) -> Result<Request, ServiceError> {
     match kind {
-        "ping" | "stats" | "compact" | "shutdown" => {
+        "ping" | "stats" | "metrics" | "compact" | "shutdown" => {
             if let Some(line) = lines.first() {
                 return Err(unknown_field(kind, line));
             }
             Ok(match kind {
                 "ping" => Request::Ping,
                 "stats" => Request::Stats,
+                "metrics" => Request::Metrics,
                 "compact" => Request::Compact,
                 _ => Request::Shutdown,
             })
@@ -440,6 +488,9 @@ pub fn encode_reply(reply: &Result<Response, ServiceError>) -> String {
                 Response::Invalidated { dropped } => {
                     out.push_str(&format!("dropped {dropped}\n"));
                 }
+                Response::Metrics { text } => {
+                    out.push_str(&format!("text {}\n", escape(text)));
+                }
                 Response::Compacted { bytes_before, bytes_after } => {
                     out.push_str(&format!("before {bytes_before}\n"));
                     out.push_str(&format!("after {bytes_after}\n"));
@@ -591,6 +642,16 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
             }
             Ok(Ok(Response::Invalidated { dropped: dropped.ok_or_else(|| missing("dropped"))? }))
         }
+        "metrics" => {
+            let mut text = None;
+            for line in lines {
+                match split_field(line) {
+                    ("text", value) if text.is_none() => text = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Metrics { text: text.ok_or_else(|| missing("text"))? }))
+        }
         "compacted" => {
             let (mut before, mut after) = (None, None);
             for line in lines {
@@ -730,6 +791,39 @@ mod tests {
         let frame = encode_request(&request);
         assert!(frame.ends_with("end\n"));
         assert_eq!(decode_request(&frame).unwrap(), request);
+    }
+
+    #[test]
+    fn traced_requests_round_trip_and_untraced_stay_identical() {
+        let request = Request::ComposePath { from: "s1".into(), to: "s3".into() };
+        // No trace: traced and untraced encoders agree byte for byte.
+        assert_eq!(encode_request_traced(&request, None), encode_request(&request));
+        // With a trace: the field survives the round trip on every kind,
+        // including kinds with no fields of their own.
+        for request in [request, Request::Ping, Request::Metrics, Request::Shutdown] {
+            let frame = encode_request_traced(&request, Some(0xdead_beef));
+            assert!(frame.contains("trace 00000000deadbeef\n"), "frame {frame:?}");
+            let (decoded, trace) = decode_request_traced(&frame).unwrap();
+            assert_eq!(decoded, request);
+            assert_eq!(trace, Some(0xdead_beef));
+            // The trace-unaware decoder accepts and discards the field.
+            assert_eq!(decode_request(&frame).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn duplicate_trace_fields_are_rejected() {
+        let frame = "mapcomp-service 1 request ping\ntrace 1\ntrace 2\nend\n";
+        let error = decode_request(frame).unwrap_err();
+        assert_eq!(error.code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn metrics_reply_round_trips_multiline_exposition() {
+        let text = "# HELP a A.\n# TYPE a counter\na{kind=\"x\"} 3\n".to_string();
+        let reply = Ok(Response::Metrics { text });
+        let frame = encode_reply(&reply);
+        assert_eq!(decode_reply(&frame).unwrap(), reply);
     }
 
     #[test]

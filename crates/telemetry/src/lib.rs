@@ -1,0 +1,53 @@
+//! # mapcomp-telemetry
+//!
+//! Offline observability primitives for the workspace, built with the same
+//! shim discipline as `crates/shims`: no external dependencies, `std` only,
+//! cheap enough to leave enabled on hot paths.
+//!
+//! Two halves:
+//!
+//! * [`metrics`] — lock-free atomic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s behind a [`MetricsRegistry`] that renders
+//!   Prometheus-style text exposition. Handles are `&'static`: registration
+//!   takes a lock once, after which every update is a single relaxed atomic
+//!   operation. A process-wide kill switch ([`set_enabled`]) turns every
+//!   update into one relaxed load, which is what the fig11 overhead
+//!   comparison measures against.
+//! * [`trace`] — structured spans with parent links and monotonic timings,
+//!   a per-request trace ID that the service wire protocol propagates as an
+//!   optional frame field, a bounded ring of recent spans, and a slow-span
+//!   ring fed by a configurable threshold.
+//!
+//! [`log`] holds the tiny structured-log helpers (JSON escaping and line
+//! rendering) the serve path uses for `--log-format json`.
+//!
+//! The metric name catalog, exposition grammar, trace frame field and
+//! slow-log format are specified in `docs/OBSERVABILITY.md` and executed by
+//! `tests/docs_examples.rs`.
+//!
+//! ```
+//! use mapcomp_telemetry::metrics::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new().leak();
+//! let requests = registry.counter("demo_requests_total", "Requests served.", &[("kind", "ping")]);
+//! requests.incr();
+//! let text = registry.render();
+//! assert!(text.contains("demo_requests_total{kind=\"ping\"} 1"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use log::{json_escape, json_line, LogFormat, LogValue};
+pub use metrics::{
+    enabled, global, set_enabled, Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BOUNDS_US,
+    SIZE_BOUNDS,
+};
+pub use trace::{
+    next_trace_id, recent_slow_spans, recent_spans, set_slow_threshold_ms, slow_threshold_ms,
+    start_span, start_trace, Span, SpanRecord,
+};

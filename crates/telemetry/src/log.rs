@@ -1,0 +1,154 @@
+//! Minimal structured-log helpers for the serve path.
+//!
+//! `mapcomp serve --log-format json` emits one JSON object per event on
+//! stderr; these helpers render those lines without any external JSON
+//! dependency. The line shape is documented in `docs/OBSERVABILITY.md`.
+
+use std::fmt::Write as _;
+
+/// Output format for serve-path logs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-readable `key=value` lines.
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl std::str::FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LogFormat, String> {
+        match s {
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("invalid log format `{other}` (expected `text` or `json`)")),
+        }
+    }
+}
+
+/// A loggable field value.
+#[derive(Clone, Copy, Debug)]
+pub enum LogValue<'a> {
+    /// A string (JSON-escaped on render).
+    Str(&'a str),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (rendered with enough precision to round-trip).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// Escape `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_value(out: &mut String, value: &LogValue<'_>) {
+    match value {
+        LogValue::Str(s) => {
+            out.push('"');
+            out.push_str(&json_escape(s));
+            out.push('"');
+        }
+        LogValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        LogValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        LogValue::F64(f) => {
+            let _ = write!(out, "{f}");
+        }
+        LogValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Render one log line in `format`: JSON gives
+/// `{"event":"<event>","k":v,…}`; text gives `event=<event> k=v …`.
+/// Neither includes a trailing newline.
+pub fn json_line(format: LogFormat, event: &str, fields: &[(&str, LogValue<'_>)]) -> String {
+    let mut out = String::new();
+    match format {
+        LogFormat::Json => {
+            out.push_str("{\"event\":\"");
+            out.push_str(&json_escape(event));
+            out.push('"');
+            for (key, value) in fields {
+                out.push_str(",\"");
+                out.push_str(&json_escape(key));
+                out.push_str("\":");
+                render_value(&mut out, value);
+            }
+            out.push('}');
+        }
+        LogFormat::Text => {
+            let _ = write!(out, "event={event}");
+            for (key, value) in fields {
+                let _ = write!(out, " {key}=");
+                match value {
+                    LogValue::Str(s) if s.contains(' ') => {
+                        let _ = write!(out, "{s:?}");
+                    }
+                    _ => render_value(&mut out, value),
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_escaped_objects() {
+        let line = json_line(
+            LogFormat::Json,
+            "request",
+            &[
+                ("kind", LogValue::Str("compose-path")),
+                ("trace", LogValue::Str("00000000deadbeef")),
+                ("ms", LogValue::F64(1.5)),
+                ("ok", LogValue::Bool(true)),
+                ("note", LogValue::Str("a \"quoted\"\nline")),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"event\":\"request\",\"kind\":\"compose-path\",\
+             \"trace\":\"00000000deadbeef\",\"ms\":1.5,\"ok\":true,\
+             \"note\":\"a \\\"quoted\\\"\\nline\"}"
+        );
+    }
+
+    #[test]
+    fn text_lines_are_key_value_pairs() {
+        let line = json_line(
+            LogFormat::Text,
+            "connection",
+            &[("peer", LogValue::Str("127.0.0.1:9")), ("active", LogValue::I64(3))],
+        );
+        assert_eq!(line, "event=connection peer=\"127.0.0.1:9\" active=3");
+    }
+}

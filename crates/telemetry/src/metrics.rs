@@ -1,0 +1,469 @@
+//! Lock-free metric primitives and the process-wide registry.
+//!
+//! The cost model is the whole point: *registration* (naming a metric) is a
+//! cold path that takes a mutex and leaks one small allocation so the handle
+//! can be `&'static`; *updating* a registered handle is a single relaxed
+//! atomic RMW, safe to leave on the hottest paths in the workspace. Relaxed
+//! ordering is sufficient because metrics are monotone tallies read after
+//! the fact — no metric update is used for cross-thread synchronisation.
+//!
+//! Rendering ([`MetricsRegistry::render`]) emits Prometheus text exposition
+//! (`# HELP` / `# TYPE` headers, `name{label="value"} 123` samples,
+//! `_bucket`/`_sum`/`_count` series for histograms); the grammar is written
+//! down in `docs/OBSERVABILITY.md`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Process-wide telemetry kill switch (default on). When off, every metric
+/// update and span recording degrades to one relaxed load — the baseline the
+/// fig11 overhead comparison runs against.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Turn telemetry recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry recording is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Bucket upper bounds (microseconds) for request-latency histograms:
+/// 100µs to 10s in decades.
+pub const LATENCY_BOUNDS_US: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Bucket upper bounds for size-ish histograms (frontier sizes, batch
+/// sizes): powers of four from 1 to 16384.
+pub const SIZE_BOUNDS: &[u64] = &[1, 4, 16, 64, 256, 1_024, 4_096, 16_384];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n` to the counter (no-op while telemetry is disabled).
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (active connections, queue
+/// depth).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Add `delta` (may be negative; no-op while telemetry is disabled).
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Set the gauge to `value` (no-op while telemetry is disabled).
+    pub fn set(&self, value: i64) {
+        if enabled() {
+            self.value.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations (latencies in
+/// microseconds, sizes in elements — the caller picks the unit and says so
+/// in the metric name).
+///
+/// Buckets are *inclusive* upper bounds plus an implicit `+Inf` overflow
+/// bucket, matching Prometheus `le` semantics; [`Histogram::observe`] is
+/// three relaxed atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must strictly increase");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (no-op while telemetry is disabled).
+    pub fn observe(&self, value: u64) {
+        if !enabled() {
+            return;
+        }
+        let index = self.bounds.partition_point(|&bound| bound < value);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (upper bound, non-cumulative count) pairs; the final entry
+    /// has bound `None` (the `+Inf` overflow bucket).
+    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
+        self.bounds
+            .iter()
+            .map(|&bound| Some(bound))
+            .chain([None])
+            .zip(self.buckets.iter().map(|bucket| bucket.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// One metric's identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+enum Handle {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Handle {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// name → (help text, metric type). One entry per family, shared by all
+    /// label combinations.
+    families: BTreeMap<String, (String, &'static str)>,
+    metrics: BTreeMap<MetricKey, Handle>,
+}
+
+/// A collection of named metrics that renders Prometheus text exposition.
+///
+/// The process has one [`global`] registry that all built-in
+/// instrumentation targets by default; tests (which share one process
+/// across threads) build private registries with [`MetricsRegistry::new`] +
+/// [`MetricsRegistry::leak`] and inject them where isolation matters.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Leak the registry to get the `&'static` lifetime its handles need.
+    /// Intended for test-isolated registries; the global one lives in a
+    /// `OnceLock` already.
+    pub fn leak(self) -> &'static MetricsRegistry {
+        Box::leak(Box::new(self))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> &'static T,
+        wrap: impl Fn(&'static T) -> Handle,
+        unwrap: impl Fn(&Handle) -> Option<&'static T>,
+    ) -> &'static T {
+        let key = MetricKey {
+            name: name.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        };
+        let mut inner = self.lock();
+        if let Some(existing) = inner.metrics.get(&key) {
+            return unwrap(existing).unwrap_or_else(|| {
+                panic!(
+                    "metric `{name}` re-registered as a different type ({})",
+                    existing.type_name()
+                )
+            });
+        }
+        let handle = make();
+        let family_type = wrap(handle).type_name();
+        if let Some((_, registered)) = inner.families.get(&key.name) {
+            assert_eq!(
+                *registered, family_type,
+                "metric family `{name}` registered with conflicting types"
+            );
+        } else {
+            inner.families.insert(key.name.clone(), (help.to_string(), family_type));
+        }
+        inner.metrics.insert(key, wrap(handle));
+        handle
+    }
+
+    /// Register (or fetch the existing) counter `name` with `labels`.
+    /// Re-registration with the same identity returns the same handle, so
+    /// call sites need no coordination.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> &'static Counter {
+        self.register(
+            name,
+            help,
+            labels,
+            || Box::leak(Box::new(Counter::default())),
+            Handle::Counter,
+            |handle| match handle {
+                Handle::Counter(counter) => Some(counter),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch the existing) gauge `name` with `labels`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> &'static Gauge {
+        self.register(
+            name,
+            help,
+            labels,
+            || Box::leak(Box::new(Gauge::default())),
+            Handle::Gauge,
+            |handle| match handle {
+                Handle::Gauge(gauge) => Some(gauge),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch the existing) histogram `name` with `labels` and
+    /// inclusive upper `bounds` (see [`LATENCY_BOUNDS_US`],
+    /// [`SIZE_BOUNDS`]). Bounds are fixed by the first registration.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> &'static Histogram {
+        self.register(
+            name,
+            help,
+            labels,
+            || Box::leak(Box::new(Histogram::new(bounds))),
+            Handle::Histogram,
+            |handle| match handle {
+                Handle::Histogram(histogram) => Some(histogram),
+                _ => None,
+            },
+        )
+    }
+
+    /// Render the whole registry as Prometheus text exposition: families in
+    /// name order, each preceded by `# HELP` and `# TYPE`, label sets in
+    /// lexicographic order. Deterministic for a given set of values — the
+    /// telemetry tests compare expositions byte-for-byte.
+    pub fn render(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for (key, handle) in &inner.metrics {
+            if last_family != Some(key.name.as_str()) {
+                let (help, metric_type) = inner
+                    .families
+                    .get(&key.name)
+                    .map(|(h, t)| (h.as_str(), *t))
+                    .unwrap_or(("", ""));
+                let _ = writeln!(out, "# HELP {} {}", key.name, help);
+                let _ = writeln!(out, "# TYPE {} {}", key.name, metric_type);
+                last_family = Some(key.name.as_str());
+            }
+            match handle {
+                Handle::Counter(counter) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        key.name,
+                        render_labels(&key.labels),
+                        counter.get()
+                    );
+                }
+                Handle::Gauge(gauge) => {
+                    let _ =
+                        writeln!(out, "{}{} {}", key.name, render_labels(&key.labels), gauge.get());
+                }
+                Handle::Histogram(histogram) => {
+                    let mut cumulative = 0u64;
+                    for (bound, count) in histogram.buckets() {
+                        cumulative += count;
+                        let le = bound.map(|b| b.to_string()).unwrap_or_else(|| "+Inf".to_string());
+                        let mut labels = key.labels.clone();
+                        labels.push(("le".to_string(), le));
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            key.name,
+                            render_labels(&labels),
+                            cumulative
+                        );
+                    }
+                    let labels = render_labels(&key.labels);
+                    let _ = writeln!(out, "{}_sum{} {}", key.name, labels, histogram.sum());
+                    let _ = writeln!(out, "{}_count{} {}", key.name, labels, histogram.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{k1="v1",k2="v2"}`, or the empty string for a label-free metric. Label
+/// values escape `\`, `"` and newline per the Prometheus text format.
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// The process-wide default registry: all built-in instrumentation lands
+/// here unless a component was handed a private registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The kill switch is process-wide, so tests that assert exact counts
+    /// serialise against the test that toggles it.
+    fn switch_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        let _guard = switch_guard();
+        let registry = MetricsRegistry::new().leak();
+        let counter = registry.counter("t_requests_total", "Requests.", &[("kind", "ping")]);
+        counter.add(3);
+        assert_eq!(counter.get(), 3);
+        let gauge = registry.gauge("t_active", "Active.", &[]);
+        gauge.add(2);
+        gauge.add(-1);
+        assert_eq!(gauge.get(), 1);
+        let histogram = registry.histogram("t_latency_us", "Latency.", &[], &[10, 100]);
+        histogram.observe(5);
+        histogram.observe(10); // inclusive upper bound
+        histogram.observe(50);
+        histogram.observe(1_000);
+        assert_eq!(histogram.count(), 4);
+        assert_eq!(histogram.sum(), 1_065);
+        assert_eq!(histogram.buckets(), vec![(Some(10), 2), (Some(100), 1), (None, 1)]);
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_handle() {
+        let _guard = switch_guard();
+        let registry = MetricsRegistry::new().leak();
+        let first = registry.counter("t_shared_total", "Shared.", &[("segment", "0")]);
+        let second = registry.counter("t_shared_total", "Shared.", &[("segment", "0")]);
+        first.incr();
+        second.incr();
+        assert!(std::ptr::eq(first, second));
+        assert_eq!(first.get(), 2);
+    }
+
+    #[test]
+    fn render_is_sorted_and_prometheus_shaped() {
+        let _guard = switch_guard();
+        let registry = MetricsRegistry::new().leak();
+        registry.counter("t_b_total", "B.", &[("kind", "y")]).add(2);
+        registry.counter("t_b_total", "B.", &[("kind", "x")]).add(1);
+        registry.gauge("t_a_gauge", "A.", &[]).set(7);
+        let histogram = registry.histogram("t_c_us", "C.", &[], &[10]);
+        histogram.observe(4);
+        histogram.observe(40);
+        let text = registry.render();
+        let expected = "# HELP t_a_gauge A.\n\
+                        # TYPE t_a_gauge gauge\n\
+                        t_a_gauge 7\n\
+                        # HELP t_b_total B.\n\
+                        # TYPE t_b_total counter\n\
+                        t_b_total{kind=\"x\"} 1\n\
+                        t_b_total{kind=\"y\"} 2\n\
+                        # HELP t_c_us C.\n\
+                        # TYPE t_c_us histogram\n\
+                        t_c_us_bucket{le=\"10\"} 1\n\
+                        t_c_us_bucket{le=\"+Inf\"} 2\n\
+                        t_c_us_sum 44\n\
+                        t_c_us_count 2\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn disabled_updates_are_dropped() {
+        let _guard = switch_guard();
+        let registry = MetricsRegistry::new().leak();
+        let counter = registry.counter("t_killswitch_total", "K.", &[]);
+        counter.incr();
+        set_enabled(false);
+        counter.incr();
+        set_enabled(true);
+        counter.incr();
+        assert_eq!(counter.get(), 2);
+    }
+}

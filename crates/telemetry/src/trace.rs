@@ -1,0 +1,286 @@
+//! Structured tracing: spans with parent links, per-request trace IDs, a
+//! bounded ring of recent spans, and a slow-span ring above a configurable
+//! threshold.
+//!
+//! The span tree is built from a thread-local stack: [`start_trace`] opens
+//! a root span (fresh trace ID, or one carried in over the wire),
+//! [`start_span`] opens a child of whatever span is innermost on the
+//! current thread, and dropping the [`Span`] guard records a [`SpanRecord`]
+//! with monotonic start/duration timings into the process-wide ring. The
+//! trace ID travels across the TCP boundary as the optional `trace` frame
+//! field (`docs/WIRE_PROTOCOL.md`), so a server-side span tree can be
+//! correlated with the client that caused it.
+//!
+//! Everything honours the [`crate::metrics::set_enabled`] kill switch: with
+//! telemetry off, guards are inert and nothing is recorded.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use crate::metrics::enabled;
+
+/// How many finished spans the recent-span ring retains.
+const RING_CAPACITY: usize = 1024;
+
+/// How many slow root spans the slow ring retains.
+const SLOW_RING_CAPACITY: usize = 256;
+
+/// One finished span, as recorded in the rings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The request-scoped trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's own ID (unique within the process).
+    pub span_id: u64,
+    /// The enclosing span on the same thread, `None` for a root span.
+    pub parent_id: Option<u64>,
+    /// Static span name, e.g. `request/compose-path`.
+    pub name: &'static str,
+    /// Microseconds from the tracer epoch (process start of tracing) to the
+    /// span opening — monotonic, not wall-clock.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+}
+
+struct Tracer {
+    epoch: Instant,
+    next_span: AtomicU64,
+    next_trace: AtomicU64,
+    slow_threshold_ms: AtomicU64,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    slow_ring: Mutex<VecDeque<SpanRecord>>,
+}
+
+fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer {
+        epoch: Instant::now(),
+        next_span: AtomicU64::new(1),
+        next_trace: AtomicU64::new(1),
+        slow_threshold_ms: AtomicU64::new(0),
+        ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
+        slow_ring: Mutex::new(VecDeque::with_capacity(SLOW_RING_CAPACITY)),
+    })
+}
+
+thread_local! {
+    /// Innermost-last stack of (trace ID, span ID) for the current thread.
+    static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// splitmix64 finaliser: spreads a sequential counter into an id that does
+/// not collide across processes once mixed with the pid.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Generate a fresh non-zero trace ID (process ID mixed with a counter, so
+/// IDs from a client and a server on one machine stay distinct).
+pub fn next_trace_id() -> u64 {
+    let t = tracer();
+    let counter = t.next_trace.fetch_add(1, Ordering::Relaxed);
+    let mixed = mix(counter.wrapping_shl(32) ^ u64::from(std::process::id()));
+    if mixed == 0 {
+        1
+    } else {
+        mixed
+    }
+}
+
+/// Set the slow-span threshold in milliseconds (0 disables the slow ring).
+pub fn set_slow_threshold_ms(ms: u64) {
+    tracer().slow_threshold_ms.store(ms, Ordering::Relaxed);
+}
+
+/// The current slow-span threshold in milliseconds (0 = disabled).
+pub fn slow_threshold_ms() -> u64 {
+    tracer().slow_threshold_ms.load(Ordering::Relaxed)
+}
+
+/// The most recent finished spans, oldest first (bounded ring).
+pub fn recent_spans() -> Vec<SpanRecord> {
+    let ring = tracer().ring.lock().unwrap_or_else(PoisonError::into_inner);
+    ring.iter().cloned().collect()
+}
+
+/// Recent root spans whose duration met the slow threshold, oldest first.
+pub fn recent_slow_spans() -> Vec<SpanRecord> {
+    let ring = tracer().slow_ring.lock().unwrap_or_else(PoisonError::into_inner);
+    ring.iter().cloned().collect()
+}
+
+/// An open span; dropping it records the [`SpanRecord`].
+///
+/// Guards must drop in reverse open order on a thread (the natural shape of
+/// RAII scopes); the thread-local stack is repaired defensively if they do
+/// not.
+#[derive(Debug)]
+pub struct Span {
+    trace_id: u64,
+    span_id: u64,
+    parent_id: Option<u64>,
+    name: &'static str,
+    started: Option<Instant>,
+}
+
+impl Span {
+    /// The trace this span belongs to.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// This span's ID.
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+}
+
+fn open(name: &'static str, trace_id: u64, parent_id: Option<u64>) -> Span {
+    let t = tracer();
+    let span_id = t.next_span.fetch_add(1, Ordering::Relaxed);
+    STACK.with(|stack| stack.borrow_mut().push((trace_id, span_id)));
+    Span { trace_id, span_id, parent_id, name, started: Some(Instant::now()) }
+}
+
+fn inert(name: &'static str, trace_id: u64) -> Span {
+    Span { trace_id, span_id: 0, parent_id: None, name, started: None }
+}
+
+/// Open a root span for a new request. `trace_id` is the ID carried in over
+/// the wire, or `None` to mint a fresh one. Inert while telemetry is
+/// disabled (the returned guard still reports a usable trace ID).
+pub fn start_trace(name: &'static str, trace_id: Option<u64>) -> Span {
+    let trace_id = trace_id.unwrap_or_else(next_trace_id);
+    if !enabled() {
+        return inert(name, trace_id);
+    }
+    open(name, trace_id, None)
+}
+
+/// Open a child span of the innermost span on this thread; with no
+/// enclosing span, it becomes the root of a fresh trace (so deep
+/// instrumentation never needs to know whether a request is above it).
+pub fn start_span(name: &'static str) -> Span {
+    if !enabled() {
+        return inert(name, 0);
+    }
+    let top = STACK.with(|stack| stack.borrow().last().copied());
+    match top {
+        Some((trace_id, parent_id)) => open(name, trace_id, Some(parent_id)),
+        None => open(name, next_trace_id(), None),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(started) = self.started else {
+            return; // inert guard
+        };
+        let t = tracer();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normal RAII order: our frame is on top. Repair out-of-order
+            // drops by removing our frame wherever it is.
+            if let Some(position) = stack.iter().rposition(|&(_, span_id)| span_id == self.span_id)
+            {
+                stack.remove(position);
+            }
+        });
+        let record = SpanRecord {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+            name: self.name,
+            start_us: started.duration_since(t.epoch).as_micros() as u64,
+            duration_us: started.elapsed().as_micros() as u64,
+        };
+        let threshold_ms = t.slow_threshold_ms.load(Ordering::Relaxed);
+        if self.parent_id.is_none()
+            && threshold_ms > 0
+            && record.duration_us >= threshold_ms.saturating_mul(1_000)
+        {
+            let mut slow = t.slow_ring.lock().unwrap_or_else(PoisonError::into_inner);
+            if slow.len() == SLOW_RING_CAPACITY {
+                slow.pop_front();
+            }
+            slow.push_back(record.clone());
+        }
+        let mut ring = t.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_with_parent_links() {
+        let root = start_trace("test/root", Some(0xfeed_0001));
+        let root_span = root.span_id();
+        {
+            let child = start_span("test/child");
+            assert_eq!(child.trace_id(), 0xfeed_0001);
+            let grandchild = start_span("test/grandchild");
+            assert_eq!(grandchild.trace_id(), 0xfeed_0001);
+            drop(grandchild);
+            drop(child);
+        }
+        drop(root);
+        let spans: Vec<SpanRecord> =
+            recent_spans().into_iter().filter(|s| s.trace_id == 0xfeed_0001).collect();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[2].name, "test/root");
+        assert_eq!(spans[2].parent_id, None);
+        assert_eq!(spans[1].name, "test/child");
+        assert_eq!(spans[1].parent_id, Some(root_span));
+        assert_eq!(spans[0].name, "test/grandchild");
+        assert_eq!(spans[0].parent_id, Some(spans[1].span_id));
+        assert!(spans[2].duration_us >= spans[1].duration_us);
+    }
+
+    #[test]
+    fn fresh_trace_ids_are_distinct_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn orphan_child_span_becomes_a_root() {
+        let span = start_span("test/orphan");
+        let trace_id = span.trace_id();
+        drop(span);
+        let spans: Vec<SpanRecord> =
+            recent_spans().into_iter().filter(|s| s.trace_id == trace_id).collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent_id, None);
+    }
+
+    #[test]
+    fn slow_ring_captures_only_slow_roots() {
+        set_slow_threshold_ms(1);
+        {
+            let _slow = start_trace("test/slow-root", Some(0xfeed_0002));
+            std::thread::sleep(std::time::Duration::from_millis(3));
+        }
+        {
+            let _fast = start_trace("test/fast-root", Some(0xfeed_0003));
+        }
+        set_slow_threshold_ms(0);
+        let slow = recent_slow_spans();
+        assert!(slow.iter().any(|s| s.trace_id == 0xfeed_0002));
+        assert!(!slow.iter().any(|s| s.trace_id == 0xfeed_0003));
+    }
+}

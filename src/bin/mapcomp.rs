@@ -52,6 +52,7 @@
 //! mapcomp serve  --catalog <file> [--addr 127.0.0.1:0] [--workers N]
 //!                [--cache-capacity N] [--path-cost hops|op-count]
 //!                [--require-complete] [--idle-timeout SECONDS]
+//!                [--slow-ms N] [--log-format text|json]
 //!                [--persist incremental|full] [compose flags]
 //! mapcomp client --addr <host:port> ping
 //! mapcomp client --addr <host:port> add <document-file>...
@@ -60,9 +61,17 @@
 //! mapcomp client --addr <host:port> compose-batch [--workers N] <from> <to> ...
 //! mapcomp client --addr <host:port> invalidate <mapping>
 //! mapcomp client --addr <host:port> stats
+//! mapcomp client --addr <host:port> metrics
 //! mapcomp client --addr <host:port> compact
 //! mapcomp client --addr <host:port> shutdown
 //! ```
+//!
+//! `metrics` prints the serving side's metrics registry as Prometheus-style
+//! text exposition on stdout; `serve --log-format json` emits one JSON
+//! object per connection event and request on stderr, and `--slow-ms N`
+//! logs any request slower than N milliseconds even when general logging
+//! is off. The metric catalog, log-line shape, and the wire-level `trace`
+//! field are specified in `docs/OBSERVABILITY.md`.
 //!
 //! `serve` prints `listening on <addr>` once the socket is bound (bind port
 //! 0 for an ephemeral port and read it off that line), then blocks until a
@@ -90,6 +99,7 @@ use mapping_composition::compose::{compose, minimize_mapping, ComposeConfig, Reg
 use mapping_composition::service::{
     Client, LocalService, MapcompService, PersistMode, PersistPolicy, Request, Response, Server,
 };
+use mapping_composition::telemetry::log::LogFormat;
 
 struct Options {
     file: String,
@@ -224,6 +234,12 @@ struct ServiceArgs {
     /// `--idle-timeout SECONDS` (0 = keep idle connections forever, the
     /// default).
     idle_timeout: Option<f64>,
+    /// `--slow-ms N`: log any request slower than N milliseconds (0 = off,
+    /// the default). Serve mode only.
+    slow_ms: Option<u64>,
+    /// `--log-format text|json`: structured connection/request logging on
+    /// stderr. Serve mode only; `None` = silent, the default.
+    log_format: Option<LogFormat>,
     /// Session-policy flags seen while parsing (compose flags,
     /// `--require-complete`, `--cache-capacity`, `--path-cost`). They only
     /// take effect on the serving side, so client mode rejects them instead
@@ -273,6 +289,8 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
         compact_appends: None,
         compact_bytes: None,
         idle_timeout: None,
+        slow_ms: None,
+        log_format: None,
         policy_flags: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -356,6 +374,17 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
                 );
                 parsed.policy_flags.push(arg.clone());
             }
+            "--slow-ms" => {
+                let value = iter.next().ok_or("--slow-ms requires milliseconds")?;
+                parsed.slow_ms =
+                    Some(value.parse().map_err(|_| format!("invalid slow threshold `{value}`"))?);
+                parsed.policy_flags.push(arg.clone());
+            }
+            "--log-format" => {
+                let value = iter.next().ok_or("--log-format requires `text` or `json`")?;
+                parsed.log_format = Some(value.parse()?);
+                parsed.policy_flags.push(arg.clone());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => parsed.positional.push(other.to_string()),
         }
@@ -368,8 +397,8 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
 // ---------------------------------------------------------------------------
 
 const COMMANDS: &str =
-    "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `stats`, `compact`, \
-     `ping`, or `shutdown`";
+    "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `stats`, `metrics`, \
+     `compact`, `ping`, or `shutdown`";
 
 /// Execute one service-mode subcommand against any backend and print the
 /// reply. This is the single dispatch path: `mapcomp catalog` hands in a
@@ -626,6 +655,15 @@ fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), S
             }
             Ok(())
         }
+        "metrics" => match service.call(Request::Metrics).map_err(|e| e.to_string())? {
+            // The exposition goes to stdout — it is the machine-readable
+            // output a scraper redirects, like compose-path's document.
+            Response::Metrics { text } => {
+                print!("{text}");
+                Ok(())
+            }
+            other => Err(format!("unexpected reply `{}`", other.kind())),
+        },
         "compact" => match service.call(Request::Compact).map_err(|e| e.to_string())? {
             Response::Compacted { bytes_before, bytes_after } => {
                 eprintln!("compacted   : sidecar {bytes_before} -> {bytes_after} bytes");
@@ -666,6 +704,11 @@ fn run_catalog(args: &ServiceArgs) -> Result<(), String> {
     if args.idle_timeout.is_some() {
         return Err("--idle-timeout applies to `mapcomp serve`, not catalog mode".to_string());
     }
+    // Likewise the serve-loop observability flags: catalog mode has no
+    // connection loop to log.
+    if args.slow_ms.is_some() || args.log_format.is_some() {
+        return Err("--slow-ms/--log-format apply to `mapcomp serve`, not catalog mode".to_string());
+    }
     // Only `add` may start from a missing catalog file.
     let allow_missing = args.command == "add";
     let service = LocalService::open_with_policy(
@@ -697,6 +740,13 @@ fn run_serve(args: &ServiceArgs) -> Result<(), String> {
     if let Some(seconds) = args.idle_timeout.filter(|&s| s > 0.0) {
         server.set_idle_timeout(Some(std::time::Duration::from_secs_f64(seconds)));
     }
+    if let Some(ms) = args.slow_ms.filter(|&ms| ms > 0) {
+        server.set_slow_threshold(Some(std::time::Duration::from_millis(ms)));
+        // Keep the in-process slow-span ring on the same threshold, so
+        // slow wire requests are retained by the tracer too.
+        mapping_composition::telemetry::trace::set_slow_threshold_ms(ms);
+    }
+    server.set_log_format(args.log_format);
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     // The one stdout line automation depends on: parse the ephemeral port
     // off it before connecting.
@@ -746,13 +796,15 @@ fn main() -> ExitCode {
              <from> <to> [<from> <to> ...]\n\
              \x20      mapcomp catalog invalidate    --catalog <file> <mapping>\n\
              \x20      mapcomp catalog stats         --catalog <file>\n\
+             \x20      mapcomp catalog metrics       --catalog <file>\n\
              \x20      mapcomp catalog compact       --catalog <file>\n\
              \n\
              \x20      mapcomp serve  --catalog <file> [--addr HOST:PORT] [--workers N]\n\
-             \x20                     [--idle-timeout SECONDS]\n\
+             \x20                     [--idle-timeout SECONDS] [--slow-ms N]\n\
+             \x20                     [--log-format text|json]\n\
              \x20      mapcomp client --addr HOST:PORT \
-             <ping|add|compose-path|compose-names|compose-batch|invalidate|stats|compact|\
-             shutdown> [args...]\n\
+             <ping|add|compose-path|compose-names|compose-batch|invalidate|stats|metrics|\
+             compact|shutdown> [args...]\n\
              \n\
              \x20      catalog/serve also accept --cache-capacity N (0 = unbounded),\n\
              \x20      --path-cost hops|op-count, the compose flags, and the durability\n\

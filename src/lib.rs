@@ -32,6 +32,12 @@
 //!   shared session with incremental append-only persistence, and a
 //!   threaded TCP server + blocking client — the `mapcomp serve` /
 //!   `mapcomp client` front ends.
+//! * [`telemetry`] — the offline observability substrate: a lock-free
+//!   metrics registry (counters, gauges, fixed-bucket histograms) rendered
+//!   as Prometheus-style text by [`service::Request::Metrics`], structured
+//!   tracing spans with wire-propagated trace IDs, and the structured-log
+//!   helpers behind `mapcomp serve --log-format`. Specified in
+//!   `docs/OBSERVABILITY.md`.
 //!
 //! The architecture documentation lives under `docs/`:
 //! `docs/ARCHITECTURE.md` (crate map, data flow, concurrency model),
@@ -137,6 +143,7 @@ pub use mapcomp_compose as compose;
 pub use mapcomp_corpus as corpus;
 pub use mapcomp_evolution as evolution;
 pub use mapcomp_service as service;
+pub use mapcomp_telemetry as telemetry;
 
 /// Convenience re-exports covering the common workflow: parse a task,
 /// configure the registry, compose, inspect the result.

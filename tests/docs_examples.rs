@@ -11,6 +11,10 @@
 //!   `<!-- roundtrip:request -->` / `<!-- roundtrip:reply -->` must decode
 //!   with the real codec and re-encode byte-identically, and the stable
 //!   error-code table must list exactly `ErrorCode::ALL`.
+//! * `docs/OBSERVABILITY.md` — the metric-catalog table is checked against
+//!   a driven registry, the exposition sample and log-line examples are
+//!   re-rendered byte-identically, and the traced request frame round-trips
+//!   through the trace-aware codec.
 
 use mapping_composition::algebra::parse_document;
 use mapping_composition::catalog::{
@@ -18,7 +22,8 @@ use mapping_composition::catalog::{
     save_cache, DeltaRecord,
 };
 use mapping_composition::service::{
-    decode_reply, decode_request, encode_reply, encode_request, ErrorCode,
+    decode_reply, decode_request, decode_request_traced, encode_reply, encode_request,
+    encode_request_traced, ErrorCode,
 };
 
 fn read_doc(name: &str) -> String {
@@ -164,6 +169,7 @@ fn wire_doc_request_frames_decode_and_reencode() {
         "compose-batch",
         "invalidate",
         "stats",
+        "metrics",
         "compact",
         "shutdown",
     ] {
@@ -205,4 +211,139 @@ fn wire_doc_error_code_table_matches_the_api() {
     let actual: std::collections::BTreeSet<String> =
         ErrorCode::ALL.iter().map(|code| code.as_str().to_string()).collect();
     assert_eq!(documented, actual, "the documented error-code table must match ErrorCode::ALL");
+}
+
+#[test]
+fn observability_doc_traced_frame_round_trips() {
+    let doc = read_doc("OBSERVABILITY.md");
+    let frames = marked_blocks(&doc, "roundtrip:request-traced");
+    assert!(!frames.is_empty(), "OBSERVABILITY.md must document a traced request frame");
+    for frame in &frames {
+        let (request, trace) = decode_request_traced(frame).unwrap_or_else(|error| {
+            panic!("documented traced frame must decode: {error}\n{frame}")
+        });
+        let trace = trace.expect("documented traced frame must carry a trace ID");
+        assert_eq!(
+            &encode_request_traced(&request, Some(trace)),
+            frame,
+            "documented traced frame must be canonical"
+        );
+        // The trace-unaware decoder accepts and discards the field.
+        assert_eq!(decode_request(frame).unwrap(), request);
+    }
+}
+
+#[test]
+fn observability_doc_exposition_sample_renders_identically() {
+    use mapping_composition::telemetry::metrics::MetricsRegistry;
+
+    let doc = read_doc("OBSERVABILITY.md");
+    let blocks = marked_blocks(&doc, "exposition:sample");
+    assert_eq!(blocks.len(), 1, "OBSERVABILITY.md must keep its exposition sample");
+
+    // Rebuild the documented sample on a fresh registry.
+    let registry = MetricsRegistry::new().leak();
+    registry
+        .counter("mapcomp_demo_requests_total", "Requests served, per kind.", &[("kind", "ping")])
+        .add(3);
+    registry
+        .counter("mapcomp_demo_requests_total", "Requests served, per kind.", &[("kind", "stats")])
+        .incr();
+    registry.gauge("mapcomp_demo_connections_active", "Open connections.", &[]).set(2);
+    let latency = registry.histogram(
+        "mapcomp_demo_latency_us",
+        "Request latency in microseconds.",
+        &[],
+        &[100, 1000],
+    );
+    latency.observe(40);
+    latency.observe(250);
+    latency.observe(9000);
+
+    assert_eq!(
+        registry.render(),
+        blocks[0],
+        "documented exposition sample must match the renderer"
+    );
+}
+
+#[test]
+fn observability_doc_log_line_examples_render_identically() {
+    use mapping_composition::telemetry::log::{json_line, LogFormat, LogValue};
+
+    let doc = read_doc("OBSERVABILITY.md");
+    let fields = [
+        ("peer", LogValue::Str("127.0.0.1:52114")),
+        ("kind", LogValue::Str("compose-path")),
+        ("ms", LogValue::F64(1.5)),
+        ("ok", LogValue::Bool(true)),
+        ("trace", LogValue::Str("4be1a4cd0d7f3a2b")),
+    ];
+    for (marker, format) in [("logline:json", LogFormat::Json), ("logline:text", LogFormat::Text)] {
+        let blocks = marked_blocks(&doc, marker);
+        assert_eq!(blocks.len(), 1, "OBSERVABILITY.md must keep its `{marker}` example");
+        assert_eq!(
+            blocks[0].trim_end(),
+            json_line(format, "request", &fields),
+            "documented `{marker}` line must match the renderer"
+        );
+    }
+}
+
+#[test]
+fn observability_doc_metric_catalog_matches_the_registry() {
+    use mapping_composition::algebra::{parse_constraints, Instance, Signature, Value};
+    use mapping_composition::catalog::{Catalog, SidecarWriter};
+    use mapping_composition::compose::{exchange, ExchangeConfig, Registry};
+    use mapping_composition::service::{LocalService, Server};
+    use mapping_composition::telemetry::metrics::global;
+
+    let doc = read_doc("OBSERVABILITY.md");
+    let start = doc.find("<!-- metric-catalog -->").expect("metric-catalog marker");
+    let mut documented = std::collections::BTreeSet::new();
+    for line in doc[start..].lines().skip(1) {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            if !documented.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let Some(cell) = line.trim_start_matches('|').split('|').next() else { continue };
+        let cell = cell.trim();
+        if let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            documented.insert(name.to_string());
+        }
+    }
+    assert!(documented.len() >= 20, "the catalog must list every built-in metric");
+
+    // Construct one of each instrumented component so every family in the
+    // catalog registers on the global registry (registration is eager at
+    // component construction; the chase registers on first run).
+    let _service = LocalService::new(Catalog::new(), 2);
+    let _server = Server::bind("127.0.0.1:0").expect("loopback bind");
+    let _sidecar = SidecarWriter::new(std::env::temp_dir().join("mapcomp-docs-metrics.sidecar"));
+    let constraints = parse_constraints("R <= T").unwrap().into_vec();
+    let full = Signature::from_arities(vec![("R".to_string(), 1), ("T".to_string(), 1)]);
+    let target = Signature::from_arities(vec![("T".to_string(), 1)]);
+    let mut source = Instance::new();
+    source.insert("R", vec![Value::Int(1)]);
+    let result = exchange(
+        &constraints,
+        &full,
+        &target,
+        &source,
+        &Registry::standard(),
+        &ExchangeConfig::default(),
+    );
+    assert!(result.converged);
+
+    let rendered = global().render();
+    for name in &documented {
+        assert!(
+            rendered.contains(&format!("# TYPE {name} ")),
+            "documented metric `{name}` is not registered; rendered families:\n{}",
+            rendered.lines().filter(|l| l.starts_with("# TYPE")).collect::<Vec<_>>().join("\n")
+        );
+    }
 }

@@ -10,8 +10,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mapping_composition::service::{
-    decode_reply, decode_request, encode_reply, encode_request, escape, unescape, ChainPayload,
-    ErrorCode, MappingInfo, Request, Response, ServiceError, StatsPayload,
+    decode_reply, decode_request, decode_request_traced, encode_reply, encode_request,
+    encode_request_traced, escape, unescape, ChainPayload, ErrorCode, MappingInfo, Request,
+    Response, ServiceError, StatsPayload,
 };
 
 const CASES: usize = 64;
@@ -31,7 +32,7 @@ fn gen_strings(rng: &mut StdRng, max: usize) -> Vec<String> {
 }
 
 fn gen_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..9u32) {
+    match rng.gen_range(0..10u32) {
         0 => Request::Ping,
         1 => Request::AddDocument { text: gen_string(rng) },
         2 => Request::ComposePath { from: gen_string(rng), to: gen_string(rng) },
@@ -44,7 +45,8 @@ fn gen_request(rng: &mut StdRng) -> Request {
         },
         5 => Request::Invalidate { mapping: gen_string(rng) },
         6 => Request::Stats,
-        7 => Request::Compact,
+        7 => Request::Metrics,
+        8 => Request::Compact,
         _ => Request::Shutdown,
     }
 }
@@ -105,7 +107,7 @@ fn gen_stats(rng: &mut StdRng) -> StatsPayload {
 }
 
 fn gen_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..8u32) {
+    match rng.gen_range(0..9u32) {
         0 => Response::Pong,
         1 => Response::Added {
             touched: gen_strings(rng, 4),
@@ -121,6 +123,7 @@ fn gen_response(rng: &mut StdRng) -> Response {
         4 => Response::Invalidated { dropped: rng.gen_range(0..99usize) },
         5 => Response::Stats(gen_stats(rng)),
         6 => Response::Compacted { bytes_before: gen_hash(rng), bytes_after: gen_hash(rng) },
+        7 => Response::Metrics { text: gen_string(rng) },
         _ => Response::ShuttingDown,
     }
 }
@@ -168,6 +171,7 @@ fn every_request_kind_is_exercised_and_round_trips() {
         },
         Request::Invalidate { mapping: "m\t2".into() },
         Request::Stats,
+        Request::Metrics,
         Request::Compact,
         Request::Shutdown,
     ];
@@ -249,5 +253,55 @@ fn truncating_any_valid_frame_breaks_it_loudly() {
         let frame = encode_request(&gen_request(&mut rng));
         let without_end = frame.strip_suffix("end\n").unwrap();
         assert!(decode_request(without_end).is_err(), "frame:\n{frame}");
+    }
+}
+
+#[test]
+fn trace_ids_round_trip_over_the_wire() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC04);
+    for case in 0..CASES {
+        let request = gen_request(&mut rng);
+        let id: u64 = rng.gen_range(1..u64::MAX);
+        let frame = encode_request_traced(&request, Some(id));
+        assert!(
+            frame.contains(&format!("\ntrace {id:016x}\n")),
+            "case {case}: trace field missing from\n{frame}"
+        );
+        let (decoded, trace) = decode_request_traced(&frame)
+            .unwrap_or_else(|error| panic!("case {case}: {error}\nframe:\n{frame}"));
+        assert_eq!(decoded, request, "case {case}");
+        assert_eq!(trace, Some(id), "case {case}");
+
+        // Servers that predate tracing parse the same frame untouched: the
+        // plain decoder accepts and discards the trace field.
+        assert_eq!(decode_request(&frame).unwrap(), request, "case {case}");
+    }
+}
+
+#[test]
+fn untraced_frames_are_byte_identical_to_the_legacy_encoding() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC05);
+    for _ in 0..CASES {
+        let request = gen_request(&mut rng);
+        assert_eq!(encode_request_traced(&request, None), encode_request(&request));
+        let (decoded, trace) = decode_request_traced(&encode_request(&request)).unwrap();
+        assert_eq!(decoded, request);
+        assert_eq!(trace, None);
+    }
+}
+
+#[test]
+fn malformed_trace_fields_are_rejected() {
+    let bad_frames = [
+        // duplicate trace field
+        "mapcomp-service 1 request ping\ntrace 00000000deadbeef\ntrace 00000000deadbeef\nend\n",
+        // not hex
+        "mapcomp-service 1 request ping\ntrace zz\nend\n",
+        // missing value
+        "mapcomp-service 1 request ping\ntrace\nend\n",
+    ];
+    for frame in bad_frames {
+        let error = decode_request_traced(frame).expect_err(&format!("must reject: {frame:?}"));
+        assert_eq!(error.code, ErrorCode::Protocol, "frame {frame:?} gave `{error}`");
     }
 }
