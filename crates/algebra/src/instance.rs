@@ -161,7 +161,7 @@ impl Instance {
     /// The active domain: the set of values appearing anywhere in the
     /// instance (paper §2).
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.relations.values().flat_map(|rel| rel.values()).collect()
+        self.relations.values().flat_map(Relation::values).collect()
     }
 
     /// Restrict the instance to the symbols of a signature (used when

@@ -15,7 +15,7 @@ fn bench_corpus(c: &mut Criterion) {
     for problem in problems() {
         let task = problem.task().expect("corpus problem parses");
         group.bench_with_input(BenchmarkId::from_parameter(problem.id), &task, |b, task| {
-            b.iter(|| compose(task, &registry, &config).expect("composes"))
+            b.iter(|| compose(task, &registry, &config).expect("composes"));
         });
     }
     group.finish();

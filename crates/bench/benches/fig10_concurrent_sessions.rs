@@ -29,7 +29,7 @@ fn bench_concurrent_sessions(c: &mut Criterion) {
                     let results = session.compose_batch_parallel(requests);
                     assert!(results.iter().all(Result::is_ok), "batch request failed");
                     results.len()
-                })
+                });
             },
         );
     }

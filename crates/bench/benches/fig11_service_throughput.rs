@@ -28,7 +28,7 @@ fn bench_service_throughput(c: &mut Criterion) {
                         service_batch_over_loopback(&catalog, requests, workers);
                     assert!(outcomes.iter().all(|(_, ok)| *ok), "service request failed");
                     outcomes.len()
-                })
+                });
             },
         );
     }

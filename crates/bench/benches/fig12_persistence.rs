@@ -54,7 +54,7 @@ fn bench_persistence(c: &mut Criterion) {
             bencher.iter(|| match service.call(request.clone()) {
                 Ok(Response::Composed(payload)) => payload.cache_hits,
                 other => panic!("unexpected reply: {other:?}"),
-            })
+            });
         });
         let _ = std::fs::remove_file(&file);
         let _ = std::fs::remove_file(&sidecar);

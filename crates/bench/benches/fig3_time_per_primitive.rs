@@ -55,7 +55,7 @@ fn bench_primitive_composition(c: &mut Criterion) {
         }
 
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, _| {
-            b.iter(|| compose_constraints(&sig, &symbols, constraints.clone(), &registry, &config))
+            b.iter(|| compose_constraints(&sig, &symbols, constraints.clone(), &registry, &config));
         });
     }
     group.finish();

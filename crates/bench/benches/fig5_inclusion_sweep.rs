@@ -21,7 +21,7 @@ fn bench_inclusion_proportions(c: &mut Criterion) {
             seed: 31,
         };
         group.bench_with_input(BenchmarkId::from_parameter(percent), &scenario, |b, scenario| {
-            b.iter(|| run_editing(scenario))
+            b.iter(|| run_editing(scenario));
         });
     }
     group.finish();

@@ -18,7 +18,7 @@ fn bench_schema_sizes(c: &mut Criterion) {
             seed: 61,
         };
         group.bench_with_input(BenchmarkId::from_parameter(size), &config, |b, config| {
-            b.iter(|| run_reconciliation(config))
+            b.iter(|| run_reconciliation(config));
         });
     }
     group.finish();

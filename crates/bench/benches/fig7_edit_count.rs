@@ -18,7 +18,7 @@ fn bench_edit_counts(c: &mut Criterion) {
             seed: 71,
         };
         group.bench_with_input(BenchmarkId::from_parameter(edits), &config, |b, config| {
-            b.iter(|| run_reconciliation(config))
+            b.iter(|| run_reconciliation(config));
         });
     }
     group.finish();

@@ -29,7 +29,7 @@ fn bench_chain_cache(c: &mut Criterion) {
             b.iter(|| {
                 let mut cold = Session::new(catalog.clone());
                 cold.compose_names(path).expect("composes")
-            })
+            });
         });
 
         // Two content-variants of the middle link to alternate between.
@@ -44,7 +44,7 @@ fn bench_chain_cache(c: &mut Criterion) {
                 let next = if flip { variant.clone() } else { base.clone() };
                 session.update_mapping(&middle, next).expect("edit applies");
                 session.compose_names(path).expect("composes")
-            })
+            });
         });
     }
     group.finish();

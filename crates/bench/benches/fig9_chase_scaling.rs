@@ -30,7 +30,7 @@ fn bench_chase_scaling(c: &mut Criterion) {
                         exchange(&constraints, &full, &target, &source, &registry, &config);
                     assert!(result.converged && result.skipped.is_empty());
                     result
-                })
+                });
             });
         }
     }

@@ -252,7 +252,7 @@ fn figures_2_3_4(scale: Scale) -> BenchDoc {
     let mut times: Vec<f64> = aggregates
         .iter()
         .find(|(c, _)| **c == Configuration::NoKeys)
-        .map(|(_, a)| a.run_times.iter().map(|d| d.as_secs_f64()).collect())
+        .map(|(_, a)| a.run_times.iter().map(std::time::Duration::as_secs_f64).collect())
         .unwrap_or_default();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     for (index, time) in times.iter().enumerate() {
@@ -278,8 +278,7 @@ fn figure_5(scale: Scale) -> BenchDoc {
                 point
                     .per_primitive
                     .get(&kind)
-                    .map(|f| format!("{f:.2}"))
-                    .unwrap_or_else(|| "-".to_string()),
+                    .map_or_else(|| "-".to_string(), |f| format!("{f:.2}")),
             );
         }
         row.push(format!("{:.3}", point.mean_time_seconds));
@@ -305,7 +304,7 @@ fn figure_6(scale: Scale) -> BenchDoc {
     let series = schema_size_sweep(scale, 6000);
     let labels: Vec<&str> = series.keys().copied().collect();
     let mut header = vec!["size".to_string()];
-    header.extend(labels.iter().map(|l| l.to_string()));
+    header.extend(labels.iter().map(std::string::ToString::to_string));
     let widths = vec![6, 10, 20, 18];
     println!("{}", format_row(&header, &widths));
     if let Some(first) = series.values().next() {
@@ -456,7 +455,7 @@ fn figure_10(scale: Scale) -> BenchDoc {
     println!("\n[Figure 10] concurrent sessions: batch-composition throughput vs. worker count");
     let mut doc = BenchDoc::new("fig10", scale);
     let points = concurrent_sessions_experiment(scale);
-    let baseline = points.first().map(|point| point.throughput());
+    let baseline = points.first().map(mapcomp_bench::ConcurrentSessionsPoint::throughput);
     let widths = vec![8, 9, 10, 11, 9, 7];
     println!(
         "{}",
@@ -475,8 +474,7 @@ fn figure_10(scale: Scale) -> BenchDoc {
     for point in points {
         assert_eq!(point.failures, 0, "fig10 batch requests must all succeed");
         let speedup = baseline
-            .map(|base| format!("{:.1}x", point.throughput() / base))
-            .unwrap_or_else(|| "-".to_string());
+            .map_or_else(|| "-".to_string(), |base| format!("{:.1}x", point.throughput() / base));
         println!(
             "{}",
             format_row(
@@ -509,7 +507,7 @@ fn figure_11(scale: Scale) -> BenchDoc {
     );
     let mut doc = BenchDoc::new("fig11", scale);
     let points = service_throughput_experiment(scale);
-    let baseline = points.first().map(|point| point.throughput());
+    let baseline = points.first().map(mapcomp_bench::ServiceThroughputPoint::throughput);
     let widths = vec![8, 9, 10, 11, 9, 7];
     println!(
         "{}",
@@ -528,8 +526,7 @@ fn figure_11(scale: Scale) -> BenchDoc {
     for point in &points {
         assert_eq!(point.failures, 0, "fig11 service requests must all succeed");
         let speedup = baseline
-            .map(|base| format!("{:.1}x", point.throughput() / base))
-            .unwrap_or_else(|| "-".to_string());
+            .map_or_else(|| "-".to_string(), |base| format!("{:.1}x", point.throughput() / base));
         println!(
             "{}",
             format_row(
@@ -560,11 +557,13 @@ fn figure_11(scale: Scale) -> BenchDoc {
     // within noise (~5%) of the uninstrumented baseline. Run in this
     // binary, not the bench lib, so lib tests never race on the global
     // switch.
-    let enabled_total: f64 = points.iter().map(|p| p.throughput()).sum();
+    let enabled_total: f64 =
+        points.iter().map(mapcomp_bench::ServiceThroughputPoint::throughput).sum();
     mapcomp_telemetry::metrics::set_enabled(false);
     let disabled_points = service_throughput_experiment(scale);
     mapcomp_telemetry::metrics::set_enabled(true);
-    let disabled_total: f64 = disabled_points.iter().map(|p| p.throughput()).sum();
+    let disabled_total: f64 =
+        disabled_points.iter().map(mapcomp_bench::ServiceThroughputPoint::throughput).sum();
     let overhead_pct = if disabled_total > 0.0 {
         (disabled_total - enabled_total) / disabled_total * 100.0
     } else {

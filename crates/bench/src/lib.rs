@@ -1034,8 +1034,7 @@ fn persistence_mode_run(
         Ok(Response::Added { .. }) => {}
         other => panic!("seeding the fig12 catalog failed: {other:?}"),
     }
-    let file_bytes =
-        |path: &std::path::Path| std::fs::metadata(path).map(|meta| meta.len()).unwrap_or(0);
+    let file_bytes = |path: &std::path::Path| std::fs::metadata(path).map_or(0, |meta| meta.len());
     let mut bytes_written = 0u64;
     let started = std::time::Instant::now();
     for request in 0..PERSISTENCE_REQUESTS {
@@ -1198,8 +1197,7 @@ mod tests {
     #[test]
     #[ignore = "wall-clock scaling assertion; run alone on an idle >=4-core machine"]
     fn concurrent_sessions_scale_beyond_2x_on_4_workers() {
-        let cores =
-            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         if cores < 4 {
             eprintln!("skipping: only {cores} core(s) available");
             return;

@@ -691,7 +691,7 @@ mod tests {
             mapping: Mapping::default(),
             residual: Signature::new(),
             hash,
-            deps: deps.iter().map(|d| d.to_string()).collect(),
+            deps: deps.iter().map(std::string::ToString::to_string).collect(),
         }
     }
 

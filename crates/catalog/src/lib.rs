@@ -116,6 +116,6 @@ pub use persist::{
     DeltaRecord, SidecarState, SidecarWriter, VersionManifest,
 };
 pub use replay::{replay_editing, CatalogReplay, ReplayRecord};
-pub use session::{Session, SessionConfig, SessionStats};
+pub use session::{analysis_counts, render_analysis_text, Session, SessionConfig, SessionStats};
 pub use shared::{SharedCatalog, SharedSession};
 pub use store::{Catalog, MappingEntry, SchemaEntry};

@@ -837,7 +837,7 @@ impl SidecarWriter {
     /// Current size of the sidecar file in bytes (0 when missing) — the
     /// input to byte-threshold compaction decisions.
     pub fn file_len(&self) -> u64 {
-        std::fs::metadata(&self.path).map(|meta| meta.len()).unwrap_or(0)
+        std::fs::metadata(&self.path).map_or(0, |meta| meta.len())
     }
 }
 

@@ -85,6 +85,44 @@ impl CatalogReplay {
             config,
         ))
     }
+
+    /// [`CatalogReplay::migrate`] with the chase configuration chosen by
+    /// static analysis: the final composed chain (residuals included, exactly
+    /// as `migrate` chases them) is analyzed for weak acyclicity, and a
+    /// proven verdict swaps the hardcoded evaluation budget for the derived
+    /// polynomial bound — the chase-consults-analysis path end to end. The
+    /// analysis report is returned alongside the exchange result so callers
+    /// can inspect the verdict that drove the run.
+    pub fn migrate_analyzed(
+        &self,
+        source: &Instance,
+    ) -> Option<(ExchangeResult, mapcomp_analysis::AnalysisReport)> {
+        let chain = &self.final_result.as_ref()?.chain;
+        let full =
+            chain.mapping.input.union(&chain.mapping.output).ok()?.union(&chain.residual).ok()?;
+        let mut target_sig = chain.mapping.output.clone();
+        for (name, info) in chain.residual.iter() {
+            target_sig.add(name.to_string(), info.clone());
+        }
+        let report = mapcomp_analysis::analyze_exchange(
+            chain.mapping.constraints.as_slice(),
+            &full,
+            &target_sig,
+        );
+        let config = self
+            .session
+            .config()
+            .chase_config(Some((&report, mapcomp_analysis::domain_size(source))));
+        let result = exchange(
+            chain.mapping.constraints.as_slice(),
+            &full,
+            &target_sig,
+            source,
+            self.session.registry(),
+            &config,
+        );
+        Some((result, report))
+    }
 }
 
 /// Replay a schema-editing scenario (same configuration type as
@@ -261,6 +299,32 @@ mod tests {
         assert_eq!(semi.converged, naive.converged);
         assert_eq!(semi.skipped.len(), naive.skipped.len());
         assert!(semi.converged);
+    }
+
+    #[test]
+    fn analyzed_migration_records_its_verdict_and_agrees_with_plain() {
+        use mapcomp_algebra::Value;
+        use mapcomp_compose::TerminationVerdict;
+
+        let config = small_config();
+        let replay = replay_editing(&config).unwrap();
+        let mut source = Instance::new();
+        for (name, info) in original_schema(&config).iter() {
+            for row in 0..2i64 {
+                let tuple: Vec<Value> =
+                    (0..info.arity).map(|c| Value::Int(row * 10 + c as i64)).collect();
+                source.insert(name, tuple);
+            }
+        }
+        let (analyzed, report) = replay.migrate_analyzed(&source).expect("replay applied edits");
+        assert_ne!(analyzed.verdict, TerminationVerdict::Unanalyzed, "verdict must be recorded");
+        if report.proven() {
+            assert!(matches!(analyzed.verdict, TerminationVerdict::Proven { .. }));
+            assert!(analyzed.converged, "a proven chase must converge within its derived budget");
+        }
+        let plain =
+            replay.migrate(&source, &ExchangeConfig::default()).expect("replay applied edits");
+        assert_eq!(analyzed.target, plain.target, "analysis must not change the chased target");
     }
 
     #[test]

@@ -8,13 +8,18 @@
 //! chain. The session also keeps the instrumented pairwise-composition
 //! counter used to assert the incremental-vs-cold claim.
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
 use mapcomp_algebra::{ConstraintSet, Document, Signature};
-use mapcomp_compose::{ComposeConfig, Registry};
+use mapcomp_analysis::{AnalysisReport, Termination};
+use mapcomp_compose::{ComposeConfig, ExchangeConfig, Registry};
 
 use crate::cache::{CacheStats, MemoCache, ShardedMemoCache};
 use crate::chain::{compose_chain, compose_chain_with, ChainOptions, ChainResult};
 use crate::error::CatalogError;
 use crate::graph::{resolve_path_with, PathCost};
+use crate::hash::ContentHash;
 use crate::store::Catalog;
 
 /// Configuration of a session.
@@ -33,6 +38,68 @@ pub struct SessionConfig {
     /// How `compose_path` scores candidate paths: fewest hops (default) or
     /// cheapest estimated operator-count growth (see [`PathCost`]).
     pub path_cost: PathCost,
+    /// Operator override for the chase's per-evaluation tuple budget
+    /// (`--eval-budget` on the CLI). `None` lets the static analyzer pick a
+    /// proven bound when it can, falling back to the engine default; `Some`
+    /// always wins, including over analysis-derived budgets. Not part of the
+    /// memo key — the budget shapes data exchange, not composition.
+    pub eval_budget: Option<usize>,
+}
+
+impl SessionConfig {
+    /// Build the chase configuration this session would run data exchange
+    /// under, optionally consulting an analysis report for a source domain
+    /// of the given size. Precedence: engine default, then analysis-derived
+    /// proven budget, then the operator's [`SessionConfig::eval_budget`]
+    /// override.
+    pub fn chase_config(&self, analysis: Option<(&AnalysisReport, usize)>) -> ExchangeConfig {
+        let base = ExchangeConfig::default();
+        let mut config = match analysis {
+            Some((report, domain)) => report.exchange_config(domain, &base),
+            None => base,
+        };
+        if let Some(budget) = self.eval_budget {
+            config.eval_budget = budget;
+        }
+        config
+    }
+}
+
+/// Render a name-sorted set of per-mapping analysis reports as the
+/// byte-stable catalog-wide text: one `mapping <name>: <verdict summary>`
+/// line each, with the report's diagnostics and chase skips indented two
+/// spaces underneath. Shared by [`Session`], [`crate::shared::SharedSession`]
+/// and the service layer so every surface emits identical bytes.
+pub fn render_analysis_text(reports: &[(String, Arc<AnalysisReport>)]) -> String {
+    let mut sorted: Vec<&(String, Arc<AnalysisReport>)> = reports.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::new();
+    for (name, report) in sorted {
+        out.push_str(&format!("mapping {name}: {}\n", report.termination.summary()));
+        for diagnostic in &report.diagnostics {
+            out.push_str(&format!("  {diagnostic}\n"));
+        }
+        for (constraint, reason) in &report.skipped {
+            out.push_str(&format!("  skip: {constraint}: {reason}\n"));
+        }
+    }
+    out
+}
+
+/// Tally of analysis verdicts across a set of reports: `(proven, unknown,
+/// diagnostics)` — the counts carried by the wire `analysis` reply.
+pub fn analysis_counts(reports: &[(String, Arc<AnalysisReport>)]) -> (usize, usize, usize) {
+    let mut proven = 0;
+    let mut unknown = 0;
+    let mut diagnostics = 0;
+    for (_, report) in reports {
+        match report.termination {
+            Termination::Proven { .. } => proven += 1,
+            Termination::Unknown { .. } => unknown += 1,
+        }
+        diagnostics += report.diagnostics.len();
+    }
+    (proven, unknown, diagnostics)
 }
 
 /// Cumulative session statistics.
@@ -56,6 +123,11 @@ pub struct Session {
     registry: Registry,
     config: SessionConfig,
     cache: MemoCache,
+    /// Per-mapping static-analysis verdicts, keyed by name and guarded by
+    /// the mapping's content hash at analysis time: a hash mismatch on read
+    /// means the cached report is stale and is recomputed. Entries are also
+    /// dropped eagerly at every memo-cache invalidation site.
+    analysis: BTreeMap<String, (ContentHash, Arc<AnalysisReport>)>,
     compose_calls: usize,
     paths_resolved: usize,
     chains_composed: usize,
@@ -76,6 +148,7 @@ impl Session {
             registry,
             config,
             cache,
+            analysis: BTreeMap::new(),
             compose_calls: 0,
             paths_resolved: 0,
             chains_composed: 0,
@@ -92,12 +165,18 @@ impl Session {
         &self.registry
     }
 
+    /// The session's configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
     /// Register or update a schema; invalidates cached compositions that
     /// depend on any mapping whose signature changed with it.
     pub fn add_schema(&mut self, name: impl Into<String>, signature: Signature) -> u64 {
         let (version, touched) = self.catalog.add_schema(name, signature);
         for mapping in touched {
             self.cache.invalidate(&mapping);
+            self.analysis.remove(&mapping);
         }
         version
     }
@@ -117,6 +196,7 @@ impl Session {
         let after = self.catalog.mapping(&name)?.hash;
         if before.is_some() && before != Some(after) {
             self.cache.invalidate(&name);
+            self.analysis.remove(&name);
         }
         Ok(version)
     }
@@ -132,6 +212,7 @@ impl Session {
         let before = self.catalog.mapping(name)?.hash;
         let version = self.catalog.update_mapping(name, constraints)?;
         let dropped = if self.catalog.mapping(name)?.hash != before {
+            self.analysis.remove(name);
             self.cache.invalidate(name)
         } else {
             0
@@ -144,6 +225,7 @@ impl Session {
         self.catalog
             .remove_mapping(name)
             .ok_or_else(|| CatalogError::UnknownMapping(name.to_string()))?;
+        self.analysis.remove(name);
         Ok(self.cache.invalidate(name))
     }
 
@@ -154,6 +236,7 @@ impl Session {
         let touched = self.catalog.from_document(document)?;
         for name in &touched {
             self.cache.invalidate(name);
+            self.analysis.remove(name);
         }
         Ok(touched)
     }
@@ -161,7 +244,78 @@ impl Session {
     /// Explicitly drop cached compositions depending on a mapping; returns
     /// how many entries were dropped.
     pub fn invalidate(&mut self, mapping: &str) -> usize {
+        self.analysis.remove(mapping);
         self.cache.invalidate(mapping)
+    }
+
+    /// Statically analyze one mapping: weak-acyclicity termination verdict
+    /// plus lint diagnostics. Reports are cached per mapping, keyed by the
+    /// mapping's content hash at analysis time — content addressing makes
+    /// staleness impossible (a changed mapping has a changed hash and misses
+    /// the cache), and the provenance invalidation sites drop entries
+    /// eagerly besides.
+    pub fn analyze_mapping(
+        &mut self,
+        name: &str,
+    ) -> Result<(ContentHash, Arc<AnalysisReport>), CatalogError> {
+        let hash = self.catalog.mapping(name)?.hash;
+        if let Some((cached_hash, report)) = self.analysis.get(name) {
+            if *cached_hash == hash {
+                return Ok((hash, Arc::clone(report)));
+            }
+        }
+        let mapping = self.catalog.materialize(name)?;
+        let report = Arc::new(mapcomp_analysis::analyze_mapping(&mapping));
+        self.analysis.insert(name.to_string(), (hash, Arc::clone(&report)));
+        Ok((hash, report))
+    }
+
+    /// Analyze every mapping in the catalog, in name order.
+    pub fn analyze_all(&mut self) -> Vec<(String, Arc<AnalysisReport>)> {
+        let names: Vec<String> = self.catalog.mappings().map(|entry| entry.name.clone()).collect();
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let report = self.analyze_mapping(&name).ok()?.1;
+                Some((name, report))
+            })
+            .collect()
+    }
+
+    /// Byte-stable catalog-wide analysis text: one `mapping <name>: <verdict>`
+    /// line per mapping (name-sorted), with diagnostics and chase skips
+    /// indented underneath. This is the payload of the wire `analyze` frame
+    /// and the `lint` CLI subcommand.
+    pub fn analysis_text(&mut self, only: Option<&str>) -> Result<String, CatalogError> {
+        let reports = match only {
+            Some(name) => vec![(name.to_string(), self.analyze_mapping(name)?.1)],
+            None => self.analyze_all(),
+        };
+        Ok(render_analysis_text(&reports))
+    }
+
+    /// Run data exchange for a mapping under an analysis-guided chase
+    /// configuration (see [`SessionConfig::chase_config`]): proven mappings
+    /// chase under their derived budget, unknown ones under runtime limits,
+    /// and the result records the verdict it executed under.
+    pub fn exchange_analyzed(
+        &mut self,
+        name: &str,
+        source: &mapcomp_algebra::Instance,
+    ) -> Result<mapcomp_compose::ExchangeResult, CatalogError> {
+        let report = self.analyze_mapping(name)?.1;
+        let mapping = self.catalog.materialize(name)?;
+        let full = mapping.combined_signature().map_err(CatalogError::Algebra)?;
+        let config =
+            self.config.chase_config(Some((&report, mapcomp_analysis::domain_size(source))));
+        Ok(mapcomp_compose::exchange(
+            mapping.constraints.as_slice(),
+            &full,
+            &mapping.output,
+            source,
+            &self.registry,
+            &config,
+        ))
     }
 
     /// Resolve a path under the configured [`PathCost`] and compose it

@@ -35,17 +35,18 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use mapcomp_algebra::{ConstraintSet, Document, Mapping, Signature};
+use mapcomp_analysis::AnalysisReport;
 use mapcomp_compose::Registry;
 
 use crate::cache::ShardedMemoCache;
 use crate::chain::{compose_chain_with, ChainResult, ComposedChain, LinkSource};
 use crate::error::CatalogError;
 use crate::graph::{edge_cost, resolve_path_costed_in, resolve_path_in, PathCost};
-use crate::hash::{hash_mapping, hash_signature, hash_str};
-use crate::session::{SessionConfig, SessionStats};
+use crate::hash::{hash_mapping, hash_signature, hash_str, ContentHash};
+use crate::session::{render_analysis_text, SessionConfig, SessionStats};
 use crate::store::{Catalog, MappingEntry, SchemaEntry};
 
 /// One stripe of the shared store.
@@ -363,6 +364,10 @@ pub struct SharedSession {
     registry: Registry,
     config: SessionConfig,
     cache: ShardedMemoCache,
+    /// Mutex-guarded mirror of [`crate::session::Session`]'s per-mapping
+    /// analysis cache: name → (content hash at analysis time, report).
+    /// Hash-checked on read, cleared at every invalidation site.
+    analysis: Mutex<BTreeMap<String, (ContentHash, Arc<AnalysisReport>)>>,
     workers: usize,
     compose_calls: AtomicUsize,
     paths_resolved: AtomicUsize,
@@ -393,6 +398,7 @@ impl SharedSession {
             registry,
             config,
             cache,
+            analysis: Mutex::new(BTreeMap::new()),
             workers,
             compose_calls: AtomicUsize::new(0),
             paths_resolved: AtomicUsize::new(0),
@@ -434,6 +440,7 @@ impl SharedSession {
         let (version, touched) = self.catalog.add_schema(name, signature);
         for mapping in touched {
             self.cache.invalidate(&mapping);
+            self.drop_analysis(&mapping);
         }
         version
     }
@@ -453,6 +460,7 @@ impl SharedSession {
         let after = self.catalog.mapping(&name)?.hash;
         if before.is_some() && before != Some(after) {
             self.cache.invalidate(&name);
+            self.drop_analysis(&name);
         }
         Ok(version)
     }
@@ -467,6 +475,7 @@ impl SharedSession {
         let before = self.catalog.mapping(name)?.hash;
         let version = self.catalog.update_mapping(name, constraints)?;
         let dropped = if self.catalog.mapping(name)?.hash != before {
+            self.drop_analysis(name);
             self.cache.invalidate(name)
         } else {
             0
@@ -479,6 +488,7 @@ impl SharedSession {
         self.catalog
             .remove_mapping(name)
             .ok_or_else(|| CatalogError::UnknownMapping(name.to_string()))?;
+        self.drop_analysis(name);
         Ok(self.cache.invalidate(name))
     }
 
@@ -507,6 +517,7 @@ impl SharedSession {
             let after = self.catalog.mapping(name)?.hash;
             if before != Some(after) || version == 1 {
                 self.cache.invalidate(name);
+                self.drop_analysis(name);
                 touched.push(name.clone());
             }
         }
@@ -518,7 +529,63 @@ impl SharedSession {
     /// Explicitly drop cached compositions depending on a mapping; returns
     /// how many entries were dropped.
     pub fn invalidate(&self, mapping: &str) -> usize {
+        self.drop_analysis(mapping);
         self.cache.invalidate(mapping)
+    }
+
+    fn drop_analysis(&self, mapping: &str) {
+        self.analysis.lock().unwrap_or_else(PoisonError::into_inner).remove(mapping);
+    }
+
+    /// Statically analyze one mapping, mirroring
+    /// [`crate::session::Session::analyze_mapping`]: the cached report is
+    /// returned only while the mapping's content hash still matches.
+    pub fn analyze_mapping(
+        &self,
+        name: &str,
+    ) -> Result<(ContentHash, Arc<AnalysisReport>), CatalogError> {
+        let hash = self.catalog.mapping(name)?.hash;
+        {
+            let cache = self.analysis.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some((cached_hash, report)) = cache.get(name) {
+                if *cached_hash == hash {
+                    return Ok((hash, Arc::clone(report)));
+                }
+            }
+        }
+        // `link` retries torn reads, so the materialised mapping is
+        // hash-consistent even against concurrent schema edits.
+        let chain = self.catalog.link(name)?;
+        let report = Arc::new(mapcomp_analysis::analyze_mapping(&chain.mapping));
+        self.analysis
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(name.to_string(), (hash, Arc::clone(&report)));
+        Ok((hash, report))
+    }
+
+    /// Analyze every mapping in the catalog, in name order (over a graph
+    /// snapshot; mappings racing removal are skipped).
+    pub fn analyze_all(&self) -> Vec<(String, Arc<AnalysisReport>)> {
+        let (_, edges) = self.catalog.graph_snapshot();
+        edges
+            .into_iter()
+            .filter_map(|(name, _, _)| {
+                let report = self.analyze_mapping(&name).ok()?.1;
+                Some((name, report))
+            })
+            .collect()
+    }
+
+    /// Byte-stable catalog-wide analysis text, identical to
+    /// [`crate::session::Session::analysis_text`] for the same catalog
+    /// content.
+    pub fn analysis_text(&self, only: Option<&str>) -> Result<String, CatalogError> {
+        let reports = match only {
+            Some(name) => vec![(name.to_string(), self.analyze_mapping(name)?.1)],
+            None => self.analyze_all(),
+        };
+        Ok(render_analysis_text(&reports))
     }
 
     /// Resolve a path under the configured [`PathCost`] and compose it.

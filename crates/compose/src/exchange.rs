@@ -63,6 +63,30 @@ pub enum ChaseStrategy {
     SemiNaive,
 }
 
+/// A static chase-termination verdict attached to a run by the caller.
+///
+/// The chase itself does no analysis — `mapcomp-analysis` (which depends on
+/// this crate) proves weak acyclicity and derives budgets; catalog-level
+/// callers record the verdict here so [`ExchangeResult`] can report which
+/// guarantee the run executed under. Plain data by design: compose must not
+/// depend on the analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TerminationVerdict {
+    /// No static analysis was consulted; the run relies on runtime limits.
+    #[default]
+    Unanalyzed,
+    /// Weak acyclicity was proven and `eval_budget` was derived from the
+    /// polynomial bound (the same value stored in
+    /// [`ExchangeConfig::eval_budget`]).
+    Proven {
+        /// The analysis-derived per-evaluation budget.
+        eval_budget: usize,
+    },
+    /// Analysis ran but could not prove termination; runtime limits guard
+    /// the run.
+    Unknown,
+}
+
 /// Configuration of the chase.
 #[derive(Debug, Clone)]
 pub struct ExchangeConfig {
@@ -85,6 +109,10 @@ pub struct ExchangeConfig {
     /// historical left-to-right order — and with it the exact budget-charging
     /// sequence — for strict-parity comparisons.
     pub join_order: JoinOrder,
+    /// The static termination verdict this run executes under, set by the
+    /// caller (typically from `mapcomp-analysis`); copied verbatim into
+    /// [`ExchangeResult::verdict`]. Purely informational to the engine.
+    pub verdict: TerminationVerdict,
 }
 
 impl Default for ExchangeConfig {
@@ -95,6 +123,7 @@ impl Default for ExchangeConfig {
             eval_budget: 1_000_000,
             strategy: ChaseStrategy::default(),
             join_order: JoinOrder::default(),
+            verdict: TerminationVerdict::default(),
         }
     }
 }
@@ -126,6 +155,9 @@ pub struct ExchangeResult {
     pub skipped: Vec<(Constraint, String)>,
     /// Did the chase reach a fixpoint (as opposed to hitting a limit)?
     pub converged: bool,
+    /// The static termination verdict the run executed under, copied from
+    /// [`ExchangeConfig::verdict`].
+    pub verdict: TerminationVerdict,
 }
 
 /// A constraint prepared for chasing: an evaluable premise and a conjunctive
@@ -293,6 +325,7 @@ fn exchange_naive(
                         rounds,
                         skipped,
                         converged: false,
+                        verdict: config.verdict,
                     };
                 }
                 for (rel, row) in fire(rule, tuple, target_sig, &mut nulls_created) {
@@ -309,7 +342,7 @@ fn exchange_naive(
         }
     }
 
-    ExchangeResult { target, nulls_created, rounds, skipped, converged }
+    ExchangeResult { target, nulls_created, rounds, skipped, converged, verdict: config.verdict }
 }
 
 /// The semi-naive chase: per-round indexed frontier snapshot, per-rule delta
@@ -510,7 +543,14 @@ fn exchange_semi_naive(
                 }
             }
             if exhausted {
-                return ExchangeResult { target, nulls_created, rounds, skipped, converged: false };
+                return ExchangeResult {
+                    target,
+                    nulls_created,
+                    rounds,
+                    skipped,
+                    converged: false,
+                    verdict: config.verdict,
+                };
             }
         }
         frontier_metric.observe((log.len() - round_start) as u64);
@@ -520,7 +560,7 @@ fn exchange_semi_naive(
         }
     }
 
-    ExchangeResult { target, nulls_created, rounds, skipped, converged }
+    ExchangeResult { target, nulls_created, rounds, skipped, converged, verdict: config.verdict }
 }
 
 /// The chase-progress metrics for one strategy: rounds executed and the

@@ -108,7 +108,7 @@ pub fn left_normalize(
         _ => {
             let mut iter = bounds.into_iter();
             let first = iter.next().expect("non-empty");
-            iter.fold(first, |acc, next| acc.intersect(next))
+            iter.fold(first, mapcomp_algebra::Expr::intersect)
         }
     };
     Ok((definition, others))

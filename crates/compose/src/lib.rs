@@ -53,7 +53,7 @@ pub use compose::{
     SymbolReport,
 };
 pub use eliminate::eliminate;
-pub use exchange::{exchange, ChaseStrategy, ExchangeConfig, ExchangeResult};
+pub use exchange::{exchange, ChaseStrategy, ExchangeConfig, ExchangeResult, TerminationVerdict};
 pub use minimize::{minimize_expr, minimize_mapping, remove_implied};
 pub use monotone::{is_monotone, monotonicity};
 pub use outcome::{EliminateFailure, EliminateStep, EliminateSuccess, FailureReason};

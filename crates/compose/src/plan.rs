@@ -89,12 +89,12 @@ impl TupleIndex {
     /// Number of rows held for `rel` (the cardinality the greedy join order
     /// ranks atoms by).
     pub fn row_count(&self, rel: &str) -> usize {
-        self.rows.get(rel).map(Vec::len).unwrap_or(0)
+        self.rows.get(rel).map_or(0, Vec::len)
     }
 
     /// All rows of one relation.
     fn scan(&self, rel: &str) -> &[Tuple] {
-        self.rows.get(rel).map(Vec::as_slice).unwrap_or(&[])
+        self.rows.get(rel).map_or(&[], Vec::as_slice)
     }
 
     /// Borrow the hash index of `rel` keyed on `cols`, building it on first
@@ -439,7 +439,7 @@ mod tests {
     }
 
     fn index_of(inst: &Instance, rels: &[&str]) -> TupleIndex {
-        let names: Vec<String> = rels.iter().map(|r| r.to_string()).collect();
+        let names: Vec<String> = rels.iter().map(std::string::ToString::to_string).collect();
         TupleIndex::from_layers(&[inst], names.iter())
     }
 

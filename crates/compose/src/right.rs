@@ -133,7 +133,7 @@ pub fn right_normalize(
         _ => {
             let mut iter = bounds.into_iter();
             let first = iter.next().expect("non-empty");
-            iter.fold(first, |acc, next| acc.union(next))
+            iter.fold(first, mapcomp_algebra::Expr::union)
         }
     };
     Ok((lower_bound, others))

@@ -259,12 +259,10 @@ pub fn run_editing_from(
 
         constraints = result.constraints.into_vec();
         let consumed_intermediate =
-            outcome.consumed.as_ref().map(|consumed| !original.contains(consumed)).unwrap_or(false);
-        let eliminated_now = outcome
-            .consumed
-            .as_ref()
-            .map(|consumed| result.eliminated.contains(consumed) || original.contains(consumed))
-            .unwrap_or(true);
+            outcome.consumed.as_ref().is_some_and(|consumed| !original.contains(consumed));
+        let eliminated_now = outcome.consumed.as_ref().is_none_or(|consumed| {
+            result.eliminated.contains(consumed) || original.contains(consumed)
+        });
         let leftover_eliminated =
             result.eliminated.iter().filter(|name| pending.contains(name)).count();
         pending = result.remaining;

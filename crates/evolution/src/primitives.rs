@@ -294,7 +294,7 @@ pub fn apply_primitive<R: Rng>(
             let (name, info) = input.expect("DropAttribute requires an input relation");
             // Never drop a key column so the key survives in the output,
             // except when every column is part of the key.
-            let first_droppable = info.key.as_ref().map(|k| k.len()).unwrap_or(0);
+            let first_droppable = info.key.as_ref().map_or(0, std::vec::Vec::len);
             let dropped = if first_droppable >= info.arity {
                 info.arity - 1
             } else {
@@ -434,7 +434,7 @@ fn split_relation<R: Rng>(
     let arity = info.arity;
     // Leading shared columns: the declared key, or a single leading column
     // for the normalization variants on key-less relations.
-    let shared = info.key.as_ref().map(|k| k.len()).unwrap_or(1).min(arity.saturating_sub(2));
+    let shared = info.key.as_ref().map_or(1, std::vec::Vec::len).min(arity.saturating_sub(2));
     let shared = shared.max(1);
     // Split the remaining columns into two non-empty contiguous groups.
     let split_point = rng.gen_range(shared + 1..arity);

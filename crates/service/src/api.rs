@@ -56,6 +56,12 @@ pub enum Request {
         /// The mapping name.
         mapping: String,
     },
+    /// Statically analyze mappings: weak-acyclicity termination verdicts
+    /// plus lint diagnostics (see `docs/ANALYSIS.md`).
+    Analyze {
+        /// A single mapping name, or `None` for the whole catalog.
+        mapping: Option<String>,
+    },
     /// Catalog and session statistics.
     Stats,
     /// The serving side's metrics registry, rendered as Prometheus-style
@@ -79,6 +85,7 @@ impl Request {
         "compose-names",
         "compose-batch",
         "invalidate",
+        "analyze",
         "stats",
         "metrics",
         "compact",
@@ -94,6 +101,7 @@ impl Request {
             Request::ComposeNames { .. } => "compose-names",
             Request::ComposeBatch { .. } => "compose-batch",
             Request::Invalidate { .. } => "invalidate",
+            Request::Analyze { .. } => "analyze",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
             Request::Compact => "compact",
@@ -167,6 +175,24 @@ impl ChainPayload {
     }
 }
 
+/// Static-analysis results, as reported by [`Response::Analysis`]: verdict
+/// tallies plus the byte-stable catalog-wide text rendered server-side by
+/// [`mapcomp_catalog::render_analysis_text`] — the same bytes whichever
+/// transport carried them, mirroring the metrics exposition pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnalysisPayload {
+    /// Mappings whose chase termination is proven (weakly acyclic).
+    pub proven: usize,
+    /// Mappings whose termination is unknown.
+    pub unknown: usize,
+    /// Total lint diagnostics across the analyzed mappings.
+    pub diagnostics: usize,
+    /// The rendered analysis report text (one `mapping <name>: <verdict>`
+    /// line per mapping, diagnostics indented; grammar in
+    /// `docs/ANALYSIS.md`).
+    pub text: String,
+}
+
 /// One mapping's registration info, as reported by [`Response::Stats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MappingInfo {
@@ -225,6 +251,8 @@ pub enum Response {
         /// Cached compositions dropped.
         dropped: usize,
     },
+    /// Reply to [`Request::Analyze`].
+    Analysis(AnalysisPayload),
     /// Reply to [`Request::Stats`].
     Stats(StatsPayload),
     /// Reply to [`Request::Metrics`].
@@ -254,6 +282,7 @@ impl Response {
             Response::Composed(_) => "composed",
             Response::Batch(_) => "batch",
             Response::Invalidated { .. } => "invalidated",
+            Response::Analysis(_) => "analysis",
             Response::Stats(_) => "stats",
             Response::Metrics { .. } => "metrics",
             Response::Compacted { .. } => "compacted",

@@ -64,7 +64,8 @@ pub mod service;
 pub mod wire;
 
 pub use api::{
-    ChainPayload, ErrorCode, MappingInfo, Request, Response, ServiceError, StatsPayload,
+    AnalysisPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response, ServiceError,
+    StatsPayload,
 };
 pub use client::Client;
 pub use server::Server;

@@ -252,7 +252,7 @@ impl Server {
     ) -> std::io::Result<()> {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(self.idle_timeout);
-        let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "?".into());
+        let peer = stream.peer_addr().map_or_else(|_| "?".into(), |a| a.to_string());
         self.telemetry.connections_active.add(1);
         self.log(false, "connection-open", &[("peer", LogValue::Str(&peer))]);
         let outcome = self.serve_frames(stream, pool, service, &peer);

@@ -47,7 +47,9 @@ use mapcomp_catalog::{
 use mapcomp_compose::Registry;
 use mapcomp_telemetry::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BOUNDS_US};
 
-use crate::api::{ChainPayload, MappingInfo, Request, Response, ServiceError, StatsPayload};
+use crate::api::{
+    AnalysisPayload, ChainPayload, MappingInfo, Request, Response, ServiceError, StatsPayload,
+};
 
 /// The most worker threads a single `ComposeBatch` request may fan across,
 /// regardless of what the peer asked for (a backend configured with more at
@@ -706,6 +708,23 @@ impl LocalService {
                 self.persist_change(&extra)?;
                 Ok(Response::Invalidated { dropped })
             }
+            Request::Analyze { mapping } => {
+                // Read-only: verdicts are cached inside the session (keyed
+                // by content hash), so nothing here touches durable state.
+                let reports = match mapping {
+                    Some(name) => {
+                        vec![(name.clone(), self.session.analyze_mapping(&name)?.1)]
+                    }
+                    None => self.session.analyze_all(),
+                };
+                let (proven, unknown, diagnostics) = mapcomp_catalog::analysis_counts(&reports);
+                Ok(Response::Analysis(AnalysisPayload {
+                    proven,
+                    unknown,
+                    diagnostics,
+                    text: mapcomp_catalog::render_analysis_text(&reports),
+                }))
+            }
             Request::Stats => Ok(Response::Stats(self.stats_payload())),
             Request::Metrics => Ok(Response::Metrics { text: self.telemetry.registry.render() }),
             Request::Compact => {
@@ -789,6 +808,29 @@ mod tests {
             panic!("expected an invalidated reply");
         };
         assert!(dropped > 0);
+
+        let Response::Analysis(analysis) =
+            service.call(Request::Analyze { mapping: None }).unwrap()
+        else {
+            panic!("expected an analysis reply");
+        };
+        assert_eq!(analysis.proven, 3);
+        assert_eq!(analysis.unknown, 0);
+        for name in ["m0", "m1", "m2"] {
+            assert!(
+                analysis.text.contains(&format!("mapping {name}: proven")),
+                "{}",
+                analysis.text
+            );
+        }
+        // A single-mapping analyze matches the catalog-wide line for it.
+        let Response::Analysis(one) =
+            service.call(Request::Analyze { mapping: Some("m0".into()) }).unwrap()
+        else {
+            panic!("expected an analysis reply");
+        };
+        assert_eq!(one.proven, 1);
+        assert!(analysis.text.contains(one.text.trim_end_matches('\n')));
 
         let Response::Stats(stats) = service.call(Request::Stats).unwrap() else {
             panic!("expected a stats reply");

@@ -33,7 +33,8 @@
 use std::io::BufRead;
 
 use crate::api::{
-    ChainPayload, ErrorCode, MappingInfo, Request, Response, ServiceError, StatsPayload,
+    AnalysisPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response, ServiceError,
+    StatsPayload,
 };
 use mapcomp_catalog::{CacheStats, SessionStats};
 
@@ -230,6 +231,11 @@ pub fn encode_request_traced(request: &Request, trace: Option<u64>) -> String {
         Request::Invalidate { mapping } => {
             out.push_str(&format!("mapping {}\n", escape(mapping)));
         }
+        Request::Analyze { mapping } => {
+            if let Some(mapping) = mapping {
+                out.push_str(&format!("mapping {}\n", escape(mapping)));
+            }
+        }
     }
     out.push_str(FRAME_END);
     out.push('\n');
@@ -320,7 +326,7 @@ fn decode_request_fields(kind: &str, lines: Vec<&str>) -> Result<Request, Servic
             for line in lines {
                 match split_field(line) {
                     ("workers", value) if workers.is_none() => {
-                        workers = Some(parse_usize(value, "workers")?)
+                        workers = Some(parse_usize(value, "workers")?);
                     }
                     ("pair", value) => {
                         let tokens = unescape_tokens(value)?;
@@ -348,6 +354,16 @@ fn decode_request_fields(kind: &str, lines: Vec<&str>) -> Result<Request, Servic
                 }
             }
             Ok(Request::Invalidate { mapping: mapping.ok_or_else(|| missing("mapping"))? })
+        }
+        "analyze" => {
+            let mut mapping = None;
+            for line in lines {
+                match split_field(line) {
+                    ("mapping", value) if mapping.is_none() => mapping = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Request::Analyze { mapping })
         }
         other => Err(ServiceError::protocol(format!("unknown request kind `{other}`"))),
     }
@@ -414,7 +430,7 @@ impl ChainFields {
                         .split_whitespace()
                         .map(|token| parse_usize(token, "plan"))
                         .collect::<Result<_, _>>()?,
-                )
+                );
             }
             "document" if self.document.is_none() => self.document = Some(unescape(value)?),
             _ => return Ok(false),
@@ -491,6 +507,12 @@ pub fn encode_reply(reply: &Result<Response, ServiceError>) -> String {
                 Response::Metrics { text } => {
                     out.push_str(&format!("text {}\n", escape(text)));
                 }
+                Response::Analysis(payload) => {
+                    out.push_str(&format!("proven {}\n", payload.proven));
+                    out.push_str(&format!("unknown {}\n", payload.unknown));
+                    out.push_str(&format!("diagnostics {}\n", payload.diagnostics));
+                    out.push_str(&format!("text {}\n", escape(&payload.text)));
+                }
                 Response::Compacted { bytes_before, bytes_after } => {
                     out.push_str(&format!("before {bytes_before}\n"));
                     out.push_str(&format!("after {bytes_after}\n"));
@@ -550,7 +572,7 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
                     ("code", value) if code.is_none() => {
                         code = Some(ErrorCode::parse(value).ok_or_else(|| {
                             ServiceError::protocol(format!("unknown error code `{value}`"))
-                        })?)
+                        })?);
                     }
                     ("message", value) if message.is_none() => message = Some(unescape(value)?),
                     _ => return Err(unknown_field(kind, line)),
@@ -574,10 +596,10 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
                 match split_field(line) {
                     ("touched", value) => touched.push(unescape(value)?),
                     ("schemas", value) if schemas.is_none() => {
-                        schemas = Some(parse_usize(value, "schemas")?)
+                        schemas = Some(parse_usize(value, "schemas")?);
                     }
                     ("mappings", value) if mappings.is_none() => {
-                        mappings = Some(parse_usize(value, "mappings")?)
+                        mappings = Some(parse_usize(value, "mappings")?);
                     }
                     _ => return Err(unknown_field(kind, line)),
                 }
@@ -603,7 +625,7 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
             for line in lines {
                 match split_field(line) {
                     ("count", value) if count.is_none() => {
-                        count = Some(parse_usize(value, "count")?)
+                        count = Some(parse_usize(value, "count")?);
                     }
                     ("item", value) => {
                         let nested = unescape(value)?;
@@ -635,7 +657,7 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
             for line in lines {
                 match split_field(line) {
                     ("dropped", value) if dropped.is_none() => {
-                        dropped = Some(parse_usize(value, "dropped")?)
+                        dropped = Some(parse_usize(value, "dropped")?);
                     }
                     _ => return Err(unknown_field(kind, line)),
                 }
@@ -652,15 +674,39 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
             }
             Ok(Ok(Response::Metrics { text: text.ok_or_else(|| missing("text"))? }))
         }
+        "analysis" => {
+            let (mut proven, mut unknown, mut diagnostics, mut text) = (None, None, None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("proven", value) if proven.is_none() => {
+                        proven = Some(parse_usize(value, "proven")?);
+                    }
+                    ("unknown", value) if unknown.is_none() => {
+                        unknown = Some(parse_usize(value, "unknown")?);
+                    }
+                    ("diagnostics", value) if diagnostics.is_none() => {
+                        diagnostics = Some(parse_usize(value, "diagnostics")?);
+                    }
+                    ("text", value) if text.is_none() => text = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Analysis(AnalysisPayload {
+                proven: proven.ok_or_else(|| missing("proven"))?,
+                unknown: unknown.ok_or_else(|| missing("unknown"))?,
+                diagnostics: diagnostics.ok_or_else(|| missing("diagnostics"))?,
+                text: text.ok_or_else(|| missing("text"))?,
+            })))
+        }
         "compacted" => {
             let (mut before, mut after) = (None, None);
             for line in lines {
                 match split_field(line) {
                     ("before", value) if before.is_none() => {
-                        before = Some(parse_u64_dec(value, "before")?)
+                        before = Some(parse_u64_dec(value, "before")?);
                     }
                     ("after", value) if after.is_none() => {
-                        after = Some(parse_u64_dec(value, "after")?)
+                        after = Some(parse_u64_dec(value, "after")?);
                     }
                     _ => return Err(unknown_field(kind, line)),
                 }
@@ -677,17 +723,17 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
             for line in lines {
                 match split_field(line) {
                     ("schemas", value) if schemas.is_none() => {
-                        schemas = Some(parse_usize(value, "schemas")?)
+                        schemas = Some(parse_usize(value, "schemas")?);
                     }
                     ("mappings", value) if mappings.is_none() => {
-                        mappings = Some(parse_usize(value, "mappings")?)
+                        mappings = Some(parse_usize(value, "mappings")?);
                     }
                     ("capacity", value) if capacity.is_none() => {
                         capacity = Some(if value == "unbounded" {
                             None
                         } else {
                             Some(parse_usize(value, "capacity")?)
-                        })
+                        });
                     }
                     ("entry", value) => {
                         let tokens: Vec<&str> = value.split_whitespace().collect();
@@ -822,6 +868,23 @@ mod tests {
     fn metrics_reply_round_trips_multiline_exposition() {
         let text = "# HELP a A.\n# TYPE a counter\na{kind=\"x\"} 3\n".to_string();
         let reply = Ok(Response::Metrics { text });
+        let frame = encode_reply(&reply);
+        assert_eq!(decode_reply(&frame).unwrap(), reply);
+    }
+
+    #[test]
+    fn analyze_round_trips_with_and_without_a_mapping() {
+        for mapping in [None, Some("m12".to_string())] {
+            let request = Request::Analyze { mapping };
+            let frame = encode_request(&request);
+            assert_eq!(decode_request(&frame).unwrap(), request);
+        }
+        let reply = Ok(Response::Analysis(crate::api::AnalysisPayload {
+            proven: 2,
+            unknown: 1,
+            diagnostics: 3,
+            text: "mapping m: proven rank=0 positions=2 rules=1\n".into(),
+        }));
         let frame = encode_reply(&reply);
         assert_eq!(decode_reply(&frame).unwrap(), reply);
     }

@@ -277,7 +277,7 @@ mod tests {
             .warm_up_time(Duration::from_millis(5))
             .measurement_time(Duration::from_millis(20));
         group.bench_with_input(BenchmarkId::from_parameter("in"), &3u64, |b, &n| {
-            b.iter(|| black_box(n * 2))
+            b.iter(|| black_box(n * 2));
         });
         group.finish();
     }

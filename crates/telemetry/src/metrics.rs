@@ -312,11 +312,8 @@ impl MetricsRegistry {
         let mut last_family: Option<&str> = None;
         for (key, handle) in &inner.metrics {
             if last_family != Some(key.name.as_str()) {
-                let (help, metric_type) = inner
-                    .families
-                    .get(&key.name)
-                    .map(|(h, t)| (h.as_str(), *t))
-                    .unwrap_or(("", ""));
+                let (help, metric_type) =
+                    inner.families.get(&key.name).map_or(("", ""), |(h, t)| (h.as_str(), *t));
                 let _ = writeln!(out, "# HELP {} {}", key.name, help);
                 let _ = writeln!(out, "# TYPE {} {}", key.name, metric_type);
                 last_family = Some(key.name.as_str());
@@ -339,7 +336,7 @@ impl MetricsRegistry {
                     let mut cumulative = 0u64;
                     for (bound, count) in histogram.buckets() {
                         cumulative += count;
-                        let le = bound.map(|b| b.to_string()).unwrap_or_else(|| "+Inf".to_string());
+                        let le = bound.map_or_else(|| "+Inf".to_string(), |b| b.to_string());
                         let mut labels = key.labels.clone();
                         labels.push(("le".to_string(), le));
                         let _ = writeln!(

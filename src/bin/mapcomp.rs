@@ -30,9 +30,20 @@
 //! mapcomp catalog compose-batch --catalog <file> [--workers N]
 //!                               <from> <to> [<from> <to> ...]
 //! mapcomp catalog invalidate    --catalog <file> <mapping-name>
+//! mapcomp catalog lint          --catalog <file> [<mapping-name>]
 //! mapcomp catalog stats         --catalog <file>
 //! mapcomp catalog compact       --catalog <file>
 //! ```
+//!
+//! `lint` runs the static analyzer over every mapping (or just the named
+//! one): a chase-termination verdict per mapping — `proven` with a concrete
+//! polynomial evaluation budget, or `unknown` with the existential cycle
+//! that blocks the proof — plus style diagnostics with stable codes
+//! (unbound head variables, cartesian-product joins, duplicate rules, …).
+//! Output is deterministic byte-for-byte; the report grammar is specified
+//! in `docs/ANALYSIS.md`. Proven budgets are applied automatically when the
+//! serving side chases (`--eval-budget N` overrides them by hand; 0 is
+//! rejected).
 //!
 //! Catalog commands also accept `--cache-capacity N` (bound the memo cache;
 //! 0 = unbounded), `--path-cost hops|op-count` (fewest-hops vs.
@@ -60,6 +71,7 @@
 //! mapcomp client --addr <host:port> compose-names <mapping>...
 //! mapcomp client --addr <host:port> compose-batch [--workers N] <from> <to> ...
 //! mapcomp client --addr <host:port> invalidate <mapping>
+//! mapcomp client --addr <host:port> lint [<mapping>]
 //! mapcomp client --addr <host:port> stats
 //! mapcomp client --addr <host:port> metrics
 //! mapcomp client --addr <host:port> compact
@@ -190,7 +202,10 @@ fn run(options: &Options) -> Result<(), String> {
             result.stats.input_constraints,
             constraints.len(),
             result.stats.input_op_count,
-            constraints.iter().map(|c| c.op_count()).sum::<usize>()
+            constraints
+                .iter()
+                .map(mapping_composition::prelude::Constraint::op_count)
+                .sum::<usize>()
         );
         eprintln!("time       : {:?}", result.stats.total_time);
         if result.stats.blowup_aborts > 0 {
@@ -221,6 +236,9 @@ struct ServiceArgs {
     stats: bool,
     cache_capacity: Option<usize>,
     path_cost: PathCost,
+    /// `--eval-budget N`: operator override for the chase evaluation budget.
+    /// Always wins over analysis-derived bounds; 0 is rejected at parse time.
+    eval_budget: Option<usize>,
     /// `--workers N`; `None` when the flag was not given — the serving side
     /// then uses its own default (1 locally, the `serve`-time count
     /// remotely).
@@ -254,6 +272,7 @@ impl ServiceArgs {
             chain: ChainOptions { require_complete: self.require_complete },
             cache_capacity: self.cache_capacity,
             path_cost: self.path_cost,
+            eval_budget: self.eval_budget,
         }
     }
 
@@ -284,6 +303,7 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
         stats: false,
         cache_capacity: None,
         path_cost: PathCost::Hops,
+        eval_budget: None,
         workers: None,
         persist_mode: None,
         compact_appends: None,
@@ -327,6 +347,21 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
                     "op-count" => PathCost::OpCount,
                     other => return Err(format!("invalid path cost `{other}`")),
                 };
+                parsed.policy_flags.push(arg.clone());
+            }
+            "--eval-budget" => {
+                let value = iter.next().ok_or("--eval-budget requires a step count")?;
+                let budget: usize =
+                    value.parse().map_err(|_| format!("invalid eval budget `{value}`"))?;
+                if budget == 0 {
+                    return Err(
+                        "--eval-budget must be positive: a zero budget would reject every \
+                         chase before its first step (omit the flag to use the analyzer's \
+                         proven bound or the engine default)"
+                            .to_string(),
+                    );
+                }
+                parsed.eval_budget = Some(budget);
                 parsed.policy_flags.push(arg.clone());
             }
             "--workers" => {
@@ -397,8 +432,8 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
 // ---------------------------------------------------------------------------
 
 const COMMANDS: &str =
-    "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `stats`, `metrics`, \
-     `compact`, `ping`, or `shutdown`";
+    "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `lint`, `stats`, \
+     `metrics`, `compact`, `ping`, or `shutdown`";
 
 /// Execute one service-mode subcommand against any backend and print the
 /// reply. This is the single dispatch path: `mapcomp catalog` hands in a
@@ -553,7 +588,7 @@ fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), S
                 "batch       : {} requests, {} failed, {} workers, {:.1} ms",
                 requests.len(),
                 failures,
-                args.workers.map(|w| w.to_string()).unwrap_or_else(|| "default".to_string()),
+                args.workers.map_or_else(|| "default".to_string(), |w| w.to_string()),
                 elapsed.as_secs_f64() * 1000.0
             );
             if args.stats {
@@ -588,6 +623,27 @@ fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), S
                 other => Err(format!("unexpected reply `{}`", other.kind())),
             }
         }
+        "lint" => {
+            let mapping = match args.positional.as_slice() {
+                [] => None,
+                [name] => Some(name.clone()),
+                _ => return Err("lint takes at most one mapping name".to_string()),
+            };
+            match service.call(Request::Analyze { mapping }).map_err(|e| e.to_string())? {
+                // The report goes to stdout byte-for-byte as the server
+                // rendered it — it is the machine-checkable artifact — with
+                // the one-line tally on stderr.
+                Response::Analysis(payload) => {
+                    print!("{}", payload.text);
+                    eprintln!(
+                        "analysis    : {} proven, {} unknown, {} diagnostics",
+                        payload.proven, payload.unknown, payload.diagnostics
+                    );
+                    Ok(())
+                }
+                other => Err(format!("unexpected reply `{}`", other.kind())),
+            }
+        }
         "stats" => {
             let stats = fetch_stats(service)?;
             eprintln!("schemas     : {}", stats.schemas);
@@ -616,10 +672,7 @@ fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), S
             eprintln!(
                 "memo cache  : {} entries (capacity {})",
                 session.cache_entries,
-                stats
-                    .cache_capacity
-                    .map(|c| c.to_string())
-                    .unwrap_or_else(|| "unbounded".to_string())
+                stats.cache_capacity.map_or_else(|| "unbounded".to_string(), |c| c.to_string())
             );
             eprintln!(
                 "  lifetime  : {} hits, {} misses, {} insertions, {} invalidated, {} evicted",
@@ -795,6 +848,7 @@ fn main() -> ExitCode {
              \x20      mapcomp catalog compose-batch --catalog <file> [--workers N] \
              <from> <to> [<from> <to> ...]\n\
              \x20      mapcomp catalog invalidate    --catalog <file> <mapping>\n\
+             \x20      mapcomp catalog lint          --catalog <file> [<mapping>]\n\
              \x20      mapcomp catalog stats         --catalog <file>\n\
              \x20      mapcomp catalog metrics       --catalog <file>\n\
              \x20      mapcomp catalog compact       --catalog <file>\n\
@@ -803,11 +857,13 @@ fn main() -> ExitCode {
              \x20                     [--idle-timeout SECONDS] [--slow-ms N]\n\
              \x20                     [--log-format text|json]\n\
              \x20      mapcomp client --addr HOST:PORT \
-             <ping|add|compose-path|compose-names|compose-batch|invalidate|stats|metrics|\
-             compact|shutdown> [args...]\n\
+             <ping|add|compose-path|compose-names|compose-batch|invalidate|lint|stats|\
+             metrics|compact|shutdown> [args...]\n\
              \n\
              \x20      catalog/serve also accept --cache-capacity N (0 = unbounded),\n\
-             \x20      --path-cost hops|op-count, the compose flags, and the durability\n\
+             \x20      --path-cost hops|op-count, --eval-budget N (chase step budget;\n\
+             \x20      must be positive, overrides analyzer-proven bounds),\n\
+             \x20      the compose flags, and the durability\n\
              \x20      policy: --persist incremental|full (default incremental: append\n\
              \x20      delta records, compact on thresholds/shutdown/`compact`),\n\
              \x20      --compact-appends N and --compact-bytes N (0 = never). `serve`\n\

@@ -19,6 +19,13 @@
 //!   experiments: Figure 1 primitives, event vectors, the schema-editing and
 //!   schema-reconciliation scenarios.
 //! * [`corpus`] — the 22-problem literature test suite.
+//! * [`analysis`] — the static analyzer over conjunctive mappings: the
+//!   position dependency graph, the weak-acyclicity decision with a
+//!   polynomial chase budget on the `proven` side and a rendered existential
+//!   cycle on the `unknown` side, and the rule linter with stable diagnostic
+//!   codes. Surfaced as `mapcomp catalog lint` / `mapcomp client lint` and
+//!   consulted automatically for chase budgets; specified in
+//!   `docs/ANALYSIS.md`.
 //! * [`catalog`] — the persistent catalog layer: a versioned catalog of
 //!   named schemas and mappings, multi-hop path resolution over the
 //!   composition graph (fewest-hops or cheapest operator-count growth), an
@@ -138,6 +145,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use mapcomp_algebra as algebra;
+pub use mapcomp_analysis as analysis;
 pub use mapcomp_catalog as catalog;
 pub use mapcomp_compose as compose;
 pub use mapcomp_corpus as corpus;
@@ -152,6 +160,9 @@ pub mod prelude {
         parse_constraint, parse_constraints, parse_document, parse_expr, Constraint,
         ConstraintKind, ConstraintSet, Expr, Instance, Mapping, OperatorDef, Pred, Relation,
         Signature, Value,
+    };
+    pub use mapcomp_analysis::{
+        analyze_exchange, analyze_mapping, AnalysisReport, Diagnostic, LintCode, Termination,
     };
     pub use mapcomp_catalog::{
         replay_editing, Catalog, CatalogError, ChainOptions, ChainResult, ContentHash, MemoCache,

@@ -3,6 +3,11 @@
 //! dependency-tracked invalidation after edits, error paths, and the
 //! evolution-replay hook — all through the umbrella crate's public API.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::catalog::{load_cache, save_cache, CatalogError, ChainOptions};
 use mapping_composition::prelude::*;
 

@@ -6,6 +6,11 @@
 //! count — across the paper's worked examples, the literature corpus, and
 //! evolution-simulator scenarios.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::compose::plan::{PremisePlan, TupleIndex, WorkBudget};
 use mapping_composition::compose::{exchange, ChaseStrategy, ExchangeConfig, ExchangeResult};
 use mapping_composition::prelude::*;

@@ -12,6 +12,11 @@
 //! (composed constraints, paths, completeness, version counters, hashes) is
 //! compared exactly.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::catalog::{
     save_state, Session, SharedSession, SidecarWriter, VersionManifest,
 };

@@ -8,6 +8,11 @@
 //! corpus "serves as a test suite that can be used for verifying
 //! implementations of composition".
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::compose::{check_equivalence, VerifyConfig};
 use mapping_composition::prelude::*;
 

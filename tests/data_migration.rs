@@ -3,6 +3,11 @@
 //! paper's Example 1 describes: "the designer can now migrate data from the
 //! old schema to the new schema").
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::compose::{exchange, ExchangeConfig};
 use mapping_composition::prelude::*;
 

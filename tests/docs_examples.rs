@@ -15,6 +15,15 @@
 //!   a driven registry, the exposition sample and log-line examples are
 //!   re-rendered byte-identically, and the traced request frame round-trips
 //!   through the trace-aware codec.
+//! * `docs/ANALYSIS.md` — every `<!-- analysis:document -->` block is
+//!   ingested into a real session and its `<!-- analysis:report -->` twin
+//!   must match `analysis_text` byte-for-byte; the lint-code table must
+//!   list exactly `LintCode::ALL`.
+
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
 
 use mapping_composition::algebra::parse_document;
 use mapping_composition::catalog::{
@@ -168,6 +177,7 @@ fn wire_doc_request_frames_decode_and_reencode() {
         "compose-names",
         "compose-batch",
         "invalidate",
+        "analyze",
         "stats",
         "metrics",
         "compact",
@@ -211,6 +221,50 @@ fn wire_doc_error_code_table_matches_the_api() {
     let actual: std::collections::BTreeSet<String> =
         ErrorCode::ALL.iter().map(|code| code.as_str().to_string()).collect();
     assert_eq!(documented, actual, "the documented error-code table must match ErrorCode::ALL");
+}
+
+#[test]
+fn analysis_doc_reports_render_identically() {
+    use mapping_composition::catalog::{Catalog, Session};
+
+    let doc = read_doc("ANALYSIS.md");
+    let documents = marked_blocks(&doc, "analysis:document");
+    let reports = marked_blocks(&doc, "analysis:report");
+    assert_eq!(documents.len(), reports.len(), "every example document needs a report block");
+    assert!(documents.len() >= 2, "ANALYSIS.md must keep its proven and unknown examples");
+    for (document, expected) in documents.iter().zip(&reports) {
+        let parsed = parse_document(document).expect("documented catalog document parses");
+        let mut session = Session::new(Catalog::new());
+        session.ingest_document(&parsed).expect("documented catalog document ingests");
+        let rendered = session.analysis_text(None).expect("analysis renders");
+        assert_eq!(&rendered, expected, "documented analysis report must match the renderer");
+    }
+}
+
+#[test]
+fn analysis_doc_lint_code_table_matches_the_api() {
+    use mapping_composition::analysis::LintCode;
+
+    let doc = read_doc("ANALYSIS.md");
+    let start = doc.find("<!-- lint-code-table -->").expect("lint-code table marker");
+    let mut documented = std::collections::BTreeSet::new();
+    for line in doc[start..].lines().skip(1) {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            if !documented.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let Some(cell) = line.trim_start_matches('|').split('|').next() else { continue };
+        let cell = cell.trim();
+        if let Some(code) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            documented.insert(code.to_string());
+        }
+    }
+    let actual: std::collections::BTreeSet<String> =
+        LintCode::ALL.iter().map(|code| code.as_str().to_string()).collect();
+    assert_eq!(documented, actual, "the documented lint-code table must match LintCode::ALL");
 }
 
 #[test]
@@ -337,6 +391,18 @@ fn observability_doc_metric_catalog_matches_the_registry() {
         &ExchangeConfig::default(),
     );
     assert!(result.converged);
+    // The analyzer registers its verdict/lint families on first run; a
+    // cartesian-product premise makes sure at least one lint fires.
+    let lint_me = parse_constraints("P * Q <= S").unwrap().into_vec();
+    let lint_full = Signature::from_arities(vec![
+        ("P".to_string(), 1),
+        ("Q".to_string(), 1),
+        ("S".to_string(), 2),
+    ]);
+    let lint_target = Signature::from_arities(vec![("S".to_string(), 2)]);
+    let report =
+        mapping_composition::analysis::analyze_exchange(&lint_me, &lint_full, &lint_target);
+    assert!(report.proven() && !report.diagnostics.is_empty());
 
     let rendered = global().render();
     for name in &documented {

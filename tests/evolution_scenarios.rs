@@ -2,6 +2,11 @@
 //! editing and schema reconciliation, across the configurations studied in
 //! the paper, exercised through the public API.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::evolution::{
     average_reconciliation, run_editing, run_reconciliation, EventVector, PrimitiveOptions,
     ReconcileConfig, ScenarioConfig,

@@ -2,6 +2,11 @@
 //! every constraint the system produces must re-parse to the same constraint,
 //! and the shipped example task files must parse, validate, and compose.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::prelude::*;
 
 #[test]

@@ -2,6 +2,11 @@
 //! the public API of the umbrella crate, including bounded-model equivalence
 //! verification for the small ones.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::compose::{check_equivalence, VerifyConfig};
 use mapping_composition::prelude::*;
 

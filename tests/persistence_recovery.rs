@@ -6,6 +6,11 @@
 //! document and exactly for the cumulative cache statistics, and the torn
 //! tail is dropped.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use mapping_composition::catalog::{CacheStats, SessionConfig};
 use mapping_composition::compose::Registry;
 use mapping_composition::service::{

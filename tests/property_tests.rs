@@ -11,6 +11,11 @@
 //! workspace's deterministic `rand` shim instead. Every case is reproducible
 //! from the fixed seeds below, and failures print the offending expression.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

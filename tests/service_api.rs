@@ -13,6 +13,11 @@
 //! never change *content* — source, target, resolved path, the rendered
 //! chain document, residuals, or which requests fail with which errors.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -99,7 +104,7 @@ fn build_workload(seed: u64) -> Vec<Phase> {
                     let i = rng.gen_range(0..HOPS);
                     match rng.gen_range(0..3u32) {
                         0 => {
-                            mutations.push(Request::Invalidate { mapping: mapping_name(chain, i) })
+                            mutations.push(Request::Invalidate { mapping: mapping_name(chain, i) });
                         }
                         _ => mutations.push(Request::AddDocument {
                             text: edit_document(chain, i, phase * 2 + edit),

@@ -6,6 +6,11 @@
 //! workspace's deterministic `rand` shim — every failure is reproducible
 //! from the fixed seeds below.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -3,6 +3,11 @@
 //! request sequence must produce the same counters whether the service is
 //! called in-process or through the TCP server.
 
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
 use std::thread;
 
 use mapping_composition::catalog::Catalog;
