@@ -5,7 +5,7 @@
 //! its conclusion, the graph gets a **regular** edge from each premise
 //! position holding the value to each conclusion position receiving it; and
 //! for every existential variable of the rule (a conclusion variable that
-//! [`fire`]: mapcomp_compose::exchange fills with a fresh labelled null),
+//! `mapcomp_compose::exchange` fills with a fresh labelled null),
 //! a **existential** edge from each of those premise positions to each
 //! position the null lands in. A rule set is *weakly acyclic* when no cycle
 //! of the graph contains an existential edge — the classical sufficient

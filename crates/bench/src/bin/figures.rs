@@ -24,8 +24,8 @@ use std::time::Instant;
 
 use mapcomp_bench::{
     chain_cache_experiment, chase_scaling_experiment, concurrent_sessions_experiment,
-    corpus_report, edit_count_sweep, editing_experiment, format_row, inclusion_sweep,
-    persistence_experiment, schema_size_sweep, service_throughput_experiment,
+    connection_sweep_experiment, corpus_report, edit_count_sweep, editing_experiment, format_row,
+    inclusion_sweep, persistence_experiment, schema_size_sweep, service_throughput_experiment,
     trajectory::{parse_scale, BenchDoc, BenchValue},
     Configuration, Scale, FIGURE5_PRIMITIVES,
 };
@@ -581,6 +581,62 @@ fn figure_11(scale: Scale) -> BenchDoc {
         ("disabled_req_per_s", BenchValue::F64(disabled_total)),
         ("overhead_pct", BenchValue::F64(overhead_pct)),
     ]);
+
+    // Connection sweep: concurrent connections vs. tail latency, event
+    // engine against the threaded engine's concurrency ceiling. The event
+    // loop must hold every swept connection count open with a fixed
+    // 4-thread CPU pool; the threaded engine pins at connections ==
+    // workers, so it contributes a single comparison point.
+    println!(
+        "\nconnection sweep: concurrent connections vs. compose tail latency \
+         ({} CPU workers)",
+        mapcomp_bench::SWEEP_CPU_WORKERS
+    );
+    let sweep = connection_sweep_experiment(scale);
+    let widths = vec![9, 12, 9, 10, 9, 9, 9];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "engine".to_string(),
+                "connections".to_string(),
+                "requests".to_string(),
+                "time (ms)".to_string(),
+                "p50 (us)".to_string(),
+                "p99 (us)".to_string(),
+                "failed".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in &sweep {
+        assert_eq!(point.failures, 0, "fig11 sweep requests must all succeed");
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.engine.label().to_string(),
+                    point.connections.to_string(),
+                    point.requests.to_string(),
+                    format!("{:.2}", point.elapsed.as_secs_f64() * 1000.0),
+                    format!("{:.0}", point.p50.as_secs_f64() * 1e6),
+                    format!("{:.0}", point.p99.as_secs_f64() * 1e6),
+                    point.failures.to_string(),
+                ],
+                &widths
+            )
+        );
+        doc.push_point(vec![
+            ("engine", BenchValue::Str(point.engine.label().to_string())),
+            ("connections", BenchValue::U64(point.connections as u64)),
+            ("cpu_workers", BenchValue::U64(point.cpu_workers as u64)),
+            ("requests", BenchValue::U64(point.requests as u64)),
+            ("failures", BenchValue::U64(point.failures as u64)),
+            ("elapsed_ms", BenchValue::F64(point.elapsed.as_secs_f64() * 1000.0)),
+            ("p50_us", BenchValue::F64(point.p50.as_secs_f64() * 1e6)),
+            ("p99_us", BenchValue::F64(point.p99.as_secs_f64() * 1e6)),
+        ]);
+    }
     doc
 }
 

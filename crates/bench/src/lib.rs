@@ -943,6 +943,281 @@ pub fn service_throughput_experiment(scale: Scale) -> Vec<ServiceThroughputPoint
 }
 
 // ---------------------------------------------------------------------------
+// Figure 11 connection sweep: concurrent connections vs. tail latency
+// ---------------------------------------------------------------------------
+
+/// Which TCP front end a connection-sweep point exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepEngine {
+    /// The readiness-driven event loop (`EventServer`): one loop thread
+    /// multiplexes every connection, a fixed CPU pool composes.
+    Event,
+    /// The thread-per-connection server (`Server`): concurrency pins at
+    /// the worker count, so its sweep point runs at `connections ==
+    /// cpu_workers`.
+    Threaded,
+}
+
+impl SweepEngine {
+    /// Stable label recorded in the trajectory.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepEngine::Event => "event",
+            SweepEngine::Threaded => "threaded",
+        }
+    }
+}
+
+/// One point of the Figure 11 connection sweep: `connections` concurrent
+/// client connections held open against a server with `cpu_workers`
+/// compute threads, with per-request round-trip latencies sampled over
+/// the Figure 10 corpus.
+#[derive(Debug, Clone)]
+pub struct ConnectionSweepPoint {
+    /// Which front end served the point.
+    pub engine: SweepEngine,
+    /// Concurrent client connections held open for the whole point.
+    pub connections: usize,
+    /// Server CPU worker threads.
+    pub cpu_workers: usize,
+    /// Requests issued (the concurrency-proof pings plus the composes).
+    pub requests: usize,
+    /// Requests that failed (must be 0).
+    pub failures: usize,
+    /// Wall-clock time of the whole point.
+    pub elapsed: Duration,
+    /// Median compose round-trip latency.
+    pub p50: Duration,
+    /// 99th-percentile compose round-trip latency.
+    pub p99: Duration,
+}
+
+/// CPU worker threads used by every connection-sweep point: the ISSUE's
+/// acceptance shape is "many connections, few cores".
+pub const SWEEP_CPU_WORKERS: usize = 4;
+
+/// Connection counts swept per scale. The smoke tier stops at 256 so CI
+/// machines with one core finish promptly; quick and paper go to 1024.
+pub fn sweep_connection_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![64, 256],
+        Scale::Quick | Scale::Paper => vec![64, 256, 1024],
+    }
+}
+
+/// A percentile of an already-sorted latency sample (nearest-rank).
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let index = ((sorted.len() as f64 - 1.0) * pct).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+/// Drive one sweep point: open `connections` client sockets against
+/// `addr` and keep every one open until the end. Phase 1 proves the
+/// concurrency — every connection writes a `ping` before *any* reply is
+/// read, so all of them have a request in flight at once. Phase 2 samples
+/// latency: the corpus composes, cycled to cover every connection at
+/// least twice, issued lock-step round-robin by a small pool of driver
+/// threads. Returns (total requests, failures, sorted latencies).
+fn drive_connection_sweep(
+    addr: &str,
+    requests: &[(String, String)],
+    connections: usize,
+) -> (usize, usize, Vec<Duration>) {
+    use mapcomp_service::{decode_reply, encode_request, read_frame, Request, Response};
+    use std::io::{BufReader, Write as _};
+    use std::net::TcpStream;
+
+    // Connect with retries: a burst of SYNs can overflow the listener
+    // backlog, which surfaces as transient refusals.
+    let connect = |addr: &str| -> TcpStream {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return stream,
+                Err(error) if std::time::Instant::now() < deadline => {
+                    let _ = error;
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(error) => panic!("cannot connect to {addr}: {error}"),
+            }
+        }
+    };
+    let mut conns: Vec<(TcpStream, BufReader<TcpStream>)> = (0..connections)
+        .map(|_| {
+            let stream = connect(addr);
+            let _ = stream.set_nodelay(true);
+            let reader = BufReader::new(stream.try_clone().expect("clone sweep stream"));
+            (stream, reader)
+        })
+        .collect();
+
+    let mut failures = 0usize;
+
+    // Phase 1: every connection has a ping outstanding simultaneously.
+    let ping = encode_request(&Request::Ping);
+    for (writer, _) in &mut conns {
+        if writer.write_all(ping.as_bytes()).and_then(|()| writer.flush()).is_err() {
+            failures += 1;
+        }
+    }
+    for (_, reader) in &mut conns {
+        match read_frame(reader) {
+            Ok(Some(frame)) => match decode_reply(&frame) {
+                Ok(Ok(Response::Pong)) => {}
+                _ => failures += 1,
+            },
+            _ => failures += 1,
+        }
+    }
+
+    // Phase 2: latency sampling. Cycle the corpus so every connection
+    // serves at least two composes.
+    let total = requests.len().max(connections * 2);
+    let drivers = connections.clamp(1, 8);
+    let mut groups: Vec<Vec<(usize, TcpStream, BufReader<TcpStream>)>> =
+        (0..drivers).map(|_| Vec::new()).collect();
+    for (index, conn) in conns.into_iter().enumerate() {
+        groups[index % drivers].push((index, conn.0, conn.1));
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total);
+    let mut phase_failures = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .iter_mut()
+            .map(|group| {
+                scope.spawn(move || {
+                    let mut samples = Vec::new();
+                    let mut failed = 0usize;
+                    for (index, writer, reader) in group.iter_mut() {
+                        // This connection's share of the cycled corpus.
+                        let mut item = *index;
+                        while item < total {
+                            let (from, to) = &requests[item % requests.len()];
+                            let request =
+                                Request::ComposePath { from: from.clone(), to: to.clone() };
+                            let frame = encode_request(&request);
+                            let started = std::time::Instant::now();
+                            let ok = writer
+                                .write_all(frame.as_bytes())
+                                .and_then(|()| writer.flush())
+                                .is_ok()
+                                && matches!(
+                                    read_frame(reader),
+                                    Ok(Some(reply)) if matches!(
+                                        decode_reply(&reply),
+                                        Ok(Ok(Response::Composed(_)))
+                                    )
+                                );
+                            samples.push(started.elapsed());
+                            if !ok {
+                                failed += 1;
+                            }
+                            item += connections;
+                        }
+                    }
+                    (samples, failed)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (samples, failed) = handle.join().expect("sweep driver thread panicked");
+            latencies.extend(samples);
+            phase_failures += failed;
+        }
+    });
+    failures += phase_failures;
+    latencies.sort();
+    (connections + total, failures, latencies)
+}
+
+/// Measure one connection-sweep point against a freshly bound server of
+/// the requested engine, cold cache.
+pub fn connection_sweep_over_loopback(
+    catalog: &mapcomp_catalog::Catalog,
+    requests: &[(String, String)],
+    connections: usize,
+    cpu_workers: usize,
+    engine: SweepEngine,
+) -> ConnectionSweepPoint {
+    use mapcomp_service::{Client, EventServer, LocalService, Request, Server};
+
+    let service = LocalService::new(catalog.clone(), cpu_workers);
+    let mut outcome = None;
+    let started = std::time::Instant::now();
+    match engine {
+        SweepEngine::Event => {
+            let mut server = EventServer::bind("127.0.0.1:0").expect("bind a loopback port");
+            // The sweep intentionally floods every connection at once;
+            // raise the shed threshold so backpressure does not distort
+            // the latency sample.
+            server.set_queue_limit(connections * 2);
+            let addr = server.local_addr().expect("bound address").to_string();
+            std::thread::scope(|scope| {
+                let (server, service) = (&server, &service);
+                scope.spawn(move || server.run(service, cpu_workers).expect("server run"));
+                outcome = Some(drive_connection_sweep(&addr, requests, connections));
+                let closer = Client::connect(&addr).expect("connect for shutdown");
+                closer.call(Request::Shutdown).expect("shutdown accepted");
+            });
+        }
+        SweepEngine::Threaded => {
+            let server = Server::bind("127.0.0.1:0").expect("bind a loopback port");
+            let addr = server.local_addr().expect("bound address").to_string();
+            std::thread::scope(|scope| {
+                let (server, service) = (&server, &service);
+                scope.spawn(move || server.run(service, cpu_workers).expect("server run"));
+                outcome = Some(drive_connection_sweep(&addr, requests, connections));
+                let closer = Client::connect(&addr).expect("connect for shutdown");
+                closer.call(Request::Shutdown).expect("shutdown accepted");
+            });
+        }
+    }
+    let elapsed = started.elapsed();
+    let (total, failures, latencies) = outcome.expect("sweep driver ran");
+    ConnectionSweepPoint {
+        engine,
+        connections,
+        cpu_workers,
+        requests: total,
+        failures,
+        elapsed,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+/// Run the Figure 11 connection sweep: the event engine at each swept
+/// connection count, plus the threaded engine's comparison point at its
+/// concurrency ceiling (`connections == cpu_workers` — beyond that its
+/// extra connections just queue).
+pub fn connection_sweep_experiment(scale: Scale) -> Vec<ConnectionSweepPoint> {
+    let (catalog, requests) = concurrent_corpus(scale);
+    let mut points: Vec<ConnectionSweepPoint> = sweep_connection_counts(scale)
+        .into_iter()
+        .map(|connections| {
+            connection_sweep_over_loopback(
+                &catalog,
+                &requests,
+                connections,
+                SWEEP_CPU_WORKERS,
+                SweepEngine::Event,
+            )
+        })
+        .collect();
+    points.push(connection_sweep_over_loopback(
+        &catalog,
+        &requests,
+        SWEEP_CPU_WORKERS,
+        SWEEP_CPU_WORKERS,
+        SweepEngine::Threaded,
+    ));
+    points
+}
+
+// ---------------------------------------------------------------------------
 // Figure 12 (new experiment): incremental vs. full-rewrite persistence
 // ---------------------------------------------------------------------------
 

@@ -553,6 +553,22 @@ impl ShardedMemoCache {
         guards.iter().fold(self.baseline, |acc, guard| acc.merged(guard.stats()))
     }
 
+    /// Per-segment snapshots — `(entries, capacity, live stats)` for each
+    /// segment in index order. The baseline is *not* folded in (it has no
+    /// per-segment attribution); each tuple reflects only traffic since the
+    /// sharded cache was constructed. Segments are locked one at a time, so
+    /// the snapshot is per-segment-consistent, not globally atomic — fine
+    /// for introspection, which is its only caller.
+    pub fn segment_snapshots(&self) -> Vec<(usize, Option<usize>, CacheStats)> {
+        self.segments
+            .iter()
+            .map(|segment| {
+                let guard = lock_segment(segment);
+                (guard.len(), guard.capacity(), guard.stats())
+            })
+            .collect()
+    }
+
     /// Start journaling mutations on every segment (see
     /// [`MemoCache::enable_journal`]). Call this only when some owner drains
     /// the journal regularly via [`ShardedMemoCache::take_events`].

@@ -64,6 +64,9 @@ pub enum Request {
     },
     /// Catalog and session statistics.
     Stats,
+    /// Per-segment memo-cache introspection: entry counts, capacity bounds
+    /// and hit/miss/eviction counters for every cache shard.
+    CacheInfo,
     /// The serving side's metrics registry, rendered as Prometheus-style
     /// text exposition (see `docs/OBSERVABILITY.md`).
     Metrics,
@@ -87,6 +90,7 @@ impl Request {
         "invalidate",
         "analyze",
         "stats",
+        "cache-info",
         "metrics",
         "compact",
         "shutdown",
@@ -103,6 +107,7 @@ impl Request {
             Request::Invalidate { .. } => "invalidate",
             Request::Analyze { .. } => "analyze",
             Request::Stats => "stats",
+            Request::CacheInfo => "cache-info",
             Request::Metrics => "metrics",
             Request::Compact => "compact",
             Request::Shutdown => "shutdown",
@@ -227,6 +232,37 @@ pub struct StatsPayload {
     pub cache_capacity: Option<usize>,
 }
 
+/// One memo-cache segment's live state, as reported by
+/// [`Response::CacheInfo`]. Counters are the segment's own (the restored
+/// baseline of a reloaded cache is catalog-wide and excluded here).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SegmentCacheInfo {
+    /// Shard index (matches the `segment` label on the cache metrics).
+    pub segment: usize,
+    /// Entries currently cached in this segment.
+    pub entries: usize,
+    /// This segment's share of the capacity bound (`None` = unbounded).
+    pub capacity: Option<usize>,
+    /// Lookups served from this segment.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Entries inserted.
+    pub insertions: usize,
+    /// Entries dropped by dependency invalidation.
+    pub invalidated: usize,
+    /// Entries evicted by the capacity bound.
+    pub evictions: usize,
+}
+
+/// Per-segment memo-cache statistics, as reported by
+/// [`Response::CacheInfo`]: one entry per shard, index order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheInfoPayload {
+    /// Per-segment state, in shard-index order.
+    pub segments: Vec<SegmentCacheInfo>,
+}
+
 /// A response from the catalog service, one variant per [`Request`] kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -255,6 +291,8 @@ pub enum Response {
     Analysis(AnalysisPayload),
     /// Reply to [`Request::Stats`].
     Stats(StatsPayload),
+    /// Reply to [`Request::CacheInfo`].
+    CacheInfo(CacheInfoPayload),
     /// Reply to [`Request::Metrics`].
     Metrics {
         /// The registry in Prometheus text exposition (one sample per line,
@@ -284,6 +322,7 @@ impl Response {
             Response::Invalidated { .. } => "invalidated",
             Response::Analysis(_) => "analysis",
             Response::Stats(_) => "stats",
+            Response::CacheInfo(_) => "cache-info",
             Response::Metrics { .. } => "metrics",
             Response::Compacted { .. } => "compacted",
             Response::ShuttingDown => "shutting-down",
@@ -316,13 +355,17 @@ pub enum ErrorCode {
     Protocol,
     /// A transport failure (connection refused, reset, I/O error).
     Transport,
-    /// The server is shutting down and no longer serves requests.
+    /// The server refuses to serve the request: it is shutting down, or
+    /// the connection has not presented the required auth token.
     Unavailable,
+    /// The server's bounded compose queue is saturated; the request was
+    /// shed without being executed and may be retried later.
+    Busy,
 }
 
 impl ErrorCode {
     /// Every code, for exhaustive codec tests.
-    pub const ALL: [ErrorCode; 11] = [
+    pub const ALL: [ErrorCode; 12] = [
         ErrorCode::UnknownSchema,
         ErrorCode::UnknownMapping,
         ErrorCode::NoPath,
@@ -334,6 +377,7 @@ impl ErrorCode {
         ErrorCode::Protocol,
         ErrorCode::Transport,
         ErrorCode::Unavailable,
+        ErrorCode::Busy,
     ];
 
     /// The stable wire string of this code.
@@ -350,6 +394,7 @@ impl ErrorCode {
             ErrorCode::Protocol => "protocol",
             ErrorCode::Transport => "transport",
             ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Busy => "busy",
         }
     }
 

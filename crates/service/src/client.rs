@@ -2,10 +2,18 @@
 //! other side of a socket.
 //!
 //! One [`Client`] owns one connection and serialises its calls through an
-//! internal mutex, so a client can be shared by reference across threads
-//! (each call is one request frame followed by one reply frame — the
-//! protocol has no pipelining). For *parallel* traffic, open one client per
-//! thread; the server's worker pool serves each connection independently.
+//! internal mutex, so a client can be shared by reference across threads.
+//! Each call is one request frame followed by one reply frame — the *wire
+//! protocol* supports pipelining (servers answer back-to-back frames in
+//! order), but this blocking client keeps the simple lock-step discipline.
+//! For *parallel* traffic, open one client per thread; the event-loop
+//! server multiplexes any number of connections, and the threaded server
+//! serves each from its worker pool.
+//!
+//! Against a server started with an auth token, build the client with
+//! [`Client::with_auth_token`]: the token rides the first frame as the
+//! optional `auth` field (authenticating the connection once) and is
+//! omitted afterwards.
 
 use std::io::{BufReader, Write as _};
 use std::net::TcpStream;
@@ -13,16 +21,19 @@ use std::sync::{Mutex, PoisonError};
 
 use crate::api::{Request, Response, ServiceError};
 use crate::service::MapcompService;
-use crate::wire::{decode_reply, encode_request_traced, read_frame};
+use crate::wire::{decode_reply, encode_request_frame, read_frame};
 
 /// A blocking client over one TCP connection.
 pub struct Client {
     connection: Mutex<Connection>,
+    auth_token: Option<String>,
 }
 
 struct Connection {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Has the auth token already been presented on this connection?
+    auth_sent: bool,
 }
 
 impl Client {
@@ -35,7 +46,24 @@ impl Client {
         let writer = stream
             .try_clone()
             .map_err(|error| ServiceError::transport(format!("cannot clone stream: {error}")))?;
-        Ok(Client { connection: Mutex::new(Connection { reader: BufReader::new(stream), writer }) })
+        Ok(Client {
+            connection: Mutex::new(Connection {
+                reader: BufReader::new(stream),
+                writer,
+                auth_sent: false,
+            }),
+            auth_token: None,
+        })
+    }
+
+    /// Present `token` in the first request frame's `auth` field, for
+    /// servers that require authentication. The server remembers the
+    /// connection once the token checks out, so later frames omit it —
+    /// with no token the client's frames are byte-identical to an
+    /// auth-unaware build's.
+    pub fn with_auth_token(mut self, token: Option<String>) -> Self {
+        self.auth_token = token;
+        self
     }
 
     /// Send one request and read its reply.
@@ -51,11 +79,14 @@ impl Client {
         trace: Option<u64>,
     ) -> Result<Response, ServiceError> {
         let mut connection = self.connection.lock().unwrap_or_else(PoisonError::into_inner);
+        let auth = if connection.auth_sent { None } else { self.auth_token.as_deref() };
+        let frame = encode_request_frame(&request, trace, auth);
         connection
             .writer
-            .write_all(encode_request_traced(&request, trace).as_bytes())
+            .write_all(frame.as_bytes())
             .and_then(|()| connection.writer.flush())
             .map_err(|error| ServiceError::transport(format!("cannot send request: {error}")))?;
+        connection.auth_sent = true;
         let frame = read_frame(&mut connection.reader)
             .map_err(|error| ServiceError::transport(format!("cannot read reply: {error}")))?
             .ok_or_else(|| ServiceError::transport("server closed the connection"))?;

@@ -19,6 +19,10 @@
 //! * [`server`] — the threaded [`Server`]: a `std::net::TcpListener` front
 //!   end with a bounded pool of scoped connection workers and graceful
 //!   in-band shutdown.
+//! * [`event`] — the readiness-driven [`EventServer`]: one event loop
+//!   (epoll/poll via the offline `polling` shim) owning every socket,
+//!   per-connection state machines with request pipelining, and a bounded
+//!   CPU worker pool with explicit `busy` backpressure.
 //! * [`client`] — the blocking [`Client`], itself a [`MapcompService`], so
 //!   callers cannot tell (and must not care) whether the catalog is local
 //!   or remote.
@@ -59,18 +63,20 @@
 
 pub mod api;
 pub mod client;
+pub mod event;
 pub mod server;
 pub mod service;
 pub mod wire;
 
 pub use api::{
-    AnalysisPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response, ServiceError,
-    StatsPayload,
+    AnalysisPayload, CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response,
+    SegmentCacheInfo, ServiceError, StatsPayload,
 };
 pub use client::Client;
+pub use event::EventServer;
 pub use server::Server;
 pub use service::{sidecar_path, LocalService, MapcompService, PersistMode, PersistPolicy};
 pub use wire::{
-    decode_reply, decode_request, decode_request_traced, encode_reply, encode_request,
-    encode_request_traced, escape, read_frame, unescape,
+    decode_reply, decode_request, decode_request_frame, decode_request_traced, encode_reply,
+    encode_request, encode_request_frame, encode_request_traced, escape, read_frame, unescape,
 };

@@ -48,7 +48,8 @@ use mapcomp_compose::Registry;
 use mapcomp_telemetry::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BOUNDS_US};
 
 use crate::api::{
-    AnalysisPayload, ChainPayload, MappingInfo, Request, Response, ServiceError, StatsPayload,
+    AnalysisPayload, CacheInfoPayload, ChainPayload, MappingInfo, Request, Response,
+    SegmentCacheInfo, ServiceError, StatsPayload,
 };
 
 /// The most worker threads a single `ComposeBatch` request may fan across,
@@ -726,6 +727,29 @@ impl LocalService {
                 }))
             }
             Request::Stats => Ok(Response::Stats(self.stats_payload())),
+            Request::CacheInfo => {
+                // Read-only introspection over the sharded memo cache: one
+                // line per segment, live counters only (the persisted
+                // baseline has no per-segment attribution).
+                let segments = self
+                    .session
+                    .cache()
+                    .segment_snapshots()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(segment, (entries, capacity, stats))| SegmentCacheInfo {
+                        segment,
+                        entries,
+                        capacity,
+                        hits: stats.hits,
+                        misses: stats.misses,
+                        insertions: stats.insertions,
+                        invalidated: stats.invalidated,
+                        evictions: stats.evictions,
+                    })
+                    .collect();
+                Ok(Response::CacheInfo(CacheInfoPayload { segments }))
+            }
             Request::Metrics => Ok(Response::Metrics { text: self.telemetry.registry.render() }),
             Request::Compact => {
                 let (bytes_before, bytes_after) = self.compact()?;

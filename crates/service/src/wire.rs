@@ -13,11 +13,15 @@
 //! The first line names the protocol, its version, the direction
 //! (`request`/`response`) and the kind keyword; field lines follow, one
 //! `key value…` pair per line; a literal `end` line terminates the frame.
-//! Request frames may carry one optional `trace <16-hex>` field (recognised
-//! for *every* request kind, before kind-specific parsing): the caller's
-//! trace ID, so server-side spans correlate with the client that caused
-//! them. Encoders emit the field only when a trace ID is set, so a new
-//! client talking to an old server sends exactly the old frames.
+//! Request frames may carry two optional fields recognised for *every*
+//! request kind, before kind-specific parsing: `trace <16-hex>` (the
+//! caller's trace ID, so server-side spans correlate with the client that
+//! caused them) and `auth <token>` (a percent-escaped shared secret for
+//! non-loopback deployments; servers configured with a token refuse
+//! requests until a connection has presented it). The canonical field
+//! order is `trace`, then `auth`, then kind-specific fields, and encoders
+//! emit each field only when set — so a new client talking to an old
+//! server sends exactly the old frames.
 //! Every value token is percent-escaped ([`escape`]) so arbitrary strings —
 //! embedded spaces, newlines, `%`, the empty string — survive the
 //! whitespace-separated grammar, and multi-valued fields simply repeat the
@@ -33,8 +37,8 @@
 use std::io::BufRead;
 
 use crate::api::{
-    AnalysisPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response, ServiceError,
-    StatsPayload,
+    AnalysisPayload, CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response,
+    SegmentCacheInfo, ServiceError, StatsPayload,
 };
 use mapcomp_catalog::{CacheStats, SessionStats};
 
@@ -192,21 +196,33 @@ fn escape_tokens(values: &[String]) -> String {
 // ---------------------------------------------------------------------------
 
 /// Encode a request as a complete frame (terminated by `end`), with no
-/// trace field — byte-identical to what older builds emit.
+/// trace or auth field — byte-identical to what older builds emit.
 pub fn encode_request(request: &Request) -> String {
-    encode_request_traced(request, None)
+    encode_request_frame(request, None, None)
 }
 
 /// Encode a request as a complete frame, carrying `trace` as the optional
 /// `trace <16-hex>` field (always the first field line) when set.
 pub fn encode_request_traced(request: &Request, trace: Option<u64>) -> String {
+    encode_request_frame(request, trace, None)
+}
+
+/// Encode a request as a complete frame with both optional envelope
+/// fields: `trace <16-hex>` first, then `auth <escaped-token>`, then the
+/// kind-specific fields. Either may be omitted; with both `None` the frame
+/// is byte-identical to [`encode_request`]'s output.
+pub fn encode_request_frame(request: &Request, trace: Option<u64>, auth: Option<&str>) -> String {
     let mut out = format!("{PROTOCOL} request {}\n", request.kind());
     if let Some(trace_id) = trace {
         out.push_str(&format!("trace {trace_id:016x}\n"));
     }
+    if let Some(token) = auth {
+        out.push_str(&format!("auth {}\n", escape(token)));
+    }
     match request {
         Request::Ping
         | Request::Stats
+        | Request::CacheInfo
         | Request::Metrics
         | Request::Compact
         | Request::Shutdown => {}
@@ -242,19 +258,28 @@ pub fn encode_request_traced(request: &Request, trace: Option<u64>) -> String {
     out
 }
 
-/// Decode a request frame, discarding any trace field (see
-/// [`decode_request_traced`] to keep it).
+/// Decode a request frame, discarding any trace or auth field (see
+/// [`decode_request_frame`] to keep them).
 pub fn decode_request(text: &str) -> Result<Request, ServiceError> {
-    decode_request_traced(text).map(|(request, _)| request)
+    decode_request_frame(text).map(|(request, _, _)| request)
 }
 
-/// Decode a request frame along with its optional `trace` field. The trace
-/// line is recognised for every request kind and stripped before
-/// kind-specific parsing, so kinds with no fields of their own still accept
-/// it; at most one trace line may appear.
+/// Decode a request frame along with its optional `trace` field, discarding
+/// any auth field (see [`decode_request_frame`] to keep it too).
 pub fn decode_request_traced(text: &str) -> Result<(Request, Option<u64>), ServiceError> {
+    decode_request_frame(text).map(|(request, trace, _)| (request, trace))
+}
+
+/// Decode a request frame along with its optional `trace` and `auth`
+/// envelope fields. Both lines are recognised for every request kind and
+/// stripped before kind-specific parsing, so kinds with no fields of their
+/// own still accept them; at most one of each may appear.
+pub fn decode_request_frame(
+    text: &str,
+) -> Result<(Request, Option<u64>, Option<String>), ServiceError> {
     let (kind, lines) = frame_lines(text, "request")?;
     let mut trace = None;
+    let mut auth = None;
     let mut fields = Vec::with_capacity(lines.len());
     for line in lines {
         match split_field(line) {
@@ -264,23 +289,33 @@ pub fn decode_request_traced(text: &str) -> Result<(Request, Option<u64>), Servi
             ("trace", _) => {
                 return Err(ServiceError::protocol("frame carries more than one `trace` field"))
             }
+            ("auth", value) if auth.is_none() => {
+                if value.is_empty() {
+                    return Err(ServiceError::protocol("`auth` field is missing its token"));
+                }
+                auth = Some(unescape(value)?);
+            }
+            ("auth", _) => {
+                return Err(ServiceError::protocol("frame carries more than one `auth` field"))
+            }
             _ => fields.push(line),
         }
     }
-    Ok((decode_request_fields(kind, fields)?, trace))
+    Ok((decode_request_fields(kind, fields)?, trace, auth))
 }
 
 /// Decode the kind-specific field lines of a request frame (trace already
 /// stripped). Strict: unknown or duplicated fields are protocol errors.
 fn decode_request_fields(kind: &str, lines: Vec<&str>) -> Result<Request, ServiceError> {
     match kind {
-        "ping" | "stats" | "metrics" | "compact" | "shutdown" => {
+        "ping" | "stats" | "cache-info" | "metrics" | "compact" | "shutdown" => {
             if let Some(line) = lines.first() {
                 return Err(unknown_field(kind, line));
             }
             Ok(match kind {
                 "ping" => Request::Ping,
                 "stats" => Request::Stats,
+                "cache-info" => Request::CacheInfo,
                 "metrics" => Request::Metrics,
                 "compact" => Request::Compact,
                 _ => Request::Shutdown,
@@ -517,6 +552,26 @@ pub fn encode_reply(reply: &Result<Response, ServiceError>) -> String {
                     out.push_str(&format!("before {bytes_before}\n"));
                     out.push_str(&format!("after {bytes_after}\n"));
                 }
+                Response::CacheInfo(payload) => {
+                    out.push_str(&format!("segments {}\n", payload.segments.len()));
+                    for info in &payload.segments {
+                        let capacity = match info.capacity {
+                            Some(capacity) => capacity.to_string(),
+                            None => "-".to_string(),
+                        };
+                        out.push_str(&format!(
+                            "segment {} {} {} {} {} {} {} {}\n",
+                            info.segment,
+                            info.entries,
+                            capacity,
+                            info.hits,
+                            info.misses,
+                            info.insertions,
+                            info.invalidated,
+                            info.evictions
+                        ));
+                    }
+                }
                 Response::Stats(stats) => {
                     out.push_str(&format!("schemas {}\n", stats.schemas));
                     out.push_str(&format!("mappings {}\n", stats.mappings));
@@ -716,6 +771,50 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
                 bytes_after: after.ok_or_else(|| missing("after"))?,
             }))
         }
+        "cache-info" => {
+            let mut declared = None;
+            let mut segments = Vec::new();
+            for line in lines {
+                match split_field(line) {
+                    ("segments", value) if declared.is_none() => {
+                        declared = Some(parse_usize(value, "segments")?);
+                    }
+                    ("segment", value) => {
+                        let tokens: Vec<&str> = value.split_whitespace().collect();
+                        let [segment, entries, capacity, hits, misses, ins, inv, evict] =
+                            tokens.as_slice()
+                        else {
+                            return Err(ServiceError::protocol(format!(
+                                "cache-info segment line `{line}` does not hold eight tokens"
+                            )));
+                        };
+                        segments.push(SegmentCacheInfo {
+                            segment: parse_usize(segment, "segment")?,
+                            entries: parse_usize(entries, "entries")?,
+                            capacity: if *capacity == "-" {
+                                None
+                            } else {
+                                Some(parse_usize(capacity, "capacity")?)
+                            },
+                            hits: parse_usize(hits, "hits")?,
+                            misses: parse_usize(misses, "misses")?,
+                            insertions: parse_usize(ins, "insertions")?,
+                            invalidated: parse_usize(inv, "invalidated")?,
+                            evictions: parse_usize(evict, "evictions")?,
+                        });
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            let declared = declared.ok_or_else(|| missing("segments"))?;
+            if declared != segments.len() {
+                return Err(ServiceError::protocol(format!(
+                    "cache-info frame declares {declared} segments but carries {}",
+                    segments.len()
+                )));
+            }
+            Ok(Ok(Response::CacheInfo(CacheInfoPayload { segments })))
+        }
         "stats" => {
             let (mut schemas, mut mappings, mut session) = (None, None, None);
             let mut capacity = None;
@@ -862,6 +961,72 @@ mod tests {
         let frame = "mapcomp-service 1 request ping\ntrace 1\ntrace 2\nend\n";
         let error = decode_request(frame).unwrap_err();
         assert_eq!(error.code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn auth_fields_round_trip_on_every_kind_and_follow_the_trace_line() {
+        for request in [
+            Request::Ping,
+            Request::CacheInfo,
+            Request::ComposePath { from: "s1".into(), to: "s3".into() },
+        ] {
+            let frame = encode_request_frame(&request, Some(0xabc), Some("s3cret token"));
+            // Canonical order: trace first, auth second, kind fields after.
+            let lines: Vec<&str> = frame.lines().collect();
+            assert!(lines[1].starts_with("trace "), "frame {frame:?}");
+            assert!(lines[2].starts_with("auth "), "frame {frame:?}");
+            let (decoded, trace, auth) = decode_request_frame(&frame).unwrap();
+            assert_eq!(decoded, request);
+            assert_eq!(trace, Some(0xabc));
+            assert_eq!(auth.as_deref(), Some("s3cret token"));
+            // Auth-unaware decoders accept and discard the field.
+            assert_eq!(decode_request(&frame).unwrap(), request);
+            let (via_traced, _) = decode_request_traced(&frame).unwrap();
+            assert_eq!(via_traced, request);
+        }
+        // Without either envelope field the frame is the legacy encoding.
+        let request = Request::Stats;
+        assert_eq!(encode_request_frame(&request, None, None), encode_request(&request));
+    }
+
+    #[test]
+    fn duplicate_auth_fields_are_rejected() {
+        let frame = "mapcomp-service 1 request ping\nauth a\nauth b\nend\n";
+        let error = decode_request(frame).unwrap_err();
+        assert_eq!(error.code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn cache_info_replies_round_trip_and_validate_their_count() {
+        let reply = Ok(Response::CacheInfo(crate::api::CacheInfoPayload {
+            segments: vec![
+                crate::api::SegmentCacheInfo {
+                    segment: 0,
+                    entries: 3,
+                    capacity: Some(64),
+                    hits: 10,
+                    misses: 4,
+                    insertions: 4,
+                    invalidated: 1,
+                    evictions: 0,
+                },
+                crate::api::SegmentCacheInfo {
+                    segment: 1,
+                    entries: 0,
+                    capacity: None,
+                    hits: 0,
+                    misses: 0,
+                    insertions: 0,
+                    invalidated: 0,
+                    evictions: 0,
+                },
+            ],
+        }));
+        let frame = encode_reply(&reply);
+        assert_eq!(decode_reply(&frame).unwrap(), reply);
+        // A count that disagrees with the segment lines is a protocol error.
+        let lying = frame.replace("segments 2", "segments 3");
+        assert_eq!(decode_reply(&lying).unwrap_err().code, ErrorCode::Protocol);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! mapcomp catalog invalidate    --catalog <file> <mapping-name>
 //! mapcomp catalog lint          --catalog <file> [<mapping-name>]
 //! mapcomp catalog stats         --catalog <file>
+//! mapcomp catalog cache-info    --catalog <file>
 //! mapcomp catalog compact       --catalog <file>
 //! ```
 //!
@@ -61,11 +62,13 @@
 //!
 //! ```text
 //! mapcomp serve  --catalog <file> [--addr 127.0.0.1:0] [--workers N]
+//!                [--engine event|threaded] [--queue-limit N]
+//!                [--auth-token-file <path>]
 //!                [--cache-capacity N] [--path-cost hops|op-count]
 //!                [--require-complete] [--idle-timeout SECONDS]
 //!                [--slow-ms N] [--log-format text|json]
 //!                [--persist incremental|full] [compose flags]
-//! mapcomp client --addr <host:port> ping
+//! mapcomp client --addr <host:port> [--auth-token-file <path>] ping
 //! mapcomp client --addr <host:port> add <document-file>...
 //! mapcomp client --addr <host:port> compose-path <from> <to> [--stats]
 //! mapcomp client --addr <host:port> compose-names <mapping>...
@@ -73,10 +76,22 @@
 //! mapcomp client --addr <host:port> invalidate <mapping>
 //! mapcomp client --addr <host:port> lint [<mapping>]
 //! mapcomp client --addr <host:port> stats
+//! mapcomp client --addr <host:port> cache-info
 //! mapcomp client --addr <host:port> metrics
 //! mapcomp client --addr <host:port> compact
 //! mapcomp client --addr <host:port> shutdown
 //! ```
+//!
+//! `serve` defaults to the readiness-driven event engine: one event loop
+//! owns every socket, connections pipeline freely, and `--workers N`
+//! bounds the CPU pool that actually composes (`--queue-limit N` bounds
+//! how many decoded requests may wait for it before the server sheds with
+//! the `busy` error code). `--engine threaded` selects the
+//! thread-per-connection server instead — same wire protocol byte for
+//! byte, with `--workers` bounding concurrent connections. With
+//! `--auth-token-file <path>` the server refuses requests until a
+//! connection presents the file's first-line token in an `auth` frame
+//! field; the client-side flag makes `mapcomp client` present it.
 //!
 //! `metrics` prints the serving side's metrics registry as Prometheus-style
 //! text exposition on stdout; `serve --log-format json` emits one JSON
@@ -109,7 +124,8 @@ use mapping_composition::algebra::parse_document;
 use mapping_composition::catalog::{Catalog, ChainOptions, PathCost, SessionConfig};
 use mapping_composition::compose::{compose, minimize_mapping, ComposeConfig, Registry};
 use mapping_composition::service::{
-    Client, LocalService, MapcompService, PersistMode, PersistPolicy, Request, Response, Server,
+    Client, EventServer, LocalService, MapcompService, PersistMode, PersistPolicy, Request,
+    Response, Server,
 };
 use mapping_composition::telemetry::log::LogFormat;
 
@@ -226,6 +242,16 @@ fn run(options: &Options) -> Result<(), String> {
 /// keyword, its positional arguments, and the session policy flags (which
 /// only the *serving* side applies — locally for `catalog`, at bind time for
 /// `serve`, and not at all for `client`).
+/// Which TCP front end `mapcomp serve` runs. Both speak the identical
+/// wire protocol; the difference is purely the concurrency model.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ServeEngine {
+    /// Readiness-driven event loop with a bounded CPU pool (the default).
+    Event,
+    /// Thread-per-connection server with a bounded worker pool.
+    Threaded,
+}
+
 struct ServiceArgs {
     command: String,
     positional: Vec<String>,
@@ -258,6 +284,16 @@ struct ServiceArgs {
     /// `--log-format text|json`: structured connection/request logging on
     /// stderr. Serve mode only; `None` = silent, the default.
     log_format: Option<LogFormat>,
+    /// `--engine event|threaded`: which server front end `serve` runs.
+    /// `None` = event, the default.
+    engine: Option<ServeEngine>,
+    /// `--queue-limit N`: bound on decoded requests waiting for a CPU
+    /// worker before the event engine sheds with `busy`. Serve mode,
+    /// event engine only.
+    queue_limit: Option<usize>,
+    /// `--auth-token-file <path>`: file whose first line is the shared
+    /// auth token (serve requires it, client presents it).
+    auth_token_file: Option<String>,
     /// Session-policy flags seen while parsing (compose flags,
     /// `--require-complete`, `--cache-capacity`, `--path-cost`). They only
     /// take effect on the serving side, so client mode rejects them instead
@@ -311,6 +347,9 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
         idle_timeout: None,
         slow_ms: None,
         log_format: None,
+        engine: None,
+        queue_limit: None,
+        auth_token_file: None,
         policy_flags: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -420,6 +459,28 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
                 parsed.log_format = Some(value.parse()?);
                 parsed.policy_flags.push(arg.clone());
             }
+            "--engine" => {
+                let value = iter.next().ok_or("--engine requires `event` or `threaded`")?;
+                parsed.engine = Some(match value.as_str() {
+                    "event" => ServeEngine::Event,
+                    "threaded" => ServeEngine::Threaded,
+                    other => return Err(format!("invalid engine `{other}`")),
+                });
+            }
+            "--queue-limit" => {
+                let value = iter.next().ok_or("--queue-limit requires a count")?;
+                parsed.queue_limit = Some(
+                    value
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid queue limit `{value}`"))?,
+                );
+            }
+            "--auth-token-file" => {
+                let value = iter.next().ok_or("--auth-token-file requires a file path")?;
+                parsed.auth_token_file = Some(value.clone());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => parsed.positional.push(other.to_string()),
         }
@@ -433,7 +494,7 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
 
 const COMMANDS: &str =
     "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `lint`, `stats`, \
-     `metrics`, `compact`, `ping`, or `shutdown`";
+     `cache-info`, `metrics`, `compact`, `ping`, or `shutdown`";
 
 /// Execute one service-mode subcommand against any backend and print the
 /// reply. This is the single dispatch path: `mapcomp catalog` hands in a
@@ -708,6 +769,35 @@ fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), S
             }
             Ok(())
         }
+        "cache-info" => {
+            let payload = match service.call(Request::CacheInfo).map_err(|e| e.to_string())? {
+                Response::CacheInfo(payload) => payload,
+                other => return Err(format!("unexpected reply `{}`", other.kind())),
+            };
+            let (mut entries, mut hits, mut misses) = (0usize, 0usize, 0usize);
+            for segment in &payload.segments {
+                entries += segment.entries;
+                hits += segment.hits;
+                misses += segment.misses;
+                eprintln!(
+                    "segment {:>3} : {} entries (capacity {}), {} hits, {} misses, \
+                     {} insertions, {} invalidated, {} evicted",
+                    segment.segment,
+                    segment.entries,
+                    segment.capacity.map_or_else(|| "unbounded".to_string(), |c| c.to_string()),
+                    segment.hits,
+                    segment.misses,
+                    segment.insertions,
+                    segment.invalidated,
+                    segment.evictions
+                );
+            }
+            eprintln!(
+                "memo cache  : {} segments, {entries} entries, {hits} hits, {misses} misses",
+                payload.segments.len()
+            );
+            Ok(())
+        }
         "metrics" => match service.call(Request::Metrics).map_err(|e| e.to_string())? {
             // The exposition goes to stdout — it is the machine-readable
             // output a scraper redirects, like compose-path's document.
@@ -762,6 +852,15 @@ fn run_catalog(args: &ServiceArgs) -> Result<(), String> {
     if args.slow_ms.is_some() || args.log_format.is_some() {
         return Err("--slow-ms/--log-format apply to `mapcomp serve`, not catalog mode".to_string());
     }
+    if args.engine.is_some() || args.queue_limit.is_some() {
+        return Err("--engine/--queue-limit apply to `mapcomp serve`, not catalog mode".to_string());
+    }
+    if args.auth_token_file.is_some() {
+        return Err(
+            "--auth-token-file applies to `mapcomp serve` and `mapcomp client`, not catalog mode"
+                .to_string(),
+        );
+    }
     // Only `add` may start from a missing catalog file.
     let allow_missing = args.command == "add";
     let service = LocalService::open_with_policy(
@@ -776,10 +875,29 @@ fn run_catalog(args: &ServiceArgs) -> Result<(), String> {
     run_command(&service, args)
 }
 
+/// Read the shared auth token from `path`: the file's content with any
+/// trailing newline stripped (so `echo secret > token` works as expected).
+fn read_auth_token(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read auth token file {path}: {e}"))?;
+    let token = text.trim_end_matches(['\n', '\r']);
+    if token.is_empty() {
+        return Err(format!("auth token file {path} is empty"));
+    }
+    Ok(token.to_string())
+}
+
 fn run_serve(args: &ServiceArgs) -> Result<(), String> {
     let catalog_file = args.catalog_file.as_ref().ok_or("serve requires --catalog <file>")?;
     let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_string());
     let workers = args.workers.unwrap_or(1);
+    let engine = args.engine.unwrap_or(ServeEngine::Event);
+    if engine == ServeEngine::Threaded && args.queue_limit.is_some() {
+        return Err("--queue-limit applies to the event engine: the threaded engine's \
+                    queue is bounded by --workers"
+            .to_string());
+    }
+    let auth_token = args.auth_token_file.as_deref().map(read_auth_token).transpose()?;
     let service = LocalService::open_with_policy(
         catalog_file,
         Registry::standard(),
@@ -789,27 +907,61 @@ fn run_serve(args: &ServiceArgs) -> Result<(), String> {
         args.persist_policy(),
     )
     .map_err(|e| e.to_string())?;
-    let mut server = Server::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    if let Some(seconds) = args.idle_timeout.filter(|&s| s > 0.0) {
-        server.set_idle_timeout(Some(std::time::Duration::from_secs_f64(seconds)));
-    }
-    if let Some(ms) = args.slow_ms.filter(|&ms| ms > 0) {
-        server.set_slow_threshold(Some(std::time::Duration::from_millis(ms)));
+    let idle_timeout =
+        args.idle_timeout.filter(|&s| s > 0.0).map(std::time::Duration::from_secs_f64);
+    let slow_threshold = args.slow_ms.filter(|&ms| ms > 0).map(|ms| {
         // Keep the in-process slow-span ring on the same threshold, so
         // slow wire requests are retained by the tracer too.
         mapping_composition::telemetry::trace::set_slow_threshold_ms(ms);
+        std::time::Duration::from_millis(ms)
+    });
+    let engine_name = match engine {
+        ServeEngine::Event => "event",
+        ServeEngine::Threaded => "threaded",
+    };
+    let announce = |bound: std::net::SocketAddr| {
+        // The one stdout line automation depends on: parse the ephemeral
+        // port off it before connecting.
+        println!("listening on {bound}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        eprintln!(
+            "serving     : catalog {catalog_file} with {workers} workers \
+             ({engine_name} engine; send `shutdown` to stop)"
+        );
+    };
+    match engine {
+        ServeEngine::Event => {
+            let mut server =
+                EventServer::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            if let Some(timeout) = idle_timeout {
+                server.set_idle_timeout(Some(timeout));
+            }
+            if let Some(threshold) = slow_threshold {
+                server.set_slow_threshold(Some(threshold));
+            }
+            server.set_log_format(args.log_format);
+            server.set_auth_token(auth_token);
+            if let Some(limit) = args.queue_limit {
+                server.set_queue_limit(limit);
+            }
+            announce(server.local_addr().map_err(|e| e.to_string())?);
+            server.run(&service, workers).map_err(|e| e.to_string())?;
+        }
+        ServeEngine::Threaded => {
+            let mut server = Server::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            if let Some(timeout) = idle_timeout {
+                server.set_idle_timeout(Some(timeout));
+            }
+            if let Some(threshold) = slow_threshold {
+                server.set_slow_threshold(Some(threshold));
+            }
+            server.set_log_format(args.log_format);
+            server.set_auth_token(auth_token);
+            announce(server.local_addr().map_err(|e| e.to_string())?);
+            server.run(&service, workers).map_err(|e| e.to_string())?;
+        }
     }
-    server.set_log_format(args.log_format);
-    let bound = server.local_addr().map_err(|e| e.to_string())?;
-    // The one stdout line automation depends on: parse the ephemeral port
-    // off it before connecting.
-    println!("listening on {bound}");
-    use std::io::Write as _;
-    let _ = std::io::stdout().flush();
-    eprintln!(
-        "serving     : catalog {catalog_file} with {workers} workers (send `shutdown` to stop)"
-    );
-    server.run(&service, workers).map_err(|e| e.to_string())?;
     eprintln!("stopped     : catalog persisted to {catalog_file}");
     Ok(())
 }
@@ -829,7 +981,11 @@ fn run_client(args: &ServiceArgs) -> Result<(), String> {
     if args.catalog_file.is_some() {
         return Err("client mode talks to a server: use --addr, not --catalog".to_string());
     }
-    let client = Client::connect(addr).map_err(|e| e.to_string())?;
+    if args.engine.is_some() || args.queue_limit.is_some() {
+        return Err("--engine/--queue-limit apply to `mapcomp serve`, not client mode".to_string());
+    }
+    let auth_token = args.auth_token_file.as_deref().map(read_auth_token).transpose()?;
+    let client = Client::connect(addr).map_err(|e| e.to_string())?.with_auth_token(auth_token);
     run_command(&client, args)
 }
 
@@ -850,15 +1006,18 @@ fn main() -> ExitCode {
              \x20      mapcomp catalog invalidate    --catalog <file> <mapping>\n\
              \x20      mapcomp catalog lint          --catalog <file> [<mapping>]\n\
              \x20      mapcomp catalog stats         --catalog <file>\n\
+             \x20      mapcomp catalog cache-info    --catalog <file>\n\
              \x20      mapcomp catalog metrics       --catalog <file>\n\
              \x20      mapcomp catalog compact       --catalog <file>\n\
              \n\
              \x20      mapcomp serve  --catalog <file> [--addr HOST:PORT] [--workers N]\n\
+             \x20                     [--engine event|threaded] [--queue-limit N]\n\
+             \x20                     [--auth-token-file FILE]\n\
              \x20                     [--idle-timeout SECONDS] [--slow-ms N]\n\
              \x20                     [--log-format text|json]\n\
-             \x20      mapcomp client --addr HOST:PORT \
+             \x20      mapcomp client --addr HOST:PORT [--auth-token-file FILE] \
              <ping|add|compose-path|compose-names|compose-batch|invalidate|lint|stats|\
-             metrics|compact|shutdown> [args...]\n\
+             cache-info|metrics|compact|shutdown> [args...]\n\
              \n\
              \x20      catalog/serve also accept --cache-capacity N (0 = unbounded),\n\
              \x20      --path-cost hops|op-count, --eval-budget N (chase step budget;\n\
@@ -869,7 +1028,12 @@ fn main() -> ExitCode {
              \x20      --compact-appends N and --compact-bytes N (0 = never). `serve`\n\
              \x20      prints `listening on <addr>` (use port 0 for an ephemeral port),\n\
              \x20      reaps connections idle past --idle-timeout (0/off = keep forever),\n\
-             \x20      and stops when a client sends `shutdown`."
+             \x20      and stops when a client sends `shutdown`. The default --engine\n\
+             \x20      event pipelines requests through one readiness loop and bounds\n\
+             \x20      compose work with a --workers CPU pool (--queue-limit N sheds\n\
+             \x20      excess load with the `busy` error); --engine threaded serves one\n\
+             \x20      connection per worker thread. --auth-token-file FILE requires\n\
+             \x20      clients to present the file's token in an `auth` frame field."
         );
         return if args.is_empty() { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }

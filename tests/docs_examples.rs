@@ -179,11 +179,34 @@ fn wire_doc_request_frames_decode_and_reencode() {
         "invalidate",
         "analyze",
         "stats",
+        "cache-info",
         "metrics",
         "compact",
         "shutdown",
     ] {
         assert!(kinds.contains(kind), "request kind `{kind}` has no documented example");
+    }
+}
+
+#[test]
+fn wire_doc_authenticated_frame_round_trips() {
+    use mapping_composition::service::{decode_request_frame, encode_request_frame};
+
+    let doc = read_doc("WIRE_PROTOCOL.md");
+    let frames = marked_blocks(&doc, "roundtrip:request-auth");
+    assert!(!frames.is_empty(), "WIRE_PROTOCOL.md must document an authenticated request frame");
+    for frame in &frames {
+        let (request, trace, auth) = decode_request_frame(frame).unwrap_or_else(|error| {
+            panic!("documented authenticated frame must decode: {error}\n{frame}")
+        });
+        let auth = auth.expect("documented authenticated frame must carry a token");
+        assert_eq!(
+            &encode_request_frame(&request, trace, Some(&auth)),
+            frame,
+            "documented authenticated frame must be canonical"
+        );
+        // The envelope-unaware decoder accepts and discards both fields.
+        assert_eq!(decode_request(frame).unwrap(), request);
     }
 }
 

@@ -3,7 +3,10 @@
 //! invalidations, and batch composes — produces byte-identical composed
 //! chains and consistent session statistics whether it is driven through
 //! the in-process [`LocalService`] backend or over a loopback TCP server
-//! with four concurrent client connections.
+//! with four concurrent client connections — and for *both* TCP engines,
+//! the thread-per-connection [`Server`] and the readiness-driven
+//! [`EventServer`], which must be byte-for-byte interchangeable on the
+//! wire.
 //!
 //! Determinism boundary: mutations are applied by one client between
 //! compose phases (a barrier separates phases), so both runs compose over
@@ -22,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mapping_composition::prelude::*;
-use mapping_composition::service::StatsPayload;
+use mapping_composition::service::{EventServer, StatsPayload};
 
 const CHAINS: usize = 3;
 const HOPS: usize = 6;
@@ -194,82 +197,121 @@ fn run_local(workload: &[Phase]) -> (Vec<String>, StatsPayload) {
     (outcomes, stats)
 }
 
-/// Execute the workload against a loopback TCP server with `THREADS`
-/// concurrent client connections (mutations through one client, compose
-/// phases genuinely parallel).
-fn run_remote(workload: &[Phase]) -> (Vec<String>, StatsPayload) {
+/// Drive the workload through `THREADS` concurrent client connections
+/// against an already-listening server (mutations through one client,
+/// compose phases genuinely parallel), finishing with stats + shutdown.
+fn drive_clients(addr: &str, workload: &[Phase]) -> (Vec<String>, StatsPayload) {
+    let mut outcomes = Vec::new();
+    let clients: Vec<Client> =
+        (0..THREADS).map(|_| Client::connect(addr).expect("connect")).collect();
+    for phase in workload {
+        for mutation in &phase.mutations {
+            outcomes.push(fingerprint(&clients[0].call(mutation.clone())));
+        }
+        // The compose phase: all four connections in flight at once; the
+        // scope end is the inter-phase barrier.
+        let mut per_thread: Vec<Vec<String>> = Vec::new();
+        std::thread::scope(|compose_scope| {
+            let handles: Vec<_> = clients
+                .iter()
+                .zip(&phase.per_thread)
+                .map(|(client, requests)| {
+                    compose_scope.spawn(move || {
+                        requests
+                            .iter()
+                            .map(|request| fingerprint(&client.call(request.clone())))
+                            .collect::<Vec<String>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_thread.push(handle.join().expect("client thread panicked"));
+            }
+        });
+        outcomes.extend(per_thread.into_iter().flatten());
+    }
+    let stats = match clients[0].call(Request::Stats) {
+        Ok(Response::Stats(payload)) => payload,
+        other => panic!("stats request failed: {other:?}"),
+    };
+    clients[0].call(Request::Shutdown).expect("shutdown accepted");
+    (outcomes, stats)
+}
+
+/// Execute the workload over a loopback TCP server running the threaded
+/// (thread-per-connection) engine.
+fn run_remote_threaded(workload: &[Phase]) -> (Vec<String>, StatsPayload) {
     let backend = LocalService::new(Catalog::new(), THREADS);
     let server = Server::bind("127.0.0.1:0").expect("bind a loopback port");
     let addr = server.local_addr().expect("bound address").to_string();
-    let mut outcomes = Vec::new();
-    let mut stats = None;
+    let mut result = None;
     std::thread::scope(|scope| {
         let (server_ref, backend_ref) = (&server, &backend);
         scope.spawn(move || {
             server_ref.run(backend_ref, THREADS).expect("server run");
         });
-        let clients: Vec<Client> =
-            (0..THREADS).map(|_| Client::connect(&addr).expect("connect")).collect();
-        for phase in workload {
-            for mutation in &phase.mutations {
-                outcomes.push(fingerprint(&clients[0].call(mutation.clone())));
-            }
-            // The compose phase: all four connections in flight at once; the
-            // scope end is the inter-phase barrier.
-            let mut per_thread: Vec<Vec<String>> = Vec::new();
-            std::thread::scope(|compose_scope| {
-                let handles: Vec<_> = clients
-                    .iter()
-                    .zip(&phase.per_thread)
-                    .map(|(client, requests)| {
-                        compose_scope.spawn(move || {
-                            requests
-                                .iter()
-                                .map(|request| fingerprint(&client.call(request.clone())))
-                                .collect::<Vec<String>>()
-                        })
-                    })
-                    .collect();
-                for handle in handles {
-                    per_thread.push(handle.join().expect("client thread panicked"));
-                }
-            });
-            outcomes.extend(per_thread.into_iter().flatten());
-        }
-        match clients[0].call(Request::Stats) {
-            Ok(Response::Stats(payload)) => stats = Some(payload),
-            other => panic!("stats request failed: {other:?}"),
-        }
-        clients[0].call(Request::Shutdown).expect("shutdown accepted");
+        result = Some(drive_clients(&addr, workload));
     });
-    (outcomes, stats.expect("stats recorded"))
+    result.expect("clients drove the workload")
+}
+
+/// Execute the workload over a loopback TCP server running the
+/// readiness-driven event-loop engine.
+fn run_remote_event(workload: &[Phase]) -> (Vec<String>, StatsPayload) {
+    let backend = LocalService::new(Catalog::new(), THREADS);
+    let server = EventServer::bind("127.0.0.1:0").expect("bind a loopback port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let mut result = None;
+    std::thread::scope(|scope| {
+        let (server_ref, backend_ref) = (&server, &backend);
+        scope.spawn(move || {
+            server_ref.run(backend_ref, THREADS).expect("server run");
+        });
+        result = Some(drive_clients(&addr, workload));
+    });
+    result.expect("clients drove the workload")
 }
 
 #[test]
 fn mixed_workload_is_transport_equivalent() {
     let workload = build_workload(0x5EEDA21);
     let (local_outcomes, local_stats) = run_local(&workload);
-    let (remote_outcomes, remote_stats) = run_remote(&workload);
+    let runs = [
+        ("threaded TCP", run_remote_threaded(&workload)),
+        ("event-loop TCP", run_remote_event(&workload)),
+    ];
 
-    assert_eq!(local_outcomes.len(), remote_outcomes.len());
-    for (index, (local, remote)) in local_outcomes.iter().zip(&remote_outcomes).enumerate() {
-        assert_eq!(local, remote, "outcome {index} diverged between in-process and TCP transports");
-    }
+    for (engine, (remote_outcomes, remote_stats)) in &runs {
+        assert_eq!(local_outcomes.len(), remote_outcomes.len());
+        for (index, (local, remote)) in local_outcomes.iter().zip(remote_outcomes).enumerate() {
+            assert_eq!(
+                local, remote,
+                "outcome {index} diverged between in-process and {engine} transports"
+            );
+        }
 
-    // Catalog state is identical: counts, names, versions, content hashes.
-    assert_eq!(local_stats.schemas, remote_stats.schemas);
-    assert_eq!(local_stats.mappings, remote_stats.mappings);
-    assert_eq!(local_stats.entries, remote_stats.entries);
+        // Catalog state is identical: counts, names, versions, content
+        // hashes.
+        assert_eq!(local_stats.schemas, remote_stats.schemas, "{engine}");
+        assert_eq!(local_stats.mappings, remote_stats.mappings, "{engine}");
+        assert_eq!(local_stats.entries, remote_stats.entries, "{engine}");
 
-    // Deterministic session counters agree; scheduling-dependent cache
-    // counters must still be coherent.
-    assert_eq!(local_stats.session.chains_composed, remote_stats.session.chains_composed);
-    assert_eq!(local_stats.session.paths_resolved, remote_stats.session.paths_resolved);
-    for stats in [&local_stats, &remote_stats] {
-        assert!(stats.session.compose_calls > 0);
-        assert!(stats.session.cache.insertions > 0);
-        assert!(stats.session.cache.hits + stats.session.cache.misses > 0);
-        assert!(stats.session.cache_entries <= stats.session.cache.insertions);
+        // Deterministic session counters agree; scheduling-dependent cache
+        // counters must still be coherent.
+        assert_eq!(
+            local_stats.session.chains_composed, remote_stats.session.chains_composed,
+            "{engine}"
+        );
+        assert_eq!(
+            local_stats.session.paths_resolved, remote_stats.session.paths_resolved,
+            "{engine}"
+        );
+        for stats in [&local_stats, remote_stats] {
+            assert!(stats.session.compose_calls > 0);
+            assert!(stats.session.cache.insertions > 0);
+            assert!(stats.session.cache.hits + stats.session.cache.misses > 0);
+            assert!(stats.session.cache_entries <= stats.session.cache.insertions);
+        }
     }
 }
 

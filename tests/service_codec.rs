@@ -15,9 +15,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mapping_composition::service::{
-    decode_reply, decode_request, decode_request_traced, encode_reply, encode_request,
-    encode_request_traced, escape, unescape, ChainPayload, ErrorCode, MappingInfo, Request,
-    Response, ServiceError, StatsPayload,
+    decode_reply, decode_request, decode_request_frame, decode_request_traced, encode_reply,
+    encode_request, encode_request_frame, encode_request_traced, escape, unescape,
+    CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response, SegmentCacheInfo,
+    ServiceError, StatsPayload,
 };
 
 const CASES: usize = 64;
@@ -37,7 +38,7 @@ fn gen_strings(rng: &mut StdRng, max: usize) -> Vec<String> {
 }
 
 fn gen_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..10u32) {
+    match rng.gen_range(0..11u32) {
         0 => Request::Ping,
         1 => Request::AddDocument { text: gen_string(rng) },
         2 => Request::ComposePath { from: gen_string(rng), to: gen_string(rng) },
@@ -50,8 +51,9 @@ fn gen_request(rng: &mut StdRng) -> Request {
         },
         5 => Request::Invalidate { mapping: gen_string(rng) },
         6 => Request::Stats,
-        7 => Request::Metrics,
-        8 => Request::Compact,
+        7 => Request::CacheInfo,
+        8 => Request::Metrics,
+        9 => Request::Compact,
         _ => Request::Shutdown,
     }
 }
@@ -111,8 +113,25 @@ fn gen_stats(rng: &mut StdRng) -> StatsPayload {
     stats
 }
 
+fn gen_cache_info(rng: &mut StdRng) -> CacheInfoPayload {
+    CacheInfoPayload {
+        segments: (0..rng.gen_range(0..5usize))
+            .map(|segment| SegmentCacheInfo {
+                segment,
+                entries: rng.gen_range(0..999usize),
+                capacity: if rng.gen_bool(0.5) { Some(rng.gen_range(1..99usize)) } else { None },
+                hits: rng.gen_range(0..999usize),
+                misses: rng.gen_range(0..999usize),
+                insertions: rng.gen_range(0..999usize),
+                invalidated: rng.gen_range(0..999usize),
+                evictions: rng.gen_range(0..999usize),
+            })
+            .collect(),
+    }
+}
+
 fn gen_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..9u32) {
+    match rng.gen_range(0..10u32) {
         0 => Response::Pong,
         1 => Response::Added {
             touched: gen_strings(rng, 4),
@@ -129,6 +148,7 @@ fn gen_response(rng: &mut StdRng) -> Response {
         5 => Response::Stats(gen_stats(rng)),
         6 => Response::Compacted { bytes_before: gen_hash(rng), bytes_after: gen_hash(rng) },
         7 => Response::Metrics { text: gen_string(rng) },
+        8 => Response::CacheInfo(gen_cache_info(rng)),
         _ => Response::ShuttingDown,
     }
 }
@@ -176,6 +196,7 @@ fn every_request_kind_is_exercised_and_round_trips() {
         },
         Request::Invalidate { mapping: "m\t2".into() },
         Request::Stats,
+        Request::CacheInfo,
         Request::Metrics,
         Request::Compact,
         Request::Shutdown,
@@ -307,6 +328,65 @@ fn malformed_trace_fields_are_rejected() {
     ];
     for frame in bad_frames {
         let error = decode_request_traced(frame).expect_err(&format!("must reject: {frame:?}"));
+        assert_eq!(error.code, ErrorCode::Protocol, "frame {frame:?} gave `{error}`");
+    }
+}
+
+#[test]
+fn auth_tokens_round_trip_over_the_wire() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC06);
+    for case in 0..CASES {
+        let request = gen_request(&mut rng);
+        let token = format!("tok-{}", gen_string(&mut rng));
+        let trace: Option<u64> =
+            if rng.gen_bool(0.5) { Some(rng.gen_range(1..u64::MAX)) } else { None };
+        let frame = encode_request_frame(&request, trace, Some(&token));
+        let (decoded, decoded_trace, decoded_auth) = decode_request_frame(&frame)
+            .unwrap_or_else(|error| panic!("case {case}: {error}\nframe:\n{frame}"));
+        assert_eq!(decoded, request, "case {case}");
+        assert_eq!(decoded_trace, trace, "case {case}");
+        assert_eq!(decoded_auth.as_deref(), Some(token.as_str()), "case {case}");
+
+        // Auth-unaware decoders (older servers, the plain helpers) accept
+        // and discard the envelope: the auth field never leaks into kinds.
+        assert_eq!(decode_request(&frame).unwrap(), request, "case {case}");
+
+        // Canonical order: the auth line follows the trace line (when
+        // present), before any kind field.
+        let lines: Vec<&str> = frame.lines().collect();
+        let auth_at = if trace.is_some() { 2 } else { 1 };
+        assert!(
+            lines[auth_at].starts_with("auth "),
+            "case {case}: auth not at canonical position in\n{frame}"
+        );
+    }
+}
+
+#[test]
+fn unauthenticated_frames_are_byte_identical_to_the_legacy_encoding() {
+    let mut rng = StdRng::seed_from_u64(0xC0DEC07);
+    for _ in 0..CASES {
+        let request = gen_request(&mut rng);
+        assert_eq!(encode_request_frame(&request, None, None), encode_request(&request));
+        let (decoded, trace, auth) = decode_request_frame(&encode_request(&request)).unwrap();
+        assert_eq!(decoded, request);
+        assert_eq!(trace, None);
+        assert_eq!(auth, None);
+    }
+}
+
+#[test]
+fn malformed_auth_fields_are_rejected() {
+    let bad_frames = [
+        // duplicate auth field
+        "mapcomp-service 1 request ping\nauth a\nauth b\nend\n",
+        // missing value
+        "mapcomp-service 1 request ping\nauth\nend\n",
+        // bad escape in the token
+        "mapcomp-service 1 request ping\nauth %zz\nend\n",
+    ];
+    for frame in bad_frames {
+        let error = decode_request_frame(frame).expect_err(&format!("must reject: {frame:?}"));
         assert_eq!(error.code, ErrorCode::Protocol, "frame {frame:?} gave `{error}`");
     }
 }
