@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--paper | --smoke] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9]
-//!         [fig10] [fig11] [fig12] [corpus] [claims] [all]
+//!         [fig10] [fig11] [fig12] [fig13] [corpus] [claims] [all]
 //! figures --check BENCH_<fig>.json [BENCH_<fig>.json ...]
 //! ```
 //!
@@ -25,9 +25,10 @@ use std::time::Instant;
 use mapcomp_bench::{
     chain_cache_experiment, chase_scaling_experiment, concurrent_sessions_experiment,
     connection_sweep_experiment, corpus_report, edit_count_sweep, editing_experiment, format_row,
-    inclusion_sweep, persistence_experiment, schema_size_sweep, service_throughput_experiment,
+    inclusion_sweep, persistence_experiment, replication_catchup_experiment,
+    replication_read_experiment, schema_size_sweep, service_throughput_experiment,
     trajectory::{parse_scale, BenchDoc, BenchValue},
-    Configuration, Scale, FIGURE5_PRIMITIVES,
+    Configuration, ReplicationReadPoint, Scale, FIGURE5_PRIMITIVES,
 };
 use mapcomp_compose::ComposeConfig;
 use mapcomp_evolution::{run_editing, PrimitiveKind, ScenarioConfig};
@@ -46,6 +47,7 @@ fn run_figure(name: &str, scale: Scale) -> Option<BenchDoc> {
         "fig10" => Some(figure_10(scale)),
         "fig11" => Some(figure_11(scale)),
         "fig12" => Some(figure_12(scale)),
+        "fig13" => Some(figure_13(scale)),
         "corpus" => Some(corpus_table(scale)),
         _ => None,
     }
@@ -162,6 +164,9 @@ fn main() {
     }
     if want("fig12") {
         emit(figure_12(scale));
+    }
+    if want("fig13") {
+        emit(figure_13(scale));
     }
     if want("corpus") {
         emit(corpus_table(scale));
@@ -684,6 +689,100 @@ fn figure_12(scale: Scale) -> BenchDoc {
             ("incremental_ms", BenchValue::F64(point.incremental_time.as_secs_f64() * 1000.0)),
             ("rewrite_ms", BenchValue::F64(point.rewrite_time.as_secs_f64() * 1000.0)),
             ("recovered", BenchValue::Bool(point.recovered_identical)),
+        ]);
+    }
+    doc
+}
+
+fn figure_13(scale: Scale) -> BenchDoc {
+    println!("\n[Figure 13] replication: follower catch-up and horizontal read scaling");
+    let mut doc = BenchDoc::new("fig13", scale);
+
+    // Catch-up: a follower that sat out N leader writes restarts and
+    // streams the missed chunks; time-to-convergence vs log length.
+    println!("\ncatch-up: a restarted follower streams the delta chunks it missed");
+    let widths = vec![7, 9, 14, 10];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "writes".to_string(),
+                "records".to_string(),
+                "catch-up (ms)".to_string(),
+                "converged".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in replication_catchup_experiment(scale) {
+        assert!(point.converged, "fig13 follower must converge byte-identically");
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.writes.to_string(),
+                    point.log_records.to_string(),
+                    format!("{:.2}", point.catchup.as_secs_f64() * 1000.0),
+                    "yes".to_string(),
+                ],
+                &widths
+            )
+        );
+        doc.push_point(vec![
+            ("phase", BenchValue::Str("catchup".to_string())),
+            ("writes", BenchValue::U64(point.writes as u64)),
+            ("log_records", BenchValue::U64(point.log_records)),
+            ("catchup_ms", BenchValue::F64(point.catchup.as_secs_f64() * 1000.0)),
+            ("converged", BenchValue::Bool(point.converged)),
+        ]);
+    }
+
+    // Read scaling: the same read corpus against the leader alone and
+    // against the leader plus N converged followers.
+    println!("\nread throughput: a fixed compose corpus over one leader + N followers");
+    let points = replication_read_experiment(scale);
+    let baseline = points.first().map(ReplicationReadPoint::throughput);
+    let widths = vec![10, 9, 10, 11, 9, 7];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "followers".to_string(),
+                "requests".to_string(),
+                "time (ms)".to_string(),
+                "req/s".to_string(),
+                "speedup".to_string(),
+                "equal".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in &points {
+        assert_eq!(point.failures, 0, "fig13 read requests must all succeed");
+        let speedup = baseline
+            .map_or_else(|| "-".to_string(), |base| format!("{:.1}x", point.throughput() / base));
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.followers.to_string(),
+                    point.requests.to_string(),
+                    format!("{:.2}", point.elapsed.as_secs_f64() * 1000.0),
+                    format!("{:.0}", point.throughput()),
+                    speedup,
+                    if point.results_consistent { "yes" } else { "NO" }.to_string(),
+                ],
+                &widths
+            )
+        );
+        doc.push_point(vec![
+            ("phase", BenchValue::Str("reads".to_string())),
+            ("followers", BenchValue::U64(point.followers as u64)),
+            ("requests", BenchValue::U64(point.requests as u64)),
+            ("failures", BenchValue::U64(point.failures as u64)),
+            ("elapsed_ms", BenchValue::F64(point.elapsed.as_secs_f64() * 1000.0)),
+            ("req_per_s", BenchValue::F64(point.throughput())),
+            ("results_consistent", BenchValue::Bool(point.results_consistent)),
         ]);
     }
     doc

@@ -1372,6 +1372,418 @@ pub fn persistence_experiment(scale: Scale) -> Vec<PersistencePoint> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Figure 13: delta-log replication — follower catch-up and read scaling
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 13 catch-up experiment: a follower that was
+/// offline while the leader appended `writes` state-changing requests
+/// reconnects and streams the missed delta chunks.
+#[derive(Debug, Clone)]
+pub struct ReplicationCatchupPoint {
+    /// State-changing requests the leader took while the follower was down.
+    pub writes: usize,
+    /// Positioned records in the leader's log when the follower reconnected
+    /// (deterministic: the write workload is fixed).
+    pub log_records: u64,
+    /// Wall-clock time from follower restart to convergence on the leader's
+    /// log-end position.
+    pub catchup: Duration,
+    /// Did the caught-up follower render the identical catalog document?
+    pub converged: bool,
+}
+
+/// One point of the Figure 13 read-scaling experiment: a fixed compose
+/// corpus fanned over one leader plus `followers` converged read-only
+/// replicas, each behind its own event-engine front end.
+#[derive(Debug, Clone)]
+pub struct ReplicationReadPoint {
+    /// Read-only follower endpoints serving alongside the leader.
+    pub followers: usize,
+    /// Requests issued across all endpoints.
+    pub requests: usize,
+    /// Requests that failed (must be 0).
+    pub failures: usize,
+    /// Wall-clock time of the client phase.
+    pub elapsed: Duration,
+    /// Did every request produce the same composed chain document as the
+    /// leader-only run?
+    pub results_consistent: bool,
+}
+
+impl ReplicationReadPoint {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        let seconds = self.elapsed.as_secs_f64();
+        if seconds > 0.0 {
+            self.requests as f64 / seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Delta-log lengths (leader writes taken while the follower is down)
+/// swept by the catch-up experiment.
+pub fn replication_log_lengths(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![4, 32],
+        Scale::Quick => vec![8, 32, 128],
+        Scale::Paper => vec![16, 128, 512],
+    }
+}
+
+/// Follower counts swept by the read-scaling experiment (0 = the
+/// leader-only baseline).
+pub fn replication_follower_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![0, 2],
+        Scale::Quick => vec![0, 1, 2],
+        Scale::Paper => vec![0, 1, 2, 4],
+    }
+}
+
+/// Mappings in the Figure 13 leader catalog (the Figure 12 chain shape:
+/// the document grows linearly, every read touches a two-hop span).
+const FIG13_CHAIN: usize = 12;
+
+/// Read requests issued per read-scaling point.
+fn fig13_read_requests(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 240,
+        Scale::Quick => 960,
+        Scale::Paper => 4800,
+    }
+}
+
+/// Compose-span length of the read corpus: long enough that rendering the
+/// chain document is real per-request work, so endpoint CPU — not loopback
+/// overhead — is what the added followers multiply.
+const FIG13_SPAN: usize = 6;
+
+/// The fixed read corpus of the read-scaling experiment: six-hop compose
+/// spans cycling over the chain, identical at every follower count so the
+/// rendered results can be compared across points.
+pub fn replication_read_corpus(scale: Scale) -> Vec<(String, String)> {
+    (0..fig13_read_requests(scale))
+        .map(|index| {
+            let from = index % (FIG13_CHAIN - FIG13_SPAN);
+            (format!("pv{from}"), format!("pv{}", from + FIG13_SPAN))
+        })
+        .collect()
+}
+
+/// The `round`-th catch-up write: alternate two bodies of the chain's
+/// first mapping, so every write is a contentful edit appending the full
+/// declaration + invalidation + version chunk to the delta log.
+fn fig13_write_document(round: usize) -> String {
+    if round.is_multiple_of(2) {
+        "mapping pm0 : pv0 -> pv1 { project[0](P0) <= P1; }\n".to_string()
+    } else {
+        "mapping pm0 : pv0 -> pv1 { P0 <= P1; }\n".to_string()
+    }
+}
+
+/// Remove a fig13 catalog file and its persistence artifacts.
+fn fig13_cleanup(file: &std::path::Path) {
+    let sidecar = mapcomp_service::sidecar_path(file);
+    let mut lock = sidecar.clone().into_os_string();
+    lock.push(".lock");
+    let mut tmp = sidecar.clone().into_os_string();
+    tmp.push(".tmp");
+    for stale in [file.to_path_buf(), sidecar, lock.into(), tmp.into()] {
+        let _ = std::fs::remove_file(stale);
+    }
+}
+
+/// Open a replicating leader over a fresh temp catalog seeded with the
+/// Figure 13 chain. Thresholds are disabled so the log only moves when the
+/// experiment writes.
+fn fig13_leader(tag: &str) -> (mapcomp_service::LocalService, std::path::PathBuf) {
+    use mapcomp_service::{LocalService, MapcompService as _, PersistPolicy, Request, Response};
+
+    let file = std::env::temp_dir().join(format!("mapcomp_fig13_{tag}_{}.doc", std::process::id()));
+    fig13_cleanup(&file);
+    let policy = PersistPolicy {
+        mode: mapcomp_service::PersistMode::Incremental,
+        compact_appends: None,
+        compact_bytes: None,
+    };
+    let service = LocalService::open_with_policy(
+        &file,
+        Registry::standard(),
+        mapcomp_catalog::SessionConfig::default(),
+        2,
+        true,
+        policy,
+    )
+    .expect("open the fig13 leader");
+    match service.call(Request::AddDocument { text: persistence_document(FIG13_CHAIN) }) {
+        Ok(Response::Added { .. }) => {}
+        other => panic!("seeding the fig13 leader failed: {other:?}"),
+    }
+    service.enable_replication().expect("enable replication on the fig13 leader");
+    (service, file)
+}
+
+/// Poll a follower until it is streaming at (or past) `target`.
+fn fig13_await_catchup(follower: &mapcomp_service::Follower, target: mapcomp_catalog::Position) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = follower.status();
+        if status.state == "streaming" && status.position >= target {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "fig13 follower stalled short of {target} at {} ({})",
+            status.position,
+            status.state
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn replication_catchup_run(writes: usize) -> ReplicationCatchupPoint {
+    use mapcomp_service::{Client, EventServer, Follower, MapcompService as _, Request};
+
+    let (leader, leader_file) = fig13_leader(&format!("catchup_leader_{writes}"));
+    let follower_file = std::env::temp_dir()
+        .join(format!("mapcomp_fig13_catchup_follower_{writes}_{}.doc", std::process::id()));
+    fig13_cleanup(&follower_file);
+    let server = EventServer::bind("127.0.0.1:0").expect("bind a loopback port");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let mut point = ReplicationCatchupPoint {
+        writes,
+        log_records: 0,
+        catchup: Duration::default(),
+        converged: false,
+    };
+    std::thread::scope(|scope| {
+        let (server, leader, addr) = (&server, &leader, addr.as_str());
+        scope.spawn(move || server.run(leader, 2).expect("leader server run"));
+
+        let open_follower = || {
+            Follower::open(
+                &follower_file,
+                addr,
+                Registry::standard(),
+                mapcomp_catalog::SessionConfig::default(),
+                1,
+                None,
+            )
+            .expect("open the fig13 follower")
+        };
+
+        // First life: converge on the seeded catalog, then go offline.
+        let follower = open_follower();
+        let seeded = leader.replication_hub().expect("replicating leader").position();
+        std::thread::scope(|inner| {
+            let apply = inner.spawn(|| follower.run());
+            fig13_await_catchup(&follower, seeded);
+            follower.stop();
+            apply.join().expect("apply thread").expect("apply loop");
+        });
+        drop(follower);
+
+        // The follower is down while the leader appends `writes` edits.
+        for round in 0..writes {
+            leader
+                .call(Request::AddDocument { text: fig13_write_document(round) })
+                .expect("fig13 leader write");
+        }
+        let end = leader.replication_hub().expect("replicating leader").position();
+        point.log_records = end.seq;
+
+        // Second life: reconnect and stream exactly the missed chunks.
+        let follower = open_follower();
+        let started = std::time::Instant::now();
+        std::thread::scope(|inner| {
+            let apply = inner.spawn(|| follower.run());
+            fig13_await_catchup(&follower, end);
+            point.catchup = started.elapsed();
+            follower.stop();
+            apply.join().expect("apply thread").expect("apply loop");
+        });
+        point.converged = leader.session().catalog().snapshot().to_document_string()
+            == follower.catalog_snapshot().to_document_string();
+
+        let closer = Client::connect(addr).expect("connect for shutdown");
+        closer.call(Request::Shutdown).expect("shutdown accepted");
+    });
+    fig13_cleanup(&leader_file);
+    fig13_cleanup(&follower_file);
+    point
+}
+
+/// Run the catch-up half of Figure 13: for each log length, a follower
+/// sits out that many leader writes and the time from its restart to
+/// byte-identical convergence is measured.
+pub fn replication_catchup_experiment(scale: Scale) -> Vec<ReplicationCatchupPoint> {
+    replication_log_lengths(scale).into_iter().map(replication_catchup_run).collect()
+}
+
+/// Serve the fixed read corpus over one leader plus `followers` converged
+/// replicas and return the rendered per-request results plus the point.
+///
+/// The client side presents `clients` connections at *every* point
+/// (round-robin over the endpoints) and each endpoint runs a single CPU
+/// worker, so demand is constant and serving capacity is the only
+/// variable: added followers are added capacity, and on multi-core
+/// hardware throughput scales with them. On a loaded or single-core
+/// machine the wall-clock speedup flattens — the same caveat as the
+/// Figure 10/11 scaling columns — which is why the trajectory records the
+/// rate as volatile and only the correctness fields exactly.
+fn replication_read_run(
+    followers: usize,
+    clients: usize,
+    requests: &[(String, String)],
+) -> (Vec<String>, ReplicationReadPoint) {
+    use mapcomp_service::{Client, EventServer, Follower, ReadOnlyService, Request, Response};
+
+    let (leader, leader_file) = fig13_leader(&format!("reads_leader_{followers}"));
+    let leader_server = EventServer::bind("127.0.0.1:0").expect("bind a loopback port");
+    let leader_addr = leader_server.local_addr().expect("bound address").to_string();
+    let follower_files: Vec<std::path::PathBuf> = (0..followers)
+        .map(|index| {
+            std::env::temp_dir().join(format!(
+                "mapcomp_fig13_reads_follower_{followers}_{index}_{}.doc",
+                std::process::id()
+            ))
+        })
+        .collect();
+    for file in &follower_files {
+        fig13_cleanup(file);
+    }
+    // Everything scoped threads borrow must outlive the scope, so the
+    // follower stack is built up front (`Follower::open` does not dial).
+    let follower_handles: Vec<Follower> = follower_files
+        .iter()
+        .map(|file| {
+            Follower::open(
+                file,
+                leader_addr.as_str(),
+                Registry::standard(),
+                mapcomp_catalog::SessionConfig::default(),
+                2,
+                None,
+            )
+            .expect("open a fig13 follower")
+        })
+        .collect();
+    let follower_services: Vec<ReadOnlyService> =
+        follower_handles.iter().map(Follower::service).collect();
+    let follower_servers: Vec<EventServer> = (0..followers)
+        .map(|_| EventServer::bind("127.0.0.1:0").expect("bind a follower port"))
+        .collect();
+    let mut endpoints = vec![leader_addr.clone()];
+    for server in &follower_servers {
+        endpoints.push(server.local_addr().expect("bound follower address").to_string());
+    }
+    let mut raw: Vec<(usize, String, bool)> = Vec::with_capacity(requests.len());
+    let mut elapsed = Duration::default();
+    std::thread::scope(|scope| {
+        let (leader_server, leader, leader_addr) = (&leader_server, &leader, leader_addr.as_str());
+        let (follower_handles, endpoints) = (&follower_handles, &endpoints);
+        scope.spawn(move || leader_server.run(leader, 1).expect("leader server run"));
+
+        let apply_handles: Vec<_> =
+            follower_handles.iter().map(|follower| scope.spawn(move || follower.run())).collect();
+        for (server, service) in follower_servers.iter().zip(&follower_services) {
+            scope.spawn(move || server.run(service, 1).expect("follower server run"));
+        }
+        let target = leader.replication_hub().expect("replicating leader").position();
+        for follower in follower_handles {
+            fig13_await_catchup(follower, target);
+        }
+
+        // Client phase: the whole corpus, strided across the fixed client
+        // connections, round-robin over the endpoints.
+        let started = std::time::Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|client_index| {
+                let endpoint = endpoints[client_index % endpoints.len()].clone();
+                scope.spawn(move || {
+                    let client = Client::connect(&endpoint).expect("connect to an endpoint");
+                    let mut done = Vec::new();
+                    let mut index = client_index;
+                    while index < requests.len() {
+                        let (from, to) = &requests[index];
+                        let request = Request::ComposePath { from: from.clone(), to: to.clone() };
+                        done.push(match client.call(request) {
+                            Ok(Response::Composed(payload)) => (index, payload.document, true),
+                            Ok(other) => (index, format!("error: {}", other.kind()), false),
+                            Err(error) => (index, format!("error: {error}"), false),
+                        });
+                        index += clients;
+                    }
+                    done
+                })
+            })
+            .collect();
+        for handle in handles {
+            raw.extend(handle.join().expect("client thread panicked"));
+        }
+        elapsed = started.elapsed();
+
+        // Teardown: each follower front end first (shutdown also stops its
+        // apply loop), then the leader.
+        for (index, endpoint) in endpoints[1..].iter().enumerate() {
+            let closer = Client::connect(endpoint).expect("connect for follower shutdown");
+            closer.call(Request::Shutdown).expect("follower shutdown accepted");
+            follower_handles[index].stop();
+        }
+        for apply in apply_handles {
+            apply.join().expect("apply thread").expect("apply loop");
+        }
+        let closer = Client::connect(leader_addr).expect("connect for shutdown");
+        closer.call(Request::Shutdown).expect("shutdown accepted");
+    });
+    fig13_cleanup(&leader_file);
+    for file in &follower_files {
+        fig13_cleanup(file);
+    }
+    raw.sort_by_key(|(index, _, _)| *index);
+    let failures = raw.iter().filter(|(_, _, ok)| !ok).count();
+    let rendered: Vec<String> = raw.into_iter().map(|(_, text, _)| text).collect();
+    let point = ReplicationReadPoint {
+        followers,
+        requests: requests.len(),
+        failures,
+        elapsed,
+        results_consistent: true,
+    };
+    (rendered, point)
+}
+
+/// Run the read-scaling half of Figure 13: the same read corpus against
+/// the leader alone and against the leader plus each swept follower count,
+/// with every point's rendered results checked against the leader-only
+/// baseline.
+pub fn replication_read_experiment(scale: Scale) -> Vec<ReplicationReadPoint> {
+    let requests = replication_read_corpus(scale);
+    let counts = replication_follower_counts(scale);
+    // Constant demand at every point: two connections per endpoint of the
+    // *largest* configuration, so the leader-only baseline is saturated
+    // rather than client-starved.
+    let clients = 2 * (1 + counts.iter().copied().max().unwrap_or(0));
+    let mut reference: Option<Vec<String>> = None;
+    counts
+        .into_iter()
+        .map(|followers| {
+            let (rendered, mut point) = replication_read_run(followers, clients, &requests);
+            point.results_consistent = match &reference {
+                Some(reference) => *reference == rendered,
+                None => {
+                    reference = Some(rendered);
+                    true
+                }
+            };
+            point
+        })
+        .collect()
+}
+
 /// Formatting helper: a fixed-width row of cells.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -1541,6 +1953,21 @@ mod tests {
         );
         // And at scale the incremental path writes far less per request.
         assert!(last.incremental_bytes * 4 < last.rewrite_bytes);
+    }
+
+    #[test]
+    fn replication_catchup_converges_at_every_log_length() {
+        let points = replication_catchup_experiment(Scale::Smoke);
+        assert_eq!(points.len(), replication_log_lengths(Scale::Smoke).len());
+        for point in &points {
+            assert!(point.converged, "writes {}: follower diverged after catch-up", point.writes);
+            assert!(
+                point.log_records >= point.writes as u64,
+                "writes {}: only {} log records — every write must append at least one",
+                point.writes,
+                point.log_records
+            );
+        }
     }
 
     #[test]

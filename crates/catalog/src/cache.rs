@@ -630,6 +630,25 @@ impl ShardedMemoCache {
             .sum()
     }
 
+    /// Drop every entry in every segment, under all segment locks at once so
+    /// concurrent workers see either the full cache or the empty one.
+    /// Returns how many entries were dropped. Statistics count the drops as
+    /// invalidations (this *is* a whole-cache invalidation — e.g. a
+    /// replication follower discarding memoised chains before adopting a
+    /// leader snapshot).
+    pub fn clear(&self) -> usize {
+        let mut guards: Vec<MutexGuard<'_, MemoCache>> =
+            self.segments.iter().map(lock_segment).collect();
+        let mut dropped = 0;
+        for (guard, telemetry) in guards.iter_mut().zip(&self.telemetry) {
+            let in_segment = guard.len();
+            guard.clear();
+            telemetry.invalidated.add(in_segment as u64);
+            dropped += in_segment;
+        }
+        dropped
+    }
+
     /// Clone-merge every segment into a single-threaded cache (used to
     /// persist a snapshot while workers may still be running). Entries are
     /// merged segment by segment in LRU order; cumulative statistics carry

@@ -43,6 +43,15 @@
 //!   ([`SidecarWriter::rewrite`] with a fresh [`save_state`] rendering)
 //!   folds the log back into snapshot form.
 //!
+//! * **Log positions** — a `generation <g> <seq>` header written by every
+//!   compaction, plus an optional `(generation, seq)` position on each
+//!   `delta` record (`delta <g> <seq> <kind> …`). Together they give every
+//!   appended record a totally ordered [`Position`] that survives
+//!   compaction: rewriting the log bumps the generation instead of silently
+//!   reusing sequence numbers, so a replication subscriber resuming from a
+//!   stale position is *detected* (and falls back to a snapshot) rather
+//!   than replayed wrong bytes.
+//!
 //! Unknown or corrupted lines are skipped on load (the sidecar is only an
 //! accelerator plus bookkeeping; losing an entry costs one recomposition,
 //! never correctness), and a torn final line — a crash mid-append — is
@@ -256,6 +265,53 @@ pub fn unescape_field(token: &str) -> Option<String> {
 }
 
 // ---------------------------------------------------------------------------
+// Log positions
+// ---------------------------------------------------------------------------
+
+/// A totally ordered position in the sidecar delta log: the compaction
+/// `generation` the record belongs to and its `seq` number within that
+/// generation. Compaction folds the log into a snapshot and bumps the
+/// generation (recorded by a `generation <g> <seq>` header line), so
+/// positions from before a compaction are *detectably* stale — they compare
+/// less than every post-compaction position and never alias a new record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// Compaction generation (bumped by every snapshot rewrite).
+    pub generation: u64,
+    /// Record sequence number within the generation (0-based).
+    pub seq: u64,
+}
+
+impl Position {
+    /// The origin position: generation 0, sequence 0.
+    pub const ZERO: Position = Position { generation: 0, seq: 0 };
+
+    /// Construct a position.
+    pub fn new(generation: u64, seq: u64) -> Position {
+        Position { generation, seq }
+    }
+
+    /// The position immediately after this one within the same generation.
+    pub fn next(self) -> Position {
+        Position { generation: self.generation, seq: self.seq.saturating_add(1) }
+    }
+}
+
+impl std::fmt::Display for Position {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.generation, self.seq)
+    }
+}
+
+/// Render the `generation <g> <seq>` header line (with trailing newline):
+/// "records after this line start at position `(generation, seq)`". Written
+/// by every compaction; appended by followers when the leader's log crosses
+/// a generation boundary. Loading keeps the last one.
+pub fn render_generation_marker(position: Position) -> String {
+    format!("generation {} {}\n", position.generation, position.seq)
+}
+
+// ---------------------------------------------------------------------------
 // Delta records
 // ---------------------------------------------------------------------------
 
@@ -301,29 +357,63 @@ pub enum DeltaRecord {
     Stats(CacheStats),
 }
 
-/// Render a delta record as its single sidecar line (no trailing newline).
-pub fn render_delta(delta: &DeltaRecord) -> String {
+/// The keyword-and-payload body of a delta line (everything after `delta `
+/// and the optional position).
+fn render_delta_body(delta: &DeltaRecord) -> String {
     match delta {
-        DeltaRecord::Schema { decl } => format!("delta schema {}", escape_field(decl)),
-        DeltaRecord::Mapping { decl } => format!("delta mapping {}", escape_field(decl)),
+        DeltaRecord::Schema { decl } => format!("schema {}", escape_field(decl)),
+        DeltaRecord::Mapping { decl } => format!("mapping {}", escape_field(decl)),
         DeltaRecord::Invalidate { mapping } => {
-            format!("delta invalidate {}", escape_field(mapping))
+            format!("invalidate {}", escape_field(mapping))
         }
         DeltaRecord::Evict { key: (left, right, config) } => {
-            format!("delta evict {left:016x} {right:016x} {config:016x}")
+            format!("evict {left:016x} {right:016x} {config:016x}")
         }
         DeltaRecord::Stats(stats) => format!(
-            "delta stats {} {} {} {} {}",
+            "stats {} {} {} {} {}",
             stats.hits, stats.misses, stats.insertions, stats.invalidated, stats.evictions
         ),
     }
 }
 
-/// Parse one `delta …` line; `None` for malformed lines (the loader skips
-/// them).
-pub fn parse_delta(line: &str) -> Option<DeltaRecord> {
+/// Render a delta record as its single sidecar line (no trailing newline),
+/// without a log position — the pre-replication form, still accepted on
+/// load.
+pub fn render_delta(delta: &DeltaRecord) -> String {
+    format!("delta {}", render_delta_body(delta))
+}
+
+/// Render a delta record with its `(generation, seq)` log position:
+/// `delta <g> <seq> <kind> …` (no trailing newline). This is the form the
+/// service layer appends, so every record carries a resume position for
+/// replication subscribers.
+pub fn render_positioned_delta(position: Position, delta: &DeltaRecord) -> String {
+    format!("delta {} {} {}", position.generation, position.seq, render_delta_body(delta))
+}
+
+/// Parse one `delta …` line, positioned or not; `None` for malformed lines
+/// (the loader skips them). The position is `None` for the legacy
+/// `delta <kind> …` form — unambiguous because no record keyword parses as
+/// a decimal number.
+pub fn parse_positioned_delta(line: &str) -> Option<(Option<Position>, DeltaRecord)> {
     let rest = line.trim().strip_prefix("delta ")?;
-    let (kind, rest) = rest.split_once(' ')?;
+    let (first, tail) = rest.split_once(' ')?;
+    if let Ok(generation) = first.parse::<u64>() {
+        let (second, tail) = tail.trim_start().split_once(' ')?;
+        let seq = second.parse::<u64>().ok()?;
+        return Some((Some(Position { generation, seq }), parse_delta_body(tail)?));
+    }
+    Some((None, parse_delta_body(rest)?))
+}
+
+/// Parse one `delta …` line into its record, discarding any position.
+pub fn parse_delta(line: &str) -> Option<DeltaRecord> {
+    parse_positioned_delta(line).map(|(_, delta)| delta)
+}
+
+/// Parse the keyword-and-payload body of a delta line.
+fn parse_delta_body(body: &str) -> Option<DeltaRecord> {
+    let (kind, rest) = body.split_once(' ')?;
     let rest = rest.trim();
     match kind {
         "schema" if !rest.contains(' ') => {
@@ -403,6 +493,20 @@ pub struct SidecarState {
     pub cache: MemoCache,
     /// Parsed `delta schema` / `delta mapping` payloads, in file order.
     pub doc_deltas: Vec<Document>,
+    /// Compaction generation from the last `generation` header line (0 when
+    /// the sidecar predates generation counters or has never compacted).
+    pub generation: u64,
+    /// Sequence number the next appended delta record should carry: the
+    /// header's seq advanced past every positioned record seen since.
+    pub next_seq: u64,
+}
+
+impl SidecarState {
+    /// The position the next appended record should carry — the resume
+    /// position a replication subscriber would hand to `Subscribe`.
+    pub fn next_position(&self) -> Position {
+        Position { generation: self.generation, seq: self.next_seq }
+    }
 }
 
 /// Does the file end without a newline (a crash-torn final line)? A missing
@@ -468,20 +572,45 @@ pub fn load_sidecar(text: &str) -> SidecarState {
             }
             continue;
         }
+        if let Some(rest) = line.strip_prefix("generation ") {
+            // `generation <g> <seq>`: records after this line start at that
+            // position. Last header wins (a follower appends one whenever
+            // the leader's log crosses a compaction boundary).
+            let mut parts = rest.split_whitespace();
+            let (Some(generation), Some(seq), None) = (
+                parts.next().and_then(|p| p.parse::<u64>().ok()),
+                parts.next().and_then(|p| p.parse::<u64>().ok()),
+                parts.next(),
+            ) else {
+                continue;
+            };
+            state.generation = generation;
+            state.next_seq = seq;
+            continue;
+        }
         if line.starts_with("delta ") {
-            match parse_delta(line) {
-                Some(DeltaRecord::Schema { decl }) | Some(DeltaRecord::Mapping { decl }) => {
+            let parsed = parse_positioned_delta(line);
+            if let Some((Some(position), _)) = parsed {
+                if position.generation > state.generation
+                    || (position.generation == state.generation && position.seq >= state.next_seq)
+                {
+                    state.generation = position.generation;
+                    state.next_seq = position.seq + 1;
+                }
+            }
+            match parsed {
+                Some((_, DeltaRecord::Schema { decl } | DeltaRecord::Mapping { decl })) => {
                     if let Ok(document) = parse_document(&decl) {
                         state.doc_deltas.push(document);
                     }
                 }
-                Some(DeltaRecord::Invalidate { mapping }) => {
+                Some((_, DeltaRecord::Invalidate { mapping })) => {
                     state.cache.invalidate(&mapping);
                 }
-                Some(DeltaRecord::Evict { key }) => {
+                Some((_, DeltaRecord::Evict { key })) => {
                     state.cache.remove(&key);
                 }
-                Some(DeltaRecord::Stats(delta)) => {
+                Some((_, DeltaRecord::Stats(delta))) => {
                     stats_acc = Some(stats_acc.unwrap_or_default().merged(delta));
                 }
                 None => {}
@@ -522,6 +651,7 @@ pub fn load_sidecar(text: &str) -> SidecarState {
                 || trimmed.starts_with("delta ")
                 || trimmed.starts_with("version ")
                 || trimmed.starts_with("stats ")
+                || trimmed.starts_with("generation ")
             {
                 pending = Some(line);
                 break;
@@ -1049,6 +1179,72 @@ mod tests {
         assert_eq!(cache.len(), session.cache().len());
         assert_eq!(cache.stats(), session.cache().stats());
         let _ = std::fs::remove_file(writer.path());
+    }
+
+    #[test]
+    fn positioned_deltas_round_trip_with_and_without_positions() {
+        let delta = DeltaRecord::Invalidate { mapping: "m one".to_string() };
+        let legacy = render_delta(&delta);
+        assert_eq!(parse_positioned_delta(&legacy), Some((None, delta.clone())));
+        let position = Position::new(3, 41);
+        let positioned = render_positioned_delta(position, &delta);
+        assert_eq!(positioned, "delta 3 41 invalidate m%20one");
+        assert_eq!(parse_positioned_delta(&positioned), Some((Some(position), delta.clone())));
+        assert_eq!(parse_delta(&positioned), Some(delta));
+        // Every record kind carries a position the same way.
+        for record in [
+            DeltaRecord::Schema { decl: "schema s { R/1; }".to_string() },
+            DeltaRecord::Mapping { decl: "mapping m : a -> b { R <= S; }".to_string() },
+            DeltaRecord::Evict { key: (1, 2, 3) },
+            DeltaRecord::Stats(CacheStats { hits: 1, ..CacheStats::default() }),
+        ] {
+            let line = render_positioned_delta(position, &record);
+            assert_eq!(parse_positioned_delta(&line), Some((Some(position), record)));
+        }
+    }
+
+    #[test]
+    fn generation_header_and_positions_drive_the_resume_position() {
+        // No header, no positions: origin.
+        assert_eq!(load_sidecar("").next_position(), Position::ZERO);
+        // A header alone sets the resume position.
+        let text = render_generation_marker(Position::new(4, 0));
+        assert_eq!(load_sidecar(&text).next_position(), Position::new(4, 0));
+        // Positioned records advance it past the header.
+        let mut text = render_generation_marker(Position::new(4, 0));
+        for seq in 0..3 {
+            let delta = DeltaRecord::Invalidate { mapping: format!("m{seq}") };
+            text.push_str(&render_positioned_delta(Position::new(4, seq), &delta));
+            text.push('\n');
+        }
+        let state = load_sidecar(&text);
+        assert_eq!(state.next_position(), Position::new(4, 3));
+        // A later header (generation boundary) supersedes earlier positions.
+        text.push_str(&render_generation_marker(Position::new(5, 0)));
+        assert_eq!(load_sidecar(&text).next_position(), Position::new(5, 0));
+        // Positions order generation-first.
+        assert!(Position::new(4, 9) < Position::new(5, 0));
+        assert_eq!(Position::new(4, 1).next(), Position::new(4, 2));
+    }
+
+    #[test]
+    fn positioned_deltas_apply_like_legacy_ones() {
+        let session = warm_session();
+        let mut legacy = save_cache(session.cache());
+        let mut positioned = legacy.clone();
+        let key = *session.cache().iter().next().unwrap().0;
+        let evict = DeltaRecord::Evict { key };
+        legacy.push_str(&render_delta(&evict));
+        legacy.push('\n');
+        positioned.push_str(&render_positioned_delta(Position::new(1, 0), &evict));
+        positioned.push('\n');
+        let legacy_state = load_sidecar(&legacy);
+        let positioned_state = load_sidecar(&positioned);
+        assert!(!legacy_state.cache.contains(&key));
+        assert!(!positioned_state.cache.contains(&key));
+        assert_eq!(legacy_state.cache.len(), positioned_state.cache.len());
+        assert_eq!(legacy_state.next_position(), Position::ZERO);
+        assert_eq!(positioned_state.next_position(), Position::new(1, 1));
     }
 
     #[test]

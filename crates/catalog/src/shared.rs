@@ -305,6 +305,30 @@ impl SharedCatalog {
         }
     }
 
+    /// Replace the entire store content with `catalog` — entries, versions
+    /// and history included — under all shard write locks at once, so
+    /// concurrent readers see either the old state or the new one in full.
+    /// This is the wholesale counterpart of [`SharedCatalog::from_catalog`],
+    /// used when a replication follower adopts a leader snapshot whose
+    /// history its own state has diverged from (version counters must be
+    /// taken verbatim, not re-derived by incremental upserts).
+    pub fn restore(&self, catalog: &Catalog) {
+        let mut guards: Vec<RwLockWriteGuard<'_, Shard>> = self.shards.iter().map(write).collect();
+        for guard in &mut guards {
+            guard.schemas.clear();
+            guard.mappings.clear();
+        }
+        let shard_count = guards.len();
+        for entry in catalog.schemas() {
+            let shard = shard_index(&entry.name, shard_count);
+            guards[shard].schemas.insert(entry.name.clone(), entry.clone());
+        }
+        for entry in catalog.mappings() {
+            let shard = shard_index(&entry.name, shard_count);
+            guards[shard].mappings.insert(entry.name.clone(), entry.clone());
+        }
+    }
+
     /// Clone the whole store back into a single-threaded [`Catalog`]
     /// (versions and history preserved), taken under all shard read locks.
     pub fn snapshot(&self) -> Catalog {
@@ -432,6 +456,17 @@ impl SharedSession {
     pub fn restore_cache(&mut self, cache: crate::cache::MemoCache) {
         let stripes = self.cache.segment_count();
         self.cache = ShardedMemoCache::from_cache(cache, stripes, self.config.cache_capacity);
+    }
+
+    /// Replace the whole catalog content with `catalog` (see
+    /// [`SharedCatalog::restore`]) and drop every memoised composition and
+    /// analysis report — they describe the superseded state. A replication
+    /// follower calls this when it adopts a leader snapshot it cannot reach
+    /// by incremental delta application.
+    pub fn restore_catalog(&self, catalog: &Catalog) {
+        self.catalog.restore(catalog);
+        self.cache.clear();
+        self.analysis.lock().unwrap_or_else(PoisonError::into_inner).clear();
     }
 
     /// Register or update a schema; invalidates cached compositions that

@@ -1,0 +1,390 @@
+//! # mapcomp-replication
+//!
+//! The leader side of delta-log replication: a [`ReplicationHub`] that the
+//! service layer's persistence path publishes every appended sidecar chunk
+//! into, and that `Subscribe` connections drain — first a replay of the
+//! chunks retained for the current compaction generation, then a live tail
+//! over an in-process channel.
+//!
+//! The unit of streaming is the **chunk**: the exact bytes one
+//! state-changing request appended to the leader's sidecar (positioned
+//! `delta` records, `version` lines, memo `entry` blocks — see
+//! `docs/PERSISTENCE.md`). A chunk carries the [`Position`] range of the
+//! delta records inside it; a follower applies chunks in order, records the
+//! last applied position, and appends the same bytes verbatim to its own
+//! sidecar, so its resume position after a restart falls out of the normal
+//! sidecar load.
+//!
+//! ## Generations and compaction
+//!
+//! The hub retains chunks for the *current* compaction generation only.
+//! When the leader compacts, [`ReplicationHub::compacted`] — called inside
+//! the same persistence critical section that rewrites the sidecar — clears
+//! the retained log, advances the generation, and broadcasts a
+//! [`StreamEvent::Generation`] boundary to every live subscriber. Because
+//! publishes and the boundary are ordered by one lock, a subscriber that
+//! was mid-stream has already received every pre-compaction chunk when the
+//! boundary arrives: compaction can neither drop nor duplicate deltas under
+//! an active subscription. A subscriber arriving *after* the boundary with
+//! a pre-compaction position gets [`SubscribeError::Stale`] and falls back
+//! to snapshot bootstrap (the `Snapshot` wire request).
+//!
+//! The full stream grammar, position semantics and the follower lifecycle
+//! live in `docs/REPLICATION.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+
+pub use mapcomp_catalog::persist::Position;
+
+/// One contiguous sidecar append: the byte-exact chunk the leader wrote,
+/// plus the position range of the delta records inside it.
+#[derive(Debug, Clone)]
+pub struct LogChunk {
+    /// Position of the first delta record in the chunk.
+    pub first: Position,
+    /// Position of the last delta record in the chunk (`>= first`).
+    pub last: Position,
+    /// The chunk bytes, verbatim sidecar grammar (newline-terminated).
+    pub text: Arc<str>,
+}
+
+impl LogChunk {
+    /// How many delta records the chunk's position range spans.
+    pub fn records(&self) -> u64 {
+        self.last.seq.saturating_sub(self.first.seq).saturating_add(1)
+    }
+}
+
+/// One event on a subscription stream.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// A chunk of appended sidecar lines to apply and persist.
+    Chunk(LogChunk),
+    /// The leader compacted: the log restarts at `(generation, 0)`. Every
+    /// chunk of the previous generation was already delivered.
+    Generation(u64),
+}
+
+/// Why a subscription could not be opened at the requested position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// The position predates the oldest retained generation (or lies beyond
+    /// the leader's log — a follower with a corrupt sidecar). The follower
+    /// must bootstrap from a snapshot; the payload is the position the
+    /// leader's log currently ends at.
+    Stale(Position),
+}
+
+impl std::fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubscribeError::Stale(position) => {
+                write!(f, "position predates the oldest retained generation (leader at {position})")
+            }
+        }
+    }
+}
+
+struct Subscriber {
+    id: u64,
+    sender: Sender<StreamEvent>,
+    /// Called after enqueuing events so a parked event loop re-polls.
+    wake: Arc<dyn Fn() + Send + Sync>,
+}
+
+struct HubState {
+    /// The position the *next* published delta record will carry.
+    next: Position,
+    /// Chunks of the current generation, in publish order.
+    chunks: Vec<LogChunk>,
+    subscribers: Vec<Subscriber>,
+    next_id: u64,
+}
+
+/// Leader-side publish/subscribe over sidecar log chunks. One hub per
+/// serving catalog; the persistence path calls [`ReplicationHub::publish`]
+/// and [`ReplicationHub::compacted`] under its own state lock, which gives
+/// the stream its total order.
+pub struct ReplicationHub {
+    state: Mutex<HubState>,
+    telemetry: HubTelemetry,
+}
+
+struct HubTelemetry {
+    deltas_streamed: &'static mapcomp_telemetry::metrics::Counter,
+    snapshots_served: &'static mapcomp_telemetry::metrics::Counter,
+    subscribers: &'static mapcomp_telemetry::metrics::Gauge,
+}
+
+impl HubTelemetry {
+    fn new() -> HubTelemetry {
+        let registry = mapcomp_telemetry::metrics::global();
+        HubTelemetry {
+            deltas_streamed: registry.counter(
+                "replication_deltas_streamed_total",
+                "Delta records delivered to subscribers (replay and live tail).",
+                &[],
+            ),
+            snapshots_served: registry.counter(
+                "replication_snapshots_served_total",
+                "Snapshot bootstraps served to new or lagging followers.",
+                &[],
+            ),
+            subscribers: registry.gauge(
+                "replication_subscribers",
+                "Live replication subscriptions on this leader.",
+                &[],
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicationHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock();
+        f.debug_struct("ReplicationHub")
+            .field("next", &state.next)
+            .field("chunks", &state.chunks.len())
+            .field("subscribers", &state.subscribers.len())
+            .finish()
+    }
+}
+
+impl Default for ReplicationHub {
+    fn default() -> Self {
+        ReplicationHub::new()
+    }
+}
+
+impl ReplicationHub {
+    /// A hub whose log starts at [`Position::ZERO`]. Call
+    /// [`ReplicationHub::compacted`] with the real post-compaction position
+    /// when replication is enabled over an existing sidecar.
+    pub fn new() -> ReplicationHub {
+        ReplicationHub {
+            state: Mutex::new(HubState {
+                next: Position::ZERO,
+                chunks: Vec::new(),
+                subscribers: Vec::new(),
+                next_id: 0,
+            }),
+            telemetry: HubTelemetry::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HubState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The position the next published delta record will carry.
+    pub fn position(&self) -> Position {
+        self.lock().next
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.lock().subscribers.len()
+    }
+
+    /// Publish one appended chunk to the retained log and every live
+    /// subscriber. Must be called in append order (the caller's persistence
+    /// lock provides that); `chunk.first` must continue the hub's position.
+    pub fn publish(&self, chunk: LogChunk) {
+        let mut state = self.lock();
+        state.next = chunk.last.next();
+        state.chunks.push(chunk.clone());
+        let records = chunk.records();
+        let delivered = broadcast(&mut state, StreamEvent::Chunk(chunk), &self.telemetry);
+        self.telemetry.deltas_streamed.add(records.saturating_mul(delivered));
+    }
+
+    /// The leader compacted its sidecar: drop the retained log, restart at
+    /// `position` (the new generation, sequence 0), and hand every live
+    /// subscriber the generation boundary. Called inside the persistence
+    /// critical section that performed the rewrite, so no publish can
+    /// interleave between the rewrite and the boundary.
+    pub fn compacted(&self, position: Position) {
+        let mut state = self.lock();
+        state.next = position;
+        state.chunks.clear();
+        broadcast(&mut state, StreamEvent::Generation(position.generation), &self.telemetry);
+    }
+
+    /// Record one snapshot bootstrap served (the service layer calls this
+    /// when it answers a `Snapshot` request).
+    pub fn note_snapshot_served(&self) {
+        self.telemetry.snapshots_served.incr();
+    }
+
+    /// Open a subscription resuming at `from` (the first position the
+    /// subscriber has *not* applied). Replay chunks — those containing
+    /// records at or after `from` — are returned eagerly; later events
+    /// arrive on the subscription's channel. Fails with
+    /// [`SubscribeError::Stale`] when `from` predates the current generation
+    /// (compaction discarded the records) or lies beyond the log's end.
+    pub fn subscribe(
+        self: &Arc<Self>,
+        from: Position,
+        wake: Arc<dyn Fn() + Send + Sync>,
+    ) -> Result<Subscription, SubscribeError> {
+        let mut state = self.lock();
+        if from.generation != state.next.generation || from > state.next {
+            return Err(SubscribeError::Stale(state.next));
+        }
+        let replay: Vec<LogChunk> =
+            state.chunks.iter().filter(|chunk| chunk.last >= from).cloned().collect();
+        let replayed: u64 = replay.iter().map(LogChunk::records).sum();
+        self.telemetry.deltas_streamed.add(replayed);
+        let (sender, receiver) = channel();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.subscribers.push(Subscriber { id, sender, wake });
+        self.telemetry.subscribers.add(1);
+        Ok(Subscription { hub: Arc::clone(self), id, ack: state.next, replay, receiver })
+    }
+
+    fn unsubscribe(&self, id: u64) {
+        let mut state = self.lock();
+        let before = state.subscribers.len();
+        state.subscribers.retain(|subscriber| subscriber.id != id);
+        let dropped = before - state.subscribers.len();
+        self.telemetry.subscribers.add(-(dropped as i64));
+    }
+}
+
+/// Send an event to every subscriber, dropping the ones whose receiver is
+/// gone; returns how many deliveries succeeded. Caller holds the hub lock.
+fn broadcast(state: &mut HubState, event: StreamEvent, telemetry: &HubTelemetry) -> u64 {
+    let mut delivered = 0u64;
+    state.subscribers.retain(|subscriber| {
+        if subscriber.sender.send(event.clone()).is_ok() {
+            (subscriber.wake)();
+            delivered += 1;
+            true
+        } else {
+            telemetry.subscribers.add(-1);
+            false
+        }
+    });
+    delivered
+}
+
+/// One open subscription: the eager replay, the live-tail channel, and the
+/// leader's position at subscribe time (the initial lag reference).
+/// Dropping the subscription unregisters it from the hub.
+pub struct Subscription {
+    hub: Arc<ReplicationHub>,
+    id: u64,
+    /// The leader's log-end position when the subscription was opened.
+    pub ack: Position,
+    /// Retained chunks containing records at or after the requested
+    /// position, in publish order. Drain these before polling the channel.
+    pub replay: Vec<LogChunk>,
+    /// Live-tail events, in publish order after the replay.
+    pub receiver: Receiver<StreamEvent>,
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("id", &self.id)
+            .field("ack", &self.ack)
+            .field("replay", &self.replay.len())
+            .finish()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.hub.unsubscribe(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(generation: u64, first: u64, last: u64) -> LogChunk {
+        LogChunk {
+            first: Position::new(generation, first),
+            last: Position::new(generation, last),
+            text: Arc::from(format!("delta {generation} {first} invalidate m\n").as_str()),
+        }
+    }
+
+    fn subscribe(hub: &Arc<ReplicationHub>, from: Position) -> Subscription {
+        hub.subscribe(from, Arc::new(|| {})).expect("subscribe")
+    }
+
+    #[test]
+    fn replay_then_tail_preserves_order() {
+        let hub = Arc::new(ReplicationHub::new());
+        hub.compacted(Position::new(1, 0));
+        hub.publish(chunk(1, 0, 1));
+        hub.publish(chunk(1, 2, 2));
+        let subscription = subscribe(&hub, Position::new(1, 1));
+        // Chunk (0,1) overlaps the requested position; chunk (2,2) follows.
+        assert_eq!(subscription.replay.len(), 2);
+        assert_eq!(subscription.ack, Position::new(1, 3));
+        hub.publish(chunk(1, 3, 4));
+        match subscription.receiver.try_recv().expect("tail event") {
+            StreamEvent::Chunk(chunk) => assert_eq!(chunk.last, Position::new(1, 4)),
+            other => panic!("expected chunk, got {other:?}"),
+        }
+        assert_eq!(hub.position(), Position::new(1, 5));
+        assert_eq!(hub.subscriber_count(), 1);
+        drop(subscription);
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn compaction_hands_live_subscribers_the_boundary() {
+        let hub = Arc::new(ReplicationHub::new());
+        hub.compacted(Position::new(1, 0));
+        let subscription = subscribe(&hub, Position::new(1, 0));
+        hub.publish(chunk(1, 0, 0));
+        hub.compacted(Position::new(2, 0));
+        hub.publish(chunk(2, 0, 0));
+        let kinds: Vec<String> = std::iter::from_fn(|| subscription.receiver.try_recv().ok())
+            .map(|event| match event {
+                StreamEvent::Chunk(chunk) => format!("chunk@{}", chunk.first),
+                StreamEvent::Generation(generation) => format!("generation:{generation}"),
+            })
+            .collect();
+        // Every pre-compaction chunk arrives before the boundary: nothing
+        // dropped, nothing duplicated.
+        assert_eq!(kinds, ["chunk@1:0", "generation:2", "chunk@2:0"]);
+    }
+
+    #[test]
+    fn stale_positions_are_rejected_toward_snapshot_bootstrap() {
+        let hub = Arc::new(ReplicationHub::new());
+        hub.compacted(Position::new(3, 0));
+        hub.publish(chunk(3, 0, 1));
+        // Pre-compaction generation: stale.
+        let err = hub.subscribe(Position::new(2, 7), Arc::new(|| {})).unwrap_err();
+        assert_eq!(err, SubscribeError::Stale(Position::new(3, 2)));
+        // Beyond the log's end: also stale (corrupt follower state).
+        assert!(hub.subscribe(Position::new(3, 9), Arc::new(|| {})).is_err());
+        // Exactly at the end: an empty replay, pure tail.
+        let subscription = subscribe(&hub, Position::new(3, 2));
+        assert!(subscription.replay.is_empty());
+    }
+
+    #[test]
+    fn dropped_receivers_are_pruned_on_publish() {
+        let hub = Arc::new(ReplicationHub::new());
+        hub.compacted(Position::new(1, 0));
+        let subscription = subscribe(&hub, Position::new(1, 0));
+        // Simulate a dead follower: drop only the receiver half.
+        let Subscription { receiver, .. } = &subscription;
+        let _ = receiver; // receiver drops with the subscription below
+        drop(subscription);
+        hub.publish(chunk(1, 0, 0));
+        assert_eq!(hub.subscriber_count(), 0);
+    }
+}

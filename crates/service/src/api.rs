@@ -17,7 +17,7 @@ use std::fmt;
 
 use mapcomp_catalog::{
     parse_chain_document, render_chain_document, CatalogError, ChainResult, ComposedChain,
-    SessionStats,
+    Position, SessionStats,
 };
 
 /// A request to the catalog service.
@@ -74,6 +74,25 @@ pub enum Request {
     /// form (document + sidecar rewritten atomically). A no-op for
     /// in-memory backends.
     Compact,
+    /// Open a long-lived replication stream: replay the sidecar delta log
+    /// from the given position, then tail live appends. The reply is
+    /// [`Response::Subscribed`] followed by a stream of
+    /// [`Response::Delta`] / [`Response::Generation`] frames for the life
+    /// of the connection; a position predating the oldest retained
+    /// generation fails with [`ErrorCode::Stale`] (bootstrap from
+    /// [`Request::Snapshot`] instead). Served by the event-loop engine
+    /// only.
+    Subscribe {
+        /// Generation of the first log record the subscriber has not
+        /// applied.
+        from_generation: u64,
+        /// Sequence number within that generation.
+        from_seq: u64,
+    },
+    /// Fetch a consistent catalog snapshot — the document and a sidecar
+    /// rendering, captured atomically at an exact log position — as the
+    /// bootstrap artifact for a new or lagging follower.
+    Snapshot,
     /// Ask the serving process to persist and stop accepting connections.
     Shutdown,
 }
@@ -93,6 +112,8 @@ impl Request {
         "cache-info",
         "metrics",
         "compact",
+        "subscribe",
+        "snapshot",
         "shutdown",
     ];
 
@@ -110,6 +131,8 @@ impl Request {
             Request::CacheInfo => "cache-info",
             Request::Metrics => "metrics",
             Request::Compact => "compact",
+            Request::Subscribe { .. } => "subscribe",
+            Request::Snapshot => "snapshot",
             Request::Shutdown => "shutdown",
         }
     }
@@ -230,6 +253,25 @@ pub struct StatsPayload {
     pub session: SessionStats,
     /// The serving side's configured memo-cache bound (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Replication role and progress, when the serving side is a leader or
+    /// a follower (`None` for a standalone catalog).
+    pub replication: Option<ReplicationInfo>,
+}
+
+/// Replication role and progress, carried inside [`StatsPayload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationInfo {
+    /// `"leader"` or `"follower"`.
+    pub role: String,
+    /// Lifecycle state: a leader reports `serving`; a follower reports its
+    /// state machine position (`connecting`, `bootstrapping`, `streaming`,
+    /// `reconnecting` — see `docs/REPLICATION.md`).
+    pub state: String,
+    /// A leader's log-end position; a follower's last applied position.
+    pub position: Position,
+    /// Delta records the follower still has to apply (leader position minus
+    /// applied position); always 0 on a leader.
+    pub lag: u64,
 }
 
 /// One memo-cache segment's live state, as reported by
@@ -307,8 +349,54 @@ pub enum Response {
         /// Sidecar size after compaction, in bytes.
         bytes_after: u64,
     },
+    /// First reply to [`Request::Subscribe`]: the stream is open and
+    /// [`Response::Delta`] / [`Response::Generation`] frames follow.
+    Subscribed {
+        /// The leader's log-end position at subscribe time (the initial lag
+        /// reference).
+        position: Position,
+    },
+    /// One streamed chunk of appended sidecar lines (a stream frame after
+    /// [`Response::Subscribed`], never a direct reply).
+    Delta(DeltaChunkPayload),
+    /// The leader compacted: the log restarts at `(generation, 0)`. Every
+    /// chunk of the previous generation was already streamed.
+    Generation {
+        /// The new compaction generation.
+        generation: u64,
+    },
+    /// Reply to [`Request::Snapshot`].
+    Snapshot(SnapshotPayload),
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
+}
+
+/// One streamed sidecar chunk, carried by [`Response::Delta`]: the exact
+/// bytes one leader request appended, plus the position range of the delta
+/// records inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaChunkPayload {
+    /// Position of the first delta record in the chunk.
+    pub first: Position,
+    /// Position of the last delta record in the chunk.
+    pub last: Position,
+    /// The chunk text, verbatim sidecar grammar.
+    pub chunk: String,
+}
+
+/// A consistent catalog snapshot at an exact log position, carried by
+/// [`Response::Snapshot`]: the bootstrap artifact for a new or lagging
+/// follower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotPayload {
+    /// The log position the snapshot is current through: a follower that
+    /// ingests it subscribes from exactly here.
+    pub position: Position,
+    /// The catalog document text.
+    pub document: String,
+    /// A full sidecar rendering (generation header, versions, statistics,
+    /// memo entries).
+    pub sidecar: String,
 }
 
 impl Response {
@@ -325,6 +413,10 @@ impl Response {
             Response::CacheInfo(_) => "cache-info",
             Response::Metrics { .. } => "metrics",
             Response::Compacted { .. } => "compacted",
+            Response::Subscribed { .. } => "subscribed",
+            Response::Delta(_) => "delta-chunk",
+            Response::Generation { .. } => "generation",
+            Response::Snapshot(_) => "snapshot",
             Response::ShuttingDown => "shutting-down",
         }
     }
@@ -361,11 +453,17 @@ pub enum ErrorCode {
     /// The server's bounded compose queue is saturated; the request was
     /// shed without being executed and may be retried later.
     Busy,
+    /// The serving side is a read-only replication follower; the message
+    /// names the leader address that accepts writes.
+    Readonly,
+    /// A `Subscribe` position predates the oldest retained generation
+    /// (compaction discarded those records); bootstrap from `Snapshot`.
+    Stale,
 }
 
 impl ErrorCode {
     /// Every code, for exhaustive codec tests.
-    pub const ALL: [ErrorCode; 12] = [
+    pub const ALL: [ErrorCode; 14] = [
         ErrorCode::UnknownSchema,
         ErrorCode::UnknownMapping,
         ErrorCode::NoPath,
@@ -378,6 +476,8 @@ impl ErrorCode {
         ErrorCode::Transport,
         ErrorCode::Unavailable,
         ErrorCode::Busy,
+        ErrorCode::Readonly,
+        ErrorCode::Stale,
     ];
 
     /// The stable wire string of this code.
@@ -395,6 +495,8 @@ impl ErrorCode {
             ErrorCode::Transport => "transport",
             ErrorCode::Unavailable => "unavailable",
             ErrorCode::Busy => "busy",
+            ErrorCode::Readonly => "readonly",
+            ErrorCode::Stale => "stale",
         }
     }
 

@@ -40,13 +40,15 @@ use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use mapcomp_catalog::Position;
+use mapcomp_replication::{StreamEvent, Subscription};
 use mapcomp_telemetry::log::{json_line, LogFormat, LogValue};
 use polling::{Event, Poller};
 
-use crate::api::{ErrorCode, Request, Response, ServiceError};
+use crate::api::{DeltaChunkPayload, ErrorCode, Request, Response, ServiceError};
 use crate::server::{auth_required, token_matches, ServerTelemetry};
 use crate::service::MapcompService;
 use crate::wire::{decode_request_frame, encode_reply, FRAME_END, MAX_FRAME_BYTES};
@@ -90,7 +92,9 @@ pub struct EventServer {
     /// Shed requests with [`ErrorCode::Busy`] beyond this queue depth.
     queue_limit: usize,
     telemetry: ServerTelemetry,
-    poller: Poller,
+    /// Shared so replication subscriptions can hand the hub a `'static`
+    /// wake callback that outlives any one `run` call.
+    poller: Arc<Poller>,
 }
 
 /// One decoded request waiting for (or occupying) a CPU worker.
@@ -178,6 +182,11 @@ struct Conn {
     eof: bool,
     /// Close once everything is flushed (shutdown, or a fatal error reply).
     closing: bool,
+    /// Live replication stream, once a `subscribe` frame has been
+    /// accepted: the connection becomes one-way (any further inbound frame
+    /// is a protocol violation) and hub events are drained into the write
+    /// buffer after the `subscribed` ack and replay have been flushed.
+    subscription: Option<Subscription>,
 }
 
 impl Conn {
@@ -241,7 +250,7 @@ impl EventServer {
             auth_token: None,
             queue_limit: DEFAULT_QUEUE_LIMIT,
             telemetry: ServerTelemetry::new(),
-            poller: Poller::new()?,
+            poller: Arc::new(Poller::new()?),
         })
     }
 
@@ -358,7 +367,7 @@ impl EventServer {
             for _ in 0..cpu_workers {
                 scope.spawn(|| self.cpu_worker(&pool, service));
             }
-            let result = self.event_loop(&pool);
+            let result = self.event_loop(&pool, service);
             pool.stop.store(true, Ordering::SeqCst);
             pool.available.notify_all();
             result
@@ -413,7 +422,11 @@ impl EventServer {
 
     /// The loop: wait for readiness, drain completions, accept, read,
     /// write, reap, until shutdown has drained everything.
-    fn event_loop(&self, pool: &CpuPool) -> std::io::Result<()> {
+    fn event_loop<S: MapcompService + Sync>(
+        &self,
+        pool: &CpuPool,
+        service: &S,
+    ) -> std::io::Result<()> {
         let mut state = LoopState::new();
         let mut events: Vec<Event> = Vec::new();
         loop {
@@ -452,9 +465,20 @@ impl EventServer {
                     continue;
                 }
                 if event.readable {
-                    self.conn_readable(&mut state, pool, slot);
+                    self.conn_readable(&mut state, pool, slot, service);
                 }
                 if event.writable && state.slots[slot].is_some() {
+                    self.flush_and_settle(&mut state, slot);
+                }
+            }
+
+            // Stream events published by other connections' requests arrive
+            // via `notify` without any socket readiness: drain every
+            // subscriber's channel into its write buffer.
+            for slot in 0..state.slots.len() {
+                let is_subscriber =
+                    state.slots[slot].as_ref().is_some_and(|conn| conn.subscription.is_some());
+                if is_subscriber {
                     self.flush_and_settle(&mut state, slot);
                 }
             }
@@ -504,6 +528,7 @@ impl EventServer {
                         wants_write: false,
                         eof: false,
                         closing: false,
+                        subscription: None,
                     };
                     let slot = state.insert(conn);
                     if self.poller.add(fd, Event::readable(slot + 1)).is_err() {
@@ -527,7 +552,13 @@ impl EventServer {
     }
 
     /// Drain readable bytes, extract frames, dispatch them.
-    fn conn_readable(&self, state: &mut LoopState, pool: &CpuPool, slot: usize) {
+    fn conn_readable<S: MapcompService + Sync>(
+        &self,
+        state: &mut LoopState,
+        pool: &CpuPool,
+        slot: usize,
+        service: &S,
+    ) {
         let mut frames = Vec::new();
         let mut close_error = false;
         {
@@ -574,7 +605,7 @@ impl EventServer {
             if state.slots[slot].is_none() {
                 return;
             }
-            self.process_frame(state, pool, slot, frame);
+            self.process_frame(state, pool, slot, frame, service);
         }
         if close_error {
             self.close_conn(state, slot, false);
@@ -585,8 +616,23 @@ impl EventServer {
 
     /// Decode one frame and either queue its request on the connection's
     /// pipeline or reply immediately (malformed frame, missing auth).
-    fn process_frame(&self, state: &mut LoopState, pool: &CpuPool, slot: usize, frame: String) {
+    /// `Request::Subscribe` is handled inline — opening a stream is a hub
+    /// registration, not CPU work, and the connection's pipeline ends there.
+    fn process_frame<S: MapcompService + Sync>(
+        &self,
+        state: &mut LoopState,
+        pool: &CpuPool,
+        slot: usize,
+        frame: String,
+        service: &S,
+    ) {
         self.telemetry.frame_bytes_read.add(frame.len() as u64);
+        if state.slots[slot].as_ref().is_some_and(|conn| conn.subscription.is_some()) {
+            // A subscribed connection is a one-way stream; a peer that
+            // keeps sending frames is violating the protocol.
+            self.close_conn(state, slot, false);
+            return;
+        }
         let decoded = decode_request_frame(&frame);
         let Some(conn) = state.slots[slot].as_mut() else { return };
         let seq = conn.next_seq;
@@ -600,6 +646,38 @@ impl EventServer {
                 }
                 if self.auth_token.is_some() && !conn.authed {
                     self.immediate_reply(conn, seq, kind, trace, Err(auth_required()));
+                } else if let Request::Subscribe { from_generation, from_seq } = request {
+                    let from = Position::new(from_generation, from_seq);
+                    let poller = Arc::clone(&self.poller);
+                    let wake: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+                        let _ = poller.notify();
+                    });
+                    match service.subscribe(from, wake) {
+                        Ok(mut subscription) => {
+                            // The ack and the replay are staged as one
+                            // in-order unit at this frame's sequence; live
+                            // tail events follow via `drain_subscription`.
+                            let mut encoded = encode_reply(&Ok(Response::Subscribed {
+                                position: subscription.ack,
+                            }));
+                            for chunk in subscription.replay.drain(..) {
+                                encoded.push_str(&encode_reply(&Ok(Response::Delta(
+                                    DeltaChunkPayload {
+                                        first: chunk.first,
+                                        last: chunk.last,
+                                        chunk: chunk.text.to_string(),
+                                    },
+                                ))));
+                            }
+                            conn.ready.insert(seq, encoded);
+                            conn.subscription = Some(subscription);
+                            self.log_request(&conn.peer, kind, trace, true, Duration::ZERO);
+                        }
+                        // Stale or unavailable: the peer gets the error and
+                        // the connection stays usable (a follower follows up
+                        // with a `snapshot` request on the same socket).
+                        Err(error) => self.immediate_reply(conn, seq, kind, trace, Err(error)),
+                    }
                 } else if conn.pending.len() >= self.queue_limit {
                     // This connection's pipeline is already full: shed
                     // before the request ever reaches the shared queue.
@@ -727,6 +805,7 @@ impl EventServer {
                 conn.write_buf.extend_from_slice(encoded.as_bytes());
                 conn.next_flush += 1;
             }
+            self.drain_subscription(conn);
             // Drain.
             while conn.write_pos < conn.write_buf.len() {
                 match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
@@ -767,8 +846,40 @@ impl EventServer {
         }
     }
 
+    /// Stage pending replication stream events into a subscribed
+    /// connection's write buffer — only once every request reply (the
+    /// `subscribed` ack and its bundled replay) has been staged, so the
+    /// stream order on the wire is ack, replay, live tail.
+    fn drain_subscription(&self, conn: &mut Conn) {
+        let Some(subscription) = conn.subscription.as_ref() else { return };
+        if conn.next_flush != conn.next_seq {
+            return;
+        }
+        let mut staged = false;
+        // A disconnected sender (the hub was dropped) simply ends the
+        // stream; the follower observes silence and reconnects.
+        while let Ok(event) = subscription.receiver.try_recv() {
+            let reply = match event {
+                StreamEvent::Chunk(chunk) => Response::Delta(DeltaChunkPayload {
+                    first: chunk.first,
+                    last: chunk.last,
+                    chunk: chunk.text.to_string(),
+                }),
+                StreamEvent::Generation(generation) => Response::Generation { generation },
+            };
+            let encoded = encode_reply(&Ok(reply));
+            self.telemetry.frame_bytes_written.add(encoded.len() as u64);
+            conn.write_buf.extend_from_slice(encoded.as_bytes());
+            staged = true;
+        }
+        if staged {
+            conn.last_progress = Instant::now();
+        }
+    }
+
     /// Reap truly idle connections: empty read buffer, quiesced pipeline,
-    /// no progress for the idle timeout.
+    /// no progress for the idle timeout. Subscribed connections are never
+    /// reaped — a quiet replication stream is healthy, not idle.
     fn reap_idle(&self, state: &mut LoopState) {
         let Some(timeout) = self.idle_timeout else { return };
         let idle: Vec<usize> = state
@@ -777,7 +888,8 @@ impl EventServer {
             .enumerate()
             .filter_map(|(slot, conn)| {
                 let conn = conn.as_ref()?;
-                let idle = conn.read_buf.is_empty()
+                let idle = conn.subscription.is_none()
+                    && conn.read_buf.is_empty()
                     && conn.quiesced()
                     && conn.last_progress.elapsed() >= timeout;
                 idle.then_some(slot)

@@ -1,0 +1,635 @@
+//! Follower mode: a read-only catalog replica fed by a leader's
+//! replication stream.
+//!
+//! A [`Follower`] owns a warm in-memory catalog (a [`LocalService`]
+//! without persistence of its own) plus the follower's on-disk artifacts —
+//! a catalog document and a sidecar the leader's chunks are appended to
+//! *verbatim*, so a restarted follower replays exactly the bytes the
+//! leader shipped and resumes subscribing from its recorded position. The
+//! apply loop runs on a dedicated thread ([`Follower::run`]):
+//!
+//! 1. **connecting** — dial the leader and send
+//!    [`Request::Subscribe`] from the local resume position.
+//! 2. **bootstrapping** — if the leader answers
+//!    [`ErrorCode::Stale`] (our position predates the oldest retained
+//!    generation), fetch [`Request::Snapshot`] on the same connection,
+//!    install it (files first, then the in-memory catalog), and subscribe
+//!    again from the snapshot's position.
+//! 3. **streaming** — apply [`Response::Delta`] chunks (append verbatim,
+//!    ingest schema/mapping payloads, replay invalidations) and
+//!    [`Response::Generation`] boundary markers as they arrive.
+//! 4. **reconnecting** — on EOF or a transport error, back off and start
+//!    over from step 1; the resume position makes the retry exact.
+//!
+//! Read traffic is served by the [`ReadOnlyService`] wrapper: compose,
+//! stats, analysis and metrics hit the local replica (with its own memo
+//! cache, warmed by the follower's own traffic), while state-changing
+//! requests fail with [`ErrorCode::Readonly`] naming the leader. The full
+//! lifecycle and stream grammar are specified in `docs/REPLICATION.md`.
+
+use std::io::{BufReader, Write as _};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use mapcomp_algebra::parse_document;
+use mapcomp_catalog::{
+    load_sidecar, parse_positioned_delta, render_generation_marker, save_state, Catalog,
+    DeltaRecord, Position, SessionConfig, SharedSession, SidecarWriter,
+};
+use mapcomp_compose::Registry;
+use mapcomp_telemetry::metrics::Gauge;
+
+use crate::api::{
+    DeltaChunkPayload, ErrorCode, ReplicationInfo, Request, Response, ServiceError, SnapshotPayload,
+};
+use crate::service::{sidecar_path, LocalService, MapcompService};
+use crate::wire::{decode_reply, encode_request_frame, read_frame};
+
+/// Where the follower's apply loop currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowerState {
+    /// Dialing the leader (also the state before the first connection).
+    Connecting,
+    /// The subscribe position was stale; installing a snapshot.
+    Bootstrapping,
+    /// Subscribed and applying the live stream.
+    Streaming,
+    /// The connection dropped; backing off before redialing.
+    Reconnecting,
+    /// The apply loop has exited (shutdown or a fatal error).
+    Stopped,
+}
+
+impl FollowerState {
+    /// Every lifecycle state, for exhaustive iteration (the documented
+    /// state table in `docs/REPLICATION.md` is checked against this).
+    pub const ALL: [FollowerState; 5] = [
+        FollowerState::Connecting,
+        FollowerState::Bootstrapping,
+        FollowerState::Streaming,
+        FollowerState::Reconnecting,
+        FollowerState::Stopped,
+    ];
+
+    /// The stable lifecycle keyword reported in `stats` and the docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FollowerState::Connecting => "connecting",
+            FollowerState::Bootstrapping => "bootstrapping",
+            FollowerState::Streaming => "streaming",
+            FollowerState::Reconnecting => "reconnecting",
+            FollowerState::Stopped => "stopped",
+        }
+    }
+}
+
+/// Apply-loop progress shared with the stats path.
+struct Status {
+    state: FollowerState,
+    /// The next log position to apply — the resume position a reconnect
+    /// subscribes from; everything before it is applied locally.
+    next: Position,
+    /// The highest leader log-end position observed (subscribe acks and
+    /// chunk tails); the lag baseline.
+    leader_end: Position,
+    /// Cached `leader_end - next` (same-generation record distance).
+    lag: u64,
+}
+
+/// Records between `applied` and the observed leader end. Across a
+/// generation boundary the distance is unknowable without the leader's
+/// log; report 0 (the follower either catches up within the new
+/// generation or bootstraps from a snapshot).
+fn lag_between(applied: Position, leader_end: Position) -> u64 {
+    if applied.generation == leader_end.generation {
+        leader_end.seq.saturating_sub(applied.seq)
+    } else {
+        0
+    }
+}
+
+struct FollowerCore {
+    /// The local replica: catalog + memo cache, no persistence of its own
+    /// (the stream owns the on-disk artifacts).
+    service: LocalService,
+    catalog_file: PathBuf,
+    /// The follower's own sidecar: leader chunks appended verbatim.
+    sidecar: SidecarWriter,
+    leader_addr: String,
+    auth_token: Option<String>,
+    status: Mutex<Status>,
+    stop: AtomicBool,
+    /// The live leader connection's write half, kept so `stop` can
+    /// shut the socket down and unblock a reader parked in `read_frame`.
+    link: Mutex<Option<TcpStream>>,
+    lag_gauge: &'static Gauge,
+}
+
+/// A catalog replica streaming from a leader. See the module docs for the
+/// lifecycle; construct with [`Follower::open`], serve reads through
+/// [`Follower::service`], and drive the stream with [`Follower::run`] on a
+/// dedicated thread.
+pub struct Follower {
+    core: Arc<FollowerCore>,
+}
+
+impl Follower {
+    /// Open a follower bound to `catalog_file` (and its sidecar), resuming
+    /// from whatever position the local artifacts record — a fresh
+    /// directory starts at `0:0`, which any replicating leader reports as
+    /// stale, steering the first connection into a snapshot bootstrap.
+    pub fn open(
+        catalog_file: impl Into<PathBuf>,
+        leader_addr: impl Into<String>,
+        registry: Registry,
+        config: SessionConfig,
+        workers: usize,
+        auth_token: Option<String>,
+    ) -> Result<Follower, ServiceError> {
+        let catalog_file: PathBuf = catalog_file.into();
+        let sidecar = SidecarWriter::new(sidecar_path(&catalog_file));
+        let mut catalog = Catalog::new();
+        match std::fs::read_to_string(&catalog_file) {
+            Ok(text) => {
+                let document = parse_document(&text).map_err(|error| {
+                    ServiceError::parse(format!("{}: parse error: {error}", catalog_file.display()))
+                })?;
+                catalog.from_document(&document)?;
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::NotFound => {}
+            Err(error) => {
+                return Err(ServiceError::transport(format!(
+                    "cannot read {}: {error}",
+                    catalog_file.display()
+                )))
+            }
+        }
+        let state = sidecar.load_full();
+        let next = state.next_position();
+        for document in &state.doc_deltas {
+            let _ = catalog.from_document(document);
+        }
+        catalog.restore_versions(&state.manifest);
+        let workers = workers.max(1);
+        let mut session = SharedSession::with_config(catalog, registry, config, workers);
+        session.restore_cache(state.cache);
+        let lag_gauge = mapcomp_telemetry::metrics::global().gauge(
+            "replication_follower_lag",
+            "Delta records the follower has yet to apply (leader log end minus applied position).",
+            &[],
+        );
+        Ok(Follower {
+            core: Arc::new(FollowerCore {
+                service: LocalService::from_session(session, workers),
+                catalog_file,
+                sidecar,
+                leader_addr: leader_addr.into(),
+                auth_token,
+                status: Mutex::new(Status {
+                    state: FollowerState::Connecting,
+                    next,
+                    leader_end: next,
+                    lag: 0,
+                }),
+                stop: AtomicBool::new(false),
+                link: Mutex::new(None),
+                lag_gauge,
+            }),
+        })
+    }
+
+    /// The read-only service surface to put behind a server front end.
+    pub fn service(&self) -> ReadOnlyService {
+        ReadOnlyService { core: Arc::clone(&self.core) }
+    }
+
+    /// Current role, lifecycle state, resume position and lag.
+    pub fn status(&self) -> ReplicationInfo {
+        self.core.replication_info()
+    }
+
+    /// A snapshot of the replica's catalog — the comparison surface for
+    /// convergence checks (document rendering, version manifest).
+    pub fn catalog_snapshot(&self) -> Catalog {
+        self.core.service.session().catalog().snapshot()
+    }
+
+    /// Ask the apply loop to exit; unblocks a parked stream read.
+    pub fn stop(&self) {
+        self.core.stop();
+    }
+
+    /// Run the apply loop until [`Follower::stop`] (or a shutdown request
+    /// through the service surface). Reconnects with exponential backoff on
+    /// transport failures; returns an error only when the leader positively
+    /// refuses ([`ErrorCode::Unavailable`]: it is not replicating).
+    pub fn run(&self) -> Result<(), ServiceError> {
+        self.core.run()
+    }
+}
+
+impl FollowerCore {
+    fn lock_status(&self) -> MutexGuard<'_, Status> {
+        self.status.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn set_state(&self, state: FollowerState) {
+        self.lock_status().state = state;
+    }
+
+    fn next_position(&self) -> Position {
+        self.lock_status().next
+    }
+
+    fn replication_info(&self) -> ReplicationInfo {
+        let status = self.lock_status();
+        ReplicationInfo {
+            role: "follower".into(),
+            state: status.state.as_str().into(),
+            position: status.next,
+            lag: status.lag,
+        }
+    }
+
+    fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let link = self.link.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(stream) = link {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn run(&self) -> Result<(), ServiceError> {
+        let mut backoff = Duration::from_millis(50);
+        while !self.stopped() {
+            match self.connect_and_stream() {
+                // A completed subscription (stream ended in EOF or stop)
+                // resets the backoff: the leader was just healthy.
+                Ok(true) => backoff = Duration::from_millis(50),
+                Ok(false) => {}
+                Err(error) if error.code == ErrorCode::Unavailable => {
+                    // The leader answered and refused: it is not
+                    // replicating. Retrying cannot help; surface it.
+                    self.set_state(FollowerState::Stopped);
+                    return Err(error);
+                }
+                // Transport and protocol hiccups: back off and redial.
+                Err(_) => {}
+            }
+            if self.stopped() {
+                break;
+            }
+            self.set_state(FollowerState::Reconnecting);
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_secs(1));
+        }
+        self.set_state(FollowerState::Stopped);
+        Ok(())
+    }
+
+    /// One connection's lifetime: dial, subscribe (bootstrapping from a
+    /// snapshot if our position is stale), then apply the stream until it
+    /// ends. `Ok(true)` means a subscription was established.
+    fn connect_and_stream(&self) -> Result<bool, ServiceError> {
+        self.set_state(FollowerState::Connecting);
+        let mut link = LeaderLink::connect(&self.leader_addr, self.auth_token.clone())?;
+        {
+            let mut slot = self.link.lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = link.try_clone_stream();
+        }
+        loop {
+            let from = self.next_position();
+            link.send(&Request::Subscribe {
+                from_generation: from.generation,
+                from_seq: from.seq,
+            })?;
+            match link.read()? {
+                None => {
+                    return Err(ServiceError::transport(
+                        "leader closed the connection during subscribe",
+                    ))
+                }
+                Some(Ok(Response::Subscribed { position })) => {
+                    self.note_leader_end(position);
+                    break;
+                }
+                Some(Ok(other)) => {
+                    return Err(ServiceError::protocol(format!(
+                        "unexpected `{}` reply to subscribe",
+                        other.kind()
+                    )))
+                }
+                Some(Err(error)) if error.code == ErrorCode::Stale => {
+                    // Our position predates the leader's retained log:
+                    // bootstrap from a snapshot on the same connection,
+                    // then subscribe again from its exact position.
+                    self.set_state(FollowerState::Bootstrapping);
+                    link.send(&Request::Snapshot)?;
+                    match link.read()? {
+                        Some(Ok(Response::Snapshot(payload))) => self.install_snapshot(&payload)?,
+                        Some(Ok(other)) => {
+                            return Err(ServiceError::protocol(format!(
+                                "unexpected `{}` reply to snapshot",
+                                other.kind()
+                            )))
+                        }
+                        Some(Err(error)) => return Err(error),
+                        None => {
+                            return Err(ServiceError::transport(
+                                "leader closed the connection during snapshot bootstrap",
+                            ))
+                        }
+                    }
+                }
+                Some(Err(error)) => return Err(error),
+            }
+        }
+        self.set_state(FollowerState::Streaming);
+        while !self.stopped() {
+            match link.read() {
+                Ok(Some(Ok(Response::Delta(chunk)))) => self.apply_chunk(&chunk)?,
+                Ok(Some(Ok(Response::Generation { generation }))) => {
+                    self.apply_generation(generation)?;
+                }
+                Ok(Some(Ok(other))) => {
+                    return Err(ServiceError::protocol(format!(
+                        "unexpected `{}` frame in the subscription stream",
+                        other.kind()
+                    )))
+                }
+                Ok(Some(Err(error))) => return Err(error),
+                // EOF or a broken socket: reconnect from the recorded
+                // position.
+                Ok(None) | Err(_) => break,
+            }
+        }
+        Ok(true)
+    }
+
+    fn note_leader_end(&self, end: Position) {
+        let mut status = self.lock_status();
+        if status.leader_end < end {
+            status.leader_end = end;
+        }
+        status.lag = lag_between(status.next, status.leader_end);
+        let lag = status.lag;
+        drop(status);
+        self.lag_gauge.set(i64::try_from(lag).unwrap_or(i64::MAX));
+    }
+
+    /// Apply one streamed chunk: append it to our sidecar verbatim, ingest
+    /// its schema/mapping/invalidate records, and advance the resume
+    /// position past its tail. A chunk entirely below our position (a
+    /// snapshot-overlap re-delivery) is skipped whole.
+    fn apply_chunk(&self, chunk: &DeltaChunkPayload) -> Result<(), ServiceError> {
+        let next = self.next_position();
+        if chunk.last < next {
+            return Ok(());
+        }
+        self.sidecar.append(&chunk.chunk).map_err(|error| {
+            ServiceError::transport(format!(
+                "cannot append to {}: {error}",
+                self.sidecar.path().display()
+            ))
+        })?;
+        for line in chunk.chunk.lines() {
+            let Some((position, record)) = parse_positioned_delta(line) else { continue };
+            if position.is_some_and(|position| position < next) {
+                continue;
+            }
+            self.apply_record(&record)?;
+        }
+        self.advance_to(chunk.last.next());
+        Ok(())
+    }
+
+    /// Apply a generation boundary: the leader compacted, records restart
+    /// at `(generation, 0)`. The fold added no content, so the replica only
+    /// records the marker and moves its position.
+    fn apply_generation(&self, generation: u64) -> Result<(), ServiceError> {
+        let boundary = Position::new(generation, 0);
+        if boundary <= self.next_position() {
+            return Ok(());
+        }
+        self.sidecar.append(&render_generation_marker(boundary)).map_err(|error| {
+            ServiceError::transport(format!(
+                "cannot append to {}: {error}",
+                self.sidecar.path().display()
+            ))
+        })?;
+        self.advance_to(boundary);
+        Ok(())
+    }
+
+    fn advance_to(&self, next: Position) {
+        let mut status = self.lock_status();
+        status.next = next;
+        if status.leader_end < next {
+            status.leader_end = next;
+        }
+        status.lag = lag_between(status.next, status.leader_end);
+        let lag = status.lag;
+        drop(status);
+        self.lag_gauge.set(i64::try_from(lag).unwrap_or(i64::MAX));
+    }
+
+    fn apply_record(&self, record: &DeltaRecord) -> Result<(), ServiceError> {
+        match record {
+            DeltaRecord::Schema { decl } | DeltaRecord::Mapping { decl } => {
+                let document = parse_document(decl).map_err(|error| {
+                    ServiceError::protocol(format!("malformed delta payload: {error}"))
+                })?;
+                self.service.session().ingest_document(&document)?;
+            }
+            DeltaRecord::Invalidate { mapping } => {
+                let _ = self.service.session().invalidate(mapping);
+            }
+            // The leader's cache movements describe *its* memo cache; the
+            // replica's cache warms from its own read traffic (and from
+            // sidecar replay at restart, where the verbatim log carries
+            // these records to the loader).
+            DeltaRecord::Evict { .. } | DeltaRecord::Stats(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Install a snapshot bootstrap: persist the document + sidecar pair
+    /// atomically first (a crash between the two steps re-bootstraps), then
+    /// swap the in-memory replica to the snapshot's catalog. The memo cache
+    /// is cleared rather than imported — entries referencing dropped
+    /// content would be unreachable anyway, and the verbatim sidecar warms
+    /// the cache on the next restart.
+    fn install_snapshot(&self, payload: &SnapshotPayload) -> Result<(), ServiceError> {
+        let document = parse_document(&payload.document)
+            .map_err(|error| ServiceError::protocol(format!("malformed snapshot: {error}")))?;
+        let mut catalog = Catalog::new();
+        catalog.from_document(&document)?;
+        let state = load_sidecar(&payload.sidecar);
+        for document in &state.doc_deltas {
+            let _ = catalog.from_document(document);
+        }
+        catalog.restore_versions(&state.manifest);
+        self.sidecar
+            .rewrite_with_document(&self.catalog_file, || {
+                (payload.document.clone(), payload.sidecar.clone())
+            })
+            .map_err(|error| {
+                ServiceError::transport(format!(
+                    "cannot install snapshot at {}: {error}",
+                    self.catalog_file.display()
+                ))
+            })?;
+        self.service.session().restore_catalog(&catalog);
+        let _ = self.service.session().cache().clear();
+        let mut status = self.lock_status();
+        status.next = payload.position;
+        if status.leader_end < payload.position {
+            status.leader_end = payload.position;
+        }
+        status.lag = lag_between(status.next, status.leader_end);
+        let lag = status.lag;
+        drop(status);
+        self.lag_gauge.set(i64::try_from(lag).unwrap_or(i64::MAX));
+        Ok(())
+    }
+
+    /// Shutdown through the service surface: stop the apply loop, then
+    /// fold the replica into snapshot form — document + compacted sidecar
+    /// rewritten atomically at the current resume position, so a restart
+    /// resumes from exactly here and operators can byte-compare the
+    /// document against the leader's.
+    fn shutdown(&self) -> Result<Response, ServiceError> {
+        self.stop();
+        let position = self.next_position();
+        let catalog = self.service.session().catalog().snapshot();
+        let cache = self.service.session().cache().collect();
+        self.sidecar
+            .rewrite_with_document(&self.catalog_file, || {
+                (
+                    catalog.to_document_string(),
+                    format!(
+                        "{}{}",
+                        render_generation_marker(position),
+                        save_state(&catalog, &cache)
+                    ),
+                )
+            })
+            .map_err(|error| {
+                ServiceError::transport(format!(
+                    "cannot persist {}: {error}",
+                    self.catalog_file.display()
+                ))
+            })?;
+        Ok(Response::ShuttingDown)
+    }
+
+    fn readonly_error(&self) -> ServiceError {
+        ServiceError::new(
+            ErrorCode::Readonly,
+            format!(
+                "this catalog is a read-only follower; send writes to the leader at {}",
+                self.leader_addr
+            ),
+        )
+    }
+
+    fn not_a_leader_error(&self) -> ServiceError {
+        ServiceError::new(
+            ErrorCode::Unavailable,
+            format!(
+                "this catalog is a follower; replicate from the leader at {}",
+                self.leader_addr
+            ),
+        )
+    }
+}
+
+/// The follower's service surface: reads are served by the local replica
+/// (warm memo cache included), state-changing requests fail with
+/// [`ErrorCode::Readonly`] naming the leader, and `stats` reports the
+/// follower's role, lifecycle state, position and lag.
+#[derive(Clone)]
+pub struct ReadOnlyService {
+    core: Arc<FollowerCore>,
+}
+
+impl MapcompService for ReadOnlyService {
+    fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        match request {
+            Request::AddDocument { .. } | Request::Invalidate { .. } | Request::Compact => {
+                Err(self.core.readonly_error())
+            }
+            Request::Subscribe { .. } | Request::Snapshot => Err(self.core.not_a_leader_error()),
+            Request::Stats => {
+                let mut payload = self.core.service.stats_payload();
+                payload.replication = Some(self.core.replication_info());
+                Ok(Response::Stats(payload))
+            }
+            Request::Shutdown => self.core.shutdown(),
+            other => self.core.service.call(other),
+        }
+    }
+
+    fn subscribe(
+        &self,
+        _from: Position,
+        _wake: Arc<dyn Fn() + Send + Sync>,
+    ) -> Result<mapcomp_replication::Subscription, ServiceError> {
+        Err(self.core.not_a_leader_error())
+    }
+}
+
+/// One blocking connection to the leader, speaking raw frames (the
+/// [`crate::Client`] is one-in/one-out; a subscription reads many frames
+/// per request, so the follower drives the codec directly).
+struct LeaderLink {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    auth_token: Option<String>,
+    auth_sent: bool,
+}
+
+impl LeaderLink {
+    fn connect(addr: &str, auth_token: Option<String>) -> Result<LeaderLink, ServiceError> {
+        let stream = TcpStream::connect(addr).map_err(|error| {
+            ServiceError::transport(format!("cannot connect to leader at {addr}: {error}"))
+        })?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream
+            .try_clone()
+            .map_err(|error| ServiceError::transport(format!("cannot clone stream: {error}")))?;
+        Ok(LeaderLink { reader: BufReader::new(stream), writer, auth_token, auth_sent: false })
+    }
+
+    fn try_clone_stream(&self) -> Option<TcpStream> {
+        self.writer.try_clone().ok()
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ServiceError> {
+        let auth = if self.auth_sent { None } else { self.auth_token.as_deref() };
+        let frame = encode_request_frame(request, None, auth);
+        self.writer
+            .write_all(frame.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|error| ServiceError::transport(format!("cannot send request: {error}")))?;
+        self.auth_sent = true;
+        Ok(())
+    }
+
+    /// Read one reply frame: `Ok(None)` is a clean EOF, the inner result is
+    /// the serving side's answer (which may be an error reply).
+    fn read(&mut self) -> Result<Option<Result<Response, ServiceError>>, ServiceError> {
+        match read_frame(&mut self.reader) {
+            Err(error) => Err(ServiceError::transport(format!("cannot read reply: {error}"))),
+            Ok(None) => Ok(None),
+            Ok(Some(frame)) => Ok(Some(decode_reply(&frame)?)),
+        }
+    }
+}

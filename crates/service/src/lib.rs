@@ -26,6 +26,10 @@
 //! * [`client`] — the blocking [`Client`], itself a [`MapcompService`], so
 //!   callers cannot tell (and must not care) whether the catalog is local
 //!   or remote.
+//! * [`follower`] — follower mode: a read-only replica fed by a leader's
+//!   replication stream (subscribe, snapshot bootstrap, live delta apply),
+//!   the serving side of `mapcomp serve --follow` — see
+//!   `docs/REPLICATION.md`.
 //!
 //! The wire format is fully specified in `docs/WIRE_PROTOCOL.md` (frame
 //! grammar, escaping, every request/response kind, the stable error-code
@@ -64,16 +68,19 @@
 pub mod api;
 pub mod client;
 pub mod event;
+pub mod follower;
 pub mod server;
 pub mod service;
 pub mod wire;
 
 pub use api::{
-    AnalysisPayload, CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response,
-    SegmentCacheInfo, ServiceError, StatsPayload,
+    AnalysisPayload, CacheInfoPayload, ChainPayload, DeltaChunkPayload, ErrorCode, MappingInfo,
+    ReplicationInfo, Request, Response, SegmentCacheInfo, ServiceError, SnapshotPayload,
+    StatsPayload,
 };
 pub use client::Client;
 pub use event::EventServer;
+pub use follower::{Follower, FollowerState, ReadOnlyService};
 pub use server::Server;
 pub use service::{sidecar_path, LocalService, MapcompService, PersistMode, PersistPolicy};
 pub use wire::{

@@ -36,20 +36,21 @@
 //! specified in `docs/PERSISTENCE.md`.
 
 use std::path::PathBuf;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use mapcomp_algebra::parse_document;
 use mapcomp_catalog::{
-    render_cache_entry, render_delta, render_mapping_decl, render_schema_decl, save_state,
-    CacheEvent, CacheStats, Catalog, DeltaRecord, MemoKey, SessionConfig, SharedSession,
-    SidecarWriter, VersionManifest,
+    render_cache_entry, render_generation_marker, render_mapping_decl, render_positioned_delta,
+    render_schema_decl, save_state, CacheEvent, CacheStats, Catalog, DeltaRecord, MemoKey,
+    Position, SessionConfig, SharedSession, SidecarWriter, VersionManifest,
 };
 use mapcomp_compose::Registry;
+use mapcomp_replication::{LogChunk, ReplicationHub, SubscribeError, Subscription};
 use mapcomp_telemetry::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BOUNDS_US};
 
 use crate::api::{
-    AnalysisPayload, CacheInfoPayload, ChainPayload, MappingInfo, Request, Response,
-    SegmentCacheInfo, ServiceError, StatsPayload,
+    AnalysisPayload, CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, ReplicationInfo,
+    Request, Response, SegmentCacheInfo, ServiceError, SnapshotPayload, StatsPayload,
 };
 
 /// The most worker threads a single `ComposeBatch` request may fan across,
@@ -78,6 +79,28 @@ pub trait MapcompService {
     fn call_traced(&self, request: Request, trace: Option<u64>) -> Result<Response, ServiceError> {
         let _ = trace;
         self.call(request)
+    }
+
+    /// Open a replication subscription resuming at `from`; `wake` is called
+    /// after events are enqueued so a parked event loop re-polls. Unlike
+    /// [`MapcompService::call`], this is a long-lived stream, so it gets its
+    /// own seam — the event-loop front end handles `Request::Subscribe`
+    /// through it instead of the one-shot dispatch.
+    ///
+    /// The default implementation refuses: only backends that own a
+    /// [`ReplicationHub`] (a [`LocalService`] with replication enabled) can
+    /// serve streams, and remote clients follow with their own connection
+    /// rather than proxying one through [`crate::Client`].
+    fn subscribe(
+        &self,
+        from: Position,
+        wake: Arc<dyn Fn() + Send + Sync>,
+    ) -> Result<Subscription, ServiceError> {
+        let _ = (from, wake);
+        Err(ServiceError::new(
+            ErrorCode::Unavailable,
+            "this backend does not serve replication subscriptions",
+        ))
     }
 }
 
@@ -136,6 +159,10 @@ struct PersistState {
     last_stats: CacheStats,
     /// Delta appends since the last compaction.
     appends: usize,
+    /// The log position the next appended delta record will carry
+    /// (`generation` advances at every compaction, `seq` with every
+    /// positioned `delta` line — see `docs/PERSISTENCE.md`).
+    next: Position,
 }
 
 /// On-disk binding of a [`LocalService`]: the catalog document plus its
@@ -213,6 +240,11 @@ pub struct LocalService {
     batch_workers: usize,
     persistence: Option<Persistence>,
     telemetry: ServiceTelemetry,
+    /// The replication hub, once [`LocalService::enable_replication`] has
+    /// been called. Publishes happen under the persistence state mutex, so
+    /// subscribers observe appends and compaction boundaries in exactly the
+    /// on-disk order.
+    hub: OnceLock<Arc<ReplicationHub>>,
     /// Serialises `AddDocument` handling: the dry-run validation against a
     /// snapshot and the subsequent ingest must be one atomic step, or a
     /// concurrent ingest could invalidate the validation (e.g. redefine a
@@ -242,6 +274,23 @@ impl LocalService {
             batch_workers: workers,
             persistence: None,
             telemetry: ServiceTelemetry::new(mapcomp_telemetry::metrics::global()),
+            hub: OnceLock::new(),
+            ingest: std::sync::Mutex::new(()),
+        }
+    }
+
+    /// Wrap a prepared session — a restored catalog and an already-warm
+    /// memo cache — as an in-memory service. This is the follower's read
+    /// surface: the catalog content is owned by the replication stream, so
+    /// the service carries no persistence of its own (the follower appends
+    /// the leader's chunks to its sidecar verbatim instead).
+    pub(crate) fn from_session(session: SharedSession, workers: usize) -> Self {
+        LocalService {
+            session,
+            batch_workers: workers.max(1),
+            persistence: None,
+            telemetry: ServiceTelemetry::new(mapcomp_telemetry::metrics::global()),
+            hub: OnceLock::new(),
             ingest: std::sync::Mutex::new(()),
         }
     }
@@ -320,6 +369,7 @@ impl LocalService {
             }
         }
         let state = sidecar.load_full();
+        let next = state.next_position();
         // Replay the delta tail: catalog content first (in append order —
         // later declarations supersede earlier ones), then the recorded
         // versions. A delta that no longer applies is skipped; content
@@ -345,9 +395,10 @@ impl LocalService {
                 catalog_file,
                 sidecar,
                 policy,
-                state: Mutex::new(PersistState { last_stats, appends: 0 }),
+                state: Mutex::new(PersistState { last_stats, appends: 0, next }),
             }),
             telemetry: ServiceTelemetry::new(mapcomp_telemetry::metrics::global()),
+            hub: OnceLock::new(),
             ingest: std::sync::Mutex::new(()),
         })
     }
@@ -371,6 +422,12 @@ impl LocalService {
         let _span = mapcomp_telemetry::trace::start_span("persist/compact");
         let mut state = persistence.state();
         let bytes_before = persistence.sidecar.file_len();
+        // Every compaction opens a fresh generation: records appended after
+        // this snapshot are positioned `(generation+1, 0…)`, and a
+        // `generation` header line in the rewritten sidecar says so. This is
+        // what lets a replication subscriber know, from positions alone,
+        // whether its resume point survived the rewrite.
+        let boundary = Position::new(state.next.generation + 1, 0);
         // The snapshot is taken by the closure *inside* the sidecar's write
         // critical section, so concurrent persists write in snapshot order
         // — a request holding an older snapshot can never clobber a newer,
@@ -386,7 +443,9 @@ impl LocalService {
             let catalog = self.session.catalog().snapshot();
             let cache = self.session.cache().collect();
             snapshot_stats = Some(cache.stats());
-            (catalog.to_document_string(), save_state(&catalog, &cache))
+            let sidecar =
+                format!("{}{}", render_generation_marker(boundary), save_state(&catalog, &cache));
+            (catalog.to_document_string(), sidecar)
         });
         if let Err(error) = outcome {
             // Nothing was committed (or at worst only the document rename
@@ -405,6 +464,15 @@ impl LocalService {
             state.last_stats = stats;
         }
         state.appends = 0;
+        state.next = boundary;
+        // The boundary is handed to subscribers while the state mutex is
+        // still held, so no publish can interleave between the rewrite and
+        // this broadcast: a mid-stream subscriber receives every
+        // pre-compaction chunk, then the generation marker — nothing
+        // dropped, nothing duplicated.
+        if let Some(hub) = self.hub.get() {
+            hub.compacted(boundary);
+        }
         Ok((bytes_before, persistence.sidecar.file_len()))
     }
 
@@ -417,24 +485,43 @@ impl LocalService {
     }
 
     /// Make one state-changing request durable according to the configured
-    /// [`PersistPolicy`]: in incremental mode, append `extra` (the request's
-    /// catalog-content and invalidation deltas) plus everything the cache
+    /// [`PersistPolicy`]: in incremental mode, append the request's catalog
+    /// `deltas` and version `manifest` lines plus everything the cache
     /// journal accumulated — new memo entries, evictions, a statistics
     /// increment — as one contiguous chunk; in full-rewrite mode, snapshot
-    /// everything. An append that pushes the log over a compaction
-    /// threshold triggers compaction; a missing document file makes the
-    /// first persist a compaction too, so the snapshot the deltas replay
-    /// over always exists.
-    fn persist_change(&self, extra: &str) -> Result<(), ServiceError> {
+    /// everything. Every `delta` line is stamped with the next `(generation,
+    /// seq)` position, and when replication is enabled the byte-exact chunk
+    /// is published to the hub inside the same critical section, so the
+    /// stream order is the file order. An append that pushes the log over a
+    /// compaction threshold triggers compaction; a missing document file
+    /// makes the first persist a compaction too, so the snapshot the deltas
+    /// replay over always exists.
+    fn persist_change(&self, deltas: Vec<DeltaRecord>, manifest: &str) -> Result<(), ServiceError> {
         let Some(persistence) = &self.persistence else { return Ok(()) };
         if persistence.policy.mode == PersistMode::FullRewrite || !persistence.catalog_file.exists()
         {
             return self.persist();
         }
         let _span = mapcomp_telemetry::trace::start_span("persist/append");
-        let mut chunk = String::from(extra);
+        let mut chunk = String::new();
         {
             let mut state = persistence.state();
+            let mut position = state.next;
+            let mut range: Option<(Position, Position)> = None;
+            let push_delta = |chunk: &mut String,
+                              position: &mut Position,
+                              range: &mut Option<(Position, Position)>,
+                              record: &DeltaRecord| {
+                let first = range.map_or(*position, |(first, _)| first);
+                *range = Some((first, *position));
+                chunk.push_str(&render_positioned_delta(*position, record));
+                chunk.push('\n');
+                *position = position.next();
+            };
+            for record in &deltas {
+                push_delta(&mut chunk, &mut position, &mut range, record);
+            }
+            chunk.push_str(manifest);
             // Only the last event per key matters: the key is either live
             // (persist its current entry) or gone (persist the eviction).
             // Per-key order is preserved across the drain because a key
@@ -461,15 +548,13 @@ impl LocalService {
                         chunk.push_str(&render_cache_entry(&key, &chain));
                     }
                 } else {
-                    chunk.push_str(&render_delta(&DeltaRecord::Evict { key }));
-                    chunk.push('\n');
+                    push_delta(&mut chunk, &mut position, &mut range, &DeltaRecord::Evict { key });
                 }
             }
             let now = self.session.cache().stats();
             let delta = now.delta_since(state.last_stats);
             if !delta.is_zero() {
-                chunk.push_str(&render_delta(&DeltaRecord::Stats(delta)));
-                chunk.push('\n');
+                push_delta(&mut chunk, &mut position, &mut range, &DeltaRecord::Stats(delta));
             }
             if chunk.is_empty() {
                 return Ok(());
@@ -489,6 +574,15 @@ impl LocalService {
             }
             state.last_stats = now;
             state.appends += 1;
+            state.next = position;
+            // Publish the byte-exact chunk while the state mutex is still
+            // held: the hub's stream order is the append order, the
+            // invariant that lets followers apply blindly in arrival order.
+            if let Some(hub) = self.hub.get() {
+                if let Some((first, last)) = range {
+                    hub.publish(LogChunk { first, last, text: Arc::from(chunk.as_str()) });
+                }
+            }
             let over_appends =
                 persistence.policy.compact_appends.is_some_and(|limit| state.appends >= limit);
             let over_bytes = persistence
@@ -511,9 +605,82 @@ impl LocalService {
     /// failed resolutions, empty batches — skip the disk round trip.
     fn persist_if_used(&self, compose_calls: usize, cache_hits: usize) -> Result<(), ServiceError> {
         if compose_calls > 0 || cache_hits > 0 {
-            self.persist_change("")?;
+            self.persist_change(Vec::new(), "")?;
         }
         Ok(())
+    }
+
+    /// Turn this service into a replication leader: fold the delta log into
+    /// a fresh snapshot (opening a new generation, so the hub's retained log
+    /// starts empty at an exact on-disk boundary) and return the hub that
+    /// [`Request::Subscribe`] streams and the persistence path publishes
+    /// into. Idempotent — a second call returns the same hub without
+    /// recompacting. Requires incremental persistence: in-memory services
+    /// have no log to stream, and full-rewrite mode never appends deltas.
+    pub fn enable_replication(&self) -> Result<Arc<ReplicationHub>, ServiceError> {
+        let Some(persistence) = &self.persistence else {
+            return Err(ServiceError::new(
+                ErrorCode::Unavailable,
+                "replication requires a persistent catalog (serve with a catalog file)",
+            ));
+        };
+        if persistence.policy.mode == PersistMode::FullRewrite {
+            return Err(ServiceError::new(
+                ErrorCode::Unavailable,
+                "replication requires incremental persistence; full-rewrite mode keeps no delta log",
+            ));
+        }
+        if let Some(existing) = self.hub.get() {
+            return Ok(Arc::clone(existing));
+        }
+        let hub = Arc::new(ReplicationHub::new());
+        if self.hub.set(Arc::clone(&hub)).is_err() {
+            // A concurrent enable won the race; use its hub (already seeded
+            // by its compaction).
+            let existing = self.hub.get().expect("hub was just set");
+            return Ok(Arc::clone(existing));
+        }
+        // compact() sees the hub and seeds its position with the fresh
+        // generation boundary.
+        self.compact()?;
+        Ok(hub)
+    }
+
+    /// The replication hub, when [`LocalService::enable_replication`] has
+    /// been called.
+    pub fn replication_hub(&self) -> Option<&Arc<ReplicationHub>> {
+        self.hub.get()
+    }
+
+    /// Serve a snapshot bootstrap: the catalog document, a sidecar snapshot
+    /// (prefixed with the generation header), and the exact log position the
+    /// pair represents — the position a follower resumes subscribing from.
+    /// The position is read under the persistence state mutex, so it can
+    /// only *trail* the live catalog snapshot, never run ahead of it: any
+    /// mutation between the two is re-delivered as a chunk the follower
+    /// replays idempotently.
+    fn serve_snapshot(&self) -> Result<Response, ServiceError> {
+        let Some(persistence) = &self.persistence else {
+            return Err(ServiceError::new(
+                ErrorCode::Unavailable,
+                "snapshot bootstrap requires a persistent catalog",
+            ));
+        };
+        let state = persistence.state();
+        let position = state.next;
+        let catalog = self.session.catalog().snapshot();
+        let cache = self.session.cache().collect();
+        drop(state);
+        let sidecar =
+            format!("{}{}", render_generation_marker(position), save_state(&catalog, &cache));
+        if let Some(hub) = self.hub.get() {
+            hub.note_snapshot_served();
+        }
+        Ok(Response::Snapshot(SnapshotPayload {
+            position,
+            document: catalog.to_document_string(),
+            sidecar,
+        }))
     }
 
     /// Capture the stats payload: catalog counts, per-mapping registration
@@ -538,6 +705,12 @@ impl LocalService {
             entries,
             session: self.session.stats(),
             cache_capacity: self.session.config().cache_capacity,
+            replication: self.hub.get().map(|hub| ReplicationInfo {
+                role: "leader".into(),
+                state: "serving".into(),
+                position: hub.position(),
+                lag: 0,
+            }),
         }
     }
 }
@@ -570,6 +743,32 @@ impl MapcompService for LocalService {
         }
         telemetry.duration_us.observe(started.elapsed().as_micros() as u64);
         result
+    }
+
+    /// Open a subscription on the replication hub. A position that
+    /// compaction has discarded (or that lies beyond the log) fails with
+    /// [`ErrorCode::Stale`]; the follower falls back to
+    /// [`Request::Snapshot`].
+    fn subscribe(
+        &self,
+        from: Position,
+        wake: Arc<dyn Fn() + Send + Sync>,
+    ) -> Result<Subscription, ServiceError> {
+        let Some(hub) = self.hub.get() else {
+            return Err(ServiceError::new(
+                ErrorCode::Unavailable,
+                "replication is not enabled on this server (serve with --replicate)",
+            ));
+        };
+        hub.subscribe(from, wake).map_err(|SubscribeError::Stale(position)| {
+            ServiceError::new(
+                ErrorCode::Stale,
+                format!(
+                    "position {from} is not in the retained log (leader at {position}); \
+                     bootstrap from a snapshot"
+                ),
+            )
+        })
     }
 }
 
@@ -610,7 +809,7 @@ impl LocalService {
                 // invalidation for each edit's stale cached compositions),
                 // and their version lines — cost proportional to the
                 // change, never to the catalog.
-                let mut extra = String::new();
+                let mut deltas = Vec::new();
                 let mut manifest = VersionManifest::default();
                 for name in document.schemas.keys() {
                     let Ok(entry) = catalog.schema(name) else { continue };
@@ -618,8 +817,7 @@ impl LocalService {
                         continue;
                     }
                     let decl = render_schema_decl(&entry.name, &entry.signature);
-                    extra.push_str(&render_delta(&DeltaRecord::Schema { decl }));
-                    extra.push('\n');
+                    deltas.push(DeltaRecord::Schema { decl });
                     manifest.absorb(VersionManifest::of_schema(&entry));
                 }
                 for name in &touched {
@@ -636,16 +834,11 @@ impl LocalService {
                         &entry.target,
                         &entry.constraints,
                     );
-                    extra.push_str(&render_delta(&DeltaRecord::Mapping { decl }));
-                    extra.push('\n');
-                    extra.push_str(&render_delta(&DeltaRecord::Invalidate {
-                        mapping: name.clone(),
-                    }));
-                    extra.push('\n');
+                    deltas.push(DeltaRecord::Mapping { decl });
+                    deltas.push(DeltaRecord::Invalidate { mapping: name.clone() });
                     manifest.absorb(VersionManifest::of_mapping(&entry));
                 }
-                extra.push_str(&manifest.render());
-                self.persist_change(&extra)?;
+                self.persist_change(deltas, &manifest.render())?;
                 Ok(Response::Added {
                     touched,
                     schemas: catalog.schema_count(),
@@ -704,9 +897,7 @@ impl LocalService {
                 // them would also discard unrelated concurrent evictions
                 // drained in the same pass); the overlap is an idempotent
                 // no-op on replay.
-                let mut extra = render_delta(&DeltaRecord::Invalidate { mapping });
-                extra.push('\n');
-                self.persist_change(&extra)?;
+                self.persist_change(vec![DeltaRecord::Invalidate { mapping }], "")?;
                 Ok(Response::Invalidated { dropped })
             }
             Request::Analyze { mapping } => {
@@ -755,6 +946,12 @@ impl LocalService {
                 let (bytes_before, bytes_after) = self.compact()?;
                 Ok(Response::Compacted { bytes_before, bytes_after })
             }
+            Request::Subscribe { .. } => Err(ServiceError::new(
+                ErrorCode::Unavailable,
+                "subscriptions are long-lived streams; they are served by the \
+                 event-loop front end, not one-shot dispatch",
+            )),
+            Request::Snapshot => self.serve_snapshot(),
             Request::Shutdown => {
                 // The backend's part of a shutdown is durability — a final
                 // compaction folding the delta log into snapshot form;
@@ -933,7 +1130,18 @@ mod tests {
         assert!(sidecar_after_compose.starts_with(&sidecar_after_add), "append-only");
         let tail = &sidecar_after_compose[sidecar_after_add.len()..];
         assert!(tail.contains("entry "), "the new memo entries are appended:\n{tail}");
-        assert!(tail.contains("delta stats "), "the statistics increment is appended:\n{tail}");
+        // Deltas are positioned: `delta <generation> <seq> <kind> …`.
+        let delta_of = |text: &str, kind: &str| {
+            text.lines().any(|line| {
+                line.strip_prefix("delta ").is_some_and(|body| {
+                    let mut tokens = body.splitn(3, ' ');
+                    tokens.next().is_some_and(|t| t.parse::<u64>().is_ok())
+                        && tokens.next().is_some_and(|t| t.parse::<u64>().is_ok())
+                        && tokens.next().is_some_and(|rest| rest.starts_with(kind))
+                })
+            })
+        };
+        assert!(delta_of(tail, "stats "), "the statistics increment is appended:\n{tail}");
 
         // An edit via add-document appends content + invalidation deltas.
         let edited = chain_document(3).replace(
@@ -943,8 +1151,8 @@ mod tests {
         service.call(Request::AddDocument { text: edited }).unwrap();
         let sidecar_after_edit = std::fs::read_to_string(sidecar_path(&file)).unwrap();
         let tail = &sidecar_after_edit[sidecar_after_compose.len()..];
-        assert!(tail.contains("delta mapping "), "edited declaration appended:\n{tail}");
-        assert!(tail.contains("delta invalidate m1"), "invalidation appended:\n{tail}");
+        assert!(delta_of(tail, "mapping "), "edited declaration appended:\n{tail}");
+        assert!(delta_of(tail, "invalidate m1"), "invalidation appended:\n{tail}");
         assert!(tail.contains("version mapping m1 2 "), "version bump appended:\n{tail}");
         assert_eq!(std::fs::read_to_string(&file).unwrap(), snapshot, "snapshot still untouched");
 

@@ -37,10 +37,11 @@
 use std::io::BufRead;
 
 use crate::api::{
-    AnalysisPayload, CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response,
-    SegmentCacheInfo, ServiceError, StatsPayload,
+    AnalysisPayload, CacheInfoPayload, ChainPayload, DeltaChunkPayload, ErrorCode, MappingInfo,
+    ReplicationInfo, Request, Response, SegmentCacheInfo, ServiceError, SnapshotPayload,
+    StatsPayload,
 };
-use mapcomp_catalog::{CacheStats, SessionStats};
+use mapcomp_catalog::{CacheStats, Position, SessionStats};
 
 /// Protocol name and version, the first two tokens of every frame.
 pub const PROTOCOL: &str = "mapcomp-service 1";
@@ -166,6 +167,17 @@ fn parse_u64_dec(value: &str, field: &str) -> Result<u64, ServiceError> {
         .map_err(|_| ServiceError::protocol(format!("field `{field}` has a bad count `{value}`")))
 }
 
+/// Parse a `<generation> <seq>` log-position value (two decimal tokens).
+fn parse_position(value: &str, field: &str) -> Result<Position, ServiceError> {
+    let tokens: Vec<&str> = value.split_whitespace().collect();
+    let [generation, seq] = tokens.as_slice() else {
+        return Err(ServiceError::protocol(format!(
+            "field `{field}` does not hold a `<generation> <seq>` position"
+        )));
+    };
+    Ok(Position::new(parse_u64_dec(generation, field)?, parse_u64_dec(seq, field)?))
+}
+
 /// One `key value…` field line, split on the first space.
 fn split_field(line: &str) -> (&str, &str) {
     match line.split_once(' ') {
@@ -225,7 +237,12 @@ pub fn encode_request_frame(request: &Request, trace: Option<u64>, auth: Option<
         | Request::CacheInfo
         | Request::Metrics
         | Request::Compact
+        | Request::Snapshot
         | Request::Shutdown => {}
+        Request::Subscribe { from_generation, from_seq } => {
+            out.push_str(&format!("generation {from_generation}\n"));
+            out.push_str(&format!("seq {from_seq}\n"));
+        }
         Request::AddDocument { text } => {
             out.push_str(&format!("text {}\n", escape(text)));
         }
@@ -308,7 +325,7 @@ pub fn decode_request_frame(
 /// stripped). Strict: unknown or duplicated fields are protocol errors.
 fn decode_request_fields(kind: &str, lines: Vec<&str>) -> Result<Request, ServiceError> {
     match kind {
-        "ping" | "stats" | "cache-info" | "metrics" | "compact" | "shutdown" => {
+        "ping" | "stats" | "cache-info" | "metrics" | "compact" | "snapshot" | "shutdown" => {
             if let Some(line) = lines.first() {
                 return Err(unknown_field(kind, line));
             }
@@ -318,7 +335,26 @@ fn decode_request_fields(kind: &str, lines: Vec<&str>) -> Result<Request, Servic
                 "cache-info" => Request::CacheInfo,
                 "metrics" => Request::Metrics,
                 "compact" => Request::Compact,
+                "snapshot" => Request::Snapshot,
                 _ => Request::Shutdown,
+            })
+        }
+        "subscribe" => {
+            let (mut generation, mut seq) = (None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("generation", value) if generation.is_none() => {
+                        generation = Some(parse_u64_dec(value, "generation")?);
+                    }
+                    ("seq", value) if seq.is_none() => {
+                        seq = Some(parse_u64_dec(value, "seq")?);
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Request::Subscribe {
+                from_generation: generation.ok_or_else(|| missing("generation"))?,
+                from_seq: seq.ok_or_else(|| missing("seq"))?,
             })
         }
         "add-document" => {
@@ -605,6 +641,41 @@ pub fn encode_reply(reply: &Result<Response, ServiceError>) -> String {
                         session.cache.invalidated,
                         session.cache.evictions
                     ));
+                    if let Some(replication) = &stats.replication {
+                        out.push_str(&format!(
+                            "replication {} {} {} {} {}\n",
+                            escape(&replication.role),
+                            escape(&replication.state),
+                            replication.position.generation,
+                            replication.position.seq,
+                            replication.lag
+                        ));
+                    }
+                }
+                Response::Subscribed { position } => {
+                    out.push_str(&format!("position {} {}\n", position.generation, position.seq));
+                }
+                Response::Delta(payload) => {
+                    out.push_str(&format!(
+                        "first {} {}\n",
+                        payload.first.generation, payload.first.seq
+                    ));
+                    out.push_str(&format!(
+                        "last {} {}\n",
+                        payload.last.generation, payload.last.seq
+                    ));
+                    out.push_str(&format!("chunk {}\n", escape(&payload.chunk)));
+                }
+                Response::Generation { generation } => {
+                    out.push_str(&format!("generation {generation}\n"));
+                }
+                Response::Snapshot(payload) => {
+                    out.push_str(&format!(
+                        "position {} {}\n",
+                        payload.position.generation, payload.position.seq
+                    ));
+                    out.push_str(&format!("document {}\n", escape(&payload.document)));
+                    out.push_str(&format!("sidecar {}\n", escape(&payload.sidecar)));
                 }
             }
             out.push_str(FRAME_END);
@@ -819,6 +890,7 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
             let (mut schemas, mut mappings, mut session) = (None, None, None);
             let mut capacity = None;
             let mut entries = Vec::new();
+            let mut replication = None;
             for line in lines {
                 match split_field(line) {
                     ("schemas", value) if schemas.is_none() => {
@@ -895,6 +967,23 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
                             },
                         });
                     }
+                    ("replication", value) if replication.is_none() => {
+                        let tokens: Vec<&str> = value.split_whitespace().collect();
+                        let [role, state, generation, seq, lag] = tokens.as_slice() else {
+                            return Err(ServiceError::protocol(format!(
+                                "stats replication line `{line}` does not hold five tokens"
+                            )));
+                        };
+                        replication = Some(ReplicationInfo {
+                            role: unescape(role)?,
+                            state: unescape(state)?,
+                            position: Position::new(
+                                parse_u64_dec(generation, "replication generation")?,
+                                parse_u64_dec(seq, "replication seq")?,
+                            ),
+                            lag: parse_u64_dec(lag, "replication lag")?,
+                        });
+                    }
                     _ => return Err(unknown_field(kind, line)),
                 }
             }
@@ -904,6 +993,73 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
                 entries,
                 session: session.ok_or_else(|| missing("session"))?,
                 cache_capacity: capacity.ok_or_else(|| missing("capacity"))?,
+                replication,
+            })))
+        }
+        "subscribed" => {
+            let mut position = None;
+            for line in lines {
+                match split_field(line) {
+                    ("position", value) if position.is_none() => {
+                        position = Some(parse_position(value, "position")?);
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Subscribed { position: position.ok_or_else(|| missing("position"))? }))
+        }
+        "delta-chunk" => {
+            let (mut first, mut last, mut chunk) = (None, None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("first", value) if first.is_none() => {
+                        first = Some(parse_position(value, "first")?);
+                    }
+                    ("last", value) if last.is_none() => {
+                        last = Some(parse_position(value, "last")?);
+                    }
+                    ("chunk", value) if chunk.is_none() => chunk = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Delta(DeltaChunkPayload {
+                first: first.ok_or_else(|| missing("first"))?,
+                last: last.ok_or_else(|| missing("last"))?,
+                chunk: chunk.ok_or_else(|| missing("chunk"))?,
+            })))
+        }
+        "generation" => {
+            let mut generation = None;
+            for line in lines {
+                match split_field(line) {
+                    ("generation", value) if generation.is_none() => {
+                        generation = Some(parse_u64_dec(value, "generation")?);
+                    }
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Generation {
+                generation: generation.ok_or_else(|| missing("generation"))?,
+            }))
+        }
+        "snapshot" => {
+            let (mut position, mut document, mut sidecar) = (None, None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("position", value) if position.is_none() => {
+                        position = Some(parse_position(value, "position")?);
+                    }
+                    ("document", value) if document.is_none() => {
+                        document = Some(unescape(value)?);
+                    }
+                    ("sidecar", value) if sidecar.is_none() => sidecar = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Ok(Response::Snapshot(SnapshotPayload {
+                position: position.ok_or_else(|| missing("position"))?,
+                document: document.ok_or_else(|| missing("document"))?,
+                sidecar: sidecar.ok_or_else(|| missing("sidecar"))?,
             })))
         }
         other => Err(ServiceError::protocol(format!("unknown response kind `{other}`"))),
@@ -1052,6 +1208,73 @@ mod tests {
         }));
         let frame = encode_reply(&reply);
         assert_eq!(decode_reply(&frame).unwrap(), reply);
+    }
+
+    #[test]
+    fn subscribe_and_snapshot_requests_round_trip() {
+        for request in [
+            Request::Subscribe { from_generation: 0, from_seq: 0 },
+            Request::Subscribe { from_generation: 7, from_seq: 4096 },
+            Request::Snapshot,
+        ] {
+            let frame = encode_request(&request);
+            assert_eq!(decode_request(&frame).unwrap(), request, "frame:\n{frame}");
+        }
+        // Both position fields are mandatory on subscribe.
+        let partial = "mapcomp-service 1 request subscribe\ngeneration 3\nend\n";
+        assert_eq!(decode_request(partial).unwrap_err().code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn replication_replies_round_trip() {
+        let replies = [
+            Ok(Response::Subscribed { position: Position::new(3, 17) }),
+            Ok(Response::Delta(crate::api::DeltaChunkPayload {
+                first: Position::new(3, 17),
+                last: Position::new(3, 19),
+                chunk: "delta 3 17 invalidate m%20one\nversion m1 4\n".into(),
+            })),
+            Ok(Response::Generation { generation: 4 }),
+            Ok(Response::Snapshot(crate::api::SnapshotPayload {
+                position: Position::new(4, 0),
+                document: "schema s { R/1; }\n".into(),
+                sidecar: "generation 4 0\nstats 0 0 0 0 0\n".into(),
+            })),
+        ];
+        for reply in replies {
+            let frame = encode_reply(&reply);
+            assert_eq!(decode_reply(&frame).unwrap(), reply, "frame:\n{frame}");
+        }
+        // A one-token position is malformed.
+        let bad = "mapcomp-service 1 response subscribed\nposition 3\nend\n";
+        assert_eq!(decode_reply(bad).unwrap_err().code, ErrorCode::Protocol);
+    }
+
+    #[test]
+    fn stats_replication_line_is_optional_and_round_trips() {
+        let mut stats = crate::api::StatsPayload::default();
+        let frame = encode_reply(&Ok(Response::Stats(stats.clone())));
+        assert!(!frame.contains("\nreplication "), "frame:\n{frame}");
+        stats.replication = Some(crate::api::ReplicationInfo {
+            role: "follower".into(),
+            state: "streaming".into(),
+            position: Position::new(2, 40),
+            lag: 3,
+        });
+        let reply = Ok(Response::Stats(stats));
+        let frame = encode_reply(&reply);
+        assert_eq!(decode_reply(&frame).unwrap(), reply, "frame:\n{frame}");
+    }
+
+    #[test]
+    fn readonly_and_stale_error_codes_round_trip() {
+        for code in [ErrorCode::Readonly, ErrorCode::Stale] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+            let reply: Result<Response, ServiceError> =
+                Err(ServiceError::new(code, "writes go to the leader at 127.0.0.1:7070"));
+            let frame = encode_reply(&reply);
+            assert_eq!(decode_reply(&frame).unwrap(), reply);
+        }
     }
 
     #[test]

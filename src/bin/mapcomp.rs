@@ -68,6 +68,7 @@
 //!                [--require-complete] [--idle-timeout SECONDS]
 //!                [--slow-ms N] [--log-format text|json]
 //!                [--persist incremental|full] [compose flags]
+//!                [--replicate | --follow <host:port>]
 //! mapcomp client --addr <host:port> [--auth-token-file <path>] ping
 //! mapcomp client --addr <host:port> add <document-file>...
 //! mapcomp client --addr <host:port> compose-path <from> <to> [--stats]
@@ -100,6 +101,14 @@
 //! is off. The metric catalog, log-line shape, and the wire-level `trace`
 //! field are specified in `docs/OBSERVABILITY.md`.
 //!
+//! `serve --replicate` makes the process a replication *leader*: every
+//! sidecar append is published to subscribers, and `subscribe`/`snapshot`
+//! requests are answered (event engine only). `serve --follow <host:port>`
+//! makes it a read-only *follower* of the leader at that address: reads
+//! are served from a local replica fed by the leader's delta stream, and
+//! writes fail with the `readonly` error code naming the leader. See
+//! `docs/REPLICATION.md` for the stream grammar and follower lifecycle.
+//!
 //! `serve` prints `listening on <addr>` once the socket is bound (bind port
 //! 0 for an ephemeral port and read it off that line), then blocks until a
 //! client sends `shutdown`. Composition policy (compose flags, path cost,
@@ -124,8 +133,8 @@ use mapping_composition::algebra::parse_document;
 use mapping_composition::catalog::{Catalog, ChainOptions, PathCost, SessionConfig};
 use mapping_composition::compose::{compose, minimize_mapping, ComposeConfig, Registry};
 use mapping_composition::service::{
-    Client, EventServer, LocalService, MapcompService, PersistMode, PersistPolicy, Request,
-    Response, Server,
+    Client, EventServer, Follower, LocalService, MapcompService, PersistMode, PersistPolicy,
+    Request, Response, Server,
 };
 use mapping_composition::telemetry::log::LogFormat;
 
@@ -294,6 +303,13 @@ struct ServiceArgs {
     /// `--auth-token-file <path>`: file whose first line is the shared
     /// auth token (serve requires it, client presents it).
     auth_token_file: Option<String>,
+    /// `--replicate`: serve as a replication leader — publish every sidecar
+    /// append to subscribers and answer `subscribe`/`snapshot`. Serve mode,
+    /// event engine only.
+    replicate: bool,
+    /// `--follow <host:port>`: serve as a read-only follower of the leader
+    /// at that address. Serve mode only.
+    follow: Option<String>,
     /// Session-policy flags seen while parsing (compose flags,
     /// `--require-complete`, `--cache-capacity`, `--path-cost`). They only
     /// take effect on the serving side, so client mode rejects them instead
@@ -350,6 +366,8 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
         engine: None,
         queue_limit: None,
         auth_token_file: None,
+        replicate: false,
+        follow: None,
         policy_flags: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -480,6 +498,11 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
             "--auth-token-file" => {
                 let value = iter.next().ok_or("--auth-token-file requires a file path")?;
                 parsed.auth_token_file = Some(value.clone());
+            }
+            "--replicate" => parsed.replicate = true,
+            "--follow" => {
+                let value = iter.next().ok_or("--follow requires the leader's host:port")?;
+                parsed.follow = Some(value.clone());
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
             other => parsed.positional.push(other.to_string()),
@@ -743,6 +766,12 @@ fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), S
                 session.cache.invalidated,
                 session.cache.evictions
             );
+            if let Some(replication) = &stats.replication {
+                eprintln!(
+                    "replication : {} ({}) at position {}, lag {}",
+                    replication.role, replication.state, replication.position, replication.lag
+                );
+            }
             // Connectivity summary, computed client-side from the entry
             // edges: for each schema with outgoing mappings, what it can
             // compose to (fewest hops).
@@ -855,6 +884,9 @@ fn run_catalog(args: &ServiceArgs) -> Result<(), String> {
     if args.engine.is_some() || args.queue_limit.is_some() {
         return Err("--engine/--queue-limit apply to `mapcomp serve`, not catalog mode".to_string());
     }
+    if args.replicate || args.follow.is_some() {
+        return Err("--replicate/--follow apply to `mapcomp serve`, not catalog mode".to_string());
+    }
     if args.auth_token_file.is_some() {
         return Err(
             "--auth-token-file applies to `mapcomp serve` and `mapcomp client`, not catalog mode"
@@ -898,6 +930,19 @@ fn run_serve(args: &ServiceArgs) -> Result<(), String> {
             .to_string());
     }
     let auth_token = args.auth_token_file.as_deref().map(read_auth_token).transpose()?;
+    if args.replicate && args.follow.is_some() {
+        return Err("--replicate and --follow are mutually exclusive: a process is a \
+                    leader or a follower, not both"
+            .to_string());
+    }
+    if args.replicate && engine == ServeEngine::Threaded {
+        return Err("--replicate requires the event engine: subscriptions are long-lived \
+                    streams served by the event loop"
+            .to_string());
+    }
+    if let Some(leader) = &args.follow {
+        return run_follower(args, catalog_file, leader, &addr, workers, engine, auth_token);
+    }
     let service = LocalService::open_with_policy(
         catalog_file,
         Registry::standard(),
@@ -907,6 +952,10 @@ fn run_serve(args: &ServiceArgs) -> Result<(), String> {
         args.persist_policy(),
     )
     .map_err(|e| e.to_string())?;
+    if args.replicate {
+        service.enable_replication().map_err(|e| e.to_string())?;
+        eprintln!("replicating : leader mode, publishing the delta log to subscribers");
+    }
     let idle_timeout =
         args.idle_timeout.filter(|&s| s > 0.0).map(std::time::Duration::from_secs_f64);
     let slow_threshold = args.slow_ms.filter(|&ms| ms > 0).map(|ms| {
@@ -966,6 +1015,102 @@ fn run_serve(args: &ServiceArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Serve as a read-only follower: open the local replica, put its
+/// read-only service surface behind the chosen server front end, and drive
+/// the replication apply loop (subscribe → bootstrap → stream) on a
+/// dedicated thread. The auth token, when given, is presented to the
+/// leader *and* required of the follower's own clients.
+fn run_follower(
+    args: &ServiceArgs,
+    catalog_file: &str,
+    leader: &str,
+    addr: &str,
+    workers: usize,
+    engine: ServeEngine,
+    auth_token: Option<String>,
+) -> Result<(), String> {
+    // Persistence policy configures a leader's delta log; the follower's
+    // sidecar mirrors the leader's log verbatim, so the flags would be
+    // silently meaningless here.
+    if args.persist_mode.is_some() || args.compact_appends.is_some() || args.compact_bytes.is_some()
+    {
+        return Err("--persist/--compact-appends/--compact-bytes configure a leader's log; \
+                    a follower mirrors the leader's log verbatim"
+            .to_string());
+    }
+    let follower = Follower::open(
+        catalog_file,
+        leader,
+        Registry::standard(),
+        args.session_config(),
+        workers,
+        auth_token.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let service = follower.service();
+    let idle_timeout =
+        args.idle_timeout.filter(|&s| s > 0.0).map(std::time::Duration::from_secs_f64);
+    let slow_threshold = args.slow_ms.filter(|&ms| ms > 0).map(|ms| {
+        mapping_composition::telemetry::trace::set_slow_threshold_ms(ms);
+        std::time::Duration::from_millis(ms)
+    });
+    let engine_name = match engine {
+        ServeEngine::Event => "event",
+        ServeEngine::Threaded => "threaded",
+    };
+    let announce = |bound: std::net::SocketAddr| {
+        println!("listening on {bound}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        eprintln!(
+            "following   : leader {leader} -> catalog {catalog_file} \
+             ({engine_name} engine, read-only; send `shutdown` to stop)"
+        );
+    };
+    std::thread::scope(|scope| -> Result<(), String> {
+        let apply = scope.spawn(|| follower.run());
+        let served = match engine {
+            ServeEngine::Event => {
+                let mut server =
+                    EventServer::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+                if let Some(timeout) = idle_timeout {
+                    server.set_idle_timeout(Some(timeout));
+                }
+                if let Some(threshold) = slow_threshold {
+                    server.set_slow_threshold(Some(threshold));
+                }
+                server.set_log_format(args.log_format);
+                server.set_auth_token(auth_token.clone());
+                if let Some(limit) = args.queue_limit {
+                    server.set_queue_limit(limit);
+                }
+                announce(server.local_addr().map_err(|e| e.to_string())?);
+                server.run(&service, workers).map_err(|e| e.to_string())
+            }
+            ServeEngine::Threaded => {
+                let mut server =
+                    Server::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+                if let Some(timeout) = idle_timeout {
+                    server.set_idle_timeout(Some(timeout));
+                }
+                if let Some(threshold) = slow_threshold {
+                    server.set_slow_threshold(Some(threshold));
+                }
+                server.set_log_format(args.log_format);
+                server.set_auth_token(auth_token.clone());
+                announce(server.local_addr().map_err(|e| e.to_string())?);
+                server.run(&service, workers).map_err(|e| e.to_string())
+            }
+        };
+        follower.stop();
+        let streamed = apply.join().map_err(|_| "replication apply thread panicked".to_string())?;
+        served?;
+        streamed.map_err(|error| format!("replication stream failed: {error}"))
+    })?;
+    eprintln!("stopped     : follower catalog persisted to {catalog_file}");
+    Ok(())
+}
+
 fn run_client(args: &ServiceArgs) -> Result<(), String> {
     let addr = args.addr.as_ref().ok_or("client requires --addr <host:port>")?;
     // Composition policy is fixed server-side at `serve` time; silently
@@ -983,6 +1128,9 @@ fn run_client(args: &ServiceArgs) -> Result<(), String> {
     }
     if args.engine.is_some() || args.queue_limit.is_some() {
         return Err("--engine/--queue-limit apply to `mapcomp serve`, not client mode".to_string());
+    }
+    if args.replicate || args.follow.is_some() {
+        return Err("--replicate/--follow apply to `mapcomp serve`, not client mode".to_string());
     }
     let auth_token = args.auth_token_file.as_deref().map(read_auth_token).transpose()?;
     let client = Client::connect(addr).map_err(|e| e.to_string())?.with_auth_token(auth_token);
@@ -1015,6 +1163,7 @@ fn main() -> ExitCode {
              \x20                     [--auth-token-file FILE]\n\
              \x20                     [--idle-timeout SECONDS] [--slow-ms N]\n\
              \x20                     [--log-format text|json]\n\
+             \x20                     [--replicate | --follow HOST:PORT]\n\
              \x20      mapcomp client --addr HOST:PORT [--auth-token-file FILE] \
              <ping|add|compose-path|compose-names|compose-batch|invalidate|lint|stats|\
              cache-info|metrics|compact|shutdown> [args...]\n\

@@ -150,6 +150,7 @@ pub use mapcomp_catalog as catalog;
 pub use mapcomp_compose as compose;
 pub use mapcomp_corpus as corpus;
 pub use mapcomp_evolution as evolution;
+pub use mapcomp_replication as replication;
 pub use mapcomp_service as service;
 pub use mapcomp_telemetry as telemetry;
 

@@ -27,8 +27,9 @@
 
 use mapping_composition::algebra::parse_document;
 use mapping_composition::catalog::{
-    load_cache, load_versions, parse_delta, render_delta, render_mapping_decl, render_schema_decl,
-    save_cache, DeltaRecord,
+    load_cache, load_versions, parse_positioned_delta, render_delta, render_generation_marker,
+    render_mapping_decl, render_positioned_delta, render_schema_decl, save_cache, DeltaRecord,
+    Position,
 };
 use mapping_composition::service::{
     decode_reply, decode_request, decode_request_traced, encode_reply, encode_request,
@@ -79,6 +80,8 @@ fn persistence_doc_sidecar_examples_round_trip() {
     let blocks = marked_blocks(&doc, "roundtrip:sidecar");
     assert!(blocks.len() >= 4, "PERSISTENCE.md must keep its marked sidecar examples");
     let mut records = 0usize;
+    let mut positioned = 0usize;
+    let mut headers = 0usize;
     for block in &blocks {
         let mut lines = block.lines().peekable();
         while let Some(line) = lines.next() {
@@ -105,14 +108,29 @@ fn persistence_doc_sidecar_examples_round_trip() {
                     (numbers[0], numbers[1], numbers[2]),
                     "documented stats line must restore: `{line}`"
                 );
-            } else if line.starts_with("delta ") {
-                let delta = parse_delta(line)
-                    .unwrap_or_else(|| panic!("documented delta line must parse: `{line}`"));
+            } else if let Some(rest) = line.strip_prefix("generation ") {
+                let tokens: Vec<u64> =
+                    rest.split_whitespace().map(|token| token.parse().unwrap()).collect();
+                let [generation, seq] = tokens[..] else {
+                    panic!("generation header carries two numbers: `{line}`");
+                };
                 assert_eq!(
-                    render_delta(&delta),
+                    render_generation_marker(Position::new(generation, seq)).trim_end(),
                     line,
-                    "documented delta line must re-render identically"
+                    "documented generation header must re-render identically"
                 );
+                headers += 1;
+            } else if line.starts_with("delta ") {
+                let (position, delta) = parse_positioned_delta(line)
+                    .unwrap_or_else(|| panic!("documented delta line must parse: `{line}`"));
+                let rendered = match position {
+                    Some(position) => {
+                        positioned += 1;
+                        render_positioned_delta(position, &delta)
+                    }
+                    None => render_delta(&delta),
+                };
+                assert_eq!(rendered, line, "documented delta line must re-render identically");
                 // Content payloads must be canonical declarations.
                 match &delta {
                     DeltaRecord::Schema { decl } => {
@@ -156,6 +174,8 @@ fn persistence_doc_sidecar_examples_round_trip() {
         }
     }
     assert!(records >= 12, "the sidecar examples must cover the grammar, found {records} records");
+    assert!(positioned >= 5, "the examples must cover every positioned delta kind");
+    assert!(headers >= 1, "the examples must cover the generation header");
 }
 
 #[test]
@@ -182,6 +202,8 @@ fn wire_doc_request_frames_decode_and_reencode() {
         "cache-info",
         "metrics",
         "compact",
+        "subscribe",
+        "snapshot",
         "shutdown",
     ] {
         assert!(kinds.contains(kind), "request kind `{kind}` has no documented example");
@@ -244,6 +266,54 @@ fn wire_doc_error_code_table_matches_the_api() {
     let actual: std::collections::BTreeSet<String> =
         ErrorCode::ALL.iter().map(|code| code.as_str().to_string()).collect();
     assert_eq!(documented, actual, "the documented error-code table must match ErrorCode::ALL");
+}
+
+#[test]
+fn replication_doc_frames_round_trip() {
+    let doc = read_doc("REPLICATION.md");
+    let requests = marked_blocks(&doc, "roundtrip:request");
+    assert!(requests.len() >= 2, "REPLICATION.md must document subscribe and snapshot requests");
+    let mut kinds = std::collections::BTreeSet::new();
+    for frame in &requests {
+        let request = decode_request(frame)
+            .unwrap_or_else(|error| panic!("documented request must decode: {error}\n{frame}"));
+        kinds.insert(request.kind());
+        assert_eq!(&encode_request(&request), frame, "documented frame must be canonical");
+    }
+    assert!(kinds.contains("subscribe") && kinds.contains("snapshot"));
+    let replies = marked_blocks(&doc, "roundtrip:reply");
+    assert!(replies.len() >= 4, "REPLICATION.md must document the stream reply kinds");
+    for frame in &replies {
+        let reply = decode_reply(frame)
+            .unwrap_or_else(|error| panic!("documented reply must decode: {error}\n{frame}"));
+        assert_eq!(&encode_reply(&reply), frame, "documented frame must be canonical");
+    }
+}
+
+#[test]
+fn replication_doc_state_table_matches_the_api() {
+    use mapping_composition::service::FollowerState;
+
+    let doc = read_doc("REPLICATION.md");
+    let start = doc.find("<!-- follower-state-table -->").expect("follower-state table marker");
+    let mut documented = std::collections::BTreeSet::new();
+    for line in doc[start..].lines().skip(1) {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            if !documented.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let Some(cell) = line.trim_start_matches('|').split('|').next() else { continue };
+        let cell = cell.trim();
+        if let Some(state) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            documented.insert(state.to_string());
+        }
+    }
+    let actual: std::collections::BTreeSet<String> =
+        FollowerState::ALL.iter().map(|state| state.as_str().to_string()).collect();
+    assert_eq!(documented, actual, "the documented state table must match FollowerState::ALL");
 }
 
 #[test]
@@ -370,9 +440,10 @@ fn observability_doc_log_line_examples_render_identically() {
 #[test]
 fn observability_doc_metric_catalog_matches_the_registry() {
     use mapping_composition::algebra::{parse_constraints, Instance, Signature, Value};
-    use mapping_composition::catalog::{Catalog, SidecarWriter};
+    use mapping_composition::catalog::{Catalog, SessionConfig, SidecarWriter};
     use mapping_composition::compose::{exchange, ExchangeConfig, Registry};
-    use mapping_composition::service::{LocalService, Server};
+    use mapping_composition::replication::ReplicationHub;
+    use mapping_composition::service::{Follower, LocalService, Server};
     use mapping_composition::telemetry::metrics::global;
 
     let doc = read_doc("OBSERVABILITY.md");
@@ -400,6 +471,18 @@ fn observability_doc_metric_catalog_matches_the_registry() {
     let _service = LocalService::new(Catalog::new(), 2);
     let _server = Server::bind("127.0.0.1:0").expect("loopback bind");
     let _sidecar = SidecarWriter::new(std::env::temp_dir().join("mapcomp-docs-metrics.sidecar"));
+    // The leader-side replication families register on hub construction,
+    // the lag gauge on follower construction (no connection is dialled).
+    let _hub = ReplicationHub::new();
+    let _follower = Follower::open(
+        std::env::temp_dir().join("mapcomp-docs-metrics-follower.doc"),
+        "127.0.0.1:1",
+        Registry::standard(),
+        SessionConfig::default(),
+        1,
+        None,
+    )
+    .expect("follower opens without dialling");
     let constraints = parse_constraints("R <= T").unwrap().into_vec();
     let full = Signature::from_arities(vec![("R".to_string(), 1), ("T".to_string(), 1)]);
     let target = Signature::from_arities(vec![("T".to_string(), 1)]);

@@ -11,7 +11,9 @@
 // panicking on a surprise is exactly what a test should do.
 #![allow(clippy::unwrap_used)]
 
-use mapping_composition::catalog::{CacheStats, SessionConfig};
+use mapping_composition::catalog::{
+    parse_positioned_delta, CacheStats, Position, SessionConfig, SidecarWriter,
+};
 use mapping_composition::compose::Registry;
 use mapping_composition::service::{
     sidecar_path, LocalService, MapcompService as _, PersistMode, PersistPolicy, Request, Response,
@@ -240,6 +242,86 @@ fn stray_tmp_files_from_a_crashed_compaction_are_ignored() {
     drop(reopened);
     let again = open(&file);
     assert_eq!(committed_state(&again), committed_after_compact);
+    cleanup(&file);
+}
+
+/// The sidecar's recorded replication position, read the way recovery
+/// reads it.
+fn sidecar_position(file: &std::path::Path) -> Position {
+    SidecarWriter::new(sidecar_path(file)).load_full().next_position()
+}
+
+#[test]
+fn delta_positions_are_recorded_and_survive_kill_and_restart() {
+    let file = temp_catalog("positions");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+    assert!(compose(&service, "v0", "v3") > 0);
+    service.call(Request::Invalidate { mapping: "m1".into() }).unwrap();
+    drop(service); // kill: no shutdown, no compaction
+
+    // Every delta record carries an explicit `(generation, seq)` position,
+    // strictly increasing in file order within the generation.
+    let text = std::fs::read_to_string(&sidecar).unwrap();
+    let mut last: Option<Position> = None;
+    let mut deltas = 0;
+    for line in text.lines().filter(|line| line.starts_with("delta ")) {
+        let (position, _) = parse_positioned_delta(line).expect("well-formed delta");
+        let position = position.expect("every appended delta is positioned");
+        if let Some(previous) = last {
+            assert!(position > previous, "positions must increase: {position} after {previous}");
+        }
+        last = Some(position);
+        deltas += 1;
+    }
+    assert!(deltas >= 3, "document, memo and invalidation deltas all landed");
+
+    // Restart resumes exactly after the last recorded position — the next
+    // append continues the sequence instead of restarting or skipping.
+    let resumed = sidecar_position(&file);
+    assert_eq!(resumed, last.unwrap().next());
+    let reopened = open(&file);
+    reopened.call(Request::Invalidate { mapping: "m0".into() }).unwrap();
+    drop(reopened);
+    assert_eq!(sidecar_position(&file), resumed.next(), "appends continue the recorded sequence");
+    cleanup(&file);
+}
+
+#[test]
+fn compaction_bumps_the_generation_and_restarts_the_sequence() {
+    let file = temp_catalog("generation_bump");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+    assert!(compose(&service, "v0", "v3") > 0);
+    drop(service);
+    let before = sidecar_position(&file);
+    assert!(before.generation >= 1, "a live sidecar always has a generation");
+    assert!(before.seq > 0, "appends advanced the sequence");
+
+    // Compaction folds the log and opens a fresh generation at seq 0; the
+    // rewritten sidecar announces it with a leading generation marker.
+    let reopened = open(&file);
+    let Ok(Response::Compacted { .. }) = reopened.call(Request::Compact) else {
+        panic!("compact failed");
+    };
+    drop(reopened);
+    assert_eq!(sidecar_position(&file), Position::new(before.generation + 1, 0));
+    let text = std::fs::read_to_string(&sidecar).unwrap();
+    assert!(
+        text.starts_with(&format!("generation {} 0\n", before.generation + 1)),
+        "the compacted sidecar must open with its generation marker"
+    );
+
+    // Post-compaction appends number from zero in the new generation, and
+    // a second kill/restart still recovers the bumped generation.
+    let survivor = open(&file);
+    survivor.call(Request::Invalidate { mapping: "m2".into() }).unwrap();
+    drop(survivor);
+    let tail = sidecar_position(&file);
+    assert_eq!(tail.generation, before.generation + 1, "the bumped generation is recovered");
+    assert!(tail.seq > 0, "the new generation's sequence advanced from zero");
     cleanup(&file);
 }
 

@@ -14,11 +14,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use mapping_composition::catalog::Position;
 use mapping_composition::service::{
     decode_reply, decode_request, decode_request_frame, decode_request_traced, encode_reply,
     encode_request, encode_request_frame, encode_request_traced, escape, unescape,
-    CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, Request, Response, SegmentCacheInfo,
-    ServiceError, StatsPayload,
+    CacheInfoPayload, ChainPayload, DeltaChunkPayload, ErrorCode, MappingInfo, ReplicationInfo,
+    Request, Response, SegmentCacheInfo, ServiceError, SnapshotPayload, StatsPayload,
 };
 
 const CASES: usize = 64;
@@ -38,7 +39,7 @@ fn gen_strings(rng: &mut StdRng, max: usize) -> Vec<String> {
 }
 
 fn gen_request(rng: &mut StdRng) -> Request {
-    match rng.gen_range(0..11u32) {
+    match rng.gen_range(0..13u32) {
         0 => Request::Ping,
         1 => Request::AddDocument { text: gen_string(rng) },
         2 => Request::ComposePath { from: gen_string(rng), to: gen_string(rng) },
@@ -54,6 +55,8 @@ fn gen_request(rng: &mut StdRng) -> Request {
         7 => Request::CacheInfo,
         8 => Request::Metrics,
         9 => Request::Compact,
+        10 => Request::Subscribe { from_generation: gen_hash(rng), from_seq: gen_hash(rng) },
+        11 => Request::Snapshot,
         _ => Request::Shutdown,
     }
 }
@@ -110,7 +113,21 @@ fn gen_stats(rng: &mut StdRng) -> StatsPayload {
     stats.session.cache.invalidated = rng.gen_range(0..999usize);
     stats.session.cache.evictions = rng.gen_range(0..999usize);
     stats.cache_capacity = if rng.gen_bool(0.5) { Some(rng.gen_range(1..99usize)) } else { None };
+    stats.replication = if rng.gen_bool(0.5) {
+        Some(ReplicationInfo {
+            role: gen_string(rng),
+            state: gen_string(rng),
+            position: gen_position(rng),
+            lag: gen_hash(rng),
+        })
+    } else {
+        None
+    };
     stats
+}
+
+fn gen_position(rng: &mut StdRng) -> Position {
+    Position::new(gen_hash(rng), gen_hash(rng))
 }
 
 fn gen_cache_info(rng: &mut StdRng) -> CacheInfoPayload {
@@ -131,7 +148,7 @@ fn gen_cache_info(rng: &mut StdRng) -> CacheInfoPayload {
 }
 
 fn gen_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0..10u32) {
+    match rng.gen_range(0..14u32) {
         0 => Response::Pong,
         1 => Response::Added {
             touched: gen_strings(rng, 4),
@@ -149,6 +166,18 @@ fn gen_response(rng: &mut StdRng) -> Response {
         6 => Response::Compacted { bytes_before: gen_hash(rng), bytes_after: gen_hash(rng) },
         7 => Response::Metrics { text: gen_string(rng) },
         8 => Response::CacheInfo(gen_cache_info(rng)),
+        9 => Response::Subscribed { position: gen_position(rng) },
+        10 => Response::Delta(DeltaChunkPayload {
+            first: gen_position(rng),
+            last: gen_position(rng),
+            chunk: gen_string(rng),
+        }),
+        11 => Response::Generation { generation: gen_hash(rng) },
+        12 => Response::Snapshot(SnapshotPayload {
+            position: gen_position(rng),
+            document: gen_string(rng),
+            sidecar: gen_string(rng),
+        }),
         _ => Response::ShuttingDown,
     }
 }
@@ -199,6 +228,9 @@ fn every_request_kind_is_exercised_and_round_trips() {
         Request::CacheInfo,
         Request::Metrics,
         Request::Compact,
+        Request::Subscribe { from_generation: 0, from_seq: 0 },
+        Request::Subscribe { from_generation: 7, from_seq: u64::MAX },
+        Request::Snapshot,
         Request::Shutdown,
     ];
     for request in cases {
