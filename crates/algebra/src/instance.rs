@@ -33,6 +33,11 @@ impl Relation {
         self.tuples.insert(tuple)
     }
 
+    /// Remove a tuple; returns true if it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        self.tuples.remove(tuple)
+    }
+
     /// Membership test.
     pub fn contains(&self, tuple: &Tuple) -> bool {
         self.tuples.contains(tuple)
@@ -141,6 +146,17 @@ impl Instance {
     pub fn insert(&mut self, name: &str, tuple: Tuple) -> &mut Self {
         self.relations.entry(name.to_string()).or_default().insert(tuple);
         self
+    }
+
+    /// Remove a single tuple from a relation; returns true if it was
+    /// present. An emptied relation stays set (its name remains visible).
+    pub fn remove(&mut self, name: &str, tuple: &Tuple) -> bool {
+        self.relations.get_mut(name).is_some_and(|relation| relation.remove(tuple))
+    }
+
+    /// Does the named relation contain this tuple?
+    pub fn contains(&self, name: &str, tuple: &Tuple) -> bool {
+        self.relations.get(name).is_some_and(|relation| relation.contains(tuple))
     }
 
     /// Contents of a relation (`S^A` in the paper); empty if unset.

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! figures [--paper | --smoke] [fig2] [fig3] [fig4] [fig5] [fig6] [fig7] [fig8] [fig9]
-//!         [fig10] [fig11] [fig12] [fig13] [corpus] [claims] [all]
+//!         [fig10] [fig11] [fig12] [fig13] [fig14] [corpus] [claims] [all]
 //! figures --check BENCH_<fig>.json [BENCH_<fig>.json ...]
 //! ```
 //!
@@ -24,9 +24,10 @@ use std::time::Instant;
 
 use mapcomp_bench::{
     chain_cache_experiment, chase_scaling_experiment, concurrent_sessions_experiment,
-    connection_sweep_experiment, corpus_report, edit_count_sweep, editing_experiment, format_row,
-    inclusion_sweep, persistence_experiment, replication_catchup_experiment,
-    replication_read_experiment, schema_size_sweep, service_throughput_experiment,
+    connection_sweep_experiment, corpus_report, differential_update_experiment, edit_count_sweep,
+    editing_experiment, format_row, inclusion_sweep, persistence_experiment,
+    replication_catchup_experiment, replication_read_experiment, schema_size_sweep,
+    service_throughput_experiment,
     trajectory::{parse_scale, BenchDoc, BenchValue},
     Configuration, ReplicationReadPoint, Scale, FIGURE5_PRIMITIVES,
 };
@@ -48,6 +49,7 @@ fn run_figure(name: &str, scale: Scale) -> Option<BenchDoc> {
         "fig11" => Some(figure_11(scale)),
         "fig12" => Some(figure_12(scale)),
         "fig13" => Some(figure_13(scale)),
+        "fig14" => Some(figure_14(scale)),
         "corpus" => Some(corpus_table(scale)),
         _ => None,
     }
@@ -167,6 +169,9 @@ fn main() {
     }
     if want("fig13") {
         emit(figure_13(scale));
+    }
+    if want("fig14") {
+        emit(figure_14(scale));
     }
     if want("corpus") {
         emit(corpus_table(scale));
@@ -783,6 +788,62 @@ fn figure_13(scale: Scale) -> BenchDoc {
             ("elapsed_ms", BenchValue::F64(point.elapsed.as_secs_f64() * 1000.0)),
             ("req_per_s", BenchValue::F64(point.throughput())),
             ("results_consistent", BenchValue::Bool(point.results_consistent)),
+        ]);
+    }
+    doc
+}
+
+fn figure_14(scale: Scale) -> BenchDoc {
+    println!("\n[Figure 14] differential chase: constant-size update batch vs. full re-chase");
+    let mut doc = BenchDoc::new("fig14", scale);
+    let points = differential_update_experiment(scale);
+    let widths = vec![7, 7, 7, 11, 13, 8, 11, 13, 10];
+    println!(
+        "{}",
+        format_row(
+            &[
+                "tuples".to_string(),
+                "depth".to_string(),
+                "batch".to_string(),
+                "delta work".to_string(),
+                "rechase work".to_string(),
+                "ratio".to_string(),
+                "delta (ms)".to_string(),
+                "rechase (ms)".to_string(),
+                "identical".to_string(),
+            ],
+            &widths
+        )
+    );
+    for point in points {
+        assert!(!point.fallback, "fig14 batches must stay on the incremental path");
+        assert!(point.results_identical, "fig14 maintained target must equal the re-chase");
+        println!(
+            "{}",
+            format_row(
+                &[
+                    point.size.to_string(),
+                    point.depth.to_string(),
+                    point.batch.to_string(),
+                    point.delta_work.to_string(),
+                    point.rebuild_work.to_string(),
+                    format!("{:.1}x", point.work_ratio()),
+                    format!("{:.3}", point.delta_time.as_secs_f64() * 1000.0),
+                    format!("{:.3}", point.rebuild_time.as_secs_f64() * 1000.0),
+                    if point.results_identical { "yes" } else { "NO" }.to_string(),
+                ],
+                &widths
+            )
+        );
+        doc.push_point(vec![
+            ("tuples", BenchValue::U64(point.size as u64)),
+            ("depth", BenchValue::U64(point.depth as u64)),
+            ("batch", BenchValue::U64(point.batch as u64)),
+            ("delta_work", BenchValue::U64(point.delta_work as u64)),
+            ("rechase_work", BenchValue::U64(point.rebuild_work as u64)),
+            ("delta_ms", BenchValue::F64(point.delta_time.as_secs_f64() * 1000.0)),
+            ("rechase_ms", BenchValue::F64(point.rebuild_time.as_secs_f64() * 1000.0)),
+            ("results_identical", BenchValue::Bool(point.results_identical)),
         ]);
     }
     doc

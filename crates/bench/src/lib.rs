@@ -1784,6 +1784,132 @@ pub fn replication_read_experiment(scale: Scale) -> Vec<ReplicationReadPoint> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Figure 14 (new experiment): differential chase — update cost vs. re-chase
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 14 differential-maintenance experiment: a
+/// constant-size signed batch applied incrementally to a maintained target,
+/// against a full re-chase over the same post-update source.
+#[derive(Debug, Clone)]
+pub struct DifferentialUpdatePoint {
+    /// Source rows in the instance.
+    pub size: usize,
+    /// Copy-chain depth.
+    pub depth: usize,
+    /// Updates in the applied batch (constant across the sweep).
+    pub batch: usize,
+    /// Binding rows charged by the incremental batch.
+    pub delta_work: usize,
+    /// Binding rows charged by the full re-chase over the updated source.
+    pub rebuild_work: usize,
+    /// Wall-clock time of the incremental batch.
+    pub delta_time: Duration,
+    /// Wall-clock time of the full re-chase.
+    pub rebuild_time: Duration,
+    /// Did the batch fall back to a full recompute? (Must be false: the
+    /// scenario is plannable and non-recursive.)
+    pub fallback: bool,
+    /// Does the maintained target render byte-identically to the re-chase?
+    pub results_identical: bool,
+}
+
+impl DifferentialUpdatePoint {
+    /// Full re-chase cost over incremental cost (higher is better).
+    pub fn work_ratio(&self) -> f64 {
+        self.rebuild_work as f64 / self.delta_work.max(1) as f64
+    }
+}
+
+/// Build the Figure 14 scenario: a source relation copied through a chain of
+/// `depth` target-to-target inclusions — the same worst-case round structure
+/// as Figure 9, restricted to the plannable, non-recursive fragment so every
+/// batch stays on the incremental path.
+#[allow(clippy::type_complexity)]
+pub fn differential_scenario(
+    size: usize,
+    depth: usize,
+) -> (
+    Vec<mapcomp_algebra::Constraint>,
+    mapcomp_algebra::Signature,
+    mapcomp_algebra::Signature,
+    mapcomp_algebra::Instance,
+) {
+    use mapcomp_algebra::{parse_constraints, Instance, Signature, Value};
+
+    let mut arities: Vec<(String, usize)> = vec![("R".to_string(), 2)];
+    for link in 0..=depth {
+        arities.push((format!("T{link}"), 2));
+    }
+    let full = Signature::from_arities(arities.clone());
+    let target = Signature::from_arities(arities.iter().filter(|(name, _)| name != "R").cloned());
+
+    // Rules listed against the data-flow direction, as in Figure 9: each
+    // full-chase round unlocks exactly one link.
+    let mut text = String::new();
+    for link in (0..depth).rev() {
+        text.push_str(&format!("T{link} <= T{}; ", link + 1));
+    }
+    text.push_str("R <= T0");
+    let constraints = parse_constraints(&text).expect("scenario parses").into_vec();
+
+    let mut source = Instance::new();
+    for i in 0..size as i64 {
+        source.insert("R", vec![Value::Int(i), Value::Int(size as i64 + i)]);
+    }
+    (constraints, full, target, source)
+}
+
+/// Run the Figure 14 experiment: at each instance size, apply one
+/// constant-size signed batch (two fresh inserts, two deletes of live rows)
+/// to a maintained engine, then rebuild from scratch over the same updated
+/// source. The work counters are deterministic; the timings are volatile.
+pub fn differential_update_experiment(scale: Scale) -> Vec<DifferentialUpdatePoint> {
+    use mapcomp_algebra::Value;
+    use mapcomp_compose::{DifferentialChase, Update};
+
+    let registry = Registry::standard();
+    let depth = chase_depth(scale);
+    chase_sizes(scale)
+        .into_iter()
+        .map(|size| {
+            let (constraints, full, target, source) = differential_scenario(size, depth);
+            let config = chase_scaling_config(depth);
+            let mut engine =
+                DifferentialChase::new(&constraints, &full, &target, source, &registry, &config);
+            assert!(
+                engine.incremental_ready() && !engine.recursive(),
+                "the fig14 scenario must stay on the incremental path"
+            );
+            let updates = vec![
+                Update::insert("R", vec![Value::Int(-1), Value::Int(-10)]),
+                Update::insert("R", vec![Value::Int(-2), Value::Int(-20)]),
+                Update::delete("R", vec![Value::Int(0), Value::Int(size as i64)]),
+                Update::delete("R", vec![Value::Int(1), Value::Int(size as i64 + 1)]),
+            ];
+            let batch = updates.len();
+            let started = std::time::Instant::now();
+            let report = engine.apply(&updates).expect("the fig14 batch applies");
+            let delta_time = started.elapsed();
+            let maintained = engine.rendered_target();
+            let started = std::time::Instant::now();
+            engine.rebuild();
+            let rebuild_time = started.elapsed();
+            DifferentialUpdatePoint {
+                size,
+                depth,
+                batch,
+                delta_work: report.work,
+                rebuild_work: engine.chase_work(),
+                delta_time,
+                rebuild_time,
+                fallback: report.fallback,
+                results_identical: maintained == engine.rendered_target(),
+            }
+        })
+        .collect()
+}
+
 /// Formatting helper: a fixed-width row of cells.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -1856,6 +1982,75 @@ mod tests {
             largest.speedup(),
             largest.naive_time,
             largest.semi_time
+        );
+    }
+
+    #[test]
+    fn semi_naive_frontier_indexes_each_live_row_exactly_once() {
+        // Regression guard for the persistent frontier index: one index
+        // insert per live tuple of every plan-read relation for the *whole
+        // run* — R and S sources plus the depth+1 chain relations, each
+        // `size` rows (J is write-only and never indexed). The per-round
+        // snapshot clone this replaced cost `rounds × |source ∪ target|`,
+        // i.e. this number times the round count.
+        let registry = Registry::standard();
+        let depth = chase_depth(Scale::Quick);
+        for size in chase_sizes(Scale::Quick) {
+            let (constraints, full, target, source) = chase_scenario(size, depth);
+            let config = chase_scaling_config(depth).with_strategy(ChaseStrategy::SemiNaive);
+            let result = mapcomp_compose::exchange(
+                &constraints,
+                &full,
+                &target,
+                &source,
+                &registry,
+                &config,
+            );
+            assert!(result.converged && result.skipped.is_empty());
+            assert_eq!(
+                result.frontier_rows,
+                (depth + 3) * size,
+                "size {size}: per-round allocation must not scale with the round count"
+            );
+        }
+    }
+
+    #[test]
+    fn differential_update_cost_is_sublinear_in_instance_size() {
+        let points = differential_update_experiment(Scale::Quick);
+        assert_eq!(points.len(), chase_sizes(Scale::Quick).len());
+        for point in &points {
+            assert!(!point.fallback, "size {}: the batch must stay incremental", point.size);
+            assert!(
+                point.results_identical,
+                "size {}: maintained target diverged from the re-chase",
+                point.size
+            );
+            assert!(point.delta_work > 0 && point.rebuild_work > 0);
+        }
+        let (first, last) = (points.first().unwrap(), points.last().unwrap());
+        let growth = last.size as f64 / first.size as f64;
+        assert!(growth >= 8.0, "the sweep must span >= 8x instance growth, got {growth}x");
+        // The acceptance criterion: a constant-size batch costs the same
+        // regardless of instance size, while the re-chase scales with it.
+        let delta_growth = last.delta_work as f64 / first.delta_work.max(1) as f64;
+        assert!(
+            delta_growth < growth / 2.0,
+            "incremental batch cost must be sublinear over {growth}x growth, got {delta_growth:.2}x \
+             ({} -> {} work)",
+            first.delta_work,
+            last.delta_work
+        );
+        let rebuild_growth = last.rebuild_work as f64 / first.rebuild_work.max(1) as f64;
+        assert!(
+            rebuild_growth > growth / 2.0,
+            "the full re-chase baseline must scale with the instance, got {rebuild_growth:.2}x"
+        );
+        assert!(
+            last.work_ratio() >= 8.0,
+            "at size {} the re-chase must cost >= 8x the batch, got {:.1}x",
+            last.size,
+            last.work_ratio()
         );
     }
 

@@ -355,6 +355,19 @@ pub enum DeltaRecord {
     /// — *increments* added onto the running totals established by the last
     /// absolute `stats` line (and any `delta stats` lines since).
     Stats(CacheStats),
+    /// `delta migrate <from> <to> <update>…` — one applied batch of signed
+    /// source updates (`+rel(…)`/`-rel(…)` tokens, escaped) for the live
+    /// migration session keyed by its schema endpoints. Replay appends the
+    /// batch onto the session's accumulated update history; compaction
+    /// folds the history into one absolute `migrate` snapshot line.
+    Migrate {
+        /// Source schema of the migration session.
+        from: String,
+        /// Target schema of the migration session.
+        to: String,
+        /// The batch's update tokens, in application order.
+        updates: Vec<String>,
+    },
 }
 
 /// The keyword-and-payload body of a delta line (everything after `delta `
@@ -373,6 +386,13 @@ fn render_delta_body(delta: &DeltaRecord) -> String {
             "stats {} {} {} {} {}",
             stats.hits, stats.misses, stats.insertions, stats.invalidated, stats.evictions
         ),
+        DeltaRecord::Migrate { from, to, updates } => {
+            let mut out = format!("migrate {} {}", escape_field(from), escape_field(to));
+            for update in updates {
+                let _ = write!(out, " {}", escape_field(update));
+            }
+            out
+        }
     }
 }
 
@@ -449,8 +469,34 @@ fn parse_delta_body(body: &str) -> Option<DeltaRecord> {
                 _ => None,
             }
         }
+        "migrate" => parse_migration_tokens(rest)
+            .map(|((from, to), updates)| DeltaRecord::Migrate { from, to, updates }),
         _ => None,
     }
+}
+
+/// Parse the `<from> <to> <update>…` token tail shared by `delta migrate`
+/// records and absolute `migrate` snapshot lines.
+fn parse_migration_tokens(rest: &str) -> Option<((String, String), Vec<String>)> {
+    let mut tokens = rest.split_whitespace();
+    let from = unescape_field(tokens.next()?)?;
+    let to = unescape_field(tokens.next()?)?;
+    let updates: Option<Vec<String>> = tokens.map(unescape_field).collect();
+    Some(((from, to), updates?))
+}
+
+/// Render the absolute snapshot form of a migration session: one
+/// `migrate <from> <to> <update>…` line (no `delta ` prefix, no trailing
+/// newline) carrying the full accumulated update history. On replay it
+/// *replaces* the session's history, whereas `delta migrate` records
+/// append — the same snapshot-vs-delta split every other sidecar record
+/// obeys.
+pub fn render_migration_snapshot(from: &str, to: &str, updates: &[String]) -> String {
+    let mut out = format!("migrate {} {}", escape_field(from), escape_field(to));
+    for update in updates {
+        let _ = write!(out, " {}", escape_field(update));
+    }
+    out
 }
 
 /// Render a single schema declaration in the document grammar (the payload
@@ -493,6 +539,11 @@ pub struct SidecarState {
     pub cache: MemoCache,
     /// Parsed `delta schema` / `delta mapping` payloads, in file order.
     pub doc_deltas: Vec<Document>,
+    /// Live migration sessions keyed `(from, to)`: the accumulated signed
+    /// source-update history, absolute `migrate` snapshot lines replacing
+    /// and `delta migrate` records appending, in file order. The service
+    /// replays each history through a fresh differential chase on restart.
+    pub migrations: BTreeMap<(String, String), Vec<String>>,
     /// Compaction generation from the last `generation` header line (0 when
     /// the sidecar predates generation counters or has never compacted).
     pub generation: u64,
@@ -613,7 +664,18 @@ pub fn load_sidecar(text: &str) -> SidecarState {
                 Some((_, DeltaRecord::Stats(delta))) => {
                     stats_acc = Some(stats_acc.unwrap_or_default().merged(delta));
                 }
+                Some((_, DeltaRecord::Migrate { from, to, updates })) => {
+                    state.migrations.entry((from, to)).or_default().extend(updates);
+                }
                 None => {}
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("migrate ") {
+            // Absolute snapshot line: replaces the session history (deltas
+            // that follow in file order append onto it).
+            if let Some((key, updates)) = parse_migration_tokens(rest) {
+                state.migrations.insert(key, updates);
             }
             continue;
         }
@@ -652,6 +714,7 @@ pub fn load_sidecar(text: &str) -> SidecarState {
                 || trimmed.starts_with("version ")
                 || trimmed.starts_with("stats ")
                 || trimmed.starts_with("generation ")
+                || trimmed.starts_with("migrate ")
             {
                 pending = Some(line);
                 break;

@@ -445,6 +445,13 @@ impl SharedSession {
         &self.config
     }
 
+    /// The operator registry compositions run under (also the registry any
+    /// chase over this session's mappings should use, so user-defined
+    /// operators evaluate identically in both).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// The sharded memo cache (provenance queries, instrumentation).
     pub fn cache(&self) -> &ShardedMemoCache {
         &self.cache

@@ -1,0 +1,1279 @@
+//! Differential chase: incremental maintenance of an exchanged target
+//! instance under signed source updates.
+//!
+//! [`crate::exchange`](mod@crate::exchange) materialises a target once; this module keeps that
+//! materialisation live as the source changes. A batch of `+tuple`/`-tuple`
+//! edits ([`Update`]) is normalised into net effective inserts and deletes
+//! and propagated through the same compiled premise plans
+//! ([`crate::plan::PremisePlan`]) the semi-naive chase uses:
+//!
+//! * **Insertions** run the semi-naive path — delta joins anchored at the
+//!   new rows, firing premise tuples not yet fired.
+//! * **Deletions** run delete-and-rederive (DRed) with exact support
+//!   counts: every target tuple records how many active rule firings
+//!   derive it; retracting a source row retracts the firings it anchored,
+//!   decrements supports, cascades through tuples whose support reaches
+//!   zero, then rederives any retracted firing still derivable from the
+//!   surviving state ([`crate::plan::PremisePlan::supports`]).
+//!
+//! # The Skolem chase and byte-identity
+//!
+//! Incremental maintenance can only be proven *byte-identical* to a cold
+//! re-chase if the chase itself is confluent — the result must not depend
+//! on firing order, or on which rows arrived first. The engine therefore
+//! runs the *oblivious Skolem chase*: every derivable premise tuple fires
+//! exactly once (no satisfaction check), and each existential variable is
+//! named content-addressably from the firing that invents it — a hash of
+//! (rule index, variable, premise tuple) rather than a sequence number.
+//! The final state is then the least fixpoint of a monotone operator: a
+//! pure function of the source instance, reached in any order. A fresh
+//! [`DifferentialChase::new`] over the updated source *is* the oracle, and
+//! `tests/differential_chase.rs` holds every batch to that standard.
+//!
+//! This canonical solution is homomorphically equivalent to
+//! [`crate::exchange`](crate::exchange())'s (which numbers nulls sequentially and skips
+//! already-satisfied premises) but not byte-equal to it; the two engines
+//! serve different workloads and are tested against their own oracles.
+//!
+//! On any evaluation error — budget exhaustion, an unplannable premise, a
+//! diverging existential cycle hitting `max_nulls` — the engine falls back
+//! to a deterministic full recompute over the updated source, so the
+//! oracle obligation holds even off the fast path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mapcomp_algebra::{
+    AlgebraError, Constraint, DeltaInstance, Evaluator, Expr, Instance, Signature, Tuple, Value,
+};
+
+use crate::cq::{expr_to_conjunctive, Conjunctive, Term};
+use crate::exchange::ExchangeConfig;
+use crate::plan::{PremisePlan, TupleIndex, WorkBudget};
+use crate::registry::Registry;
+
+/// Direction of a signed source update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Sign {
+    /// `+rel(...)`: insert the tuple into the source relation.
+    Insert,
+    /// `-rel(...)`: remove the tuple from the source relation.
+    Delete,
+}
+
+/// One signed source update: a tuple to add to or remove from a source
+/// relation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Update {
+    /// Insert or delete.
+    pub sign: Sign,
+    /// The source relation the tuple belongs to.
+    pub rel: String,
+    /// The tuple itself.
+    pub tuple: Tuple,
+}
+
+impl Update {
+    /// An insertion.
+    pub fn insert(rel: impl Into<String>, tuple: Tuple) -> Self {
+        Update { sign: Sign::Insert, rel: rel.into(), tuple }
+    }
+
+    /// A deletion.
+    pub fn delete(rel: impl Into<String>, tuple: Tuple) -> Self {
+        Update { sign: Sign::Delete, rel: rel.into(), tuple }
+    }
+
+    /// Render in the signed-update grammar (`+R(1,'a',null)`), the inverse
+    /// of [`parse_update`].
+    pub fn render(&self) -> String {
+        let sign = match self.sign {
+            Sign::Insert => '+',
+            Sign::Delete => '-',
+        };
+        let values: Vec<String> = self.tuple.iter().map(std::string::ToString::to_string).collect();
+        format!("{sign}{}({})", self.rel, values.join(","))
+    }
+}
+
+impl std::fmt::Display for Update {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Parse one signed update: `+rel(v1,...,vn)` or `-rel(v1,...,vn)` where
+/// each value is an integer, a single-quoted string (no embedded quotes),
+/// or the keyword `null`. `+R()` inserts a zero-arity tuple.
+pub fn parse_update(text: &str) -> Result<Update, String> {
+    let text = text.trim();
+    let sign = match text.chars().next() {
+        Some('+') => Sign::Insert,
+        Some('-') => Sign::Delete,
+        _ => return Err(format!("update `{text}` must start with '+' or '-'")),
+    };
+    let rest = &text[1..];
+    let open = rest.find('(').ok_or_else(|| format!("update `{text}` is missing '('"))?;
+    let rel = rest[..open].trim();
+    if rel.is_empty()
+        || !rel.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        || !rel.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        return Err(format!("update `{text}` has an invalid relation name `{rel}`"));
+    }
+    let close = rest.rfind(')').ok_or_else(|| format!("update `{text}` is missing ')'"))?;
+    if close < open || !rest[close + 1..].trim().is_empty() {
+        return Err(format!("update `{text}` has trailing input after ')'"));
+    }
+    let inner = rest[open + 1..close].trim();
+    let mut tuple: Tuple = Vec::new();
+    if !inner.is_empty() {
+        // Split on top-level commas; commas inside quoted strings bind to
+        // the string.
+        let mut field = String::new();
+        let mut quoted = false;
+        let mut fields: Vec<String> = Vec::new();
+        for c in inner.chars() {
+            match c {
+                '\'' => {
+                    quoted = !quoted;
+                    field.push(c);
+                }
+                ',' if !quoted => fields.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+        if quoted {
+            return Err(format!("update `{text}` has an unterminated string"));
+        }
+        fields.push(field);
+        for field in fields {
+            tuple.push(parse_value(field.trim(), text)?);
+        }
+    }
+    Ok(Update { sign, rel: rel.to_string(), tuple })
+}
+
+/// Parse a sequence of updates, one per input string.
+pub fn parse_updates<S: AsRef<str>>(texts: &[S]) -> Result<Vec<Update>, String> {
+    texts.iter().map(|text| parse_update(text.as_ref())).collect()
+}
+
+fn parse_value(field: &str, context: &str) -> Result<Value, String> {
+    if field == "null" {
+        return Ok(Value::Null);
+    }
+    if let Some(body) = field.strip_prefix('\'') {
+        let body = body
+            .strip_suffix('\'')
+            .ok_or_else(|| format!("update `{context}` has an unterminated string"))?;
+        if body.contains('\'') {
+            return Err(format!("update `{context}` has a quote inside a string value"));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    field
+        .parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("update `{context}` has an unparsable value `{field}`"))
+}
+
+/// Render an instance as canonical text: one `rel(v1,...,vn);` line per
+/// tuple, relations and tuples in sorted order, empty relations omitted.
+/// Byte-identity of two instances is byte-identity of this rendering.
+pub fn render_instance(instance: &Instance) -> String {
+    let mut out = String::new();
+    for name in instance.names() {
+        let Some(relation) = instance.get_ref(&name) else { continue };
+        for tuple in relation.iter() {
+            let values: Vec<String> = tuple.iter().map(std::string::ToString::to_string).collect();
+            out.push_str(&format!("{name}({});\n", values.join(",")));
+        }
+    }
+    out
+}
+
+/// What one [`DifferentialChase::apply`] call did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Effective updates after net normalisation (a `+t` and a `-t` of the
+    /// same tuple in one batch cancel; re-inserting a present tuple or
+    /// deleting an absent one is a no-op).
+    pub applied: usize,
+    /// Source rows inserted.
+    pub inserted: usize,
+    /// Source rows deleted.
+    pub deleted: usize,
+    /// Rule firings retracted by the delete cascade (overdeletion).
+    pub retracted: usize,
+    /// Retracted firings restored by the support check (rederivation).
+    pub rederived: usize,
+    /// New rule firings from insertion propagation.
+    pub fired: usize,
+    /// Target rows added by this batch.
+    pub target_added: usize,
+    /// Target rows removed by this batch.
+    pub target_removed: usize,
+    /// Did the batch fall back to a full recompute?
+    pub fallback: bool,
+    /// Binding rows charged while evaluating this batch (the work measure
+    /// `fig14` compares against a full re-chase).
+    pub work: usize,
+}
+
+/// A chase rule: compiled premise plan plus conjunctive conclusion.
+struct DiffRule {
+    premise: Expr,
+    conclusion: Conjunctive,
+    /// `None` when the premise is outside the plannable fragment; such a
+    /// rule forces full-recompute mode.
+    plan: Option<PremisePlan>,
+}
+
+/// The maintained chase state: target, live frontier index, per-rule fired
+/// sets, and per-target-tuple support counts.
+struct ChaseState {
+    target: Instance,
+    /// Hash-indexed live rows of every plan-read relation (source ∪
+    /// target), updated in place.
+    live: TupleIndex,
+    /// Premise tuples fired, per rule. A firing is active while its premise
+    /// tuple is derivable; DRed retracts and rederives entries here.
+    fired: Vec<BTreeSet<Tuple>>,
+    /// Active derivation count per target tuple, counting one per
+    /// (rule, premise tuple, conclusion atom) occurrence. A tuple lives in
+    /// the target iff its support is positive.
+    support: BTreeMap<(String, Tuple), usize>,
+    /// Labelled nulls currently alive (minted minus retracted).
+    nulls: usize,
+    /// Binding rows charged building this state.
+    work: usize,
+    /// Did the build reach a fixpoint (as opposed to a limit)?
+    converged: bool,
+    /// Was any rule dropped (evaluation error) while building?
+    degraded: bool,
+}
+
+impl ChaseState {
+    fn empty(source: &Instance, read_rels: &BTreeSet<String>) -> ChaseState {
+        ChaseState {
+            target: Instance::new(),
+            live: TupleIndex::from_layers(&[source], read_rels.iter()),
+            fired: Vec::new(),
+            support: BTreeMap::new(),
+            nulls: 0,
+            work: 0,
+            converged: false,
+            degraded: false,
+        }
+    }
+}
+
+/// An incrementally-maintained data-exchange target.
+///
+/// Built once from constraints and an initial source instance (the build is
+/// itself a full Skolem chase), then kept current by [`apply`]-ing signed
+/// update batches. A fresh `DifferentialChase` over the same constraints
+/// and the current source always reproduces the maintained state exactly —
+/// the oracle property the differential test suite enforces.
+///
+/// [`apply`]: DifferentialChase::apply
+pub struct DifferentialChase {
+    rules: Vec<DiffRule>,
+    full_sig: Signature,
+    target_sig: Signature,
+    registry: Registry,
+    config: ExchangeConfig,
+    /// Relations read by any compiled premise plan: the live index covers
+    /// exactly these.
+    read_rels: BTreeSet<String>,
+    /// Constraints that could not be chased (with reasons).
+    skipped: Vec<(Constraint, String)>,
+    /// Any rule outside the plannable fragment? Incremental maintenance is
+    /// disabled; every batch recomputes in full.
+    unplannable: bool,
+    /// Does the premise→conclusion relation graph contain a cycle? A cyclic
+    /// rule set lets target rows support each other transitively, and
+    /// counting-based retraction can never drive a mutually-supporting
+    /// cycle to zero — so batches with effective deletions retreat to the
+    /// full re-chase fallback. Insertions are a monotone fixpoint and stay
+    /// incremental either way.
+    recursive: bool,
+    source: Instance,
+    state: ChaseState,
+}
+
+impl DifferentialChase {
+    /// Build the engine and chase `source` to the initial fixpoint.
+    pub fn new(
+        constraints: &[Constraint],
+        full_sig: &Signature,
+        target_sig: &Signature,
+        source: Instance,
+        registry: &Registry,
+        config: &ExchangeConfig,
+    ) -> Self {
+        let mut rules = Vec::new();
+        let mut skipped = Vec::new();
+        for constraint in constraints {
+            for containment in constraint.as_containments() {
+                let mentions_target =
+                    containment.rhs.relations().iter().any(|name| target_sig.contains(name));
+                if !mentions_target {
+                    continue;
+                }
+                match expr_to_conjunctive(&containment.rhs, full_sig) {
+                    Ok(conclusion) => {
+                        if conclusion.head.iter().any(Term::has_func) {
+                            skipped.push((
+                                containment.clone(),
+                                "conclusion contains Skolem functions".to_string(),
+                            ));
+                            continue;
+                        }
+                        let plan = PremisePlan::compile(&containment.lhs, full_sig)
+                            .map(|plan| plan.with_order(config.join_order));
+                        rules.push(DiffRule { premise: containment.lhs.clone(), conclusion, plan });
+                    }
+                    Err(reason) => skipped.push((containment.clone(), reason)),
+                }
+            }
+        }
+        let read_rels: BTreeSet<String> = rules
+            .iter()
+            .filter_map(|rule| rule.plan.as_ref())
+            .flat_map(|plan| plan.relations().iter().cloned())
+            .collect();
+        let unplannable = rules.iter().any(|rule| rule.plan.is_none());
+        // Relation-level dependency graph: an edge from every relation a
+        // rule reads to every relation its conclusion writes. A cycle means
+        // some derived row can transitively support itself (e.g. the
+        // mutually-containing `S1 <= S2; S2 <= S1`), which is exactly the
+        // shape support counting cannot retract.
+        let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut recursive = false;
+        for rule in &rules {
+            let writes: BTreeSet<String> =
+                rule.conclusion.atoms.iter().map(|atom| atom.rel.clone()).collect();
+            let reads = match &rule.plan {
+                Some(plan) => plan.relations().clone(),
+                None => rule.premise.relations(),
+            };
+            for read in reads {
+                edges.entry(read).or_default().extend(writes.iter().cloned());
+            }
+        }
+        for start in edges.keys() {
+            if reaches(&edges, start, start) {
+                recursive = true;
+                break;
+            }
+        }
+        let mut engine = DifferentialChase {
+            rules,
+            full_sig: full_sig.clone(),
+            target_sig: target_sig.clone(),
+            registry: registry.clone(),
+            config: config.clone(),
+            read_rels,
+            skipped,
+            unplannable,
+            recursive,
+            source,
+            state: ChaseState::empty(&Instance::new(), &BTreeSet::new()),
+        };
+        engine.rebuild();
+        engine
+    }
+
+    /// The current source instance (initial source plus every applied
+    /// batch).
+    pub fn source(&self) -> &Instance {
+        &self.source
+    }
+
+    /// The maintained target instance.
+    pub fn target(&self) -> &Instance {
+        &self.state.target
+    }
+
+    /// The canonical rendering of the maintained target (the byte-identity
+    /// oracle compares these).
+    pub fn rendered_target(&self) -> String {
+        render_instance(&self.state.target)
+    }
+
+    /// The support table: active derivation count per target tuple.
+    pub fn support(&self) -> &BTreeMap<(String, Tuple), usize> {
+        &self.state.support
+    }
+
+    /// Labelled nulls currently alive in the target.
+    pub fn nulls(&self) -> usize {
+        self.state.nulls
+    }
+
+    /// Binding rows charged building the current state. After a
+    /// [`rebuild`](Self::rebuild) this is the cost of a full re-chase over
+    /// the current source — the baseline the `fig14` bench compares
+    /// incremental batch cost against.
+    pub fn chase_work(&self) -> usize {
+        self.state.work
+    }
+
+    /// Did the last build or batch reach a fixpoint?
+    pub fn converged(&self) -> bool {
+        self.state.converged
+    }
+
+    /// Constraints that could not be chased, with reasons.
+    pub fn skipped(&self) -> &[(Constraint, String)] {
+        &self.skipped
+    }
+
+    /// Will the next batch take the incremental path (as opposed to a
+    /// forced full recompute)?
+    pub fn incremental_ready(&self) -> bool {
+        !self.unplannable && !self.state.degraded && self.state.converged
+    }
+
+    /// Can some target relation transitively derive itself? Deletion
+    /// batches over a recursive rule graph always take the full-re-chase
+    /// fallback (see the field docs); insert-only batches stay incremental.
+    pub fn recursive(&self) -> bool {
+        self.recursive
+    }
+
+    /// Recompute the state from scratch over the current source. The
+    /// deterministic fallback for every error path, and the oracle the
+    /// incremental path is tested against.
+    pub fn rebuild(&mut self) {
+        self.state = full_chase(
+            &self.rules,
+            &self.full_sig,
+            &self.target_sig,
+            &self.read_rels,
+            &self.source,
+            &self.registry,
+            &self.config,
+        );
+    }
+
+    /// Apply one batch of signed updates, incrementally maintaining the
+    /// target. Returns what was done, or an error if an update is malformed
+    /// with respect to the schema (unknown relation, target relation, wrong
+    /// arity) — rejected batches leave the state untouched.
+    pub fn apply(&mut self, updates: &[Update]) -> Result<DeltaReport, String> {
+        let metrics = delta_metrics();
+        // Validate against the schema before touching any state.
+        for update in updates {
+            if !self.full_sig.contains(&update.rel) {
+                return Err(format!("unknown relation `{}`", update.rel));
+            }
+            if self.target_sig.contains(&update.rel) {
+                return Err(format!(
+                    "relation `{}` is a target relation; only source relations can be updated",
+                    update.rel
+                ));
+            }
+            let arity = self.full_sig.arity(&update.rel).map_err(|e| e.to_string())?;
+            if update.tuple.len() != arity {
+                return Err(format!(
+                    "relation `{}` has arity {arity}, update `{update}` has {}",
+                    update.rel,
+                    update.tuple.len()
+                ));
+            }
+        }
+        // Net normalisation: per tuple, insertions and deletions cancel;
+        // only the net sign survives, and only when it changes membership.
+        let mut net: BTreeMap<(String, Tuple), i64> = BTreeMap::new();
+        for update in updates {
+            let slot = net.entry((update.rel.clone(), update.tuple.clone())).or_default();
+            *slot += match update.sign {
+                Sign::Insert => 1,
+                Sign::Delete => -1,
+            };
+        }
+        let mut deletes: Vec<(String, Tuple)> = Vec::new();
+        let mut inserts: Vec<(String, Tuple)> = Vec::new();
+        for ((rel, tuple), sign) in net {
+            if sign > 0 && !self.source.contains(&rel, &tuple) {
+                inserts.push((rel, tuple));
+            } else if sign < 0 && self.source.contains(&rel, &tuple) {
+                deletes.push((rel, tuple));
+            }
+        }
+        let mut report = DeltaReport {
+            applied: deletes.len() + inserts.len(),
+            inserted: inserts.len(),
+            deleted: deletes.len(),
+            ..DeltaReport::default()
+        };
+        metrics.batches.incr();
+        metrics.inserts.add(inserts.len() as u64);
+        metrics.deletes.add(deletes.len() as u64);
+        if report.applied == 0 {
+            return Ok(report);
+        }
+        // Mutate the source first: both the incremental path and the full
+        // fallback define their result over the updated source.
+        for (rel, tuple) in &deletes {
+            self.source.remove(rel, tuple);
+        }
+        for (rel, tuple) in &inserts {
+            self.source.insert(rel, tuple.clone());
+        }
+        let before = self.state.target.total_tuples();
+        // Deletions over a recursive rule graph cannot be retracted by
+        // support counting (a mutually-supporting cycle keeps every member
+        // alive), so they force the fallback; insertions stay incremental.
+        let deletions_retractable = deletes.is_empty() || !self.recursive;
+        if self.incremental_ready() && deletions_retractable {
+            match self.incremental(&deletes, &inserts, &mut report) {
+                Ok(()) => {}
+                Err(_) => {
+                    // Partial mutations do not matter: the fallback rebuilds
+                    // every piece of state from the updated source.
+                    report = DeltaReport {
+                        retracted: 0,
+                        rederived: 0,
+                        fired: 0,
+                        fallback: true,
+                        ..report
+                    };
+                    self.rebuild();
+                    report.work = self.state.work;
+                }
+            }
+        } else {
+            report.fallback = true;
+            self.rebuild();
+            report.work = self.state.work;
+        }
+        let after = self.state.target.total_tuples();
+        report.target_added = after.saturating_sub(before);
+        report.target_removed = before.saturating_sub(after);
+        if report.fallback {
+            metrics.fallbacks.incr();
+        }
+        metrics.retracted.add(report.retracted as u64);
+        metrics.rederived.add(report.rederived as u64);
+        metrics.work.observe(report.work as u64);
+        Ok(report)
+    }
+
+    /// The incremental path: support-counted deletion cascade, rederivation,
+    /// then semi-naive insertion propagation. Any `Err` aborts to the full
+    /// fallback.
+    fn incremental(
+        &mut self,
+        deletes: &[(String, Tuple)],
+        inserts: &[(String, Tuple)],
+        report: &mut DeltaReport,
+    ) -> Result<(), AlgebraError> {
+        let mut work = WorkBudget::new(self.config.eval_budget);
+        let state = &mut self.state;
+        // ---- Overdeletion cascade -------------------------------------
+        // Wave 0 is the deleted source rows; each later wave is the target
+        // rows whose support reached zero in the previous one. Lost firings
+        // are computed with the wave rows still live (their join partners
+        // must be visible), then the rows are unindexed.
+        let mut lost: BTreeSet<(usize, Tuple)> = BTreeSet::new();
+        let mut wave: Vec<(String, Tuple)> =
+            deletes.iter().filter(|(rel, _)| self.read_rels.contains(rel)).cloned().collect();
+        while !wave.is_empty() {
+            let delta = index_rows(&wave);
+            let mut wave_lost: Vec<(usize, Tuple)> = Vec::new();
+            for (index, rule) in self.rules.iter().enumerate() {
+                let plan = rule.plan.as_ref().expect("incremental mode has only planned rules");
+                if !wave.iter().any(|(rel, _)| plan.relations().contains(rel)) {
+                    continue;
+                }
+                for tuple in plan.eval_delta(&state.live, None, &delta, &mut work)? {
+                    if state.fired[index].contains(&tuple) {
+                        wave_lost.push((index, tuple));
+                    }
+                }
+            }
+            for (rel, row) in &wave {
+                state.live.remove_row(rel, row);
+            }
+            let mut next: Vec<(String, Tuple)> = Vec::new();
+            for (index, tuple) in wave_lost {
+                if !state.fired[index].remove(&tuple) {
+                    continue;
+                }
+                lost.insert((index, tuple.clone()));
+                let (rows, minted) =
+                    fire_skolem(index, &self.rules[index], &tuple, &self.target_sig);
+                state.nulls = state.nulls.saturating_sub(minted);
+                for (rel, row) in rows {
+                    let key = (rel, row);
+                    let Some(count) = state.support.get_mut(&key) else {
+                        // The support table is out of sync: abort to the
+                        // full fallback rather than guess.
+                        return Err(AlgebraError::EvalBudgetExceeded { budget: 0 });
+                    };
+                    *count -= 1;
+                    if *count == 0 {
+                        state.support.remove(&key);
+                        let (rel, row) = key;
+                        state.target.remove(&rel, &row);
+                        // A row shadowed by an identical source tuple stays
+                        // live (and joinable) even with no derivation left.
+                        if self.read_rels.contains(&rel) && !self.source.contains(&rel, &row) {
+                            next.push((rel, row));
+                        }
+                    }
+                }
+            }
+            report.retracted = lost.len();
+            wave = next;
+        }
+        // ---- Rederivation ---------------------------------------------
+        // Premises are monotone joins, so a retracted firing is derivable
+        // again iff its premise tuple reproduces over the surviving state;
+        // firings that need freshly (re)derived rows are caught below by
+        // the insertion propagation instead.
+        let mut seeds: Vec<(String, Tuple)> = Vec::new();
+        for (index, tuple) in &lost {
+            if tuple.contains(&Value::Null) {
+                // A genuine SQL-style null in a premise head would not
+                // rejoin through the indexed plans; take the fallback.
+                return Err(AlgebraError::EvalBudgetExceeded { budget: 0 });
+            }
+            let plan = self.rules[*index].plan.as_ref().expect("planned rule");
+            if plan.supports(&state.live, tuple, &mut work)? {
+                report.rederived += 1;
+                refire(
+                    *index,
+                    &self.rules[*index],
+                    tuple,
+                    &self.target_sig,
+                    &self.read_rels,
+                    &self.config,
+                    state,
+                    &mut seeds,
+                )?;
+            }
+        }
+        // ---- Insertion propagation ------------------------------------
+        for (rel, tuple) in inserts {
+            if self.read_rels.contains(rel) && state.live.insert_row(rel, tuple.clone()) {
+                seeds.push((rel.clone(), tuple.clone()));
+            }
+        }
+        let mut delta_rows = seeds;
+        while !delta_rows.is_empty() {
+            let delta = index_rows(&delta_rows);
+            let mut next: Vec<(String, Tuple)> = Vec::new();
+            for (index, rule) in self.rules.iter().enumerate() {
+                let plan = rule.plan.as_ref().expect("planned rule");
+                if !delta_rows.iter().any(|(rel, _)| plan.relations().contains(rel)) {
+                    continue;
+                }
+                for tuple in plan.eval_delta(&state.live, None, &delta, &mut work)? {
+                    if state.fired[index].contains(&tuple) {
+                        continue;
+                    }
+                    report.fired += 1;
+                    refire(
+                        index,
+                        rule,
+                        &tuple,
+                        &self.target_sig,
+                        &self.read_rels,
+                        &self.config,
+                        state,
+                        &mut next,
+                    )?;
+                }
+            }
+            delta_rows = next;
+        }
+        state.work += work.used();
+        report.work = work.used();
+        Ok(())
+    }
+}
+
+/// Is `goal` reachable from `start` by one or more edges of the rule
+/// dependency graph? (With `start == goal` this asks whether the relation
+/// sits on a cycle.) Iterative worklist — rule graphs are tiny, but the
+/// recursion depth should not hang off user input either way.
+fn reaches(edges: &BTreeMap<String, BTreeSet<String>>, start: &str, goal: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut work: Vec<&str> =
+        edges.get(start).map(|next| next.iter().map(String::as_str).collect()).unwrap_or_default();
+    while let Some(node) = work.pop() {
+        if node == goal {
+            return true;
+        }
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(next) = edges.get(node) {
+            work.extend(next.iter().map(String::as_str));
+        }
+    }
+    false
+}
+
+/// Fire one rule on one premise tuple under Skolem-null semantics: head
+/// variables take the premise values, constants bind from the conclusion,
+/// and every remaining (existential) variable takes a content-addressed
+/// labelled null. Returns the target rows (one entry per conclusion atom
+/// occurrence — support counts one each) and the number of nulls minted.
+fn fire_skolem(
+    rule_index: usize,
+    rule: &DiffRule,
+    premise_tuple: &Tuple,
+    target_sig: &Signature,
+) -> (Vec<(String, Tuple)>, usize) {
+    let mut binding: BTreeMap<usize, Value> = BTreeMap::new();
+    for (term, value) in rule.conclusion.head.iter().zip(premise_tuple) {
+        if let Term::Var(var) = term {
+            binding.insert(*var, value.clone());
+        }
+    }
+    for (var, constant) in &rule.conclusion.const_of {
+        binding.entry(*var).or_insert_with(|| constant.clone());
+    }
+    let mut minted = 0usize;
+    for var in rule.conclusion.body_vars() {
+        binding.entry(var).or_insert_with(|| {
+            minted += 1;
+            Value::Str(skolem_null(rule_index, var, premise_tuple))
+        });
+    }
+    let mut out = Vec::new();
+    for atom in &rule.conclusion.atoms {
+        if !target_sig.contains(&atom.rel) {
+            // Conclusion atoms over source relations cannot be chased into.
+            continue;
+        }
+        let tuple: Tuple =
+            atom.args.iter().map(|var| binding.get(var).cloned().unwrap_or(Value::Null)).collect();
+        out.push((atom.rel.clone(), tuple));
+    }
+    (out, minted)
+}
+
+/// The content-addressed labelled-null name for (rule, existential
+/// variable, premise tuple): two chained FNV-1a hashes over the rendered
+/// firing identity. Stable across engine instances, so a rebuilt or
+/// re-chased state names every null identically.
+fn skolem_null(rule_index: usize, var: usize, premise_tuple: &Tuple) -> String {
+    let mut payload = format!("{rule_index}\u{1f}{var}");
+    for value in premise_tuple {
+        payload.push('\u{1f}');
+        payload.push_str(&value.to_string());
+    }
+    let h1 = fnv1a(0xcbf2_9ce4_8422_2325, payload.as_bytes());
+    let h2 = fnv1a(h1 ^ 0x9e37_79b9_7f4a_7c15, payload.as_bytes());
+    format!("_null{h1:016x}{h2:016x}")
+}
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Register a firing as active: record it in the fired set, mint its
+/// nulls, bump supports, and materialise newly-supported rows (into the
+/// target, the live index, and the caller's delta seed list).
+#[allow(clippy::too_many_arguments)]
+fn refire(
+    rule_index: usize,
+    rule: &DiffRule,
+    premise_tuple: &Tuple,
+    target_sig: &Signature,
+    read_rels: &BTreeSet<String>,
+    config: &ExchangeConfig,
+    state: &mut ChaseState,
+    seeds: &mut Vec<(String, Tuple)>,
+) -> Result<(), AlgebraError> {
+    let (rows, minted) = fire_skolem(rule_index, rule, premise_tuple, target_sig);
+    if state.nulls + minted > config.max_nulls {
+        // A (possibly diverging) existential cascade: hand the batch to the
+        // full fallback, which truncates deterministically.
+        return Err(AlgebraError::EvalBudgetExceeded { budget: config.max_nulls });
+    }
+    state.fired[rule_index].insert(premise_tuple.clone());
+    state.nulls += minted;
+    for (rel, row) in rows {
+        let count = state.support.entry((rel.clone(), row.clone())).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            state.target.insert(&rel, row.clone());
+            if read_rels.contains(&rel) && state.live.insert_row(&rel, row.clone()) {
+                seeds.push((rel, row));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Index a row list by relation.
+fn index_rows(rows: &[(String, Tuple)]) -> TupleIndex {
+    let mut grouped: BTreeMap<String, Vec<Tuple>> = BTreeMap::new();
+    for (rel, tuple) in rows {
+        grouped.entry(rel.clone()).or_default().push(tuple.clone());
+    }
+    TupleIndex::from_rows(grouped)
+}
+
+/// The full Skolem chase from scratch: the initial build, the error
+/// fallback, and the oracle. Semi-naive internally, but the result is the
+/// order-independent least fixpoint, so only determinism (not order)
+/// matters here.
+fn full_chase(
+    rules: &[DiffRule],
+    full_sig: &Signature,
+    target_sig: &Signature,
+    read_rels: &BTreeSet<String>,
+    source: &Instance,
+    registry: &Registry,
+    config: &ExchangeConfig,
+) -> ChaseState {
+    let mut state = ChaseState::empty(source, read_rels);
+    state.fired = vec![BTreeSet::new(); rules.len()];
+    let mut dropped = vec![false; rules.len()];
+    let mut rounds = 0usize;
+    // Rows inserted in the previous round (planned rules join only these);
+    // `None` forces the initial full evaluation.
+    let mut delta_rows: Option<Vec<(String, Tuple)>> = None;
+    while rounds < config.max_rounds {
+        rounds += 1;
+        let mut seeds: Vec<(String, Tuple)> = Vec::new();
+        let mut fired_any = false;
+        let delta = delta_rows.as_deref().map(index_rows);
+        for (index, rule) in rules.iter().enumerate() {
+            if dropped[index] {
+                continue;
+            }
+            let mut work = WorkBudget::new(config.eval_budget);
+            let candidates: BTreeSet<Tuple> = match &rule.plan {
+                Some(plan) => {
+                    let evaluated = match (&delta, &delta_rows) {
+                        (Some(delta), Some(rows)) => {
+                            if rows.iter().any(|(rel, _)| plan.relations().contains(rel)) {
+                                plan.eval_delta(&state.live, None, delta, &mut work)
+                            } else {
+                                Ok(BTreeSet::new())
+                            }
+                        }
+                        _ => plan.eval_full(&state.live, None, &mut work),
+                    };
+                    state.work += work.used();
+                    match evaluated {
+                        Ok(candidates) => candidates,
+                        Err(_) => {
+                            dropped[index] = true;
+                            state.degraded = true;
+                            continue;
+                        }
+                    }
+                }
+                None => {
+                    // Unplannable premise: full expression evaluation over
+                    // the layered source-plus-target view, every round.
+                    let view = DeltaInstance::new(source, &state.target);
+                    let mut domain: BTreeSet<Value> = source.active_domain();
+                    domain.extend(state.target.active_domain());
+                    let evaluator = Evaluator::with_parts(
+                        full_sig,
+                        registry.operators(),
+                        &view,
+                        domain.into_iter().collect(),
+                        Some(config.eval_budget),
+                    );
+                    match evaluator.eval(&rule.premise) {
+                        Ok(relation) => relation.iter().cloned().collect(),
+                        Err(_) => {
+                            dropped[index] = true;
+                            state.degraded = true;
+                            continue;
+                        }
+                    }
+                }
+            };
+            for tuple in candidates {
+                if state.fired[index].contains(&tuple) {
+                    continue;
+                }
+                if refire(
+                    index, rule, &tuple, target_sig, read_rels, config, &mut state, &mut seeds,
+                )
+                .is_err()
+                {
+                    // Null budget exhausted: deterministic truncation.
+                    return state;
+                }
+                fired_any = true;
+            }
+        }
+        if !fired_any {
+            state.converged = true;
+            break;
+        }
+        delta_rows = Some(seeds);
+    }
+    state
+}
+
+/// The `chase_delta_*` metrics, registered on the global registry.
+struct DeltaMetrics {
+    batches: &'static mapcomp_telemetry::metrics::Counter,
+    inserts: &'static mapcomp_telemetry::metrics::Counter,
+    deletes: &'static mapcomp_telemetry::metrics::Counter,
+    retracted: &'static mapcomp_telemetry::metrics::Counter,
+    rederived: &'static mapcomp_telemetry::metrics::Counter,
+    fallbacks: &'static mapcomp_telemetry::metrics::Counter,
+    work: &'static mapcomp_telemetry::metrics::Histogram,
+}
+
+fn delta_metrics() -> DeltaMetrics {
+    let registry = mapcomp_telemetry::metrics::global();
+    DeltaMetrics {
+        batches: registry.counter(
+            "chase_delta_batches_total",
+            "Signed-update batches applied to differential chase engines.",
+            &[],
+        ),
+        inserts: registry.counter(
+            "chase_delta_updates_total",
+            "Effective source-tuple updates applied, by operation.",
+            &[("op", "insert")],
+        ),
+        deletes: registry.counter(
+            "chase_delta_updates_total",
+            "Effective source-tuple updates applied, by operation.",
+            &[("op", "delete")],
+        ),
+        retracted: registry.counter(
+            "chase_delta_retracted_total",
+            "Rule firings retracted by the overdeletion cascade.",
+            &[],
+        ),
+        rederived: registry.counter(
+            "chase_delta_rederived_total",
+            "Retracted rule firings restored by the support check.",
+            &[],
+        ),
+        fallbacks: registry.counter(
+            "chase_delta_fallbacks_total",
+            "Update batches that fell back to a full recompute.",
+            &[],
+        ),
+        work: registry.histogram(
+            "chase_delta_apply_work",
+            "Binding rows charged per applied update batch.",
+            &[],
+            mapcomp_telemetry::metrics::SIZE_BOUNDS,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapcomp_algebra::{parse_constraints, tuple};
+
+    fn registry() -> Registry {
+        Registry::standard()
+    }
+
+    fn movies_engine() -> (Vec<Constraint>, Signature, Signature, Instance) {
+        let full = Signature::from_arities([("Movies", 4), ("Names", 2), ("Years", 2)]);
+        let target = Signature::from_arities([("Names", 2), ("Years", 2)]);
+        let constraints = parse_constraints(
+            "project[0,1](select[#3 = 5](Movies)) <= Names; \
+             project[0,2](select[#3 = 5](Movies)) <= Years",
+        )
+        .unwrap()
+        .into_vec();
+        let mut source = Instance::new();
+        source.insert("Movies", tuple([1i64, 100, 1999, 5]));
+        source.insert("Movies", tuple([2i64, 200, 2001, 3]));
+        source.insert("Movies", tuple([3i64, 300, 2003, 5]));
+        (constraints, full, target, source)
+    }
+
+    /// The oracle check: the maintained state must render byte-identically
+    /// to a cold re-chase over the same source.
+    fn assert_oracle(engine: &DifferentialChase, constraints: &[Constraint]) {
+        let oracle = DifferentialChase::new(
+            constraints,
+            &engine.full_sig,
+            &engine.target_sig,
+            engine.source.clone(),
+            &engine.registry,
+            &engine.config,
+        );
+        assert_eq!(engine.rendered_target(), oracle.rendered_target());
+        assert_eq!(engine.support(), oracle.support());
+        assert_eq!(engine.nulls(), oracle.nulls());
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        for text in ["+R(1,2)", "-S('a b',null,-7)", "+T()"] {
+            let update = parse_update(text).unwrap();
+            assert_eq!(update.render(), text);
+        }
+        assert!(parse_update("R(1)").is_err());
+        assert!(parse_update("+R(1").is_err());
+        assert!(parse_update("+R(1) x").is_err());
+        assert!(parse_update("+R('a)").is_err());
+        assert!(parse_update("+1R(1)").is_err());
+        assert!(parse_update("+R(x)").is_err());
+    }
+
+    #[test]
+    fn insert_then_delete_restores_state() {
+        let (constraints, full, target, source) = movies_engine();
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        assert!(engine.incremental_ready());
+        let before_target = engine.rendered_target();
+        let before_support = engine.support().clone();
+        let row = Update::insert("Movies", tuple([9i64, 900, 2009, 5]));
+        let report = engine.apply(std::slice::from_ref(&row)).unwrap();
+        assert!(!report.fallback);
+        assert_eq!(report.inserted, 1);
+        assert!(engine.target().get("Names").contains(&tuple([9i64, 900])));
+        assert_oracle(&engine, &constraints);
+        let report = engine.apply(&[Update::delete("Movies", row.tuple.clone())]).unwrap();
+        assert!(!report.fallback);
+        assert_eq!(report.deleted, 1);
+        assert_eq!(engine.rendered_target(), before_target);
+        assert_eq!(engine.support(), &before_support);
+        assert_oracle(&engine, &constraints);
+    }
+
+    #[test]
+    fn net_zero_batch_is_a_no_op() {
+        let (constraints, full, target, source) = movies_engine();
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        let before = engine.rendered_target();
+        let row = tuple([9i64, 900, 2009, 5]);
+        let report = engine
+            .apply(&[
+                Update::insert("Movies", row.clone()),
+                Update::delete("Movies", row.clone()),
+                Update::delete("Movies", tuple([4i64, 0, 0, 0])),
+            ])
+            .unwrap();
+        assert_eq!(report.applied, 0);
+        assert_eq!(engine.rendered_target(), before);
+        assert_oracle(&engine, &constraints);
+    }
+
+    #[test]
+    fn shared_support_survives_partial_deletion() {
+        // Two source rows derive the same premise tuple (the projection
+        // dedups them); deleting one retracts the firing and the support
+        // check immediately rederives it from the surviving row.
+        let full = Signature::from_arities([("R", 2), ("S", 1)]);
+        let target = Signature::from_arities([("S", 1)]);
+        let constraints = parse_constraints("project[0](R) <= S").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R", tuple([1i64, 10]));
+        source.insert("R", tuple([1i64, 20]));
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        assert_eq!(engine.support().get(&("S".to_string(), tuple([1i64]))), Some(&1));
+        let report = engine.apply(&[Update::delete("R", tuple([1i64, 10]))]).unwrap();
+        assert!(!report.fallback);
+        assert_eq!(report.rederived, 1);
+        assert!(engine.target().get("S").contains(&tuple([1i64])));
+        assert_eq!(engine.support().get(&("S".to_string(), tuple([1i64]))), Some(&1));
+        assert_oracle(&engine, &constraints);
+        engine.apply(&[Update::delete("R", tuple([1i64, 20]))]).unwrap();
+        assert!(engine.target().get("S").is_empty());
+        assert_oracle(&engine, &constraints);
+    }
+
+    #[test]
+    fn deletion_cascades_through_target_chains() {
+        // R <= S, project[0](S) <= T: deleting the R row must retract both
+        // derived tuples.
+        let full = Signature::from_arities([("R", 2), ("S", 2), ("T", 1)]);
+        let target = Signature::from_arities([("S", 2), ("T", 1)]);
+        let constraints = parse_constraints("R <= S; project[0](S) <= T").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R", tuple([4i64, 40]));
+        source.insert("R", tuple([5i64, 50]));
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        let report = engine.apply(&[Update::delete("R", tuple([4i64, 40]))]).unwrap();
+        assert!(!report.fallback);
+        assert!(report.retracted >= 2);
+        assert!(!engine.target().get("S").contains(&tuple([4i64, 40])));
+        assert!(!engine.target().get("T").contains(&tuple([4i64])));
+        assert!(engine.target().get("T").contains(&tuple([5i64])));
+        assert_oracle(&engine, &constraints);
+    }
+
+    #[test]
+    fn rederivation_restores_alternately_derivable_rows() {
+        // S is derivable from either R1 or R2; deleting the R1 row must
+        // keep S alive via the R2 derivation (the support check rederives
+        // the R2 firing's conclusion rows after the cascade).
+        let full = Signature::from_arities([("R1", 1), ("R2", 1), ("S", 1), ("T", 1)]);
+        let target = Signature::from_arities([("S", 1), ("T", 1)]);
+        let constraints = parse_constraints("R1 <= S; R2 <= S; S <= T").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R1", tuple([1i64]));
+        source.insert("R2", tuple([1i64]));
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        let report = engine.apply(&[Update::delete("R1", tuple([1i64]))]).unwrap();
+        assert!(!report.fallback);
+        assert!(engine.target().get("S").contains(&tuple([1i64])));
+        assert!(engine.target().get("T").contains(&tuple([1i64])));
+        assert_oracle(&engine, &constraints);
+    }
+
+    #[test]
+    fn existential_nulls_are_content_addressed() {
+        let full = Signature::from_arities([("R", 1), ("S", 2)]);
+        let target = Signature::from_arities([("S", 2)]);
+        let constraints = parse_constraints("R <= project[0](S)").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R", tuple([7i64]));
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        let first = engine.rendered_target();
+        assert_eq!(engine.nulls(), 1);
+        // Insert and retract an unrelated row: the surviving null keeps its
+        // name, so the rendering is byte-stable.
+        engine.apply(&[Update::insert("R", tuple([8i64]))]).unwrap();
+        assert_eq!(engine.nulls(), 2);
+        engine.apply(&[Update::delete("R", tuple([8i64]))]).unwrap();
+        assert_eq!(engine.rendered_target(), first);
+        assert_eq!(engine.nulls(), 1);
+        assert_oracle(&engine, &constraints);
+    }
+
+    #[test]
+    fn unplannable_rules_force_full_recompute() {
+        let full = Signature::from_arities([("A", 1), ("B", 1), ("S", 1)]);
+        let target = Signature::from_arities([("S", 1)]);
+        let constraints = parse_constraints("A - B <= S").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("A", tuple([1i64]));
+        source.insert("A", tuple([2i64]));
+        source.insert("B", tuple([2i64]));
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        assert!(!engine.incremental_ready());
+        assert!(engine.target().get("S").contains(&tuple([1i64])));
+        // Deleting the B row makes A(2) migrate; the non-monotone premise
+        // is handled by the fallback.
+        let report = engine.apply(&[Update::delete("B", tuple([2i64]))]).unwrap();
+        assert!(report.fallback);
+        assert!(engine.target().get("S").contains(&tuple([2i64])));
+        assert_oracle(&engine, &constraints);
+    }
+
+    #[test]
+    fn recursive_rule_graphs_fall_back_on_deletion() {
+        // `S1 <= S2; S2 <= S1` makes the two target copies support each
+        // other, so support counting alone can never retract the cycle.
+        // Deletions must retreat to a full re-chase; insert-only batches
+        // stay on the incremental path (monotone fixpoints are cycle-safe).
+        let full = Signature::from_arities([("R", 1), ("S1", 1), ("S2", 1)]);
+        let target = Signature::from_arities([("S1", 1), ("S2", 1)]);
+        let constraints = parse_constraints("R <= S1; S1 <= S2; S2 <= S1").unwrap().into_vec();
+        let mut source = Instance::new();
+        source.insert("R", tuple([1i64]));
+        source.insert("R", tuple([2i64]));
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        assert!(engine.recursive());
+        assert!(engine.incremental_ready());
+        let report = engine.apply(&[Update::insert("R", tuple([3i64]))]).unwrap();
+        assert!(!report.fallback);
+        assert_oracle(&engine, &constraints);
+        // A deletion over the recursive graph forces the fallback; the
+        // cyclic supports would otherwise keep S1(1)/S2(1) alive forever.
+        let report = engine.apply(&[Update::delete("R", tuple([1i64]))]).unwrap();
+        assert!(report.fallback);
+        assert!(!engine.target().get("S1").contains(&tuple([1i64])));
+        assert!(!engine.target().get("S2").contains(&tuple([1i64])));
+        assert_oracle(&engine, &constraints);
+    }
+
+    #[test]
+    fn updates_to_target_relations_are_rejected() {
+        let (constraints, full, target, source) = movies_engine();
+        let mut engine = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            source,
+            &registry(),
+            &ExchangeConfig::default(),
+        );
+        let before = engine.rendered_target();
+        assert!(engine.apply(&[Update::insert("Names", tuple([1i64, 2]))]).is_err());
+        assert!(engine.apply(&[Update::insert("Nope", tuple([1i64]))]).is_err());
+        assert!(engine.apply(&[Update::insert("Movies", tuple([1i64]))]).is_err());
+        assert_eq!(engine.rendered_target(), before);
+    }
+}

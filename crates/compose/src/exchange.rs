@@ -158,6 +158,14 @@ pub struct ExchangeResult {
     /// The static termination verdict the run executed under, copied from
     /// [`ExchangeConfig::verdict`].
     pub verdict: TerminationVerdict,
+    /// Rows materialised into the semi-naive engine's persistent frontier
+    /// index: the one-time source snapshot plus one in-place insert per
+    /// novel target tuple. Each live tuple is indexed exactly once for the
+    /// whole run — per-round allocation no longer scales with instance size
+    /// (the per-round snapshot clone this replaced cost
+    /// `rounds × |source ∪ target|`). Always 0 under the naive strategy,
+    /// which keeps no frontier index.
+    pub frontier_rows: usize,
 }
 
 /// A constraint prepared for chasing: an evaluable premise and a conjunctive
@@ -326,6 +334,7 @@ fn exchange_naive(
                         skipped,
                         converged: false,
                         verdict: config.verdict,
+                        frontier_rows: 0,
                     };
                 }
                 for (rel, row) in fire(rule, tuple, target_sig, &mut nulls_created) {
@@ -342,12 +351,20 @@ fn exchange_naive(
         }
     }
 
-    ExchangeResult { target, nulls_created, rounds, skipped, converged, verdict: config.verdict }
+    ExchangeResult {
+        target,
+        nulls_created,
+        rounds,
+        skipped,
+        converged,
+        verdict: config.verdict,
+        frontier_rows: 0,
+    }
 }
 
-/// The semi-naive chase: per-round indexed frontier snapshot, per-rule delta
-/// evaluation, layered-view satisfaction checks. Fires the same tuples in
-/// the same order as [`exchange_naive`].
+/// The semi-naive chase: one persistent hash-indexed frontier updated in
+/// place, per-rule delta evaluation, layered-view satisfaction checks. Fires
+/// the same tuples in the same order as [`exchange_naive`].
 fn exchange_semi_naive(
     mut rules: Vec<ChaseRule>,
     full_sig: &Signature,
@@ -366,9 +383,16 @@ fn exchange_semi_naive(
         .collect();
 
     let mut target = Instance::new();
-    // Append-only record of novel target insertions into plan-read
-    // relations; each rule's delta is the suffix after its own cursor.
+    // Append-only record of insertions into plan-read relations that are
+    // novel to the live frontier (source ∪ target); each rule's delta is
+    // the suffix after its own cursor.
     let mut log: Vec<(String, Tuple)> = Vec::new();
+    // The persistent live frontier: source rows of plan-read relations,
+    // indexed once up front, then updated in place as firings land. Replaces
+    // the per-round `source ∪ target` snapshot clone — per-round allocation
+    // no longer scales with instance size.
+    let mut live = TupleIndex::from_layers(&[source], plan_rels.iter());
+    let mut frontier_rows: usize = plan_rels.iter().map(|rel| live.row_count(rel)).sum();
     // Active domain of source ∪ target, maintained incrementally.
     let mut domain: BTreeSet<Value> = source.active_domain();
     let mut nulls_created = 0usize;
@@ -381,20 +405,10 @@ fn exchange_semi_naive(
         rounds_metric.incr();
         let mut changed = false;
         let round_start = log.len();
-        // One hash-indexable frontier snapshot per round; intra-round
-        // insertions reach rules through their delta slices instead.
-        let frontier = TupleIndex::from_layers(&[source, &target], plan_rels.iter());
-        // Intra-round top-up (insertions since the snapshot), rebuilt only
-        // when a firing grew the log — not once per rule.
-        let mut topup_cache: Option<(usize, Option<TupleIndex>)> = None;
         for rule in &mut rules {
             if rule.dropped {
                 continue;
             }
-            if topup_cache.as_ref().map(|(len, _)| *len) != Some(log.len()) {
-                topup_cache = Some((log.len(), slice_index(&log, round_start)));
-            }
-            let topup = topup_cache.as_ref().and_then(|(_, index)| index.as_ref());
             let view = DeltaInstance::new(source, &target);
             // Cloning the active domain is only needed when an Evaluator is
             // actually built; most planned-rule visits never do.
@@ -406,10 +420,9 @@ fn exchange_semi_naive(
                 Some(plan) => {
                     let mut work = WorkBudget::new(config.eval_budget);
                     if !rule.initialized {
-                        // First evaluation: a full indexed join. Tuples fired
-                        // earlier this round are not yet in the snapshot, so
-                        // they ride along as the top-up layer.
-                        match plan.eval_full(&frontier, topup, &mut work) {
+                        // First evaluation: a full indexed join over the live
+                        // frontier (already up to date with every firing).
+                        match plan.eval_full(&live, None, &mut work) {
                             Ok(new) => candidates = new,
                             Err(reason) => {
                                 drop_reason = Some(format!("premise not evaluable: {reason}"));
@@ -421,11 +434,11 @@ fn exchange_semi_naive(
                             .any(|(rel, _)| plan.relations().contains(rel));
                         if delta_live {
                             let delta = slice_index(&log, rule.cursor).expect("non-empty slice");
-                            // Non-delta atoms see snapshot ∪ intra-round
-                            // insertions — disjoint sets, so no row is
-                            // enumerated twice even though the delta itself
-                            // overlaps the snapshot.
-                            match plan.eval_delta(&frontier, topup, &delta, &mut work) {
+                            // Non-delta atoms range over the live frontier,
+                            // which holds each row exactly once; the delta
+                            // rows overlap it by design (they anchor the
+                            // join, the frontier supplies the partners).
+                            match plan.eval_delta(&live, None, &delta, &mut work) {
                                 Ok(new) => candidates = new,
                                 Err(reason) => {
                                     drop_reason = Some(format!("premise not evaluable: {reason}"));
@@ -536,7 +549,11 @@ fn exchange_semi_naive(
                 let novel = !target.get_ref(&rel).is_some_and(|existing| existing.contains(&row));
                 if novel {
                     domain.extend(row.iter().cloned());
-                    if plan_rels.contains(&rel) {
+                    // Rows already live (a target tuple duplicating a source
+                    // tuple) add nothing to any join: they are kept out of
+                    // the frontier and the delta log alike.
+                    if plan_rels.contains(&rel) && live.insert_row(&rel, row.clone()) {
+                        frontier_rows += 1;
                         log.push((rel.clone(), row.clone()));
                     }
                     target.insert(&rel, row);
@@ -550,6 +567,7 @@ fn exchange_semi_naive(
                     skipped,
                     converged: false,
                     verdict: config.verdict,
+                    frontier_rows,
                 };
             }
         }
@@ -560,7 +578,15 @@ fn exchange_semi_naive(
         }
     }
 
-    ExchangeResult { target, nulls_created, rounds, skipped, converged, verdict: config.verdict }
+    ExchangeResult {
+        target,
+        nulls_created,
+        rounds,
+        skipped,
+        converged,
+        verdict: config.verdict,
+        frontier_rows,
+    }
 }
 
 /// The chase-progress metrics for one strategy: rounds executed and the

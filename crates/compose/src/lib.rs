@@ -35,6 +35,7 @@ pub mod builtins;
 pub mod compose;
 pub mod cq;
 pub mod deskolem;
+pub mod differential;
 pub mod eliminate;
 pub mod exchange;
 pub mod left;
@@ -51,6 +52,9 @@ pub mod view_unfold;
 pub use compose::{
     compose, compose_constraints, ComposeConfig, ComposeResult, ComposeStats, SymbolOutcome,
     SymbolReport,
+};
+pub use differential::{
+    parse_update, parse_updates, render_instance, DeltaReport, DifferentialChase, Sign, Update,
 };
 pub use eliminate::eliminate;
 pub use exchange::{exchange, ChaseStrategy, ExchangeConfig, ExchangeResult, TerminationVerdict};

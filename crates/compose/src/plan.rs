@@ -36,16 +36,21 @@ use mapcomp_algebra::{AlgebraError, Instance, Signature, Tuple, Value};
 
 use crate::cq::{expr_to_conjunctive, Atom, Conjunctive, Term};
 
-/// A per-round store of tuples with lazily built hash indexes on requested
-/// column sets.
+/// A store of tuples with lazily built hash indexes on requested column
+/// sets.
 ///
-/// One `TupleIndex` holds the chase frontier snapshot (source ∪ target at
-/// the start of a round); small secondary ones hold per-rule deltas. Indexes
-/// are keyed by `(relation, columns)` and built on first use, so a round that
-/// touches only a few rules indexes only what those rules join on.
+/// One `TupleIndex` holds the chase's live frontier (source ∪ target,
+/// updated in place as the chase fires — see [`TupleIndex::insert_row`] /
+/// [`TupleIndex::remove_row`]); small transient ones hold per-rule deltas.
+/// Indexes are keyed by `(relation, columns)` and built on first use, so a
+/// run that touches only a few rules indexes only what those rules join on.
 pub struct TupleIndex {
     rows: BTreeMap<String, Vec<Tuple>>,
     indexes: RefCell<HashMap<(String, Vec<usize>), ColumnIndex>>,
+    /// Row → position maps, built per relation on first mutation. Only
+    /// mutated indexes pay for them; read-only snapshots (delta slices)
+    /// never allocate one.
+    positions: HashMap<String, HashMap<Tuple, usize>>,
 }
 
 /// Join-key values → positions of the rows carrying them.
@@ -73,12 +78,92 @@ impl TupleIndex {
             }
             rows.insert(name.clone(), out);
         }
-        TupleIndex { rows, indexes: RefCell::new(HashMap::new()) }
+        TupleIndex { rows, indexes: RefCell::new(HashMap::new()), positions: HashMap::new() }
     }
 
     /// Build from explicit per-relation rows (used for delta slices).
     pub fn from_rows(rows: BTreeMap<String, Vec<Tuple>>) -> Self {
-        TupleIndex { rows, indexes: RefCell::new(HashMap::new()) }
+        TupleIndex { rows, indexes: RefCell::new(HashMap::new()), positions: HashMap::new() }
+    }
+
+    /// Ensure the row → position map of `rel` exists and return it, along
+    /// with the relation's rows (split borrows for the mutators below).
+    fn rel_mut(&mut self, rel: &str) -> (&mut Vec<Tuple>, &mut HashMap<Tuple, usize>) {
+        let rows = self.rows.entry(rel.to_string()).or_default();
+        let positions = self.positions.entry(rel.to_string()).or_insert_with(|| {
+            rows.iter().enumerate().map(|(position, row)| (row.clone(), position)).collect()
+        });
+        (rows, positions)
+    }
+
+    /// Membership test (builds the position map of `rel` on first use).
+    pub fn contains_row(&mut self, rel: &str, row: &Tuple) -> bool {
+        let (_, positions) = self.rel_mut(rel);
+        positions.contains_key(row)
+    }
+
+    /// Insert a row in place, keeping every already-built hash index of the
+    /// relation consistent. Returns `false` (and changes nothing) when the
+    /// row is already present — the live chase frontier is a set.
+    pub fn insert_row(&mut self, rel: &str, row: Tuple) -> bool {
+        let (rows, positions) = self.rel_mut(rel);
+        if positions.contains_key(&row) {
+            return false;
+        }
+        let position = rows.len();
+        rows.push(row.clone());
+        positions.insert(row.clone(), position);
+        for ((index_rel, cols), index) in self.indexes.borrow_mut().iter_mut() {
+            if index_rel != rel || cols.iter().any(|&c| c >= row.len()) {
+                continue;
+            }
+            let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            index.entry(key).or_default().push(position);
+        }
+        true
+    }
+
+    /// Remove a row in place (swap-remove; the displaced last row's position
+    /// and index entries are patched). Returns `false` when the row was not
+    /// present.
+    pub fn remove_row(&mut self, rel: &str, row: &Tuple) -> bool {
+        let (rows, positions) = self.rel_mut(rel);
+        let Some(position) = positions.remove(row) else { return false };
+        rows.swap_remove(position);
+        let moved = (position < rows.len()).then(|| rows[position].clone());
+        if let Some(moved_row) = &moved {
+            positions.insert(moved_row.clone(), position);
+        }
+        let last = rows.len();
+        for ((index_rel, cols), index) in self.indexes.borrow_mut().iter_mut() {
+            if index_rel != rel {
+                continue;
+            }
+            if !cols.iter().any(|&c| c >= row.len()) {
+                let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+                if let Some(entry) = index.get_mut(&key) {
+                    entry.retain(|&p| p != position);
+                    if entry.is_empty() {
+                        index.remove(&key);
+                    }
+                }
+            }
+            // The former last row now lives at `position`.
+            if let Some(moved_row) = &moved {
+                if cols.iter().any(|&c| c >= moved_row.len()) {
+                    continue;
+                }
+                let key: Vec<Value> = cols.iter().map(|&c| moved_row[c].clone()).collect();
+                if let Some(entry) = index.get_mut(&key) {
+                    for p in entry.iter_mut() {
+                        if *p == last {
+                            *p = position;
+                        }
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Is there any row for `rel`?
@@ -137,6 +222,11 @@ impl WorkBudget {
     /// A budget of `budget` rows.
     pub fn new(budget: usize) -> Self {
         WorkBudget { used: 0, budget }
+    }
+
+    /// Binding rows charged so far.
+    pub fn used(&self) -> usize {
+        self.used
     }
 
     fn charge(&mut self, amount: usize) -> Result<(), AlgebraError> {
@@ -335,6 +425,45 @@ impl PremisePlan {
         Ok(out)
     }
 
+    /// Is `head` (a previously fired premise tuple) derivable over `full`
+    /// right now? Joins the atoms with the head variables pre-bound to the
+    /// tuple's values, so every probe is as selective as the tuple itself —
+    /// the rederivation check of the differential chase, sublinear in the
+    /// instance wherever the head columns are indexed.
+    pub fn supports(
+        &self,
+        full: &TupleIndex,
+        head: &Tuple,
+        work: &mut WorkBudget,
+    ) -> Result<bool, AlgebraError> {
+        if head.len() != self.head.len() {
+            return Ok(false);
+        }
+        let mut seed: Vec<Option<Value>> = vec![None; self.var_count];
+        let mut bound: BTreeSet<usize> = BTreeSet::new();
+        for (&var, value) in &self.const_of {
+            seed[var] = Some(value.clone());
+            bound.insert(var);
+        }
+        for (&var, value) in self.head.iter().zip(head) {
+            match &seed[var] {
+                // A repeated head variable (or a constant-bound one) must
+                // carry one consistent value; labelled nulls are ordinary
+                // values here — the tuple either reproduces or it doesn't.
+                Some(existing) if existing != value => return Ok(false),
+                _ => {
+                    seed[var] = Some(value.clone());
+                    bound.insert(var);
+                }
+            }
+        }
+        let order = self.ordered(None, &|rel| full.row_count(rel));
+        let sources: Vec<AtomSource<'_>> =
+            order.iter().map(|_| AtomSource::Full { full, topup: None }).collect();
+        let out = self.join_seeded(&order, &sources, seed, bound, work)?;
+        Ok(!out.is_empty())
+    }
+
     /// Join the atoms in `order`, each over its source, producing head
     /// tuples.
     fn join(
@@ -348,10 +477,23 @@ impl PremisePlan {
         for (&var, value) in &self.const_of {
             initial[var] = Some(value.clone());
         }
-        let mut bindings: Vec<Vec<Option<Value>>> = vec![initial];
+        let bound: BTreeSet<usize> = self.const_of.keys().copied().collect();
+        self.join_seeded(order, sources, initial, bound, work)
+    }
+
+    /// The join loop over an explicit initial binding (`seed`) and its bound
+    /// variable set.
+    fn join_seeded(
+        &self,
+        order: &[usize],
+        sources: &[AtomSource<'_>],
+        seed: Vec<Option<Value>>,
+        mut bound: BTreeSet<usize>,
+        work: &mut WorkBudget,
+    ) -> Result<BTreeSet<Tuple>, AlgebraError> {
+        let mut bindings: Vec<Vec<Option<Value>>> = vec![seed];
         // Which variables are bound is static per stage, so the probe columns
         // (and therefore the index) are shared by all rows of a stage.
-        let mut bound: BTreeSet<usize> = self.const_of.keys().copied().collect();
         for (&atom_index, source) in order.iter().zip(sources) {
             let atom = &self.atoms[atom_index];
             let probe_cols: Vec<usize> = atom

@@ -56,6 +56,20 @@ pub enum Request {
         /// The mapping name.
         mapping: String,
     },
+    /// Apply a batch of signed source updates (`+rel(...)`/`-rel(...)`,
+    /// grammar in `docs/DIFFERENTIAL.md`) to the differentially-maintained
+    /// migration session for the `from → to` composed chain, and reply with
+    /// the maintained target instance. The first request for a pair (or the
+    /// first after the chain's content hash changes) builds the session
+    /// with a full chase; later batches propagate incrementally.
+    MigrateDelta {
+        /// Source schema name.
+        from: String,
+        /// Target schema name.
+        to: String,
+        /// Signed updates, applied as one batch.
+        updates: Vec<String>,
+    },
     /// Statically analyze mappings: weak-acyclicity termination verdicts
     /// plus lint diagnostics (see `docs/ANALYSIS.md`).
     Analyze {
@@ -107,6 +121,7 @@ impl Request {
         "compose-names",
         "compose-batch",
         "invalidate",
+        "migrate-delta",
         "analyze",
         "stats",
         "cache-info",
@@ -126,6 +141,7 @@ impl Request {
             Request::ComposeNames { .. } => "compose-names",
             Request::ComposeBatch { .. } => "compose-batch",
             Request::Invalidate { .. } => "invalidate",
+            Request::MigrateDelta { .. } => "migrate-delta",
             Request::Analyze { .. } => "analyze",
             Request::Stats => "stats",
             Request::CacheInfo => "cache-info",
@@ -305,6 +321,40 @@ pub struct CacheInfoPayload {
     pub segments: Vec<SegmentCacheInfo>,
 }
 
+/// The maintained state of a differential migration session, as reported by
+/// [`Response::Migrated`]: batch statistics plus the canonical rendering of
+/// the target instance (`docs/DIFFERENTIAL.md`). The rendering is
+/// byte-identical to a cold re-chase of the session's accumulated source,
+/// whichever transport carried it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MigratePayload {
+    /// Source schema name.
+    pub from: String,
+    /// Target schema name.
+    pub to: String,
+    /// Effective updates applied after net normalisation.
+    pub applied: usize,
+    /// Source rows inserted by this batch.
+    pub inserted: usize,
+    /// Source rows deleted by this batch.
+    pub deleted: usize,
+    /// Rule firings retracted by the overdeletion cascade.
+    pub retracted: usize,
+    /// Retracted firings restored by the support check.
+    pub rederived: usize,
+    /// Did the batch fall back to a full recompute?
+    pub fallback: bool,
+    /// Source rows in the session after the batch.
+    pub source_rows: usize,
+    /// Target rows in the maintained instance.
+    pub target_rows: usize,
+    /// Entries in the per-tuple derivation-support table.
+    pub support_entries: usize,
+    /// The maintained target, rendered canonically (one `rel(v,...);` line
+    /// per tuple, sorted).
+    pub target: String,
+}
+
 /// A response from the catalog service, one variant per [`Request`] kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -329,6 +379,8 @@ pub enum Response {
         /// Cached compositions dropped.
         dropped: usize,
     },
+    /// Reply to [`Request::MigrateDelta`].
+    Migrated(MigratePayload),
     /// Reply to [`Request::Analyze`].
     Analysis(AnalysisPayload),
     /// Reply to [`Request::Stats`].
@@ -408,6 +460,7 @@ impl Response {
             Response::Composed(_) => "composed",
             Response::Batch(_) => "batch",
             Response::Invalidated { .. } => "invalidated",
+            Response::Migrated(_) => "migrated",
             Response::Analysis(_) => "analysis",
             Response::Stats(_) => "stats",
             Response::CacheInfo(_) => "cache-info",

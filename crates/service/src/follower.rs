@@ -454,8 +454,11 @@ impl FollowerCore {
             // The leader's cache movements describe *its* memo cache; the
             // replica's cache warms from its own read traffic (and from
             // sidecar replay at restart, where the verbatim log carries
-            // these records to the loader).
-            DeltaRecord::Evict { .. } | DeltaRecord::Stats(_) => {}
+            // these records to the loader). Migration batches ride the same
+            // way: the verbatim sidecar carries the update history, and a
+            // replica restarted into leader duty rebuilds the engine from
+            // it — `migrate-delta` itself is refused while following.
+            DeltaRecord::Evict { .. } | DeltaRecord::Stats(_) | DeltaRecord::Migrate { .. } => {}
         }
         Ok(())
     }
@@ -563,9 +566,10 @@ pub struct ReadOnlyService {
 impl MapcompService for ReadOnlyService {
     fn call(&self, request: Request) -> Result<Response, ServiceError> {
         match request {
-            Request::AddDocument { .. } | Request::Invalidate { .. } | Request::Compact => {
-                Err(self.core.readonly_error())
-            }
+            Request::AddDocument { .. }
+            | Request::Invalidate { .. }
+            | Request::MigrateDelta { .. }
+            | Request::Compact => Err(self.core.readonly_error()),
             Request::Subscribe { .. } | Request::Snapshot => Err(self.core.not_a_leader_error()),
             Request::Stats => {
                 let mut payload = self.core.service.stats_payload();

@@ -75,8 +75,8 @@ pub mod wire;
 
 pub use api::{
     AnalysisPayload, CacheInfoPayload, ChainPayload, DeltaChunkPayload, ErrorCode, MappingInfo,
-    ReplicationInfo, Request, Response, SegmentCacheInfo, ServiceError, SnapshotPayload,
-    StatsPayload,
+    MigratePayload, ReplicationInfo, Request, Response, SegmentCacheInfo, ServiceError,
+    SnapshotPayload, StatsPayload,
 };
 pub use client::Client;
 pub use event::EventServer;

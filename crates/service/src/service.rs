@@ -38,19 +38,20 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
-use mapcomp_algebra::parse_document;
+use mapcomp_algebra::{parse_document, Instance};
 use mapcomp_catalog::{
-    render_cache_entry, render_generation_marker, render_mapping_decl, render_positioned_delta,
-    render_schema_decl, save_state, CacheEvent, CacheStats, Catalog, DeltaRecord, MemoKey,
-    Position, SessionConfig, SharedSession, SidecarWriter, VersionManifest,
+    render_cache_entry, render_generation_marker, render_mapping_decl, render_migration_snapshot,
+    render_positioned_delta, render_schema_decl, save_state, CacheEvent, CacheStats, Catalog,
+    DeltaRecord, MemoKey, Position, SessionConfig, SharedSession, SidecarWriter, VersionManifest,
 };
-use mapcomp_compose::Registry;
+use mapcomp_compose::{parse_update, parse_updates, DifferentialChase, Registry, Sign};
 use mapcomp_replication::{LogChunk, ReplicationHub, SubscribeError, Subscription};
 use mapcomp_telemetry::metrics::{Counter, Histogram, MetricsRegistry, LATENCY_BOUNDS_US};
 
 use crate::api::{
-    AnalysisPayload, CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, ReplicationInfo,
-    Request, Response, SegmentCacheInfo, ServiceError, SnapshotPayload, StatsPayload,
+    AnalysisPayload, CacheInfoPayload, ChainPayload, ErrorCode, MappingInfo, MigratePayload,
+    ReplicationInfo, Request, Response, SegmentCacheInfo, ServiceError, SnapshotPayload,
+    StatsPayload,
 };
 
 /// The most worker threads a single `ComposeBatch` request may fan across,
@@ -180,6 +181,50 @@ impl Persistence {
     }
 }
 
+/// One live migration session: the accumulated signed-update history (the
+/// durable truth — `delta migrate` records append it, compaction folds it
+/// into one absolute `migrate` snapshot line) and the lazily (re)built
+/// differential chase engine maintaining the materialized target over it.
+#[derive(Default)]
+struct MigrationSession {
+    /// Every applied update token, in application order.
+    history: Vec<String>,
+    /// Content hash of the composed chain the engine was compiled against;
+    /// a recomposition with a different hash (mapping edited upstream)
+    /// forces a rebuild from the folded history.
+    chain_hash: u64,
+    /// The maintained engine. `None` until first use and after restart —
+    /// recovery replays `history` through a fresh full chase rather than
+    /// persisting derived state, so the oblivious chase's confluence makes
+    /// the rebuilt engine byte-identical to the one that was lost.
+    engine: Option<DifferentialChase>,
+}
+
+/// Fold a persisted update history into the accumulated source instance.
+/// Each token's final effect on a tuple is set membership (present after a
+/// trailing `+`, absent after a trailing `-`), so replaying in file order
+/// reproduces the exact source the live session had — including across a
+/// duplicated suffix batch (a compaction snapshot racing the batch's own
+/// delta append), which replays to the same final state.
+fn fold_history(history: &[String]) -> Instance {
+    let mut source = Instance::new();
+    for token in history {
+        // Unparsable tokens (a corrupted sidecar line) are skipped, matching
+        // the loader's skip-malformed policy everywhere else.
+        if let Ok(update) = parse_update(token) {
+            match update.sign {
+                Sign::Insert => {
+                    source.insert(&update.rel, update.tuple);
+                }
+                Sign::Delete => {
+                    source.remove(&update.rel, &update.tuple);
+                }
+            }
+        }
+    }
+    source
+}
+
 /// Pre-registered metric handles for one request kind, so the per-request
 /// hot path is three atomic bumps — no registry lock, no label rendering.
 struct KindTelemetry {
@@ -252,6 +297,15 @@ pub struct LocalService {
     /// catalog half-applied after an error. Compose and invalidate traffic
     /// is unaffected — it never takes this lock.
     ingest: std::sync::Mutex<()>,
+    /// Live migration sessions keyed `(from, to)`. This mutex is a *leaf*
+    /// lock: compaction and snapshot serving take it briefly (to render the
+    /// `migrate` snapshot lines) while holding the persistence state mutex,
+    /// so no path may wait on the persistence mutex while holding this one.
+    migrations: Mutex<std::collections::BTreeMap<(String, String), MigrationSession>>,
+    /// Serialises whole `MigrateDelta` requests (apply *and* append), so the
+    /// per-session delta-log order always equals the application order —
+    /// replaying the log then reproduces the exact accumulated source.
+    migrate_order: std::sync::Mutex<()>,
 }
 
 impl LocalService {
@@ -276,6 +330,8 @@ impl LocalService {
             telemetry: ServiceTelemetry::new(mapcomp_telemetry::metrics::global()),
             hub: OnceLock::new(),
             ingest: std::sync::Mutex::new(()),
+            migrations: Mutex::new(Default::default()),
+            migrate_order: std::sync::Mutex::new(()),
         }
     }
 
@@ -292,6 +348,8 @@ impl LocalService {
             telemetry: ServiceTelemetry::new(mapcomp_telemetry::metrics::global()),
             hub: OnceLock::new(),
             ingest: std::sync::Mutex::new(()),
+            migrations: Mutex::new(Default::default()),
+            migrate_order: std::sync::Mutex::new(()),
         }
     }
 
@@ -370,6 +428,16 @@ impl LocalService {
         }
         let state = sidecar.load_full();
         let next = state.next_position();
+        // Restored migration sessions carry only their persisted update
+        // history; the engine (and the chain hash it was compiled for) is
+        // rebuilt lazily by the first MigrateDelta request.
+        let migrations: std::collections::BTreeMap<(String, String), MigrationSession> = state
+            .migrations
+            .iter()
+            .map(|(key, history)| {
+                (key.clone(), MigrationSession { history: history.clone(), ..Default::default() })
+            })
+            .collect();
         // Replay the delta tail: catalog content first (in append order —
         // later declarations supersede earlier ones), then the recorded
         // versions. A delta that no longer applies is skipped; content
@@ -400,12 +468,32 @@ impl LocalService {
             telemetry: ServiceTelemetry::new(mapcomp_telemetry::metrics::global()),
             hub: OnceLock::new(),
             ingest: std::sync::Mutex::new(()),
+            migrations: Mutex::new(migrations),
+            migrate_order: std::sync::Mutex::new(()),
         })
     }
 
     /// The underlying shared session.
     pub fn session(&self) -> &SharedSession {
         &self.session
+    }
+
+    /// Render every migration session as its absolute `migrate` snapshot
+    /// line, for embedding in a compacted sidecar or a snapshot bootstrap.
+    /// Takes the migrations leaf lock briefly; histories are updated before
+    /// their delta records are appended, so this rendering always covers
+    /// every `delta migrate` line a rewrite is about to discard.
+    fn migration_snapshot_lines(&self) -> String {
+        let sessions = self.migrations.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for ((from, to), session) in sessions.iter() {
+            if session.history.is_empty() {
+                continue;
+            }
+            out.push_str(&render_migration_snapshot(from, to, &session.history));
+            out.push('\n');
+        }
+        out
     }
 
     /// Fold the sidecar log back into snapshot form: rewrite the catalog
@@ -443,8 +531,12 @@ impl LocalService {
             let catalog = self.session.catalog().snapshot();
             let cache = self.session.cache().collect();
             snapshot_stats = Some(cache.stats());
-            let sidecar =
-                format!("{}{}", render_generation_marker(boundary), save_state(&catalog, &cache));
+            let sidecar = format!(
+                "{}{}{}",
+                render_generation_marker(boundary),
+                save_state(&catalog, &cache),
+                self.migration_snapshot_lines()
+            );
             (catalog.to_document_string(), sidecar)
         });
         if let Err(error) = outcome {
@@ -671,8 +763,12 @@ impl LocalService {
         let catalog = self.session.catalog().snapshot();
         let cache = self.session.cache().collect();
         drop(state);
-        let sidecar =
-            format!("{}{}", render_generation_marker(position), save_state(&catalog, &cache));
+        let sidecar = format!(
+            "{}{}{}",
+            render_generation_marker(position),
+            save_state(&catalog, &cache),
+            self.migration_snapshot_lines()
+        );
         if let Some(hub) = self.hub.get() {
             hub.note_snapshot_served();
         }
@@ -887,6 +983,79 @@ impl LocalService {
                         })
                         .collect(),
                 ))
+            }
+            Request::MigrateDelta { from, to, updates } => {
+                // Whole-request serialisation: the engine apply and the
+                // delta append must land in the same order per session, or
+                // replaying the log would fold updates in the wrong order.
+                let _order =
+                    self.migrate_order.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let result = self.session.compose_path(&from, &to)?;
+                self.persist_if_used(result.compose_calls, result.cache_hits)?;
+                let chain = &result.chain;
+                let parsed = parse_updates(&updates)
+                    .map_err(|error| ServiceError::parse(format!("bad update: {error}")))?;
+                // Canonical tokens, not the caller's spelling: the history
+                // must replay through `parse_update` byte-for-byte.
+                let tokens: Vec<String> =
+                    parsed.iter().map(mapcomp_compose::Update::render).collect();
+                let full = chain
+                    .mapping
+                    .input
+                    .union(&chain.mapping.output)
+                    .and_then(|sig| sig.union(&chain.residual))
+                    .map_err(|error| {
+                        ServiceError::protocol(format!("conflicting chain signatures: {error}"))
+                    })?;
+                // Residual symbols are chased as auxiliary target relations,
+                // exactly as CatalogReplay::migrate treats them (paper §1.3).
+                let mut target_sig = chain.mapping.output.clone();
+                for (name, info) in chain.residual.iter() {
+                    target_sig.add(name.to_string(), info.clone());
+                }
+                let config = self.session.config().chase_config(None);
+                let payload = {
+                    let mut sessions =
+                        self.migrations.lock().unwrap_or_else(PoisonError::into_inner);
+                    let migration = sessions.entry((from.clone(), to.clone())).or_default();
+                    if migration.engine.is_none() || migration.chain_hash != chain.hash {
+                        // First request, restart recovery, or an upstream
+                        // mapping edit: fold the persisted history into the
+                        // accumulated source and chase it cold. Confluence
+                        // makes the rebuilt engine byte-identical to the
+                        // incrementally maintained one it replaces.
+                        migration.engine = Some(DifferentialChase::new(
+                            chain.mapping.constraints.as_slice(),
+                            &full,
+                            &target_sig,
+                            fold_history(&migration.history),
+                            self.session.registry(),
+                            &config,
+                        ));
+                        migration.chain_hash = chain.hash;
+                    }
+                    let engine = migration.engine.as_mut().expect("engine was just built");
+                    let report = engine.apply(&parsed).map_err(ServiceError::protocol)?;
+                    migration.history.extend(tokens.iter().cloned());
+                    MigratePayload {
+                        from: from.clone(),
+                        to: to.clone(),
+                        applied: report.applied,
+                        inserted: report.inserted,
+                        deleted: report.deleted,
+                        retracted: report.retracted,
+                        rederived: report.rederived,
+                        fallback: report.fallback,
+                        source_rows: engine.source().total_tuples(),
+                        target_rows: engine.target().total_tuples(),
+                        support_entries: engine.support().len(),
+                        target: engine.rendered_target(),
+                    }
+                    // The migrations leaf lock drops here, *before* the
+                    // append below waits on the persistence mutex.
+                };
+                self.persist_change(vec![DeltaRecord::Migrate { from, to, updates: tokens }], "")?;
+                Ok(Response::Migrated(payload))
             }
             Request::Invalidate { mapping } => {
                 self.session.catalog().mapping(&mapping)?;

@@ -38,8 +38,8 @@ use std::io::BufRead;
 
 use crate::api::{
     AnalysisPayload, CacheInfoPayload, ChainPayload, DeltaChunkPayload, ErrorCode, MappingInfo,
-    ReplicationInfo, Request, Response, SegmentCacheInfo, ServiceError, SnapshotPayload,
-    StatsPayload,
+    MigratePayload, ReplicationInfo, Request, Response, SegmentCacheInfo, ServiceError,
+    SnapshotPayload, StatsPayload,
 };
 use mapcomp_catalog::{CacheStats, Position, SessionStats};
 
@@ -264,6 +264,13 @@ pub fn encode_request_frame(request: &Request, trace: Option<u64>, auth: Option<
         Request::Invalidate { mapping } => {
             out.push_str(&format!("mapping {}\n", escape(mapping)));
         }
+        Request::MigrateDelta { from, to, updates } => {
+            out.push_str(&format!("from {}\n", escape(from)));
+            out.push_str(&format!("to {}\n", escape(to)));
+            for update in updates {
+                out.push_str(&format!("update {}\n", escape(update)));
+            }
+        }
         Request::Analyze { mapping } => {
             if let Some(mapping) = mapping {
                 out.push_str(&format!("mapping {}\n", escape(mapping)));
@@ -426,6 +433,23 @@ fn decode_request_fields(kind: &str, lines: Vec<&str>) -> Result<Request, Servic
             }
             Ok(Request::Invalidate { mapping: mapping.ok_or_else(|| missing("mapping"))? })
         }
+        "migrate-delta" => {
+            let (mut from, mut to) = (None, None);
+            let mut updates = Vec::new();
+            for line in lines {
+                match split_field(line) {
+                    ("from", value) if from.is_none() => from = Some(unescape(value)?),
+                    ("to", value) if to.is_none() => to = Some(unescape(value)?),
+                    ("update", value) => updates.push(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            Ok(Request::MigrateDelta {
+                from: from.ok_or_else(|| missing("from"))?,
+                to: to.ok_or_else(|| missing("to"))?,
+                updates,
+            })
+        }
         "analyze" => {
             let mut mapping = None;
             for line in lines {
@@ -574,6 +598,26 @@ pub fn encode_reply(reply: &Result<Response, ServiceError>) -> String {
                 }
                 Response::Invalidated { dropped } => {
                     out.push_str(&format!("dropped {dropped}\n"));
+                }
+                Response::Migrated(payload) => {
+                    out.push_str(&format!("from {}\n", escape(&payload.from)));
+                    out.push_str(&format!("to {}\n", escape(&payload.to)));
+                    out.push_str(&format!(
+                        "batch {} {} {} {} {}\n",
+                        payload.applied,
+                        payload.inserted,
+                        payload.deleted,
+                        payload.retracted,
+                        payload.rederived
+                    ));
+                    out.push_str(&format!(
+                        "state {} {} {} {}\n",
+                        if payload.fallback { "fallback" } else { "incremental" },
+                        payload.source_rows,
+                        payload.target_rows,
+                        payload.support_entries
+                    ));
+                    out.push_str(&format!("target {}\n", escape(&payload.target)));
                 }
                 Response::Metrics { text } => {
                     out.push_str(&format!("text {}\n", escape(text)));
@@ -789,6 +833,76 @@ pub fn decode_reply(text: &str) -> Result<Result<Response, ServiceError>, Servic
                 }
             }
             Ok(Ok(Response::Invalidated { dropped: dropped.ok_or_else(|| missing("dropped"))? }))
+        }
+        "migrated" => {
+            let (mut from, mut to, mut batch, mut state, mut target) =
+                (None, None, None, None, None);
+            for line in lines {
+                match split_field(line) {
+                    ("from", value) if from.is_none() => from = Some(unescape(value)?),
+                    ("to", value) if to.is_none() => to = Some(unescape(value)?),
+                    ("batch", value) if batch.is_none() => {
+                        let parts: Vec<&str> = value.split(' ').collect();
+                        let [applied, inserted, deleted, retracted, rederived] = parts.as_slice()
+                        else {
+                            return Err(ServiceError::protocol(format!(
+                                "batch line `{line}` does not hold five counters"
+                            )));
+                        };
+                        batch = Some((
+                            parse_usize(applied, "applied")?,
+                            parse_usize(inserted, "inserted")?,
+                            parse_usize(deleted, "deleted")?,
+                            parse_usize(retracted, "retracted")?,
+                            parse_usize(rederived, "rederived")?,
+                        ));
+                    }
+                    ("state", value) if state.is_none() => {
+                        let parts: Vec<&str> = value.split(' ').collect();
+                        let [mode, source_rows, target_rows, support_entries] = parts.as_slice()
+                        else {
+                            return Err(ServiceError::protocol(format!(
+                                "state line `{line}` does not hold four fields"
+                            )));
+                        };
+                        let fallback = match *mode {
+                            "fallback" => true,
+                            "incremental" => false,
+                            other => {
+                                return Err(ServiceError::protocol(format!(
+                                    "unknown migrate mode `{other}`"
+                                )))
+                            }
+                        };
+                        state = Some((
+                            fallback,
+                            parse_usize(source_rows, "source-rows")?,
+                            parse_usize(target_rows, "target-rows")?,
+                            parse_usize(support_entries, "support-entries")?,
+                        ));
+                    }
+                    ("target", value) if target.is_none() => target = Some(unescape(value)?),
+                    _ => return Err(unknown_field(kind, line)),
+                }
+            }
+            let (applied, inserted, deleted, retracted, rederived) =
+                batch.ok_or_else(|| missing("batch"))?;
+            let (fallback, source_rows, target_rows, support_entries) =
+                state.ok_or_else(|| missing("state"))?;
+            Ok(Ok(Response::Migrated(MigratePayload {
+                from: from.ok_or_else(|| missing("from"))?,
+                to: to.ok_or_else(|| missing("to"))?,
+                applied,
+                inserted,
+                deleted,
+                retracted,
+                rederived,
+                fallback,
+                source_rows,
+                target_rows,
+                support_entries,
+                target: target.ok_or_else(|| missing("target"))?,
+            })))
         }
         "metrics" => {
             let mut text = None;

@@ -29,6 +29,7 @@
 //! mapcomp catalog compose-names --catalog <file> <mapping>...
 //! mapcomp catalog compose-batch --catalog <file> [--workers N]
 //!                               <from> <to> [<from> <to> ...]
+//! mapcomp catalog migrate-delta --catalog <file> <from> <to> <±rel(v,...)>...
 //! mapcomp catalog invalidate    --catalog <file> <mapping-name>
 //! mapcomp catalog lint          --catalog <file> [<mapping-name>]
 //! mapcomp catalog stats         --catalog <file>
@@ -74,6 +75,7 @@
 //! mapcomp client --addr <host:port> compose-path <from> <to> [--stats]
 //! mapcomp client --addr <host:port> compose-names <mapping>...
 //! mapcomp client --addr <host:port> compose-batch [--workers N] <from> <to> ...
+//! mapcomp client --addr <host:port> migrate-delta <from> <to> <±rel(v,...)>...
 //! mapcomp client --addr <host:port> invalidate <mapping>
 //! mapcomp client --addr <host:port> lint [<mapping>]
 //! mapcomp client --addr <host:port> stats
@@ -516,8 +518,8 @@ fn parse_service_args(command: Option<&String>, args: &[String]) -> Result<Servi
 // ---------------------------------------------------------------------------
 
 const COMMANDS: &str =
-    "`add`, `compose-path`, `compose-names`, `compose-batch`, `invalidate`, `lint`, `stats`, \
-     `cache-info`, `metrics`, `compact`, `ping`, or `shutdown`";
+    "`add`, `compose-path`, `compose-names`, `compose-batch`, `migrate-delta`, `invalidate`, \
+     `lint`, `stats`, `cache-info`, `metrics`, `compact`, `ping`, or `shutdown`";
 
 /// Execute one service-mode subcommand against any backend and print the
 /// reply. This is the single dispatch path: `mapcomp catalog` hands in a
@@ -688,6 +690,49 @@ fn run_command(service: &dyn MapcompService, args: &ServiceArgs) -> Result<(), S
             if failures > 0 {
                 return Err(format!("{failures} of {} batch requests failed", requests.len()));
             }
+            Ok(())
+        }
+        "migrate-delta" => {
+            let [from, to, updates @ ..] = args.positional.as_slice() else {
+                return Err("migrate-delta requires <from-schema> <to-schema> [±rel(v,...) ...]"
+                    .to_string());
+            };
+            if updates.is_empty() {
+                return Err(
+                    "migrate-delta requires at least one signed update, e.g. +R(1,'a') or -R(1,'a')"
+                        .to_string(),
+                );
+            }
+            let reply = service
+                .call(Request::MigrateDelta {
+                    from: from.clone(),
+                    to: to.clone(),
+                    updates: updates.to_vec(),
+                })
+                .map_err(|e| e.to_string())?;
+            let Response::Migrated(payload) = reply else {
+                return Err(format!("unexpected reply `{}`", reply.kind()));
+            };
+            // The maintained target instance goes to stdout (pipeable, like
+            // the composed document of `compose-path`); statistics to stderr.
+            print!("{}", payload.target);
+            eprintln!(
+                "batch       : {} effective of {} requested (+{} / -{})",
+                payload.applied,
+                updates.len(),
+                payload.inserted,
+                payload.deleted
+            );
+            eprintln!(
+                "maintenance : {} firings retracted, {} rederived, {}",
+                payload.retracted,
+                payload.rederived,
+                if payload.fallback { "full re-chase fallback" } else { "incremental" }
+            );
+            eprintln!(
+                "instance    : {} source rows -> {} target rows ({} support entries)",
+                payload.source_rows, payload.target_rows, payload.support_entries
+            );
             Ok(())
         }
         "invalidate" => {
@@ -1151,6 +1196,8 @@ fn main() -> ExitCode {
              \x20      mapcomp catalog compose-names --catalog <file> <mapping>...\n\
              \x20      mapcomp catalog compose-batch --catalog <file> [--workers N] \
              <from> <to> [<from> <to> ...]\n\
+             \x20      mapcomp catalog migrate-delta --catalog <file> <from> <to> \
+             <±rel(v,...)>...\n\
              \x20      mapcomp catalog invalidate    --catalog <file> <mapping>\n\
              \x20      mapcomp catalog lint          --catalog <file> [<mapping>]\n\
              \x20      mapcomp catalog stats         --catalog <file>\n\
@@ -1165,8 +1212,8 @@ fn main() -> ExitCode {
              \x20                     [--log-format text|json]\n\
              \x20                     [--replicate | --follow HOST:PORT]\n\
              \x20      mapcomp client --addr HOST:PORT [--auth-token-file FILE] \
-             <ping|add|compose-path|compose-names|compose-batch|invalidate|lint|stats|\
-             cache-info|metrics|compact|shutdown> [args...]\n\
+             <ping|add|compose-path|compose-names|compose-batch|migrate-delta|invalidate|\
+             lint|stats|cache-info|metrics|compact|shutdown> [args...]\n\
              \n\
              \x20      catalog/serve also accept --cache-capacity N (0 = unbounded),\n\
              \x20      --path-cost hops|op-count, --eval-budget N (chase step budget;\n\

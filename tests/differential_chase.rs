@@ -1,0 +1,462 @@
+//! The delta-oracle suite for the differential chase: every incrementally
+//! maintained state must be **byte-identical** to a cold re-chase from
+//! scratch over the same accumulated source — rendered target, support
+//! table, null counter, convergence flag, all of it. The oblivious Skolem
+//! chase is a pure function of the source instance (content-addressed null
+//! names make it confluent), so a fresh engine over the current source *is*
+//! the oracle, and equality is exact rather than up to null renaming.
+//!
+//! Coverage: the paper's worked examples (composed Example 1 included), all
+//! literature-corpus problems, evolution-simulator scenarios, seeded random
+//! ±update streams, delete-then-reinsert round trips, and net-zero batches.
+
+// Integration-test crates are built without `cfg(test)`, so the
+// `allow-unwrap-in-tests` exemption in clippy.toml cannot reach them;
+// panicking on a surprise is exactly what a test should do.
+#![allow(clippy::unwrap_used)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mapping_composition::algebra::Tuple;
+use mapping_composition::compose::{DifferentialChase, ExchangeConfig, Update};
+use mapping_composition::prelude::*;
+
+fn registry() -> Registry {
+    Registry::standard()
+}
+
+/// A differential engine plus everything needed to rebuild it cold: the
+/// constraint set, signatures and configuration. `apply_checked` is the
+/// oracle harness — it applies one batch incrementally, then proves the
+/// result byte-identical to a from-scratch re-chase of the updated source.
+struct Harness {
+    constraints: Vec<Constraint>,
+    full: Signature,
+    target: Signature,
+    config: ExchangeConfig,
+    engine: DifferentialChase,
+}
+
+impl Harness {
+    fn new(
+        constraints: Vec<Constraint>,
+        full: Signature,
+        target: Signature,
+        source: Instance,
+        config: ExchangeConfig,
+    ) -> Self {
+        let engine =
+            DifferentialChase::new(&constraints, &full, &target, source, &registry(), &config);
+        Harness { constraints, full, target, config, engine }
+    }
+
+    /// A cold engine over the current accumulated source: the oracle.
+    fn oracle(&self) -> DifferentialChase {
+        DifferentialChase::new(
+            &self.constraints,
+            &self.full,
+            &self.target,
+            self.engine.source().clone(),
+            &registry(),
+            &self.config,
+        )
+    }
+
+    fn assert_matches_oracle(&self, label: &str) {
+        let oracle = self.oracle();
+        assert_eq!(
+            self.engine.rendered_target(),
+            oracle.rendered_target(),
+            "{label}: maintained target diverged from a cold re-chase"
+        );
+        assert_eq!(
+            self.engine.support(),
+            oracle.support(),
+            "{label}: support table diverged from a cold re-chase"
+        );
+        assert_eq!(
+            self.engine.nulls(),
+            oracle.nulls(),
+            "{label}: null counter diverged from a cold re-chase"
+        );
+        assert_eq!(
+            self.engine.converged(),
+            oracle.converged(),
+            "{label}: convergence flag diverged from a cold re-chase"
+        );
+    }
+
+    fn apply_checked(&mut self, label: &str, updates: &[Update]) {
+        self.engine
+            .apply(updates)
+            .unwrap_or_else(|error| panic!("{label}: batch rejected: {error}"));
+        self.assert_matches_oracle(label);
+    }
+
+    /// The source relations an update batch may touch, with arities.
+    fn source_rels(&self) -> Vec<(String, usize)> {
+        self.full
+            .iter()
+            .filter(|(name, _)| !self.target.contains(name))
+            .map(|(name, info)| (name.to_string(), info.arity))
+            .collect()
+    }
+
+    /// One random signed batch: inserts draw tuples from a small value pool
+    /// (so joins actually meet), deletes are biased toward rows that exist
+    /// (so the overdeletion cascade actually fires) but occasionally name
+    /// absent rows to exercise the no-op path.
+    fn random_batch(&self, rng: &mut StdRng, size: usize) -> Vec<Update> {
+        let rels = self.source_rels();
+        let mut batch = Vec::new();
+        for _ in 0..size {
+            let (rel, arity) = &rels[rng.gen_range(0..rels.len())];
+            let delete = rng.gen_bool(0.4);
+            if delete {
+                let rows: Vec<Tuple> = self.engine.source().get(rel).iter().cloned().collect();
+                if !rows.is_empty() && rng.gen_bool(0.85) {
+                    let row = rows[rng.gen_range(0..rows.len())].clone();
+                    batch.push(Update::delete(rel.clone(), row));
+                    continue;
+                }
+            }
+            let tuple: Tuple = (0..*arity).map(|_| Value::Int(rng.gen_range(0..6))).collect();
+            if delete {
+                batch.push(Update::delete(rel.clone(), tuple));
+            } else {
+                batch.push(Update::insert(rel.clone(), tuple));
+            }
+        }
+        batch
+    }
+
+    /// Drive `batches` random batches through the engine, oracle-checking
+    /// after every one.
+    fn run_random_stream(&mut self, label: &str, seed: u64, batches: usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        if self.source_rels().is_empty() {
+            return;
+        }
+        for batch_index in 0..batches {
+            let size = rng.gen_range(1..6);
+            let batch = self.random_batch(&mut rng, size);
+            self.apply_checked(&format!("{label}, batch {batch_index}"), &batch);
+        }
+    }
+}
+
+/// Seed a generic σ1 instance: a couple of rows per source relation, the
+/// same shape the chase-equivalence suite uses.
+fn seed_source(sig: &Signature, rows: i64) -> Instance {
+    let mut source = Instance::new();
+    for (name, info) in sig.iter() {
+        for row in 0..rows {
+            let tuple: Tuple = (0..info.arity).map(|c| Value::Int(row * 10 + c as i64)).collect();
+            source.insert(name, tuple);
+        }
+    }
+    source
+}
+
+#[test]
+fn example_1_composed_migration_stays_live_under_updates() {
+    // Paper Example 1, composed σ1 → σ3: the canonical "migrate data from
+    // the old schema" scenario, now maintained incrementally while movies
+    // are added, re-rated away, and restored.
+    let doc = parse_document(
+        r"
+        schema sigma1 { Movies/4; }
+        schema sigma2 { FiveStarMovies/3; }
+        schema sigma3 { Names/2; Years/2; }
+        mapping m12 : sigma1 -> sigma2 {
+            project[0,1,2](select[#3 = 5](Movies)) <= FiveStarMovies;
+        }
+        mapping m23 : sigma2 -> sigma3 {
+            project[0,1](FiveStarMovies) <= Names;
+            project[0,2](FiveStarMovies) <= Years;
+        }
+        ",
+    )
+    .unwrap();
+    let task = doc.task("m12", "m23").unwrap();
+    let composed = compose(&task, &registry(), &ComposeConfig::default()).unwrap();
+    let full = task.full_signature().unwrap();
+
+    let movie = |id: i64, name: i64, year: i64, stars: i64| -> Tuple {
+        vec![Value::Int(id), Value::Int(name), Value::Int(year), Value::Int(stars)]
+    };
+    let mut source = Instance::new();
+    source.insert("Movies", movie(1, 11, 1991, 5));
+    source.insert("Movies", movie(2, 22, 1992, 4));
+
+    let mut harness = Harness::new(
+        composed.constraints.clone().into_vec(),
+        full,
+        task.sigma3.clone(),
+        source,
+        ExchangeConfig::default(),
+    );
+    assert_eq!(harness.engine.target().get("Names").len(), 1);
+
+    // A new five-star movie lands in the target incrementally.
+    harness.apply_checked("insert 5-star", &[Update::insert("Movies", movie(3, 33, 1993, 5))]);
+    assert_eq!(harness.engine.target().get("Names").len(), 2);
+
+    // Re-rating movie 1 is a delete + insert in one batch; its Names/Years
+    // rows must be retracted by support counting.
+    harness.apply_checked(
+        "re-rate to 4 stars",
+        &[
+            Update::delete("Movies", movie(1, 11, 1991, 5)),
+            Update::insert("Movies", movie(1, 11, 1991, 4)),
+        ],
+    );
+    assert_eq!(harness.engine.target().get("Names").len(), 1);
+
+    // And restoring the rating restores the rows.
+    harness.apply_checked(
+        "restore rating",
+        &[
+            Update::delete("Movies", movie(1, 11, 1991, 4)),
+            Update::insert("Movies", movie(1, 11, 1991, 5)),
+        ],
+    );
+    assert_eq!(harness.engine.target().get("Names").len(), 2);
+
+    harness.run_random_stream("example 1 random stream", 0xE1, 24);
+}
+
+#[test]
+fn paper_example_scenarios_survive_random_update_streams() {
+    // The worked-example documents, chased uncomposed (σ2 part of the
+    // target) under a stream of seeded random ±batches: view unfolding with
+    // difference, equality constraints, and the recursive transitive-closure
+    // mapping all maintain incrementally.
+    let documents = [
+        (
+            "example 3 (R ⊆ S ⊆ T)",
+            r"
+            schema sigma1 { R/1; }
+            schema sigma2 { S/1; }
+            schema sigma3 { T/1; }
+            mapping m12 : sigma1 -> sigma2 { R <= S; }
+            mapping m23 : sigma2 -> sigma3 { S <= T; }
+            ",
+        ),
+        (
+            "example 5 (view unfolding)",
+            r"
+            schema sigma1 { R1/1; R2/1; R3/2; }
+            schema sigma2 { S/2; }
+            schema sigma3 { T1/1; T2/2; T3/2; }
+            mapping m12 : sigma1 -> sigma2 { S = R1 * R2; }
+            mapping m23 : sigma2 -> sigma3 {
+                project[0](R3 - S) <= T1;
+                T2 <= T3 - select[#0 = 1](S);
+            }
+            ",
+        ),
+        (
+            "recursive tc example",
+            r"
+            schema sigma1 { R/2; }
+            schema sigma2 { S/2; }
+            schema sigma3 { T/2; }
+            mapping m12 : sigma1 -> sigma2 { R <= S; S = tc(S); }
+            mapping m23 : sigma2 -> sigma3 { S <= T; }
+            ",
+        ),
+    ];
+    for (label, text) in documents {
+        let doc = parse_document(text).unwrap();
+        let task = doc.task("m12", "m23").unwrap();
+        let full = task.full_signature().unwrap();
+        let target = task.sigma2.union(&task.sigma3).unwrap();
+        let source = seed_source(&task.sigma1, 3);
+        let mut harness = Harness::new(
+            task.combined_constraints().into_vec(),
+            full,
+            target,
+            source,
+            ExchangeConfig::default(),
+        );
+        harness.run_random_stream(label, 0x5EED, 16);
+    }
+}
+
+#[test]
+fn corpus_problems_survive_random_update_streams() {
+    // Every literature-suite problem: the corpus spans the operator
+    // vocabulary (unions, differences, user-defined operators, Skolem
+    // shapes), so this drives the incremental path — and, for unplannable
+    // rules, the full-recompute fallback — through seeded ±batches with an
+    // oracle check after every one.
+    for problem in mapping_composition::corpus::problems() {
+        let task = problem.task().expect("corpus problem parses");
+        let full = task.full_signature().expect("well-formed signature");
+        let target = task.sigma2.union(&task.sigma3).expect("disjoint enough");
+        let source = seed_source(&task.sigma1, 2);
+        let config =
+            ExchangeConfig { max_rounds: 24, max_nulls: 20_000, ..ExchangeConfig::default() };
+        let mut harness =
+            Harness::new(task.combined_constraints().into_vec(), full, target, source, config);
+        harness.run_random_stream(problem.id, 0xC0FFEE, 8);
+    }
+}
+
+#[test]
+fn evolution_scenarios_survive_random_update_streams() {
+    // Simulator-generated mapping chains over several seeds, the same
+    // scenario shape as the end-to-end migration test.
+    for seed in [7, 42, 77] {
+        let run = run_editing(&ScenarioConfig {
+            schema_size: 6,
+            edits: 12,
+            seed,
+            ..ScenarioConfig::default()
+        });
+        let mut target_sig = run.current.clone();
+        for name in &run.pending {
+            if let Some(info) = run.universe.get(name) {
+                target_sig.add(name.clone(), info.clone());
+            }
+        }
+        let source = seed_source(&run.original, 2);
+        let mut harness = Harness::new(
+            run.constraints.clone(),
+            run.universe.clone(),
+            target_sig,
+            source,
+            ExchangeConfig { max_rounds: 32, max_nulls: 50_000, ..ExchangeConfig::default() },
+        );
+        harness.run_random_stream(&format!("evolution seed {seed}"), seed, 10);
+    }
+}
+
+#[test]
+fn delete_then_reinsert_restores_the_exact_state() {
+    // Two-batch round trip: `-t` retracts everything t supported, `+t` in a
+    // *separate* batch re-derives it — and because null names are
+    // content-addressed (not sequential), the restored state is
+    // byte-identical to the original, support table and all.
+    let doc = parse_document(
+        r"
+        schema sigma1 { R/2; }
+        schema sigma2 { S/2; }
+        schema sigma3 { T/1; }
+        mapping m12 : sigma1 -> sigma2 { project[0](R) <= project[0](S); }
+        mapping m23 : sigma2 -> sigma3 { project[0](S) <= T; }
+        ",
+    )
+    .unwrap();
+    let task = doc.task("m12", "m23").unwrap();
+    let full = task.full_signature().unwrap();
+    let target = task.sigma2.union(&task.sigma3).unwrap();
+    let source = seed_source(&task.sigma1, 3);
+    let mut harness = Harness::new(
+        task.combined_constraints().into_vec(),
+        full,
+        target,
+        source,
+        ExchangeConfig::default(),
+    );
+
+    let before_target = harness.engine.rendered_target();
+    let before_support = harness.engine.support().clone();
+    let before_nulls = harness.engine.nulls();
+    let row: Tuple = vec![Value::Int(0), Value::Int(1)];
+
+    harness.apply_checked("delete", &[Update::delete("R", row.clone())]);
+    assert_ne!(
+        harness.engine.rendered_target(),
+        before_target,
+        "the deletion must actually retract derived rows"
+    );
+    harness.apply_checked("reinsert", &[Update::insert("R", row)]);
+    assert_eq!(harness.engine.rendered_target(), before_target, "target not restored exactly");
+    assert_eq!(*harness.engine.support(), before_support, "support table not restored exactly");
+    assert_eq!(harness.engine.nulls(), before_nulls, "null counter not restored exactly");
+}
+
+#[test]
+fn net_zero_batches_leave_every_byte_unchanged() {
+    // A batch whose per-tuple signed sum is zero must be a no-op: nothing
+    // applied, nothing retracted, state byte-identical — both for
+    // insert-then-delete of a fresh row and delete-then-insert of a live
+    // one.
+    let doc = parse_document(
+        r"
+        schema sigma1 { R/1; }
+        schema sigma2 { S/1; }
+        schema sigma3 { T/1; }
+        mapping m12 : sigma1 -> sigma2 { R <= S; }
+        mapping m23 : sigma2 -> sigma3 { S <= T; }
+        ",
+    )
+    .unwrap();
+    let task = doc.task("m12", "m23").unwrap();
+    let full = task.full_signature().unwrap();
+    let target = task.sigma2.union(&task.sigma3).unwrap();
+    let source = seed_source(&task.sigma1, 3);
+    let mut harness = Harness::new(
+        task.combined_constraints().into_vec(),
+        full,
+        target,
+        source,
+        ExchangeConfig::default(),
+    );
+
+    let before_target = harness.engine.rendered_target();
+    let before_support = harness.engine.support().clone();
+    let fresh: Tuple = vec![Value::Int(99)];
+    let live: Tuple = vec![Value::Int(0)];
+
+    harness.apply_checked(
+        "net-zero fresh",
+        &[Update::insert("R", fresh.clone()), Update::delete("R", fresh)],
+    );
+    harness.apply_checked(
+        "net-zero live",
+        &[Update::delete("R", live.clone()), Update::insert("R", live)],
+    );
+    assert_eq!(harness.engine.rendered_target(), before_target, "net-zero batch changed target");
+    assert_eq!(*harness.engine.support(), before_support, "net-zero batch changed support");
+}
+
+#[test]
+fn draining_the_source_empties_the_target() {
+    // Deleting every source row one batch at a time must cascade the whole
+    // target away — the mirror image of building it up — with an oracle
+    // check at every intermediate state.
+    let doc = parse_document(
+        r"
+        schema sigma1 { R/2; }
+        schema sigma2 { S/2; }
+        schema sigma3 { T/2; }
+        mapping m12 : sigma1 -> sigma2 { R <= S; }
+        mapping m23 : sigma2 -> sigma3 { S <= T; }
+        ",
+    )
+    .unwrap();
+    let task = doc.task("m12", "m23").unwrap();
+    let full = task.full_signature().unwrap();
+    let target = task.sigma2.union(&task.sigma3).unwrap();
+    let source = seed_source(&task.sigma1, 4);
+    let mut harness = Harness::new(
+        task.combined_constraints().into_vec(),
+        full,
+        target,
+        source,
+        ExchangeConfig::default(),
+    );
+    assert!(harness.engine.target().total_tuples() > 0);
+
+    let rows: Vec<Tuple> = harness.engine.source().get("R").iter().cloned().collect();
+    for (index, row) in rows.into_iter().enumerate() {
+        harness.apply_checked(&format!("drain {index}"), &[Update::delete("R", row)]);
+    }
+    assert_eq!(harness.engine.source().total_tuples(), 0, "source not fully drained");
+    assert_eq!(harness.engine.target().total_tuples(), 0, "drained source left target rows");
+    assert!(harness.engine.support().is_empty(), "drained source left support entries");
+}

@@ -27,9 +27,9 @@
 
 use mapping_composition::algebra::parse_document;
 use mapping_composition::catalog::{
-    load_cache, load_versions, parse_positioned_delta, render_delta, render_generation_marker,
-    render_mapping_decl, render_positioned_delta, render_schema_decl, save_cache, DeltaRecord,
-    Position,
+    load_cache, load_sidecar, load_versions, parse_positioned_delta, render_delta,
+    render_generation_marker, render_mapping_decl, render_migration_snapshot,
+    render_positioned_delta, render_schema_decl, save_cache, DeltaRecord, Position,
 };
 use mapping_composition::service::{
     decode_reply, decode_request, decode_request_traced, encode_reply, encode_request,
@@ -148,6 +148,19 @@ fn persistence_doc_sidecar_examples_round_trip() {
                     }
                     _ => {}
                 }
+            } else if line.starts_with("migrate ") {
+                let state = load_sidecar(&format!("{line}\n"));
+                assert_eq!(
+                    state.migrations.len(),
+                    1,
+                    "documented migrate snapshot line must load: `{line}`"
+                );
+                let ((from, to), updates) = state.migrations.iter().next().unwrap();
+                assert_eq!(
+                    render_migration_snapshot(from, to, updates),
+                    line,
+                    "documented migrate snapshot line must re-render identically"
+                );
             } else if line.starts_with("entry ") {
                 // Re-assemble the whole block through `end-document`.
                 let mut entry_block = format!("{line}\n");
@@ -197,6 +210,7 @@ fn wire_doc_request_frames_decode_and_reencode() {
         "compose-names",
         "compose-batch",
         "invalidate",
+        "migrate-delta",
         "analyze",
         "stats",
         "cache-info",
@@ -497,6 +511,19 @@ fn observability_doc_metric_catalog_matches_the_registry() {
         &ExchangeConfig::default(),
     );
     assert!(result.converged);
+    // The differential engine registers its chase_delta_* families on the
+    // first applied batch.
+    let mut engine = mapping_composition::compose::DifferentialChase::new(
+        &constraints,
+        &full,
+        &target,
+        source,
+        &Registry::standard(),
+        &ExchangeConfig::default(),
+    );
+    engine
+        .apply(&[mapping_composition::compose::Update::insert("R", vec![Value::Int(2)])])
+        .unwrap();
     // The analyzer registers its verdict/lint families on first run; a
     // cartesian-product premise makes sure at least one lint fires.
     let lint_me = parse_constraints("P * Q <= S").unwrap().into_vec();
@@ -518,4 +545,87 @@ fn observability_doc_metric_catalog_matches_the_registry() {
             rendered.lines().filter(|l| l.starts_with("# TYPE")).collect::<Vec<_>>().join("\n")
         );
     }
+}
+
+#[test]
+fn differential_doc_update_examples_round_trip() {
+    use mapping_composition::compose::parse_update;
+
+    let doc = read_doc("DIFFERENTIAL.md");
+    let blocks = marked_blocks(&doc, "roundtrip:update");
+    assert!(!blocks.is_empty(), "DIFFERENTIAL.md must document the signed-update grammar");
+    let mut updates = 0usize;
+    for block in &blocks {
+        for line in block.lines().map(str::trim).filter(|line| !line.is_empty()) {
+            let update = parse_update(line)
+                .unwrap_or_else(|error| panic!("documented update must parse: {error}\n{line}"));
+            assert_eq!(update.render(), line, "documented update must be canonical");
+            updates += 1;
+        }
+    }
+    assert!(updates >= 4, "the grammar examples must cover signs and every constant kind");
+}
+
+#[test]
+fn differential_doc_wire_frames_round_trip() {
+    let doc = read_doc("DIFFERENTIAL.md");
+    let requests = marked_blocks(&doc, "roundtrip:request");
+    let replies = marked_blocks(&doc, "roundtrip:reply");
+    assert!(
+        !requests.is_empty() && !replies.is_empty(),
+        "DIFFERENTIAL.md must document the migrate-delta wire frames"
+    );
+    for frame in &requests {
+        let request = decode_request(frame)
+            .unwrap_or_else(|error| panic!("documented request must decode: {error}\n{frame}"));
+        assert_eq!(request.kind(), "migrate-delta");
+        assert_eq!(&encode_request(&request), frame, "documented frame must be canonical");
+    }
+    for frame in &replies {
+        let reply = decode_reply(frame)
+            .unwrap_or_else(|error| panic!("documented reply must decode: {error}\n{frame}"));
+        assert_eq!(&encode_reply(&reply), frame, "documented frame must be canonical");
+    }
+}
+
+#[test]
+fn differential_doc_migration_scenario_executes() {
+    use mapping_composition::catalog::Catalog;
+    use mapping_composition::service::{LocalService, MapcompService as _, Request, Response};
+
+    let doc = read_doc("DIFFERENTIAL.md");
+    let documents = marked_blocks(&doc, "migrate:document");
+    let batches = marked_blocks(&doc, "migrate:batch");
+    let targets = marked_blocks(&doc, "migrate:target");
+    assert_eq!(documents.len(), 1, "the scenario needs exactly one catalog document");
+    assert_eq!(batches.len(), targets.len(), "every batch needs its expected target");
+    assert!(batches.len() >= 3, "the scenario must exercise shared support and retraction");
+
+    let service = LocalService::new(Catalog::new(), 2);
+    service.call(Request::AddDocument { text: documents[0].clone() }).expect("document ingests");
+    let mut payloads = Vec::new();
+    for (index, (batch, target)) in batches.iter().zip(&targets).enumerate() {
+        let updates: Vec<String> =
+            batch.lines().map(str::trim).filter(|l| !l.is_empty()).map(String::from).collect();
+        let reply = service
+            .call(Request::MigrateDelta { from: "src".into(), to: "dst".into(), updates })
+            .unwrap_or_else(|error| panic!("documented batch {index} must apply: {error}"));
+        let Response::Migrated(payload) = reply else {
+            panic!("expected a migrated reply, got {reply:?}");
+        };
+        assert_eq!(
+            &payload.target, target,
+            "batch {index}: the documented target must match the maintained engine"
+        );
+        payloads.push(payload);
+    }
+    // The documented `migrated` frame is the *actual* reply of the second
+    // batch (the shared-support deletion), byte-for-byte.
+    let documented = marked_blocks(&doc, "roundtrip:reply");
+    let reply = decode_reply(&documented[0]).expect("documented reply decodes");
+    assert_eq!(
+        reply,
+        Ok(Response::Migrated(payloads[1].clone())),
+        "the documented migrated frame must be the live reply of the second batch"
+    );
 }

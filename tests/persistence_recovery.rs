@@ -346,3 +346,109 @@ fn kill_and_restart_replays_to_byte_identical_state() {
     assert_eq!(compose(&reopened, "v0", "v5"), 0, "warm chain survives the restart");
     cleanup(&file);
 }
+
+// ---------------------------------------------------------------------------
+// Migrate-delta fault injection: a crash mid-`MigrateDelta` must leave the
+// migration session replayable — recovery folds the surviving committed
+// history, and a follow-up delta (or full re-chase) converges byte-
+// identically with a cold engine over the same net source.
+// ---------------------------------------------------------------------------
+
+fn migrate(
+    service: &LocalService,
+    from: &str,
+    to: &str,
+    updates: &[&str],
+) -> mapping_composition::service::MigratePayload {
+    let request = Request::MigrateDelta {
+        from: from.into(),
+        to: to.into(),
+        updates: updates.iter().map(std::string::ToString::to_string).collect(),
+    };
+    match service.call(request) {
+        Ok(Response::Migrated(payload)) => payload,
+        other => panic!("migrate-delta {from} -> {to} failed: {other:?}"),
+    }
+}
+
+/// The cold oracle: a brand-new catalog fed the same net history in one
+/// batch. Confluence of the Skolem chase makes its target the ground truth.
+fn cold_migration_target(tag: &str, hops: usize, to: &str, updates: &[&str]) -> String {
+    let file = temp_catalog(tag);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(hops) }).unwrap();
+    let target = migrate(&service, "v0", to, updates).target;
+    drop(service);
+    cleanup(&file);
+    target
+}
+
+#[test]
+fn torn_migrate_delta_tail_reverts_to_the_acknowledged_batch() {
+    let file = temp_catalog("torn_migrate");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+    let first = migrate(&service, "v0", "v2", &["+R0(1)", "+R0(2)"]);
+    assert!(first.target_rows > 0, "the first batch must materialize target rows");
+    // Commit point: the first batch's delta record is fully on disk.
+    let committed_bytes = std::fs::read(&sidecar).unwrap();
+
+    // The crash lands mid-way through appending the second batch's record:
+    // the engine applied it in memory, but the log holds only a torn line.
+    migrate(&service, "v0", "v2", &["-R0(1)", "+R0(3)"]);
+    drop(service);
+    let full = std::fs::read(&sidecar).unwrap();
+    assert!(full.len() > committed_bytes.len() + 8, "the second batch must have appended");
+    std::fs::write(&sidecar, &full[..committed_bytes.len() + 7]).unwrap();
+
+    // Recovery drops the torn record: an empty probe batch rebuilds the
+    // engine from the surviving history and serves the first batch's target.
+    let reopened = open(&file);
+    let probe = migrate(&reopened, "v0", "v2", &[]);
+    assert_eq!(probe.target, first.target, "recovery = the acknowledged pre-crash batch");
+    assert_eq!(probe.source_rows, 2);
+
+    // Re-issuing the lost batch converges byte-identically with a cold
+    // engine over the net source {R0(2), R0(3)}.
+    let replayed = migrate(&reopened, "v0", "v2", &["-R0(1)", "+R0(3)"]);
+    drop(reopened);
+    let oracle = cold_migration_target("torn_migrate_oracle", 3, "v2", &["+R0(2)", "+R0(3)"]);
+    assert_eq!(replayed.target, oracle, "follow-up delta must match a cold re-chase");
+    cleanup(&file);
+}
+
+#[test]
+fn migrate_sessions_survive_kill_restart_and_compaction() {
+    let file = temp_catalog("migrate_compact");
+    let sidecar = sidecar_path(&file);
+    let service = open(&file);
+    service.call(Request::AddDocument { text: chain_document(3) }).unwrap();
+    migrate(&service, "v0", "v2", &["+R0(1)", "+R0(2)"]);
+    migrate(&service, "v0", "v1", &["+R0(7)"]);
+
+    // Compaction folds the per-session histories into `migrate` snapshot
+    // lines; no `delta migrate` records may survive the rewrite.
+    service.call(Request::Compact).unwrap();
+    let text = std::fs::read_to_string(&sidecar).unwrap();
+    assert!(!text.lines().any(|line| line.starts_with("delta ")), "compaction must fold deltas");
+    assert_eq!(
+        text.lines().filter(|line| line.starts_with("migrate ")).count(),
+        2,
+        "one snapshot line per live migration session"
+    );
+
+    // Post-compaction deltas stack on top of the snapshot...
+    let live = migrate(&service, "v0", "v2", &["-R0(1)", "+R0(4)"]);
+    drop(service); // ...and a kill without shutdown loses nothing.
+
+    let reopened = open(&file);
+    let probe = migrate(&reopened, "v0", "v2", &[]);
+    assert_eq!(probe.target, live.target, "restart replays snapshot + delta history");
+    let side = migrate(&reopened, "v0", "v1", &[]);
+    assert_eq!(side.source_rows, 1, "the second session's history is independent");
+    drop(reopened);
+    let oracle = cold_migration_target("migrate_compact_oracle", 3, "v2", &["+R0(2)", "+R0(4)"]);
+    assert_eq!(probe.target, oracle, "maintained target equals a cold re-chase");
+    cleanup(&file);
+}

@@ -270,3 +270,157 @@ fn elimination_is_sound_on_random_mappings() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential chase invariants.
+// ---------------------------------------------------------------------------
+
+use mapping_composition::algebra::Tuple;
+use mapping_composition::compose::{DifferentialChase, ExchangeConfig, Update};
+
+/// Shared fixture for the differential properties: a plannable,
+/// non-recursive mapping with shared support (`P` and `Q` both feed `T1`),
+/// a containment chain, and a projection, so insertion propagation,
+/// support-counted deletion, and rederivation are all exercised.
+fn delta_fixture() -> (Vec<Constraint>, Signature, Signature) {
+    let full = Signature::from_arities([("P", 2), ("Q", 2), ("T1", 2), ("T2", 2), ("T3", 1)]);
+    let target = Signature::from_arities([("T1", 2), ("T2", 2), ("T3", 1)]);
+    let constraints =
+        parse_constraints("P <= T1; Q <= T1; T1 <= T2; project[0](T2) <= T3").unwrap().into_vec();
+    (constraints, full, target)
+}
+
+fn delta_engine(
+    constraints: &[Constraint],
+    full: &Signature,
+    target: &Signature,
+    rng: &mut StdRng,
+) -> DifferentialChase {
+    let mut source = Instance::new();
+    for rel in ["P", "Q"] {
+        for _ in 0..rng.gen_range(0..6usize) {
+            source.insert(
+                rel,
+                vec![Value::Int(rng.gen_range(0i64..5)), Value::Int(rng.gen_range(0i64..5))],
+            );
+        }
+    }
+    DifferentialChase::new(
+        constraints,
+        full,
+        target,
+        source,
+        &Registry::standard(),
+        &ExchangeConfig::default(),
+    )
+}
+
+/// Random signed batch over the source relations, biased toward live rows
+/// on the delete side so retraction paths actually fire.
+fn delta_batch(engine: &DifferentialChase, rng: &mut StdRng) -> Vec<Update> {
+    let mut batch = Vec::new();
+    for _ in 0..rng.gen_range(1..6usize) {
+        let rel = if rng.gen_bool(0.5) { "P" } else { "Q" };
+        let delete = rng.gen_bool(0.4);
+        if delete && rng.gen_bool(0.85) {
+            let rows: Vec<Tuple> = engine.source().get(rel).iter().cloned().collect();
+            if let Some(row) = rows.get(rng.gen_range(0..rows.len().max(1))) {
+                batch.push(Update::delete(rel, row.clone()));
+                continue;
+            }
+        }
+        let tuple = vec![Value::Int(rng.gen_range(0i64..5)), Value::Int(rng.gen_range(0i64..5))];
+        if delete {
+            batch.push(Update::delete(rel, tuple));
+        } else {
+            batch.push(Update::insert(rel, tuple));
+        }
+    }
+    batch
+}
+
+#[test]
+fn support_counts_stay_positive_under_random_batches() {
+    let (constraints, full, target) = delta_fixture();
+    let mut rng = StdRng::seed_from_u64(0xD17A);
+    for case in 0..CASES {
+        let mut engine = delta_engine(&constraints, &full, &target, &mut rng);
+        for round in 0..6 {
+            let batch = delta_batch(&engine, &mut rng);
+            engine.apply(&batch).unwrap();
+            // Support counting must never store a dead entry: a count of
+            // zero means the firing should have been retracted outright.
+            for (key, count) in engine.support() {
+                assert!(*count >= 1, "case {case} round {round}: support entry {key:?} hit zero");
+            }
+        }
+    }
+}
+
+#[test]
+fn fresh_insert_then_delete_restores_target_and_support() {
+    let (constraints, full, target) = delta_fixture();
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..CASES {
+        let mut engine = delta_engine(&constraints, &full, &target, &mut rng);
+        // Warm the engine with a random stream first.
+        for _ in 0..3 {
+            let batch = delta_batch(&engine, &mut rng);
+            engine.apply(&batch).unwrap();
+        }
+        // A tuple guaranteed fresh: the generators only draw from 0..5.
+        let rel = if rng.gen_bool(0.5) { "P" } else { "Q" };
+        let fresh = vec![Value::Int(100 + case as i64), Value::Int(rng.gen_range(0i64..5))];
+        let before_target = engine.rendered_target();
+        let before_support = engine.support().clone();
+        let before_nulls = engine.nulls();
+        engine.apply(&[Update::insert(rel, fresh.clone())]).unwrap();
+        engine.apply(&[Update::delete(rel, fresh)]).unwrap();
+        assert_eq!(engine.rendered_target(), before_target, "case {case}: target not restored");
+        assert_eq!(engine.support(), &before_support, "case {case}: support not restored");
+        assert_eq!(engine.nulls(), before_nulls, "case {case}: null book not restored");
+    }
+}
+
+#[test]
+fn batches_are_order_insensitive() {
+    let (constraints, full, target) = delta_fixture();
+    let mut rng = StdRng::seed_from_u64(0x0D0E);
+    for case in 0..CASES {
+        let mut left = delta_engine(&constraints, &full, &target, &mut rng);
+        let mut right = DifferentialChase::new(
+            &constraints,
+            &full,
+            &target,
+            left.source().clone(),
+            &Registry::standard(),
+            &ExchangeConfig::default(),
+        );
+        let batch = delta_batch(&left, &mut rng);
+        // Manual Fisher–Yates: the rand shim has no shuffle.
+        let mut shuffled = batch.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let left_report = left.apply(&batch).unwrap();
+        let right_report = right.apply(&shuffled).unwrap();
+        assert_eq!(
+            left.rendered_target(),
+            right.rendered_target(),
+            "case {case}: target order-sensitive"
+        );
+        assert_eq!(left.support(), right.support(), "case {case}: support order-sensitive");
+        assert_eq!(left.nulls(), right.nulls(), "case {case}: nulls order-sensitive");
+        assert_eq!(
+            (left_report.applied, left_report.inserted + left_report.deleted),
+            (right_report.applied, right_report.inserted + right_report.deleted),
+            "case {case}: report counters order-sensitive"
+        );
+        assert_eq!(
+            mapping_composition::compose::render_instance(left.source()),
+            mapping_composition::compose::render_instance(right.source()),
+            "case {case}: source order-sensitive"
+        );
+    }
+}
